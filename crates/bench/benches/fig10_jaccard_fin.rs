@@ -1,0 +1,26 @@
+//! Figure 10: Jaccard-threshold sensitivity on FIN. Benchmarks the PGSG run
+//! (RC + CC) at the paper's default thresholds and the extreme (0.9, 0.1)
+//! pair; the full table is produced by `reproduce fig10`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgso_bench::{DatasetId, Workbench};
+use pgso_core::{optimize_pgsg, OptimizerConfig};
+use pgso_ontology::WorkloadDistribution;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(DatasetId::Fin, WorkloadDistribution::Uniform, 42);
+    let mut group = c.benchmark_group("fig10_jaccard_fin");
+    group.sample_size(20);
+    for (theta1, theta2) in [(0.66, 0.33), (0.9, 0.1)] {
+        let base = OptimizerConfig::default().with_thresholds(theta1, theta2);
+        let nsc = wb.nsc(&base);
+        let config = OptimizerConfig { space_limit: Some(nsc.total_cost / 2), ..base };
+        group.bench_function(format!("pgsg_theta_{theta1}_{theta2}"), |b| {
+            b.iter(|| optimize_pgsg(wb.input(), &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 11: microbenchmark queries Q1–Q12, DIR vs OPT, on the in-memory
+//! backend. Each query is a separate Criterion benchmark with `/DIR` and
+//! `/OPT` variants so the speedup shape of the figure can be read directly
+//! from the report; the disk-backend numbers come from `reproduce fig11`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgso_bench::{build_memory_pair, microbenchmark, DatasetId, Workbench};
+use pgso_core::OptimizerConfig;
+use pgso_ontology::WorkloadDistribution;
+use pgso_query::{execute, rewrite};
+
+fn bench(c: &mut Criterion) {
+    let config = OptimizerConfig::default();
+    let med = Workbench::new(DatasetId::Med, WorkloadDistribution::default_zipf(), 42);
+    let fin = Workbench::new(DatasetId::Fin, WorkloadDistribution::default_zipf(), 42);
+    let med_pair = build_memory_pair(&med, &config, 0.1, 42);
+    let fin_pair = build_memory_pair(&fin, &config, 0.1, 42);
+
+    let mut group = c.benchmark_group("fig11_micro");
+    group.sample_size(20);
+    for bq in microbenchmark() {
+        let pair = match bq.dataset {
+            DatasetId::Med => &med_pair,
+            DatasetId::Fin => &fin_pair,
+        };
+        let rewritten = rewrite(&bq.query, &pair.optimized_schema);
+        group.bench_function(format!("{}/DIR", bq.query.name), |b| {
+            b.iter(|| execute(&bq.query, &pair.direct))
+        });
+        group.bench_function(format!("{}/OPT", bq.query.name), |b| {
+            b.iter(|| execute(&rewritten, &pair.optimized))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

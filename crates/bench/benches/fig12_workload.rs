@@ -1,0 +1,41 @@
+//! Figure 12: total latency of the 15-query Zipf workload, DIR vs OPT, per
+//! dataset (in-memory backend; disk numbers come from `reproduce fig12`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgso_bench::{build_memory_pair, figure12_workload, workload_latency, DatasetId, Workbench};
+use pgso_core::OptimizerConfig;
+use pgso_ontology::WorkloadDistribution;
+use pgso_query::{execute, rewrite};
+
+fn bench(c: &mut Criterion) {
+    let config = OptimizerConfig::default();
+    let mut group = c.benchmark_group("fig12_workload");
+    group.sample_size(10);
+    for dataset in [DatasetId::Med, DatasetId::Fin] {
+        let wb = Workbench::new(dataset, WorkloadDistribution::default_zipf(), 42);
+        let pair = build_memory_pair(&wb, &config, 0.1, 42);
+        let workload = figure12_workload(dataset);
+        let rewritten: Vec<_> =
+            workload.iter().map(|q| rewrite(q, &pair.optimized_schema)).collect();
+        group.bench_function(format!("{}/DIR", dataset.label()), |b| {
+            b.iter(|| {
+                for q in &workload {
+                    let _ = execute(q, &pair.direct);
+                }
+            })
+        });
+        group.bench_function(format!("{}/OPT", dataset.label()), |b| {
+            b.iter(|| {
+                for q in &rewritten {
+                    let _ = execute(q, &pair.optimized);
+                }
+            })
+        });
+        // Keep the library helper exercised so its timing path stays correct.
+        let _ = workload_latency(&workload, &pair);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

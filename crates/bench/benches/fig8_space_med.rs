@@ -1,0 +1,25 @@
+//! Figure 8: benefit ratio vs space constraint (MED). Benchmarks the two
+//! space-constrained optimizers at a representative 25% budget; the full
+//! sweep is produced by `reproduce fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgso_bench::{DatasetId, Workbench};
+use pgso_core::{optimize_concept_centric, optimize_relation_centric, OptimizerConfig};
+use pgso_ontology::WorkloadDistribution;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(DatasetId::Med, WorkloadDistribution::default_zipf(), 42);
+    let nsc = wb.nsc(&OptimizerConfig::default());
+    let config = OptimizerConfig::with_space_limit(nsc.total_cost / 4);
+    let mut group = c.benchmark_group("fig8_space_med");
+    group.bench_function("relation_centric_25pct", |b| {
+        b.iter(|| optimize_relation_centric(wb.input(), &config))
+    });
+    group.bench_function("concept_centric_25pct", |b| {
+        b.iter(|| optimize_concept_centric(wb.input(), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 9: benefit ratio vs space constraint (FIN). Benchmarks the two
+//! space-constrained optimizers on the inheritance-heavy FIN ontology at a
+//! representative 25% budget; the full sweep is produced by `reproduce fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgso_bench::{DatasetId, Workbench};
+use pgso_core::{optimize_concept_centric, optimize_relation_centric, OptimizerConfig};
+use pgso_ontology::WorkloadDistribution;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::new(DatasetId::Fin, WorkloadDistribution::default_zipf(), 42);
+    let nsc = wb.nsc(&OptimizerConfig::default());
+    let config = OptimizerConfig::with_space_limit(nsc.total_cost / 4);
+    let mut group = c.benchmark_group("fig9_space_fin");
+    group.sample_size(20);
+    group.bench_function("relation_centric_25pct", |b| {
+        b.iter(|| optimize_relation_centric(wb.input(), &config))
+    });
+    group.bench_function("concept_centric_25pct", |b| {
+        b.iter(|| optimize_concept_centric(wb.input(), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

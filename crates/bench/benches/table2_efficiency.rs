@@ -1,0 +1,32 @@
+//! Table 2: wall-clock efficiency of the RC and CC optimizers at 25% / 50% /
+//! 75% space budgets on MED and FIN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgso_bench::{DatasetId, Workbench};
+use pgso_core::{optimize_concept_centric, optimize_relation_centric, OptimizerConfig};
+use pgso_ontology::WorkloadDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_efficiency");
+    group.sample_size(10);
+    for dataset in [DatasetId::Med, DatasetId::Fin] {
+        let wb = Workbench::new(dataset, WorkloadDistribution::Uniform, 42);
+        let nsc = wb.nsc(&OptimizerConfig::default());
+        for fraction in [0.25_f64, 0.5, 0.75] {
+            let budget = (nsc.total_cost as f64 * fraction) as u64;
+            let config = OptimizerConfig::with_space_limit(budget);
+            group.bench_function(
+                format!("{}/RC/{:.0}pct", dataset.label(), fraction * 100.0),
+                |b| b.iter(|| optimize_relation_centric(wb.input(), &config)),
+            );
+            group.bench_function(
+                format!("{}/CC/{:.0}pct", dataset.label(), fraction * 100.0),
+                |b| b.iter(|| optimize_concept_centric(wb.input(), &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

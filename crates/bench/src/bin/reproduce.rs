@@ -1,0 +1,172 @@
+//! Reproduces the paper's tables and figures on the synthetic MED / FIN
+//! datasets and prints them as text tables.
+//!
+//! ```text
+//! cargo run --release -p pgso-bench --bin reproduce -- all
+//! cargo run --release -p pgso-bench --bin reproduce -- fig8 fig9 fig10 fig11 fig12 table2
+//! cargo run --release -p pgso-bench --bin reproduce -- ablation-knapsack ablation-bufferpool
+//! ```
+
+use pgso_bench::experiments;
+use pgso_bench::queries::DatasetId;
+
+const SEED: u64 = 42;
+/// Instance-data scale for the query experiments (fraction of the synthesized
+/// statistics' cardinalities).
+const SCALE: f64 = 0.2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "summary",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table2",
+            "ablation-knapsack",
+            "ablation-bufferpool",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for experiment in selected {
+        match experiment {
+            "summary" => schema_summary(),
+            "fig8" => fig_space(DatasetId::Med, "Figure 8: benefit ratio vs space constraint (MED)"),
+            "fig9" => fig_space(DatasetId::Fin, "Figure 9: benefit ratio vs space constraint (FIN)"),
+            "fig10" => fig10(),
+            "fig11" => fig11(),
+            "fig12" => fig12(),
+            "table2" => table2(),
+            "ablation-knapsack" => ablation_knapsack(),
+            "ablation-bufferpool" => ablation_bufferpool(),
+            other => eprintln!("unknown experiment `{other}` (try `all`)"),
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+fn schema_summary() {
+    header("Schema summary (direct vs NSC-optimized)");
+    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "dataset", "DIR vtypes", "DIR etypes", "OPT vtypes", "OPT etypes");
+    for row in experiments::schema_summary(SEED) {
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12}",
+            row.dataset, row.direct_vertices, row.direct_edges, row.optimized_vertices, row.optimized_edges
+        );
+    }
+}
+
+fn fig_space(dataset: DatasetId, title: &str) {
+    header(title);
+    println!("{:<10} {:<9} {:>8} {:>8}", "space", "workload", "RC", "CC");
+    for row in experiments::benefit_ratio_vs_space(dataset, SEED) {
+        println!(
+            "{:<10} {:<9} {:>8.3} {:>8.3}",
+            format!("{:.3}%", row.space_fraction * 100.0),
+            row.workload,
+            row.rc,
+            row.cc
+        );
+    }
+}
+
+fn fig10() {
+    header("Figure 10: benefit ratio vs Jaccard thresholds (FIN)");
+    println!("{:<14} {:<9} {:>8} {:>8}", "(t1,t2)", "workload", "RC", "CC");
+    for row in experiments::benefit_ratio_vs_jaccard(SEED) {
+        println!(
+            "{:<14} {:<9} {:>8.3} {:>8.3}",
+            format!("({:.2},{:.2})", row.thresholds.0, row.thresholds.1),
+            row.workload,
+            row.rc,
+            row.cc
+        );
+    }
+}
+
+fn fig11() {
+    header("Figure 11: microbenchmark Q1-Q12, DIR vs OPT (latency in us)");
+    println!(
+        "{:<5} {:<5} {:<12} {:<7} {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "query", "data", "family", "backend", "DIR us", "OPT us", "speedup", "DIR trav", "OPT trav"
+    );
+    for row in experiments::microbenchmark_latency(SCALE, 3, SEED) {
+        println!(
+            "{:<5} {:<5} {:<12} {:<7} {:>12.1} {:>12.1} {:>8.1}x {:>10} {:>10}",
+            row.query,
+            row.dataset,
+            row.family,
+            row.backend,
+            row.direct.as_secs_f64() * 1e6,
+            row.optimized.as_secs_f64() * 1e6,
+            row.speedup(),
+            row.direct_traversals,
+            row.optimized_traversals
+        );
+    }
+}
+
+fn fig12() {
+    header("Figure 12: total workload latency (15 Zipf queries), DIR vs OPT");
+    println!("{:<5} {:<7} {:>12} {:>12} {:>9}", "data", "backend", "DIR ms", "OPT ms", "speedup");
+    for row in experiments::workload_latency_experiment(SCALE, SEED) {
+        println!(
+            "{:<5} {:<7} {:>12.3} {:>12.3} {:>8.1}x",
+            row.dataset,
+            row.backend,
+            row.direct.as_secs_f64() * 1e3,
+            row.optimized.as_secs_f64() * 1e3,
+            row.speedup()
+        );
+    }
+}
+
+fn table2() {
+    header("Table 2: optimizer efficiency (ms)");
+    println!("{:<5} {:>8} {:>10} {:>10}", "data", "space", "RC ms", "CC ms");
+    for row in experiments::optimizer_efficiency(SEED) {
+        println!(
+            "{:<5} {:>7.0}% {:>10.1} {:>10.1}",
+            row.dataset,
+            row.space_fraction * 100.0,
+            row.rc.as_secs_f64() * 1e3,
+            row.cc.as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn ablation_knapsack() {
+    header("Ablation: FPTAS vs greedy selection in RC (FIN, uniform)");
+    println!("{:<10} {:>8} {:>8}", "space", "FPTAS", "greedy");
+    for row in experiments::ablation_knapsack(SEED) {
+        println!(
+            "{:<10} {:>8.3} {:>8.3}",
+            format!("{:.0}%", row.space_fraction * 100.0),
+            row.fptas,
+            row.greedy
+        );
+    }
+}
+
+fn ablation_bufferpool() {
+    header("Ablation: buffer-pool sensitivity of the DIR/OPT gap (MED, disk backend)");
+    println!("{:<12} {:>12} {:>12} {:>9}", "pool pages", "DIR ms", "OPT ms", "speedup");
+    for row in experiments::ablation_buffer_pool(SCALE, SEED) {
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>8.1}x",
+            row.pool_pages,
+            row.direct.as_secs_f64() * 1e3,
+            row.optimized.as_secs_f64() * 1e3,
+            row.direct.as_secs_f64() / row.optimized.as_secs_f64().max(1e-9)
+        );
+    }
+}

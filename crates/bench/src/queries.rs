@@ -1,0 +1,243 @@
+//! The microbenchmark queries Q1–Q12 of Section 5.3.
+//!
+//! Q1–Q4 are pattern-matching queries (3 vertices / 2 edges), Q5–Q8 are
+//! vertex property lookups, Q9–Q12 are aggregations over a neighbour's
+//! property values. Queries are expressed against the **direct** schema
+//! (concept names as labels) and rewritten onto the optimized schema with
+//! [`pgso_query::rewrite`] at run time, exactly as the paper does.
+//!
+//! The MED and FIN datasets are reconstructions (see `pgso-ontology::catalog`),
+//! so queries referencing concepts that only exist in the original proprietary
+//! ontologies are re-targeted to equivalent concepts of the reconstruction;
+//! each query still exercises the same rule (union, inheritance, 1:1, 1:M or
+//! M:N) as its counterpart in the paper.
+
+use pgso_query::{Aggregate, Query};
+
+/// Which dataset a query runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetId {
+    /// The medical knowledge graph.
+    Med,
+    /// The financial knowledge graph.
+    Fin,
+}
+
+impl DatasetId {
+    /// Display label ("MED" / "FIN").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetId::Med => "MED",
+            DatasetId::Fin => "FIN",
+        }
+    }
+}
+
+/// A microbenchmark query together with the dataset it targets.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Dataset the query runs on.
+    pub dataset: DatasetId,
+    /// Query family ("pattern", "lookup", "aggregation").
+    pub family: &'static str,
+    /// The query, expressed against the direct schema.
+    pub query: Query,
+}
+
+/// Builds the twelve microbenchmark queries.
+pub fn microbenchmark() -> Vec<BenchQuery> {
+    vec![
+        // ---- Pattern matching (Q1-Q4) -------------------------------------
+        BenchQuery {
+            dataset: DatasetId::Med,
+            family: "pattern",
+            query: Query::builder("Q1")
+                .node("d", "Drug")
+                .node("di", "DrugInteraction")
+                .node("dfi", "DrugFoodInteraction")
+                .edge("d", "has", "di")
+                .edge("di", "isA", "dfi")
+                .ret_property("d", "name")
+                .ret_property("dfi", "risk")
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Med,
+            family: "pattern",
+            query: Query::builder("Q2")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .node("c", "Condition")
+                .edge("d", "treat", "i")
+                .edge("i", "hasCondition", "c")
+                .ret_property("d", "name")
+                .ret_property("c", "name")
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Fin,
+            family: "pattern",
+            query: Query::builder("Q3")
+                .node("aa", "AutonomousAgent")
+                .node("p", "Person")
+                .node("cp", "ContractParty")
+                .edge("aa", "isA", "p")
+                .edge("p", "isA", "cp")
+                .ret_vertex("aa")
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Fin,
+            family: "pattern",
+            query: Query::builder("Q4")
+                .node("l", "Lender")
+                .node("b", "Bank")
+                .node("a", "Account")
+                .edge("l", "unionOf", "b")
+                .edge("b", "holdsAccount", "a")
+                .ret_property("a", "accountNumber")
+                .build(),
+        },
+        // ---- Property lookup (Q5-Q8) ---------------------------------------
+        BenchQuery {
+            dataset: DatasetId::Med,
+            family: "lookup",
+            query: Query::builder("Q5")
+                .node("di", "DrugInteraction")
+                .node("dl", "DrugLabInteraction")
+                .edge("di", "isA", "dl")
+                .ret_property("di", "summary")
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Med,
+            family: "lookup",
+            query: Query::builder("Q6")
+                .node("se", "SideEffect")
+                .node("ae", "AdverseEvent")
+                .edge("se", "isA", "ae")
+                .ret_property("se", "severity")
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Fin,
+            family: "lookup",
+            query: Query::builder("Q7")
+                .node("n", "Corporation")
+                .ret_property("n", "hasLegalName")
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Fin,
+            family: "lookup",
+            query: Query::builder("Q8")
+                .node("fi", "FinancialInstrument")
+                .node("b", "Bond")
+                .edge("fi", "isA", "b")
+                .ret_property("fi", "currency")
+                .build(),
+        },
+        // ---- Aggregation (Q9-Q12) -------------------------------------------
+        BenchQuery {
+            dataset: DatasetId::Med,
+            family: "aggregation",
+            query: Query::builder("Q9")
+                .node("d", "Drug")
+                .node("dr", "DrugRoute")
+                .edge("d", "hasDrugRoute", "dr")
+                .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Med,
+            family: "aggregation",
+            query: Query::builder("Q10")
+                .node("p", "Patient")
+                .node("e", "Encounter")
+                .edge("p", "hasEncounter", "e")
+                .ret_aggregate(Aggregate::CollectCount, "e", Some("encounterId"))
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Fin,
+            family: "aggregation",
+            query: Query::builder("Q11")
+                .node("corp", "Corporation")
+                .node("con", "Contract")
+                .edge("con", "isManagedBy", "corp")
+                .ret_aggregate(Aggregate::CollectCount, "con", Some("hasEffectiveDate"))
+                .build(),
+        },
+        BenchQuery {
+            dataset: DatasetId::Fin,
+            family: "aggregation",
+            query: Query::builder("Q12")
+                .node("corp", "Corporation")
+                .node("o", "Officer")
+                .edge("corp", "employsOfficer", "o")
+                .ret_aggregate(Aggregate::CollectCount, "o", Some("title"))
+                .build(),
+        },
+    ]
+}
+
+/// The 15-query mixed workload of the Figure 12 experiment: the twelve
+/// microbenchmark queries plus repeats of the hottest ones, approximating the
+/// paper's Zipf access pattern over key concepts.
+pub fn figure12_workload(dataset: DatasetId) -> Vec<Query> {
+    let all = microbenchmark();
+    let per_dataset: Vec<Query> = all
+        .iter()
+        .filter(|q| q.dataset == dataset)
+        .map(|q| q.query.clone())
+        .collect();
+    let mut workload = per_dataset.clone();
+    // Repeat the first three (the key-concept queries) to reach 15 queries.
+    for i in 0..(15usize.saturating_sub(workload.len())) {
+        workload.push(per_dataset[i % per_dataset.len()].clone());
+    }
+    workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_queries_in_three_families() {
+        let all = microbenchmark();
+        assert_eq!(all.len(), 12);
+        assert_eq!(all.iter().filter(|q| q.family == "pattern").count(), 4);
+        assert_eq!(all.iter().filter(|q| q.family == "lookup").count(), 4);
+        assert_eq!(all.iter().filter(|q| q.family == "aggregation").count(), 4);
+        assert_eq!(all.iter().filter(|q| q.dataset == DatasetId::Med).count(), 6);
+        assert_eq!(all.iter().filter(|q| q.dataset == DatasetId::Fin).count(), 6);
+    }
+
+    #[test]
+    fn query_labels_exist_in_catalog_ontologies() {
+        let med = pgso_ontology::catalog::medical();
+        let fin = pgso_ontology::catalog::financial();
+        for bq in microbenchmark() {
+            let ontology = match bq.dataset {
+                DatasetId::Med => &med,
+                DatasetId::Fin => &fin,
+            };
+            for node in &bq.query.nodes {
+                assert!(
+                    ontology.concept_by_name(&node.label).is_some(),
+                    "{} references unknown concept {}",
+                    bq.query.name,
+                    node.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workload_has_fifteen_queries() {
+        assert_eq!(figure12_workload(DatasetId::Med).len(), 15);
+        assert_eq!(figure12_workload(DatasetId::Fin).len(), 15);
+        assert_eq!(DatasetId::Med.label(), "MED");
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared experiment plumbing: dataset preparation, graph loading and query
+//! timing.
+
+use crate::queries::DatasetId;
+use pgso_core::{optimize_nsc, OptimizationOutcome, OptimizerConfig, OptimizerInput};
+use pgso_datagen::{load_into, InstanceKg};
+use pgso_graphstore::{DiskGraph, DiskGraphConfig, GraphBackend, MemoryGraph};
+use pgso_ontology::{
+    catalog, AccessFrequencies, DataStatistics, Ontology, StatisticsConfig, WorkloadDistribution,
+};
+use pgso_pgschema::PropertyGraphSchema;
+use pgso_query::{execute, rewrite, Query, QueryResult};
+use std::path::Path;
+use std::time::Duration;
+
+/// Everything needed to run schema-quality experiments on one dataset.
+pub struct Workbench {
+    /// Which dataset this is.
+    pub dataset: DatasetId,
+    /// The ontology.
+    pub ontology: Ontology,
+    /// Synthesized data statistics.
+    pub statistics: DataStatistics,
+    /// Workload summary.
+    pub frequencies: AccessFrequencies,
+}
+
+impl Workbench {
+    /// Prepares a workbench for a dataset and workload distribution.
+    pub fn new(dataset: DatasetId, distribution: WorkloadDistribution, seed: u64) -> Self {
+        let ontology = match dataset {
+            DatasetId::Med => catalog::medical(),
+            DatasetId::Fin => catalog::financial(),
+        };
+        let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::default(), seed);
+        let frequencies = AccessFrequencies::generate(&ontology, distribution, 10_000.0, seed);
+        Self { dataset, ontology, statistics, frequencies }
+    }
+
+    /// Optimizer input view over this workbench.
+    pub fn input(&self) -> OptimizerInput<'_> {
+        OptimizerInput::new(&self.ontology, &self.statistics, &self.frequencies)
+    }
+
+    /// Unconstrained NSC outcome (used as the benefit-ratio denominator).
+    pub fn nsc(&self, config: &OptimizerConfig) -> OptimizationOutcome {
+        optimize_nsc(self.input(), config)
+    }
+}
+
+/// A pair of property graphs holding the same instance data under the direct
+/// and the optimized schema, on one backend.
+pub struct GraphPair<B: GraphBackend> {
+    /// Graph conforming to the direct schema.
+    pub direct: B,
+    /// Graph conforming to the optimized schema.
+    pub optimized: B,
+    /// The optimized schema (needed to rewrite queries).
+    pub optimized_schema: PropertyGraphSchema,
+}
+
+/// Builds DIR and OPT in-memory graphs for a dataset at the given data scale.
+pub fn build_memory_pair(
+    workbench: &Workbench,
+    config: &OptimizerConfig,
+    scale: f64,
+    seed: u64,
+) -> GraphPair<MemoryGraph> {
+    let instance = InstanceKg::generate(&workbench.ontology, &workbench.statistics, scale, seed);
+    let direct_schema = PropertyGraphSchema::direct_from_ontology(&workbench.ontology);
+    let optimized_schema = optimize_nsc(workbench.input(), config).schema;
+    let mut direct = MemoryGraph::new();
+    let mut optimized = MemoryGraph::new();
+    load_into(&mut direct, &workbench.ontology, &direct_schema, &instance);
+    load_into(&mut optimized, &workbench.ontology, &optimized_schema, &instance);
+    GraphPair { direct, optimized, optimized_schema }
+}
+
+/// Builds DIR and OPT disk-backed graphs in `dir` at the given data scale.
+pub fn build_disk_pair(
+    workbench: &Workbench,
+    config: &OptimizerConfig,
+    scale: f64,
+    seed: u64,
+    dir: &Path,
+    disk_config: DiskGraphConfig,
+) -> std::io::Result<GraphPair<DiskGraph>> {
+    let instance = InstanceKg::generate(&workbench.ontology, &workbench.statistics, scale, seed);
+    let direct_schema = PropertyGraphSchema::direct_from_ontology(&workbench.ontology);
+    let optimized_schema = optimize_nsc(workbench.input(), config).schema;
+    let mut direct = DiskGraph::create(dir.join("direct.store"), disk_config)?;
+    let mut optimized = DiskGraph::create(dir.join("optimized.store"), disk_config)?;
+    load_into(&mut direct, &workbench.ontology, &direct_schema, &instance);
+    load_into(&mut optimized, &workbench.ontology, &optimized_schema, &instance);
+    direct.flush()?;
+    optimized.flush()?;
+    Ok(GraphPair { direct, optimized, optimized_schema })
+}
+
+/// Result of timing one query on the DIR and OPT graphs of one backend.
+#[derive(Debug, Clone)]
+pub struct QueryComparison {
+    /// Query name.
+    pub name: String,
+    /// Latency and counters on the direct graph.
+    pub direct: QueryResult,
+    /// Latency and counters on the optimized graph.
+    pub optimized: QueryResult,
+}
+
+impl QueryComparison {
+    /// DIR latency divided by OPT latency (>1 means the optimized schema wins).
+    pub fn speedup(&self) -> f64 {
+        let d = self.direct.elapsed.as_secs_f64();
+        let o = self.optimized.elapsed.as_secs_f64().max(1e-9);
+        d / o
+    }
+}
+
+/// Runs a DIR query on the direct graph and its rewritten form on the
+/// optimized graph, repeating `repeats` times and keeping the best run of
+/// each (warm-cache latency, like the paper's averaged repeated runs).
+pub fn compare_query<B: GraphBackend>(
+    query: &Query,
+    pair: &GraphPair<B>,
+    repeats: usize,
+) -> QueryComparison {
+    let rewritten = rewrite(query, &pair.optimized_schema);
+    let mut best_direct: Option<QueryResult> = None;
+    let mut best_optimized: Option<QueryResult> = None;
+    for _ in 0..repeats.max(1) {
+        let d = execute(query, &pair.direct);
+        let o = execute(&rewritten, &pair.optimized);
+        if best_direct.as_ref().map(|b| d.elapsed < b.elapsed).unwrap_or(true) {
+            best_direct = Some(d);
+        }
+        if best_optimized.as_ref().map(|b| o.elapsed < b.elapsed).unwrap_or(true) {
+            best_optimized = Some(o);
+        }
+    }
+    QueryComparison {
+        name: query.name.clone(),
+        direct: best_direct.unwrap_or_default(),
+        optimized: best_optimized.unwrap_or_default(),
+    }
+}
+
+/// Total latency of running a sequence of queries (DIR form on the direct
+/// graph, rewritten form on the optimized graph), as in Figure 12.
+pub fn workload_latency<B: GraphBackend>(
+    queries: &[Query],
+    pair: &GraphPair<B>,
+) -> (Duration, Duration) {
+    let mut direct_total = Duration::ZERO;
+    let mut optimized_total = Duration::ZERO;
+    for query in queries {
+        let rewritten = rewrite(query, &pair.optimized_schema);
+        direct_total += execute(query, &pair.direct).elapsed;
+        optimized_total += execute(&rewritten, &pair.optimized).elapsed;
+    }
+    (direct_total, optimized_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::microbenchmark;
+
+    #[test]
+    fn memory_pair_answers_match_between_schemas() {
+        let wb = Workbench::new(DatasetId::Med, WorkloadDistribution::Uniform, 3);
+        let pair = build_memory_pair(&wb, &OptimizerConfig::default(), 0.05, 3);
+        // Aggregation results must be identical on both schemas (semantic
+        // equivalence of the rewrite); pattern/lookup queries must not return
+        // fewer matches on the optimized graph.
+        for bq in microbenchmark().iter().filter(|q| q.dataset == DatasetId::Med) {
+            let cmp = compare_query(&bq.query, &pair, 1);
+            if bq.family == "aggregation" {
+                assert_eq!(
+                    cmp.direct.scalar(),
+                    cmp.optimized.scalar(),
+                    "{} aggregation mismatch",
+                    bq.query.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_graph_traverses_fewer_edges() {
+        let wb = Workbench::new(DatasetId::Med, WorkloadDistribution::Uniform, 5);
+        let pair = build_memory_pair(&wb, &OptimizerConfig::default(), 0.05, 5);
+        let q1 = &microbenchmark()[0].query;
+        let cmp = compare_query(q1, &pair, 1);
+        assert!(
+            cmp.optimized.stats.edge_traversals < cmp.direct.stats.edge_traversals,
+            "OPT should traverse fewer edges: {:?} vs {:?}",
+            cmp.optimized.stats,
+            cmp.direct.stats
+        );
+    }
+
+    #[test]
+    fn workload_latency_covers_all_queries() {
+        let wb = Workbench::new(DatasetId::Med, WorkloadDistribution::default_zipf(), 7);
+        let pair = build_memory_pair(&wb, &OptimizerConfig::default(), 0.02, 7);
+        let workload = crate::queries::figure12_workload(DatasetId::Med);
+        let (d, o) = workload_latency(&workload, &pair);
+        assert!(d > Duration::ZERO);
+        assert!(o > Duration::ZERO);
+    }
+}

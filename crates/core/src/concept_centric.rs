@@ -1,0 +1,174 @@
+//! Concept-centric schema optimization (Algorithm 7).
+//!
+//! Concepts are ranked by `Score(c) = pr(c) × AF(c) / Size(c)` (Equation 2),
+//! where `pr` is the OntologyPR centrality, `AF(c)` the concept's access
+//! frequency and `Size(c)` the instance bytes of the concept. The algorithm
+//! walks the ranking and, for each concept, applies the rules of its incident
+//! relationships while the space budget lasts; once the budget is exhausted it
+//! stops. The selection is therefore locally greedy per concept — the paper's
+//! stated weakness compared to the relation-centric algorithm.
+
+use crate::config::OptimizerConfig;
+use crate::cost::CostModel;
+use crate::jaccard::InheritanceSimilarities;
+use crate::optimize::{apply_plan, Algorithm, OptimizationOutcome, OptimizerInput};
+use crate::pagerank::ontology_pagerank;
+use crate::rules::{enumerate_items, RuleItem};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Runs the concept-centric algorithm under the configured space limit
+/// (`None` means unconstrained, in which case the result matches NSC).
+pub fn optimize_concept_centric(
+    input: OptimizerInput<'_>,
+    config: &OptimizerConfig,
+) -> OptimizationOutcome {
+    let start = Instant::now();
+    let ontology = input.ontology;
+    let similarities = InheritanceSimilarities::compute(ontology);
+    let model =
+        CostModel::new(ontology, input.statistics, input.frequencies, &similarities, *config);
+    let all_items = enumerate_items(ontology, &similarities, config);
+
+    // Rank concepts by Equation 2.
+    let centrality = ontology_pagerank(ontology);
+    let mut concepts: Vec<_> = ontology.concept_ids().collect();
+    concepts.sort_by(|&a, &b| {
+        let score_a = concept_score(input, &centrality, a);
+        let score_b = concept_score(input, &centrality, b);
+        score_b.partial_cmp(&score_a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Walk concepts in ranking order, applying the rules of their incident
+    // relationships while the budget lasts.
+    let budget = config.space_limit.unwrap_or(u64::MAX);
+    let mut remaining = budget as i128;
+    let mut selected: Vec<RuleItem> = Vec::new();
+    let mut selected_set: HashSet<RuleItem> = HashSet::new();
+
+    'outer: for concept in concepts {
+        for rel in ontology.relationships_of(concept) {
+            for item in all_items.iter().filter(|i| i.relationship() == rel) {
+                if selected_set.contains(item) {
+                    continue;
+                }
+                let cost = model.cost(item) as i128;
+                if remaining - cost < 0 {
+                    // Space exhausted: the algorithm terminates (Lines 7-8).
+                    break 'outer;
+                }
+                remaining -= cost;
+                selected_set.insert(*item);
+                selected.push(*item);
+            }
+        }
+    }
+
+    let schema = apply_plan(
+        input,
+        &similarities,
+        &selected,
+        config,
+        &format!("{}-cc", ontology.name()),
+    );
+    let total_benefit = model.total_benefit(&selected);
+    let total_cost = model.total_cost(&selected);
+    OptimizationOutcome {
+        schema,
+        selected,
+        total_benefit,
+        total_cost,
+        algorithm: Algorithm::ConceptCentric,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Equation 2: `Score(c) = pr(c) × AF(c) / Size(c)`.
+fn concept_score(
+    input: OptimizerInput<'_>,
+    centrality: &crate::pagerank::CentralityScores,
+    concept: pgso_ontology::ConceptId,
+) -> f64 {
+    let pr = centrality.get(concept);
+    let af = input.frequencies.concept(concept);
+    let size = input.statistics.concept_size_bytes(input.ontology, concept).max(1);
+    pr * af / size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::optimize_nsc;
+    use pgso_ontology::{
+        catalog, AccessFrequencies, DataStatistics, StatisticsConfig, WorkloadDistribution,
+    };
+
+    fn fixture(
+        ontology: &pgso_ontology::Ontology,
+        dist: WorkloadDistribution,
+    ) -> (DataStatistics, AccessFrequencies) {
+        let stats = DataStatistics::synthesize(ontology, &StatisticsConfig::small(), 11);
+        let af = AccessFrequencies::generate(ontology, dist, 10_000.0, 11);
+        (stats, af)
+    }
+
+    #[test]
+    fn unconstrained_cc_matches_nsc_benefit() {
+        let o = catalog::medical();
+        let (stats, af) = fixture(&o, WorkloadDistribution::Uniform);
+        let input = OptimizerInput::new(&o, &stats, &af);
+        let config = OptimizerConfig::default();
+        let nsc = optimize_nsc(input, &config);
+        let cc = optimize_concept_centric(input, &config);
+        assert!((cc.total_benefit - nsc.total_benefit).abs() < 1e-6);
+        let mut renamed = cc.schema.clone();
+        renamed.name = nsc.schema.name.clone();
+        assert_eq!(renamed, nsc.schema, "with no limit CC must reproduce PGS_NSC");
+        assert_eq!(cc.algorithm, Algorithm::ConceptCentric);
+    }
+
+    #[test]
+    fn zero_budget_selects_only_free_rules() {
+        let o = catalog::medical();
+        let (stats, af) = fixture(&o, WorkloadDistribution::Uniform);
+        let input = OptimizerInput::new(&o, &stats, &af);
+        let config = OptimizerConfig::with_space_limit(0);
+        let cc = optimize_concept_centric(input, &config);
+        assert_eq!(cc.total_cost, 0);
+        // 1:1 merges are free, so some benefit is still achievable.
+        assert!(cc.selected.iter().all(|i| matches!(i, RuleItem::OneToOne(_))));
+    }
+
+    #[test]
+    fn budget_monotonically_increases_benefit() {
+        let o = catalog::medical();
+        let (stats, af) = fixture(&o, WorkloadDistribution::default_zipf());
+        let input = OptimizerInput::new(&o, &stats, &af);
+        let nsc = optimize_nsc(input, &OptimizerConfig::default());
+        let mut previous = -1.0;
+        for fraction in [0.01, 0.1, 0.5, 1.0] {
+            let limit = (nsc.total_cost as f64 * fraction) as u64;
+            let cc =
+                optimize_concept_centric(input, &OptimizerConfig::with_space_limit(limit));
+            assert!(cc.total_cost <= limit, "CC must respect the budget");
+            assert!(
+                cc.total_benefit >= previous - 1e-9,
+                "benefit should not decrease when the budget grows"
+            );
+            previous = cc.total_benefit;
+        }
+    }
+
+    #[test]
+    fn respects_space_limit_on_fin() {
+        let o = catalog::financial();
+        let (stats, af) = fixture(&o, WorkloadDistribution::default_zipf());
+        let input = OptimizerInput::new(&o, &stats, &af);
+        let nsc = optimize_nsc(input, &OptimizerConfig::default());
+        let limit = nsc.total_cost / 4;
+        let cc = optimize_concept_centric(input, &OptimizerConfig::with_space_limit(limit));
+        assert!(cc.total_cost <= limit);
+        assert!(cc.total_benefit <= nsc.total_benefit + 1e-9);
+        assert!(cc.schema.vertex_count() > 0);
+    }
+}

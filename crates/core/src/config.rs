@@ -1,0 +1,97 @@
+//! Optimizer configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the schema optimizer.
+///
+/// * `theta1` / `theta2` — the Jaccard-similarity thresholds of the
+///   inheritance rule (Algorithm 2). `theta2 <= theta1` must hold. The paper's
+///   evaluation default is `(0.66, 0.33)`.
+/// * `epsilon` — approximation parameter of the knapsack FPTAS used by the
+///   relation-centric algorithm; the selected relationship subset is
+///   guaranteed to achieve at least `1 - epsilon` of the optimal benefit.
+/// * `space_limit` — optional space budget in bytes for the extra storage the
+///   rules may consume. `None` reproduces the unconstrained NSC setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Upper Jaccard threshold `θ1` of the inheritance rule.
+    pub theta1: f64,
+    /// Lower Jaccard threshold `θ2` of the inheritance rule.
+    pub theta2: f64,
+    /// FPTAS approximation parameter `ε`.
+    pub epsilon: f64,
+    /// Optional space budget (bytes of extra storage allowed).
+    pub space_limit: Option<u64>,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self { theta1: 0.66, theta2: 0.33, epsilon: 0.1, space_limit: None }
+    }
+}
+
+impl OptimizerConfig {
+    /// Unconstrained configuration with the paper's default thresholds.
+    pub fn unconstrained() -> Self {
+        Self::default()
+    }
+
+    /// Configuration with a space budget in bytes.
+    pub fn with_space_limit(limit: u64) -> Self {
+        Self { space_limit: Some(limit), ..Self::default() }
+    }
+
+    /// Overrides the Jaccard thresholds.
+    pub fn with_thresholds(mut self, theta1: f64, theta2: f64) -> Self {
+        assert!(
+            theta2 <= theta1,
+            "theta2 ({theta2}) must not exceed theta1 ({theta1})"
+        );
+        self.theta1 = theta1;
+        self.theta2 = theta2;
+        self
+    }
+
+    /// Overrides the FPTAS approximation parameter.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = OptimizerConfig::default();
+        assert!((c.theta1 - 0.66).abs() < 1e-12);
+        assert!((c.theta2 - 0.33).abs() < 1e-12);
+        assert_eq!(c.space_limit, None);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = OptimizerConfig::with_space_limit(1024)
+            .with_thresholds(0.9, 0.1)
+            .with_epsilon(0.05);
+        assert_eq!(c.space_limit, Some(1024));
+        assert_eq!(c.theta1, 0.9);
+        assert_eq!(c.theta2, 0.1);
+        assert_eq!(c.epsilon, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn thresholds_must_be_ordered() {
+        let _ = OptimizerConfig::default().with_thresholds(0.1, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn epsilon_must_be_positive() {
+        let _ = OptimizerConfig::default().with_epsilon(0.0);
+    }
+}

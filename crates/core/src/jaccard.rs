@@ -1,0 +1,147 @@
+//! Jaccard similarity between the property sets of concepts (Equation 1).
+//!
+//! The inheritance rule uses `JS(ci.Pi, cj.Pj) = |ci.Pi ∩ cj.Pj| / |ci.Pi ∪
+//! cj.Pj|` to decide whether to pull the child's properties up to the parent
+//! (high similarity) or push the parent's properties down to the child (low
+//! similarity). The paper stresses that the similarity is computed **once, on
+//! the original ontology**, before any rule is applied, because it represents
+//! the semantic similarity of the two concepts — so this module works on
+//! [`Ontology`] rather than on the mutable schema graph.
+
+use pgso_ontology::{ConceptId, Ontology, RelationshipId, RelationshipKind};
+use std::collections::{HashMap, HashSet};
+
+/// Jaccard similarity between the property-name sets of two concepts.
+pub fn jaccard_similarity(ontology: &Ontology, a: ConceptId, b: ConceptId) -> f64 {
+    let pa: HashSet<&str> = ontology
+        .concept_properties(a)
+        .iter()
+        .map(|&p| ontology.property(p).name.as_str())
+        .collect();
+    let pb: HashSet<&str> = ontology
+        .concept_properties(b)
+        .iter()
+        .map(|&p| ontology.property(p).name.as_str())
+        .collect();
+    if pa.is_empty() && pb.is_empty() {
+        // Two property-less concepts are identical from the schema's point of
+        // view; treat them as maximally similar so the child folds into the
+        // parent rather than duplicating an empty node.
+        return 1.0;
+    }
+    let intersection = pa.intersection(&pb).count() as f64;
+    let union = pa.union(&pb).count() as f64;
+    intersection / union
+}
+
+/// Precomputed Jaccard similarity for every inheritance relationship in an
+/// ontology (Lines 1–2 of Algorithms 5 and 8).
+#[derive(Debug, Clone, Default)]
+pub struct InheritanceSimilarities {
+    scores: HashMap<RelationshipId, f64>,
+}
+
+impl InheritanceSimilarities {
+    /// Computes the similarity of every `isA` relationship.
+    pub fn compute(ontology: &Ontology) -> Self {
+        let mut scores = HashMap::new();
+        for (rid, rel) in ontology.relationships_of_kind(RelationshipKind::Inheritance) {
+            scores.insert(rid, jaccard_similarity(ontology, rel.src, rel.dst));
+        }
+        Self { scores }
+    }
+
+    /// Similarity of an inheritance relationship; 0.0 for unknown ids.
+    pub fn get(&self, id: RelationshipId) -> f64 {
+        self.scores.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Number of inheritance relationships scored.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True if the ontology has no inheritance relationships.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_ontology::{catalog, DataType, OntologyBuilder};
+
+    #[test]
+    fn disjoint_property_sets_have_zero_similarity() {
+        let mut b = OntologyBuilder::new("t");
+        let p = b.add_concept("Parent");
+        b.add_property(p, "summary", DataType::Text);
+        let c = b.add_concept("Child");
+        b.add_property(c, "risk", DataType::Str);
+        b.add_inheritance(p, c);
+        let o = b.build().unwrap();
+        assert_eq!(jaccard_similarity(&o, p, c), 0.0);
+    }
+
+    #[test]
+    fn overlapping_property_sets() {
+        let mut b = OntologyBuilder::new("t");
+        let p = b.add_concept("Parent");
+        b.add_properties(p, &["a", "b", "c"], DataType::Str);
+        let c = b.add_concept("Child");
+        b.add_properties(c, &["b", "c", "d"], DataType::Str);
+        let o = b.build().unwrap();
+        // intersection {b,c} = 2, union {a,b,c,d} = 4
+        assert!((jaccard_similarity(&o, p, c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let mut b = OntologyBuilder::new("t");
+        let p = b.add_concept("Parent");
+        b.add_properties(p, &["a", "b"], DataType::Str);
+        let c = b.add_concept("Child");
+        b.add_properties(c, &["a", "b"], DataType::Int);
+        let o = b.build().unwrap();
+        assert_eq!(jaccard_similarity(&o, p, c), 1.0);
+    }
+
+    #[test]
+    fn empty_sets_are_treated_as_identical() {
+        let mut b = OntologyBuilder::new("t");
+        let p = b.add_concept("Parent");
+        let c = b.add_concept("Child");
+        let o = b.build().unwrap();
+        assert_eq!(jaccard_similarity(&o, p, c), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let o = catalog::medical();
+        let drug = o.concept_by_name("Drug").unwrap();
+        let cond = o.concept_by_name("Condition").unwrap();
+        assert_eq!(jaccard_similarity(&o, drug, cond), jaccard_similarity(&o, cond, drug));
+    }
+
+    #[test]
+    fn precomputes_every_inheritance_relationship() {
+        let o = catalog::medical();
+        let sims = InheritanceSimilarities::compute(&o);
+        assert_eq!(sims.len(), 11);
+        assert!(!sims.is_empty());
+        for (rid, _) in o.relationships_of_kind(RelationshipKind::Inheritance) {
+            let s = sims.get(rid);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unknown_relationship_defaults_to_zero() {
+        let o = catalog::medical();
+        let sims = InheritanceSimilarities::compute(&o);
+        // A functional relationship id is not in the map.
+        let (rid, _) = o.relationships_of_kind(RelationshipKind::OneToMany).next().unwrap();
+        assert_eq!(sims.get(rid), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! 0/1 knapsack solvers used by the relation-centric algorithm.
+//!
+//! Proposition 1 of the paper reduces relationship selection to the 0/1
+//! knapsack problem: every rule item has a benefit (profit) and a space cost
+//! (weight), and the optimizer must maximise total benefit within the space
+//! budget. The paper adopts the classic FPTAS, which guarantees a solution
+//! within `1 - ε` of the optimum in time polynomial in the number of items
+//! and `1/ε`.
+//!
+//! Three solvers are provided so the ablation benchmarks can compare them:
+//!
+//! * [`solve_exact`] — profit-indexed dynamic programming, exact but
+//!   pseudo-polynomial (used as the ground truth in tests);
+//! * [`solve_fptas`] — the paper's choice: profits are scaled down by
+//!   `K = ε·P/n` before running the same DP;
+//! * [`solve_greedy`] — sort by benefit density, take while the budget lasts
+//!   (the classic 2-approximation heuristic without the best-single-item fix).
+
+/// One candidate item for the knapsack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnapsackItem {
+    /// Benefit (profit) of selecting the item; must be non-negative.
+    pub benefit: f64,
+    /// Space cost (weight) of selecting the item.
+    pub cost: u64,
+}
+
+impl KnapsackItem {
+    /// Creates an item.
+    pub fn new(benefit: f64, cost: u64) -> Self {
+        Self { benefit, cost }
+    }
+}
+
+/// Result of a knapsack solver: indices of selected items plus totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KnapsackSolution {
+    /// Indices (into the input slice) of the selected items, ascending.
+    pub selected: Vec<usize>,
+    /// Total benefit of the selection.
+    pub total_benefit: f64,
+    /// Total cost of the selection.
+    pub total_cost: u64,
+}
+
+/// Exact 0/1 knapsack via profit-indexed dynamic programming.
+///
+/// Profits are discretised to integers by scaling with `resolution` (the
+/// number of distinguishable profit steps for the most profitable item);
+/// `resolution = 1000` keeps the error well below the FPTAS tolerance used in
+/// tests while bounding the DP table size.
+pub fn solve_exact(items: &[KnapsackItem], capacity: u64) -> KnapsackSolution {
+    solve_scaled(items, capacity, 10_000)
+}
+
+/// FPTAS for 0/1 knapsack: guarantees `total_benefit >= (1 - epsilon) * OPT`.
+pub fn solve_fptas(items: &[KnapsackItem], capacity: u64, epsilon: f64) -> KnapsackSolution {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n = items.len();
+    if n == 0 {
+        return KnapsackSolution::default();
+    }
+    // Scale so that the maximum profit maps to roughly n / epsilon buckets.
+    let resolution = ((n as f64) / epsilon).ceil() as u64;
+    solve_scaled(items, capacity, resolution.max(1))
+}
+
+/// Greedy heuristic: order by benefit density and take items while they fit.
+pub fn solve_greedy(items: &[KnapsackItem], capacity: u64) -> KnapsackSolution {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = density(&items[a]);
+        let db = density(&items[b]);
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut solution = KnapsackSolution::default();
+    let mut remaining = capacity;
+    for idx in order {
+        let item = &items[idx];
+        if item.cost <= remaining {
+            remaining -= item.cost;
+            solution.selected.push(idx);
+            solution.total_benefit += item.benefit;
+            solution.total_cost += item.cost;
+        }
+    }
+    solution.selected.sort_unstable();
+    solution
+}
+
+fn density(item: &KnapsackItem) -> f64 {
+    if item.cost == 0 {
+        f64::INFINITY
+    } else {
+        item.benefit / item.cost as f64
+    }
+}
+
+/// Upper bound on the number of DP profit states; the profit scale is
+/// coarsened when an instance would exceed it so memory stays bounded.
+const MAX_PROFIT_STATES: u64 = 2_000_000;
+
+/// Profit-indexed DP over integer-scaled profits. `resolution` controls how
+/// many integer steps the largest single profit is mapped to.
+///
+/// Every profit state keeps a bit-packed mask of the items composing it, so
+/// the reconstructed selection is always consistent with the state's cost
+/// (single parent pointers are not, because states can be improved by later
+/// items).
+fn solve_scaled(items: &[KnapsackItem], capacity: u64, resolution: u64) -> KnapsackSolution {
+    let n = items.len();
+    if n == 0 {
+        return KnapsackSolution::default();
+    }
+    let max_benefit = items.iter().map(|i| i.benefit).fold(0.0_f64, f64::max);
+    if max_benefit <= 0.0 {
+        // Nothing has positive benefit; select free items only (they cannot hurt).
+        let mut solution = KnapsackSolution::default();
+        for (i, item) in items.iter().enumerate() {
+            if item.cost == 0 {
+                solution.selected.push(i);
+            }
+        }
+        return solution;
+    }
+    let mut scale = max_benefit / resolution as f64;
+    let raw_total: f64 = items.iter().map(|i| i.benefit.max(0.0)).sum();
+    if raw_total / scale > MAX_PROFIT_STATES as f64 {
+        scale = raw_total / MAX_PROFIT_STATES as f64;
+    }
+    let scaled: Vec<u64> = items.iter().map(|i| (i.benefit.max(0.0) / scale).floor() as u64).collect();
+    let total_scaled: usize = scaled.iter().sum::<u64>() as usize;
+
+    const UNREACHABLE: u64 = u64::MAX;
+    let words = n.div_ceil(64);
+    // min_cost[p] = minimal weight achieving scaled profit exactly p;
+    // selection[p] = bitmask of the items realising that weight.
+    let mut min_cost = vec![UNREACHABLE; total_scaled + 1];
+    let mut selection: Vec<Vec<u64>> = vec![vec![0u64; words]; total_scaled + 1];
+    min_cost[0] = 0;
+
+    for (i, item) in items.iter().enumerate() {
+        let profit = scaled[i] as usize;
+        if profit == 0 {
+            continue; // handled in the post-pass below
+        }
+        // Iterate profits downwards so each item is used at most once.
+        for p in (profit..=total_scaled).rev() {
+            let prev = min_cost[p - profit];
+            if prev == UNREACHABLE {
+                continue;
+            }
+            let candidate = prev.saturating_add(item.cost);
+            if candidate < min_cost[p] {
+                min_cost[p] = candidate;
+                let (lo, hi) = selection.split_at_mut(p);
+                hi[0].copy_from_slice(&lo[p - profit]);
+                hi[0][i / 64] |= 1u64 << (i % 64);
+            }
+        }
+    }
+
+    // Best achievable scaled profit within capacity.
+    let mut best_profit = 0usize;
+    for (p, &cost) in min_cost.iter().enumerate() {
+        if cost != UNREACHABLE && cost <= capacity && p > best_profit {
+            best_profit = p;
+        }
+    }
+
+    let mut selected: Vec<usize> = (0..n)
+        .filter(|&i| selection[best_profit][i / 64] & (1u64 << (i % 64)) != 0)
+        .collect();
+
+    // Items whose profit rounded down to zero never entered the DP; add them
+    // greedily while they fit (free ones always fit).
+    let mut total_cost: u64 = selected.iter().map(|&i| items[i].cost).sum();
+    for (i, item) in items.iter().enumerate() {
+        if scaled[i] == 0 && item.benefit > 0.0 && total_cost + item.cost <= capacity {
+            total_cost += item.cost;
+            selected.push(i);
+        }
+    }
+    selected.sort_unstable();
+    selected.dedup();
+
+    let total_benefit = selected.iter().map(|&i| items[i].benefit).sum();
+    let total_cost = selected.iter().map(|&i| items[i].cost).sum();
+    KnapsackSolution { selected, total_benefit, total_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(specs: &[(f64, u64)]) -> Vec<KnapsackItem> {
+        specs.iter().map(|&(b, c)| KnapsackItem::new(b, c)).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_empty_solution() {
+        assert_eq!(solve_exact(&[], 10), KnapsackSolution::default());
+        assert_eq!(solve_fptas(&[], 10, 0.1), KnapsackSolution::default());
+        assert_eq!(solve_greedy(&[], 10), KnapsackSolution::default());
+    }
+
+    #[test]
+    fn exact_solves_textbook_instance() {
+        // Classic instance: optimum is items 1 and 2 (benefit 220).
+        let its = items(&[(60.0, 10), (100.0, 20), (120.0, 30)]);
+        let sol = solve_exact(&its, 50);
+        assert_eq!(sol.selected, vec![1, 2]);
+        assert!((sol.total_benefit - 220.0).abs() < 1e-6);
+        assert_eq!(sol.total_cost, 50);
+    }
+
+    #[test]
+    fn exact_respects_capacity() {
+        let its = items(&[(10.0, 5), (10.0, 5), (10.0, 5)]);
+        let sol = solve_exact(&its, 10);
+        assert_eq!(sol.selected.len(), 2);
+        assert!(sol.total_cost <= 10);
+    }
+
+    #[test]
+    fn zero_capacity_only_takes_free_items() {
+        let its = items(&[(10.0, 5), (3.0, 0), (1.0, 0)]);
+        let sol = solve_exact(&its, 0);
+        assert_eq!(sol.selected, vec![1, 2]);
+        assert_eq!(sol.total_cost, 0);
+    }
+
+    #[test]
+    fn fptas_is_within_epsilon_of_exact() {
+        let its = items(&[
+            (60.0, 10),
+            (100.0, 20),
+            (120.0, 30),
+            (45.0, 15),
+            (80.0, 25),
+            (5.0, 1),
+            (33.0, 7),
+        ]);
+        let capacity = 60;
+        let exact = solve_exact(&its, capacity);
+        for epsilon in [0.5, 0.25, 0.1, 0.01] {
+            let approx = solve_fptas(&its, capacity, epsilon);
+            assert!(approx.total_cost <= capacity);
+            assert!(
+                approx.total_benefit >= (1.0 - epsilon) * exact.total_benefit - 1e-9,
+                "epsilon={epsilon}: {} < {}",
+                approx.total_benefit,
+                exact.total_benefit
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_never_exceeds_capacity_and_is_reasonable() {
+        let its = items(&[(60.0, 10), (100.0, 20), (120.0, 30), (1.0, 50)]);
+        let sol = solve_greedy(&its, 50);
+        assert!(sol.total_cost <= 50);
+        assert!(sol.total_benefit >= 160.0, "greedy should take the two densest items");
+    }
+
+    #[test]
+    fn all_zero_benefit_selects_only_free_items() {
+        let its = items(&[(0.0, 5), (0.0, 0)]);
+        let sol = solve_exact(&its, 100);
+        assert_eq!(sol.selected, vec![1]);
+        assert_eq!(sol.total_benefit, 0.0);
+    }
+
+    #[test]
+    fn huge_capacity_takes_everything_with_positive_benefit() {
+        let its = items(&[(5.0, 10), (6.0, 20), (7.0, 30)]);
+        let sol = solve_exact(&its, u64::MAX / 4);
+        assert_eq!(sol.selected, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fptas_rejects_zero_epsilon() {
+        let _ = solve_fptas(&[KnapsackItem::new(1.0, 1)], 1, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! OntologyPR — the modified PageRank of Algorithm 6.
+//!
+//! The concept-centric algorithm ranks concepts by centrality. Plain PageRank
+//! is adapted in three ways (Section 4.2.1):
+//!
+//! 1. **Unions** — a union concept is only a logical membership: its incoming
+//!    and outgoing edges are re-attached to every member concept and the union
+//!    concept itself is removed before ranking (its score is reported as the
+//!    maximum of its members afterwards).
+//! 2. **Inheritance** — `isA` edges are removed while ranking so that a
+//!    parent's score reflects links from unrelated concepts; afterwards every
+//!    concept inherits its best ancestor's score if that is higher.
+//! 3. **Out-degree** — a reverse edge is added for every remaining edge,
+//!    making the graph effectively undirected, because for a domain ontology
+//!    in- and out-degree are equally indicative of a key concept.
+
+use pgso_ontology::{ConceptId, Ontology, RelationshipKind};
+
+/// Damping factor of the underlying PageRank iteration.
+const DAMPING: f64 = 0.85;
+/// Convergence tolerance (L1 change per iteration).
+const TOLERANCE: f64 = 1e-9;
+/// Hard cap on iterations.
+const MAX_ITERATIONS: usize = 200;
+
+/// Centrality scores per concept, as computed by [`ontology_pagerank`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralityScores {
+    scores: Vec<f64>,
+}
+
+impl CentralityScores {
+    /// Score of a concept.
+    pub fn get(&self, concept: ConceptId) -> f64 {
+        self.scores[concept.index()]
+    }
+
+    /// Concepts ordered by decreasing score.
+    pub fn ranking(&self) -> Vec<ConceptId> {
+        let mut ids: Vec<ConceptId> =
+            (0..self.scores.len() as u32).map(ConceptId::new).collect();
+        ids.sort_by(|&a, &b| {
+            self.scores[b.index()]
+                .partial_cmp(&self.scores[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ids
+    }
+
+    /// Sum of all scores (≈ 1.0 before the inheritance adjustment).
+    pub fn total(&self) -> f64 {
+        self.scores.iter().sum()
+    }
+}
+
+/// Runs OntologyPR (Algorithm 6) and returns the centrality score of every
+/// concept.
+pub fn ontology_pagerank(ontology: &Ontology) -> CentralityScores {
+    let n = ontology.concept_count();
+
+    // Step 1: build the working edge list with unions rewired and inheritance
+    // set aside.
+    let union_concepts: Vec<ConceptId> =
+        ontology.concept_ids().filter(|&c| ontology.is_union_concept(c)).collect();
+    let is_union = {
+        let mut flags = vec![false; n];
+        for &c in &union_concepts {
+            flags[c.index()] = true;
+        }
+        flags
+    };
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (_, rel) in ontology.relationships() {
+        match rel.kind {
+            RelationshipKind::Inheritance | RelationshipKind::Union => continue,
+            _ => {}
+        }
+        let sources: Vec<ConceptId> = if is_union[rel.src.index()] {
+            ontology.union_members(rel.src)
+        } else {
+            vec![rel.src]
+        };
+        let targets: Vec<ConceptId> = if is_union[rel.dst.index()] {
+            ontology.union_members(rel.dst)
+        } else {
+            vec![rel.dst]
+        };
+        for &s in &sources {
+            for &t in &targets {
+                if s != t {
+                    edges.push((s.index(), t.index()));
+                    // Step 3: reverse edge so out-degree counts as much as
+                    // in-degree.
+                    edges.push((t.index(), s.index()));
+                }
+            }
+        }
+    }
+
+    // Step 2: plain PageRank over the rewired, undirected-ised graph, with
+    // union concepts excluded from the random surfer's world.
+    let active: Vec<bool> = (0..n).map(|i| !is_union[i]).collect();
+    let active_count = active.iter().filter(|&&a| a).count().max(1);
+    let mut out_degree = vec![0usize; n];
+    for &(s, _) in &edges {
+        out_degree[s] += 1;
+    }
+
+    let mut rank = vec![0.0; n];
+    for (i, &a) in active.iter().enumerate() {
+        if a {
+            rank[i] = 1.0 / active_count as f64;
+        }
+    }
+
+    for _ in 0..MAX_ITERATIONS {
+        let mut next = vec![0.0; n];
+        let mut dangling_mass = 0.0;
+        for (i, &a) in active.iter().enumerate() {
+            if a && out_degree[i] == 0 {
+                dangling_mass += rank[i];
+            }
+        }
+        for &(s, t) in &edges {
+            if active[s] && active[t] {
+                next[t] += rank[s] / out_degree[s] as f64;
+            }
+        }
+        let base = (1.0 - DAMPING) / active_count as f64
+            + DAMPING * dangling_mass / active_count as f64;
+        let mut delta = 0.0;
+        for (i, &a) in active.iter().enumerate() {
+            if !a {
+                continue;
+            }
+            let value = base + DAMPING * next[i];
+            delta += (value - rank[i]).abs();
+            rank[i] = value;
+        }
+        if delta < TOLERANCE {
+            break;
+        }
+    }
+
+    // Step 4: re-attach inheritance — each concept adopts the highest score
+    // found among its ancestors (depth-first over parents).
+    let mut adjusted = rank.clone();
+    for c in ontology.concept_ids() {
+        let best_ancestor = highest_ancestor_score(ontology, c, &rank);
+        if best_ancestor > adjusted[c.index()] {
+            adjusted[c.index()] = best_ancestor;
+        }
+    }
+
+    // Union concepts report the maximum of their members, since their mass was
+    // distributed to the members before ranking.
+    for &u in &union_concepts {
+        let best = ontology
+            .union_members(u)
+            .iter()
+            .map(|m| adjusted[m.index()])
+            .fold(0.0_f64, f64::max);
+        adjusted[u.index()] = best;
+    }
+
+    CentralityScores { scores: adjusted }
+}
+
+/// Highest PageRank among the (transitive) parents of a concept.
+fn highest_ancestor_score(ontology: &Ontology, concept: ConceptId, rank: &[f64]) -> f64 {
+    let mut best: f64 = 0.0;
+    let mut stack = ontology.parents(concept);
+    let mut visited = vec![false; ontology.concept_count()];
+    while let Some(parent) = stack.pop() {
+        if visited[parent.index()] {
+            continue;
+        }
+        visited[parent.index()] = true;
+        best = best.max(rank[parent.index()]);
+        stack.extend(ontology.parents(parent));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_ontology::{catalog, DataType, OntologyBuilder};
+
+    #[test]
+    fn hub_concepts_rank_highest() {
+        let o = catalog::medical();
+        let scores = ontology_pagerank(&o);
+        let drug = o.concept_by_name("Drug").unwrap();
+        let ranking = scores.ranking();
+        let drug_rank = ranking.iter().position(|&c| c == drug).unwrap();
+        assert!(drug_rank < 5, "Drug should be among the top-5 central MED concepts");
+    }
+
+    #[test]
+    fn scores_are_positive_for_connected_concepts() {
+        let o = catalog::medical();
+        let scores = ontology_pagerank(&o);
+        for c in o.concept_ids() {
+            assert!(scores.get(c) >= 0.0);
+        }
+        assert!(scores.total() > 0.0);
+    }
+
+    #[test]
+    fn children_inherit_a_strong_parent_score() {
+        // Hub --rel--> Parent (makes Parent central); Child isA Parent should
+        // inherit Parent's score even though Child has no functional edges.
+        let mut b = OntologyBuilder::new("t");
+        let hub = b.add_concept("Hub");
+        b.add_property(hub, "x", DataType::Int);
+        let parent = b.add_concept("Parent");
+        let child = b.add_concept("Child");
+        let other = b.add_concept("Other");
+        b.add_relationship("r1", hub, parent, pgso_ontology::RelationshipKind::OneToMany);
+        b.add_relationship("r2", hub, other, pgso_ontology::RelationshipKind::OneToMany);
+        b.add_relationship("r3", other, parent, pgso_ontology::RelationshipKind::ManyToMany);
+        b.add_inheritance(parent, child);
+        let o = b.build().unwrap();
+        let scores = ontology_pagerank(&o);
+        let parent_score = scores.get(o.concept_by_name("Parent").unwrap());
+        let child_score = scores.get(o.concept_by_name("Child").unwrap());
+        assert!(
+            (child_score - parent_score).abs() < 1e-12,
+            "child ({child_score}) should inherit the parent score ({parent_score})"
+        );
+    }
+
+    #[test]
+    fn union_concept_reports_member_score() {
+        let o = catalog::med_mini();
+        let scores = ontology_pagerank(&o);
+        let risk = o.concept_by_name("Risk").unwrap();
+        let contra = o.concept_by_name("ContraIndication").unwrap();
+        let bbw = o.concept_by_name("BlackBoxWarning").unwrap();
+        let expected = scores.get(contra).max(scores.get(bbw));
+        assert!((scores.get(risk) - expected).abs() < 1e-12);
+        assert!(scores.get(risk) > 0.0, "union members receive the union's edge mass");
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let o = catalog::financial();
+        let a = ontology_pagerank(&o);
+        let b = ontology_pagerank(&o);
+        assert_eq!(a, b);
+        assert_eq!(a.ranking().len(), o.concept_count());
+    }
+
+    #[test]
+    fn isolated_ontology_distributes_uniformly() {
+        let mut b = OntologyBuilder::new("t");
+        let x = b.add_concept("X");
+        b.add_property(x, "p", DataType::Int);
+        let y = b.add_concept("Y");
+        b.add_property(y, "q", DataType::Int);
+        b.add_relationship("r", x, y, pgso_ontology::RelationshipKind::OneToOne);
+        let o = b.build().unwrap();
+        let scores = ontology_pagerank(&o);
+        assert!((scores.get(x) - scores.get(y)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! PGSG — the property graph schema generator.
+//!
+//! Section 5.1: *"PGSG chooses the property graph schema with a higher total
+//! benefit score from relation-centric (RC) and concept-centric (CC)
+//! algorithms."* This module wraps the two algorithms behind one entry point
+//! and also exposes the benefit-ratio helper used throughout Figures 8–10.
+
+use crate::concept_centric::optimize_concept_centric;
+use crate::config::OptimizerConfig;
+use crate::optimize::{optimize_nsc, Algorithm, OptimizationOutcome, OptimizerInput};
+use crate::relation_centric::optimize_relation_centric;
+
+/// Runs both space-constrained algorithms and returns the outcome with the
+/// higher total benefit (ties favour RC, which the paper reports as the
+/// stronger algorithm). The chosen outcome is re-labelled as
+/// [`Algorithm::Pgsg`]; the individual outcomes are also returned so callers
+/// can plot both curves.
+#[derive(Debug, Clone)]
+pub struct PgsgResult {
+    /// The chosen (better) outcome, labelled as PGSG.
+    pub chosen: OptimizationOutcome,
+    /// The concept-centric outcome.
+    pub concept_centric: OptimizationOutcome,
+    /// The relation-centric outcome.
+    pub relation_centric: OptimizationOutcome,
+}
+
+/// Runs PGSG: both CC and RC under the same configuration, picking the better.
+pub fn optimize_pgsg(input: OptimizerInput<'_>, config: &OptimizerConfig) -> PgsgResult {
+    let concept_centric = optimize_concept_centric(input, config);
+    let relation_centric = optimize_relation_centric(input, config);
+    let mut chosen = if relation_centric.total_benefit >= concept_centric.total_benefit {
+        relation_centric.clone()
+    } else {
+        concept_centric.clone()
+    };
+    chosen.algorithm = Algorithm::Pgsg;
+    PgsgResult { chosen, concept_centric, relation_centric }
+}
+
+/// Convenience wrapper computing the benefit ratios of CC and RC against the
+/// unconstrained NSC schema for a given space budget, as plotted in
+/// Figures 8–10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenefitRatios {
+    /// Benefit ratio of the concept-centric schema.
+    pub concept_centric: f64,
+    /// Benefit ratio of the relation-centric schema.
+    pub relation_centric: f64,
+}
+
+/// Computes CC and RC benefit ratios for one space budget expressed as a
+/// fraction of the NSC cost (`space_fraction` in `[0, 1]`).
+pub fn benefit_ratios_at_fraction(
+    input: OptimizerInput<'_>,
+    base_config: &OptimizerConfig,
+    space_fraction: f64,
+) -> BenefitRatios {
+    let nsc = optimize_nsc(input, base_config);
+    let budget = (nsc.total_cost as f64 * space_fraction.clamp(0.0, 1.0)).round() as u64;
+    let config = OptimizerConfig { space_limit: Some(budget), ..*base_config };
+    let result = optimize_pgsg(input, &config);
+    BenefitRatios {
+        concept_centric: result.concept_centric.benefit_ratio(&nsc),
+        relation_centric: result.relation_centric.benefit_ratio(&nsc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_ontology::{
+        catalog, AccessFrequencies, DataStatistics, StatisticsConfig, WorkloadDistribution,
+    };
+
+    fn fixture(
+        ontology: &pgso_ontology::Ontology,
+    ) -> (DataStatistics, AccessFrequencies) {
+        let stats = DataStatistics::synthesize(ontology, &StatisticsConfig::small(), 5);
+        let af =
+            AccessFrequencies::generate(ontology, WorkloadDistribution::default_zipf(), 10_000.0, 5);
+        (stats, af)
+    }
+
+    #[test]
+    fn pgsg_picks_the_better_algorithm() {
+        let o = catalog::medical();
+        let (stats, af) = fixture(&o);
+        let input = OptimizerInput::new(&o, &stats, &af);
+        let nsc = optimize_nsc(input, &OptimizerConfig::default());
+        let config = OptimizerConfig::with_space_limit(nsc.total_cost / 10);
+        let result = optimize_pgsg(input, &config);
+        assert_eq!(result.chosen.algorithm, Algorithm::Pgsg);
+        assert!(
+            result.chosen.total_benefit
+                >= result.concept_centric.total_benefit.max(result.relation_centric.total_benefit)
+                    - 1e-9
+        );
+    }
+
+    #[test]
+    fn benefit_ratios_increase_with_space() {
+        let o = catalog::medical();
+        let (stats, af) = fixture(&o);
+        let input = OptimizerInput::new(&o, &stats, &af);
+        let config = OptimizerConfig::default();
+        let low = benefit_ratios_at_fraction(input, &config, 0.05);
+        let high = benefit_ratios_at_fraction(input, &config, 1.0);
+        assert!(low.relation_centric <= high.relation_centric + 1e-9);
+        assert!(low.concept_centric <= high.concept_centric + 1e-9);
+        // At 100% both reach BR = 1 (Figures 8 and 9).
+        assert!((high.relation_centric - 1.0).abs() < 1e-6);
+        assert!((high.concept_centric - 1.0).abs() < 1e-6);
+        // Ratios are valid fractions.
+        for r in [low.concept_centric, low.relation_centric] {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Rule items: the unit of selection for the space-constrained algorithms.
+//!
+//! Section 3 of the paper defines five relationship rules (union,
+//! inheritance, 1:1, 1:M, M:N). For the space-constrained algorithms the
+//! relevant granularity is finer than "a relationship":
+//!
+//! * the M:N rule is "essentially equivalent to two 1:M relationships" and the
+//!   paper explicitly optimizes each direction independently;
+//! * the 1:M rule chooses *which destination properties* to propagate, and the
+//!   cost-benefit of Equation 5 is defined per property.
+//!
+//! [`RuleItem`] therefore models a union application, an inheritance
+//! application, a 1:1 merge, or the propagation of a single property across
+//! one direction of a 1:M / M:N relationship. [`enumerate_items`] lists every
+//! applicable item of an ontology; the unconstrained NSC algorithm applies
+//! all of them, while CC / RC select a subset.
+
+use crate::config::OptimizerConfig;
+use crate::jaccard::InheritanceSimilarities;
+use pgso_ontology::{Ontology, PropertyId, RelationshipId, RelationshipKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One selectable unit of schema optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleItem {
+    /// Apply the union rule to a `unionOf` relationship.
+    Union(RelationshipId),
+    /// Apply the inheritance rule to an `isA` relationship (only emitted when
+    /// the Jaccard similarity falls outside `[θ2, θ1]`, otherwise the rule
+    /// keeps the edge and is a no-op).
+    Inheritance(RelationshipId),
+    /// Merge the two endpoints of a 1:1 relationship.
+    OneToOne(RelationshipId),
+    /// Propagate one data property across one direction of a 1:M or M:N
+    /// relationship as a LIST property.
+    PropagateProperty {
+        /// The functional relationship.
+        rel: RelationshipId,
+        /// `false`: destination properties are replicated onto the source
+        /// (the 1:M direction); `true`: source properties onto the
+        /// destination (the extra direction M:N adds).
+        reverse: bool,
+        /// The property being replicated.
+        property: PropertyId,
+    },
+}
+
+impl RuleItem {
+    /// The relationship this item belongs to.
+    pub fn relationship(&self) -> RelationshipId {
+        match *self {
+            RuleItem::Union(r)
+            | RuleItem::Inheritance(r)
+            | RuleItem::OneToOne(r)
+            | RuleItem::PropagateProperty { rel: r, .. } => r,
+        }
+    }
+
+    /// Short rule name for reporting.
+    pub fn rule_name(&self) -> &'static str {
+        match self {
+            RuleItem::Union(_) => "union",
+            RuleItem::Inheritance(_) => "inheritance",
+            RuleItem::OneToOne(_) => "one-to-one",
+            RuleItem::PropagateProperty { .. } => "one-to-many",
+        }
+    }
+}
+
+impl fmt::Display for RuleItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleItem::PropagateProperty { rel, reverse, property } => {
+                write!(f, "one-to-many({rel}, reverse={reverse}, {property})")
+            }
+            other => write!(f, "{}({})", other.rule_name(), other.relationship()),
+        }
+    }
+}
+
+/// Enumerates every applicable rule item of an ontology.
+///
+/// Inheritance relationships whose Jaccard similarity lies inside
+/// `[θ2, θ1]` are skipped: the rule's third option keeps the `isA` edge, so
+/// there is nothing to select. 1:M items replicate destination properties to
+/// the source; M:N items additionally replicate source properties to the
+/// destination.
+pub fn enumerate_items(
+    ontology: &Ontology,
+    similarities: &InheritanceSimilarities,
+    config: &OptimizerConfig,
+) -> Vec<RuleItem> {
+    let mut items = Vec::new();
+    for (rid, rel) in ontology.relationships() {
+        match rel.kind {
+            RelationshipKind::Union => items.push(RuleItem::Union(rid)),
+            RelationshipKind::Inheritance => {
+                let js = similarities.get(rid);
+                if js > config.theta1 || js < config.theta2 {
+                    items.push(RuleItem::Inheritance(rid));
+                }
+            }
+            RelationshipKind::OneToOne => items.push(RuleItem::OneToOne(rid)),
+            RelationshipKind::OneToMany => {
+                for &p in ontology.concept_properties(rel.dst) {
+                    items.push(RuleItem::PropagateProperty { rel: rid, reverse: false, property: p });
+                }
+            }
+            RelationshipKind::ManyToMany => {
+                for &p in ontology.concept_properties(rel.dst) {
+                    items.push(RuleItem::PropagateProperty { rel: rid, reverse: false, property: p });
+                }
+                for &p in ontology.concept_properties(rel.src) {
+                    items.push(RuleItem::PropagateProperty { rel: rid, reverse: true, property: p });
+                }
+            }
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_ontology::catalog;
+
+    #[test]
+    fn mini_ontology_items_cover_all_rules() {
+        let o = catalog::med_mini();
+        let sims = InheritanceSimilarities::compute(&o);
+        let cfg = OptimizerConfig::default();
+        let items = enumerate_items(&o, &sims, &cfg);
+
+        let unions = items.iter().filter(|i| matches!(i, RuleItem::Union(_))).count();
+        let inh = items.iter().filter(|i| matches!(i, RuleItem::Inheritance(_))).count();
+        let one = items.iter().filter(|i| matches!(i, RuleItem::OneToOne(_))).count();
+        let prop = items
+            .iter()
+            .filter(|i| matches!(i, RuleItem::PropagateProperty { .. }))
+            .count();
+        assert_eq!(unions, 2);
+        // Both isA relationships have JS = 0 (< θ2), so both are selectable.
+        assert_eq!(inh, 2);
+        assert_eq!(one, 1);
+        // treat: Drug->Indication (1 dst prop), has: Drug->DrugInteraction (1 dst prop),
+        // cause: Drug->Risk M:N (0 dst props, 2 src props).
+        assert_eq!(prop, 4);
+    }
+
+    #[test]
+    fn mid_range_inheritance_is_not_selectable() {
+        let o = catalog::medical();
+        let sims = InheritanceSimilarities::compute(&o);
+        // With extreme thresholds nothing is outside [θ2, θ1].
+        let cfg = OptimizerConfig::default().with_thresholds(1.1, -0.1);
+        let items = enumerate_items(&o, &sims, &cfg);
+        assert!(items.iter().all(|i| !matches!(i, RuleItem::Inheritance(_))));
+    }
+
+    #[test]
+    fn many_to_many_produces_items_in_both_directions() {
+        let o = catalog::med_mini();
+        let sims = InheritanceSimilarities::compute(&o);
+        let items = enumerate_items(&o, &sims, &OptimizerConfig::default());
+        let (cause, _) = o.relationships().find(|(_, r)| r.name == "cause").unwrap();
+        let cause_items: Vec<_> = items
+            .iter()
+            .filter(|i| i.relationship() == cause)
+            .collect();
+        // Risk has no properties, Drug has two -> 2 reverse items only.
+        assert_eq!(cause_items.len(), 2);
+        assert!(cause_items
+            .iter()
+            .all(|i| matches!(i, RuleItem::PropagateProperty { reverse: true, .. })));
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let o = catalog::med_mini();
+        let sims = InheritanceSimilarities::compute(&o);
+        let items = enumerate_items(&o, &sims, &OptimizerConfig::default());
+        for item in items {
+            assert!(!item.to_string().is_empty());
+            assert!(!item.rule_name().is_empty());
+            let _ = item.relationship();
+        }
+    }
+}

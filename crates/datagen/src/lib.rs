@@ -1,0 +1,24 @@
+//! # pgso-datagen
+//!
+//! Synthetic instance-data generation and schema-conforming loading for the
+//! `pgso` workspace. The paper's MED (12 GB) and FIN (53 GB) datasets are
+//! proprietary; this crate substitutes them with deterministic synthetic
+//! instance graphs whose per-concept and per-relationship cardinalities
+//! follow the ontology's [`pgso_ontology::DataStatistics`], so the relative
+//! edge-traversal counts the evaluation depends on are preserved at a
+//! configurable scale.
+//!
+//! * [`InstanceKg`] — schema-independent entities and relationship instances;
+//! * [`load_into`] — materialises the instance graph into any
+//!   [`pgso_graphstore::GraphBackend`] under a given schema (direct or
+//!   optimized), following the schema's merges, drops and replicated
+//!   properties.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod instance;
+pub mod load;
+
+pub use instance::{property_value_for, Entity, InstanceKg, RelationshipInstance};
+pub use load::{load_into, LoadReport};

@@ -1,0 +1,215 @@
+//! The storage backend abstraction and access accounting.
+//!
+//! The paper evaluates its schemas on two very different engines (Neo4j, a
+//! disk-based store, and JanusGraph) to show that the optimization helps
+//! *irrespective of the backend*. This crate mirrors that setup with two
+//! implementations of [`GraphBackend`]: [`crate::MemoryGraph`] and the paged,
+//! file-backed [`crate::DiskGraph`]. The query executor in `pgso-query` is
+//! generic over this trait.
+
+use crate::value::{PropertyMap, PropertyValue};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a vertex within one backend instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u64);
+
+/// Identifier of an edge within one backend instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u64);
+
+/// A materialised vertex: label plus properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexData {
+    /// Vertex id.
+    pub id: VertexId,
+    /// Node label (vertex type).
+    pub label: String,
+    /// Property map.
+    pub properties: PropertyMap,
+}
+
+/// A materialised edge: label plus endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Edge id.
+    pub id: EdgeId,
+    /// Edge label (edge type).
+    pub label: String,
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+/// Counters describing how much work a backend performed. The evaluation uses
+/// these to relate latency differences to edge traversals and page I/O.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Vertex record fetches.
+    pub vertex_reads: u64,
+    /// Edge traversals (neighbour expansions).
+    pub edge_traversals: u64,
+    /// Pages read from disk (disk backend only).
+    pub page_reads: u64,
+    /// Pages served from the buffer pool (disk backend only).
+    pub page_hits: u64,
+}
+
+impl AccessStats {
+    /// Buffer-pool hit ratio; 1.0 when no page was touched.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.page_reads + self.page_hits;
+        if total == 0 {
+            1.0
+        } else {
+            self.page_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe counter bundle shared by the backends.
+#[derive(Debug, Default)]
+pub struct StatsCounters {
+    vertex_reads: AtomicU64,
+    edge_traversals: AtomicU64,
+    page_reads: AtomicU64,
+    page_hits: AtomicU64,
+}
+
+impl StatsCounters {
+    /// Records a vertex fetch.
+    pub fn count_vertex_read(&self) {
+        self.vertex_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` edge traversals.
+    pub fn count_edge_traversals(&self, n: u64) {
+        self.edge_traversals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a physical page read.
+    pub fn count_page_read(&self) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool hit.
+    pub fn count_page_hit(&self) {
+        self.page_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> AccessStats {
+        AccessStats {
+            vertex_reads: self.vertex_reads.load(Ordering::Relaxed),
+            edge_traversals: self.edge_traversals.load(Ordering::Relaxed),
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_hits: self.page_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.vertex_reads.store(0, Ordering::Relaxed);
+        self.edge_traversals.store(0, Ordering::Relaxed);
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A property graph storage engine.
+///
+/// Backends are write-once/read-many in this workspace: the loader builds the
+/// graph, then the query executor only reads. Mutation therefore takes `&mut
+/// self` while all read paths take `&self` and update the shared statistics
+/// counters internally.
+pub trait GraphBackend {
+    /// Inserts a vertex and returns its id.
+    fn add_vertex(&mut self, label: &str, properties: PropertyMap) -> VertexId;
+
+    /// Inserts an edge and returns its id.
+    fn add_edge(&mut self, label: &str, src: VertexId, dst: VertexId) -> EdgeId;
+
+    /// Fetches a vertex (counted as a vertex read).
+    fn vertex(&self, id: VertexId) -> Option<VertexData>;
+
+    /// Label of a vertex without materialising its properties (counted as a
+    /// vertex read). Backends override this when they can answer it cheaper
+    /// than a full [`GraphBackend::vertex`] fetch.
+    fn label_of(&self, id: VertexId) -> Option<String> {
+        self.vertex(id).map(|v| v.label)
+    }
+
+    /// A single property of a vertex (counted as a vertex read). Backends
+    /// override this to avoid cloning the whole property map.
+    fn property_of(&self, id: VertexId, name: &str) -> Option<PropertyValue> {
+        self.vertex(id).and_then(|v| v.properties.get(name).cloned())
+    }
+
+    /// Ids of all vertices with a label.
+    fn vertices_with_label(&self, label: &str) -> Vec<VertexId>;
+
+    /// All vertex labels present in the store.
+    fn labels(&self) -> Vec<String>;
+
+    /// Out-neighbours of a vertex following edges with the given label
+    /// (counted as edge traversals).
+    fn out_neighbours(&self, vertex: VertexId, edge_label: &str) -> Vec<VertexId>;
+
+    /// In-neighbours of a vertex following edges with the given label
+    /// (counted as edge traversals).
+    fn in_neighbours(&self, vertex: VertexId, edge_label: &str) -> Vec<VertexId>;
+
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+
+    /// Approximate bytes of property payload stored.
+    fn payload_bytes(&self) -> u64;
+
+    /// Snapshot of the access counters.
+    fn stats(&self) -> AccessStats;
+
+    /// Resets the access counters.
+    fn reset_stats(&self);
+
+    /// Human-readable backend name ("memory" / "disk").
+    fn backend_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let counters = StatsCounters::default();
+        counters.count_vertex_read();
+        counters.count_vertex_read();
+        counters.count_edge_traversals(3);
+        counters.count_page_read();
+        counters.count_page_hit();
+        let snap = counters.snapshot();
+        assert_eq!(snap.vertex_reads, 2);
+        assert_eq!(snap.edge_traversals, 3);
+        assert_eq!(snap.page_reads, 1);
+        assert_eq!(snap.page_hits, 1);
+        assert!((snap.hit_ratio() - 0.5).abs() < 1e-12);
+        counters.reset();
+        assert_eq!(counters.snapshot(), AccessStats::default());
+    }
+
+    #[test]
+    fn hit_ratio_defaults_to_one() {
+        assert_eq!(AccessStats::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(5) > EdgeId(3));
+    }
+}

@@ -1,0 +1,165 @@
+//! Binary encoding of vertex records for the disk backend.
+//!
+//! Records are self-describing and length-prefixed:
+//!
+//! ```text
+//! record   := label props
+//! label    := u16 len, bytes
+//! props    := u16 count, { name value }*
+//! name     := u16 len, bytes
+//! value    := tag(u8) payload
+//!   tag 0  := bool (u8)
+//!   tag 1  := i64 (le)
+//!   tag 2  := f64 (le)
+//!   tag 3  := string (u32 len, bytes)
+//!   tag 4  := list (u32 count, value*)
+//! ```
+//!
+//! The format is deliberately simple — no varints, no compression — because
+//! the disk backend's purpose is to model *where* I/O happens, not to compete
+//! on storage density.
+
+use crate::value::{PropertyMap, PropertyValue};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encodes a vertex record (label + properties) into bytes.
+pub fn encode_vertex(label: &str, properties: &PropertyMap) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    put_str16(&mut buf, label);
+    buf.put_u16(properties.len() as u16);
+    for (name, value) in properties {
+        put_str16(&mut buf, name);
+        encode_value(&mut buf, value);
+    }
+    buf.freeze()
+}
+
+/// Decodes a vertex record produced by [`encode_vertex`].
+///
+/// # Panics
+/// Panics on malformed input; records are only ever produced by this module.
+pub fn decode_vertex(mut data: &[u8]) -> (String, PropertyMap) {
+    let label = get_str16(&mut data);
+    let count = data.get_u16();
+    let mut properties = PropertyMap::new();
+    for _ in 0..count {
+        let name = get_str16(&mut data);
+        let value = decode_value(&mut data);
+        properties.insert(name, value);
+    }
+    (label, properties)
+}
+
+fn encode_value(buf: &mut BytesMut, value: &PropertyValue) {
+    match value {
+        PropertyValue::Bool(v) => {
+            buf.put_u8(0);
+            buf.put_u8(*v as u8);
+        }
+        PropertyValue::Int(v) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*v);
+        }
+        PropertyValue::Float(v) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*v);
+        }
+        PropertyValue::Str(s) => {
+            buf.put_u8(3);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        PropertyValue::List(items) => {
+            buf.put_u8(4);
+            buf.put_u32_le(items.len() as u32);
+            for item in items {
+                encode_value(buf, item);
+            }
+        }
+    }
+}
+
+fn decode_value(data: &mut &[u8]) -> PropertyValue {
+    match data.get_u8() {
+        0 => PropertyValue::Bool(data.get_u8() != 0),
+        1 => PropertyValue::Int(data.get_i64_le()),
+        2 => PropertyValue::Float(data.get_f64_le()),
+        3 => {
+            let len = data.get_u32_le() as usize;
+            let s = String::from_utf8(data[..len].to_vec()).expect("valid utf8 in record");
+            data.advance(len);
+            PropertyValue::Str(s)
+        }
+        4 => {
+            let count = data.get_u32_le() as usize;
+            let items = (0..count).map(|_| decode_value(data)).collect();
+            PropertyValue::List(items)
+        }
+        tag => panic!("unknown value tag {tag}"),
+    }
+}
+
+fn put_str16(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str16(data: &mut &[u8]) -> String {
+    let len = data.get_u16() as usize;
+    let s = String::from_utf8(data[..len].to_vec()).expect("valid utf8 in record");
+    data.advance(len);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::props;
+
+    #[test]
+    fn roundtrip_scalar_properties() {
+        let p = props([
+            ("name", "Aspirin".into()),
+            ("dose", PropertyValue::Float(1.5)),
+            ("count", PropertyValue::Int(42)),
+            ("otc", PropertyValue::Bool(true)),
+        ]);
+        let encoded = encode_vertex("Drug", &p);
+        let (label, decoded) = decode_vertex(&encoded);
+        assert_eq!(label, "Drug");
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn roundtrip_list_and_nested_values() {
+        let p = props([
+            ("Indication.desc", PropertyValue::str_list(["Fever", "Headache"])),
+            (
+                "nested",
+                PropertyValue::List(vec![
+                    PropertyValue::Int(1),
+                    PropertyValue::List(vec![PropertyValue::Bool(false)]),
+                ]),
+            ),
+        ]);
+        let encoded = encode_vertex("Drug", &p);
+        let (label, decoded) = decode_vertex(&encoded);
+        assert_eq!(label, "Drug");
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn roundtrip_empty_properties_and_unicode() {
+        let encoded = encode_vertex("Zwiebel–Röstung", &PropertyMap::new());
+        let (label, decoded) = decode_vertex(&encoded);
+        assert_eq!(label, "Zwiebel–Röstung");
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn encoding_is_compact_for_small_records() {
+        let p = props([("x", PropertyValue::Int(1))]);
+        let encoded = encode_vertex("A", &p);
+        assert!(encoded.len() < 32, "record unexpectedly large: {}", encoded.len());
+    }
+}

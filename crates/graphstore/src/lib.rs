@@ -1,0 +1,41 @@
+//! # pgso-graphstore
+//!
+//! Property graph storage substrate for the `pgso` workspace.
+//!
+//! The paper evaluates its optimized schemas on Neo4j (disk-based) and
+//! JanusGraph; this crate provides two architecturally distinct stand-ins
+//! behind one [`GraphBackend`] trait:
+//!
+//! * [`MemoryGraph`] — adjacency lists and property maps in memory;
+//! * [`DiskGraph`] — vertex records in fixed-size pages of a store file with
+//!   an LRU buffer pool, so traversals cost page I/O when the working set
+//!   exceeds the pool.
+//!
+//! Both backends keep [`AccessStats`] counters (vertex reads, edge
+//! traversals, page reads/hits) so experiments can attribute latency
+//! differences to the mechanisms the paper describes.
+//!
+//! ```
+//! use pgso_graphstore::{props, GraphBackend, MemoryGraph, PropertyValue};
+//!
+//! let mut graph = MemoryGraph::new();
+//! let drug = graph.add_vertex("Drug", props([("name", "Aspirin".into())]));
+//! let indication = graph.add_vertex("Indication", props([("desc", "Fever".into())]));
+//! graph.add_edge("treat", drug, indication);
+//! assert_eq!(graph.out_neighbours(drug, "treat"), vec![indication]);
+//! assert_eq!(graph.stats().edge_traversals, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod codec;
+pub mod disk;
+pub mod memory;
+pub mod value;
+
+pub use backend::{AccessStats, EdgeData, EdgeId, GraphBackend, StatsCounters, VertexData, VertexId};
+pub use disk::{DiskGraph, DiskGraphConfig, PAGE_SIZE};
+pub use memory::MemoryGraph;
+pub use value::{props, PropertyMap, PropertyValue};

@@ -1,0 +1,192 @@
+//! Property values stored on vertices and edges.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single property value. The `List` variant backs the replicated LIST
+/// properties produced by the 1:M / M:N rules (e.g. `Indication.desc =
+/// [Fever, Headache]` in Figure 1(c) of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropertyValue {
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Homogeneous list of values.
+    List(Vec<PropertyValue>),
+}
+
+impl PropertyValue {
+    /// Convenience constructor for string values.
+    pub fn str(value: impl Into<String>) -> Self {
+        PropertyValue::Str(value.into())
+    }
+
+    /// Convenience constructor for a list of strings.
+    pub fn str_list<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PropertyValue::List(values.into_iter().map(|s| PropertyValue::Str(s.into())).collect())
+    }
+
+    /// Returns the string payload, if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropertyValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropertyValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload for `Float` or `Int` values.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            PropertyValue::Float(v) => Some(*v),
+            PropertyValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List` value.
+    pub fn as_list(&self) -> Option<&[PropertyValue]> {
+        match self {
+            PropertyValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of scalar elements (1 for scalars, `len` for lists).
+    pub fn element_count(&self) -> usize {
+        match self {
+            PropertyValue::List(v) => v.len(),
+            _ => 1,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used by storage accounting.
+    pub fn approximate_size(&self) -> usize {
+        match self {
+            PropertyValue::Bool(_) => 1,
+            PropertyValue::Int(_) | PropertyValue::Float(_) => 8,
+            PropertyValue::Str(s) => s.len() + 4,
+            PropertyValue::List(items) => {
+                4 + items.iter().map(PropertyValue::approximate_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for PropertyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyValue::Bool(v) => write!(f, "{v}"),
+            PropertyValue::Int(v) => write!(f, "{v}"),
+            PropertyValue::Float(v) => write!(f, "{v}"),
+            PropertyValue::Str(v) => write!(f, "{v}"),
+            PropertyValue::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for PropertyValue {
+    fn from(value: i64) -> Self {
+        PropertyValue::Int(value)
+    }
+}
+
+impl From<f64> for PropertyValue {
+    fn from(value: f64) -> Self {
+        PropertyValue::Float(value)
+    }
+}
+
+impl From<&str> for PropertyValue {
+    fn from(value: &str) -> Self {
+        PropertyValue::Str(value.to_string())
+    }
+}
+
+impl From<String> for PropertyValue {
+    fn from(value: String) -> Self {
+        PropertyValue::Str(value)
+    }
+}
+
+impl From<bool> for PropertyValue {
+    fn from(value: bool) -> Self {
+        PropertyValue::Bool(value)
+    }
+}
+
+/// Ordered map of property name to value attached to a vertex or edge.
+pub type PropertyMap = BTreeMap<String, PropertyValue>;
+
+/// Builds a [`PropertyMap`] from `(name, value)` pairs.
+pub fn props<const N: usize>(pairs: [(&str, PropertyValue); N]) -> PropertyMap {
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(PropertyValue::from(3i64).as_int(), Some(3));
+        assert_eq!(PropertyValue::from(2.5).as_float(), Some(2.5));
+        assert_eq!(PropertyValue::from(7i64).as_float(), Some(7.0));
+        assert_eq!(PropertyValue::from("x").as_str(), Some("x"));
+        assert_eq!(PropertyValue::from(true), PropertyValue::Bool(true));
+        assert_eq!(PropertyValue::str("abc").as_str(), Some("abc"));
+        assert!(PropertyValue::from(1i64).as_str().is_none());
+    }
+
+    #[test]
+    fn list_helpers() {
+        let list = PropertyValue::str_list(["Fever", "Headache"]);
+        assert_eq!(list.element_count(), 2);
+        assert_eq!(list.as_list().unwrap()[0].as_str(), Some("Fever"));
+        assert_eq!(list.to_string(), "[Fever, Headache]");
+        assert_eq!(PropertyValue::Int(2).element_count(), 1);
+    }
+
+    #[test]
+    fn sizes_grow_with_content() {
+        let small = PropertyValue::str("a");
+        let big = PropertyValue::str("a longer description of an indication");
+        assert!(big.approximate_size() > small.approximate_size());
+        let list = PropertyValue::str_list(["a", "b", "c"]);
+        assert!(list.approximate_size() > small.approximate_size());
+        assert_eq!(PropertyValue::Bool(true).approximate_size(), 1);
+    }
+
+    #[test]
+    fn props_builder() {
+        let map = props([("name", "Aspirin".into()), ("count", PropertyValue::Int(2))]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["name"].as_str(), Some("Aspirin"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Fluent builder for [`Ontology`] instances.
+//!
+//! The builder collects concepts, data properties and relationships and then
+//! validates the whole ontology in [`OntologyBuilder::build`]: duplicate
+//! names, unknown references, self-relationships and cycles in the `isA` /
+//! `unionOf` graphs are rejected (see [`crate::validate`]).
+
+use crate::error::{OntologyError, Result};
+use crate::ids::{ConceptId, PropertyId, RelationshipId};
+use crate::model::{Concept, DataProperty, DataType, Ontology, Relationship, RelationshipKind};
+use crate::validate;
+use std::collections::HashMap;
+
+/// Incremental builder for an [`Ontology`].
+///
+/// ```
+/// use pgso_ontology::{OntologyBuilder, DataType, RelationshipKind};
+///
+/// let mut b = OntologyBuilder::new("demo");
+/// let drug = b.add_concept("Drug");
+/// b.add_property(drug, "name", DataType::Str);
+/// let indication = b.add_concept("Indication");
+/// b.add_property(indication, "desc", DataType::Text);
+/// b.add_relationship("treat", drug, indication, RelationshipKind::OneToMany);
+/// let ontology = b.build().unwrap();
+/// assert_eq!(ontology.concept_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OntologyBuilder {
+    name: String,
+    concepts: Vec<Concept>,
+    properties: Vec<DataProperty>,
+    relationships: Vec<Relationship>,
+    concept_by_name: HashMap<String, ConceptId>,
+    duplicate_concept: Option<String>,
+    duplicate_property: Option<(String, String)>,
+}
+
+impl OntologyBuilder {
+    /// Creates an empty builder for an ontology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            concepts: Vec::new(),
+            properties: Vec::new(),
+            relationships: Vec::new(),
+            concept_by_name: HashMap::new(),
+            duplicate_concept: None,
+            duplicate_property: None,
+        }
+    }
+
+    /// Adds a concept and returns its id. Duplicate names are reported at
+    /// [`build`](Self::build) time.
+    pub fn add_concept(&mut self, name: impl Into<String>) -> ConceptId {
+        let name = name.into();
+        let id = ConceptId::new(self.concepts.len() as u32);
+        if self.concept_by_name.contains_key(&name) && self.duplicate_concept.is_none() {
+            self.duplicate_concept = Some(name.clone());
+        }
+        self.concept_by_name.insert(name.clone(), id);
+        self.concepts.push(Concept { name, properties: Vec::new() });
+        id
+    }
+
+    /// Adds a data property to a concept and returns its id.
+    pub fn add_property(
+        &mut self,
+        owner: ConceptId,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> PropertyId {
+        let name = name.into();
+        let id = PropertyId::new(self.properties.len() as u32);
+        let concept = &mut self.concepts[owner.index()];
+        let duplicate = concept
+            .properties
+            .iter()
+            .any(|&p| self.properties[p.index()].name == name);
+        if duplicate && self.duplicate_property.is_none() {
+            self.duplicate_property = Some((concept.name.clone(), name.clone()));
+        }
+        concept.properties.push(id);
+        self.properties.push(DataProperty { name, data_type, owner });
+        id
+    }
+
+    /// Adds several properties of the same type to a concept.
+    pub fn add_properties(
+        &mut self,
+        owner: ConceptId,
+        names: &[&str],
+        data_type: DataType,
+    ) -> Vec<PropertyId> {
+        names.iter().map(|n| self.add_property(owner, *n, data_type)).collect()
+    }
+
+    /// Adds a relationship and returns its id.
+    ///
+    /// For [`RelationshipKind::Inheritance`] the source must be the parent
+    /// concept; for [`RelationshipKind::Union`] the source must be the union
+    /// concept.
+    pub fn add_relationship(
+        &mut self,
+        name: impl Into<String>,
+        src: ConceptId,
+        dst: ConceptId,
+        kind: RelationshipKind,
+    ) -> RelationshipId {
+        let id = RelationshipId::new(self.relationships.len() as u32);
+        self.relationships.push(Relationship { name: name.into(), src, dst, kind });
+        id
+    }
+
+    /// Convenience: adds an `isA` edge from `parent` to `child`.
+    pub fn add_inheritance(&mut self, parent: ConceptId, child: ConceptId) -> RelationshipId {
+        self.add_relationship("isA", parent, child, RelationshipKind::Inheritance)
+    }
+
+    /// Convenience: adds a `unionOf` edge from `union` to `member`.
+    pub fn add_union_member(&mut self, union: ConceptId, member: ConceptId) -> RelationshipId {
+        self.add_relationship("unionOf", union, member, RelationshipKind::Union)
+    }
+
+    /// Returns the concept id for a name added earlier, if any.
+    pub fn concept_id(&self, name: &str) -> Option<ConceptId> {
+        self.concept_by_name.get(name).copied()
+    }
+
+    /// Number of concepts added so far.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of properties added so far.
+    pub fn property_count(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Number of relationships added so far.
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+
+    /// Validates the collected definitions and produces an immutable
+    /// [`Ontology`].
+    pub fn build(self) -> Result<Ontology> {
+        if let Some(name) = self.duplicate_concept {
+            return Err(OntologyError::DuplicateConcept(name));
+        }
+        if let Some((concept, property)) = self.duplicate_property {
+            return Err(OntologyError::DuplicateProperty { concept, property });
+        }
+        if self.concepts.is_empty() {
+            return Err(OntologyError::EmptyOntology);
+        }
+
+        let n = self.concepts.len();
+        let mut outgoing = vec![Vec::new(); n];
+        let mut incoming = vec![Vec::new(); n];
+        for (i, rel) in self.relationships.iter().enumerate() {
+            let id = RelationshipId::new(i as u32);
+            if rel.src.index() >= n {
+                return Err(OntologyError::UnknownConcept(format!("{}", rel.src)));
+            }
+            if rel.dst.index() >= n {
+                return Err(OntologyError::UnknownConcept(format!("{}", rel.dst)));
+            }
+            if rel.src == rel.dst {
+                return Err(OntologyError::SelfRelationship {
+                    relationship: rel.name.clone(),
+                    concept: self.concepts[rel.src.index()].name.clone(),
+                });
+            }
+            outgoing[rel.src.index()].push(id);
+            incoming[rel.dst.index()].push(id);
+        }
+
+        let ontology = Ontology {
+            name: self.name,
+            concepts: self.concepts,
+            properties: self.properties,
+            relationships: self.relationships,
+            outgoing,
+            incoming,
+            concept_by_name: self.concept_by_name,
+        };
+        validate::validate(&ontology)?;
+        Ok(ontology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_ontology() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        let c = b.add_concept("B");
+        b.add_property(a, "x", DataType::Int);
+        b.add_properties(c, &["y", "z"], DataType::Str);
+        b.add_relationship("rel", a, c, RelationshipKind::ManyToMany);
+        let o = b.build().unwrap();
+        assert_eq!(o.concept_count(), 2);
+        assert_eq!(o.property_count(), 3);
+        assert_eq!(o.relationship_count(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_concepts() {
+        let mut b = OntologyBuilder::new("demo");
+        b.add_concept("A");
+        b.add_concept("A");
+        assert_eq!(b.build().unwrap_err(), OntologyError::DuplicateConcept("A".into()));
+    }
+
+    #[test]
+    fn rejects_duplicate_properties_on_same_concept() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        b.add_property(a, "x", DataType::Int);
+        b.add_property(a, "x", DataType::Str);
+        assert!(matches!(b.build(), Err(OntologyError::DuplicateProperty { .. })));
+    }
+
+    #[test]
+    fn allows_same_property_name_on_different_concepts() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        let c = b.add_concept("B");
+        b.add_property(a, "name", DataType::Str);
+        b.add_property(c, "name", DataType::Str);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_self_relationships() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        b.add_concept("B");
+        b.add_relationship("self", a, a, RelationshipKind::OneToMany);
+        assert!(matches!(b.build(), Err(OntologyError::SelfRelationship { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_ontology() {
+        let b = OntologyBuilder::new("demo");
+        assert_eq!(b.build().unwrap_err(), OntologyError::EmptyOntology);
+    }
+
+    #[test]
+    fn rejects_inheritance_cycles() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        let c = b.add_concept("B");
+        b.add_inheritance(a, c);
+        b.add_inheritance(c, a);
+        assert!(matches!(b.build(), Err(OntologyError::InheritanceCycle(_))));
+    }
+
+    #[test]
+    fn concept_id_lookup_during_building() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        assert_eq!(b.concept_id("A"), Some(a));
+        assert_eq!(b.concept_id("missing"), None);
+        assert_eq!(b.concept_count(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! The full **MED** evaluation ontology.
+//!
+//! Section 5.1 of the paper reports: *"The corresponding medical ontology
+//! consists of 43 concepts, 78 properties, and 58 relationships (11
+//! inheritance, 5 one-to-one, 30 one-to-many, and 12 many-to-many
+//! relationships)."* The original UMLS-derived ontology is proprietary, so
+//! this module reconstructs a clinically plausible ontology with exactly
+//! those counts (asserted by tests in `catalog::mod`).
+
+use crate::builder::OntologyBuilder;
+use crate::model::{DataType, Ontology, RelationshipKind};
+
+use DataType::{Date, Double, Int, Str, Text};
+
+/// Concept table: `(name, [(property, type)])`. 43 concepts, 78 properties.
+const CONCEPTS: &[(&str, &[(&str, DataType)])] = &[
+    ("Drug", &[("name", Str), ("brand", Str), ("approvalDate", Date)]),
+    ("Indication", &[("desc", Text)]),
+    ("Condition", &[("name", Str), ("icdCode", Str)]),
+    ("DrugInteraction", &[("summary", Text), ("severity", Str)]),
+    ("DrugFoodInteraction", &[("risk", Str)]),
+    ("DrugLabInteraction", &[("mechanism", Str)]),
+    ("ContraIndication", &[("desc", Text)]),
+    ("BlackBoxWarning", &[("note", Text), ("route", Str)]),
+    ("DrugRoute", &[("drugRouteId", Str), ("routeName", Str)]),
+    ("Dosage", &[("amount", Double), ("unit", Str), ("frequency", Str)]),
+    ("SideEffect", &[("name", Str), ("severity", Str)]),
+    ("AdverseEvent", &[("desc", Text), ("reportDate", Date)]),
+    ("Allergy", &[("allergen", Str), ("reaction", Str)]),
+    ("Patient", &[("mrn", Str), ("age", Int), ("gender", Str)]),
+    ("Prescription", &[("rxId", Str), ("date", Date), ("quantity", Int)]),
+    ("Physician", &[("npi", Str), ("name", Str), ("specialty", Str)]),
+    ("Pharmacy", &[("name", Str), ("address", Text)]),
+    ("Manufacturer", &[("name", Str), ("country", Str)]),
+    ("ClinicalTrial", &[("trialId", Str), ("phase", Str), ("status", Str)]),
+    ("Study", &[("title", Text), ("year", Int)]),
+    ("Publication", &[("doi", Str), ("title", Text)]),
+    ("Evidence", &[("level", Str), ("summary", Text)]),
+    ("Guideline", &[("name", Str), ("version", Str)]),
+    ("Procedure", &[("cptCode", Str), ("name", Str)]),
+    ("LabTest", &[("loincCode", Str), ("name", Str)]),
+    ("LabResult", &[("value", Double), ("unit", Str)]),
+    ("Symptom", &[("name", Str)]),
+    ("Disease", &[("name", Str), ("category", Str)]),
+    ("Gene", &[("symbol", Str)]),
+    ("Protein", &[("uniprotId", Str)]),
+    ("Pathway", &[("name", Str)]),
+    ("Biomarker", &[("name", Str), ("type", Str)]),
+    ("Therapy", &[("name", Str), ("line", Int)]),
+    ("TreatmentPlan", &[("planId", Str), ("startDate", Date)]),
+    ("Encounter", &[("encounterId", Str), ("date", Date)]),
+    ("Diagnosis", &[("code", Str), ("date", Date)]),
+    ("Immunization", &[("vaccine", Str), ("date", Date)]),
+    ("VitalSign", &[("type", Str), ("value", Double)]),
+    ("MedicalDevice", &[("name", Str), ("model", Str)]),
+    ("Ingredient", &[("name", Str)]),
+    ("ActiveIngredient", &[("strength", Str)]),
+    ("InactiveIngredient", &[]),
+    ("DrugClass", &[]),
+];
+
+/// Inheritance relationships `(parent, child)` — 11 edges.
+const INHERITANCE: &[(&str, &str)] = &[
+    ("DrugInteraction", "DrugFoodInteraction"),
+    ("DrugInteraction", "DrugLabInteraction"),
+    ("Ingredient", "ActiveIngredient"),
+    ("Ingredient", "InactiveIngredient"),
+    ("Study", "ClinicalTrial"),
+    ("Publication", "Guideline"),
+    ("SideEffect", "AdverseEvent"),
+    ("Condition", "Disease"),
+    ("Condition", "Symptom"),
+    ("Condition", "Allergy"),
+    ("Procedure", "Immunization"),
+];
+
+/// One-to-one relationships `(name, src, dst)` — 5 edges.
+const ONE_TO_ONE: &[(&str, &str, &str)] = &[
+    ("hasCondition", "Indication", "Condition"),
+    ("hasDosage", "Prescription", "Dosage"),
+    ("encodes", "Gene", "Protein"),
+    ("primaryDiagnosis", "Encounter", "Diagnosis"),
+    ("reportedIn", "ClinicalTrial", "Publication"),
+];
+
+/// One-to-many relationships `(name, src, dst)` — 30 edges.
+const ONE_TO_MANY: &[(&str, &str, &str)] = &[
+    ("treat", "Drug", "Indication"),
+    ("has", "Drug", "DrugInteraction"),
+    ("hasContraIndication", "Drug", "ContraIndication"),
+    ("hasWarning", "Drug", "BlackBoxWarning"),
+    ("hasDrugRoute", "Drug", "DrugRoute"),
+    ("hasSideEffect", "Drug", "SideEffect"),
+    ("hasIngredient", "Drug", "Ingredient"),
+    ("manufactures", "Manufacturer", "Drug"),
+    ("prescribes", "Physician", "Prescription"),
+    ("prescribedTo", "Patient", "Prescription"),
+    ("dispensedBy", "Pharmacy", "Prescription"),
+    ("hasEncounter", "Patient", "Encounter"),
+    ("hasDiagnosis", "Patient", "Diagnosis"),
+    ("hasImmunization", "Patient", "Immunization"),
+    ("hasVitalSign", "Encounter", "VitalSign"),
+    ("hasLabResult", "Encounter", "LabResult"),
+    ("measures", "LabTest", "LabResult"),
+    ("hasAllergy", "Patient", "Allergy"),
+    ("reportsEvent", "Drug", "AdverseEvent"),
+    ("includesProcedure", "TreatmentPlan", "Procedure"),
+    ("hasPlan", "Patient", "TreatmentPlan"),
+    ("recommendsTherapy", "Guideline", "Therapy"),
+    ("citesEvidence", "Guideline", "Evidence"),
+    ("producesEvidence", "Study", "Evidence"),
+    ("publishes", "Study", "Publication"),
+    ("enrollsPatient", "ClinicalTrial", "Patient"),
+    ("classifies", "DrugClass", "Drug"),
+    ("hasBiomarker", "Disease", "Biomarker"),
+    ("involvesGene", "Pathway", "Gene"),
+    ("usesDevice", "Procedure", "MedicalDevice"),
+];
+
+/// Many-to-many relationships `(name, src, dst)` — 12 edges.
+const MANY_TO_MANY: &[(&str, &str, &str)] = &[
+    ("cause", "Drug", "Condition"),
+    ("contraindicatedWith", "Drug", "Procedure"),
+    ("treatsDisease", "Therapy", "Disease"),
+    ("indicatedFor", "Therapy", "Condition"),
+    ("associatedWith", "Gene", "Disease"),
+    ("participatesIn", "Protein", "Pathway"),
+    ("targets", "Drug", "Protein"),
+    ("observedIn", "Symptom", "Disease"),
+    ("indicates", "Biomarker", "Condition"),
+    ("performs", "Physician", "Procedure"),
+    ("investigates", "ClinicalTrial", "Drug"),
+    ("documents", "Publication", "Drug"),
+];
+
+/// Builds the full MED ontology (43 concepts, 78 properties, 58
+/// relationships).
+pub fn medical() -> Ontology {
+    let mut b = OntologyBuilder::new("medical");
+    for &(name, props) in CONCEPTS {
+        let cid = b.add_concept(name);
+        for &(pname, ptype) in props {
+            b.add_property(cid, pname, ptype);
+        }
+    }
+    let id = |b: &OntologyBuilder, name: &str| {
+        b.concept_id(name).unwrap_or_else(|| panic!("MED catalog references unknown concept {name}"))
+    };
+    for &(parent, child) in INHERITANCE {
+        let (p, c) = (id(&b, parent), id(&b, child));
+        b.add_inheritance(p, c);
+    }
+    for &(name, src, dst) in ONE_TO_ONE {
+        let (s, d) = (id(&b, src), id(&b, dst));
+        b.add_relationship(name, s, d, RelationshipKind::OneToOne);
+    }
+    for &(name, src, dst) in ONE_TO_MANY {
+        let (s, d) = (id(&b, src), id(&b, dst));
+        b.add_relationship(name, s, d, RelationshipKind::OneToMany);
+    }
+    for &(name, src, dst) in MANY_TO_MANY {
+        let (s, d) = (id(&b, src), id(&b, dst));
+        b.add_relationship(name, s, d, RelationshipKind::ManyToMany);
+    }
+    b.build().expect("MED catalog ontology must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_sizes() {
+        assert_eq!(CONCEPTS.len(), 43);
+        let props: usize = CONCEPTS.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(props, 78);
+        assert_eq!(INHERITANCE.len(), 11);
+        assert_eq!(ONE_TO_ONE.len(), 5);
+        assert_eq!(ONE_TO_MANY.len(), 30);
+        assert_eq!(MANY_TO_MANY.len(), 12);
+    }
+
+    #[test]
+    fn drug_is_the_highest_degree_concept() {
+        let o = medical();
+        let drug = o.concept_by_name("Drug").unwrap();
+        let drug_degree = o.outgoing(drug).len() + o.incoming(drug).len();
+        let max_degree = o
+            .concept_ids()
+            .map(|c| o.outgoing(c).len() + o.incoming(c).len())
+            .max()
+            .unwrap();
+        assert_eq!(drug_degree, max_degree, "Drug should be the key concept of MED");
+    }
+
+    #[test]
+    fn inheritance_forms_a_forest_without_cycles() {
+        let o = medical();
+        // Children never appear as parents of their own ancestors; builder
+        // validation already guarantees acyclicity, assert some structure here.
+        let di = o.concept_by_name("DrugInteraction").unwrap();
+        assert_eq!(o.children(di).len(), 2);
+        let cond = o.concept_by_name("Condition").unwrap();
+        assert_eq!(o.children(cond).len(), 3);
+    }
+}

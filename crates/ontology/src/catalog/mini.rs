@@ -1,0 +1,104 @@
+//! The motivating-example ontology of Figure 2 in the paper.
+
+use crate::builder::OntologyBuilder;
+use crate::model::{DataType, Ontology, RelationshipKind};
+
+/// Builds the small medical ontology of Figure 2: drugs, indications,
+/// conditions, drug interactions (with two `isA` children) and risks (a union
+/// of contra-indications and black-box warnings).
+///
+/// This ontology drives the paper's two motivating examples:
+/// * Example 1 — the pattern-matching query `Drug → DrugFoodInteraction.risk`
+///   saves an edge traversal after the inheritance rule is applied.
+/// * Example 2 — the aggregation query `COUNT(Indication.desc)` per drug is
+///   answered from a replicated LIST property after the 1:M rule is applied.
+pub fn med_mini() -> Ontology {
+    let mut b = OntologyBuilder::new("medical-mini");
+
+    let drug = b.add_concept("Drug");
+    b.add_property(drug, "name", DataType::Str);
+    b.add_property(drug, "brand", DataType::Str);
+
+    let indication = b.add_concept("Indication");
+    b.add_property(indication, "desc", DataType::Text);
+
+    let condition = b.add_concept("Condition");
+    b.add_property(condition, "name", DataType::Str);
+    b.add_property(condition, "route", DataType::Str);
+
+    let interaction = b.add_concept("DrugInteraction");
+    b.add_property(interaction, "summary", DataType::Text);
+
+    let food = b.add_concept("DrugFoodInteraction");
+    b.add_property(food, "risk", DataType::Str);
+
+    let lab = b.add_concept("DrugLabInteraction");
+    b.add_property(lab, "mechanism", DataType::Str);
+
+    let risk = b.add_concept("Risk");
+
+    let contra = b.add_concept("ContraIndication");
+    b.add_property(contra, "desc", DataType::Text);
+
+    let bbw = b.add_concept("BlackBoxWarning");
+    b.add_property(bbw, "note", DataType::Text);
+    b.add_property(bbw, "route", DataType::Str);
+
+    // Functional relationships.
+    b.add_relationship("treat", drug, indication, RelationshipKind::OneToMany);
+    b.add_relationship("has", drug, interaction, RelationshipKind::OneToMany);
+    b.add_relationship("hasCondition", indication, condition, RelationshipKind::OneToOne);
+    b.add_relationship("cause", drug, risk, RelationshipKind::ManyToMany);
+
+    // Inheritance: DrugInteraction is the parent of both interaction kinds.
+    b.add_inheritance(interaction, food);
+    b.add_inheritance(interaction, lab);
+
+    // Union: Risk is the union of ContraIndication and BlackBoxWarning.
+    b.add_union_member(risk, contra);
+    b.add_union_member(risk, bbw);
+
+    b.build().expect("med_mini catalog ontology must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_ontology_shape() {
+        let o = med_mini();
+        assert_eq!(o.concept_count(), 9);
+        assert_eq!(o.property_count(), 11);
+        assert_eq!(o.relationship_count(), 8);
+    }
+
+    #[test]
+    fn risk_is_a_union_concept() {
+        let o = med_mini();
+        let risk = o.concept_by_name("Risk").unwrap();
+        assert!(o.is_union_concept(risk));
+        let members: Vec<&str> =
+            o.union_members(risk).iter().map(|&c| o.concept(c).name.as_str()).collect();
+        assert!(members.contains(&"ContraIndication"));
+        assert!(members.contains(&"BlackBoxWarning"));
+    }
+
+    #[test]
+    fn drug_interaction_has_two_children() {
+        let o = med_mini();
+        let di = o.concept_by_name("DrugInteraction").unwrap();
+        assert_eq!(o.children(di).len(), 2);
+        let food = o.concept_by_name("DrugFoodInteraction").unwrap();
+        assert_eq!(o.parents(food), vec![di]);
+    }
+
+    #[test]
+    fn treat_is_one_to_many() {
+        let o = med_mini();
+        let (_, treat) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        assert_eq!(treat.kind, RelationshipKind::OneToMany);
+        assert_eq!(o.concept(treat.src).name, "Drug");
+        assert_eq!(o.concept(treat.dst).name, "Indication");
+    }
+}

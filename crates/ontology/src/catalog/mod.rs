@@ -1,0 +1,150 @@
+//! Catalog of ready-made ontologies used by the paper's evaluation.
+//!
+//! * [`med_mini`] — the motivating-example ontology of Figure 2 (drugs,
+//!   indications, interactions, risks).
+//! * [`medical`] — the full **MED** ontology with the statistics reported in
+//!   Section 5.1: 43 concepts, 78 data properties, 58 relationships
+//!   (11 inheritance, 5 one-to-one, 30 one-to-many, 12 many-to-many).
+//! * [`financial`] — the full **FIN** ontology with the statistics reported
+//!   in Section 5.1: 28 concepts, 96 data properties, 138 relationships
+//!   (4 union, 69 inheritance, 30 one-to-many, plus 1:1 and M:N
+//!   relationships filling the remainder).
+//!
+//! The concept and property names are domain-plausible reconstructions: the
+//! original UMLS-derived and SEC/FDIC-derived ontologies are not public, so
+//! this catalog reproduces their published *shape* (counts per relationship
+//! kind, inheritance depth, union membership) which is the only structural
+//! input the optimizer consumes.
+
+mod financial;
+mod medical;
+mod mini;
+
+pub use financial::financial;
+pub use medical::medical;
+pub use mini::med_mini;
+
+use crate::model::Ontology;
+use crate::stats::{DataStatistics, StatisticsConfig};
+use crate::workload::{AccessFrequencies, WorkloadDistribution};
+
+/// A dataset bundle: ontology plus synthesized statistics and a workload
+/// summary, ready to feed the optimizer.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The domain ontology.
+    pub ontology: Ontology,
+    /// Synthesized data statistics.
+    pub statistics: DataStatistics,
+    /// Access-frequency summary of the workload.
+    pub frequencies: AccessFrequencies,
+}
+
+impl Dataset {
+    /// Builds a dataset bundle for an ontology with synthesized statistics and
+    /// a generated workload summary.
+    pub fn new(
+        ontology: Ontology,
+        stats_config: &StatisticsConfig,
+        distribution: WorkloadDistribution,
+        seed: u64,
+    ) -> Self {
+        let statistics = DataStatistics::synthesize(&ontology, stats_config, seed);
+        let frequencies =
+            AccessFrequencies::generate(&ontology, distribution, 10_000.0, seed ^ 0x5eed);
+        Self { ontology, statistics, frequencies }
+    }
+
+    /// MED bundle with default synthesized statistics.
+    pub fn medical(distribution: WorkloadDistribution, seed: u64) -> Self {
+        Self::new(medical(), &StatisticsConfig::default(), distribution, seed)
+    }
+
+    /// FIN bundle with default synthesized statistics.
+    pub fn financial(distribution: WorkloadDistribution, seed: u64) -> Self {
+        Self::new(financial(), &StatisticsConfig::default(), distribution, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RelationshipKind;
+
+    #[test]
+    fn med_mini_matches_figure_2() {
+        let o = med_mini();
+        assert_eq!(o.name(), "medical-mini");
+        assert!(o.concept_by_name("Drug").is_some());
+        assert!(o.concept_by_name("Risk").is_some());
+        let counts = o.relationship_kind_counts();
+        assert_eq!(counts.get(&RelationshipKind::Union), Some(&2));
+        assert_eq!(counts.get(&RelationshipKind::Inheritance), Some(&2));
+    }
+
+    #[test]
+    fn medical_matches_published_statistics() {
+        let o = medical();
+        assert_eq!(o.concept_count(), 43, "MED concepts");
+        assert_eq!(o.property_count(), 78, "MED data properties");
+        assert_eq!(o.relationship_count(), 58, "MED relationships");
+        let counts = o.relationship_kind_counts();
+        assert_eq!(counts.get(&RelationshipKind::Inheritance), Some(&11));
+        assert_eq!(counts.get(&RelationshipKind::OneToOne), Some(&5));
+        assert_eq!(counts.get(&RelationshipKind::OneToMany), Some(&30));
+        assert_eq!(counts.get(&RelationshipKind::ManyToMany), Some(&12));
+        assert_eq!(counts.get(&RelationshipKind::Union), None);
+    }
+
+    #[test]
+    fn financial_matches_published_statistics() {
+        let o = financial();
+        assert_eq!(o.concept_count(), 28, "FIN concepts");
+        assert_eq!(o.property_count(), 96, "FIN data properties");
+        assert_eq!(o.relationship_count(), 138, "FIN relationships");
+        let counts = o.relationship_kind_counts();
+        assert_eq!(counts.get(&RelationshipKind::Union), Some(&4));
+        assert_eq!(counts.get(&RelationshipKind::Inheritance), Some(&69));
+        assert_eq!(counts.get(&RelationshipKind::OneToMany), Some(&30));
+    }
+
+    #[test]
+    fn financial_contains_query_concepts() {
+        let o = financial();
+        for name in ["AutonomousAgent", "Person", "ContractParty", "Corporation", "Contract"] {
+            assert!(o.concept_by_name(name).is_some(), "missing {name}");
+        }
+        let corp = o.concept_by_name("Corporation").unwrap();
+        assert!(o.property_by_name(corp, "hasLegalName").is_some());
+        let contract = o.concept_by_name("Contract").unwrap();
+        assert!(o.property_by_name(contract, "hasEffectiveDate").is_some());
+    }
+
+    #[test]
+    fn medical_contains_query_concepts() {
+        let o = medical();
+        for name in ["Drug", "DrugInteraction", "DrugLabInteraction", "DrugRoute"] {
+            assert!(o.concept_by_name(name).is_some(), "missing {name}");
+        }
+        let drug = o.concept_by_name("Drug").unwrap();
+        assert!(o.property_by_name(drug, "brand").is_some());
+    }
+
+    #[test]
+    fn datasets_bundle_statistics_and_frequencies() {
+        let med = Dataset::medical(WorkloadDistribution::Uniform, 1);
+        assert!(med.statistics.total_vertices() > 0);
+        assert!(med.frequencies.total_queries() > 0.0);
+        let fin = Dataset::financial(WorkloadDistribution::default_zipf(), 1);
+        assert_eq!(fin.ontology.concept_count(), 28);
+    }
+
+    #[test]
+    fn catalog_ontologies_roundtrip_through_dsl() {
+        for o in [med_mini(), medical(), financial()] {
+            let text = crate::dsl::to_dsl(&o);
+            let reparsed = crate::dsl::parse(&text).unwrap();
+            assert_eq!(o, reparsed, "DSL roundtrip failed for {}", o.name());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for ontology construction, validation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, validating or parsing an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// A concept name was declared twice.
+    DuplicateConcept(String),
+    /// A data property name was declared twice on the same concept.
+    DuplicateProperty {
+        /// Concept owning the property.
+        concept: String,
+        /// Offending property name.
+        property: String,
+    },
+    /// A relationship referenced a concept that does not exist.
+    UnknownConcept(String),
+    /// A relationship referenced a property that does not exist.
+    UnknownProperty(String),
+    /// A relationship connects a concept to itself, which no rule supports.
+    SelfRelationship {
+        /// Relationship name.
+        relationship: String,
+        /// The concept at both endpoints.
+        concept: String,
+    },
+    /// The inheritance (`isA`) hierarchy contains a cycle.
+    InheritanceCycle(Vec<String>),
+    /// The union membership graph contains a cycle.
+    UnionCycle(Vec<String>),
+    /// A union concept has no member concepts.
+    EmptyUnion(String),
+    /// The ontology has no concepts at all.
+    EmptyOntology,
+    /// A DSL parse error with 1-based line number and message.
+    Parse {
+        /// Line where the error was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateConcept(name) => write!(f, "duplicate concept `{name}`"),
+            Self::DuplicateProperty { concept, property } => {
+                write!(f, "duplicate property `{property}` on concept `{concept}`")
+            }
+            Self::UnknownConcept(name) => write!(f, "unknown concept `{name}`"),
+            Self::UnknownProperty(name) => write!(f, "unknown property `{name}`"),
+            Self::SelfRelationship { relationship, concept } => write!(
+                f,
+                "relationship `{relationship}` connects concept `{concept}` to itself"
+            ),
+            Self::InheritanceCycle(path) => {
+                write!(f, "inheritance cycle: {}", path.join(" -> "))
+            }
+            Self::UnionCycle(path) => write!(f, "union cycle: {}", path.join(" -> ")),
+            Self::EmptyUnion(name) => write!(f, "union concept `{name}` has no members"),
+            Self::EmptyOntology => write!(f, "ontology contains no concepts"),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for OntologyError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, OntologyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = OntologyError::DuplicateConcept("Drug".into());
+        assert!(e.to_string().contains("Drug"));
+
+        let e = OntologyError::DuplicateProperty {
+            concept: "Drug".into(),
+            property: "name".into(),
+        };
+        assert!(e.to_string().contains("name") && e.to_string().contains("Drug"));
+
+        let e = OntologyError::InheritanceCycle(vec!["A".into(), "B".into(), "A".into()]);
+        assert_eq!(e.to_string(), "inheritance cycle: A -> B -> A");
+
+        let e = OntologyError::Parse { line: 12, message: "expected `->`".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error>(_: &E) {}
+        assert_err(&OntologyError::EmptyOntology);
+    }
+}

@@ -1,0 +1,119 @@
+//! Strongly-typed index newtypes used throughout the workspace.
+//!
+//! Concepts, data properties and relationships are stored in contiguous
+//! vectors inside [`crate::Ontology`]; the id types below are thin `u32`
+//! indices into those vectors. Using dedicated newtypes (rather than bare
+//! `usize`) prevents accidentally indexing the wrong arena and keeps the
+//! in-memory footprint of adjacency lists small.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index backing this id.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value backing this id.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(value: u32) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(value: $name) -> Self {
+                value.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a concept (`c_i`) within an [`crate::Ontology`].
+    ConceptId,
+    "c"
+);
+
+define_id!(
+    /// Identifier of a data property (`p_i`) within an [`crate::Ontology`].
+    PropertyId,
+    "p"
+);
+
+define_id!(
+    /// Identifier of a relationship (`r_i`, an OWL ObjectProperty, `isA` or
+    /// `unionOf` edge) within an [`crate::Ontology`].
+    RelationshipId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_roundtrip_raw_values() {
+        let c = ConceptId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.raw(), 7);
+        assert_eq!(u32::from(c), 7);
+        assert_eq!(ConceptId::from(7u32), c);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ConceptId::new(3).to_string(), "c3");
+        assert_eq!(PropertyId::new(11).to_string(), "p11");
+        assert_eq!(RelationshipId::new(0).to_string(), "r0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        let mut ids = vec![ConceptId::new(5), ConceptId::new(1), ConceptId::new(3)];
+        ids.sort();
+        assert_eq!(ids, vec![ConceptId::new(1), ConceptId::new(3), ConceptId::new(5)]);
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        let set: HashSet<PropertyId> = (0..100).map(PropertyId::new).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn different_id_types_do_not_unify() {
+        // This is a compile-time property; the test documents the intent.
+        fn takes_concept(_: ConceptId) {}
+        takes_concept(ConceptId::new(1));
+    }
+}

@@ -1,0 +1,220 @@
+//! Structural validation of an [`Ontology`].
+//!
+//! Beyond the reference checks done by the builder, this module rejects
+//! ontologies whose `isA` or `unionOf` sub-graphs contain cycles (a cyclic
+//! hierarchy would make the inheritance / union rewrite rules diverge) and
+//! offers a non-fatal [`lint`] pass reporting suspicious-but-legal patterns.
+
+use crate::error::{OntologyError, Result};
+use crate::ids::ConceptId;
+use crate::model::{Ontology, RelationshipKind};
+
+/// Validates the structural invariants of an ontology.
+///
+/// Invoked automatically by [`crate::OntologyBuilder::build`]; exposed for
+/// callers that deserialize ontologies from external sources.
+pub fn validate(ontology: &Ontology) -> Result<()> {
+    detect_cycle(ontology, RelationshipKind::Inheritance)?;
+    detect_cycle(ontology, RelationshipKind::Union)?;
+    Ok(())
+}
+
+/// Detects a cycle in the sub-graph formed by relationships of `kind` using a
+/// DFS with coloring; returns an error carrying the cycle path.
+fn detect_cycle(ontology: &Ontology, kind: RelationshipKind) -> Result<()> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+
+    let n = ontology.concept_count();
+    let mut color = vec![Color::White; n];
+    let mut stack: Vec<ConceptId> = Vec::new();
+
+    fn dfs(
+        ontology: &Ontology,
+        kind: RelationshipKind,
+        node: ConceptId,
+        color: &mut [Color],
+        stack: &mut Vec<ConceptId>,
+    ) -> std::result::Result<(), Vec<ConceptId>> {
+        color[node.index()] = Color::Gray;
+        stack.push(node);
+        for &rid in ontology.outgoing(node) {
+            let rel = ontology.relationship(rid);
+            if rel.kind != kind {
+                continue;
+            }
+            match color[rel.dst.index()] {
+                Color::Gray => {
+                    // Found a back edge: extract the cycle from the stack.
+                    let start = stack.iter().position(|&c| c == rel.dst).unwrap_or(0);
+                    let mut cycle: Vec<ConceptId> = stack[start..].to_vec();
+                    cycle.push(rel.dst);
+                    return Err(cycle);
+                }
+                Color::White => {
+                    dfs(ontology, kind, rel.dst, color, stack)?;
+                }
+                Color::Black => {}
+            }
+        }
+        stack.pop();
+        color[node.index()] = Color::Black;
+        Ok(())
+    }
+
+    for c in ontology.concept_ids() {
+        if color[c.index()] == Color::White {
+            if let Err(cycle) = dfs(ontology, kind, c, &mut color, &mut stack) {
+                let names: Vec<String> =
+                    cycle.iter().map(|&c| ontology.concept(c).name.clone()).collect();
+                return Err(match kind {
+                    RelationshipKind::Inheritance => OntologyError::InheritanceCycle(names),
+                    _ => OntologyError::UnionCycle(names),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A non-fatal observation about an ontology produced by [`lint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintWarning {
+    /// Concept has no data properties and no relationships.
+    IsolatedConcept(String),
+    /// Concept has no data properties (only relationships).
+    PropertylessConcept(String),
+    /// Union concept also carries data properties, which the union rule drops.
+    UnionWithProperties(String),
+    /// A concept participates as a child in more than one `isA` relationship
+    /// (multiple inheritance): legal, but the inheritance rule then applies
+    /// several times.
+    MultipleInheritance {
+        /// The child concept.
+        concept: String,
+        /// Number of parents.
+        parents: usize,
+    },
+}
+
+/// Reports suspicious patterns that are legal but worth surfacing to the
+/// schema designer.
+pub fn lint(ontology: &Ontology) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    for (id, concept) in ontology.concepts() {
+        let degree = ontology.outgoing(id).len() + ontology.incoming(id).len();
+        if concept.properties.is_empty() && degree == 0 {
+            warnings.push(LintWarning::IsolatedConcept(concept.name.clone()));
+        } else if concept.properties.is_empty() {
+            warnings.push(LintWarning::PropertylessConcept(concept.name.clone()));
+        }
+        if ontology.is_union_concept(id) && !concept.properties.is_empty() {
+            warnings.push(LintWarning::UnionWithProperties(concept.name.clone()));
+        }
+        let parents = ontology.parents(id).len();
+        if parents > 1 {
+            warnings.push(LintWarning::MultipleInheritance {
+                concept: concept.name.clone(),
+                parents,
+            });
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OntologyBuilder;
+    use crate::model::DataType;
+
+    #[test]
+    fn detects_longer_inheritance_cycles() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        let c = b.add_concept("B");
+        let d = b.add_concept("C");
+        b.add_inheritance(a, c);
+        b.add_inheritance(c, d);
+        b.add_inheritance(d, a);
+        let err = b.build().unwrap_err();
+        match err {
+            OntologyError::InheritanceCycle(path) => {
+                assert!(path.len() >= 4, "cycle path should include the repeated node");
+                assert_eq!(path.first(), path.last());
+            }
+            other => panic!("expected inheritance cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_union_cycles() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        let c = b.add_concept("B");
+        b.add_union_member(a, c);
+        b.add_union_member(c, a);
+        assert!(matches!(b.build(), Err(OntologyError::UnionCycle(_))));
+    }
+
+    #[test]
+    fn dag_shaped_inheritance_is_accepted() {
+        // Diamond: A is parent of B and C, both parents of D. Legal (a DAG).
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        let bb = b.add_concept("B");
+        let c = b.add_concept("C");
+        let d = b.add_concept("D");
+        b.add_inheritance(a, bb);
+        b.add_inheritance(a, c);
+        b.add_inheritance(bb, d);
+        b.add_inheritance(c, d);
+        let o = b.build().unwrap();
+        let warnings = lint(&o);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::MultipleInheritance { concept, parents: 2 } if concept == "D")));
+    }
+
+    #[test]
+    fn lint_flags_isolated_and_propertyless_concepts() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("HasProps");
+        b.add_property(a, "x", DataType::Int);
+        let lonely = b.add_concept("Lonely");
+        let _ = lonely;
+        let bare = b.add_concept("Bare");
+        b.add_relationship("rel", a, bare, RelationshipKind::OneToMany);
+        let o = b.build().unwrap();
+        let warnings = lint(&o);
+        assert!(warnings.contains(&LintWarning::IsolatedConcept("Lonely".into())));
+        assert!(warnings.contains(&LintWarning::PropertylessConcept("Bare".into())));
+    }
+
+    #[test]
+    fn lint_flags_union_with_properties() {
+        let mut b = OntologyBuilder::new("demo");
+        let u = b.add_concept("Risk");
+        b.add_property(u, "level", DataType::Str);
+        let m = b.add_concept("BlackBoxWarning");
+        b.add_union_member(u, m);
+        let o = b.build().unwrap();
+        assert!(lint(&o).contains(&LintWarning::UnionWithProperties("Risk".into())));
+    }
+
+    #[test]
+    fn valid_ontology_passes_validate() {
+        let mut b = OntologyBuilder::new("demo");
+        let a = b.add_concept("A");
+        let c = b.add_concept("B");
+        b.add_property(a, "x", DataType::Int);
+        b.add_property(c, "y", DataType::Int);
+        b.add_relationship("rel", a, c, RelationshipKind::OneToOne);
+        let o = b.build().unwrap();
+        assert!(validate(&o).is_ok());
+    }
+}

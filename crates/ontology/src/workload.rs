@@ -1,0 +1,378 @@
+//! Workload summaries: access frequencies over concepts, relationships and
+//! data properties.
+//!
+//! Section 4.2 of the paper: *"Access frequencies provide an abstraction of
+//! the workload in terms of how each concept, relationship, and data property
+//! [is] accessed by each query in the workload. We use `AF(ci --rk--> cj.Pj)`
+//! to indicate the frequency of queries that access a data property in
+//! `cj.Pj` from the concept `ci` through the relationship `rk`."*
+//!
+//! Two workload shapes from the evaluation are provided: **uniform** (every
+//! concept equally hot) and **Zipf** (the key, high-centrality concepts take
+//! most of the accesses). Absent any knowledge the paper assumes uniform.
+
+use crate::ids::{ConceptId, PropertyId, RelationshipId};
+use crate::model::Ontology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Shape of the query workload used to derive access frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadDistribution {
+    /// Every concept receives the same access frequency.
+    Uniform,
+    /// Access frequency decays with the concept's rank following a Zipf law
+    /// with the given exponent (the paper's Zipf workload "gives more access
+    /// to the key concepts in the ontology").
+    Zipf {
+        /// Zipf exponent `s` (1.0 is the classic harmonic decay).
+        exponent: f64,
+    },
+}
+
+impl WorkloadDistribution {
+    /// The Zipf distribution used throughout the paper's evaluation.
+    pub const fn default_zipf() -> Self {
+        WorkloadDistribution::Zipf { exponent: 1.0 }
+    }
+
+    /// Short label used in experiment output ("uniform" / "zipf").
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadDistribution::Uniform => "uniform",
+            WorkloadDistribution::Zipf { .. } => "zipf",
+        }
+    }
+}
+
+/// Access frequencies for every concept, relationship and
+/// `(source concept, relationship, destination property)` triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessFrequencies {
+    concept_af: Vec<f64>,
+    relationship_af: Vec<f64>,
+    /// AF(ci --r--> cj.p), keyed by (relationship, destination property).
+    property_af: HashMap<(RelationshipId, PropertyId), f64>,
+    total_queries: f64,
+    distribution: WorkloadDistribution,
+}
+
+impl AccessFrequencies {
+    /// Derives access frequencies for `total_queries` queries following the
+    /// given distribution.
+    ///
+    /// Concepts are ranked by structural degree (relationship count) so that
+    /// the Zipf workload concentrates on the ontology's key concepts, then a
+    /// per-concept frequency is assigned; relationship frequencies are the
+    /// average of their endpoints'; property-level frequencies split each
+    /// relationship's frequency across the destination concept's properties.
+    pub fn generate(
+        ontology: &Ontology,
+        distribution: WorkloadDistribution,
+        total_queries: f64,
+        seed: u64,
+    ) -> Self {
+        let n = ontology.concept_count();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Rank concepts by degree (descending); ties broken by a stable jitter
+        // so that different seeds explore slightly different hot sets.
+        let mut order: Vec<ConceptId> = ontology.concept_ids().collect();
+        let degree = |c: ConceptId| ontology.outgoing(c).len() + ontology.incoming(c).len();
+        let jitter: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..0.01)).collect();
+        order.sort_by(|&a, &b| {
+            let da = degree(a) as f64 + jitter[a.index()];
+            let db = degree(b) as f64 + jitter[b.index()];
+            db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let weights: Vec<f64> = match distribution {
+            WorkloadDistribution::Uniform => vec![1.0; n],
+            WorkloadDistribution::Zipf { exponent } => {
+                (1..=n).map(|rank| 1.0 / (rank as f64).powf(exponent)).collect()
+            }
+        };
+        let weight_sum: f64 = weights.iter().sum();
+
+        let mut concept_af = vec![0.0; n];
+        for (rank, &cid) in order.iter().enumerate() {
+            concept_af[cid.index()] = total_queries * weights[rank] / weight_sum;
+        }
+
+        let mut relationship_af = vec![0.0; ontology.relationship_count()];
+        for (rid, rel) in ontology.relationships() {
+            relationship_af[rid.index()] =
+                0.5 * (concept_af[rel.src.index()] + concept_af[rel.dst.index()]);
+        }
+
+        let mut property_af = HashMap::new();
+        for (rid, rel) in ontology.relationships() {
+            let dst_props = ontology.concept_properties(rel.dst);
+            if dst_props.is_empty() {
+                continue;
+            }
+            let share = relationship_af[rid.index()] / dst_props.len() as f64;
+            for &pid in dst_props {
+                property_af.insert((rid, pid), share);
+            }
+        }
+
+        Self { concept_af, relationship_af, property_af, total_queries, distribution }
+    }
+
+    /// Uniform access frequencies normalised to `total_queries`.
+    pub fn uniform(ontology: &Ontology, total_queries: f64) -> Self {
+        Self::generate(ontology, WorkloadDistribution::Uniform, total_queries, 0)
+    }
+
+    /// `AF(c)`: frequency of queries touching a concept (including its data
+    /// properties).
+    pub fn concept(&self, id: ConceptId) -> f64 {
+        self.concept_af[id.index()]
+    }
+
+    /// `AF(ci --r--> cj)`: frequency of queries traversing a relationship.
+    pub fn relationship(&self, id: RelationshipId) -> f64 {
+        self.relationship_af[id.index()]
+    }
+
+    /// `AF(ci --r--> cj.p)`: frequency of queries reaching property `p` of the
+    /// destination concept through relationship `r`.
+    pub fn property(&self, relationship: RelationshipId, property: PropertyId) -> f64 {
+        self.property_af.get(&(relationship, property)).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of property-level frequencies across a relationship — the paper's
+    /// `AF(ci --r--> cj.Pj)` aggregate used by the inheritance benefit.
+    pub fn relationship_property_total(
+        &self,
+        ontology: &Ontology,
+        relationship: RelationshipId,
+    ) -> f64 {
+        let rel = ontology.relationship(relationship);
+        ontology
+            .concept_properties(rel.dst)
+            .iter()
+            .map(|&p| self.property(relationship, p))
+            .sum()
+    }
+
+    /// Overrides the frequency of a concept (for hand-crafted workloads).
+    pub fn set_concept(&mut self, id: ConceptId, af: f64) {
+        self.concept_af[id.index()] = af;
+    }
+
+    /// Overrides the frequency of a relationship.
+    pub fn set_relationship(&mut self, id: RelationshipId, af: f64) {
+        self.relationship_af[id.index()] = af;
+    }
+
+    /// Overrides the frequency of a property access through a relationship.
+    pub fn set_property(&mut self, relationship: RelationshipId, property: PropertyId, af: f64) {
+        self.property_af.insert((relationship, property), af);
+    }
+
+    /// Total number of queries this summary was normalised to.
+    pub fn total_queries(&self) -> f64 {
+        self.total_queries
+    }
+
+    /// Distribution used to generate this summary.
+    pub fn distribution(&self) -> WorkloadDistribution {
+        self.distribution
+    }
+
+    /// Concepts sorted by decreasing access frequency.
+    pub fn hottest_concepts(&self) -> Vec<ConceptId> {
+        let mut ids: Vec<ConceptId> =
+            (0..self.concept_af.len() as u32).map(ConceptId::new).collect();
+        ids.sort_by(|&a, &b| {
+            self.concept_af[b.index()]
+                .partial_cmp(&self.concept_af[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ids
+    }
+}
+
+/// Deterministic Zipf-distributed sampler over ranks `0..n`.
+///
+/// Used by the data and query-workload generators to pick hot entities. The
+/// sampler precomputes the cumulative distribution and draws with binary
+/// search, so sampling is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with the given exponent.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 is the most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OntologyBuilder;
+    use crate::model::{DataType, RelationshipKind};
+
+    fn sample() -> Ontology {
+        let mut b = OntologyBuilder::new("s");
+        let hub = b.add_concept("Hub");
+        b.add_property(hub, "name", DataType::Str);
+        let a = b.add_concept("A");
+        b.add_property(a, "x", DataType::Int);
+        b.add_property(a, "y", DataType::Int);
+        let c = b.add_concept("B");
+        b.add_property(c, "z", DataType::Str);
+        let d = b.add_concept("C");
+        b.add_relationship("ra", hub, a, RelationshipKind::OneToMany);
+        b.add_relationship("rb", hub, c, RelationshipKind::ManyToMany);
+        b.add_relationship("rc", hub, d, RelationshipKind::OneToOne);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_assigns_equal_concept_frequencies() {
+        let o = sample();
+        let af = AccessFrequencies::uniform(&o, 100.0);
+        let values: Vec<f64> = o.concept_ids().map(|c| af.concept(c)).collect();
+        for v in &values {
+            assert!((v - 25.0).abs() < 1e-9);
+        }
+        assert_eq!(af.distribution().label(), "uniform");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_high_degree_concepts() {
+        let o = sample();
+        let af = AccessFrequencies::generate(&o, WorkloadDistribution::default_zipf(), 100.0, 1);
+        let hub = o.concept_by_name("Hub").unwrap();
+        for c in o.concept_ids() {
+            if c != hub {
+                assert!(af.concept(hub) >= af.concept(c), "hub must be hottest");
+            }
+        }
+        assert_eq!(af.hottest_concepts()[0], hub);
+    }
+
+    #[test]
+    fn total_concept_frequency_matches_total_queries() {
+        let o = sample();
+        for dist in [WorkloadDistribution::Uniform, WorkloadDistribution::default_zipf()] {
+            let af = AccessFrequencies::generate(&o, dist, 500.0, 3);
+            let sum: f64 = o.concept_ids().map(|c| af.concept(c)).sum();
+            assert!((sum - 500.0).abs() < 1e-6, "distribution {dist:?}");
+        }
+    }
+
+    #[test]
+    fn relationship_af_is_mean_of_endpoints() {
+        let o = sample();
+        let af = AccessFrequencies::uniform(&o, 100.0);
+        for (rid, rel) in o.relationships() {
+            let expected = 0.5 * (af.concept(rel.src) + af.concept(rel.dst));
+            assert!((af.relationship(rid) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn property_af_splits_relationship_af() {
+        let o = sample();
+        let af = AccessFrequencies::uniform(&o, 100.0);
+        let (ra, rel) = o.relationships().find(|(_, r)| r.name == "ra").unwrap();
+        let props = o.concept_properties(rel.dst);
+        assert_eq!(props.len(), 2);
+        let total: f64 = props.iter().map(|&p| af.property(ra, p)).sum();
+        assert!((total - af.relationship(ra)).abs() < 1e-9);
+        assert!(
+            (af.relationship_property_total(&o, ra) - af.relationship(ra)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn property_af_zero_when_destination_has_no_properties() {
+        let o = sample();
+        let af = AccessFrequencies::uniform(&o, 100.0);
+        let (rc, rel) = o.relationships().find(|(_, r)| r.name == "rc").unwrap();
+        assert!(o.concept_properties(rel.dst).is_empty());
+        assert_eq!(af.relationship_property_total(&o, rc), 0.0);
+    }
+
+    #[test]
+    fn overrides_take_effect() {
+        let o = sample();
+        let mut af = AccessFrequencies::uniform(&o, 100.0);
+        let hub = o.concept_by_name("Hub").unwrap();
+        af.set_concept(hub, 999.0);
+        assert_eq!(af.concept(hub), 999.0);
+        let rid = o.relationship_ids().next().unwrap();
+        af.set_relationship(rid, 5.0);
+        assert_eq!(af.relationship(rid), 5.0);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let o = sample();
+        let a = AccessFrequencies::generate(&o, WorkloadDistribution::default_zipf(), 100.0, 9);
+        let b = AccessFrequencies::generate(&o, WorkloadDistribution::default_zipf(), 100.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let sampler = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[30]);
+        assert_eq!(sampler.len(), 50);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_sampler_rejects_zero_ranks() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! DDL emission for property graph schemas.
+//!
+//! The paper specifies property graph schemas "in a data definition language
+//! such as Neo4j's Cypher, TigerGraph's GSQL, or GraphQL SDL" and uses a
+//! Cypher-flavoured notation in its figures, e.g.:
+//!
+//! ```text
+//! Drug (name STRING, brand STRING),
+//! IndicationCondition (desc STRING, name STRING),
+//! (Drug)-[treat]->(IndicationCondition)
+//! ```
+//!
+//! [`to_cypher_ddl`] reproduces that notation; [`to_graphql_sdl`] emits the
+//! same schema as GraphQL SDL type definitions, which is convenient for
+//! comparing against GraphQL-backed graph stores.
+
+use crate::schema::PropertyGraphSchema;
+use pgso_ontology::DataType;
+use std::fmt::Write as _;
+
+/// Emits the paper's Cypher-flavoured DDL for a schema.
+pub fn to_cypher_ddl(schema: &PropertyGraphSchema) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for vertex in schema.vertices() {
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        first = false;
+        let props: Vec<String> = vertex
+            .properties
+            .iter()
+            .map(|p| format!("{} {}", p.name, p.ddl_type()))
+            .collect();
+        let _ = write!(out, "{} ({})", vertex.label, props.join(", "));
+    }
+    for edge in schema.edges() {
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        first = false;
+        let _ = write!(out, "({})-[{}]->({})", edge.src, edge.label, edge.dst);
+    }
+    out.push('\n');
+    out
+}
+
+/// Emits the schema as GraphQL SDL object types with relationship fields.
+pub fn to_graphql_sdl(schema: &PropertyGraphSchema) -> String {
+    let mut out = String::new();
+    for vertex in schema.vertices() {
+        let _ = writeln!(out, "type {} {{", sanitize(&vertex.label));
+        for prop in &vertex.properties {
+            let base = graphql_type(prop.data_type);
+            let ty = if prop.is_list { format!("[{base}]") } else { base.to_string() };
+            let _ = writeln!(out, "  {}: {}", sanitize(&prop.name), ty);
+        }
+        for edge in schema.edges_from(&vertex.label) {
+            let _ = writeln!(
+                out,
+                "  {}: [{}] @relationship(name: \"{}\")",
+                sanitize(&edge.label),
+                sanitize(&edge.dst),
+                edge.label
+            );
+        }
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn graphql_type(dt: DataType) -> &'static str {
+    match dt {
+        DataType::Bool => "Boolean",
+        DataType::Int | DataType::Long => "Int",
+        DataType::Double => "Float",
+        DataType::Date | DataType::Str | DataType::Text => "String",
+    }
+}
+
+/// GraphQL identifiers cannot contain dots; provenance-named properties such
+/// as `Indication.desc` become `Indication_desc`.
+fn sanitize(name: &str) -> String {
+    name.replace(['.', '-', ' '], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EdgeSchema, PropertySchema, PropertyGraphSchema, VertexSchema};
+    use pgso_ontology::{catalog, RelationshipKind};
+
+    fn figure_6_schema() -> PropertyGraphSchema {
+        // The optimized PGS of Figure 6 in the paper (1:1 rule applied).
+        let mut s = PropertyGraphSchema::new("fig6");
+        let mut drug = VertexSchema::new("Drug");
+        drug.properties.push(PropertySchema::scalar("name", DataType::Str));
+        drug.properties.push(PropertySchema::scalar("brand", DataType::Str));
+        s.insert_vertex(drug);
+        let mut ic = VertexSchema::new("IndicationCondition");
+        ic.merged_from = vec!["Indication".into(), "Condition".into()];
+        ic.properties.push(PropertySchema::scalar("desc", DataType::Str));
+        ic.properties.push(PropertySchema::scalar("name", DataType::Str));
+        s.insert_vertex(ic);
+        s.add_edge(EdgeSchema::new("treat", "Drug", "IndicationCondition", RelationshipKind::OneToMany));
+        s
+    }
+
+    #[test]
+    fn cypher_ddl_matches_paper_notation() {
+        let ddl = to_cypher_ddl(&figure_6_schema());
+        assert!(ddl.contains("Drug (name STRING, brand STRING)"));
+        assert!(ddl.contains("IndicationCondition (desc STRING, name STRING)"));
+        assert!(ddl.contains("(Drug)-[treat]->(IndicationCondition)"));
+    }
+
+    #[test]
+    fn cypher_ddl_lists_every_vertex_and_edge() {
+        let o = catalog::medical();
+        let s = PropertyGraphSchema::direct_from_ontology(&o);
+        let ddl = to_cypher_ddl(&s);
+        for v in s.vertices() {
+            assert!(ddl.contains(&format!("{} (", v.label)), "missing vertex {}", v.label);
+        }
+        assert_eq!(ddl.matches("->(").count(), s.edge_count());
+    }
+
+    #[test]
+    fn graphql_sdl_emits_types_and_lists() {
+        let mut s = figure_6_schema();
+        s.vertex_mut("Drug")
+            .unwrap()
+            .upsert_property(PropertySchema::list("Indication.desc", DataType::Text));
+        let sdl = to_graphql_sdl(&s);
+        assert!(sdl.contains("type Drug {"));
+        assert!(sdl.contains("Indication_desc: [String]"));
+        assert!(sdl.contains("treat: [IndicationCondition] @relationship(name: \"treat\")"));
+    }
+
+    #[test]
+    fn graphql_type_mapping() {
+        assert_eq!(graphql_type(DataType::Bool), "Boolean");
+        assert_eq!(graphql_type(DataType::Int), "Int");
+        assert_eq!(graphql_type(DataType::Double), "Float");
+        assert_eq!(graphql_type(DataType::Text), "String");
+    }
+}

@@ -1,0 +1,213 @@
+//! Structural diff between two property graph schemas.
+//!
+//! Comparing the direct-mapping schema against an optimized schema makes the
+//! optimizer's decisions inspectable: which vertex types were merged or
+//! dropped, which properties were replicated (and from where), and which edge
+//! types were rewired. The `schema_explorer` example and several integration
+//! tests are built on this module.
+
+use crate::schema::{PropertyGraphSchema, PropertySchema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Property-level changes for one vertex type present in both schemas.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct VertexChange {
+    /// Vertex label.
+    pub label: String,
+    /// Properties present only in the right-hand schema.
+    pub added_properties: Vec<PropertySchema>,
+    /// Property names present only in the left-hand schema.
+    pub removed_properties: Vec<String>,
+}
+
+impl VertexChange {
+    /// True if the vertex type is unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added_properties.is_empty() && self.removed_properties.is_empty()
+    }
+}
+
+/// Difference between two schemas (`left` = before, `right` = after).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchemaDiff {
+    /// Vertex labels only in the right-hand schema.
+    pub added_vertices: Vec<String>,
+    /// Vertex labels only in the left-hand schema.
+    pub removed_vertices: Vec<String>,
+    /// Edge descriptions only in the right-hand schema.
+    pub added_edges: Vec<String>,
+    /// Edge descriptions only in the left-hand schema.
+    pub removed_edges: Vec<String>,
+    /// Property-level changes for vertex types present in both schemas.
+    pub changed_vertices: Vec<VertexChange>,
+}
+
+impl SchemaDiff {
+    /// True if the two schemas are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_vertices.is_empty()
+            && self.removed_vertices.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.changed_vertices.is_empty()
+    }
+
+    /// Number of individual changes recorded.
+    pub fn change_count(&self) -> usize {
+        self.added_vertices.len()
+            + self.removed_vertices.len()
+            + self.added_edges.len()
+            + self.removed_edges.len()
+            + self
+                .changed_vertices
+                .iter()
+                .map(|c| c.added_properties.len() + c.removed_properties.len())
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for SchemaDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "schemas are identical");
+        }
+        for v in &self.removed_vertices {
+            writeln!(f, "- vertex {v}")?;
+        }
+        for v in &self.added_vertices {
+            writeln!(f, "+ vertex {v}")?;
+        }
+        for e in &self.removed_edges {
+            writeln!(f, "- edge {e}")?;
+        }
+        for e in &self.added_edges {
+            writeln!(f, "+ edge {e}")?;
+        }
+        for change in &self.changed_vertices {
+            for p in &change.removed_properties {
+                writeln!(f, "- property {}.{}", change.label, p)?;
+            }
+            for p in &change.added_properties {
+                let marker = if p.is_list { " (LIST)" } else { "" };
+                match &p.origin {
+                    Some(origin) => writeln!(
+                        f,
+                        "+ property {}.{}{} replicated from {}",
+                        change.label, p.name, marker, origin
+                    )?,
+                    None => writeln!(f, "+ property {}.{}{}", change.label, p.name, marker)?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the structural diff from `left` to `right`.
+pub fn diff(left: &PropertyGraphSchema, right: &PropertyGraphSchema) -> SchemaDiff {
+    let left_labels: BTreeSet<&str> = left.vertices().map(|v| v.label.as_str()).collect();
+    let right_labels: BTreeSet<&str> = right.vertices().map(|v| v.label.as_str()).collect();
+
+    let added_vertices =
+        right_labels.difference(&left_labels).map(|s| s.to_string()).collect::<Vec<_>>();
+    let removed_vertices =
+        left_labels.difference(&right_labels).map(|s| s.to_string()).collect::<Vec<_>>();
+
+    let left_edges: BTreeSet<String> = left.edges().map(|e| e.to_string()).collect();
+    let right_edges: BTreeSet<String> = right.edges().map(|e| e.to_string()).collect();
+    let added_edges = right_edges.difference(&left_edges).cloned().collect::<Vec<_>>();
+    let removed_edges = left_edges.difference(&right_edges).cloned().collect::<Vec<_>>();
+
+    let mut changed_vertices = Vec::new();
+    for label in left_labels.intersection(&right_labels) {
+        let lv = left.vertex(label).expect("label came from left");
+        let rv = right.vertex(label).expect("label came from right");
+        let mut change = VertexChange { label: label.to_string(), ..Default::default() };
+        for p in &rv.properties {
+            if !lv.has_property(&p.name) {
+                change.added_properties.push(p.clone());
+            }
+        }
+        for p in &lv.properties {
+            if !rv.has_property(&p.name) {
+                change.removed_properties.push(p.name.clone());
+            }
+        }
+        if !change.is_empty() {
+            changed_vertices.push(change);
+        }
+    }
+
+    SchemaDiff { added_vertices, removed_vertices, added_edges, removed_edges, changed_vertices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EdgeSchema, PropertyOrigin, VertexSchema};
+    use pgso_ontology::{catalog, DataType, RelationshipKind};
+
+    #[test]
+    fn identical_schemas_produce_empty_diff() {
+        let o = catalog::med_mini();
+        let s = PropertyGraphSchema::direct_from_ontology(&o);
+        let d = diff(&s, &s);
+        assert!(d.is_empty());
+        assert_eq!(d.change_count(), 0);
+        assert!(d.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn detects_removed_vertex_and_edges() {
+        let o = catalog::med_mini();
+        let left = PropertyGraphSchema::direct_from_ontology(&o);
+        let mut right = left.clone();
+        right.remove_vertex("Risk");
+        let d = diff(&left, &right);
+        assert_eq!(d.removed_vertices, vec!["Risk".to_string()]);
+        assert!(d.added_vertices.is_empty());
+        assert!(!d.removed_edges.is_empty(), "edges touching Risk should be reported");
+        assert!(d.to_string().contains("- vertex Risk"));
+    }
+
+    #[test]
+    fn detects_added_list_property_with_origin() {
+        let o = catalog::med_mini();
+        let left = PropertyGraphSchema::direct_from_ontology(&o);
+        let mut right = left.clone();
+        right.vertex_mut("Drug").unwrap().upsert_property(
+            crate::schema::PropertySchema::list("Indication.desc", DataType::Text)
+                .with_origin(PropertyOrigin::new("Indication", "desc")),
+        );
+        let d = diff(&left, &right);
+        assert_eq!(d.changed_vertices.len(), 1);
+        assert_eq!(d.changed_vertices[0].label, "Drug");
+        let text = d.to_string();
+        assert!(text.contains("+ property Drug.Indication.desc (LIST) replicated from Indication.desc"));
+    }
+
+    #[test]
+    fn detects_added_vertex_and_edge() {
+        let mut left = PropertyGraphSchema::new("t");
+        left.insert_vertex(VertexSchema::new("A"));
+        let mut right = left.clone();
+        right.insert_vertex(VertexSchema::new("B"));
+        right.add_edge(EdgeSchema::new("r", "A", "B", RelationshipKind::OneToOne));
+        let d = diff(&left, &right);
+        assert_eq!(d.added_vertices, vec!["B".to_string()]);
+        assert_eq!(d.added_edges.len(), 1);
+        assert_eq!(d.change_count(), 2);
+    }
+
+    #[test]
+    fn detects_removed_property() {
+        let o = catalog::med_mini();
+        let left = PropertyGraphSchema::direct_from_ontology(&o);
+        let mut right = left.clone();
+        right.vertex_mut("Drug").unwrap().properties.retain(|p| p.name != "brand");
+        let d = diff(&left, &right);
+        assert_eq!(d.changed_vertices[0].removed_properties, vec!["brand".to_string()]);
+    }
+}

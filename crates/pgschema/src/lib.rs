@@ -1,0 +1,35 @@
+//! # pgso-pgschema
+//!
+//! Property graph schema model for the `pgso` workspace.
+//!
+//! A [`PropertyGraphSchema`] declares vertex types, edge types and property
+//! types — the same notions Neo4j's Cypher, TigerGraph's GSQL and GraphQL SDL
+//! expose. The crate also provides:
+//!
+//! * [`PropertyGraphSchema::direct_from_ontology`] — the paper's baseline
+//!   **DIR** schema (one vertex type per concept, one edge type per
+//!   relationship);
+//! * [`ddl`] — Cypher-flavoured DDL and GraphQL SDL emission;
+//! * [`space`] — instance-size estimation given data statistics;
+//! * [`diff`] — structural schema diffs for inspecting optimizer decisions.
+//!
+//! ```
+//! use pgso_ontology::catalog;
+//! use pgso_pgschema::{ddl, PropertyGraphSchema};
+//!
+//! let schema = PropertyGraphSchema::direct_from_ontology(&catalog::med_mini());
+//! let cypher = ddl::to_cypher_ddl(&schema);
+//! assert!(cypher.contains("(Drug)-[treat]->(Indication)"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ddl;
+pub mod diff;
+pub mod schema;
+pub mod space;
+
+pub use diff::{diff, SchemaDiff, VertexChange};
+pub use schema::{EdgeSchema, PropertyGraphSchema, PropertyOrigin, PropertySchema, VertexSchema};
+pub use space::{estimate_space, SpaceEstimate};

@@ -1,0 +1,203 @@
+//! Space estimation for property graphs conforming to a schema.
+//!
+//! The optimizer trades query performance against the memory footprint of the
+//! instantiated property graph (§4.2 of the paper). This module estimates
+//! that footprint for an arbitrary [`PropertyGraphSchema`] given the ontology
+//! and its [`DataStatistics`], so that experiments can report the space
+//! consumed by the direct schema (`S_DIR`), by the unconstrained optimized
+//! schema (`S_NSC`) and by anything in between.
+
+use crate::schema::{PropertyGraphSchema, PropertySchema, VertexSchema};
+use pgso_ontology::{DataStatistics, Ontology, EDGE_OVERHEAD_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of the estimated size of a property graph instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpaceEstimate {
+    /// Bytes spent on scalar vertex properties.
+    pub scalar_property_bytes: u64,
+    /// Bytes spent on replicated LIST properties.
+    pub list_property_bytes: u64,
+    /// Bytes spent on edges (adjacency bookkeeping).
+    pub edge_bytes: u64,
+}
+
+impl SpaceEstimate {
+    /// Total estimated bytes.
+    pub fn total(&self) -> u64 {
+        self.scalar_property_bytes + self.list_property_bytes + self.edge_bytes
+    }
+}
+
+/// Estimates the size in bytes of a property graph instantiated from `schema`
+/// with the instance counts described by `stats`.
+pub fn estimate_space(
+    schema: &PropertyGraphSchema,
+    ontology: &Ontology,
+    stats: &DataStatistics,
+) -> SpaceEstimate {
+    let mut estimate = SpaceEstimate::default();
+
+    for vertex in schema.vertices() {
+        let cardinality = vertex_cardinality(vertex, ontology, stats);
+        for prop in &vertex.properties {
+            let bytes = property_bytes(prop, cardinality, ontology, stats);
+            if prop.is_list {
+                estimate.list_property_bytes += bytes;
+            } else {
+                estimate.scalar_property_bytes += bytes;
+            }
+        }
+    }
+
+    for edge in schema.edges() {
+        estimate.edge_bytes += edge_cardinality(edge.label.as_str(), edge.src.as_str(), schema, ontology, stats)
+            * EDGE_OVERHEAD_BYTES;
+    }
+
+    estimate
+}
+
+/// Instance count of a vertex type: the largest cardinality among the
+/// concepts folded into it (a 1:1 merge stores one vertex per matched pair,
+/// bounded by the larger side; a union/inheritance fold keeps the member /
+/// child instances).
+fn vertex_cardinality(vertex: &VertexSchema, ontology: &Ontology, stats: &DataStatistics) -> u64 {
+    vertex
+        .merged_from
+        .iter()
+        .filter_map(|name| ontology.concept_by_name(name))
+        .map(|cid| stats.concept_cardinality(cid))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Bytes consumed by one property type across all instances of its vertex
+/// type.
+fn property_bytes(
+    prop: &PropertySchema,
+    vertex_cardinality: u64,
+    ontology: &Ontology,
+    stats: &DataStatistics,
+) -> u64 {
+    let element = prop.data_type.size_bytes();
+    if prop.is_list {
+        // Every instance of the origin concept contributes one list element
+        // somewhere; if the origin is unknown fall back to one element per
+        // vertex instance.
+        let elements = prop
+            .origin
+            .as_ref()
+            .and_then(|o| ontology.concept_by_name(&o.concept))
+            .map(|cid| stats.concept_cardinality(cid))
+            .unwrap_or(vertex_cardinality);
+        elements * element
+    } else {
+        vertex_cardinality * element
+    }
+}
+
+/// Instance count of an edge type: resolved from the ontology relationship of
+/// the same name when possible, otherwise estimated from the source vertex
+/// type's cardinality.
+fn edge_cardinality(
+    label: &str,
+    src_label: &str,
+    schema: &PropertyGraphSchema,
+    ontology: &Ontology,
+    stats: &DataStatistics,
+) -> u64 {
+    if let Some((rid, _)) = ontology.relationships().find(|(_, r)| r.name == label) {
+        return stats.relationship_cardinality(rid);
+    }
+    schema
+        .vertex(src_label)
+        .map(|v| vertex_cardinality(v, ontology, stats))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EdgeSchema, PropertyOrigin, PropertySchema, VertexSchema};
+    use pgso_ontology::{catalog, DataType, RelationshipKind};
+
+    #[test]
+    fn direct_schema_space_matches_statistics_model() {
+        let o = catalog::med_mini();
+        let stats = DataStatistics::uniform(&o, 10, 5);
+        let s = PropertyGraphSchema::direct_from_ontology(&o);
+        let est = estimate_space(&s, &o, &stats);
+        // Scalar bytes: 10 instances × row size per concept.
+        let expected_scalars: u64 = o.concept_ids().map(|c| 10 * o.concept_row_size(c)).sum();
+        assert_eq!(est.scalar_property_bytes, expected_scalars);
+        // Edge bytes: 5 edges per relationship × overhead.
+        assert_eq!(est.edge_bytes, o.relationship_count() as u64 * 5 * EDGE_OVERHEAD_BYTES);
+        assert_eq!(est.total(), est.scalar_property_bytes + est.edge_bytes);
+        assert_eq!(est.list_property_bytes, 0);
+    }
+
+    #[test]
+    fn list_properties_charge_origin_cardinality() {
+        let o = catalog::med_mini();
+        let mut stats = DataStatistics::uniform(&o, 10, 5);
+        let indication = o.concept_by_name("Indication").unwrap();
+        stats.set_concept_cardinality(indication, 40);
+
+        let mut s = PropertyGraphSchema::new("t");
+        let mut drug = VertexSchema::new("Drug");
+        drug.properties.push(
+            PropertySchema::list("Indication.desc", DataType::Text)
+                .with_origin(PropertyOrigin::new("Indication", "desc")),
+        );
+        s.insert_vertex(drug);
+        let est = estimate_space(&s, &o, &stats);
+        assert_eq!(est.list_property_bytes, 40 * DataType::Text.size_bytes());
+    }
+
+    #[test]
+    fn merged_vertices_use_max_cardinality() {
+        let o = catalog::med_mini();
+        let mut stats = DataStatistics::uniform(&o, 10, 5);
+        let indication = o.concept_by_name("Indication").unwrap();
+        stats.set_concept_cardinality(indication, 100);
+
+        let mut s = PropertyGraphSchema::new("t");
+        let mut merged = VertexSchema::new("IndicationCondition");
+        merged.merged_from = vec!["Indication".into(), "Condition".into()];
+        merged.properties.push(PropertySchema::scalar("desc", DataType::Text));
+        s.insert_vertex(merged);
+        let est = estimate_space(&s, &o, &stats);
+        assert_eq!(est.scalar_property_bytes, 100 * DataType::Text.size_bytes());
+    }
+
+    #[test]
+    fn unknown_edge_labels_fall_back_to_source_cardinality() {
+        let o = catalog::med_mini();
+        let stats = DataStatistics::uniform(&o, 10, 5);
+        let mut s = PropertyGraphSchema::new("t");
+        s.insert_vertex(VertexSchema::new("Drug"));
+        s.insert_vertex(VertexSchema::new("Indication"));
+        s.add_edge(EdgeSchema::new("synthetic", "Drug", "Indication", RelationshipKind::OneToMany));
+        let est = estimate_space(&s, &o, &stats);
+        assert_eq!(est.edge_bytes, 10 * EDGE_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn optimized_schema_is_larger_than_direct_when_replicating() {
+        let o = catalog::med_mini();
+        let stats = DataStatistics::uniform(&o, 20, 50);
+        let direct = PropertyGraphSchema::direct_from_ontology(&o);
+        let mut replicated = direct.clone();
+        replicated
+            .vertex_mut("Drug")
+            .unwrap()
+            .upsert_property(
+                PropertySchema::list("Indication.desc", DataType::Text)
+                    .with_origin(PropertyOrigin::new("Indication", "desc")),
+            );
+        let d = estimate_space(&direct, &o, &stats);
+        let r = estimate_space(&replicated, &o, &stats);
+        assert!(r.total() > d.total());
+    }
+}

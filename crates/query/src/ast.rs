@@ -1,0 +1,273 @@
+//! Graph query representation.
+//!
+//! The microbenchmark of Section 5.3 uses three families of queries, all of
+//! which fit one pattern-query shape:
+//!
+//! * **pattern matching** (Q1–Q4) — a small sub-graph of labelled node and
+//!   edge patterns, returning vertex properties;
+//! * **property lookup** (Q5–Q8) — one or two nodes, returning a property;
+//! * **aggregation** (Q9–Q12) — counting a neighbour's property values
+//!   (`size(COLLECT(...))` in the paper's Cypher).
+//!
+//! A [`Query`] is a list of [`NodePattern`]s connected by [`EdgePattern`]s
+//! plus [`ReturnItem`]s. The executor treats the pattern as a connected graph
+//! rooted at the first node pattern.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A labelled node pattern, e.g. `(d:Drug)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodePattern {
+    /// Variable name (`d`).
+    pub var: String,
+    /// Vertex label (`Drug`).
+    pub label: String,
+}
+
+/// A directed edge pattern, e.g. `(d)-[:treat]->(i)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgePattern {
+    /// Edge label (`treat`).
+    pub label: String,
+    /// Variable of the source node pattern.
+    pub src: String,
+    /// Variable of the destination node pattern.
+    pub dst: String,
+}
+
+/// Aggregation functions supported by the return clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Number of matched bindings.
+    Count,
+    /// Number of collected property values (`size(COLLECT(p))`); LIST-typed
+    /// properties contribute their element count, which is what makes the
+    /// rewritten aggregation queries equivalent on the optimized schema.
+    CollectCount,
+}
+
+/// One item of the `RETURN` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReturnItem {
+    /// Return a property of a bound vertex (`d.name`).
+    Property {
+        /// Node variable.
+        var: String,
+        /// Property name.
+        property: String,
+    },
+    /// Return the bound vertex itself (`aa`).
+    Vertex {
+        /// Node variable.
+        var: String,
+    },
+    /// Return an aggregate over all matches.
+    Aggregate {
+        /// Aggregation function.
+        agg: Aggregate,
+        /// Node variable the aggregate ranges over.
+        var: String,
+        /// Property to collect (required for [`Aggregate::CollectCount`]).
+        property: Option<String>,
+    },
+}
+
+/// A graph pattern query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Query name (e.g. `Q1`), used in experiment output.
+    pub name: String,
+    /// Node patterns; the first is the traversal root.
+    pub nodes: Vec<NodePattern>,
+    /// Edge patterns connecting node variables.
+    pub edges: Vec<EdgePattern>,
+    /// Return clause.
+    pub returns: Vec<ReturnItem>,
+}
+
+impl Query {
+    /// Starts building a query with the given name.
+    pub fn builder(name: impl Into<String>) -> QueryBuilder {
+        QueryBuilder {
+            query: Query { name: name.into(), nodes: Vec::new(), edges: Vec::new(), returns: Vec::new() },
+        }
+    }
+
+    /// Finds a node pattern by variable.
+    pub fn node(&self, var: &str) -> Option<&NodePattern> {
+        self.nodes.iter().find(|n| n.var == var)
+    }
+
+    /// True if the query returns at least one aggregate.
+    pub fn is_aggregation(&self) -> bool {
+        self.returns.iter().any(|r| matches!(r, ReturnItem::Aggregate { .. }))
+    }
+
+    /// Number of edge patterns (the paper's "edge traversals specified").
+    pub fn edge_pattern_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MATCH ")?;
+        if self.edges.is_empty() {
+            let parts: Vec<String> =
+                self.nodes.iter().map(|n| format!("({}:{})", n.var, n.label)).collect();
+            write!(f, "{}", parts.join(", "))?;
+        } else {
+            let parts: Vec<String> = self
+                .edges
+                .iter()
+                .map(|e| {
+                    let src = self.node(&e.src).map(|n| n.label.as_str()).unwrap_or("?");
+                    let dst = self.node(&e.dst).map(|n| n.label.as_str()).unwrap_or("?");
+                    format!("({}:{})-[:{}]->({}:{})", e.src, src, e.label, e.dst, dst)
+                })
+                .collect();
+            write!(f, "{}", parts.join(", "))?;
+        }
+        write!(f, " RETURN ")?;
+        let returns: Vec<String> = self
+            .returns
+            .iter()
+            .map(|r| match r {
+                ReturnItem::Property { var, property } => format!("{var}.{property}"),
+                ReturnItem::Vertex { var } => var.clone(),
+                ReturnItem::Aggregate { agg, var, property } => {
+                    let inner = match property {
+                        Some(p) => format!("{var}.{p}"),
+                        None => var.clone(),
+                    };
+                    match agg {
+                        Aggregate::Count => format!("count({inner})"),
+                        Aggregate::CollectCount => format!("size(collect({inner}))"),
+                    }
+                }
+            })
+            .collect();
+        write!(f, "{}", returns.join(", "))
+    }
+}
+
+/// Fluent builder for [`Query`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    query: Query,
+}
+
+impl QueryBuilder {
+    /// Adds a node pattern.
+    pub fn node(mut self, var: impl Into<String>, label: impl Into<String>) -> Self {
+        self.query.nodes.push(NodePattern { var: var.into(), label: label.into() });
+        self
+    }
+
+    /// Adds an edge pattern.
+    pub fn edge(
+        mut self,
+        src: impl Into<String>,
+        label: impl Into<String>,
+        dst: impl Into<String>,
+    ) -> Self {
+        self.query.edges.push(EdgePattern { label: label.into(), src: src.into(), dst: dst.into() });
+        self
+    }
+
+    /// Returns a property of a bound node.
+    pub fn ret_property(mut self, var: impl Into<String>, property: impl Into<String>) -> Self {
+        self.query
+            .returns
+            .push(ReturnItem::Property { var: var.into(), property: property.into() });
+        self
+    }
+
+    /// Returns a bound vertex.
+    pub fn ret_vertex(mut self, var: impl Into<String>) -> Self {
+        self.query.returns.push(ReturnItem::Vertex { var: var.into() });
+        self
+    }
+
+    /// Returns an aggregate.
+    pub fn ret_aggregate(
+        mut self,
+        agg: Aggregate,
+        var: impl Into<String>,
+        property: Option<&str>,
+    ) -> Self {
+        self.query.returns.push(ReturnItem::Aggregate {
+            agg,
+            var: var.into(),
+            property: property.map(str::to_string),
+        });
+        self
+    }
+
+    /// Finalises the query.
+    pub fn build(self) -> Query {
+        assert!(!self.query.nodes.is_empty(), "a query needs at least one node pattern");
+        assert!(!self.query.returns.is_empty(), "a query needs a RETURN clause");
+        self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_queries() {
+        let q = Query::builder("Q1")
+            .node("d", "Drug")
+            .node("r", "Risk")
+            .edge("d", "cause", "r")
+            .ret_property("d", "name")
+            .build();
+        assert_eq!(q.name, "Q1");
+        assert_eq!(q.nodes.len(), 2);
+        assert_eq!(q.edge_pattern_count(), 1);
+        assert!(!q.is_aggregation());
+        assert_eq!(q.node("d").unwrap().label, "Drug");
+        assert!(q.node("x").is_none());
+    }
+
+    #[test]
+    fn display_resembles_cypher() {
+        let q = Query::builder("Q9")
+            .node("d", "Drug")
+            .node("dr", "DrugRoute")
+            .edge("d", "hasDrugRoute", "dr")
+            .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
+            .build();
+        let text = q.to_string();
+        assert!(text.contains("(d:Drug)-[:hasDrugRoute]->(dr:DrugRoute)"));
+        assert!(text.contains("size(collect(dr.drugRouteId))"));
+    }
+
+    #[test]
+    fn display_without_edges() {
+        let q = Query::builder("Q7")
+            .node("n", "Corporation")
+            .ret_property("n", "hasLegalName")
+            .build();
+        assert!(q.to_string().contains("MATCH (n:Corporation) RETURN n.hasLegalName"));
+    }
+
+    #[test]
+    fn aggregation_detection() {
+        let q = Query::builder("Q")
+            .node("a", "A")
+            .ret_aggregate(Aggregate::Count, "a", None)
+            .build();
+        assert!(q.is_aggregation());
+        assert!(q.to_string().contains("count(a)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "RETURN")]
+    fn builder_requires_returns() {
+        let _ = Query::builder("bad").node("a", "A").build();
+    }
+}

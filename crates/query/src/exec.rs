@@ -1,0 +1,408 @@
+//! Query executor.
+//!
+//! A straightforward backtracking pattern matcher: the first node pattern is
+//! the root; candidate vertices are found through the backend's label index
+//! and the remaining pattern is expanded edge by edge (forward along
+//! out-edges, backward along in-edges). Every neighbour expansion goes
+//! through the backend and is therefore counted in its [`AccessStats`] — the
+//! executor itself adds no caching, so latency differences between schemas
+//! reflect the storage work, as in the paper's evaluation.
+
+use crate::ast::{Aggregate, Query, ReturnItem};
+use pgso_graphstore::{AccessStats, GraphBackend, PropertyValue, VertexId};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One result row: the values requested by the RETURN clause.
+pub type Row = Vec<PropertyValue>;
+
+/// Result of executing a query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Result rows (a single row for aggregate queries).
+    pub rows: Vec<Row>,
+    /// Number of pattern matches found (before aggregation).
+    pub matches: usize,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Backend access counters accumulated during execution.
+    pub stats: AccessStats,
+}
+
+impl QueryResult {
+    /// First value of the first row as an integer, convenient for COUNT-style
+    /// assertions in tests and experiments.
+    pub fn scalar(&self) -> Option<i64> {
+        self.rows.first().and_then(|r| r.first()).and_then(PropertyValue::as_int)
+    }
+}
+
+/// Executes a query against a backend.
+pub fn execute(query: &Query, backend: &dyn GraphBackend) -> QueryResult {
+    let before = backend.stats();
+    let start = Instant::now();
+
+    let mut bindings: Vec<HashMap<String, VertexId>> = Vec::new();
+    if let Some(root) = query.nodes.first() {
+        for vertex in backend.vertices_with_label(&root.label) {
+            let mut binding = HashMap::new();
+            binding.insert(root.var.clone(), vertex);
+            expand(query, backend, 0, binding, &mut bindings);
+        }
+    }
+
+    let rows = build_rows(query, backend, &bindings);
+    let elapsed = start.elapsed();
+    let after = backend.stats();
+    QueryResult {
+        rows,
+        matches: bindings.len(),
+        elapsed,
+        stats: AccessStats {
+            vertex_reads: after.vertex_reads - before.vertex_reads,
+            edge_traversals: after.edge_traversals - before.edge_traversals,
+            page_reads: after.page_reads - before.page_reads,
+            page_hits: after.page_hits - before.page_hits,
+        },
+    }
+}
+
+/// Recursively matches edge patterns in order.
+fn expand(
+    query: &Query,
+    backend: &dyn GraphBackend,
+    edge_index: usize,
+    binding: HashMap<String, VertexId>,
+    out: &mut Vec<HashMap<String, VertexId>>,
+) {
+    let Some(edge) = query.edges.get(edge_index) else {
+        // All edges matched; check that every node pattern variable is bound
+        // and labelled correctly (unbound isolated patterns bind to any vertex
+        // of their label).
+        let mut bindings = vec![binding];
+        for node in &query.nodes {
+            if bindings.iter().all(|b| b.contains_key(&node.var)) {
+                continue;
+            }
+            let candidates = backend.vertices_with_label(&node.label);
+            let mut expanded = Vec::new();
+            for b in bindings {
+                for &candidate in &candidates {
+                    let mut next = b.clone();
+                    next.insert(node.var.clone(), candidate);
+                    expanded.push(next);
+                }
+            }
+            bindings = expanded;
+        }
+        out.extend(bindings);
+        return;
+    };
+
+    let src_bound = binding.get(&edge.src).copied();
+    let dst_bound = binding.get(&edge.dst).copied();
+    match (src_bound, dst_bound) {
+        (Some(src), Some(dst)) => {
+            if backend.out_neighbours(src, &edge.label).contains(&dst) {
+                expand(query, backend, edge_index + 1, binding, out);
+            }
+        }
+        (Some(src), None) => {
+            let dst_label = query.node(&edge.dst).map(|n| n.label.as_str()).unwrap_or("");
+            for neighbour in backend.out_neighbours(src, &edge.label) {
+                if !label_matches(backend, neighbour, dst_label) {
+                    continue;
+                }
+                let mut next = binding.clone();
+                next.insert(edge.dst.clone(), neighbour);
+                expand(query, backend, edge_index + 1, next, out);
+            }
+        }
+        (None, Some(dst)) => {
+            let src_label = query.node(&edge.src).map(|n| n.label.as_str()).unwrap_or("");
+            for neighbour in backend.in_neighbours(dst, &edge.label) {
+                if !label_matches(backend, neighbour, src_label) {
+                    continue;
+                }
+                let mut next = binding.clone();
+                next.insert(edge.src.clone(), neighbour);
+                expand(query, backend, edge_index + 1, next, out);
+            }
+        }
+        (None, None) => {
+            // Disconnected edge pattern: enumerate source candidates by label.
+            let src_label = query.node(&edge.src).map(|n| n.label.as_str()).unwrap_or("");
+            for candidate in backend.vertices_with_label(src_label) {
+                let mut next = binding.clone();
+                next.insert(edge.src.clone(), candidate);
+                expand(query, backend, edge_index, next, out);
+            }
+        }
+    }
+}
+
+fn label_matches(backend: &dyn GraphBackend, vertex: VertexId, label: &str) -> bool {
+    if label.is_empty() {
+        return true;
+    }
+    backend.label_of(vertex).map(|l| l == label).unwrap_or(false)
+}
+
+fn build_rows(
+    query: &Query,
+    backend: &dyn GraphBackend,
+    bindings: &[HashMap<String, VertexId>],
+) -> Vec<Row> {
+    if query.is_aggregation() {
+        let mut row = Row::new();
+        for item in &query.returns {
+            match item {
+                ReturnItem::Aggregate { agg: Aggregate::Count, .. } => {
+                    row.push(PropertyValue::Int(bindings.len() as i64));
+                }
+                ReturnItem::Aggregate { agg: Aggregate::CollectCount, var, property } => {
+                    let mut collected = 0usize;
+                    for binding in bindings {
+                        let Some(&vertex) = binding.get(var) else { continue };
+                        match property {
+                            Some(p) => {
+                                if let Some(value) = backend.property_of(vertex, p) {
+                                    collected += value.element_count();
+                                }
+                            }
+                            None => collected += 1,
+                        }
+                    }
+                    row.push(PropertyValue::Int(collected as i64));
+                }
+                ReturnItem::Property { var, property } => {
+                    // Non-aggregated return mixed with aggregates: take the
+                    // first binding's value, mirroring an implicit group key.
+                    let value = bindings
+                        .first()
+                        .and_then(|b| b.get(var))
+                        .and_then(|&v| backend.property_of(v, property))
+                        .unwrap_or(PropertyValue::Str(String::new()));
+                    row.push(value);
+                }
+                ReturnItem::Vertex { var } => {
+                    let value = bindings
+                        .first()
+                        .and_then(|b| b.get(var))
+                        .map(|&v| PropertyValue::Int(v.0 as i64))
+                        .unwrap_or(PropertyValue::Int(-1));
+                    row.push(value);
+                }
+            }
+        }
+        return vec![row];
+    }
+
+    bindings
+        .iter()
+        .map(|binding| {
+            query
+                .returns
+                .iter()
+                .map(|item| match item {
+                    ReturnItem::Property { var, property } => binding
+                        .get(var)
+                        .and_then(|&v| backend.property_of(v, property))
+                        .unwrap_or(PropertyValue::Str(String::new())),
+                    ReturnItem::Vertex { var } => binding
+                        .get(var)
+                        .map(|&v| PropertyValue::Int(v.0 as i64))
+                        .unwrap_or(PropertyValue::Int(-1)),
+                    ReturnItem::Aggregate { .. } => unreachable!("handled above"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Aggregate, Query};
+    use pgso_graphstore::{props, MemoryGraph};
+
+    /// Builds the property graphs of Figure 1(b) (direct) and 1(c)
+    /// (optimized) from the paper's motivating example.
+    fn figure_1_direct() -> MemoryGraph {
+        let mut g = MemoryGraph::new();
+        let drug = g.add_vertex(
+            "Drug",
+            props([("name", "Aspirin".into()), ("brand", "Ecotrin".into())]),
+        );
+        let ind1 = g.add_vertex("Indication", props([("desc", "Fever".into())]));
+        let ind2 = g.add_vertex("Indication", props([("desc", "Headache".into())]));
+        let di = g.add_vertex("DrugInteraction", props([("summary", "Delayed".into())]));
+        let dfi = g.add_vertex("DrugFoodInteraction", props([("risk", "moderate".into())]));
+        let dli = g.add_vertex("DrugLabInteraction", props([("mechanism", "glucose".into())]));
+        g.add_edge("treat", drug, ind1);
+        g.add_edge("treat", drug, ind2);
+        g.add_edge("has", drug, di);
+        g.add_edge("isA", di, dfi);
+        g.add_edge("isA", di, dli);
+        g
+    }
+
+    fn figure_1_optimized() -> MemoryGraph {
+        let mut g = MemoryGraph::new();
+        let drug = g.add_vertex(
+            "Drug",
+            props([
+                ("name", "Aspirin".into()),
+                ("brand", "Ecotrin".into()),
+                ("Indication.desc", PropertyValue::str_list(["Fever", "Headache"])),
+            ]),
+        );
+        let ind1 = g.add_vertex("Indication", props([("desc", "Fever".into())]));
+        let ind2 = g.add_vertex("Indication", props([("desc", "Headache".into())]));
+        let dfi = g.add_vertex(
+            "DrugFoodInteraction",
+            props([("risk", "moderate".into()), ("summary", "Delayed".into())]),
+        );
+        let dli = g.add_vertex(
+            "DrugLabInteraction",
+            props([("mechanism", "glucose".into()), ("summary", "Delayed".into())]),
+        );
+        g.add_edge("treat", drug, ind1);
+        g.add_edge("treat", drug, ind2);
+        g.add_edge("has", drug, dfi);
+        g.add_edge("has", drug, dli);
+        g
+    }
+
+    #[test]
+    fn pattern_match_two_hops_on_direct_graph() {
+        // Example 1: Drug and the risk of its DrugFoodInteraction.
+        let g = figure_1_direct();
+        let q = Query::builder("example1")
+            .node("d", "Drug")
+            .node("di", "DrugInteraction")
+            .node("dfi", "DrugFoodInteraction")
+            .edge("d", "has", "di")
+            .edge("di", "isA", "dfi")
+            .ret_property("d", "name")
+            .ret_property("dfi", "risk")
+            .build();
+        let result = execute(&q, &g);
+        assert_eq!(result.matches, 1);
+        assert_eq!(result.rows[0][0].as_str(), Some("Aspirin"));
+        assert_eq!(result.rows[0][1].as_str(), Some("moderate"));
+        assert!(result.stats.edge_traversals >= 2, "direct graph needs 2 traversals");
+    }
+
+    #[test]
+    fn pattern_match_one_hop_on_optimized_graph() {
+        let g = figure_1_optimized();
+        let q = Query::builder("example1-opt")
+            .node("d", "Drug")
+            .node("dfi", "DrugFoodInteraction")
+            .edge("d", "has", "dfi")
+            .ret_property("dfi", "risk")
+            .build();
+        let result = execute(&q, &g);
+        assert_eq!(result.matches, 1);
+        assert_eq!(result.rows[0][0].as_str(), Some("moderate"));
+    }
+
+    #[test]
+    fn aggregation_count_over_traversal_vs_list_property() {
+        // Example 2: COUNT of Indication.desc treated by each Drug.
+        let direct = figure_1_direct();
+        let q_direct = Query::builder("example2")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+            .build();
+        let r1 = execute(&q_direct, &direct);
+        assert_eq!(r1.scalar(), Some(2));
+        assert!(r1.stats.edge_traversals >= 2);
+
+        let optimized = figure_1_optimized();
+        let q_opt = Query::builder("example2-opt")
+            .node("d", "Drug")
+            .ret_aggregate(Aggregate::CollectCount, "d", Some("Indication.desc"))
+            .build();
+        let r2 = execute(&q_opt, &optimized);
+        assert_eq!(r2.scalar(), Some(2), "LIST property must yield the same count");
+        assert_eq!(r2.stats.edge_traversals, 0, "no traversal needed on the optimized graph");
+    }
+
+    #[test]
+    fn property_lookup_without_edges() {
+        let g = figure_1_direct();
+        let q = Query::builder("lookup")
+            .node("d", "Drug")
+            .ret_property("d", "brand")
+            .build();
+        let result = execute(&q, &g);
+        assert_eq!(result.matches, 1);
+        assert_eq!(result.rows[0][0].as_str(), Some("Ecotrin"));
+        assert_eq!(result.stats.edge_traversals, 0);
+    }
+
+    #[test]
+    fn reverse_traversal_matches_incoming_edges() {
+        let g = figure_1_direct();
+        // Root at Indication, pattern edge points Drug -> Indication.
+        let q = Query::builder("reverse")
+            .node("i", "Indication")
+            .node("d", "Drug")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .ret_property("d", "name")
+            .build();
+        let result = execute(&q, &g);
+        assert_eq!(result.matches, 2);
+        for row in &result.rows {
+            assert_eq!(row[1].as_str(), Some("Aspirin"));
+        }
+    }
+
+    #[test]
+    fn count_aggregate_counts_matches() {
+        let g = figure_1_direct();
+        let q = Query::builder("count")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::Count, "i", None)
+            .build();
+        assert_eq!(execute(&q, &g).scalar(), Some(2));
+    }
+
+    #[test]
+    fn unmatched_label_returns_no_rows() {
+        let g = figure_1_direct();
+        let q = Query::builder("missing")
+            .node("x", "Pharmacy")
+            .ret_property("x", "name")
+            .build();
+        let result = execute(&q, &g);
+        assert_eq!(result.matches, 0);
+        assert!(result.rows.is_empty());
+    }
+
+    #[test]
+    fn bound_bound_edge_check() {
+        // Triangle-less check: (i1)<-[treat]-(d)-[treat]->(i2) with i1 != i2
+        // via two edges sharing the drug variable.
+        let g = figure_1_direct();
+        let q = Query::builder("two-indications")
+            .node("d", "Drug")
+            .node("i1", "Indication")
+            .node("i2", "Indication")
+            .edge("d", "treat", "i1")
+            .edge("d", "treat", "i2")
+            .ret_property("i1", "desc")
+            .ret_property("i2", "desc")
+            .build();
+        let result = execute(&q, &g);
+        // 2 choices for i1 × 2 for i2 (homomorphism semantics).
+        assert_eq!(result.matches, 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pgso-query
+//!
+//! Graph query layer for the `pgso` workspace: a pattern-query AST
+//! ([`Query`]), a backtracking executor ([`execute`]) that runs against any
+//! [`pgso_graphstore::GraphBackend`], and the DIR→OPT rewriter
+//! ([`rewrite`]) that maps queries written against the direct schema onto an
+//! optimized schema (Section 5.3 of the paper).
+//!
+//! ```
+//! use pgso_graphstore::{props, GraphBackend, MemoryGraph};
+//! use pgso_query::{execute, Query};
+//!
+//! let mut graph = MemoryGraph::new();
+//! let drug = graph.add_vertex("Drug", props([("name", "Aspirin".into())]));
+//! let ind = graph.add_vertex("Indication", props([("desc", "Fever".into())]));
+//! graph.add_edge("treat", drug, ind);
+//!
+//! let query = Query::builder("q")
+//!     .node("d", "Drug")
+//!     .node("i", "Indication")
+//!     .edge("d", "treat", "i")
+//!     .ret_property("i", "desc")
+//!     .build();
+//! let result = execute(&query, &graph);
+//! assert_eq!(result.rows[0][0].as_str(), Some("Fever"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod exec;
+pub mod rewrite;
+
+pub use ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder, ReturnItem};
+pub use exec::{execute, QueryResult, Row};
+pub use rewrite::rewrite;

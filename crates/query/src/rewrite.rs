@@ -1,0 +1,423 @@
+//! DIR → OPT query rewriting.
+//!
+//! Section 5.3: *"All queries are first expressed against DIR and then
+//! rewritten into the semantically equivalent queries over OPT."* A query
+//! written against the direct schema uses ontology concept names as labels;
+//! after optimization those concepts may have been merged (1:1, inheritance),
+//! dropped (union concepts, pushed-down parents) or given replicated LIST
+//! properties (1:M / M:N). [`rewrite`] maps the query onto the optimized
+//! schema using the provenance recorded in the schema itself
+//! (`merged_from`, property origins):
+//!
+//! 1. node labels are re-targeted to the vertex type that now carries the
+//!    concept;
+//! 2. variables whose vertices were merged into the same vertex type are
+//!    unified, and variables of dropped concepts are folded into an adjacent
+//!    pattern variable;
+//! 3. `COLLECT`-style aggregations over a 1:M neighbour are answered from the
+//!    replicated LIST property when one exists, removing the edge traversal;
+//! 4. property references are renamed to the replicated property names where
+//!    needed.
+
+use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
+use pgso_pgschema::PropertyGraphSchema;
+use std::collections::HashMap;
+
+/// Rewrites a query expressed against the direct schema into an equivalent
+/// query against the optimized schema.
+pub fn rewrite(query: &Query, optimized: &PropertyGraphSchema) -> Query {
+    let mut rewriter = Rewriter::new(query, optimized);
+    rewriter.unify_variables();
+    rewriter.rebuild()
+}
+
+struct Rewriter<'a> {
+    query: &'a Query,
+    schema: &'a PropertyGraphSchema,
+    /// Original concept label per variable.
+    concept_of: HashMap<String, String>,
+    /// Target vertex label per variable (None when the concept was dropped).
+    target_of: HashMap<String, Option<String>>,
+    /// Variable substitution map (var -> surviving var).
+    subst: HashMap<String, String>,
+}
+
+impl<'a> Rewriter<'a> {
+    fn new(query: &'a Query, schema: &'a PropertyGraphSchema) -> Self {
+        let mut concept_of = HashMap::new();
+        let mut target_of = HashMap::new();
+        let mut subst = HashMap::new();
+        for node in &query.nodes {
+            concept_of.insert(node.var.clone(), node.label.clone());
+            target_of.insert(
+                node.var.clone(),
+                schema.vertex_for_concept(&node.label).map(|v| v.label.clone()),
+            );
+            subst.insert(node.var.clone(), node.var.clone());
+        }
+        Self { query, schema, concept_of, target_of, subst }
+    }
+
+    fn resolve(&self, var: &str) -> String {
+        let mut current = var.to_string();
+        while let Some(next) = self.subst.get(&current) {
+            if *next == current {
+                break;
+            }
+            current = next.clone();
+        }
+        current
+    }
+
+    fn unify(&mut self, from: &str, into: &str) {
+        let from_root = self.resolve(from);
+        let into_root = self.resolve(into);
+        if from_root != into_root {
+            self.subst.insert(from_root, into_root);
+        }
+    }
+
+    fn unify_variables(&mut self) {
+        // (a) Endpoints of an edge that now live in the same vertex type
+        //     (1:1 merges, inheritance folds) collapse into one variable.
+        for edge in &self.query.edges {
+            let src_target = self.target_of.get(&edge.src).cloned().flatten();
+            let dst_target = self.target_of.get(&edge.dst).cloned().flatten();
+            if let (Some(s), Some(d)) = (src_target, dst_target) {
+                if s == d {
+                    // Keep the variable that appears first in the pattern.
+                    let keep_src = self
+                        .query
+                        .nodes
+                        .iter()
+                        .position(|n| n.var == edge.src)
+                        .unwrap_or(usize::MAX)
+                        <= self
+                            .query
+                            .nodes
+                            .iter()
+                            .position(|n| n.var == edge.dst)
+                            .unwrap_or(usize::MAX);
+                    if keep_src {
+                        self.unify(&edge.dst, &edge.src);
+                    } else {
+                        self.unify(&edge.src, &edge.dst);
+                    }
+                }
+            }
+        }
+        // (b) Variables whose concept disappeared (union concepts, pushed-down
+        //     parents) fold into an adjacent variable — preferring one reached
+        //     through a structural (isA / unionOf) edge, whose node carries the
+        //     dropped concept's properties after the rewrite rules.
+        for node in &self.query.nodes {
+            if self.target_of.get(&node.var).cloned().flatten().is_some() {
+                continue;
+            }
+            let mut candidate: Option<String> = None;
+            for edge in &self.query.edges {
+                let (other, structural) = if edge.src == node.var {
+                    (&edge.dst, matches!(edge.label.as_str(), "isA" | "unionOf"))
+                } else if edge.dst == node.var {
+                    (&edge.src, matches!(edge.label.as_str(), "isA" | "unionOf"))
+                } else {
+                    continue;
+                };
+                if self.target_of.get(other).cloned().flatten().is_none() {
+                    continue;
+                }
+                if structural {
+                    candidate = Some(other.clone());
+                    break;
+                }
+                if candidate.is_none() {
+                    candidate = Some(other.clone());
+                }
+            }
+            if let Some(other) = candidate {
+                self.unify(&node.var, &other);
+            }
+        }
+    }
+
+    /// Label the surviving variable maps to in the optimized schema.
+    fn label_of(&self, var: &str) -> String {
+        let root = self.resolve(var);
+        self.target_of
+            .get(&root)
+            .cloned()
+            .flatten()
+            .or_else(|| self.concept_of.get(&root).cloned())
+            .unwrap_or_default()
+    }
+
+    /// Finds the property name to use for `var.property` on the optimized
+    /// schema, following the replicated-property naming convention.
+    fn property_name(&self, var: &str, property: &str) -> String {
+        let root = self.resolve(var);
+        let label = self.label_of(&root);
+        let original_concept = self.concept_of.get(var).cloned().unwrap_or_default();
+        if let Some(vertex) = self.schema.vertex(&label) {
+            if vertex.has_property(property) {
+                return property.to_string();
+            }
+            let qualified = format!("{original_concept}.{property}");
+            if vertex.has_property(&qualified) {
+                return qualified;
+            }
+        }
+        property.to_string()
+    }
+
+    fn rebuild(&mut self) -> Query {
+        // Decide which CollectCount aggregations can be answered from a
+        // replicated LIST property, eliminating their edge and node pattern.
+        let mut replaced_vars: HashMap<String, (String, String)> = HashMap::new();
+        for item in &self.query.returns {
+            let ReturnItem::Aggregate {
+                agg: Aggregate::CollectCount,
+                var,
+                property: Some(property),
+            } = item
+            else {
+                continue;
+            };
+            let var_root = self.resolve(var);
+            // The variable must be reached by exactly one pattern edge.
+            let incident: Vec<&EdgePattern> = self
+                .query
+                .edges
+                .iter()
+                .filter(|e| self.resolve(&e.src) == var_root || self.resolve(&e.dst) == var_root)
+                .collect();
+            if incident.len() != 1 {
+                continue;
+            }
+            let edge = incident[0];
+            let (holder_var, provider_var) = if self.resolve(&edge.dst) == var_root {
+                (&edge.src, &edge.dst)
+            } else {
+                (&edge.dst, &edge.src)
+            };
+            let holder_label = self.label_of(holder_var);
+            let provider_concept =
+                self.concept_of.get(provider_var).cloned().unwrap_or_default();
+            let replicated = format!("{provider_concept}.{property}");
+            let available = self
+                .schema
+                .vertex(&holder_label)
+                .map(|v| v.property(&replicated).map(|p| p.is_list).unwrap_or(false))
+                .unwrap_or(false);
+            if available {
+                replaced_vars
+                    .insert(var_root.clone(), (self.resolve(holder_var), replicated));
+            }
+        }
+
+        // Node patterns: one per surviving variable root that is still needed.
+        let mut nodes: Vec<NodePattern> = Vec::new();
+        for node in &self.query.nodes {
+            let root = self.resolve(&node.var);
+            if root != node.var {
+                continue; // substituted away
+            }
+            if replaced_vars.contains_key(&root) {
+                continue; // answered from a LIST property
+            }
+            if nodes.iter().any(|n| n.var == root) {
+                continue;
+            }
+            nodes.push(NodePattern { var: root.clone(), label: self.label_of(&root) });
+        }
+
+        // Edge patterns: substitute endpoints, drop self-loops and edges whose
+        // provider side was replaced by a LIST property.
+        let mut edges: Vec<EdgePattern> = Vec::new();
+        for edge in &self.query.edges {
+            let src = self.resolve(&edge.src);
+            let dst = self.resolve(&edge.dst);
+            if src == dst {
+                continue;
+            }
+            if replaced_vars.contains_key(&src) || replaced_vars.contains_key(&dst) {
+                continue;
+            }
+            let rewritten = EdgePattern { label: edge.label.clone(), src, dst };
+            if !edges.contains(&rewritten) {
+                edges.push(rewritten);
+            }
+        }
+
+        // Return clause.
+        let returns = self
+            .query
+            .returns
+            .iter()
+            .map(|item| match item {
+                ReturnItem::Property { var, property } => {
+                    let root = self.resolve(var);
+                    ReturnItem::Property {
+                        property: self.property_name(var, property),
+                        var: root,
+                    }
+                }
+                ReturnItem::Vertex { var } => ReturnItem::Vertex { var: self.resolve(var) },
+                ReturnItem::Aggregate { agg, var, property } => {
+                    let root = self.resolve(var);
+                    if let Some((holder, replicated)) = replaced_vars.get(&root) {
+                        ReturnItem::Aggregate {
+                            agg: *agg,
+                            var: holder.clone(),
+                            property: Some(replicated.clone()),
+                        }
+                    } else {
+                        ReturnItem::Aggregate {
+                            agg: *agg,
+                            var: root.clone(),
+                            property: property
+                                .as_ref()
+                                .map(|p| self.property_name(var, p)),
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        Query {
+            name: format!("{}-opt", self.query.name),
+            nodes,
+            edges,
+            returns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_core::{optimize_nsc, OptimizerConfig, OptimizerInput};
+    use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
+
+    fn optimized_mini() -> PropertyGraphSchema {
+        let o = catalog::med_mini();
+        let stats = DataStatistics::synthesize(&o, &StatisticsConfig::small(), 3);
+        let af = AccessFrequencies::uniform(&o, 1_000.0);
+        optimize_nsc(OptimizerInput::new(&o, &stats, &af), &OptimizerConfig::default()).schema
+    }
+
+    #[test]
+    fn union_hop_is_eliminated() {
+        // Q1-style: (d:Drug)-[cause]->(r:Risk)-[unionOf]->(ci:ContraIndication)
+        let schema = optimized_mini();
+        let q = Query::builder("Q1")
+            .node("d", "Drug")
+            .node("r", "Risk")
+            .node("ci", "ContraIndication")
+            .edge("d", "cause", "r")
+            .edge("r", "unionOf", "ci")
+            .ret_property("d", "name")
+            .build();
+        let rewritten = rewrite(&q, &schema);
+        assert_eq!(rewritten.edge_pattern_count(), 1, "one hop instead of two: {rewritten}");
+        assert!(rewritten.edges.iter().any(|e| e.label == "cause"));
+        assert!(rewritten.nodes.iter().all(|n| n.label != "Risk"));
+        assert!(rewritten.nodes.iter().any(|n| n.label == "ContraIndication"));
+    }
+
+    #[test]
+    fn inheritance_parent_lookup_needs_no_traversal() {
+        // Q5-style: (di:DrugInteraction)-[isA]->(dl:DrugLabInteraction) RETURN di.summary
+        let schema = optimized_mini();
+        let q = Query::builder("Q5")
+            .node("di", "DrugInteraction")
+            .node("dl", "DrugLabInteraction")
+            .edge("di", "isA", "dl")
+            .ret_property("di", "summary")
+            .build();
+        let rewritten = rewrite(&q, &schema);
+        assert_eq!(rewritten.edge_pattern_count(), 0, "{rewritten}");
+        assert_eq!(rewritten.nodes.len(), 1);
+        assert_eq!(rewritten.nodes[0].label, "DrugLabInteraction");
+        assert_eq!(
+            rewritten.returns[0],
+            ReturnItem::Property { var: rewritten.nodes[0].var.clone(), property: "summary".into() }
+        );
+    }
+
+    #[test]
+    fn one_to_one_merge_unifies_variables() {
+        // (d:Drug)-[treat]->(i:Indication)-[hasCondition]->(c:Condition)
+        let schema = optimized_mini();
+        let q = Query::builder("merge")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .node("c", "Condition")
+            .edge("d", "treat", "i")
+            .edge("i", "hasCondition", "c")
+            .ret_property("c", "name")
+            .build();
+        let rewritten = rewrite(&q, &schema);
+        assert_eq!(rewritten.edge_pattern_count(), 1);
+        assert!(rewritten.nodes.iter().any(|n| n.label == "IndicationCondition"));
+        // The returned property lives on the merged vertex under its plain name.
+        match &rewritten.returns[0] {
+            ReturnItem::Property { property, .. } => assert_eq!(property, "name"),
+            other => panic!("unexpected return item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregation_uses_replicated_list_property() {
+        // Q9-style: COUNT of Indication.desc per Drug.
+        let schema = optimized_mini();
+        let q = Query::builder("Q9")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+            .build();
+        let rewritten = rewrite(&q, &schema);
+        assert_eq!(rewritten.edge_pattern_count(), 0, "{rewritten}");
+        assert_eq!(rewritten.nodes.len(), 1);
+        assert_eq!(rewritten.nodes[0].label, "Drug");
+        match &rewritten.returns[0] {
+            ReturnItem::Aggregate { property: Some(p), .. } => assert_eq!(p, "Indication.desc"),
+            other => panic!("unexpected return item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_lookup_queries_are_left_intact() {
+        let schema = optimized_mini();
+        let q = Query::builder("Q7").node("d", "Drug").ret_property("d", "brand").build();
+        let rewritten = rewrite(&q, &schema);
+        assert_eq!(rewritten.nodes.len(), 1);
+        assert_eq!(rewritten.nodes[0].label, "Drug");
+        assert_eq!(rewritten.edge_pattern_count(), 0);
+        assert!(rewritten.name.ends_with("-opt"));
+    }
+
+    #[test]
+    fn rewrite_against_full_medical_schema() {
+        let o = catalog::medical();
+        let stats = DataStatistics::synthesize(&o, &StatisticsConfig::small(), 3);
+        let af = AccessFrequencies::uniform(&o, 1_000.0);
+        let schema =
+            optimize_nsc(OptimizerInput::new(&o, &stats, &af), &OptimizerConfig::default()).schema;
+        // Aggregation over DrugRoute ids per Drug (paper's Q9).
+        let q9 = Query::builder("Q9")
+            .node("d", "Drug")
+            .node("dr", "DrugRoute")
+            .edge("d", "hasDrugRoute", "dr")
+            .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
+            .build();
+        let rewritten = rewrite(&q9, &schema);
+        assert_eq!(rewritten.edge_pattern_count(), 0);
+        match &rewritten.returns[0] {
+            ReturnItem::Aggregate { property: Some(p), .. } => {
+                assert_eq!(p, "DrugRoute.drugRouteId")
+            }
+            other => panic!("unexpected return item {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Schema explorer: define a custom ontology in the textual DSL, optimize it,
+//! and print the direct and optimized schemas side by side (Cypher DDL and
+//! GraphQL SDL) together with the structural diff and the estimated space.
+//!
+//! ```text
+//! cargo run --example schema_explorer
+//! ```
+
+use pgso::prelude::*;
+use pgso::pgschema::estimate_space;
+
+const CUSTOM_ONTOLOGY: &str = r#"
+ontology retail
+
+concept Customer {
+    name: string
+    email: string
+}
+
+concept Order {
+    orderId: string
+    total: double
+}
+
+concept LineItem {
+    quantity: int
+    price: double
+}
+
+concept Product {
+    sku: string
+    title: string
+}
+
+concept Payment {
+    method: string
+    amount: double
+}
+
+concept Promotion {
+    code: string
+}
+
+concept SeasonalPromotion {
+    season: string
+}
+
+rel places: Customer -> Order (1:M)
+rel contains: Order -> LineItem (1:M)
+rel refersTo: LineItem -> Product (M:N)
+rel paidBy: Order -> Payment (1:1)
+rel redeems: Order -> Promotion (M:N)
+rel isA: Promotion -> SeasonalPromotion (inheritance)
+"#;
+
+fn main() {
+    let ontology = pgso::ontology::dsl::parse(CUSTOM_ONTOLOGY).expect("valid ontology DSL");
+    println!("parsed: {}", ontology.summary());
+
+    let stats = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 3);
+    let workload = AccessFrequencies::uniform(&ontology, 1_000.0);
+    let outcome = optimize_nsc(
+        OptimizerInput::new(&ontology, &stats, &workload),
+        &OptimizerConfig::default(),
+    );
+
+    let direct = PropertyGraphSchema::direct_from_ontology(&ontology);
+    println!("\n-- direct schema (Cypher DDL) --\n{}", ddl::to_cypher_ddl(&direct));
+    println!("-- optimized schema (Cypher DDL) --\n{}", ddl::to_cypher_ddl(&outcome.schema));
+    println!("-- optimized schema (GraphQL SDL) --\n{}", pgso::pgschema::ddl::to_graphql_sdl(&outcome.schema));
+
+    println!("-- changes --\n{}", pgso::pgschema::diff(&direct, &outcome.schema));
+
+    let direct_space = estimate_space(&direct, &ontology, &stats);
+    let optimized_space = estimate_space(&outcome.schema, &ontology, &stats);
+    println!(
+        "estimated space: direct {} bytes, optimized {} bytes ({} bytes of replicated LISTs)",
+        direct_space.total(),
+        optimized_space.total(),
+        optimized_space.list_property_bytes
+    );
+}

@@ -1,0 +1,72 @@
+//! # pgso — Property Graph Schema Optimization for Domain-Specific Knowledge Graphs
+//!
+//! A Rust reproduction of Lei et al., *"Property Graph Schema Optimization
+//! for Domain-Specific Knowledge Graphs"* (ICDE 2021). This facade crate
+//! re-exports the workspace crates so applications can depend on a single
+//! crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ontology`] | `pgso-ontology` | ontology model, DSL, MED/FIN catalog, statistics, workload summaries |
+//! | [`pgschema`] | `pgso-pgschema` | property graph schema model, DDL emission, space estimation, diffs |
+//! | [`optimizer`] | `pgso-core` | relationship rules, OntologyPR, cost-benefit model, NSC / CC / RC / PGSG |
+//! | [`graphstore`] | `pgso-graphstore` | in-memory and disk-backed (paged, buffer pool) property graph storage |
+//! | [`query`] | `pgso-query` | pattern query AST, executor, DIR→OPT rewriter |
+//! | [`datagen`] | `pgso-datagen` | synthetic instance generation and schema-conforming loading |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pgso::prelude::*;
+//!
+//! // 1. Take a domain ontology (here: the paper's motivating example).
+//! let ontology = pgso::ontology::catalog::med_mini();
+//!
+//! // 2. Describe the data and the workload.
+//! let stats = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
+//! let workload = AccessFrequencies::generate(
+//!     &ontology,
+//!     WorkloadDistribution::default_zipf(),
+//!     10_000.0,
+//!     42,
+//! );
+//!
+//! // 3. Optimize the property graph schema (here without a space budget).
+//! let outcome = optimize_nsc(
+//!     OptimizerInput::new(&ontology, &stats, &workload),
+//!     &OptimizerConfig::default(),
+//! );
+//!
+//! // The optimized schema replicates Indication.desc onto Drug as a LIST
+//! // property and removes the Risk union vertex (Figure 1(c) of the paper).
+//! assert!(outcome.schema.vertex("Drug").unwrap().has_property("Indication.desc"));
+//! assert!(!outcome.schema.has_vertex("Risk"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use pgso_datagen as datagen;
+pub use pgso_graphstore as graphstore;
+pub use pgso_ontology as ontology;
+pub use pgso_core as optimizer;
+pub use pgso_pgschema as pgschema;
+pub use pgso_query as query;
+
+/// Commonly used types, re-exported for `use pgso::prelude::*`.
+pub mod prelude {
+    pub use pgso_core::{
+        optimize_concept_centric, optimize_nsc, optimize_pgsg, optimize_relation_centric,
+        OptimizationOutcome, OptimizerConfig, OptimizerInput,
+    };
+    pub use pgso_datagen::{load_into, InstanceKg};
+    pub use pgso_graphstore::{
+        props, DiskGraph, DiskGraphConfig, GraphBackend, MemoryGraph, PropertyValue,
+    };
+    pub use pgso_ontology::{
+        AccessFrequencies, DataStatistics, DataType, Ontology, OntologyBuilder, RelationshipKind,
+        StatisticsConfig, WorkloadDistribution,
+    };
+    pub use pgso_pgschema::{ddl, PropertyGraphSchema};
+    pub use pgso_query::{execute, rewrite, Aggregate, Query};
+}

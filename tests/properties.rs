@@ -1,0 +1,163 @@
+//! Property-based tests on the core invariants of the paper:
+//! Theorem 3 (rule-order independence), Proposition 1 (knapsack behaviour of
+//! the relation-centric selection), budget monotonicity and DSL round-trips.
+
+use pgso::prelude::*;
+use pgso::ontology::catalog;
+use pgso::optimizer::{
+    enumerate_items, solve_exact, solve_fptas, solve_greedy, InheritanceSimilarities,
+    KnapsackItem, RuleItem, SchemaGraph,
+};
+use proptest::prelude::*;
+
+/// Applies a fixed item set in the given order until fixpoint, via the raw
+/// schema graph (bypassing apply_plan's canonical ordering).
+fn apply_in_order(
+    ontology: &Ontology,
+    items: &[RuleItem],
+    config: &OptimizerConfig,
+) -> PropertyGraphSchema {
+    let similarities = InheritanceSimilarities::compute(ontology);
+    let mut graph = SchemaGraph::from_ontology(ontology);
+    loop {
+        let mut changed = false;
+        for item in items {
+            changed |= graph.apply_item(item, ontology, &similarities, config);
+        }
+        if !changed {
+            break;
+        }
+    }
+    graph.to_schema(ontology, "prop")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 3: the union, inheritance, 1:M and M:N rules commute.
+    #[test]
+    fn theorem3_rule_order_independence(seed in 0u64..1_000) {
+        let ontology = catalog::med_mini();
+        let config = OptimizerConfig::default();
+        let similarities = InheritanceSimilarities::compute(&ontology);
+        let mut items = enumerate_items(&ontology, &similarities, &config);
+        items.retain(|i| !matches!(i, RuleItem::OneToOne(_)));
+
+        let baseline = apply_in_order(&ontology, &items, &config);
+
+        // Shuffle deterministically from the seed.
+        let mut shuffled = items.clone();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let shuffled_schema = apply_in_order(&ontology, &shuffled, &config);
+        prop_assert_eq!(baseline, shuffled_schema);
+    }
+
+    /// The FPTAS never exceeds the budget and achieves at least (1-ε) of the
+    /// exact optimum; the greedy heuristic also stays within budget.
+    #[test]
+    fn knapsack_fptas_guarantee(
+        specs in proptest::collection::vec((0.0f64..100.0, 0u64..50), 1..24),
+        capacity in 0u64..400,
+    ) {
+        let items: Vec<KnapsackItem> =
+            specs.iter().map(|&(b, c)| KnapsackItem::new(b, c)).collect();
+        let exact = solve_exact(&items, capacity);
+        let epsilon = 0.1;
+        let approx = solve_fptas(&items, capacity, epsilon);
+        let greedy = solve_greedy(&items, capacity);
+        prop_assert!(approx.total_cost <= capacity);
+        prop_assert!(greedy.total_cost <= capacity);
+        prop_assert!(exact.total_cost <= capacity);
+        prop_assert!(
+            approx.total_benefit >= (1.0 - epsilon) * exact.total_benefit - 1e-6,
+            "FPTAS {} below (1-eps) * exact {}", approx.total_benefit, exact.total_benefit
+        );
+        // Selections must be consistent with the reported totals.
+        let recomputed: f64 = approx.selected.iter().map(|&i| items[i].benefit).sum();
+        prop_assert!((recomputed - approx.total_benefit).abs() < 1e-9);
+    }
+
+    /// Relation-centric selection: the total cost never exceeds the budget and
+    /// the benefit is monotone in the budget.
+    #[test]
+    fn relation_centric_budget_monotonicity(fraction in 0.0f64..1.0) {
+        let ontology = catalog::medical();
+        let stats = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 3);
+        let workload = AccessFrequencies::uniform(&ontology, 1_000.0);
+        let input = OptimizerInput::new(&ontology, &stats, &workload);
+        let nsc = optimize_nsc(input, &OptimizerConfig::default());
+        let budget = (nsc.total_cost as f64 * fraction) as u64;
+        let smaller = optimize_relation_centric(
+            input,
+            &OptimizerConfig::with_space_limit(budget / 2),
+        );
+        let larger =
+            optimize_relation_centric(input, &OptimizerConfig::with_space_limit(budget));
+        prop_assert!(smaller.total_cost <= budget / 2);
+        prop_assert!(larger.total_cost <= budget);
+        prop_assert!(larger.total_benefit + 1e-9 >= smaller.total_benefit);
+        prop_assert!(larger.total_benefit <= nsc.total_benefit + 1e-9);
+    }
+
+    /// The ontology DSL round-trips arbitrary small ontologies built from
+    /// generated concept/property/relationship specs.
+    #[test]
+    fn dsl_roundtrip(
+        concept_count in 2usize..8,
+        props_per_concept in 0usize..4,
+        rel_specs in proptest::collection::vec((0usize..8, 0usize..8, 0usize..3), 0..10),
+    ) {
+        let mut builder = OntologyBuilder::new("generated");
+        let mut ids = Vec::new();
+        for i in 0..concept_count {
+            let c = builder.add_concept(format!("Concept{i}"));
+            for p in 0..props_per_concept {
+                builder.add_property(c, format!("prop{p}"), DataType::Str);
+            }
+            ids.push(c);
+        }
+        for (a, b, kind) in rel_specs {
+            let (a, b) = (a % concept_count, b % concept_count);
+            if a == b {
+                continue;
+            }
+            let kind = match kind {
+                0 => RelationshipKind::OneToOne,
+                1 => RelationshipKind::OneToMany,
+                _ => RelationshipKind::ManyToMany,
+            };
+            builder.add_relationship(format!("rel{a}_{b}"), ids[a], ids[b], kind);
+        }
+        let ontology = builder.build().expect("generated ontology is structurally valid");
+        let text = pgso::ontology::dsl::to_dsl(&ontology);
+        let reparsed = pgso::ontology::dsl::parse(&text).expect("emitted DSL parses");
+        prop_assert_eq!(ontology, reparsed);
+    }
+}
+
+/// Non-proptest sanity check: the optimizer never produces dangling edges on
+/// any catalog ontology under a range of budgets.
+#[test]
+fn optimized_schemas_are_always_well_formed() {
+    for ontology in [catalog::med_mini(), catalog::medical(), catalog::financial()] {
+        let stats = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 1);
+        let workload = AccessFrequencies::uniform(&ontology, 1_000.0);
+        let input = OptimizerInput::new(&ontology, &stats, &workload);
+        let nsc = optimize_nsc(input, &OptimizerConfig::default());
+        assert!(nsc.schema.dangling_edges().is_empty(), "{}", ontology.name());
+        for divisor in [1, 2, 10, 100] {
+            let config = OptimizerConfig::with_space_limit(nsc.total_cost / divisor);
+            let result = optimize_pgsg(input, &config);
+            assert!(
+                result.chosen.schema.dangling_edges().is_empty(),
+                "{} at 1/{divisor} budget",
+                ontology.name()
+            );
+        }
+    }
+}
