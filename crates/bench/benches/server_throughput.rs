@@ -1,0 +1,85 @@
+//! Serving-layer throughput: queries/sec of one shared `KgServer` at 1, 2, 4
+//! and 8 worker threads over a mixed MED workload, plus the plan-cache hit
+//! ratio accumulated across the run. Adaptive re-optimization is disabled so
+//! every sample measures the same schema epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgso_datagen::InstanceKg;
+use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
+use pgso_query::{Aggregate, Query};
+use pgso_server::{KgServer, ServerConfig};
+
+fn build_server() -> KgServer {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 42);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    KgServer::new(
+        ontology,
+        statistics,
+        instance,
+        frequencies,
+        ServerConfig { auto_reoptimize: false, ..ServerConfig::default() },
+    )
+}
+
+/// 512-query mixed workload: lookups, patterns and aggregations.
+fn workload() -> Vec<Query> {
+    let shapes = [
+        Query::builder("lookup").node("d", "Drug").ret_property("d", "name").build(),
+        Query::builder("treat")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build(),
+        Query::builder("q9")
+            .node("d", "Drug")
+            .node("dr", "DrugRoute")
+            .edge("d", "hasDrugRoute", "dr")
+            .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
+            .build(),
+        Query::builder("encounters")
+            .node("p", "Patient")
+            .node("e", "Encounter")
+            .edge("p", "hasEncounter", "e")
+            .ret_property("e", "encounterId")
+            .build(),
+    ];
+    (0..512).map(|i| shapes[i % shapes.len()].clone()).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let server = build_server();
+    let queries = workload();
+    // Warm the plan cache so the throughput numbers measure the steady state.
+    let _ = server.run_workload(&queries, 1);
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter_custom(|iters| {
+                (0..iters).map(|_| server.run_workload(&queries, threads).elapsed).sum()
+            })
+        });
+        let report = server.run_workload(&queries, threads);
+        println!(
+            "server_throughput/threads_{threads:<2} {:>12.0} queries/sec",
+            report.queries_per_second()
+        );
+    }
+    group.finish();
+
+    let stats = server.cache_stats();
+    println!(
+        "server_throughput/plan_cache  hits {} misses {} hit_ratio {:.4} entries {}",
+        stats.hits,
+        stats.misses,
+        stats.hit_ratio(),
+        stats.entries
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -36,8 +36,12 @@ fn main() {
     for experiment in selected {
         match experiment {
             "summary" => schema_summary(),
-            "fig8" => fig_space(DatasetId::Med, "Figure 8: benefit ratio vs space constraint (MED)"),
-            "fig9" => fig_space(DatasetId::Fin, "Figure 9: benefit ratio vs space constraint (FIN)"),
+            "fig8" => {
+                fig_space(DatasetId::Med, "Figure 8: benefit ratio vs space constraint (MED)")
+            }
+            "fig9" => {
+                fig_space(DatasetId::Fin, "Figure 9: benefit ratio vs space constraint (FIN)")
+            }
             "fig10" => fig10(),
             "fig11" => fig11(),
             "fig12" => fig12(),
@@ -56,11 +60,18 @@ fn header(title: &str) {
 
 fn schema_summary() {
     header("Schema summary (direct vs NSC-optimized)");
-    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "dataset", "DIR vtypes", "DIR etypes", "OPT vtypes", "OPT etypes");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "DIR vtypes", "DIR etypes", "OPT vtypes", "OPT etypes"
+    );
     for row in experiments::schema_summary(SEED) {
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>12}",
-            row.dataset, row.direct_vertices, row.direct_edges, row.optimized_vertices, row.optimized_edges
+            row.dataset,
+            row.direct_vertices,
+            row.direct_edges,
+            row.optimized_vertices,
+            row.optimized_edges
         );
     }
 }

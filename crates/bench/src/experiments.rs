@@ -209,7 +209,12 @@ pub fn workload_latency_experiment(scale: f64, seed: u64) -> Vec<WorkloadRow> {
         let workload = figure12_workload(dataset);
         let memory_pair = build_memory_pair(&wb, &config, scale, seed);
         let (d, o) = crate::workbench::workload_latency(&workload, &memory_pair);
-        rows.push(WorkloadRow { dataset: dataset.label(), backend: "memory", direct: d, optimized: o });
+        rows.push(WorkloadRow {
+            dataset: dataset.label(),
+            backend: "memory",
+            direct: d,
+            optimized: o,
+        });
 
         let disk_dir = tmp.join(dataset.label());
         std::fs::create_dir_all(&disk_dir).expect("create disk dir");
@@ -223,7 +228,12 @@ pub fn workload_latency_experiment(scale: f64, seed: u64) -> Vec<WorkloadRow> {
         )
         .expect("build disk-backed graphs");
         let (d, o) = crate::workbench::workload_latency(&workload, &disk_pair);
-        rows.push(WorkloadRow { dataset: dataset.label(), backend: "disk", direct: d, optimized: o });
+        rows.push(WorkloadRow {
+            dataset: dataset.label(),
+            backend: "disk",
+            direct: d,
+            optimized: o,
+        });
     }
     let _ = std::fs::remove_dir_all(&tmp);
     rows
@@ -289,8 +299,7 @@ pub fn ablation_knapsack(seed: u64) -> Vec<AblationKnapsackRow> {
         let budget = (nsc.total_cost as f64 * fraction) as u64;
         let config = OptimizerConfig { space_limit: Some(budget), ..base };
         let fptas = optimize_relation_centric_with(wb.input(), &config, SelectionStrategy::Fptas);
-        let greedy =
-            optimize_relation_centric_with(wb.input(), &config, SelectionStrategy::Greedy);
+        let greedy = optimize_relation_centric_with(wb.input(), &config, SelectionStrategy::Greedy);
         rows.push(AblationKnapsackRow {
             space_fraction: fraction,
             fptas: fptas.benefit_ratio(&nsc),

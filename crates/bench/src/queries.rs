@@ -186,11 +186,8 @@ pub fn microbenchmark() -> Vec<BenchQuery> {
 /// paper's Zipf access pattern over key concepts.
 pub fn figure12_workload(dataset: DatasetId) -> Vec<Query> {
     let all = microbenchmark();
-    let per_dataset: Vec<Query> = all
-        .iter()
-        .filter(|q| q.dataset == dataset)
-        .map(|q| q.query.clone())
-        .collect();
+    let per_dataset: Vec<Query> =
+        all.iter().filter(|q| q.dataset == dataset).map(|q| q.query.clone()).collect();
     let mut workload = per_dataset.clone();
     // Repeat the first three (the key-concept queries) to reach 15 queries.
     for i in 0..(15usize.saturating_sub(workload.len())) {

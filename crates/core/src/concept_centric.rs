@@ -64,13 +64,8 @@ pub fn optimize_concept_centric(
         }
     }
 
-    let schema = apply_plan(
-        input,
-        &similarities,
-        &selected,
-        config,
-        &format!("{}-cc", ontology.name()),
-    );
+    let schema =
+        apply_plan(input, &similarities, &selected, config, &format!("{}-cc", ontology.name()));
     let total_benefit = model.total_benefit(&selected);
     let total_cost = model.total_cost(&selected);
     OptimizationOutcome {
@@ -148,8 +143,7 @@ mod tests {
         let mut previous = -1.0;
         for fraction in [0.01, 0.1, 0.5, 1.0] {
             let limit = (nsc.total_cost as f64 * fraction) as u64;
-            let cc =
-                optimize_concept_centric(input, &OptimizerConfig::with_space_limit(limit));
+            let cc = optimize_concept_centric(input, &OptimizerConfig::with_space_limit(limit));
             assert!(cc.total_cost <= limit, "CC must respect the budget");
             assert!(
                 cc.total_benefit >= previous - 1e-9,

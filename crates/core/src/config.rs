@@ -43,10 +43,7 @@ impl OptimizerConfig {
 
     /// Overrides the Jaccard thresholds.
     pub fn with_thresholds(mut self, theta1: f64, theta2: f64) -> Self {
-        assert!(
-            theta2 <= theta1,
-            "theta2 ({theta2}) must not exceed theta1 ({theta1})"
-        );
+        assert!(theta2 <= theta1, "theta2 ({theta2}) must not exceed theta1 ({theta1})");
         self.theta1 = theta1;
         self.theta2 = theta2;
         self
@@ -74,9 +71,8 @@ mod tests {
 
     #[test]
     fn builders_set_fields() {
-        let c = OptimizerConfig::with_space_limit(1024)
-            .with_thresholds(0.9, 0.1)
-            .with_epsilon(0.05);
+        let c =
+            OptimizerConfig::with_space_limit(1024).with_thresholds(0.9, 0.1).with_epsilon(0.05);
         assert_eq!(c.space_limit, Some(1024));
         assert_eq!(c.theta1, 0.9);
         assert_eq!(c.theta2, 0.1);

@@ -107,10 +107,12 @@ impl<'a> CostModel<'a> {
         let js = self.similarities.get(rel);
         if js > self.config.theta1 {
             // Child properties and neighbours replicated on the parent side.
-            self.property_bytes(r.dst) + self.neighbour_edge_count(r.dst, RelationshipKind::Inheritance)
+            self.property_bytes(r.dst)
+                + self.neighbour_edge_count(r.dst, RelationshipKind::Inheritance)
         } else if js < self.config.theta2 {
             // Parent properties and neighbours replicated on the child side.
-            self.property_bytes(r.src) + self.neighbour_edge_count(r.src, RelationshipKind::Inheritance)
+            self.property_bytes(r.src)
+                + self.neighbour_edge_count(r.src, RelationshipKind::Inheritance)
         } else {
             0
         }
@@ -213,8 +215,7 @@ mod tests {
             &f.similarities,
             OptimizerConfig::default(),
         );
-        let (treat, rel) =
-            f.ontology.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        let (treat, rel) = f.ontology.relationships().find(|(_, r)| r.name == "treat").unwrap();
         let desc = f.ontology.property_by_name(rel.dst, "desc").unwrap();
         let item = RuleItem::PropagateProperty { rel: treat, reverse: false, property: desc };
         let expected = f.statistics.relationship_cardinality(treat)
@@ -233,11 +234,8 @@ mod tests {
             &f.similarities,
             OptimizerConfig::default(),
         );
-        let (union_rel, rel) = f
-            .ontology
-            .relationships_of_kind(RelationshipKind::Union)
-            .next()
-            .unwrap();
+        let (union_rel, rel) =
+            f.ontology.relationships_of_kind(RelationshipKind::Union).next().unwrap();
         // The Risk union concept has exactly one non-union relationship: cause.
         let (cause, _) = f.ontology.relationships().find(|(_, r)| r.name == "cause").unwrap();
         assert_eq!(rel.src, f.ontology.relationship(cause).dst);
@@ -253,11 +251,8 @@ mod tests {
         let config = OptimizerConfig::default();
         let model =
             CostModel::new(&f.ontology, &f.statistics, &f.frequencies, &f.similarities, config);
-        let (isa, rel) = f
-            .ontology
-            .relationships_of_kind(RelationshipKind::Inheritance)
-            .next()
-            .unwrap();
+        let (isa, rel) =
+            f.ontology.relationships_of_kind(RelationshipKind::Inheritance).next().unwrap();
         // med_mini isA similarities are 0 (< θ2): parent properties are pushed
         // down, so the cost is computed from the parent (src) side.
         let parent_card = f.statistics.concept_cardinality(rel.src);

@@ -128,7 +128,8 @@ fn solve_scaled(items: &[KnapsackItem], capacity: u64, resolution: u64) -> Knaps
     if raw_total / scale > MAX_PROFIT_STATES as f64 {
         scale = raw_total / MAX_PROFIT_STATES as f64;
     }
-    let scaled: Vec<u64> = items.iter().map(|i| (i.benefit.max(0.0) / scale).floor() as u64).collect();
+    let scaled: Vec<u64> =
+        items.iter().map(|i| (i.benefit.max(0.0) / scale).floor() as u64).collect();
     let total_scaled: usize = scaled.iter().sum::<u64>() as usize;
 
     const UNREACHABLE: u64 = u64::MAX;
@@ -168,9 +169,8 @@ fn solve_scaled(items: &[KnapsackItem], capacity: u64, resolution: u64) -> Knaps
         }
     }
 
-    let mut selected: Vec<usize> = (0..n)
-        .filter(|&i| selection[best_profit][i / 64] & (1u64 << (i % 64)) != 0)
-        .collect();
+    let mut selected: Vec<usize> =
+        (0..n).filter(|&i| selection[best_profit][i / 64] & (1u64 << (i % 64)) != 0).collect();
 
     // Items whose profit rounded down to zero never entered the DP; add them
     // greedily while they fit (free ones always fit).

@@ -46,6 +46,7 @@ pub mod optimize;
 pub mod pagerank;
 pub mod pgsg;
 pub mod relation_centric;
+pub mod reopt;
 pub mod rules;
 pub mod sgraph;
 
@@ -60,5 +61,6 @@ pub use pgsg::{benefit_ratios_at_fraction, optimize_pgsg, BenefitRatios, PgsgRes
 pub use relation_centric::{
     optimize_relation_centric, optimize_relation_centric_with, SelectionStrategy,
 };
+pub use reopt::{reoptimize, Reoptimization};
 pub use rules::{enumerate_items, RuleItem};
 pub use sgraph::SchemaGraph;

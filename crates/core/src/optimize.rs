@@ -139,20 +139,10 @@ pub fn optimize_nsc(input: OptimizerInput<'_>, config: &OptimizerConfig) -> Opti
     let start = Instant::now();
     let similarities = InheritanceSimilarities::compute(input.ontology);
     let items = enumerate_items(input.ontology, &similarities, config);
-    let model = CostModel::new(
-        input.ontology,
-        input.statistics,
-        input.frequencies,
-        &similarities,
-        *config,
-    );
-    let schema = apply_plan(
-        input,
-        &similarities,
-        &items,
-        config,
-        &format!("{}-nsc", input.ontology.name()),
-    );
+    let model =
+        CostModel::new(input.ontology, input.statistics, input.frequencies, &similarities, *config);
+    let schema =
+        apply_plan(input, &similarities, &items, config, &format!("{}-nsc", input.ontology.name()));
     let total_benefit = model.total_benefit(&items);
     let total_cost = model.total_cost(&items);
     OptimizationOutcome {
@@ -170,9 +160,7 @@ mod tests {
     use super::*;
     use pgso_ontology::{catalog, StatisticsConfig, WorkloadDistribution};
 
-    fn input_for(
-        ontology: &Ontology,
-    ) -> (DataStatistics, AccessFrequencies) {
+    fn input_for(ontology: &Ontology) -> (DataStatistics, AccessFrequencies) {
         let stats = DataStatistics::synthesize(ontology, &StatisticsConfig::small(), 7);
         let af = AccessFrequencies::generate(ontology, WorkloadDistribution::Uniform, 1_000.0, 7);
         (stats, af)
@@ -229,7 +217,12 @@ mod tests {
             let forward = run(&items);
             let mut reversed_items = items.clone();
             reversed_items.reverse();
-            assert_eq!(forward, run(&reversed_items), "rule order changed the PGS for {}", o.name());
+            assert_eq!(
+                forward,
+                run(&reversed_items),
+                "rule order changed the PGS for {}",
+                o.name()
+            );
 
             let mut rotated = items.clone();
             rotated.rotate_left(items.len() / 2);

@@ -37,8 +37,7 @@ impl CentralityScores {
 
     /// Concepts ordered by decreasing score.
     pub fn ranking(&self) -> Vec<ConceptId> {
-        let mut ids: Vec<ConceptId> =
-            (0..self.scores.len() as u32).map(ConceptId::new).collect();
+        let mut ids: Vec<ConceptId> = (0..self.scores.len() as u32).map(ConceptId::new).collect();
         ids.sort_by(|&a, &b| {
             self.scores[b.index()]
                 .partial_cmp(&self.scores[a.index()])
@@ -76,16 +75,10 @@ pub fn ontology_pagerank(ontology: &Ontology) -> CentralityScores {
             RelationshipKind::Inheritance | RelationshipKind::Union => continue,
             _ => {}
         }
-        let sources: Vec<ConceptId> = if is_union[rel.src.index()] {
-            ontology.union_members(rel.src)
-        } else {
-            vec![rel.src]
-        };
-        let targets: Vec<ConceptId> = if is_union[rel.dst.index()] {
-            ontology.union_members(rel.dst)
-        } else {
-            vec![rel.dst]
-        };
+        let sources: Vec<ConceptId> =
+            if is_union[rel.src.index()] { ontology.union_members(rel.src) } else { vec![rel.src] };
+        let targets: Vec<ConceptId> =
+            if is_union[rel.dst.index()] { ontology.union_members(rel.dst) } else { vec![rel.dst] };
         for &s in &sources {
             for &t in &targets {
                 if s != t {
@@ -127,8 +120,8 @@ pub fn ontology_pagerank(ontology: &Ontology) -> CentralityScores {
                 next[t] += rank[s] / out_degree[s] as f64;
             }
         }
-        let base = (1.0 - DAMPING) / active_count as f64
-            + DAMPING * dangling_mass / active_count as f64;
+        let base =
+            (1.0 - DAMPING) / active_count as f64 + DAMPING * dangling_mass / active_count as f64;
         let mut delta = 0.0;
         for (i, &a) in active.iter().enumerate() {
             if !a {
@@ -156,11 +149,8 @@ pub fn ontology_pagerank(ontology: &Ontology) -> CentralityScores {
     // Union concepts report the maximum of their members, since their mass was
     // distributed to the members before ranking.
     for &u in &union_concepts {
-        let best = ontology
-            .union_members(u)
-            .iter()
-            .map(|m| adjusted[m.index()])
-            .fold(0.0_f64, f64::max);
+        let best =
+            ontology.union_members(u).iter().map(|m| adjusted[m.index()]).fold(0.0_f64, f64::max);
         adjusted[u.index()] = best;
     }
 

@@ -73,12 +73,14 @@ mod tests {
         catalog, AccessFrequencies, DataStatistics, StatisticsConfig, WorkloadDistribution,
     };
 
-    fn fixture(
-        ontology: &pgso_ontology::Ontology,
-    ) -> (DataStatistics, AccessFrequencies) {
+    fn fixture(ontology: &pgso_ontology::Ontology) -> (DataStatistics, AccessFrequencies) {
         let stats = DataStatistics::synthesize(ontology, &StatisticsConfig::small(), 5);
-        let af =
-            AccessFrequencies::generate(ontology, WorkloadDistribution::default_zipf(), 10_000.0, 5);
+        let af = AccessFrequencies::generate(
+            ontology,
+            WorkloadDistribution::default_zipf(),
+            10_000.0,
+            5,
+        );
         (stats, af)
     }
 

@@ -87,13 +87,8 @@ pub fn optimize_relation_centric_with(
         }
     };
 
-    let schema = apply_plan(
-        input,
-        &similarities,
-        &selected,
-        config,
-        &format!("{}-rc", ontology.name()),
-    );
+    let schema =
+        apply_plan(input, &similarities, &selected, config, &format!("{}-rc", ontology.name()));
     let total_benefit = model.total_benefit(&selected);
     let total_cost = model.total_cost(&selected);
     OptimizationOutcome {
@@ -146,10 +141,8 @@ mod tests {
         let (stats, af) = fixture(&o, WorkloadDistribution::default_zipf());
         let input = OptimizerInput::new(&o, &stats, &af);
         let nsc = optimize_nsc(input, &OptimizerConfig::default());
-        let rc = optimize_relation_centric(
-            input,
-            &OptimizerConfig::with_space_limit(nsc.total_cost),
-        );
+        let rc =
+            optimize_relation_centric(input, &OptimizerConfig::with_space_limit(nsc.total_cost));
         let mut renamed = rc.schema.clone();
         renamed.name = nsc.schema.name.clone();
         assert_eq!(renamed, nsc.schema);
@@ -188,8 +181,7 @@ mod tests {
         let nsc = optimize_nsc(input, &OptimizerConfig::default());
         let limit = nsc.total_cost / 5;
         let config = OptimizerConfig::with_space_limit(limit);
-        let greedy =
-            optimize_relation_centric_with(input, &config, SelectionStrategy::Greedy);
+        let greedy = optimize_relation_centric_with(input, &config, SelectionStrategy::Greedy);
         assert!(greedy.total_cost <= limit);
         assert!(greedy.total_benefit > 0.0);
     }

@@ -1,0 +1,108 @@
+//! Re-entry API for incremental re-optimization.
+//!
+//! The paper's optimizer is a one-shot, workload-driven compiler: access
+//! frequencies in, schema out. A serving system, however, observes the
+//! workload *after* choosing a schema, and the observed frequencies drift
+//! away from the ones the current schema was optimized for (PG-HIVE and
+//! related work on online schema discovery make the same argument). This
+//! module packages the re-entry point that `pgso-server` uses: re-run PGSG
+//! under fresh frequencies, structurally diff the result against the schema
+//! currently being served, and report whether a swap is worthwhile.
+
+use crate::config::OptimizerConfig;
+use crate::optimize::{OptimizationOutcome, OptimizerInput};
+use crate::pgsg::optimize_pgsg;
+use pgso_pgschema::{diff, PropertyGraphSchema, SchemaDiff};
+
+/// Result of one re-optimization pass against a currently served schema.
+#[derive(Debug, Clone)]
+pub struct Reoptimization {
+    /// The freshly chosen PGSG outcome under the new frequencies.
+    pub outcome: OptimizationOutcome,
+    /// Structural diff from the served schema to the new schema.
+    pub diff: SchemaDiff,
+}
+
+impl Reoptimization {
+    /// True if the new schema differs from the served one — i.e. swapping is
+    /// worthwhile at all.
+    pub fn schema_changed(&self) -> bool {
+        !self.diff.is_empty()
+    }
+}
+
+/// Re-runs the space-constrained optimizer (PGSG: better of CC and RC) under
+/// `input`'s — presumably freshly observed — access frequencies and diffs the
+/// chosen schema against `served`.
+///
+/// This is intentionally a *full* re-run rather than an incremental repair of
+/// the previous rule selection: Theorem 3's canonical plan application makes
+/// the output a pure function of the selected item set, so re-selecting from
+/// scratch under the new frequencies is both simpler and exactly as correct,
+/// and on the evaluation ontologies (tens of concepts) it costs milliseconds.
+/// The caller runs it off the serving hot path.
+pub fn reoptimize(
+    input: OptimizerInput<'_>,
+    served: &PropertyGraphSchema,
+    config: &OptimizerConfig,
+) -> Reoptimization {
+    let result = optimize_pgsg(input, config);
+    let schema_diff = diff(served, &result.chosen.schema);
+    Reoptimization { outcome: result.chosen, diff: schema_diff }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::optimize_nsc;
+    use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
+
+    #[test]
+    fn reoptimizing_under_identical_frequencies_is_a_noop() {
+        let o = catalog::medical();
+        let stats = DataStatistics::synthesize(&o, &StatisticsConfig::small(), 3);
+        let af = AccessFrequencies::uniform(&o, 10_000.0);
+        let input = OptimizerInput::new(&o, &stats, &af);
+        let nsc = optimize_nsc(input, &OptimizerConfig::default());
+        let config = OptimizerConfig::with_space_limit(nsc.total_cost / 4);
+        let first = optimize_pgsg(input, &config).chosen;
+        let re = reoptimize(input, &first.schema, &config);
+        assert!(!re.schema_changed(), "same inputs must reproduce the schema:\n{}", re.diff);
+    }
+
+    #[test]
+    fn skewing_frequencies_changes_the_constrained_schema() {
+        let o = catalog::medical();
+        let stats = DataStatistics::synthesize(&o, &StatisticsConfig::small(), 3);
+        let base = AccessFrequencies::uniform(&o, 10_000.0);
+        let input = OptimizerInput::new(&o, &stats, &base);
+        let nsc = optimize_nsc(input, &OptimizerConfig::default());
+        let config = OptimizerConfig::with_space_limit(nsc.total_cost / 10);
+        let served = optimize_pgsg(input, &config).chosen;
+
+        // Concentrate the entire workload on one hub concept's relationships.
+        let mut skewed = AccessFrequencies::uniform(&o, 10_000.0);
+        for c in o.concept_ids() {
+            skewed.set_concept(c, 0.1);
+        }
+        for (rid, _) in o.relationships() {
+            skewed.set_relationship(rid, 0.1);
+        }
+        let drug = o.concept_by_name("Drug").expect("MED has Drug");
+        skewed.set_concept(drug, 10_000.0);
+        for &rid in o.outgoing(drug) {
+            skewed.set_relationship(rid, 5_000.0);
+            let rel = o.relationship(rid);
+            for &pid in o.concept_properties(rel.dst) {
+                skewed.set_property(rid, pid, 1_000.0);
+            }
+        }
+        let skewed_input = OptimizerInput::new(&o, &stats, &skewed);
+        let re = reoptimize(skewed_input, &served.schema, &config);
+        assert!(
+            re.schema_changed(),
+            "a fully concentrated workload should reshape the constrained schema"
+        );
+        assert!(re.diff.change_count() > 0);
+    }
+}

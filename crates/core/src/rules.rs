@@ -104,15 +104,27 @@ pub fn enumerate_items(
             RelationshipKind::OneToOne => items.push(RuleItem::OneToOne(rid)),
             RelationshipKind::OneToMany => {
                 for &p in ontology.concept_properties(rel.dst) {
-                    items.push(RuleItem::PropagateProperty { rel: rid, reverse: false, property: p });
+                    items.push(RuleItem::PropagateProperty {
+                        rel: rid,
+                        reverse: false,
+                        property: p,
+                    });
                 }
             }
             RelationshipKind::ManyToMany => {
                 for &p in ontology.concept_properties(rel.dst) {
-                    items.push(RuleItem::PropagateProperty { rel: rid, reverse: false, property: p });
+                    items.push(RuleItem::PropagateProperty {
+                        rel: rid,
+                        reverse: false,
+                        property: p,
+                    });
                 }
                 for &p in ontology.concept_properties(rel.src) {
-                    items.push(RuleItem::PropagateProperty { rel: rid, reverse: true, property: p });
+                    items.push(RuleItem::PropagateProperty {
+                        rel: rid,
+                        reverse: true,
+                        property: p,
+                    });
                 }
             }
         }
@@ -135,10 +147,7 @@ mod tests {
         let unions = items.iter().filter(|i| matches!(i, RuleItem::Union(_))).count();
         let inh = items.iter().filter(|i| matches!(i, RuleItem::Inheritance(_))).count();
         let one = items.iter().filter(|i| matches!(i, RuleItem::OneToOne(_))).count();
-        let prop = items
-            .iter()
-            .filter(|i| matches!(i, RuleItem::PropagateProperty { .. }))
-            .count();
+        let prop = items.iter().filter(|i| matches!(i, RuleItem::PropagateProperty { .. })).count();
         assert_eq!(unions, 2);
         // Both isA relationships have JS = 0 (< θ2), so both are selectable.
         assert_eq!(inh, 2);
@@ -164,10 +173,7 @@ mod tests {
         let sims = InheritanceSimilarities::compute(&o);
         let items = enumerate_items(&o, &sims, &OptimizerConfig::default());
         let (cause, _) = o.relationships().find(|(_, r)| r.name == "cause").unwrap();
-        let cause_items: Vec<_> = items
-            .iter()
-            .filter(|i| i.relationship() == cause)
-            .collect();
+        let cause_items: Vec<_> = items.iter().filter(|i| i.relationship() == cause).collect();
         // Risk has no properties, Drug has two -> 2 reverse items only.
         assert_eq!(cause_items.len(), 2);
         assert!(cause_items

@@ -15,10 +15,10 @@
 //! of their endpoints has been merged still find the surviving node.
 
 use crate::rules::RuleItem;
-use pgso_ontology::{
-    ConceptId, DataType, Ontology, PropertyId, RelationshipId, RelationshipKind,
+use pgso_ontology::{ConceptId, DataType, Ontology, PropertyId, RelationshipId, RelationshipKind};
+use pgso_pgschema::{
+    EdgeSchema, PropertyGraphSchema, PropertyOrigin, PropertySchema, VertexSchema,
 };
-use pgso_pgschema::{EdgeSchema, PropertyGraphSchema, PropertyOrigin, PropertySchema, VertexSchema};
 use std::collections::HashSet;
 
 /// A property attached to a schema node while rules are being applied.
@@ -459,11 +459,8 @@ impl SchemaGraph {
         let mut schema = PropertyGraphSchema::new(name);
         for node in self.nodes.iter().filter(|n| n.alive) {
             let mut vertex = VertexSchema::new(node.label.clone());
-            vertex.merged_from = node
-                .merged_from
-                .iter()
-                .map(|&c| ontology.concept(c).name.clone())
-                .collect();
+            vertex.merged_from =
+                node.merged_from.iter().map(|&c| ontology.concept(c).name.clone()).collect();
             vertex.properties = node
                 .properties
                 .iter()

@@ -201,7 +201,7 @@ fn pick(rng: &mut StdRng, len: usize, bias: usize) -> usize {
     // A light skew: half the edges reuse the low-index (hot) sources, the rest
     // are uniform. Keeps hub entities busy like real knowledge graphs.
     if rng.gen_bool(0.5) {
-        bias % len.min(8).max(1)
+        bias % len.clamp(1, 8)
     } else {
         rng.gen_range(0..len)
     }
@@ -217,7 +217,7 @@ pub fn property_value_for(
     let prop = ontology.property(property);
     let owner = ontology.concept(prop.owner);
     match prop.data_type {
-        DataType::Bool => PropertyValue::Bool(entity.index % 2 == 0),
+        DataType::Bool => PropertyValue::Bool(entity.index.is_multiple_of(2)),
         DataType::Int | DataType::Long => PropertyValue::Int(entity.index as i64),
         DataType::Double => PropertyValue::Float(entity.index as f64 * 1.5),
         DataType::Date => PropertyValue::Int(20_200_101 + entity.index as i64),

@@ -43,8 +43,15 @@ pub fn load_into(
     schema: &PropertyGraphSchema,
     instance: &InstanceKg,
 ) -> LoadReport {
-    Loader { backend, ontology, schema, instance, map: HashMap::new(), report: LoadReport::default() }
-        .run()
+    Loader {
+        backend,
+        ontology,
+        schema,
+        instance,
+        map: HashMap::new(),
+        report: LoadReport::default(),
+    }
+    .run()
 }
 
 struct Loader<'a> {
@@ -207,10 +214,8 @@ impl<'a> Loader<'a> {
                 for &pid in self.ontology.concept_properties(provider_concept) {
                     let prop = self.ontology.property(pid);
                     let list_name = format!("{provider_name}.{}", prop.name);
-                    let is_list = holder_vertex
-                        .property(&list_name)
-                        .map(|p| p.is_list)
-                        .unwrap_or(false);
+                    let is_list =
+                        holder_vertex.property(&list_name).map(|p| p.is_list).unwrap_or(false);
                     if !is_list {
                         continue;
                     }
@@ -262,8 +267,7 @@ impl<'a> Loader<'a> {
     /// hierarchies: every ancestor level is materialised at most once, via the
     /// first path that reaches it.
     fn materialise_ancestors(&mut self, entity: Entity, main_vertex: VertexId, main_label: &str) {
-        let mut visited: std::collections::HashSet<ConceptId> =
-            std::collections::HashSet::new();
+        let mut visited: std::collections::HashSet<ConceptId> = std::collections::HashSet::new();
         visited.insert(entity.concept);
         let mut queue: std::collections::VecDeque<(ConceptId, VertexId, String)> =
             std::collections::VecDeque::new();
@@ -283,7 +287,8 @@ impl<'a> Loader<'a> {
                     queue.push_back((ancestor, lower_vertex, lower_label.clone()));
                     continue;
                 };
-                if vertex_schema.label == lower_label || self.map.contains_key(&(ancestor, entity)) {
+                if vertex_schema.label == lower_label || self.map.contains_key(&(ancestor, entity))
+                {
                     // Same vertex (inheritance fold) or already created: just
                     // record the mapping and continue upwards.
                     let existing = *self.map.get(&(ancestor, entity)).unwrap_or(&lower_vertex);
@@ -387,11 +392,9 @@ mod tests {
         let af = AccessFrequencies::uniform(&ontology, 1_000.0);
         let instance = InstanceKg::generate(&ontology, &stats, 0.3, 23);
         let direct = PropertyGraphSchema::direct_from_ontology(&ontology);
-        let optimized = optimize_nsc(
-            OptimizerInput::new(&ontology, &stats, &af),
-            &OptimizerConfig::default(),
-        )
-        .schema;
+        let optimized =
+            optimize_nsc(OptimizerInput::new(&ontology, &stats, &af), &OptimizerConfig::default())
+                .schema;
         Fixture { ontology, instance, direct, optimized }
     }
 
@@ -477,11 +480,9 @@ mod tests {
         let af = AccessFrequencies::uniform(&ontology, 1_000.0);
         let instance = InstanceKg::generate(&ontology, &stats, 0.1, 29);
         let direct = PropertyGraphSchema::direct_from_ontology(&ontology);
-        let optimized = optimize_nsc(
-            OptimizerInput::new(&ontology, &stats, &af),
-            &OptimizerConfig::default(),
-        )
-        .schema;
+        let optimized =
+            optimize_nsc(OptimizerInput::new(&ontology, &stats, &af), &OptimizerConfig::default())
+                .schema;
         let mut dir = MemoryGraph::new();
         let mut opt = MemoryGraph::new();
         let dir_report = load_into(&mut dir, &ontology, &direct, &instance);

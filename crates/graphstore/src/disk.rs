@@ -13,9 +13,7 @@
 //! record on every expansion, mimicking an adjacency lookup in the node
 //! store.
 
-use crate::backend::{
-    AccessStats, EdgeId, GraphBackend, StatsCounters, VertexData, VertexId,
-};
+use crate::backend::{AccessStats, EdgeId, GraphBackend, StatsCounters, VertexData, VertexId};
 use crate::codec::{decode_vertex, encode_vertex};
 use crate::value::PropertyMap;
 use bytes::Bytes;
@@ -125,12 +123,8 @@ impl DiskGraph {
     /// Creates (truncating) a disk graph at the given store-file path.
     pub fn create(path: impl AsRef<Path>, config: DiskGraphConfig) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+        let file =
+            OpenOptions::new().create(true).read(true).write(true).truncate(true).open(&path)?;
         Ok(Self {
             path,
             file: Mutex::new(file),

@@ -35,7 +35,36 @@ pub mod disk;
 pub mod memory;
 pub mod value;
 
-pub use backend::{AccessStats, EdgeData, EdgeId, GraphBackend, StatsCounters, VertexData, VertexId};
+pub use backend::{
+    AccessStats, EdgeData, EdgeId, GraphBackend, StatsCounters, VertexData, VertexId,
+};
 pub use disk::{DiskGraph, DiskGraphConfig, PAGE_SIZE};
 pub use memory::MemoryGraph;
 pub use value::{props, PropertyMap, PropertyValue};
+
+// Compile-time guarantee that the serving layer can share backends across
+// threads: every read path takes `&self` and the statistics counters are
+// atomics, so both backends must be `Send + Sync`. Keeping the assertion in
+// the library (not just tests) makes an accidental regression — e.g. a
+// `RefCell` slipped into a buffer pool — a compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StatsCounters>();
+    assert_send_sync::<MemoryGraph>();
+    assert_send_sync::<DiskGraph>();
+};
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    fn assert_impl<T: Send + Sync>() {}
+
+    #[test]
+    fn backends_are_send_and_sync() {
+        assert_impl::<StatsCounters>();
+        assert_impl::<MemoryGraph>();
+        assert_impl::<DiskGraph>();
+        assert_impl::<Box<dyn GraphBackend + Send + Sync>>();
+    }
+}

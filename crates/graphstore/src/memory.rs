@@ -56,8 +56,7 @@ impl MemoryGraph {
 impl GraphBackend for MemoryGraph {
     fn add_vertex(&mut self, label: &str, properties: PropertyMap) -> VertexId {
         let id = VertexId(self.vertices.len() as u64);
-        self.payload_bytes +=
-            properties.values().map(|v| v.approximate_size() as u64).sum::<u64>();
+        self.payload_bytes += properties.values().map(|v| v.approximate_size() as u64).sum::<u64>();
         self.vertices.push(StoredVertex { label: label.to_string(), properties });
         self.outgoing.push(Vec::new());
         self.incoming.push(Vec::new());

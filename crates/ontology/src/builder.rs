@@ -73,10 +73,7 @@ impl OntologyBuilder {
         let name = name.into();
         let id = PropertyId::new(self.properties.len() as u32);
         let concept = &mut self.concepts[owner.index()];
-        let duplicate = concept
-            .properties
-            .iter()
-            .any(|&p| self.properties[p.index()].name == name);
+        let duplicate = concept.properties.iter().any(|&p| self.properties[p.index()].name == name);
         if duplicate && self.duplicate_property.is_none() {
             self.duplicate_property = Some((concept.name.clone(), name.clone()));
         }

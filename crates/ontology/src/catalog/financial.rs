@@ -52,16 +52,18 @@ const CONCEPTS: &[(&str, &[(&str, DataType)])] = &[
     ),
     (
         "Bank",
-        &[("charterNumber", Str), ("fdicCert", Str), ("totalAssets", Double), ("tier1Ratio", Double)],
+        &[
+            ("charterNumber", Str),
+            ("fdicCert", Str),
+            ("totalAssets", Double),
+            ("tier1Ratio", Double),
+        ],
     ),
     ("Lender", &[("lendingLicense", Str), ("maxExposure", Double)]),
     ("Borrower", &[("creditScore", Int), ("defaultHistory", Text)]),
     ("Investor", &[("investorType", Str)]),
     ("ContractParty", &[("role", Str)]),
-    (
-        "Contract",
-        &[("contractId", Str), ("hasEffectiveDate", Date), ("hasExpirationDate", Date)],
-    ),
+    ("Contract", &[("contractId", Str), ("hasEffectiveDate", Date), ("hasExpirationDate", Date)]),
     ("LoanContract", &[("principal", Double), ("interestRate", Double), ("term", Int)]),
     ("MortgageContract", &[("propertyAddress", Text), ("ltv", Double)]),
     (
@@ -82,11 +84,21 @@ const CONCEPTS: &[(&str, &[(&str, DataType)])] = &[
     ("Derivative", &[("underlying", Str), ("notional", Double), ("settlementType", Str)]),
     (
         "Option",
-        &[("strikePrice", Double), ("expirationDate", Date), ("optionType", Str), ("premium", Double)],
+        &[
+            ("strikePrice", Double),
+            ("expirationDate", Date),
+            ("optionType", Str),
+            ("premium", Double),
+        ],
     ),
     (
         "Loan",
-        &[("loanAmount", Double), ("originationDate", Date), ("interestType", Str), ("termMonths", Int)],
+        &[
+            ("loanAmount", Double),
+            ("originationDate", Date),
+            ("interestType", Str),
+            ("termMonths", Int),
+        ],
     ),
     (
         "Account",
@@ -275,7 +287,8 @@ pub fn financial() -> Ontology {
         }
     }
     let id = |b: &OntologyBuilder, name: &str| {
-        b.concept_id(name).unwrap_or_else(|| panic!("FIN catalog references unknown concept {name}"))
+        b.concept_id(name)
+            .unwrap_or_else(|| panic!("FIN catalog references unknown concept {name}"))
     };
 
     for &(union, member) in UNION {

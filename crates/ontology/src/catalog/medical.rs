@@ -144,7 +144,8 @@ pub fn medical() -> Ontology {
         }
     }
     let id = |b: &OntologyBuilder, name: &str| {
-        b.concept_id(name).unwrap_or_else(|| panic!("MED catalog references unknown concept {name}"))
+        b.concept_id(name)
+            .unwrap_or_else(|| panic!("MED catalog references unknown concept {name}"))
     };
     for &(parent, child) in INHERITANCE {
         let (p, c) = (id(&b, parent), id(&b, child));
@@ -185,11 +186,8 @@ mod tests {
         let o = medical();
         let drug = o.concept_by_name("Drug").unwrap();
         let drug_degree = o.outgoing(drug).len() + o.incoming(drug).len();
-        let max_degree = o
-            .concept_ids()
-            .map(|c| o.outgoing(c).len() + o.incoming(c).len())
-            .max()
-            .unwrap();
+        let max_degree =
+            o.concept_ids().map(|c| o.outgoing(c).len() + o.incoming(c).len()).max().unwrap();
         assert_eq!(drug_degree, max_degree, "Drug should be the key concept of MED");
     }
 

@@ -141,14 +141,14 @@ impl<'a> Parser<'a> {
                 return Ok(());
             }
             let line = line.trim_end_matches(',');
-            let (pname, ptype) = line
-                .split_once(':')
-                .ok_or_else(|| self.error(lineno, "expected `name: type`"))?;
+            let (pname, ptype) =
+                line.split_once(':').ok_or_else(|| self.error(lineno, "expected `name: type`"))?;
             let data_type = DataType::from_keyword(ptype.trim())
                 .ok_or_else(|| self.error(lineno, format!("unknown type `{}`", ptype.trim())))?;
             builder.add_property(cid, pname.trim(), data_type);
         }
-        Err(self.error(self.lines.last().map(|&(l, _)| l).unwrap_or(0), "unterminated concept block"))
+        Err(self
+            .error(self.lines.last().map(|&(l, _)| l).unwrap_or(0), "unterminated concept block"))
     }
 }
 
@@ -212,10 +212,8 @@ rel cause: Drug -> Risk (M:N)
         assert_eq!(o.relationship_count(), 3);
         let drug = o.concept_by_name("Drug").unwrap();
         assert_eq!(o.concept_property_names(drug), vec!["name", "brand"]);
-        let (_, treat) = o
-            .relationships()
-            .find(|(_, r)| r.name == "treat")
-            .expect("treat relationship");
+        let (_, treat) =
+            o.relationships().find(|(_, r)| r.name == "treat").expect("treat relationship");
         assert_eq!(treat.kind, RelationshipKind::OneToMany);
     }
 
@@ -245,10 +243,7 @@ rel isA: Parent -> Child (inheritance)
 rel unionOf: Union -> Member (union)
 "#;
         let o = parse(text).unwrap();
-        assert_eq!(
-            o.relationship_kind_counts().get(&RelationshipKind::Inheritance),
-            Some(&1)
-        );
+        assert_eq!(o.relationship_kind_counts().get(&RelationshipKind::Inheritance), Some(&1));
         assert_eq!(o.relationship_kind_counts().get(&RelationshipKind::Union), Some(&1));
     }
 
@@ -272,7 +267,8 @@ rel unionOf: Union -> Member (union)
 
     #[test]
     fn reports_malformed_relationship() {
-        let text = "ontology t\nconcept A { x: int }\nconcept B { y: int }\nrel broken A -> B (1:1)\n";
+        let text =
+            "ontology t\nconcept A { x: int }\nconcept B { y: int }\nrel broken A -> B (1:1)\n";
         assert!(matches!(parse(text), Err(OntologyError::Parse { .. })));
     }
 

@@ -52,10 +52,9 @@ impl fmt::Display for OntologyError {
             }
             Self::UnknownConcept(name) => write!(f, "unknown concept `{name}`"),
             Self::UnknownProperty(name) => write!(f, "unknown property `{name}`"),
-            Self::SelfRelationship { relationship, concept } => write!(
-                f,
-                "relationship `{relationship}` connects concept `{concept}` to itself"
-            ),
+            Self::SelfRelationship { relationship, concept } => {
+                write!(f, "relationship `{relationship}` connects concept `{concept}` to itself")
+            }
             Self::InheritanceCycle(path) => {
                 write!(f, "inheritance cycle: {}", path.join(" -> "))
             }
@@ -81,10 +80,8 @@ mod tests {
         let e = OntologyError::DuplicateConcept("Drug".into());
         assert!(e.to_string().contains("Drug"));
 
-        let e = OntologyError::DuplicateProperty {
-            concept: "Drug".into(),
-            property: "name".into(),
-        };
+        let e =
+            OntologyError::DuplicateProperty { concept: "Drug".into(), property: "name".into() };
         assert!(e.to_string().contains("name") && e.to_string().contains("Drug"));
 
         let e = OntologyError::InheritanceCycle(vec!["A".into(), "B".into(), "A".into()]);

@@ -300,10 +300,7 @@ impl Ontology {
 
     /// Iterator over `(id, relationship)` pairs.
     pub fn relationships(&self) -> impl Iterator<Item = (RelationshipId, &Relationship)> {
-        self.relationships
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RelationshipId::new(i as u32), r))
+        self.relationships.iter().enumerate().map(|(i, r)| (RelationshipId::new(i as u32), r))
     }
 
     /// Relationships of a given kind.

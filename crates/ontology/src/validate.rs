@@ -117,10 +117,8 @@ pub fn lint(ontology: &Ontology) -> Vec<LintWarning> {
         }
         let parents = ontology.parents(id).len();
         if parents > 1 {
-            warnings.push(LintWarning::MultipleInheritance {
-                concept: concept.name.clone(),
-                parents,
-            });
+            warnings
+                .push(LintWarning::MultipleInheritance { concept: concept.name.clone(), parents });
         }
     }
     warnings

@@ -152,11 +152,7 @@ impl AccessFrequencies {
         relationship: RelationshipId,
     ) -> f64 {
         let rel = ontology.relationship(relationship);
-        ontology
-            .concept_properties(rel.dst)
-            .iter()
-            .map(|&p| self.property(relationship, p))
-            .sum()
+        ontology.concept_properties(rel.dst).iter().map(|&p| self.property(relationship, p)).sum()
     }
 
     /// Overrides the frequency of a concept (for hand-crafted workloads).
@@ -322,9 +318,7 @@ mod tests {
         assert_eq!(props.len(), 2);
         let total: f64 = props.iter().map(|&p| af.property(ra, p)).sum();
         assert!((total - af.relationship(ra)).abs() < 1e-9);
-        assert!(
-            (af.relationship_property_total(&o, ra) - af.relationship(ra)).abs() < 1e-9
-        );
+        assert!((af.relationship_property_total(&o, ra) - af.relationship(ra)).abs() < 1e-9);
     }
 
     #[test]

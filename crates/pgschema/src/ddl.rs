@@ -27,11 +27,8 @@ pub fn to_cypher_ddl(schema: &PropertyGraphSchema) -> String {
             let _ = writeln!(out, ",");
         }
         first = false;
-        let props: Vec<String> = vertex
-            .properties
-            .iter()
-            .map(|p| format!("{} {}", p.name, p.ddl_type()))
-            .collect();
+        let props: Vec<String> =
+            vertex.properties.iter().map(|p| format!("{} {}", p.name, p.ddl_type())).collect();
         let _ = write!(out, "{} ({})", vertex.label, props.join(", "));
     }
     for edge in schema.edges() {
@@ -88,7 +85,7 @@ fn sanitize(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{EdgeSchema, PropertySchema, PropertyGraphSchema, VertexSchema};
+    use crate::schema::{EdgeSchema, PropertyGraphSchema, PropertySchema, VertexSchema};
     use pgso_ontology::{catalog, RelationshipKind};
 
     fn figure_6_schema() -> PropertyGraphSchema {
@@ -103,7 +100,12 @@ mod tests {
         ic.properties.push(PropertySchema::scalar("desc", DataType::Str));
         ic.properties.push(PropertySchema::scalar("name", DataType::Str));
         s.insert_vertex(ic);
-        s.add_edge(EdgeSchema::new("treat", "Drug", "IndicationCondition", RelationshipKind::OneToMany));
+        s.add_edge(EdgeSchema::new(
+            "treat",
+            "Drug",
+            "IndicationCondition",
+            RelationshipKind::OneToMany,
+        ));
         s
     }
 

@@ -185,7 +185,9 @@ mod tests {
         assert_eq!(d.changed_vertices.len(), 1);
         assert_eq!(d.changed_vertices[0].label, "Drug");
         let text = d.to_string();
-        assert!(text.contains("+ property Drug.Indication.desc (LIST) replicated from Indication.desc"));
+        assert!(
+            text.contains("+ property Drug.Indication.desc (LIST) replicated from Indication.desc")
+        );
     }
 
     #[test]

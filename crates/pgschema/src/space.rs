@@ -51,8 +51,9 @@ pub fn estimate_space(
     }
 
     for edge in schema.edges() {
-        estimate.edge_bytes += edge_cardinality(edge.label.as_str(), edge.src.as_str(), schema, ontology, stats)
-            * EDGE_OVERHEAD_BYTES;
+        estimate.edge_bytes +=
+            edge_cardinality(edge.label.as_str(), edge.src.as_str(), schema, ontology, stats)
+                * EDGE_OVERHEAD_BYTES;
     }
 
     estimate
@@ -110,10 +111,7 @@ fn edge_cardinality(
     if let Some((rid, _)) = ontology.relationships().find(|(_, r)| r.name == label) {
         return stats.relationship_cardinality(rid);
     }
-    schema
-        .vertex(src_label)
-        .map(|v| vertex_cardinality(v, ontology, stats))
-        .unwrap_or(0)
+    schema.vertex(src_label).map(|v| vertex_cardinality(v, ontology, stats)).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -189,13 +187,10 @@ mod tests {
         let stats = DataStatistics::uniform(&o, 20, 50);
         let direct = PropertyGraphSchema::direct_from_ontology(&o);
         let mut replicated = direct.clone();
-        replicated
-            .vertex_mut("Drug")
-            .unwrap()
-            .upsert_property(
-                PropertySchema::list("Indication.desc", DataType::Text)
-                    .with_origin(PropertyOrigin::new("Indication", "desc")),
-            );
+        replicated.vertex_mut("Drug").unwrap().upsert_property(
+            PropertySchema::list("Indication.desc", DataType::Text)
+                .with_origin(PropertyOrigin::new("Indication", "desc")),
+        );
         let d = estimate_space(&direct, &o, &stats);
         let r = estimate_space(&replicated, &o, &stats);
         assert!(r.total() > d.total());

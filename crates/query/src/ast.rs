@@ -90,7 +90,12 @@ impl Query {
     /// Starts building a query with the given name.
     pub fn builder(name: impl Into<String>) -> QueryBuilder {
         QueryBuilder {
-            query: Query { name: name.into(), nodes: Vec::new(), edges: Vec::new(), returns: Vec::new() },
+            query: Query {
+                name: name.into(),
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                returns: Vec::new(),
+            },
         }
     }
 
@@ -172,7 +177,11 @@ impl QueryBuilder {
         label: impl Into<String>,
         dst: impl Into<String>,
     ) -> Self {
-        self.query.edges.push(EdgePattern { label: label.into(), src: src.into(), dst: dst.into() });
+        self.query.edges.push(EdgePattern {
+            label: label.into(),
+            src: src.into(),
+            dst: dst.into(),
+        });
         self
     }
 
@@ -248,19 +257,15 @@ mod tests {
 
     #[test]
     fn display_without_edges() {
-        let q = Query::builder("Q7")
-            .node("n", "Corporation")
-            .ret_property("n", "hasLegalName")
-            .build();
+        let q =
+            Query::builder("Q7").node("n", "Corporation").ret_property("n", "hasLegalName").build();
         assert!(q.to_string().contains("MATCH (n:Corporation) RETURN n.hasLegalName"));
     }
 
     #[test]
     fn aggregation_detection() {
-        let q = Query::builder("Q")
-            .node("a", "A")
-            .ret_aggregate(Aggregate::Count, "a", None)
-            .build();
+        let q =
+            Query::builder("Q").node("a", "A").ret_aggregate(Aggregate::Count, "a", None).build();
         assert!(q.is_aggregation());
         assert!(q.to_string().contains("count(a)"));
     }

@@ -230,10 +230,8 @@ mod tests {
     /// (optimized) from the paper's motivating example.
     fn figure_1_direct() -> MemoryGraph {
         let mut g = MemoryGraph::new();
-        let drug = g.add_vertex(
-            "Drug",
-            props([("name", "Aspirin".into()), ("brand", "Ecotrin".into())]),
-        );
+        let drug =
+            g.add_vertex("Drug", props([("name", "Aspirin".into()), ("brand", "Ecotrin".into())]));
         let ind1 = g.add_vertex("Indication", props([("desc", "Fever".into())]));
         let ind2 = g.add_vertex("Indication", props([("desc", "Headache".into())]));
         let di = g.add_vertex("DrugInteraction", props([("summary", "Delayed".into())]));
@@ -335,10 +333,7 @@ mod tests {
     #[test]
     fn property_lookup_without_edges() {
         let g = figure_1_direct();
-        let q = Query::builder("lookup")
-            .node("d", "Drug")
-            .ret_property("d", "brand")
-            .build();
+        let q = Query::builder("lookup").node("d", "Drug").ret_property("d", "brand").build();
         let result = execute(&q, &g);
         assert_eq!(result.matches, 1);
         assert_eq!(result.rows[0][0].as_str(), Some("Ecotrin"));
@@ -378,10 +373,7 @@ mod tests {
     #[test]
     fn unmatched_label_returns_no_rows() {
         let g = figure_1_direct();
-        let q = Query::builder("missing")
-            .node("x", "Pharmacy")
-            .ret_property("x", "name")
-            .build();
+        let q = Query::builder("missing").node("x", "Pharmacy").ret_property("x", "name").build();
         let result = execute(&q, &g);
         assert_eq!(result.matches, 0);
         assert!(result.rows.is_empty());

@@ -1,0 +1,168 @@
+//! Stable structural fingerprints for pattern queries.
+//!
+//! The serving layer caches DIR→OPT rewrites per query *shape*: two queries
+//! with the same node patterns, edge patterns and return clause share one
+//! plan regardless of their display name. [`fingerprint`] hashes exactly that
+//! shape with FNV-1a, giving a stable 64-bit key that does not depend on
+//! `std::collections` hash seeds or on the process — so cache keys are
+//! reproducible across runs and across serving threads.
+
+use crate::ast::{Aggregate, Query, ReturnItem};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over the query structure.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a string with a length prefix so `("ab","c")` and `("a","bc")`
+    /// cannot collide.
+    fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u32).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    fn write_tag(&mut self, tag: u8) {
+        self.write(&[tag]);
+    }
+}
+
+/// Computes the structural fingerprint of a query.
+///
+/// The query name is deliberately excluded: it is presentation metadata, and
+/// including it would make semantically identical prepared queries miss each
+/// other in the plan cache.
+pub fn fingerprint(query: &Query) -> u64 {
+    let mut h = Fnv::new();
+    h.write_tag(1);
+    h.write(&(query.nodes.len() as u32).to_le_bytes());
+    for node in &query.nodes {
+        h.write_str(&node.var);
+        h.write_str(&node.label);
+    }
+    h.write_tag(2);
+    h.write(&(query.edges.len() as u32).to_le_bytes());
+    for edge in &query.edges {
+        h.write_str(&edge.label);
+        h.write_str(&edge.src);
+        h.write_str(&edge.dst);
+    }
+    h.write_tag(3);
+    h.write(&(query.returns.len() as u32).to_le_bytes());
+    for item in &query.returns {
+        match item {
+            ReturnItem::Property { var, property } => {
+                h.write_tag(10);
+                h.write_str(var);
+                h.write_str(property);
+            }
+            ReturnItem::Vertex { var } => {
+                h.write_tag(11);
+                h.write_str(var);
+            }
+            ReturnItem::Aggregate { agg, var, property } => {
+                h.write_tag(match agg {
+                    Aggregate::Count => 12,
+                    Aggregate::CollectCount => 13,
+                });
+                h.write_str(var);
+                match property {
+                    Some(p) => {
+                        h.write_tag(1);
+                        h.write_str(p);
+                    }
+                    None => h.write_tag(0),
+                }
+            }
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Query;
+
+    fn q1() -> Query {
+        Query::builder("Q1")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build()
+    }
+
+    #[test]
+    fn identical_structure_same_fingerprint() {
+        assert_eq!(fingerprint(&q1()), fingerprint(&q1()));
+    }
+
+    #[test]
+    fn name_does_not_affect_fingerprint() {
+        let mut renamed = q1();
+        renamed.name = "something-else".into();
+        assert_eq!(fingerprint(&q1()), fingerprint(&renamed));
+    }
+
+    #[test]
+    fn structure_changes_change_fingerprint() {
+        let base = fingerprint(&q1());
+
+        let other_label = Query::builder("Q1")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "cause", "i")
+            .ret_property("i", "desc")
+            .build();
+        assert_ne!(base, fingerprint(&other_label));
+
+        let other_return = Query::builder("Q1")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_vertex("i")
+            .build();
+        assert_ne!(base, fingerprint(&other_return));
+
+        let agg = Query::builder("Q1")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(crate::ast::Aggregate::CollectCount, "i", Some("desc"))
+            .build();
+        assert_ne!(base, fingerprint(&agg));
+    }
+
+    #[test]
+    fn aggregate_variants_are_distinguished() {
+        let count = Query::builder("q")
+            .node("a", "A")
+            .ret_aggregate(crate::ast::Aggregate::Count, "a", None)
+            .build();
+        let collect = Query::builder("q")
+            .node("a", "A")
+            .ret_aggregate(crate::ast::Aggregate::CollectCount, "a", None)
+            .build();
+        assert_ne!(fingerprint(&count), fingerprint(&collect));
+    }
+
+    #[test]
+    fn string_boundaries_do_not_collide() {
+        let ab = Query::builder("q").node("ab", "c").ret_vertex("ab").build();
+        let a = Query::builder("q").node("a", "bc").ret_vertex("a").build();
+        assert_ne!(fingerprint(&ab), fingerprint(&a));
+    }
+}

@@ -30,8 +30,10 @@
 
 pub mod ast;
 pub mod exec;
+pub mod fingerprint;
 pub mod rewrite;
 
 pub use ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder, ReturnItem};
 pub use exec::{execute, QueryResult, Row};
+pub use fingerprint::fingerprint;
 pub use rewrite::rewrite;

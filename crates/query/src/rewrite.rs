@@ -200,8 +200,7 @@ impl<'a> Rewriter<'a> {
                 (&edge.dst, &edge.src)
             };
             let holder_label = self.label_of(holder_var);
-            let provider_concept =
-                self.concept_of.get(provider_var).cloned().unwrap_or_default();
+            let provider_concept = self.concept_of.get(provider_var).cloned().unwrap_or_default();
             let replicated = format!("{provider_concept}.{property}");
             let available = self
                 .schema
@@ -209,8 +208,7 @@ impl<'a> Rewriter<'a> {
                 .map(|v| v.property(&replicated).map(|p| p.is_list).unwrap_or(false))
                 .unwrap_or(false);
             if available {
-                replaced_vars
-                    .insert(var_root.clone(), (self.resolve(holder_var), replicated));
+                replaced_vars.insert(var_root.clone(), (self.resolve(holder_var), replicated));
             }
         }
 
@@ -256,10 +254,7 @@ impl<'a> Rewriter<'a> {
             .map(|item| match item {
                 ReturnItem::Property { var, property } => {
                     let root = self.resolve(var);
-                    ReturnItem::Property {
-                        property: self.property_name(var, property),
-                        var: root,
-                    }
+                    ReturnItem::Property { property: self.property_name(var, property), var: root }
                 }
                 ReturnItem::Vertex { var } => ReturnItem::Vertex { var: self.resolve(var) },
                 ReturnItem::Aggregate { agg, var, property } => {
@@ -274,21 +269,14 @@ impl<'a> Rewriter<'a> {
                         ReturnItem::Aggregate {
                             agg: *agg,
                             var: root.clone(),
-                            property: property
-                                .as_ref()
-                                .map(|p| self.property_name(var, p)),
+                            property: property.as_ref().map(|p| self.property_name(var, p)),
                         }
                     }
                 }
             })
             .collect();
 
-        Query {
-            name: format!("{}-opt", self.query.name),
-            nodes,
-            edges,
-            returns,
-        }
+        Query { name: format!("{}-opt", self.query.name), nodes, edges, returns }
     }
 }
 
@@ -340,7 +328,10 @@ mod tests {
         assert_eq!(rewritten.nodes[0].label, "DrugLabInteraction");
         assert_eq!(
             rewritten.returns[0],
-            ReturnItem::Property { var: rewritten.nodes[0].var.clone(), property: "summary".into() }
+            ReturnItem::Property {
+                var: rewritten.nodes[0].var.clone(),
+                property: "summary".into()
+            }
         );
     }
 

@@ -1,0 +1,467 @@
+//! The concurrent serving engine.
+//!
+//! [`KgServer`] owns the schema-independent instance data and serves DIR
+//! pattern queries from any number of threads. The mutable world is a single
+//! [`Epoch`] — optimized schema plus the backend loaded under it — held in an
+//! `Arc` behind an `RwLock`. Serving threads clone the `Arc` (one brief read
+//! lock), so a schema swap is one pointer store under the write lock and
+//! in-flight queries finish on the epoch they started with; nothing is ever
+//! mutated in place.
+//!
+//! Two caches sit in front of execution:
+//!
+//! * the **prepared-query registry** ([`KgServer::prepare`]) stores a query
+//!   and its fingerprint once, so repeat executions skip hashing;
+//! * the **plan cache** maps fingerprints to DIR→OPT rewrites, tagged with
+//!   the epoch they were rewritten against (see [`crate::cache::PlanCache`]).
+//!
+//! Every served query is recorded by the [`WorkloadTracker`]; every
+//! `check_interval` queries one thread (never more — a CAS guard) compares
+//! the observed mix to the frequencies the current schema was optimized for
+//! and, past `drift_threshold`, re-runs the paper's PGSG optimizer, reloads
+//! the graph under the new schema off the read path, and swaps the epoch.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::tracker::WorkloadTracker;
+use parking_lot::{Mutex, RwLock};
+use pgso_core::{reoptimize, OptimizerConfig, OptimizerInput};
+use pgso_datagen::{load_into, InstanceKg};
+use pgso_graphstore::{AccessStats, GraphBackend, MemoryGraph};
+use pgso_ontology::{AccessFrequencies, DataStatistics, Ontology};
+use pgso_pgschema::PropertyGraphSchema;
+use pgso_query::{execute, fingerprint, rewrite, Query, QueryResult};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Optimizer configuration used for the initial schema and every
+    /// re-optimization. A `space_limit` makes the schema workload-sensitive;
+    /// without one PGSG degenerates to the unconstrained fixpoint and
+    /// re-optimization can never change the schema.
+    pub optimizer: OptimizerConfig,
+    /// Normalized L1 drift (in `[0, 1]`) between the observed and the
+    /// optimized-for concept mix beyond which a re-optimization is attempted.
+    pub drift_threshold: f64,
+    /// Number of served queries between drift checks.
+    pub check_interval: u64,
+    /// Capacity of the DIR→OPT plan cache.
+    pub plan_cache_capacity: usize,
+    /// If false, drift is never checked automatically; re-optimization only
+    /// happens through [`KgServer::try_reoptimize`].
+    pub auto_reoptimize: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            optimizer: OptimizerConfig::default(),
+            drift_threshold: 0.25,
+            check_interval: 256,
+            plan_cache_capacity: 1024,
+            auto_reoptimize: true,
+        }
+    }
+}
+
+/// One immutable generation of the served world: the optimized schema and the
+/// backend loaded under it.
+pub struct Epoch {
+    /// Monotonic generation number; bumped on every swap.
+    pub number: u64,
+    /// The schema this generation serves.
+    pub schema: PropertyGraphSchema,
+    graph: Box<dyn GraphBackend + Send + Sync>,
+}
+
+impl Epoch {
+    /// The backend, usable with [`pgso_query::execute`].
+    pub fn graph(&self) -> &dyn GraphBackend {
+        self.graph.as_ref()
+    }
+
+    /// Access counters of this generation's backend.
+    pub fn stats(&self) -> AccessStats {
+        self.graph.stats()
+    }
+}
+
+impl std::fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Epoch")
+            .field("number", &self.number)
+            .field("schema", &self.schema.name)
+            .field("vertices", &self.graph.vertex_count())
+            .finish()
+    }
+}
+
+/// Handle to a registered prepared query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PreparedId(usize);
+
+struct PreparedEntry {
+    fingerprint: u64,
+    query: Arc<Query>,
+}
+
+/// Outcome of one drift check that crossed the threshold.
+#[derive(Debug, Clone)]
+pub struct ReoptimizationEvent {
+    /// Epoch that was being served when the check ran.
+    pub from_epoch: u64,
+    /// Drift value that triggered the attempt.
+    pub drift: f64,
+    /// Number of structural schema changes the re-optimization produced.
+    pub changes: usize,
+    /// True if a new epoch was swapped in (false when the re-optimized
+    /// schema came out identical).
+    pub swapped: bool,
+}
+
+/// Report of a multi-threaded workload replay.
+#[derive(Debug, Clone)]
+pub struct WorkloadRunReport {
+    /// Queries served.
+    pub served: u64,
+    /// Wall-clock duration of the replay.
+    pub elapsed: Duration,
+    /// Threads used.
+    pub threads: usize,
+}
+
+impl WorkloadRunReport {
+    /// Aggregate throughput in queries per second.
+    pub fn queries_per_second(&self) -> f64 {
+        self.served as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Resets a flag on drop so a panicking re-optimization cannot wedge the
+/// server into "somebody is already re-optimizing" forever.
+struct FlagGuard<'a>(&'a AtomicBool);
+
+impl Drop for FlagGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Thread-safe knowledge-graph serving engine. See the module docs.
+pub struct KgServer {
+    ontology: Ontology,
+    statistics: DataStatistics,
+    instance: InstanceKg,
+    config: ServerConfig,
+    epoch: RwLock<Arc<Epoch>>,
+    plan_cache: PlanCache,
+    prepared: RwLock<Vec<PreparedEntry>>,
+    tracker: WorkloadTracker,
+    /// Frequencies the current schema was optimized for.
+    baseline: Mutex<AccessFrequencies>,
+    served: AtomicU64,
+    reoptimizing: AtomicBool,
+    events: Mutex<Vec<ReoptimizationEvent>>,
+}
+
+impl KgServer {
+    /// Builds a server: optimizes the initial schema for
+    /// `initial_frequencies` with PGSG, loads `instance` under it, and starts
+    /// serving at epoch 0.
+    pub fn new(
+        ontology: Ontology,
+        statistics: DataStatistics,
+        instance: InstanceKg,
+        initial_frequencies: AccessFrequencies,
+        config: ServerConfig,
+    ) -> Self {
+        let input = OptimizerInput::new(&ontology, &statistics, &initial_frequencies);
+        let schema = pgso_core::optimize_pgsg(input, &config.optimizer).chosen.schema;
+        let mut graph = MemoryGraph::new();
+        load_into(&mut graph, &ontology, &schema, &instance);
+        let tracker = WorkloadTracker::new(&ontology);
+        Self {
+            epoch: RwLock::new(Arc::new(Epoch { number: 0, schema, graph: Box::new(graph) })),
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            prepared: RwLock::new(Vec::new()),
+            tracker,
+            baseline: Mutex::new(initial_frequencies),
+            served: AtomicU64::new(0),
+            reoptimizing: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+            ontology,
+            statistics,
+            instance,
+            config,
+        }
+    }
+
+    /// The domain ontology this server answers queries over.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Snapshot of the currently served epoch (schema + graph). The snapshot
+    /// stays valid — and its graph loaded — even across a concurrent swap.
+    pub fn current_epoch(&self) -> Arc<Epoch> {
+        self.epoch.read().clone()
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Queries served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// The online workload tracker.
+    pub fn tracker(&self) -> &WorkloadTracker {
+        &self.tracker
+    }
+
+    /// Current drift between the observed workload and the frequencies the
+    /// served schema was optimized for.
+    pub fn drift(&self) -> f64 {
+        self.tracker.drift(&self.baseline.lock())
+    }
+
+    /// Re-optimization events so far (threshold crossings, whether or not
+    /// they swapped the schema).
+    pub fn reoptimization_events(&self) -> Vec<ReoptimizationEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Registers a query for repeated execution; the fingerprint is computed
+    /// once here instead of on every call.
+    pub fn prepare(&self, query: Query) -> PreparedId {
+        let entry = PreparedEntry { fingerprint: fingerprint(&query), query: Arc::new(query) };
+        let mut prepared = self.prepared.write();
+        prepared.push(entry);
+        PreparedId(prepared.len() - 1)
+    }
+
+    /// Serves a previously prepared query.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this server's [`KgServer::prepare`].
+    pub fn serve_prepared(&self, id: PreparedId) -> QueryResult {
+        let (fp, query) = {
+            let prepared = self.prepared.read();
+            let entry = prepared.get(id.0).expect("unknown PreparedId");
+            (entry.fingerprint, entry.query.clone())
+        };
+        self.serve_inner(fp, &query)
+    }
+
+    /// Serves one DIR query: rewrite (cached) against the current schema,
+    /// execute on the current graph, record the access for workload tracking.
+    pub fn serve(&self, query: &Query) -> QueryResult {
+        self.serve_inner(fingerprint(query), query)
+    }
+
+    fn serve_inner(&self, fp: u64, query: &Query) -> QueryResult {
+        self.tracker.record(query);
+        let epoch = self.current_epoch();
+        let plan = match self.plan_cache.get(fp, epoch.number) {
+            Some(plan) => plan,
+            None => {
+                let plan = Arc::new(rewrite(query, &epoch.schema));
+                self.plan_cache.insert(fp, epoch.number, plan.clone());
+                plan
+            }
+        };
+        let result = execute(&plan, epoch.graph());
+        let served = self.served.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.config.auto_reoptimize && served.is_multiple_of(self.config.check_interval) {
+            self.try_reoptimize();
+        }
+        result
+    }
+
+    /// Checks drift and — past the threshold — re-optimizes and swaps. At
+    /// most one thread runs this at a time; concurrent callers return `None`
+    /// immediately and keep serving on the old epoch.
+    pub fn try_reoptimize(&self) -> Option<ReoptimizationEvent> {
+        if self
+            .reoptimizing
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        let _guard = FlagGuard(&self.reoptimizing);
+        let drift = self.drift();
+        if drift < self.config.drift_threshold {
+            return None;
+        }
+        let event = self.reoptimize_and_swap(drift);
+        self.events.lock().push(event.clone());
+        Some(event)
+    }
+
+    /// The slow path: re-run PGSG under the observed frequencies, diff, and
+    /// (if the schema changed) load + swap. Serving threads keep executing on
+    /// the old epoch for the whole duration except the final pointer store.
+    fn reoptimize_and_swap(&self, drift: f64) -> ReoptimizationEvent {
+        let total_queries = self.baseline.lock().total_queries();
+        let snapshot = self.tracker.snapshot();
+        let observed = self.tracker.frequencies_from(&snapshot, &self.ontology, total_queries);
+        let input = OptimizerInput::new(&self.ontology, &self.statistics, &observed);
+        let current = self.current_epoch();
+        let re = reoptimize(input, &current.schema, &self.config.optimizer);
+        let mut event = ReoptimizationEvent {
+            from_epoch: current.number,
+            drift,
+            changes: re.diff.change_count(),
+            swapped: false,
+        };
+        if re.schema_changed() {
+            let mut graph = MemoryGraph::new();
+            load_into(&mut graph, &self.ontology, &re.outcome.schema, &self.instance);
+            let next = Arc::new(Epoch {
+                number: current.number + 1,
+                schema: re.outcome.schema,
+                graph: Box::new(graph),
+            });
+            *self.epoch.write() = next.clone();
+            self.plan_cache.invalidate_stale(next.number);
+            event.swapped = true;
+        }
+        // Either way the observed workload is the new baseline: a swap made
+        // it the optimized-for mix, and a no-change outcome means the current
+        // schema is already optimal for it.
+        *self.baseline.lock() = observed;
+        self.tracker.rebase(&snapshot);
+        event
+    }
+
+    /// Replays `queries` across `threads` worker threads (query `i` goes to
+    /// thread `i % threads`, preserving each thread's relative order) and
+    /// reports aggregate throughput.
+    pub fn run_workload(&self, queries: &[Query], threads: usize) -> WorkloadRunReport {
+        let threads = threads.max(1);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let queries = &queries;
+                scope.spawn(move || {
+                    for query in queries.iter().skip(t).step_by(threads) {
+                        let _ = self.serve(query);
+                    }
+                });
+            }
+        });
+        WorkloadRunReport { served: queries.len() as u64, elapsed: start.elapsed(), threads }
+    }
+}
+
+impl std::fmt::Debug for KgServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KgServer")
+            .field("ontology", &self.ontology.name())
+            .field("epoch", &self.current_epoch().number)
+            .field("served", &self.served())
+            .field("cache", &self.plan_cache.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_ontology::{catalog, StatisticsConfig};
+
+    fn mini_server(config: ServerConfig) -> KgServer {
+        let ontology = catalog::med_mini();
+        let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+        let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+        let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+        KgServer::new(ontology, statistics, instance, frequencies, config)
+    }
+
+    fn lookup() -> Query {
+        Query::builder("lookup").node("d", "Drug").ret_property("d", "name").build()
+    }
+
+    #[test]
+    fn serves_queries_and_caches_plans() {
+        let server = mini_server(ServerConfig::default());
+        let first = server.serve(&lookup());
+        assert!(first.matches > 0);
+        let second = server.serve(&lookup());
+        assert_eq!(first.rows, second.rows);
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 1, "first request rewrites");
+        assert_eq!(stats.hits, 1, "second request hits the plan cache");
+        assert_eq!(server.served(), 2);
+    }
+
+    #[test]
+    fn prepared_queries_reuse_the_fingerprint() {
+        let server = mini_server(ServerConfig::default());
+        let id = server.prepare(lookup());
+        let a = server.serve_prepared(id);
+        let b = server.serve_prepared(id);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(server.cache_stats().hits, 1);
+        // The ad-hoc path shares the cache: same shape, same plan.
+        let _ = server.serve(&lookup());
+        assert_eq!(server.cache_stats().hits, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown PreparedId")]
+    fn foreign_prepared_ids_are_rejected() {
+        let server = mini_server(ServerConfig::default());
+        let _ = server.serve_prepared(PreparedId(99));
+    }
+
+    #[test]
+    fn epoch_snapshot_survives_swap() {
+        let server =
+            mini_server(ServerConfig { auto_reoptimize: false, ..ServerConfig::default() });
+        let before = server.current_epoch();
+        assert_eq!(before.number, 0);
+        assert!(before.graph().vertex_count() > 0);
+        // Without a space limit the schema is workload-independent, so no
+        // drift can ever change it.
+        for _ in 0..10 {
+            let _ = server.serve(&lookup());
+        }
+        assert!(server.try_reoptimize().is_none_or(|e| !e.swapped));
+        assert_eq!(server.current_epoch().number, 0);
+    }
+
+    #[test]
+    fn drift_grows_under_a_skewed_workload() {
+        let server =
+            mini_server(ServerConfig { auto_reoptimize: false, ..ServerConfig::default() });
+        assert_eq!(server.drift(), 0.0);
+        for _ in 0..50 {
+            let _ = server.serve(&lookup());
+        }
+        assert!(server.drift() > 0.3, "drift {}", server.drift());
+    }
+
+    #[test]
+    fn run_workload_serves_everything() {
+        let server = mini_server(ServerConfig::default());
+        // Warm the cache serially: concurrent cold-start threads can race
+        // get-before-insert and legitimately rewrite the same plan twice.
+        let _ = server.serve(&lookup());
+        let queries: Vec<Query> = (0..40).map(|_| lookup()).collect();
+        let report = server.run_workload(&queries, 4);
+        assert_eq!(report.served, 40);
+        assert_eq!(report.threads, 4);
+        assert_eq!(server.served(), 41);
+        assert!(report.queries_per_second() > 0.0);
+        // 40 structurally identical queries against a warm cache: all hits.
+        assert_eq!(server.cache_stats().hits, 40);
+        assert_eq!(server.cache_stats().misses, 1);
+    }
+}

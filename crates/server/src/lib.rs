@@ -1,0 +1,54 @@
+//! # pgso-server
+//!
+//! Concurrent knowledge-graph serving layer for the `pgso` workspace.
+//!
+//! The paper's optimizer (Lei et al., ICDE 2021) is workload-driven: access
+//! frequencies feed the concept-centric and relation-centric algorithms. The
+//! rest of this workspace applies it *offline*; this crate closes the loop
+//! for a *serving* system, where the workload is observed rather than given
+//! and drifts over time:
+//!
+//! * [`KgServer`] — a thread-safe engine that owns a
+//!   [`pgso_graphstore::GraphBackend`] behind a shared read path and serves
+//!   DIR pattern queries from any number of threads;
+//! * [`PlanCache`] — a fingerprint-keyed DIR→OPT rewrite cache, invalidated
+//!   wholesale by schema-epoch bumps;
+//! * [`WorkloadTracker`] — lock-free accumulation of the paper's per-concept
+//!   / per-relationship / per-property access frequencies from served
+//!   queries;
+//! * adaptive re-optimization — when the observed mix drifts past a
+//!   threshold, the engine re-runs PGSG off the hot path, diffs the schemas
+//!   via [`pgso_pgschema::diff`], reloads the graph under the new schema and
+//!   atomically swaps it in ([`Epoch`]).
+//!
+//! ```
+//! use pgso_datagen::InstanceKg;
+//! use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
+//! use pgso_query::Query;
+//! use pgso_server::{KgServer, ServerConfig};
+//!
+//! let ontology = catalog::med_mini();
+//! let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
+//! let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 42);
+//! let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+//! let server = KgServer::new(ontology, statistics, instance, frequencies,
+//!                            ServerConfig::default());
+//!
+//! let query = Query::builder("lookup").node("d", "Drug").ret_property("d", "name").build();
+//! let result = server.serve(&query);
+//! assert!(result.matches > 0);
+//! assert_eq!(server.cache_stats().misses, 1); // first request rewrote the plan
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod engine;
+pub mod tracker;
+
+pub use cache::{CacheStats, PlanCache};
+pub use engine::{
+    Epoch, KgServer, PreparedId, ReoptimizationEvent, ServerConfig, WorkloadRunReport,
+};
+pub use tracker::{WorkloadSnapshot, WorkloadTracker};

@@ -1,0 +1,445 @@
+//! Online workload tracking.
+//!
+//! The paper's access frequencies (§4.2) are an *input* to the optimizer; in
+//! a serving system they are an *observation*. [`WorkloadTracker`] turns the
+//! stream of served DIR queries into exactly the summary the optimizer
+//! consumes: per-concept counts (node patterns), per-relationship counts
+//! (edge patterns) and per-`(relationship, destination property)` counts
+//! (return clauses reached through an edge — the paper's
+//! `AF(ci --rk--> cj.Pj)`).
+//!
+//! Recording sits on the serving hot path, so concept and relationship
+//! counts are plain relaxed atomics indexed by the dense ontology ids;
+//! label→id resolution goes through maps precomputed at construction. The
+//! sparser property counts share one mutex, taken once per query only when
+//! the query actually reaches a property through an edge.
+
+use parking_lot::Mutex;
+use pgso_ontology::{AccessFrequencies, ConceptId, Ontology, PropertyId, RelationshipId};
+use pgso_query::{Query, ReturnItem};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Point-in-time copy of everything the tracker has observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSnapshot {
+    /// Queries recorded in total.
+    pub total_queries: u64,
+    /// Per-concept access counts, indexed like [`ConceptId::index`].
+    pub concept_counts: Vec<u64>,
+    /// Per-relationship traversal counts, indexed like
+    /// [`RelationshipId::index`].
+    pub relationship_counts: Vec<u64>,
+    /// Per-`(relationship, destination property)` access counts.
+    pub property_counts: HashMap<(RelationshipId, PropertyId), u64>,
+}
+
+/// Accumulates access frequencies from served queries.
+pub struct WorkloadTracker {
+    concepts: Vec<AtomicU64>,
+    relationships: Vec<AtomicU64>,
+    properties: Mutex<HashMap<(RelationshipId, PropertyId), u64>>,
+    total: AtomicU64,
+    /// label → concept id.
+    concept_by_label: HashMap<String, ConceptId>,
+    /// edge label → `(src, dst, relationship)` candidates. Keyed by the label
+    /// alone (looked up with a borrowed `&str` — no allocation on the hot
+    /// path); the per-label candidate lists are tiny, so matching endpoints
+    /// is a short linear scan, with the first candidate as the fallback when
+    /// the endpoints don't resolve.
+    relationships_by_label: HashMap<String, Vec<(ConceptId, ConceptId, RelationshipId)>>,
+    /// concept → property name → property id.
+    property_by_name: HashMap<ConceptId, HashMap<String, PropertyId>>,
+}
+
+impl WorkloadTracker {
+    /// Builds a tracker with label-resolution maps for `ontology`.
+    pub fn new(ontology: &Ontology) -> Self {
+        let mut concept_by_label = HashMap::new();
+        for (cid, concept) in ontology.concepts() {
+            concept_by_label.insert(concept.name.clone(), cid);
+        }
+        let mut relationships_by_label: HashMap<
+            String,
+            Vec<(ConceptId, ConceptId, RelationshipId)>,
+        > = HashMap::new();
+        for (rid, rel) in ontology.relationships() {
+            relationships_by_label
+                .entry(rel.name.clone())
+                .or_default()
+                .push((rel.src, rel.dst, rid));
+        }
+        let mut property_by_name: HashMap<ConceptId, HashMap<String, PropertyId>> = HashMap::new();
+        for (cid, _) in ontology.concepts() {
+            for &pid in ontology.concept_properties(cid) {
+                property_by_name
+                    .entry(cid)
+                    .or_default()
+                    .insert(ontology.property(pid).name.clone(), pid);
+            }
+        }
+        Self {
+            concepts: (0..ontology.concept_count()).map(|_| AtomicU64::new(0)).collect(),
+            relationships: (0..ontology.relationship_count()).map(|_| AtomicU64::new(0)).collect(),
+            properties: Mutex::new(HashMap::new()),
+            total: AtomicU64::new(0),
+            concept_by_label,
+            relationships_by_label,
+            property_by_name,
+        }
+    }
+
+    fn resolve_relationship(
+        &self,
+        label: &str,
+        src: Option<ConceptId>,
+        dst: Option<ConceptId>,
+    ) -> Option<RelationshipId> {
+        let candidates = self.relationships_by_label.get(label)?;
+        if let (Some(s), Some(d)) = (src, dst) {
+            if let Some(&(_, _, rid)) = candidates.iter().find(|&&(cs, cd, _)| cs == s && cd == d) {
+                return Some(rid);
+            }
+        }
+        candidates.first().map(|&(_, _, rid)| rid)
+    }
+
+    /// Records one served DIR query.
+    pub fn record(&self, query: &Query) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let concept_of = |var: &str| -> Option<ConceptId> {
+            query.node(var).and_then(|n| self.concept_by_label.get(&n.label)).copied()
+        };
+        for node in &query.nodes {
+            if let Some(&cid) = self.concept_by_label.get(&node.label) {
+                self.concepts[cid.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut edge_rel: Vec<Option<RelationshipId>> = Vec::with_capacity(query.edges.len());
+        for edge in &query.edges {
+            let rid = self.resolve_relationship(
+                &edge.label,
+                concept_of(&edge.src),
+                concept_of(&edge.dst),
+            );
+            if let Some(rid) = rid {
+                self.relationships[rid.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            edge_rel.push(rid);
+        }
+        // Property accesses reached through a relationship: `var.property`
+        // where some pattern edge ends in `var`.
+        let mut touched: Vec<(RelationshipId, PropertyId)> = Vec::new();
+        for item in &query.returns {
+            let (var, property) = match item {
+                ReturnItem::Property { var, property } => (var, property),
+                ReturnItem::Aggregate { var, property: Some(property), .. } => (var, property),
+                _ => continue,
+            };
+            let Some(cid) = concept_of(var) else { continue };
+            let Some(&pid) =
+                self.property_by_name.get(&cid).and_then(|props| props.get(property.as_str()))
+            else {
+                continue;
+            };
+            for (edge, rid) in query.edges.iter().zip(&edge_rel) {
+                if edge.dst == *var {
+                    if let Some(rid) = rid {
+                        touched.push((*rid, pid));
+                    }
+                }
+            }
+        }
+        if !touched.is_empty() {
+            let mut properties = self.properties.lock();
+            for key in touched {
+                *properties.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of queries recorded.
+    pub fn total_queries(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the current counts.
+    pub fn snapshot(&self) -> WorkloadSnapshot {
+        WorkloadSnapshot {
+            total_queries: self.total_queries(),
+            concept_counts: self.concepts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            relationship_counts: self
+                .relationships
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            property_counts: self.properties.lock().clone(),
+        }
+    }
+
+    /// Normalized L1 drift in `[0, 1]` between the observed per-concept
+    /// distribution and `baseline`'s (the frequencies the served schema was
+    /// optimized for). `0` = identical mix, `1` = disjoint mix. Returns `0`
+    /// until at least one query was recorded.
+    pub fn drift(&self, baseline: &AccessFrequencies) -> f64 {
+        let snapshot = self.snapshot();
+        if snapshot.total_queries == 0 {
+            return 0.0;
+        }
+        let observed_total: f64 =
+            snapshot.concept_counts.iter().map(|&c| c as f64).sum::<f64>().max(1.0);
+        let baseline_total: f64 = (0..snapshot.concept_counts.len())
+            .map(|i| baseline.concept(ConceptId::new(i as u32)))
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
+        let mut l1 = 0.0;
+        for (i, &count) in snapshot.concept_counts.iter().enumerate() {
+            let p = count as f64 / observed_total;
+            let q = baseline.concept(ConceptId::new(i as u32)) / baseline_total;
+            l1 += (p - q).abs();
+        }
+        (l1 / 2.0).clamp(0.0, 1.0)
+    }
+
+    /// Converts the observed counts into the optimizer's
+    /// [`AccessFrequencies`], normalized to `total_queries` logical queries.
+    ///
+    /// Counts are scaled so their sum matches `total_queries`; concepts,
+    /// relationships and properties that were never observed get a small
+    /// floor (0.1% of the mean) instead of zero, so the cost model never
+    /// divides a dead concept out entirely and a future trickle of queries
+    /// can still resurrect it.
+    pub fn to_frequencies(&self, ontology: &Ontology, total_queries: f64) -> AccessFrequencies {
+        self.frequencies_from(&self.snapshot(), ontology, total_queries)
+    }
+
+    /// Pure form of [`WorkloadTracker::to_frequencies`] over an explicit
+    /// snapshot, so a caller can convert and later [`rebase`] on exactly the
+    /// same counts without racing concurrent recorders.
+    ///
+    /// [`rebase`]: WorkloadTracker::rebase
+    pub fn frequencies_from(
+        &self,
+        snapshot: &WorkloadSnapshot,
+        ontology: &Ontology,
+        total_queries: f64,
+    ) -> AccessFrequencies {
+        let mut af = AccessFrequencies::uniform(ontology, total_queries);
+        let observed: f64 = snapshot.concept_counts.iter().map(|&c| c as f64).sum();
+        let scale = if observed > 0.0 { total_queries / observed } else { 0.0 };
+        let floor = (total_queries / ontology.concept_count().max(1) as f64) * 1e-3;
+        for cid in ontology.concept_ids() {
+            let count = snapshot.concept_counts[cid.index()] as f64;
+            af.set_concept(cid, (count * scale).max(floor));
+        }
+        let rel_observed: f64 = snapshot.relationship_counts.iter().map(|&c| c as f64).sum();
+        let rel_scale = if rel_observed > 0.0 { total_queries / rel_observed } else { 0.0 };
+        for (rid, rel) in ontology.relationships() {
+            let count = snapshot.relationship_counts[rid.index()] as f64;
+            let rel_af = (count * rel_scale).max(floor);
+            af.set_relationship(rid, rel_af);
+            // Split the relationship's frequency over the destination
+            // properties proportionally to the observed property accesses,
+            // mirroring AccessFrequencies::generate's uniform split.
+            let dst_props = ontology.concept_properties(rel.dst);
+            if dst_props.is_empty() {
+                continue;
+            }
+            let prop_total: u64 = dst_props
+                .iter()
+                .map(|&pid| snapshot.property_counts.get(&(rid, pid)).copied().unwrap_or(0))
+                .sum();
+            for &pid in dst_props {
+                let share = if prop_total > 0 {
+                    let count = snapshot.property_counts.get(&(rid, pid)).copied().unwrap_or(0);
+                    rel_af * count as f64 / prop_total as f64
+                } else {
+                    rel_af / dst_props.len() as f64
+                };
+                af.set_property(rid, pid, share);
+            }
+        }
+        af
+    }
+
+    /// Zeroes every counter (called after the observed workload has been
+    /// promoted to the new optimization baseline).
+    pub fn reset(&self) {
+        for c in &self.concepts {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.relationships {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.properties.lock().clear();
+        self.total.store(0, Ordering::Relaxed);
+    }
+
+    /// Subtracts a previously taken `snapshot` from the live counters.
+    ///
+    /// Unlike [`WorkloadTracker::reset`], queries recorded by concurrent
+    /// serving threads *after* the snapshot survive: they carry over into the
+    /// next observation window instead of being silently discarded while a
+    /// re-optimization is in flight.
+    pub fn rebase(&self, snapshot: &WorkloadSnapshot) {
+        for (c, &taken) in self.concepts.iter().zip(&snapshot.concept_counts) {
+            c.fetch_sub(taken, Ordering::Relaxed);
+        }
+        for (c, &taken) in self.relationships.iter().zip(&snapshot.relationship_counts) {
+            c.fetch_sub(taken, Ordering::Relaxed);
+        }
+        {
+            let mut properties = self.properties.lock();
+            for (key, &taken) in &snapshot.property_counts {
+                if let Some(count) = properties.get_mut(key) {
+                    *count = count.saturating_sub(taken);
+                    if *count == 0 {
+                        properties.remove(key);
+                    }
+                }
+            }
+        }
+        self.total.fetch_sub(snapshot.total_queries, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for WorkloadTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadTracker").field("total_queries", &self.total_queries()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_ontology::catalog;
+    use pgso_query::Aggregate;
+
+    fn treat_query() -> Query {
+        Query::builder("q")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build()
+    }
+
+    #[test]
+    fn records_concepts_relationships_and_properties() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        tracker.record(&treat_query());
+        tracker.record(&treat_query());
+        let snap = tracker.snapshot();
+        assert_eq!(snap.total_queries, 2);
+        let drug = o.concept_by_name("Drug").unwrap();
+        let indication = o.concept_by_name("Indication").unwrap();
+        assert_eq!(snap.concept_counts[drug.index()], 2);
+        assert_eq!(snap.concept_counts[indication.index()], 2);
+        let (treat, rel) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        assert_eq!(snap.relationship_counts[treat.index()], 2);
+        let desc = o.property_by_name(rel.dst, "desc").unwrap();
+        assert_eq!(snap.property_counts.get(&(treat, desc)), Some(&2));
+    }
+
+    #[test]
+    fn aggregate_returns_count_as_property_accesses() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        let q = Query::builder("q9")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+            .build();
+        tracker.record(&q);
+        let (treat, rel) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        let desc = o.property_by_name(rel.dst, "desc").unwrap();
+        assert_eq!(tracker.snapshot().property_counts.get(&(treat, desc)), Some(&1));
+    }
+
+    #[test]
+    fn unknown_labels_are_ignored() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        let q = Query::builder("q").node("x", "NoSuchConcept").ret_property("x", "nope").build();
+        tracker.record(&q);
+        let snap = tracker.snapshot();
+        assert_eq!(snap.total_queries, 1);
+        assert!(snap.concept_counts.iter().all(|&c| c == 0));
+        assert!(snap.property_counts.is_empty());
+    }
+
+    #[test]
+    fn drift_is_zero_for_matching_mix_and_grows_with_skew() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        let uniform = AccessFrequencies::uniform(&o, 1_000.0);
+        assert_eq!(tracker.drift(&uniform), 0.0, "no observations yet");
+        // Hit every concept once: perfectly uniform mix.
+        for (_, concept) in o.concepts() {
+            let q = Query::builder("q").node("x", concept.name.clone()).ret_vertex("x").build();
+            tracker.record(&q);
+        }
+        assert!(tracker.drift(&uniform) < 1e-9);
+        // Now hammer a single concept; drift must rise.
+        for _ in 0..200 {
+            let q = Query::builder("q").node("d", "Drug").ret_vertex("d").build();
+            tracker.record(&q);
+        }
+        assert!(tracker.drift(&uniform) > 0.5, "drift {}", tracker.drift(&uniform));
+    }
+
+    #[test]
+    fn to_frequencies_scales_to_requested_total() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        for _ in 0..10 {
+            tracker.record(&treat_query());
+        }
+        let af = tracker.to_frequencies(&o, 10_000.0);
+        let total: f64 = o.concept_ids().map(|c| af.concept(c)).sum();
+        assert!((total - 10_000.0).abs() / 10_000.0 < 0.01, "total {total}");
+        let drug = o.concept_by_name("Drug").unwrap();
+        let risk = o.concept_by_name("Risk").unwrap();
+        assert!(af.concept(drug) > af.concept(risk) * 100.0);
+        // Observed property keeps the whole relationship share.
+        let (treat, rel) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        let desc = o.property_by_name(rel.dst, "desc").unwrap();
+        assert!((af.property(treat, desc) - af.relationship(treat)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebase_keeps_counts_recorded_after_the_snapshot() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        for _ in 0..5 {
+            tracker.record(&treat_query());
+        }
+        let snapshot = tracker.snapshot();
+        // Two more queries arrive while "re-optimization" is in flight.
+        tracker.record(&treat_query());
+        tracker.record(&treat_query());
+        tracker.rebase(&snapshot);
+        let after = tracker.snapshot();
+        assert_eq!(after.total_queries, 2, "post-snapshot queries must survive");
+        let drug = o.concept_by_name("Drug").unwrap();
+        assert_eq!(after.concept_counts[drug.index()], 2);
+        let (treat, rel) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        assert_eq!(after.relationship_counts[treat.index()], 2);
+        let desc = o.property_by_name(rel.dst, "desc").unwrap();
+        assert_eq!(after.property_counts.get(&(treat, desc)), Some(&2));
+    }
+
+    #[test]
+    fn reset_zeroes_counts() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        tracker.record(&treat_query());
+        tracker.reset();
+        let snap = tracker.snapshot();
+        assert_eq!(snap.total_queries, 0);
+        assert!(snap.concept_counts.iter().all(|&c| c == 0));
+        assert!(snap.property_counts.is_empty());
+    }
+}

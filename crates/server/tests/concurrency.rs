@@ -1,0 +1,164 @@
+//! Concurrency tests: N worker threads hammering one shared server must see
+//! exactly the rows a serial execution sees, while the plan cache and the
+//! backend's atomic access counters stay coherent.
+
+use pgso_datagen::InstanceKg;
+use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
+use pgso_query::{Aggregate, Query, Row};
+use pgso_server::{KgServer, ServerConfig};
+
+fn medical_server() -> KgServer {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 11);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 11);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    KgServer::new(
+        ontology,
+        statistics,
+        instance,
+        frequencies,
+        ServerConfig { auto_reoptimize: false, ..ServerConfig::default() },
+    )
+}
+
+/// A mixed workload: lookups, one-hop and two-hop patterns, aggregations.
+fn workload() -> Vec<Query> {
+    vec![
+        Query::builder("drug-lookup").node("d", "Drug").ret_property("d", "name").build(),
+        Query::builder("treat")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .ret_property("i", "desc")
+            .build(),
+        Query::builder("routes-agg")
+            .node("d", "Drug")
+            .node("dr", "DrugRoute")
+            .edge("d", "hasDrugRoute", "dr")
+            .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
+            .build(),
+        Query::builder("patient-encounters")
+            .node("p", "Patient")
+            .node("e", "Encounter")
+            .edge("p", "hasEncounter", "e")
+            .ret_property("e", "encounterId")
+            .build(),
+        Query::builder("two-hop")
+            .node("p", "Patient")
+            .node("e", "Encounter")
+            .node("l", "LabResult")
+            .edge("p", "hasEncounter", "e")
+            .edge("e", "hasLabResult", "l")
+            .ret_aggregate(Aggregate::Count, "l", None)
+            .build(),
+        Query::builder("physician-count")
+            .node("ph", "Physician")
+            .ret_aggregate(Aggregate::Count, "ph", None)
+            .build(),
+    ]
+}
+
+#[test]
+fn concurrent_execution_matches_serial_row_sets() {
+    let server = medical_server();
+    let queries = workload();
+
+    // Serial reference: one execution of each query.
+    let serial: Vec<Vec<Row>> = queries.iter().map(|q| server.serve(q).rows).collect();
+    for (query, rows) in queries.iter().zip(&serial) {
+        assert!(!rows.is_empty(), "serial run of {} returned no rows", query.name);
+    }
+
+    // 8 threads × 25 rounds, all against the same shared backend.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 25;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let server = &server;
+            let queries = &queries;
+            let serial = &serial;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    for (query, expected) in queries.iter().zip(serial) {
+                        let result = server.serve(query);
+                        assert_eq!(
+                            &result.rows, expected,
+                            "{} diverged under concurrency",
+                            query.name
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * ROUNDS * queries.len() + queries.len()) as u64;
+    assert_eq!(server.served(), total, "every request must be recorded");
+    assert_eq!(server.tracker().total_queries(), total);
+
+    // One rewrite per distinct shape; everything else came from the cache.
+    let stats = server.cache_stats();
+    assert_eq!(stats.misses, queries.len() as u64);
+    assert_eq!(stats.hits, total - queries.len() as u64);
+    assert_eq!(stats.invalidations, 0, "no schema swap happened");
+}
+
+#[test]
+fn prepared_queries_are_thread_safe() {
+    let server = medical_server();
+    let ids: Vec<_> = workload().into_iter().map(|q| server.prepare(q)).collect();
+    let serial: Vec<Vec<Row>> = ids.iter().map(|&id| server.serve_prepared(id).rows).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let server = &server;
+            let ids = &ids;
+            let serial = &serial;
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    for (&id, expected) in ids.iter().zip(serial) {
+                        assert_eq!(&server.serve_prepared(id).rows, expected);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(server.served(), (6 * 20 * ids.len() + ids.len()) as u64);
+}
+
+#[test]
+fn per_query_stats_remain_attributable_under_concurrency() {
+    // The backend counters are shared atomics; `execute` reports per-query
+    // deltas. Under concurrency a delta can include a neighbour's work, so
+    // per-query numbers may over-count, but the *backend total* must equal
+    // serial expectations: counters never lose increments.
+    let server = medical_server();
+    let q = workload().remove(1); // Drug -[treat]-> Indication pattern
+    let baseline = server.current_epoch().stats().edge_traversals;
+    let serial_cost = {
+        let r = server.serve(&q);
+        r.stats.edge_traversals
+    };
+    assert!(serial_cost > 0, "pattern query must traverse edges");
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 10;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let server = &server;
+            let q = &q;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    let _ = server.serve(q);
+                }
+            });
+        }
+    });
+    let total = server.current_epoch().stats().edge_traversals - baseline;
+    assert_eq!(
+        total,
+        serial_cost * (THREADS as u64 * ROUNDS as u64 + 1),
+        "atomic counters must not drop increments under contention"
+    );
+}

@@ -22,8 +22,7 @@ fn main() {
 
     println!("\nbenefit ratio vs space budget (RC / CC):");
     for fraction in [0.01, 0.1, 0.25, 0.5, 1.0] {
-        let config =
-            OptimizerConfig::with_space_limit((nsc.total_cost as f64 * fraction) as u64);
+        let config = OptimizerConfig::with_space_limit((nsc.total_cost as f64 * fraction) as u64);
         let rc = optimize_relation_centric(input, &config);
         let cc = optimize_concept_centric(input, &config);
         println!(

@@ -6,8 +6,8 @@
 //! cargo run --example schema_explorer
 //! ```
 
-use pgso::prelude::*;
 use pgso::pgschema::estimate_space;
+use pgso::prelude::*;
 
 const CUSTOM_ONTOLOGY: &str = r#"
 ontology retail
@@ -67,7 +67,10 @@ fn main() {
     let direct = PropertyGraphSchema::direct_from_ontology(&ontology);
     println!("\n-- direct schema (Cypher DDL) --\n{}", ddl::to_cypher_ddl(&direct));
     println!("-- optimized schema (Cypher DDL) --\n{}", ddl::to_cypher_ddl(&outcome.schema));
-    println!("-- optimized schema (GraphQL SDL) --\n{}", pgso::pgschema::ddl::to_graphql_sdl(&outcome.schema));
+    println!(
+        "-- optimized schema (GraphQL SDL) --\n{}",
+        pgso::pgschema::ddl::to_graphql_sdl(&outcome.schema)
+    );
 
     println!("-- changes --\n{}", pgso::pgschema::diff(&direct, &outcome.schema));
 

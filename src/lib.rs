@@ -11,8 +11,9 @@
 //! | [`pgschema`] | `pgso-pgschema` | property graph schema model, DDL emission, space estimation, diffs |
 //! | [`optimizer`] | `pgso-core` | relationship rules, OntologyPR, cost-benefit model, NSC / CC / RC / PGSG |
 //! | [`graphstore`] | `pgso-graphstore` | in-memory and disk-backed (paged, buffer pool) property graph storage |
-//! | [`query`] | `pgso-query` | pattern query AST, executor, DIR→OPT rewriter |
+//! | [`query`] | `pgso-query` | pattern query AST, executor, DIR→OPT rewriter, plan fingerprints |
 //! | [`datagen`] | `pgso-datagen` | synthetic instance generation and schema-conforming loading |
+//! | [`server`] | `pgso-server` | concurrent serving engine: plan cache, workload tracking, adaptive re-optimization |
 //!
 //! ## Quick start
 //!
@@ -46,12 +47,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use pgso_core as optimizer;
 pub use pgso_datagen as datagen;
 pub use pgso_graphstore as graphstore;
 pub use pgso_ontology as ontology;
-pub use pgso_core as optimizer;
 pub use pgso_pgschema as pgschema;
 pub use pgso_query as query;
+pub use pgso_server as server;
 
 /// Commonly used types, re-exported for `use pgso::prelude::*`.
 pub mod prelude {
@@ -68,5 +70,6 @@ pub mod prelude {
         StatisticsConfig, WorkloadDistribution,
     };
     pub use pgso_pgschema::{ddl, PropertyGraphSchema};
-    pub use pgso_query::{execute, rewrite, Aggregate, Query};
+    pub use pgso_query::{execute, fingerprint, rewrite, Aggregate, Query};
+    pub use pgso_server::{KgServer, ServerConfig, WorkloadTracker};
 }

@@ -1,8 +1,8 @@
 //! End-to-end integration tests spanning every crate: ontology → optimizer →
 //! data loading → query execution → DIR/OPT equivalence.
 
-use pgso::prelude::*;
 use pgso::ontology::catalog;
+use pgso::prelude::*;
 use pgso_query::ReturnItem;
 
 fn pipeline(
@@ -13,10 +13,8 @@ fn pipeline(
     let stats = DataStatistics::synthesize(ontology, &StatisticsConfig::small(), seed);
     let workload =
         AccessFrequencies::generate(ontology, WorkloadDistribution::default_zipf(), 10_000.0, seed);
-    let outcome = optimize_nsc(
-        OptimizerInput::new(ontology, &stats, &workload),
-        &OptimizerConfig::default(),
-    );
+    let outcome =
+        optimize_nsc(OptimizerInput::new(ontology, &stats, &workload), &OptimizerConfig::default());
     let direct_schema = PropertyGraphSchema::direct_from_ontology(ontology);
     let instance = InstanceKg::generate(ontology, &stats, scale, seed);
     let mut direct = MemoryGraph::new();
@@ -162,10 +160,7 @@ fn space_constrained_schema_still_loads_and_answers_queries() {
         AccessFrequencies::generate(&ontology, WorkloadDistribution::default_zipf(), 10_000.0, 31);
     let input = OptimizerInput::new(&ontology, &stats, &workload);
     let nsc = optimize_nsc(input, &OptimizerConfig::default());
-    let constrained = optimize_pgsg(
-        input,
-        &OptimizerConfig::with_space_limit(nsc.total_cost / 10),
-    );
+    let constrained = optimize_pgsg(input, &OptimizerConfig::with_space_limit(nsc.total_cost / 10));
     let schema = &constrained.chosen.schema;
     assert!(schema.dangling_edges().is_empty());
 

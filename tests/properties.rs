@@ -2,12 +2,12 @@
 //! Theorem 3 (rule-order independence), Proposition 1 (knapsack behaviour of
 //! the relation-centric selection), budget monotonicity and DSL round-trips.
 
-use pgso::prelude::*;
 use pgso::ontology::catalog;
 use pgso::optimizer::{
-    enumerate_items, solve_exact, solve_fptas, solve_greedy, InheritanceSimilarities,
-    KnapsackItem, RuleItem, SchemaGraph,
+    enumerate_items, solve_exact, solve_fptas, solve_greedy, InheritanceSimilarities, KnapsackItem,
+    RuleItem, SchemaGraph,
 };
+use pgso::prelude::*;
 use proptest::prelude::*;
 
 /// Applies a fixed item set in the given order until fixpoint, via the raw

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros so `#[derive(Serialize, Deserialize)]` annotations
+//! compile unchanged without network access. The traits carry no methods and
+//! are blanket-implemented: no code in this workspace performs runtime
+//! (de)serialization.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Minimal `serde::de` namespace.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! vendored. Nothing in this workspace serializes at runtime — the derives
+//! only mark types as serializable for future interop — so the derive macros
+//! here expand to nothing. Swap the `[patch]`-free path dependencies in the
+//! workspace manifest for the real crates when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

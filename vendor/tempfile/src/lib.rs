@@ -1,0 +1,72 @@
+//! Offline stand-in for `tempfile`: only [`tempdir`] / [`TempDir`], which is
+//! what the disk-backend tests and benches use. Directories are created under
+//! the system temp dir with a process-unique name and removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory that is deleted (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Path of the directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Deletes the directory now, consuming the handle.
+    pub fn close(self) -> io::Result<()> {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        fs::remove_dir_all(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let serial = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "pgso-tmp-{}-{}-{serial}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0),
+    ));
+    fs::create_dir_all(&path)?;
+    Ok(TempDir { path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tempdir;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f.txt"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn directories_are_unique() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
