@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_bench::{build_memory_pair, microbenchmark, DatasetId, Workbench};
 use pgso_core::OptimizerConfig;
 use pgso_ontology::WorkloadDistribution;
-use pgso_query::{execute, rewrite};
+use pgso_query::{execute_statement, rewrite_statement};
 
 fn bench(c: &mut Criterion) {
     let config = OptimizerConfig::default();
@@ -23,12 +23,12 @@ fn bench(c: &mut Criterion) {
             DatasetId::Med => &med_pair,
             DatasetId::Fin => &fin_pair,
         };
-        let rewritten = rewrite(&bq.query, &pair.optimized_schema);
+        let rewritten = rewrite_statement(&bq.query, &pair.optimized_schema);
         group.bench_function(format!("{}/DIR", bq.query.name), |b| {
-            b.iter(|| execute(&bq.query, &pair.direct))
+            b.iter(|| execute_statement(&bq.query, &pair.direct))
         });
         group.bench_function(format!("{}/OPT", bq.query.name), |b| {
-            b.iter(|| execute(&rewritten, &pair.optimized))
+            b.iter(|| execute_statement(&rewritten, &pair.optimized))
         });
     }
     group.finish();

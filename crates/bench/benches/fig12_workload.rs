@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_bench::{build_memory_pair, figure12_workload, workload_latency, DatasetId, Workbench};
 use pgso_core::OptimizerConfig;
 use pgso_ontology::WorkloadDistribution;
-use pgso_query::{execute, rewrite};
+use pgso_query::{execute_statement, rewrite_statement};
 
 fn bench(c: &mut Criterion) {
     let config = OptimizerConfig::default();
@@ -16,18 +16,18 @@ fn bench(c: &mut Criterion) {
         let pair = build_memory_pair(&wb, &config, 0.1, 42);
         let workload = figure12_workload(dataset);
         let rewritten: Vec<_> =
-            workload.iter().map(|q| rewrite(q, &pair.optimized_schema)).collect();
+            workload.iter().map(|q| rewrite_statement(q, &pair.optimized_schema)).collect();
         group.bench_function(format!("{}/DIR", dataset.label()), |b| {
             b.iter(|| {
                 for q in &workload {
-                    let _ = execute(q, &pair.direct);
+                    let _ = execute_statement(q, &pair.direct);
                 }
             })
         });
         group.bench_function(format!("{}/OPT", dataset.label()), |b| {
             b.iter(|| {
                 for q in &rewritten {
-                    let _ = execute(q, &pair.optimized);
+                    let _ = execute_statement(q, &pair.optimized);
                 }
             })
         });

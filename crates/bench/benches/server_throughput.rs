@@ -1,12 +1,21 @@
 //! Serving-layer throughput: queries/sec of one shared `KgServer` at 1, 2, 4
-//! and 8 worker threads over a mixed MED workload, plus the plan-cache hit
-//! ratio accumulated across the run. Adaptive re-optimization is disabled so
-//! every sample measures the same schema epoch.
+//! and 8 worker threads, plus the plan-cache hit ratio accumulated across
+//! the run. Adaptive re-optimization is disabled so every sample measures
+//! the same schema epoch.
+//!
+//! Two workload mixes are measured:
+//!
+//! * **pattern** — the original mix of lookups, patterns and aggregations
+//!   (structurally identical repeats, the best case for the plan cache);
+//! * **predicate+limit** — WHERE/ORDER BY/LIMIT statements whose predicate
+//!   literals and LIMIT counts vary per request. The cache keys on the
+//!   statement *shape*, so the hit ratio must stay high even though no two
+//!   requests are textually identical.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_datagen::InstanceKg;
 use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
-use pgso_query::{Aggregate, Query};
+use pgso_query::{parse_named, Aggregate, Query, Statement};
 use pgso_server::{KgServer, ServerConfig};
 
 fn build_server() -> KgServer {
@@ -23,8 +32,8 @@ fn build_server() -> KgServer {
     )
 }
 
-/// 512-query mixed workload: lookups, patterns and aggregations.
-fn workload() -> Vec<Query> {
+/// 512-statement mixed workload: lookups, patterns and aggregations.
+fn pattern_workload() -> Vec<Statement> {
     let shapes = [
         Query::builder("lookup").node("d", "Drug").ret_property("d", "name").build(),
         Query::builder("treat")
@@ -46,39 +55,88 @@ fn workload() -> Vec<Query> {
             .ret_property("e", "encounterId")
             .build(),
     ];
-    (0..512).map(|i| shapes[i % shapes.len()].clone()).collect()
+    (0..512).map(|i| Statement::from(shapes[i % shapes.len()].clone())).collect()
 }
 
-fn bench(c: &mut Criterion) {
-    let server = build_server();
-    let queries = workload();
-    // Warm the plan cache so the throughput numbers measure the steady state.
-    let _ = server.run_workload(&queries, 1);
+/// 512-statement predicate+LIMIT workload in which every request carries a
+/// *different* literal and LIMIT count over only four statement shapes.
+fn predicate_limit_workload() -> Vec<Statement> {
+    (0..512)
+        .map(|i| {
+            let text = match i % 4 {
+                0 => format!(
+                    "MATCH (d:Drug) WHERE d.name CONTAINS 'Drug_name_{}' \
+                     RETURN d.name ORDER BY d.name LIMIT {}",
+                    i / 4,
+                    1 + i % 16
+                ),
+                1 => format!(
+                    "MATCH (d:Drug)-[:treat]->(i:Indication) WHERE d.name CONTAINS '_{}' \
+                     RETURN DISTINCT i.desc ORDER BY i.desc DESC LIMIT {}",
+                    i % 10,
+                    2 + i % 8
+                ),
+                2 => format!(
+                    "MATCH (p:Patient) OPTIONAL MATCH (p)-[:hasEncounter]->(e:Encounter) \
+                     WHERE p.mrn CONTAINS '{}' RETURN p.mrn, e.encounterId SKIP {} LIMIT {}",
+                    i % 7,
+                    i % 3,
+                    4 + i % 12
+                ),
+                _ => format!(
+                    "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) \
+                     WHERE d.name CONTAINS 'Drug_name' \
+                     RETURN size(collect(dr.drugRouteId)) LIMIT {}",
+                    1 + i % 4
+                ),
+            };
+            parse_named(&text, format!("pl{}", i % 4)).expect("workload statement parses")
+        })
+        .collect()
+}
 
-    let mut group = c.benchmark_group("server_throughput");
+fn run_mix(c: &mut Criterion, server: &KgServer, name: &str, workload: &[Statement]) {
+    // Warm the plan cache so the throughput numbers measure the steady state.
+    let _ = server.run_workload(workload, 1);
+    let warm = server.cache_stats();
+
+    let mut group = c.benchmark_group(format!("server_throughput/{name}"));
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(format!("threads_{threads}"), |b| {
             b.iter_custom(|iters| {
-                (0..iters).map(|_| server.run_workload(&queries, threads).elapsed).sum()
+                (0..iters).map(|_| server.run_workload(workload, threads).elapsed).sum()
             })
         });
-        let report = server.run_workload(&queries, threads);
+        let report = server.run_workload(workload, threads);
         println!(
-            "server_throughput/threads_{threads:<2} {:>12.0} queries/sec",
+            "server_throughput/{name}/threads_{threads:<2} {:>12.0} queries/sec",
             report.queries_per_second()
         );
     }
     group.finish();
 
     let stats = server.cache_stats();
+    // Hit ratio over everything served after the warm-up pass: with
+    // shape-based keys, value-varying literals must still hit.
+    let hits = stats.hits - warm.hits;
+    let misses = stats.misses - warm.misses;
+    let ratio = hits as f64 / (hits + misses).max(1) as f64;
     println!(
-        "server_throughput/plan_cache  hits {} misses {} hit_ratio {:.4} entries {}",
-        stats.hits,
-        stats.misses,
-        stats.hit_ratio(),
-        stats.entries
+        "server_throughput/{name}/plan_cache  post-warm hits {hits} misses {misses} \
+         hit_ratio {ratio:.4} (cumulative: {} hits / {} misses, {} entries)",
+        stats.hits, stats.misses, stats.entries
     );
+    assert!(
+        ratio >= 0.90,
+        "plan-cache hit ratio {ratio:.4} for {name} fell below 0.90 — shape keys regressed?"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let server = build_server();
+    run_mix(c, &server, "pattern", &pattern_workload());
+    run_mix(c, &server, "predicate_limit", &predicate_limit_workload());
 }
 
 criterion_group!(benches, bench);

@@ -4,7 +4,7 @@
 //! vertex property lookups, Q9–Q12 are aggregations over a neighbour's
 //! property values. Queries are expressed against the **direct** schema
 //! (concept names as labels) and rewritten onto the optimized schema with
-//! [`pgso_query::rewrite`] at run time, exactly as the paper does.
+//! [`pgso_query::rewrite_statement`] at run time, exactly as the paper does.
 //!
 //! The MED and FIN datasets are reconstructions (see `pgso-ontology::catalog`),
 //! so queries referencing concepts that only exist in the original proprietary
@@ -12,7 +12,7 @@
 //! each query still exercises the same rule (union, inheritance, 1:1, 1:M or
 //! M:N) as its counterpart in the paper.
 
-use pgso_query::{Aggregate, Query};
+use pgso_query::{Aggregate, Query, Statement};
 
 /// Which dataset a query runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,8 +40,14 @@ pub struct BenchQuery {
     pub dataset: DatasetId,
     /// Query family ("pattern", "lookup", "aggregation").
     pub family: &'static str,
-    /// The query, expressed against the direct schema.
-    pub query: Query,
+    /// The query, expressed against the direct schema. Q1-Q12 are bare
+    /// pattern statements (no WHERE/ORDER BY/LIMIT) so the reproduce numbers
+    /// stay comparable to the paper's.
+    pub query: Statement,
+}
+
+fn stmt(query: Query) -> Statement {
+    Statement::from(query)
 }
 
 /// Builds the twelve microbenchmark queries.
@@ -51,132 +57,156 @@ pub fn microbenchmark() -> Vec<BenchQuery> {
         BenchQuery {
             dataset: DatasetId::Med,
             family: "pattern",
-            query: Query::builder("Q1")
-                .node("d", "Drug")
-                .node("di", "DrugInteraction")
-                .node("dfi", "DrugFoodInteraction")
-                .edge("d", "has", "di")
-                .edge("di", "isA", "dfi")
-                .ret_property("d", "name")
-                .ret_property("dfi", "risk")
-                .build(),
+            query: stmt(
+                Query::builder("Q1")
+                    .node("d", "Drug")
+                    .node("di", "DrugInteraction")
+                    .node("dfi", "DrugFoodInteraction")
+                    .edge("d", "has", "di")
+                    .edge("di", "isA", "dfi")
+                    .ret_property("d", "name")
+                    .ret_property("dfi", "risk")
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Med,
             family: "pattern",
-            query: Query::builder("Q2")
-                .node("d", "Drug")
-                .node("i", "Indication")
-                .node("c", "Condition")
-                .edge("d", "treat", "i")
-                .edge("i", "hasCondition", "c")
-                .ret_property("d", "name")
-                .ret_property("c", "name")
-                .build(),
+            query: stmt(
+                Query::builder("Q2")
+                    .node("d", "Drug")
+                    .node("i", "Indication")
+                    .node("c", "Condition")
+                    .edge("d", "treat", "i")
+                    .edge("i", "hasCondition", "c")
+                    .ret_property("d", "name")
+                    .ret_property("c", "name")
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Fin,
             family: "pattern",
-            query: Query::builder("Q3")
-                .node("aa", "AutonomousAgent")
-                .node("p", "Person")
-                .node("cp", "ContractParty")
-                .edge("aa", "isA", "p")
-                .edge("p", "isA", "cp")
-                .ret_vertex("aa")
-                .build(),
+            query: stmt(
+                Query::builder("Q3")
+                    .node("aa", "AutonomousAgent")
+                    .node("p", "Person")
+                    .node("cp", "ContractParty")
+                    .edge("aa", "isA", "p")
+                    .edge("p", "isA", "cp")
+                    .ret_vertex("aa")
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Fin,
             family: "pattern",
-            query: Query::builder("Q4")
-                .node("l", "Lender")
-                .node("b", "Bank")
-                .node("a", "Account")
-                .edge("l", "unionOf", "b")
-                .edge("b", "holdsAccount", "a")
-                .ret_property("a", "accountNumber")
-                .build(),
+            query: stmt(
+                Query::builder("Q4")
+                    .node("l", "Lender")
+                    .node("b", "Bank")
+                    .node("a", "Account")
+                    .edge("l", "unionOf", "b")
+                    .edge("b", "holdsAccount", "a")
+                    .ret_property("a", "accountNumber")
+                    .build(),
+            ),
         },
         // ---- Property lookup (Q5-Q8) ---------------------------------------
         BenchQuery {
             dataset: DatasetId::Med,
             family: "lookup",
-            query: Query::builder("Q5")
-                .node("di", "DrugInteraction")
-                .node("dl", "DrugLabInteraction")
-                .edge("di", "isA", "dl")
-                .ret_property("di", "summary")
-                .build(),
+            query: stmt(
+                Query::builder("Q5")
+                    .node("di", "DrugInteraction")
+                    .node("dl", "DrugLabInteraction")
+                    .edge("di", "isA", "dl")
+                    .ret_property("di", "summary")
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Med,
             family: "lookup",
-            query: Query::builder("Q6")
-                .node("se", "SideEffect")
-                .node("ae", "AdverseEvent")
-                .edge("se", "isA", "ae")
-                .ret_property("se", "severity")
-                .build(),
+            query: stmt(
+                Query::builder("Q6")
+                    .node("se", "SideEffect")
+                    .node("ae", "AdverseEvent")
+                    .edge("se", "isA", "ae")
+                    .ret_property("se", "severity")
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Fin,
             family: "lookup",
-            query: Query::builder("Q7")
-                .node("n", "Corporation")
-                .ret_property("n", "hasLegalName")
-                .build(),
+            query: stmt(
+                Query::builder("Q7")
+                    .node("n", "Corporation")
+                    .ret_property("n", "hasLegalName")
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Fin,
             family: "lookup",
-            query: Query::builder("Q8")
-                .node("fi", "FinancialInstrument")
-                .node("b", "Bond")
-                .edge("fi", "isA", "b")
-                .ret_property("fi", "currency")
-                .build(),
+            query: stmt(
+                Query::builder("Q8")
+                    .node("fi", "FinancialInstrument")
+                    .node("b", "Bond")
+                    .edge("fi", "isA", "b")
+                    .ret_property("fi", "currency")
+                    .build(),
+            ),
         },
         // ---- Aggregation (Q9-Q12) -------------------------------------------
         BenchQuery {
             dataset: DatasetId::Med,
             family: "aggregation",
-            query: Query::builder("Q9")
-                .node("d", "Drug")
-                .node("dr", "DrugRoute")
-                .edge("d", "hasDrugRoute", "dr")
-                .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
-                .build(),
+            query: stmt(
+                Query::builder("Q9")
+                    .node("d", "Drug")
+                    .node("dr", "DrugRoute")
+                    .edge("d", "hasDrugRoute", "dr")
+                    .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Med,
             family: "aggregation",
-            query: Query::builder("Q10")
-                .node("p", "Patient")
-                .node("e", "Encounter")
-                .edge("p", "hasEncounter", "e")
-                .ret_aggregate(Aggregate::CollectCount, "e", Some("encounterId"))
-                .build(),
+            query: stmt(
+                Query::builder("Q10")
+                    .node("p", "Patient")
+                    .node("e", "Encounter")
+                    .edge("p", "hasEncounter", "e")
+                    .ret_aggregate(Aggregate::CollectCount, "e", Some("encounterId"))
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Fin,
             family: "aggregation",
-            query: Query::builder("Q11")
-                .node("corp", "Corporation")
-                .node("con", "Contract")
-                .edge("con", "isManagedBy", "corp")
-                .ret_aggregate(Aggregate::CollectCount, "con", Some("hasEffectiveDate"))
-                .build(),
+            query: stmt(
+                Query::builder("Q11")
+                    .node("corp", "Corporation")
+                    .node("con", "Contract")
+                    .edge("con", "isManagedBy", "corp")
+                    .ret_aggregate(Aggregate::CollectCount, "con", Some("hasEffectiveDate"))
+                    .build(),
+            ),
         },
         BenchQuery {
             dataset: DatasetId::Fin,
             family: "aggregation",
-            query: Query::builder("Q12")
-                .node("corp", "Corporation")
-                .node("o", "Officer")
-                .edge("corp", "employsOfficer", "o")
-                .ret_aggregate(Aggregate::CollectCount, "o", Some("title"))
-                .build(),
+            query: stmt(
+                Query::builder("Q12")
+                    .node("corp", "Corporation")
+                    .node("o", "Officer")
+                    .edge("corp", "employsOfficer", "o")
+                    .ret_aggregate(Aggregate::CollectCount, "o", Some("title"))
+                    .build(),
+            ),
         },
     ]
 }
@@ -184,9 +214,9 @@ pub fn microbenchmark() -> Vec<BenchQuery> {
 /// The 15-query mixed workload of the Figure 12 experiment: the twelve
 /// microbenchmark queries plus repeats of the hottest ones, approximating the
 /// paper's Zipf access pattern over key concepts.
-pub fn figure12_workload(dataset: DatasetId) -> Vec<Query> {
+pub fn figure12_workload(dataset: DatasetId) -> Vec<Statement> {
     let all = microbenchmark();
-    let per_dataset: Vec<Query> =
+    let per_dataset: Vec<Statement> =
         all.iter().filter(|q| q.dataset == dataset).map(|q| q.query.clone()).collect();
     let mut workload = per_dataset.clone();
     // Repeat the first three (the key-concept queries) to reach 15 queries.
@@ -228,6 +258,23 @@ mod tests {
                     node.label
                 );
             }
+        }
+    }
+
+    #[test]
+    fn q1_to_q12_round_trip_through_the_text_front_end() {
+        // Acceptance contract of the statement API: every microbenchmark
+        // query renders to text that `parse` accepts and maps back to a
+        // structurally equal statement.
+        for bq in microbenchmark() {
+            let text = bq.query.to_string();
+            let parsed = pgso_query::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: {e} in `{text}`", bq.query.name));
+            assert!(
+                bq.query.structurally_eq(&parsed),
+                "{} did not round-trip:\n  {text}\n  {parsed}",
+                bq.query.name
+            );
         }
     }
 

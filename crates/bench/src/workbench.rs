@@ -9,7 +9,7 @@ use pgso_ontology::{
     catalog, AccessFrequencies, DataStatistics, Ontology, StatisticsConfig, WorkloadDistribution,
 };
 use pgso_pgschema::PropertyGraphSchema;
-use pgso_query::{execute, rewrite, Query, QueryResult};
+use pgso_query::{execute_statement, rewrite_statement, QueryResult, Statement};
 use std::path::Path;
 use std::time::Duration;
 
@@ -121,16 +121,16 @@ impl QueryComparison {
 /// optimized graph, repeating `repeats` times and keeping the best run of
 /// each (warm-cache latency, like the paper's averaged repeated runs).
 pub fn compare_query<B: GraphBackend>(
-    query: &Query,
+    query: &Statement,
     pair: &GraphPair<B>,
     repeats: usize,
 ) -> QueryComparison {
-    let rewritten = rewrite(query, &pair.optimized_schema);
+    let rewritten = rewrite_statement(query, &pair.optimized_schema);
     let mut best_direct: Option<QueryResult> = None;
     let mut best_optimized: Option<QueryResult> = None;
     for _ in 0..repeats.max(1) {
-        let d = execute(query, &pair.direct);
-        let o = execute(&rewritten, &pair.optimized);
+        let d = execute_statement(query, &pair.direct);
+        let o = execute_statement(&rewritten, &pair.optimized);
         if best_direct.as_ref().map(|b| d.elapsed < b.elapsed).unwrap_or(true) {
             best_direct = Some(d);
         }
@@ -148,15 +148,15 @@ pub fn compare_query<B: GraphBackend>(
 /// Total latency of running a sequence of queries (DIR form on the direct
 /// graph, rewritten form on the optimized graph), as in Figure 12.
 pub fn workload_latency<B: GraphBackend>(
-    queries: &[Query],
+    queries: &[Statement],
     pair: &GraphPair<B>,
 ) -> (Duration, Duration) {
     let mut direct_total = Duration::ZERO;
     let mut optimized_total = Duration::ZERO;
     for query in queries {
-        let rewritten = rewrite(query, &pair.optimized_schema);
-        direct_total += execute(query, &pair.direct).elapsed;
-        optimized_total += execute(&rewritten, &pair.optimized).elapsed;
+        let rewritten = rewrite_statement(query, &pair.optimized_schema);
+        direct_total += execute_statement(query, &pair.direct).elapsed;
+        optimized_total += execute_statement(&rewritten, &pair.optimized).elapsed;
     }
     (direct_total, optimized_total)
 }

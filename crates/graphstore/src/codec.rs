@@ -13,6 +13,7 @@
 //!   tag 2  := f64 (le)
 //!   tag 3  := string (u32 len, bytes)
 //!   tag 4  := list (u32 count, value*)
+//!   tag 5  := null (no payload)
 //! ```
 //!
 //! The format is deliberately simple — no varints, no compression — because
@@ -76,6 +77,9 @@ fn encode_value(buf: &mut BytesMut, value: &PropertyValue) {
                 encode_value(buf, item);
             }
         }
+        PropertyValue::Null => {
+            buf.put_u8(5);
+        }
     }
 }
 
@@ -95,6 +99,7 @@ fn decode_value(data: &mut &[u8]) -> PropertyValue {
             let items = (0..count).map(|_| decode_value(data)).collect();
             PropertyValue::List(items)
         }
+        5 => PropertyValue::Null,
         tag => panic!("unknown value tag {tag}"),
     }
 }

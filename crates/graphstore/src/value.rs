@@ -6,9 +6,13 @@ use std::fmt;
 
 /// A single property value. The `List` variant backs the replicated LIST
 /// properties produced by the 1:M / M:N rules (e.g. `Indication.desc =
-/// [Fever, Headache]` in Figure 1(c) of the paper).
+/// [Fever, Headache]` in Figure 1(c) of the paper); `Null` pads result rows
+/// for `OPTIONAL` pattern parts that found no match.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PropertyValue {
+    /// Absent value (unmatched OPTIONAL binding). Never stored on a vertex;
+    /// it only appears in query result rows.
+    Null,
     /// Boolean.
     Bool(bool),
     /// 64-bit signed integer.
@@ -69,10 +73,17 @@ impl PropertyValue {
         }
     }
 
-    /// Number of scalar elements (1 for scalars, `len` for lists).
+    /// True for the `Null` padding value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, PropertyValue::Null)
+    }
+
+    /// Number of scalar elements (1 for scalars, `len` for lists, 0 for
+    /// `Null`).
     pub fn element_count(&self) -> usize {
         match self {
             PropertyValue::List(v) => v.len(),
+            PropertyValue::Null => 0,
             _ => 1,
         }
     }
@@ -80,6 +91,7 @@ impl PropertyValue {
     /// Approximate serialized size in bytes, used by storage accounting.
     pub fn approximate_size(&self) -> usize {
         match self {
+            PropertyValue::Null => 1,
             PropertyValue::Bool(_) => 1,
             PropertyValue::Int(_) | PropertyValue::Float(_) => 8,
             PropertyValue::Str(s) => s.len() + 4,
@@ -93,6 +105,7 @@ impl PropertyValue {
 impl fmt::Display for PropertyValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PropertyValue::Null => write!(f, "null"),
             PropertyValue::Bool(v) => write!(f, "{v}"),
             PropertyValue::Int(v) => write!(f, "{v}"),
             PropertyValue::Float(v) => write!(f, "{v}"),

@@ -3,7 +3,7 @@
 //!
 //! Section 4.2 of the paper: *"Access frequencies provide an abstraction of
 //! the workload in terms of how each concept, relationship, and data property
-//! [is] accessed by each query in the workload. We use `AF(ci --rk--> cj.Pj)`
+//! \[is\] accessed by each query in the workload. We use `AF(ci --rk--> cj.Pj)`
 //! to indicate the frequency of queries that access a data property in
 //! `cj.Pj` from the concept `ci` through the relationship `rk`."*
 //!

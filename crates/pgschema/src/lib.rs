@@ -11,7 +11,7 @@
 //!   relationship);
 //! * [`ddl`] — Cypher-flavoured DDL and GraphQL SDL emission;
 //! * [`space`] — instance-size estimation given data statistics;
-//! * [`diff`] — structural schema diffs for inspecting optimizer decisions.
+//! * [`diff()`] — structural schema diffs for inspecting optimizer decisions.
 //!
 //! ```
 //! use pgso_ontology::catalog;

@@ -115,26 +115,65 @@ impl Query {
     }
 }
 
-impl fmt::Display for Query {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MATCH ")?;
-        if self.edges.is_empty() {
-            let parts: Vec<String> =
-                self.nodes.iter().map(|n| format!("({}:{})", n.var, n.label)).collect();
-            write!(f, "{}", parts.join(", "))?;
-        } else {
-            let parts: Vec<String> = self
-                .edges
-                .iter()
-                .map(|e| {
-                    let src = self.node(&e.src).map(|n| n.label.as_str()).unwrap_or("?");
-                    let dst = self.node(&e.dst).map(|n| n.label.as_str()).unwrap_or("?");
-                    format!("({}:{})-[:{}]->({}:{})", e.src, src, e.label, e.dst, dst)
-                })
-                .collect();
-            write!(f, "{}", parts.join(", "))?;
+impl Query {
+    /// True if rendering the edge patterns in order (source before
+    /// destination), then appending the edge-free node patterns, makes
+    /// variables first appear in exactly `self.nodes` order. When it does,
+    /// the compact `(a:A)-[:r]->(b:B)` rendering re-parses with the same
+    /// node order; when it does not, [`Query::fmt_match`] falls back to an
+    /// explicit form that lists every node pattern first.
+    fn display_order_is_node_order(&self) -> bool {
+        let mut induced: Vec<&str> = Vec::with_capacity(self.nodes.len());
+        for edge in &self.edges {
+            for var in [edge.src.as_str(), edge.dst.as_str()] {
+                if !induced.contains(&var) {
+                    induced.push(var);
+                }
+            }
         }
-        write!(f, " RETURN ")?;
+        for node in &self.nodes {
+            if !induced.contains(&node.var.as_str()) {
+                induced.push(&node.var);
+            }
+        }
+        induced.iter().zip(&self.nodes).all(|(&v, n)| v == n.var)
+            && induced.len() == self.nodes.len()
+    }
+
+    /// Writes the `MATCH` clause body (without the keyword). Every node
+    /// pattern appears — node patterns not referenced by any edge are
+    /// emitted as standalone `(v:Label)` parts — and variables first appear
+    /// in `self.nodes` order, so the output re-parses to an equal pattern.
+    pub(crate) fn fmt_match(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.display_order_is_node_order() {
+            for e in &self.edges {
+                let src = self.node(&e.src).map(|n| n.label.as_str()).unwrap_or("?");
+                let dst = self.node(&e.dst).map(|n| n.label.as_str()).unwrap_or("?");
+                parts.push(format!("({}:{})-[:{}]->({}:{})", e.src, src, e.label, e.dst, dst));
+            }
+            for n in &self.nodes {
+                let referenced = self.edges.iter().any(|e| e.src == n.var || e.dst == n.var);
+                if !referenced {
+                    parts.push(format!("({}:{})", n.var, n.label));
+                }
+            }
+        } else {
+            // Node order disagrees with edge order (e.g. the traversal root
+            // is the destination of the first edge): list the nodes first to
+            // pin their order, then the edges over bare variables.
+            for n in &self.nodes {
+                parts.push(format!("({}:{})", n.var, n.label));
+            }
+            for e in &self.edges {
+                parts.push(format!("({})-[:{}]->({})", e.src, e.label, e.dst));
+            }
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+
+    /// Writes the `RETURN` clause body (without the keyword).
+    pub(crate) fn fmt_returns(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let returns: Vec<String> = self
             .returns
             .iter()
@@ -154,6 +193,15 @@ impl fmt::Display for Query {
             })
             .collect();
         write!(f, "{}", returns.join(", "))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MATCH ")?;
+        self.fmt_match(f)?;
+        write!(f, " RETURN ")?;
+        self.fmt_returns(f)
     }
 }
 
@@ -260,6 +308,36 @@ mod tests {
         let q =
             Query::builder("Q7").node("n", "Corporation").ret_property("n", "hasLegalName").build();
         assert!(q.to_string().contains("MATCH (n:Corporation) RETURN n.hasLegalName"));
+    }
+
+    #[test]
+    fn display_keeps_unreferenced_nodes_alongside_edges() {
+        // A node pattern not referenced by any edge must still appear in the
+        // MATCH clause as a standalone part.
+        let q = Query::builder("mixed")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .node("lone", "Physician")
+            .edge("d", "treat", "i")
+            .ret_property("lone", "name")
+            .build();
+        let text = q.to_string();
+        assert!(text.contains("(d:Drug)-[:treat]->(i:Indication)"), "{text}");
+        assert!(text.contains("(lone:Physician)"), "{text}");
+    }
+
+    #[test]
+    fn display_pins_node_order_when_edges_disagree() {
+        // Root is the edge's destination: the compact form would flip the
+        // node order, so the explicit node-list form is used instead.
+        let q = Query::builder("reverse")
+            .node("i", "Indication")
+            .node("d", "Drug")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build();
+        let text = q.to_string();
+        assert!(text.contains("MATCH (i:Indication), (d:Drug), (d)-[:treat]->(i)"), "{text}");
     }
 
     #[test]

@@ -3,14 +3,31 @@
 //! A straightforward backtracking pattern matcher: the first node pattern is
 //! the root; candidate vertices are found through the backend's label index
 //! and the remaining pattern is expanded edge by edge (forward along
-//! out-edges, backward along in-edges). Every neighbour expansion goes
-//! through the backend and is therefore counted in its [`AccessStats`] — the
-//! executor itself adds no caching, so latency differences between schemas
-//! reflect the storage work, as in the paper's evaluation.
+//! out-edges, backward along in-edges). Every neighbour expansion — and
+//! every `WHERE` predicate evaluation, which reads a property through
+//! [`GraphBackend::property_of`] — goes through the backend and is therefore
+//! counted in its [`AccessStats`]; the executor itself adds no caching, so
+//! latency differences between schemas reflect the storage work, as in the
+//! paper's evaluation.
+//!
+//! [`execute_statement`] adds the statement-level clauses on top of the same
+//! core:
+//!
+//! * **predicate pushdown** — `WHERE` predicates on the root variable filter
+//!   the root candidate set before any expansion; predicates on other
+//!   variables are applied the moment the variable is bound, pruning the
+//!   backtracking tree instead of filtering finished rows;
+//! * **optional edges** — applied after the mandatory pattern, in order,
+//!   with left-outer semantics: a row whose optional edge finds no match is
+//!   kept with the optional variable unbound, which surfaces as
+//!   [`PropertyValue::Null`] in result rows;
+//! * **`DISTINCT` → `ORDER BY` → `SKIP`/`LIMIT`**, applied in that order.
 
-use crate::ast::{Aggregate, Query, ReturnItem};
+use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
+use crate::stmt::{order_values, OrderKey, Predicate, Statement};
 use pgso_graphstore::{AccessStats, GraphBackend, PropertyValue, VertexId};
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// One result row: the values requested by the RETURN clause.
@@ -21,12 +38,16 @@ pub type Row = Vec<PropertyValue>;
 pub struct QueryResult {
     /// Result rows (a single row for aggregate queries).
     pub rows: Vec<Row>,
-    /// Number of pattern matches found (before aggregation).
+    /// Number of pattern matches found (before aggregation and windowing).
     pub matches: usize,
     /// Wall-clock execution time.
     pub elapsed: Duration,
     /// Backend access counters accumulated during execution.
     pub stats: AccessStats,
+    /// `WHERE` predicate evaluations performed. Each evaluation also counts
+    /// as a vertex read in [`QueryResult::stats`], since the property is
+    /// fetched through the backend.
+    pub predicate_checks: u64,
 }
 
 impl QueryResult {
@@ -37,21 +58,127 @@ impl QueryResult {
     }
 }
 
-/// Executes a query against a backend.
+/// Executes a bare pattern query against a backend.
 pub fn execute(query: &Query, backend: &dyn GraphBackend) -> QueryResult {
-    let before = backend.stats();
-    let start = Instant::now();
+    run(query, &Clauses::NONE, backend)
+}
 
-    let mut bindings: Vec<HashMap<String, VertexId>> = Vec::new();
-    if let Some(root) = query.nodes.first() {
-        for vertex in backend.vertices_with_label(&root.label) {
-            let mut binding = HashMap::new();
-            binding.insert(root.var.clone(), vertex);
-            expand(query, backend, 0, binding, &mut bindings);
+/// Executes a full statement (predicates, optional edges, `DISTINCT`,
+/// `ORDER BY`, `SKIP`/`LIMIT`) against a backend.
+pub fn execute_statement(stmt: &Statement, backend: &dyn GraphBackend) -> QueryResult {
+    let clauses = Clauses {
+        opt_nodes: &stmt.opt_nodes,
+        opt_edges: &stmt.opt_edges,
+        predicates: &stmt.predicates,
+        distinct: stmt.distinct,
+        order_by: &stmt.order_by,
+        skip: stmt.skip,
+        limit: stmt.limit,
+    };
+    run(&stmt.pattern, &clauses, backend)
+}
+
+/// Borrowed view of the statement-level clauses; empty for a bare query.
+struct Clauses<'a> {
+    opt_nodes: &'a [NodePattern],
+    opt_edges: &'a [EdgePattern],
+    predicates: &'a [Predicate],
+    distinct: bool,
+    order_by: &'a [OrderKey],
+    skip: Option<usize>,
+    limit: Option<usize>,
+}
+
+impl Clauses<'static> {
+    const NONE: Clauses<'static> = Clauses {
+        opt_nodes: &[],
+        opt_edges: &[],
+        predicates: &[],
+        distinct: false,
+        order_by: &[],
+        skip: None,
+        limit: None,
+    };
+}
+
+/// Shared execution context threaded through the backtracking expansion.
+struct Ctx<'a> {
+    query: &'a Query,
+    clauses: &'a Clauses<'a>,
+    backend: &'a dyn GraphBackend,
+    /// Predicates grouped by variable, for bind-time filtering.
+    preds_by_var: HashMap<&'a str, Vec<&'a Predicate>>,
+    predicate_checks: Cell<u64>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(query: &'a Query, clauses: &'a Clauses<'a>, backend: &'a dyn GraphBackend) -> Self {
+        let mut preds_by_var: HashMap<&str, Vec<&Predicate>> = HashMap::new();
+        for predicate in clauses.predicates {
+            preds_by_var.entry(predicate.var.as_str()).or_default().push(predicate);
         }
+        Self { query, clauses, backend, preds_by_var, predicate_checks: Cell::new(0) }
     }
 
-    let rows = build_rows(query, backend, &bindings);
+    /// Evaluates every predicate on `var` against `vertex`. A missing
+    /// property fails the predicate.
+    fn var_passes(&self, var: &str, vertex: VertexId) -> bool {
+        let Some(predicates) = self.preds_by_var.get(var) else {
+            return true;
+        };
+        for predicate in predicates {
+            self.predicate_checks.set(self.predicate_checks.get() + 1);
+            let Some(value) = self.backend.property_of(vertex, &predicate.property) else {
+                return false;
+            };
+            if !predicate.op.eval(&value, &predicate.value) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Label of a (mandatory or optional) pattern variable, if declared.
+    fn label_of_var(&self, var: &str) -> &str {
+        self.query
+            .node(var)
+            .or_else(|| self.clauses.opt_nodes.iter().find(|n| n.var == var))
+            .map(|n| n.label.as_str())
+            .unwrap_or("")
+    }
+}
+
+fn run(query: &Query, clauses: &Clauses<'_>, backend: &dyn GraphBackend) -> QueryResult {
+    let before = backend.stats();
+    let start = Instant::now();
+    let ctx = Ctx::new(query, clauses, backend);
+
+    // A predicate on a variable bound by no pattern can never hold; detect
+    // that before paying for any matching work.
+    let unsatisfiable = clauses
+        .predicates
+        .iter()
+        .any(|p| query.node(&p.var).is_none() && !clauses.opt_nodes.iter().any(|n| n.var == p.var));
+
+    let mut bindings: Vec<HashMap<String, VertexId>> = Vec::new();
+    if !unsatisfiable {
+        if let Some(root) = query.nodes.first() {
+            for vertex in backend.vertices_with_label(&root.label) {
+                // Predicate pushdown: root candidates that fail a WHERE
+                // predicate never enter the expansion.
+                if !ctx.var_passes(&root.var, vertex) {
+                    continue;
+                }
+                let mut binding = HashMap::new();
+                binding.insert(root.var.clone(), vertex);
+                expand(&ctx, 0, binding, &mut bindings);
+            }
+        }
+    }
+    let bindings = apply_optional(&ctx, bindings);
+
+    let rows = build_rows(&ctx, &bindings);
+    let rows = finalize_rows(&ctx, rows, &bindings);
     let elapsed = start.elapsed();
     let after = backend.stats();
     QueryResult {
@@ -64,27 +191,33 @@ pub fn execute(query: &Query, backend: &dyn GraphBackend) -> QueryResult {
             page_reads: after.page_reads - before.page_reads,
             page_hits: after.page_hits - before.page_hits,
         },
+        predicate_checks: ctx.predicate_checks.get(),
     }
 }
 
-/// Recursively matches edge patterns in order.
+/// Recursively matches mandatory edge patterns in order.
 fn expand(
-    query: &Query,
-    backend: &dyn GraphBackend,
+    ctx: &Ctx<'_>,
     edge_index: usize,
     binding: HashMap<String, VertexId>,
     out: &mut Vec<HashMap<String, VertexId>>,
 ) {
+    let query = ctx.query;
+    let backend = ctx.backend;
     let Some(edge) = query.edges.get(edge_index) else {
         // All edges matched; check that every node pattern variable is bound
         // and labelled correctly (unbound isolated patterns bind to any vertex
-        // of their label).
+        // of their label that passes its predicates).
         let mut bindings = vec![binding];
         for node in &query.nodes {
             if bindings.iter().all(|b| b.contains_key(&node.var)) {
                 continue;
             }
-            let candidates = backend.vertices_with_label(&node.label);
+            let candidates: Vec<VertexId> = backend
+                .vertices_with_label(&node.label)
+                .into_iter()
+                .filter(|&candidate| ctx.var_passes(&node.var, candidate))
+                .collect();
             let mut expanded = Vec::new();
             for b in bindings {
                 for &candidate in &candidates {
@@ -104,7 +237,7 @@ fn expand(
     match (src_bound, dst_bound) {
         (Some(src), Some(dst)) => {
             if backend.out_neighbours(src, &edge.label).contains(&dst) {
-                expand(query, backend, edge_index + 1, binding, out);
+                expand(ctx, edge_index + 1, binding, out);
             }
         }
         (Some(src), None) => {
@@ -113,9 +246,12 @@ fn expand(
                 if !label_matches(backend, neighbour, dst_label) {
                     continue;
                 }
+                if !ctx.var_passes(&edge.dst, neighbour) {
+                    continue;
+                }
                 let mut next = binding.clone();
                 next.insert(edge.dst.clone(), neighbour);
-                expand(query, backend, edge_index + 1, next, out);
+                expand(ctx, edge_index + 1, next, out);
             }
         }
         (None, Some(dst)) => {
@@ -124,21 +260,138 @@ fn expand(
                 if !label_matches(backend, neighbour, src_label) {
                     continue;
                 }
+                if !ctx.var_passes(&edge.src, neighbour) {
+                    continue;
+                }
                 let mut next = binding.clone();
                 next.insert(edge.src.clone(), neighbour);
-                expand(query, backend, edge_index + 1, next, out);
+                expand(ctx, edge_index + 1, next, out);
             }
         }
         (None, None) => {
             // Disconnected edge pattern: enumerate source candidates by label.
             let src_label = query.node(&edge.src).map(|n| n.label.as_str()).unwrap_or("");
             for candidate in backend.vertices_with_label(src_label) {
+                if !ctx.var_passes(&edge.src, candidate) {
+                    continue;
+                }
                 let mut next = binding.clone();
                 next.insert(edge.src.clone(), candidate);
-                expand(query, backend, edge_index, next, out);
+                expand(ctx, edge_index, next, out);
             }
         }
     }
+}
+
+/// Applies the optional edges in order, left-outer style: every input row
+/// survives; rows whose optional edge matches are multiplied per match, rows
+/// without a match keep the optional variable unbound.
+fn apply_optional(
+    ctx: &Ctx<'_>,
+    bindings: Vec<HashMap<String, VertexId>>,
+) -> Vec<HashMap<String, VertexId>> {
+    if ctx.clauses.opt_edges.is_empty() {
+        return bindings;
+    }
+    let mut current = bindings;
+    // Variables an earlier pattern part may have bound: the mandatory nodes
+    // plus everything introduced by already-processed optional edges. An
+    // endpoint outside this set is *unanchored* — the optional part starts a
+    // fresh component and must enumerate its own candidates.
+    let mut introduced: HashSet<&str> = ctx.query.nodes.iter().map(|n| n.var.as_str()).collect();
+    for edge in ctx.clauses.opt_edges {
+        let unanchored =
+            !introduced.contains(edge.src.as_str()) && !introduced.contains(edge.dst.as_str());
+        // Candidate (src, dst) pairs for an unanchored part depend only on
+        // the edge, so compute them once, not per row.
+        let unanchored_pairs: Option<Vec<(VertexId, VertexId)>> = unanchored.then(|| {
+            let src_label = ctx.label_of_var(&edge.src);
+            let dst_label = ctx.label_of_var(&edge.dst);
+            let mut pairs = Vec::new();
+            for s in ctx.backend.vertices_with_label(src_label) {
+                if !ctx.var_passes(&edge.src, s) {
+                    continue;
+                }
+                for n in ctx.backend.out_neighbours(s, &edge.label) {
+                    if label_matches(ctx.backend, n, dst_label) && ctx.var_passes(&edge.dst, n) {
+                        pairs.push((s, n));
+                    }
+                }
+            }
+            pairs
+        });
+        let mut next = Vec::with_capacity(current.len());
+        for binding in current {
+            let src = binding.get(&edge.src).copied();
+            let dst = binding.get(&edge.dst).copied();
+            match (src, dst) {
+                // Both endpoints already bound: the optional edge adds no
+                // binding; whether it exists or not, the row survives as-is.
+                (Some(_), Some(_)) => next.push(binding),
+                (None, None) => match &unanchored_pairs {
+                    // Unanchored part with matches: cross-join them in,
+                    // like a left outer join against a fresh component.
+                    Some(pairs) if !pairs.is_empty() => {
+                        for &(s, n) in pairs {
+                            let mut with_pair = binding.clone();
+                            with_pair.insert(edge.src.clone(), s);
+                            with_pair.insert(edge.dst.clone(), n);
+                            next.push(with_pair);
+                        }
+                    }
+                    // No matches, or an earlier optional part that should
+                    // have bound an endpoint already failed: keep the row.
+                    _ => next.push(binding),
+                },
+                (Some(src), None) => {
+                    let label = ctx.label_of_var(&edge.dst);
+                    let matches: Vec<VertexId> = ctx
+                        .backend
+                        .out_neighbours(src, &edge.label)
+                        .into_iter()
+                        .filter(|&n| label_matches(ctx.backend, n, label))
+                        .filter(|&n| ctx.var_passes(&edge.dst, n))
+                        .collect();
+                    extend_optional(&edge.dst, binding, matches, &mut next);
+                }
+                (None, Some(dst)) => {
+                    let label = ctx.label_of_var(&edge.src);
+                    let matches: Vec<VertexId> = ctx
+                        .backend
+                        .in_neighbours(dst, &edge.label)
+                        .into_iter()
+                        .filter(|&n| label_matches(ctx.backend, n, label))
+                        .filter(|&n| ctx.var_passes(&edge.src, n))
+                        .collect();
+                    extend_optional(&edge.src, binding, matches, &mut next);
+                }
+            }
+        }
+        introduced.insert(edge.src.as_str());
+        introduced.insert(edge.dst.as_str());
+        current = next;
+    }
+    current
+}
+
+fn extend_optional(
+    var: &str,
+    binding: HashMap<String, VertexId>,
+    matches: Vec<VertexId>,
+    out: &mut Vec<HashMap<String, VertexId>>,
+) {
+    if matches.is_empty() {
+        out.push(binding);
+        return;
+    }
+    for &vertex in &matches[..matches.len() - 1] {
+        let mut next = binding.clone();
+        next.insert(var.to_string(), vertex);
+        out.push(next);
+    }
+    let mut last = binding;
+    last.insert(var.to_string(), matches[matches.len() - 1]);
+    out.push(last);
 }
 
 fn label_matches(backend: &dyn GraphBackend, vertex: VertexId, label: &str) -> bool {
@@ -148,11 +401,9 @@ fn label_matches(backend: &dyn GraphBackend, vertex: VertexId, label: &str) -> b
     backend.label_of(vertex).map(|l| l == label).unwrap_or(false)
 }
 
-fn build_rows(
-    query: &Query,
-    backend: &dyn GraphBackend,
-    bindings: &[HashMap<String, VertexId>],
-) -> Vec<Row> {
+fn build_rows(ctx: &Ctx<'_>, bindings: &[HashMap<String, VertexId>]) -> Vec<Row> {
+    let query = ctx.query;
+    let backend = ctx.backend;
     if query.is_aggregation() {
         let mut row = Row::new();
         for item in &query.returns {
@@ -198,6 +449,7 @@ fn build_rows(
         return vec![row];
     }
 
+    let optional_var = |var: &str| ctx.clauses.opt_nodes.iter().any(|n| n.var == var);
     bindings
         .iter()
         .map(|binding| {
@@ -205,19 +457,95 @@ fn build_rows(
                 .returns
                 .iter()
                 .map(|item| match item {
-                    ReturnItem::Property { var, property } => binding
-                        .get(var)
-                        .and_then(|&v| backend.property_of(v, property))
-                        .unwrap_or(PropertyValue::Str(String::new())),
-                    ReturnItem::Vertex { var } => binding
-                        .get(var)
-                        .map(|&v| PropertyValue::Int(v.0 as i64))
-                        .unwrap_or(PropertyValue::Int(-1)),
+                    ReturnItem::Property { var, property } => match binding.get(var) {
+                        Some(&v) => backend
+                            .property_of(v, property)
+                            .unwrap_or(PropertyValue::Str(String::new())),
+                        // Unmatched OPTIONAL variables pad with Null;
+                        // anything else unbound is a malformed query.
+                        None if optional_var(var) => PropertyValue::Null,
+                        None => PropertyValue::Str(String::new()),
+                    },
+                    ReturnItem::Vertex { var } => match binding.get(var) {
+                        Some(&v) => PropertyValue::Int(v.0 as i64),
+                        None if optional_var(var) => PropertyValue::Null,
+                        None => PropertyValue::Int(-1),
+                    },
                     ReturnItem::Aggregate { .. } => unreachable!("handled above"),
                 })
                 .collect()
         })
         .collect()
+}
+
+/// Applies `DISTINCT`, `ORDER BY` and `SKIP`/`LIMIT` to the built rows.
+fn finalize_rows(
+    ctx: &Ctx<'_>,
+    rows: Vec<Row>,
+    bindings: &[HashMap<String, VertexId>],
+) -> Vec<Row> {
+    let clauses = ctx.clauses;
+    let aggregated = ctx.query.is_aggregation();
+    let mut keyed: Vec<(Row, Vec<PropertyValue>)> = if clauses.order_by.is_empty() || aggregated {
+        rows.into_iter().map(|r| (r, Vec::new())).collect()
+    } else {
+        rows.into_iter()
+            .zip(bindings)
+            .map(|(row, binding)| {
+                let keys = clauses
+                    .order_by
+                    .iter()
+                    .map(|key| {
+                        binding
+                            .get(&key.var)
+                            .and_then(|&v| ctx.backend.property_of(v, &key.property))
+                            .unwrap_or(PropertyValue::Null)
+                    })
+                    .collect();
+                (row, keys)
+            })
+            .collect()
+    };
+
+    // Sorting before DISTINCT makes the result independent of binding
+    // enumeration order: with equal sort keys (or a sort key that is not
+    // part of the returned row) the row content breaks the tie, so DIR and
+    // OPT executions of equivalent statements produce identically ordered
+    // rows. The surviving set is the same as deduplicating first.
+    if !clauses.order_by.is_empty() && !aggregated {
+        let reprs: Vec<String> = keyed.iter().map(|(row, _)| format!("{row:?}")).collect();
+        let mut order: Vec<usize> = (0..keyed.len()).collect();
+        order.sort_by(|&ia, &ib| {
+            let (a, b) = (&keyed[ia].1, &keyed[ib].1);
+            for (key, (x, y)) in clauses.order_by.iter().zip(a.iter().zip(b.iter())) {
+                let ord = order_values(x, y);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            reprs[ia].cmp(&reprs[ib])
+        });
+        let mut sorted = Vec::with_capacity(keyed.len());
+        for index in order {
+            sorted.push(std::mem::take(&mut keyed[index]));
+        }
+        keyed = sorted;
+    }
+
+    if clauses.distinct && !aggregated {
+        let mut seen: HashSet<String> = HashSet::with_capacity(keyed.len());
+        keyed.retain(|(row, _)| seen.insert(format!("{row:?}")));
+    }
+
+    let mut rows: Vec<Row> = keyed.into_iter().map(|(row, _)| row).collect();
+    if let Some(skip) = clauses.skip {
+        rows = rows.split_off(skip.min(rows.len()));
+    }
+    if let Some(limit) = clauses.limit {
+        rows.truncate(limit);
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -396,5 +724,234 @@ mod tests {
         let result = execute(&q, &g);
         // 2 choices for i1 × 2 for i2 (homomorphism semantics).
         assert_eq!(result.matches, 4);
+    }
+
+    // ---- statement-level execution -------------------------------------
+
+    use crate::stmt::{CmpOp, Statement};
+
+    #[test]
+    fn where_predicate_filters_and_pushes_down() {
+        let g = figure_1_direct();
+        let stmt = Statement::builder("filtered")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .filter("i", "desc", CmpOp::Eq, "Fever")
+            .build();
+        let result = execute_statement(&stmt, &g);
+        assert_eq!(result.matches, 1);
+        assert_eq!(result.rows[0][0].as_str(), Some("Fever"));
+        // Pushdown: both Indication candidates were checked at the root.
+        assert_eq!(result.predicate_checks, 2);
+    }
+
+    #[test]
+    fn predicates_prune_mid_expansion() {
+        let g = figure_1_direct();
+        let stmt = Statement::builder("pruned")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .filter("i", "desc", CmpOp::Contains, "Head")
+            .build();
+        let result = execute_statement(&stmt, &g);
+        assert_eq!(result.matches, 1);
+        assert_eq!(result.rows[0][0].as_str(), Some("Headache"));
+        assert_eq!(result.predicate_checks, 2, "checked once per treat neighbour");
+    }
+
+    #[test]
+    fn predicate_on_missing_property_or_unknown_var_matches_nothing() {
+        let g = figure_1_direct();
+        let missing = Statement::builder("missing")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .filter("d", "no_such_property", CmpOp::Eq, 1i64)
+            .build();
+        assert!(execute_statement(&missing, &g).rows.is_empty());
+
+        let unknown = Statement::builder("unknown")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .filter("ghost", "name", CmpOp::Eq, "Aspirin")
+            .build();
+        assert!(execute_statement(&unknown, &g).rows.is_empty());
+    }
+
+    #[test]
+    fn optional_edge_pads_unmatched_rows_with_null() {
+        let mut g = figure_1_direct();
+        // A drug with no indications at all.
+        g.add_vertex("Drug", props([("name", "Placebo".into())]));
+        let stmt = Statement::builder("optional")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .ret_property("i", "desc")
+            .opt_node("i", "Indication")
+            .opt_edge("d", "treat", "i")
+            .build();
+        let result = execute_statement(&stmt, &g);
+        // Aspirin × {Fever, Headache} plus the null-padded Placebo row.
+        assert_eq!(result.matches, 3);
+        let placebo: Vec<&Row> =
+            result.rows.iter().filter(|r| r[0].as_str() == Some("Placebo")).collect();
+        assert_eq!(placebo.len(), 1);
+        assert!(placebo[0][1].is_null(), "unmatched optional pads with Null");
+        assert!(result
+            .rows
+            .iter()
+            .any(|r| r[0].as_str() == Some("Aspirin") && r[1].as_str() == Some("Fever")));
+    }
+
+    #[test]
+    fn unanchored_optional_part_enumerates_its_own_candidates() {
+        let g = figure_1_direct();
+        // The optional pattern shares no variable with the mandatory one: it
+        // must still be matched (cross-joined), not silently null-padded.
+        let stmt = Statement::builder("unanchored")
+            .node("dfi", "DrugFoodInteraction")
+            .ret_property("dfi", "risk")
+            .ret_property("i", "desc")
+            .opt_node("d", "Drug")
+            .opt_node("i", "Indication")
+            .opt_edge("d", "treat", "i")
+            .build();
+        let result = execute_statement(&stmt, &g);
+        // 1 DrugFoodInteraction × 2 treat pairs.
+        assert_eq!(result.matches, 2);
+        let descs: Vec<Option<&str>> = result.rows.iter().map(|r| r[1].as_str()).collect();
+        assert!(descs.contains(&Some("Fever")) && descs.contains(&Some("Headache")), "{descs:?}");
+
+        // An unanchored part with no matches pads instead of dropping rows.
+        let no_match = Statement::builder("unanchored-empty")
+            .node("dfi", "DrugFoodInteraction")
+            .ret_property("dfi", "risk")
+            .ret_property("p", "name")
+            .opt_node("x", "Pharmacy")
+            .opt_node("p", "Pharmacist")
+            .opt_edge("x", "employs", "p")
+            .build();
+        let result = execute_statement(&no_match, &g);
+        assert_eq!(result.matches, 1);
+        assert!(result.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_short_circuits_before_matching() {
+        let g = figure_1_direct();
+        let stmt = Statement::builder("ghost")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .filter("ghost", "p", CmpOp::Eq, 1i64)
+            .build();
+        let result = execute_statement(&stmt, &g);
+        assert!(result.rows.is_empty());
+        assert_eq!(result.stats.edge_traversals, 0, "no matching work before the ghost check");
+        assert_eq!(result.predicate_checks, 0);
+    }
+
+    #[test]
+    fn distinct_order_skip_limit_pipeline() {
+        let g = figure_1_direct();
+        // Two bindings return the same drug name; DISTINCT collapses them.
+        let distinct = Statement::builder("distinct")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .distinct()
+            .build();
+        assert_eq!(execute_statement(&distinct, &g).rows.len(), 1);
+
+        let ordered = Statement::builder("ordered")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .order_by("i", "desc", true)
+            .build();
+        let rows = execute_statement(&ordered, &g).rows;
+        assert_eq!(rows[0][0].as_str(), Some("Headache"), "descending order");
+        assert_eq!(rows[1][0].as_str(), Some("Fever"));
+
+        let windowed = Statement::builder("windowed")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .order_by("i", "desc", false)
+            .skip(1)
+            .limit(5)
+            .build();
+        let rows = execute_statement(&windowed, &g).rows;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_str(), Some("Headache"), "Fever skipped");
+
+        let empty = Statement::builder("empty")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .skip(99)
+            .build();
+        assert!(execute_statement(&empty, &g).rows.is_empty());
+    }
+
+    #[test]
+    fn order_by_ties_break_on_row_content_deterministically() {
+        let g = figure_1_direct();
+        // Sort key missing on every vertex: all keys are Null, so the row
+        // content must decide the order — deterministically, regardless of
+        // binding enumeration order.
+        let stmt = Statement::builder("tie")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .order_by("i", "no_such_property", false)
+            .build();
+        let rows = execute_statement(&stmt, &g).rows;
+        assert_eq!(rows[0][0].as_str(), Some("Fever"));
+        assert_eq!(rows[1][0].as_str(), Some("Headache"));
+
+        // DISTINCT with an ORDER BY key outside the returned row: the
+        // duplicate rows collapse and the result is still deterministic.
+        let stmt = Statement::builder("distinct-foreign-key")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .distinct()
+            .order_by("i", "desc", true)
+            .build();
+        let rows = execute_statement(&stmt, &g).rows;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_str(), Some("Aspirin"));
+    }
+
+    #[test]
+    fn limit_applies_to_aggregates_too() {
+        let g = figure_1_direct();
+        let stmt = Statement::builder("agg-limit")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+            .limit(1)
+            .build();
+        let result = execute_statement(&stmt, &g);
+        assert_eq!(result.scalar(), Some(2));
+        assert_eq!(result.rows.len(), 1);
+    }
+
+    #[test]
+    fn bare_statement_matches_plain_execution() {
+        let g = figure_1_direct();
+        let q = Query::builder("plain")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build();
+        let plain = execute(&q, &g);
+        let stmt = execute_statement(&Statement::from(q), &g);
+        assert_eq!(plain.rows, stmt.rows);
+        assert_eq!(plain.matches, stmt.matches);
+        assert_eq!(stmt.predicate_checks, 0);
     }
 }

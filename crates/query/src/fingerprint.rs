@@ -1,4 +1,4 @@
-//! Stable structural fingerprints for pattern queries.
+//! Stable structural fingerprints for pattern queries and statements.
 //!
 //! The serving layer caches DIR→OPT rewrites per query *shape*: two queries
 //! with the same node patterns, edge patterns and return clause share one
@@ -6,8 +6,16 @@
 //! shape with FNV-1a, giving a stable 64-bit key that does not depend on
 //! `std::collections` hash seeds or on the process — so cache keys are
 //! reproducible across runs and across serving threads.
+//!
+//! [`fingerprint_statement`] extends the shape with the statement-level
+//! clauses, hashing the predicate *shape* (variable, property, operator) but
+//! **not** the literal value, and the *presence* of `SKIP`/`LIMIT` but not
+//! their counts — so `… LIMIT 10` and `… LIMIT 20`, or the same `CONTAINS`
+//! filter with different needles, share one cached plan (rebound with the
+//! caller's literals at execution time).
 
 use crate::ast::{Aggregate, Query, ReturnItem};
+use crate::stmt::{CmpOp, Statement};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -46,6 +54,64 @@ impl Fnv {
 /// other in the plan cache.
 pub fn fingerprint(query: &Query) -> u64 {
     let mut h = Fnv::new();
+    hash_query(&mut h, query);
+    h.0
+}
+
+/// Computes the structural fingerprint of a statement.
+///
+/// A statement without any statement-level clause hashes identically to its
+/// bare pattern query. Predicate literals and `SKIP`/`LIMIT` counts are
+/// excluded (see the module docs), as is the presentation name.
+pub fn fingerprint_statement(stmt: &Statement) -> u64 {
+    let mut h = Fnv::new();
+    hash_query(&mut h, &stmt.pattern);
+    if stmt.has_clauses() {
+        h.write_tag(4);
+        h.write(&(stmt.opt_nodes.len() as u32).to_le_bytes());
+        for node in &stmt.opt_nodes {
+            h.write_str(&node.var);
+            h.write_str(&node.label);
+        }
+        h.write_tag(5);
+        h.write(&(stmt.opt_edges.len() as u32).to_le_bytes());
+        for edge in &stmt.opt_edges {
+            h.write_str(&edge.label);
+            h.write_str(&edge.src);
+            h.write_str(&edge.dst);
+        }
+        h.write_tag(6);
+        h.write(&(stmt.predicates.len() as u32).to_le_bytes());
+        for predicate in &stmt.predicates {
+            h.write_str(&predicate.var);
+            h.write_str(&predicate.property);
+            h.write_tag(match predicate.op {
+                CmpOp::Eq => 20,
+                CmpOp::Ne => 21,
+                CmpOp::Lt => 22,
+                CmpOp::Le => 23,
+                CmpOp::Gt => 24,
+                CmpOp::Ge => 25,
+                CmpOp::Contains => 26,
+            });
+        }
+        h.write_tag(7);
+        h.write_tag(stmt.distinct as u8);
+        h.write_tag(8);
+        h.write(&(stmt.order_by.len() as u32).to_le_bytes());
+        for key in &stmt.order_by {
+            h.write_str(&key.var);
+            h.write_str(&key.property);
+            h.write_tag(key.descending as u8);
+        }
+        h.write_tag(9);
+        h.write_tag(stmt.skip.is_some() as u8);
+        h.write_tag(stmt.limit.is_some() as u8);
+    }
+    h.0
+}
+
+fn hash_query(h: &mut Fnv, query: &Query) {
     h.write_tag(1);
     h.write(&(query.nodes.len() as u32).to_le_bytes());
     for node in &query.nodes {
@@ -88,7 +154,6 @@ pub fn fingerprint(query: &Query) -> u64 {
             }
         }
     }
-    h.0
 }
 
 #[cfg(test)]
@@ -164,5 +229,75 @@ mod tests {
         let ab = Query::builder("q").node("ab", "c").ret_vertex("ab").build();
         let a = Query::builder("q").node("a", "bc").ret_vertex("a").build();
         assert_ne!(fingerprint(&ab), fingerprint(&a));
+    }
+
+    // ---- statement fingerprints ----------------------------------------
+
+    use crate::stmt::{CmpOp, Statement};
+    use pgso_graphstore::PropertyValue;
+
+    fn stmt1() -> Statement {
+        Statement::builder("S1")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .filter("d", "name", CmpOp::Contains, "aspirin")
+            .order_by("i", "desc", false)
+            .limit(10)
+            .build()
+    }
+
+    #[test]
+    fn bare_statement_matches_query_fingerprint() {
+        let q = q1();
+        let s = Statement::from(q.clone());
+        assert_eq!(fingerprint(&q), fingerprint_statement(&s));
+    }
+
+    #[test]
+    fn literals_and_window_counts_are_excluded() {
+        let base = fingerprint_statement(&stmt1());
+        let mut other_literal = stmt1();
+        other_literal.predicates[0].value = PropertyValue::str("ibuprofen");
+        assert_eq!(base, fingerprint_statement(&other_literal), "literal value must not key");
+        let mut other_limit = stmt1();
+        other_limit.limit = Some(20);
+        assert_eq!(base, fingerprint_statement(&other_limit), "LIMIT count must not key");
+        let mut renamed = stmt1();
+        renamed.pattern.name = "renamed".into();
+        assert_eq!(base, fingerprint_statement(&renamed), "name must not key");
+    }
+
+    #[test]
+    fn clause_shape_changes_the_fingerprint() {
+        let base = fingerprint_statement(&stmt1());
+        let mut no_limit = stmt1();
+        no_limit.limit = None;
+        assert_ne!(base, fingerprint_statement(&no_limit), "LIMIT presence keys");
+        let mut other_op = stmt1();
+        other_op.predicates[0].op = CmpOp::Eq;
+        assert_ne!(base, fingerprint_statement(&other_op), "operator keys");
+        let mut other_property = stmt1();
+        other_property.predicates[0].property = "brand".into();
+        assert_ne!(base, fingerprint_statement(&other_property), "predicate property keys");
+        let mut distinct = stmt1();
+        distinct.distinct = true;
+        assert_ne!(base, fingerprint_statement(&distinct), "DISTINCT keys");
+        let mut desc = stmt1();
+        desc.order_by[0].descending = true;
+        assert_ne!(base, fingerprint_statement(&desc), "sort direction keys");
+        let with_optional = Statement::builder("S1")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .filter("d", "name", CmpOp::Contains, "aspirin")
+            .order_by("i", "desc", false)
+            .limit(10)
+            .opt_node("c", "Condition")
+            .opt_edge("i", "hasCondition", "c")
+            .build();
+        assert_ne!(base, fingerprint_statement(&with_optional), "optional edges key");
     }
 }

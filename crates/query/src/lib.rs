@@ -1,29 +1,38 @@
 //! # pgso-query
 //!
 //! Graph query layer for the `pgso` workspace: a pattern-query AST
-//! ([`Query`]), a backtracking executor ([`execute`]) that runs against any
+//! ([`Query`]), the statement layer on top of it ([`Statement`]: `WHERE`
+//! predicates, `OPTIONAL` edges, `DISTINCT`, `ORDER BY`, `SKIP`/`LIMIT`), a
+//! Cypher-like text front-end ([`parse()`]), a backtracking executor
+//! ([`execute()`] / [`execute_statement`]) that runs against any
 //! [`pgso_graphstore::GraphBackend`], and the DIR→OPT rewriter
-//! ([`rewrite`]) that maps queries written against the direct schema onto an
-//! optimized schema (Section 5.3 of the paper).
+//! ([`rewrite()`] / [`rewrite_statement`]) that maps queries written against
+//! the direct schema onto an optimized schema (Section 5.3 of the paper).
+//!
+//! Text is the first-class entry point:
 //!
 //! ```
 //! use pgso_graphstore::{props, GraphBackend, MemoryGraph};
-//! use pgso_query::{execute, Query};
+//! use pgso_query::{execute_statement, parse};
 //!
 //! let mut graph = MemoryGraph::new();
 //! let drug = graph.add_vertex("Drug", props([("name", "Aspirin".into())]));
 //! let ind = graph.add_vertex("Indication", props([("desc", "Fever".into())]));
 //! graph.add_edge("treat", drug, ind);
 //!
-//! let query = Query::builder("q")
-//!     .node("d", "Drug")
-//!     .node("i", "Indication")
-//!     .edge("d", "treat", "i")
-//!     .ret_property("i", "desc")
-//!     .build();
-//! let result = execute(&query, &graph);
+//! let stmt = parse(
+//!     "MATCH (d:Drug)-[:treat]->(i:Indication) \
+//!      WHERE d.name CONTAINS 'spir' \
+//!      RETURN i.desc ORDER BY i.desc LIMIT 10",
+//! )
+//! .unwrap();
+//! let result = execute_statement(&stmt, &graph);
 //! assert_eq!(result.rows[0][0].as_str(), Some("Fever"));
 //! ```
+//!
+//! The builder API ([`Query::builder`], [`Statement::builder`]) remains for
+//! tests and embedded use, and statements round-trip through their `Display`
+//! form back into [`parse()`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,9 +40,13 @@
 pub mod ast;
 pub mod exec;
 pub mod fingerprint;
+pub mod parse;
 pub mod rewrite;
+pub mod stmt;
 
 pub use ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder, ReturnItem};
-pub use exec::{execute, QueryResult, Row};
-pub use fingerprint::fingerprint;
-pub use rewrite::rewrite;
+pub use exec::{execute, execute_statement, QueryResult, Row};
+pub use fingerprint::{fingerprint, fingerprint_statement};
+pub use parse::{parse, parse_named, ParseError};
+pub use rewrite::{rewrite, rewrite_statement};
+pub use stmt::{CmpOp, OrderKey, Predicate, Statement, StatementBuilder};

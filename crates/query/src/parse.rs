@@ -1,0 +1,790 @@
+//! Cypher-like text front-end.
+//!
+//! [`parse()`] turns a statement string into a [`Statement`], making text the
+//! first-class way to submit queries (the serving layer's
+//! `prepare_text`/`serve_text` build on it). The grammar covers exactly the
+//! surface [`Statement`] models — see `crates/query/README.md` for the full
+//! grammar — and [`Statement`]'s `Display` emits text this parser accepts,
+//! so statements round-trip:
+//!
+//! ```
+//! use pgso_query::parse;
+//!
+//! let stmt = parse(
+//!     "MATCH (d:Drug)-[:treat]->(i:Indication) \
+//!      WHERE d.name CONTAINS 'aspirin' \
+//!      RETURN i.desc ORDER BY i.desc LIMIT 10",
+//! )
+//! .unwrap();
+//! assert_eq!(stmt.predicates.len(), 1);
+//! assert_eq!(stmt.limit, Some(10));
+//! let reparsed = parse(&stmt.to_string()).unwrap();
+//! assert!(stmt.structurally_eq(&reparsed));
+//! ```
+
+use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
+use crate::stmt::{CmpOp, OrderKey, Predicate, Statement};
+use pgso_graphstore::PropertyValue;
+use std::fmt;
+
+/// Error produced by [`parse()`], with a byte offset into the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a statement with the default name `"stmt"`.
+pub fn parse(text: &str) -> Result<Statement, ParseError> {
+    parse_named(text, "stmt")
+}
+
+/// Parses a statement, attaching `name` as its presentation name (names are
+/// not part of the text syntax, of structural equality, or of fingerprints).
+pub fn parse_named(text: &str, name: impl Into<String>) -> Result<Statement, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0, src_len: text.len() };
+    parser.statement(name.into())
+}
+
+// ---------------------------------------------------------------- tokenizer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (still textual; sign and kind decided at parse time).
+    Number(String),
+    /// Quoted string literal (quotes stripped).
+    Str(String),
+    /// Punctuation / operator: one of `( ) [ ] : , . = < > <= >= != <> -[ ]->`.
+    Punct(&'static str),
+}
+
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Decode a full character so multi-byte UTF-8 input (outside string
+        // literals, where it is allowed) errors cleanly instead of slicing
+        // mid-character.
+        let c = text[i..].chars().next().expect("i is on a char boundary");
+        if c.is_whitespace() {
+            i += c.len_utf8();
+            continue;
+        }
+        let offset = i;
+        // Multi-character operators first. `get` returns None when i+2 is
+        // not a char boundary, which also cannot be one of these operators.
+        let punct2 = match text.get(i..i + 2) {
+            Some(two @ ("<=" | ">=" | "!=" | "<>" | "->")) => Some(two),
+            _ => None,
+        };
+        if let Some(op) = punct2 {
+            let op: &'static str = match op {
+                "<=" => "<=",
+                ">=" => ">=",
+                "!=" => "!=",
+                "<>" => "<>",
+                _ => "->",
+            };
+            tokens.push(Spanned { tok: Tok::Punct(op), offset });
+            i += 2;
+            continue;
+        }
+        match c {
+            '(' | ')' | '[' | ']' | ':' | ',' | '.' | '=' | '<' | '>' | '-' => {
+                let op: &'static str = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    ':' => ":",
+                    ',' => ",",
+                    '.' => ".",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    _ => "-",
+                };
+                tokens.push(Spanned { tok: Tok::Punct(op), offset });
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                let mut j = i + 1;
+                let mut value = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(ParseError {
+                            message: "unterminated string literal".into(),
+                            offset,
+                        });
+                    }
+                    if bytes[j] == quote {
+                        break;
+                    }
+                    // Backslash escapes the next character verbatim (used by
+                    // Display for embedded quotes and backslashes).
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                        if j >= bytes.len() {
+                            return Err(ParseError {
+                                message: "unterminated string literal".into(),
+                                offset,
+                            });
+                        }
+                    }
+                    let ch = text[j..].chars().next().expect("j is on a char boundary");
+                    value.push(ch);
+                    j += ch.len_utf8();
+                }
+                tokens.push(Spanned { tok: Tok::Str(value), offset });
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || ((bytes[j] == b'+' || bytes[j] == b'-')
+                            && matches!(bytes[j - 1], b'e' | b'E')))
+                {
+                    j += 1;
+                }
+                // A trailing '.' belongs to the next token (never produced by
+                // our Display, but cheap to be strict about).
+                if bytes[j - 1] == b'.' {
+                    j -= 1;
+                }
+                tokens.push(Spanned { tok: Tok::Number(text[i..j].to_string()), offset });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(Spanned { tok: Tok::Ident(text[i..j].to_string()), offset });
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ------------------------------------------------------------------- parser
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(self.src_len)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.offset() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    /// Consumes an identifier equal to `keyword` (case-insensitive).
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.peek_keyword(keyword) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(word)) if word.eq_ignore_ascii_case(keyword))
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {keyword}")))
+        }
+    }
+
+    fn eat_punct(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, op: &str) -> Result<(), ParseError> {
+        if self.eat_punct(op) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{op}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(word)) => {
+                let word = word.clone();
+                self.pos += 1;
+                Ok(word)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    /// Property name: identifiers joined by dots (`desc`,
+    /// `Indication.desc`), as produced for replicated properties.
+    fn property_name(&mut self) -> Result<String, ParseError> {
+        let mut name = self.ident()?;
+        while self.eat_punct(".") {
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    fn usize_literal(&mut self) -> Result<usize, ParseError> {
+        match self.peek() {
+            Some(Tok::Number(n)) => {
+                let parsed = n
+                    .parse::<usize>()
+                    .map_err(|_| self.error(format!("expected a non-negative integer, got {n}")));
+                self.pos += 1;
+                parsed
+            }
+            _ => Err(self.error("expected a non-negative integer")),
+        }
+    }
+
+    // -- pattern ----------------------------------------------------------
+
+    /// One node reference: `(var)`, `(var:Label)`. Returns `(var, label?)`.
+    fn node_ref(&mut self) -> Result<(String, Option<String>), ParseError> {
+        self.expect_punct("(")?;
+        let var = self.ident()?;
+        let label = if self.eat_punct(":") { Some(self.ident()?) } else { None };
+        self.expect_punct(")")?;
+        Ok((var, label))
+    }
+
+    /// One comma-part of a MATCH clause: a node reference optionally chained
+    /// with `-[:label]->` edges.
+    fn pattern_part(&mut self, pattern: &mut PatternSink<'_>) -> Result<(), ParseError> {
+        let (var, label) = self.node_ref()?;
+        let mut prev = pattern.bind(self, var, label)?;
+        while self.eat_punct("-") {
+            self.expect_punct("[")?;
+            self.expect_punct(":")?;
+            let edge_label = self.ident()?;
+            self.expect_punct("]")?;
+            self.expect_punct("->")?;
+            let (var, label) = self.node_ref()?;
+            let next = pattern.bind(self, var, label)?;
+            pattern.edge(EdgePattern { label: edge_label, src: prev, dst: next.clone() });
+            prev = next;
+        }
+        Ok(())
+    }
+
+    fn match_clause(&mut self, pattern: &mut PatternSink<'_>) -> Result<(), ParseError> {
+        loop {
+            self.pattern_part(pattern)?;
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // -- WHERE ------------------------------------------------------------
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let var = self.ident()?;
+        self.expect_punct(".")?;
+        let property = self.property_name()?;
+        let op = if self.eat_punct("=") {
+            CmpOp::Eq
+        } else if self.eat_punct("!=") || self.eat_punct("<>") {
+            CmpOp::Ne
+        } else if self.eat_punct("<=") {
+            CmpOp::Le
+        } else if self.eat_punct(">=") {
+            CmpOp::Ge
+        } else if self.eat_punct("<") {
+            CmpOp::Lt
+        } else if self.eat_punct(">") {
+            CmpOp::Gt
+        } else if self.eat_keyword("CONTAINS") {
+            CmpOp::Contains
+        } else {
+            return Err(self.error("expected a comparison operator"));
+        };
+        let value = self.literal()?;
+        Ok(Predicate { var, property, op, value })
+    }
+
+    fn literal(&mut self) -> Result<PropertyValue, ParseError> {
+        if self.eat_keyword("true") {
+            return Ok(PropertyValue::Bool(true));
+        }
+        if self.eat_keyword("false") {
+            return Ok(PropertyValue::Bool(false));
+        }
+        let negative = self.eat_punct("-");
+        match self.peek().cloned() {
+            Some(Tok::Str(s)) if !negative => {
+                self.pos += 1;
+                Ok(PropertyValue::Str(s))
+            }
+            Some(Tok::Number(n)) => {
+                self.pos += 1;
+                let text = if negative { format!("-{n}") } else { n };
+                if text.contains(['.', 'e', 'E']) {
+                    text.parse::<f64>()
+                        .map(PropertyValue::Float)
+                        .map_err(|_| self.error(format!("invalid float literal {text}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(PropertyValue::Int)
+                        .map_err(|_| self.error(format!("invalid integer literal {text}")))
+                }
+            }
+            _ => Err(self.error("expected a literal (string, number or boolean)")),
+        }
+    }
+
+    // -- RETURN -----------------------------------------------------------
+
+    fn return_item(&mut self) -> Result<ReturnItem, ParseError> {
+        if self.peek_keyword("count") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let var = self.ident()?;
+            let property = if self.eat_punct(".") { Some(self.property_name()?) } else { None };
+            self.expect_punct(")")?;
+            return Ok(ReturnItem::Aggregate { agg: Aggregate::Count, var, property });
+        }
+        if self.peek_keyword("size") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            self.expect_keyword("collect")?;
+            self.expect_punct("(")?;
+            let var = self.ident()?;
+            let property = if self.eat_punct(".") { Some(self.property_name()?) } else { None };
+            self.expect_punct(")")?;
+            self.expect_punct(")")?;
+            return Ok(ReturnItem::Aggregate { agg: Aggregate::CollectCount, var, property });
+        }
+        let var = self.ident()?;
+        if self.eat_punct(".") {
+            let property = self.property_name()?;
+            Ok(ReturnItem::Property { var, property })
+        } else {
+            Ok(ReturnItem::Vertex { var })
+        }
+    }
+
+    // -- statement --------------------------------------------------------
+
+    fn statement(&mut self, name: String) -> Result<Statement, ParseError> {
+        self.expect_keyword("MATCH")?;
+        let mut nodes: Vec<NodePattern> = Vec::new();
+        let mut edges: Vec<EdgePattern> = Vec::new();
+        {
+            let mut sink = PatternSink { nodes: &mut nodes, edges: &mut edges, known: Vec::new() };
+            self.match_clause(&mut sink)?;
+        }
+
+        let mut opt_nodes: Vec<NodePattern> = Vec::new();
+        let mut opt_edges: Vec<EdgePattern> = Vec::new();
+        while self.peek_keyword("OPTIONAL") {
+            self.pos += 1;
+            self.expect_keyword("MATCH")?;
+            let before = opt_edges.len();
+            {
+                let known: Vec<NodePattern> = nodes.clone();
+                let mut sink = PatternSink { nodes: &mut opt_nodes, edges: &mut opt_edges, known };
+                self.match_clause(&mut sink)?;
+            }
+            if opt_edges.len() == before {
+                return Err(self.error("OPTIONAL MATCH requires at least one edge pattern"));
+            }
+        }
+
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+
+        self.expect_keyword("RETURN")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut returns = Vec::new();
+        loop {
+            returns.push(self.return_item()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let var = self.ident()?;
+                self.expect_punct(".")?;
+                let property = self.property_name()?;
+                let descending = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    let _ = self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { var, property, descending });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+
+        let skip = if self.eat_keyword("SKIP") { Some(self.usize_literal()?) } else { None };
+        let limit = if self.eat_keyword("LIMIT") { Some(self.usize_literal()?) } else { None };
+
+        if self.pos != self.tokens.len() {
+            return Err(self.error("unexpected trailing input"));
+        }
+
+        // Semantic checks: every referenced variable must be bound.
+        let bound = |var: &str| {
+            nodes.iter().any(|n| n.var == var) || opt_nodes.iter().any(|n| n.var == var)
+        };
+        for item in &returns {
+            let var = match item {
+                ReturnItem::Property { var, .. }
+                | ReturnItem::Vertex { var }
+                | ReturnItem::Aggregate { var, .. } => var,
+            };
+            if !bound(var) {
+                return Err(self.error(format!("RETURN references unbound variable {var}")));
+            }
+        }
+        for predicate in &predicates {
+            if !bound(&predicate.var) {
+                return Err(
+                    self.error(format!("WHERE references unbound variable {}", predicate.var))
+                );
+            }
+        }
+        for key in &order_by {
+            if !bound(&key.var) {
+                return Err(self.error(format!("ORDER BY references unbound variable {}", key.var)));
+            }
+        }
+
+        Ok(Statement {
+            pattern: Query { name, nodes, edges, returns },
+            opt_nodes,
+            opt_edges,
+            predicates,
+            distinct,
+            order_by,
+            skip,
+            limit,
+        })
+    }
+}
+
+/// Collects node and edge patterns for one MATCH (or OPTIONAL MATCH) clause,
+/// enforcing label consistency across repeated variable references.
+struct PatternSink<'a> {
+    nodes: &'a mut Vec<NodePattern>,
+    edges: &'a mut Vec<EdgePattern>,
+    /// Node patterns bound by *earlier* clauses (mandatory vars visible
+    /// inside OPTIONAL MATCH): referencing one is allowed, re-declaring with
+    /// a conflicting label is not, and bare references resolve against them.
+    known: Vec<NodePattern>,
+}
+
+impl PatternSink<'_> {
+    /// Registers a node reference, returning its variable name.
+    fn bind(
+        &mut self,
+        parser: &Parser,
+        var: String,
+        label: Option<String>,
+    ) -> Result<String, ParseError> {
+        if let Some(existing) = self.nodes.iter().find(|n| n.var == var) {
+            if let Some(label) = label {
+                if existing.label != label {
+                    return Err(parser.error(format!(
+                        "variable {var} redeclared with label {label} (was {})",
+                        existing.label
+                    )));
+                }
+            }
+            return Ok(var);
+        }
+        if let Some(existing) = self.known.iter().find(|n| n.var == var) {
+            // Bound by an earlier clause; a bare or label-consistent
+            // reference is fine, a conflicting label is an error.
+            if let Some(label) = label {
+                if existing.label != label {
+                    return Err(parser.error(format!(
+                        "variable {var} redeclared with label {label} (was {})",
+                        existing.label
+                    )));
+                }
+            }
+            return Ok(var);
+        }
+        match label {
+            Some(label) => {
+                self.nodes.push(NodePattern { var: var.clone(), label });
+                Ok(var)
+            }
+            None => Err(parser.error(format!("variable {var} used before it was declared"))),
+        }
+    }
+
+    fn edge(&mut self, edge: EdgePattern) {
+        self.edges.push(edge);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::Statement;
+
+    #[test]
+    fn parses_the_motivating_statement() {
+        let stmt = parse(
+            "MATCH (d:Drug)-[:treat]->(i:Indication) WHERE d.name CONTAINS 'aspirin' \
+             RETURN i.desc ORDER BY i.desc LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(stmt.pattern.nodes.len(), 2);
+        assert_eq!(stmt.pattern.edges.len(), 1);
+        assert_eq!(stmt.predicates.len(), 1);
+        assert_eq!(stmt.predicates[0].op, CmpOp::Contains);
+        assert_eq!(stmt.predicates[0].value.as_str(), Some("aspirin"));
+        assert_eq!(stmt.order_by.len(), 1);
+        assert_eq!(stmt.limit, Some(10));
+        assert_eq!(stmt.skip, None);
+    }
+
+    #[test]
+    fn parses_all_literal_kinds_and_operators() {
+        let stmt = parse(
+            "MATCH (a:A) WHERE a.x = 3 AND a.y != 2.5 AND a.z <> 'q' AND a.w <= -7 \
+             AND a.v >= 1e3 AND a.u < true AND a.t > \"s\" AND a.s CONTAINS 'c' \
+             RETURN a",
+        )
+        .unwrap();
+        let ops: Vec<CmpOp> = stmt.predicates.iter().map(|p| p.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Ne,
+                CmpOp::Le,
+                CmpOp::Ge,
+                CmpOp::Lt,
+                CmpOp::Gt,
+                CmpOp::Contains
+            ]
+        );
+        assert_eq!(stmt.predicates[0].value, PropertyValue::Int(3));
+        assert_eq!(stmt.predicates[1].value, PropertyValue::Float(2.5));
+        assert_eq!(stmt.predicates[3].value, PropertyValue::Int(-7));
+        assert_eq!(stmt.predicates[4].value, PropertyValue::Float(1e3));
+        assert_eq!(stmt.predicates[5].value, PropertyValue::Bool(true));
+        assert_eq!(stmt.predicates[6].value.as_str(), Some("s"));
+    }
+
+    #[test]
+    fn parses_optional_match_and_distinct() {
+        let stmt = parse(
+            "MATCH (d:Drug) OPTIONAL MATCH (d)-[:treat]->(i:Indication) \
+             RETURN DISTINCT d.name, i.desc SKIP 1 LIMIT 5",
+        )
+        .unwrap();
+        assert!(stmt.distinct);
+        assert_eq!(
+            stmt.opt_nodes,
+            vec![NodePattern { var: "i".into(), label: "Indication".into() }]
+        );
+        assert_eq!(stmt.opt_edges.len(), 1);
+        assert_eq!(stmt.skip, Some(1));
+        assert_eq!(stmt.limit, Some(5));
+        assert!(stmt.is_optional_var("i"));
+    }
+
+    #[test]
+    fn parses_aggregates_and_chained_patterns() {
+        let stmt = parse(
+            "MATCH (d:Drug)-[:has]->(di:DrugInteraction)-[:isA]->(dfi:DrugFoodInteraction) \
+             RETURN count(d), size(collect(di.summary))",
+        )
+        .unwrap();
+        assert_eq!(stmt.pattern.nodes.len(), 3);
+        assert_eq!(stmt.pattern.edges.len(), 2);
+        assert_eq!(stmt.pattern.edges[1].src, "di");
+        assert!(stmt.is_aggregation());
+    }
+
+    #[test]
+    fn parses_explicit_node_list_form() {
+        let stmt = parse("MATCH (i:Indication), (d:Drug), (d)-[:treat]->(i) RETURN i.desc, d.name")
+            .unwrap();
+        assert_eq!(stmt.pattern.nodes[0].var, "i", "declared order preserved");
+        assert_eq!(stmt.pattern.edges[0].src, "d");
+    }
+
+    #[test]
+    fn parses_dotted_replicated_property_names() {
+        let stmt = parse("MATCH (d:Drug) RETURN size(collect(d.Indication.desc))").unwrap();
+        match &stmt.pattern.returns[0] {
+            ReturnItem::Aggregate { property: Some(p), .. } => assert_eq!(p, "Indication.desc"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        for (text, needle) in [
+            ("MATCH (d:Drug)", "expected keyword RETURN"),
+            ("MATCH (d:Drug) RETURN x.name", "unbound variable x"),
+            ("MATCH (d) RETURN d", "used before it was declared"),
+            ("MATCH (d:Drug), (d:Pill) RETURN d", "redeclared"),
+            (
+                "MATCH (d:Drug) OPTIONAL MATCH (d:Pill)-[:treat]->(i:Indication) RETURN d",
+                "redeclared",
+            ),
+            ("MATCH (d:Drug) WHERE d.name 3 RETURN d", "comparison operator"),
+            ("MATCH (d:Drug) RETURN d.name LIMIT x", "non-negative integer"),
+            ("MATCH (d:Drug) RETURN d.name trailing", "trailing"),
+            ("MATCH (d:Drug) WHERE d.name = 'open RETURN d", "unterminated"),
+            ("MATCH (d:Drug) OPTIONAL MATCH (x:X) RETURN d", "at least one edge"),
+            ("MATCH (d:Drug) WHERE x.p = 1 RETURN d", "unbound variable x"),
+            ("MATCH (d:Drug) RETURN d ORDER BY x.p", "unbound variable x"),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert!(
+                err.message.contains(needle),
+                "{text}: expected {needle:?} in {:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let stmt = parse(
+            "match (d:Drug) optional match (d)-[:treat]->(i:Indication) \
+             where d.name contains 'x' return distinct d.name order by d.name desc limit 2",
+        )
+        .unwrap();
+        assert!(stmt.distinct);
+        assert!(stmt.order_by[0].descending);
+        assert_eq!(stmt.limit, Some(2));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let stmt = Statement::builder("roundtrip")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .ret_property("i", "desc")
+            .opt_node("c", "Condition")
+            .opt_edge("i", "hasCondition", "c")
+            .filter("d", "name", CmpOp::Contains, "aspirin")
+            .filter("i", "weight", CmpOp::Ge, PropertyValue::Float(2.5))
+            .distinct()
+            .order_by("i", "desc", true)
+            .skip(3)
+            .limit(7)
+            .build();
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert!(stmt.structurally_eq(&reparsed), "{stmt} vs {reparsed}");
+    }
+
+    #[test]
+    fn non_ascii_input_errors_cleanly_but_is_fine_inside_strings() {
+        // Multi-byte characters outside string literals are a clean parse
+        // error, never a panic (serve_text feeds untrusted input here).
+        let err = parse("MATCH (d:Drug) RETURN d €").expect_err("non-ascii identifier");
+        assert!(err.message.contains("unexpected character"), "{err}");
+        let err = parse("MATCH (d:Drug) WHERE d.naïve = 1 RETURN d").expect_err("non-ascii ident");
+        assert!(err.message.contains("unexpected character"), "{err}");
+        // Inside string literals any UTF-8 is allowed.
+        let stmt = parse("MATCH (d:Drug) WHERE d.name = 'é€ 漢字' RETURN d.name").unwrap();
+        assert_eq!(stmt.predicates[0].value.as_str(), Some("é€ 漢字"));
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escape_and_round_trip() {
+        let stmt = parse(r"MATCH (d:Drug) WHERE d.name = 'O\'Brien \\ co' RETURN d.name").unwrap();
+        assert_eq!(stmt.predicates[0].value.as_str(), Some(r"O'Brien \ co"));
+        // Display escapes what the tokenizer unescapes: full round-trip.
+        let built = Statement::builder("q")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .filter("d", "name", CmpOp::Eq, r#"O'Brien "quoted" \ done"#)
+            .build();
+        let reparsed = parse(&built.to_string()).unwrap();
+        assert!(built.structurally_eq(&reparsed), "{built}");
+    }
+
+    #[test]
+    fn parse_named_sets_the_name() {
+        let stmt = parse_named("MATCH (a:A) RETURN a", "Q1").unwrap();
+        assert_eq!(stmt.pattern.name, "Q1");
+        assert_eq!(parse("MATCH (a:A) RETURN a").unwrap().pattern.name, "stmt");
+    }
+}

@@ -5,7 +5,7 @@
 //! written against the direct schema uses ontology concept names as labels;
 //! after optimization those concepts may have been merged (1:1, inheritance),
 //! dropped (union concepts, pushed-down parents) or given replicated LIST
-//! properties (1:M / M:N). [`rewrite`] maps the query onto the optimized
+//! properties (1:M / M:N). [`rewrite()`] maps the query onto the optimized
 //! schema using the provenance recorded in the schema itself
 //! (`merged_from`, property origins):
 //!
@@ -20,20 +20,105 @@
 //!    needed.
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
+use crate::stmt::{OrderKey, Predicate, Statement};
 use pgso_pgschema::PropertyGraphSchema;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Rewrites a query expressed against the direct schema into an equivalent
 /// query against the optimized schema.
 pub fn rewrite(query: &Query, optimized: &PropertyGraphSchema) -> Query {
-    let mut rewriter = Rewriter::new(query, optimized);
+    let mut rewriter = Rewriter::new(query, &[], &[], HashSet::new(), optimized);
     rewriter.unify_variables();
     rewriter.rebuild()
 }
 
+/// Rewrites a full statement: the pattern core goes through the paper's
+/// DIR→OPT rules ([`rewrite()`]), and every statement-level clause is remapped
+/// over the result — predicate and `ORDER BY` variables follow the variable
+/// unification, their properties follow the replicated-property renaming
+/// (`desc` → `Indication.desc` when the property moved under the 1:M/M:N
+/// rules), and optional edges are re-targeted like mandatory ones.
+///
+/// Variables referenced by a predicate or an `ORDER BY` key are *pinned*:
+/// the `COLLECT`-to-LIST-property shortcut is skipped for them, because the
+/// filter needs the variable bound to evaluate per vertex.
+pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> Statement {
+    let pinned: HashSet<String> = stmt
+        .predicates
+        .iter()
+        .map(|p| p.var.clone())
+        .chain(stmt.order_by.iter().map(|k| k.var.clone()))
+        .collect();
+    let mut rewriter =
+        Rewriter::new(&stmt.pattern, &stmt.opt_nodes, &stmt.opt_edges, pinned, optimized);
+    rewriter.unify_variables();
+    let pattern = rewriter.rebuild();
+
+    let mut opt_nodes = Vec::new();
+    for node in &stmt.opt_nodes {
+        let root = rewriter.resolve(&node.var);
+        if pattern.node(&root).is_some() || opt_nodes.iter().any(|n: &NodePattern| n.var == root) {
+            continue;
+        }
+        opt_nodes.push(NodePattern { var: root.clone(), label: rewriter.label_of(&root) });
+    }
+    let mut opt_edges = Vec::new();
+    for edge in &stmt.opt_edges {
+        let src = rewriter.resolve(&edge.src);
+        let dst = rewriter.resolve(&edge.dst);
+        if src == dst {
+            continue;
+        }
+        let rewritten = EdgePattern { label: edge.label.clone(), src, dst };
+        if !opt_edges.contains(&rewritten) {
+            opt_edges.push(rewritten);
+        }
+    }
+
+    let predicates = stmt
+        .predicates
+        .iter()
+        .map(|p| Predicate {
+            property: rewriter.property_name(&p.var, &p.property),
+            var: rewriter.resolve(&p.var),
+            op: p.op,
+            value: p.value.clone(),
+        })
+        .collect();
+    let order_by = stmt
+        .order_by
+        .iter()
+        .map(|k| OrderKey {
+            property: rewriter.property_name(&k.var, &k.property),
+            var: rewriter.resolve(&k.var),
+            descending: k.descending,
+        })
+        .collect();
+
+    Statement {
+        pattern,
+        opt_nodes,
+        opt_edges,
+        predicates,
+        distinct: stmt.distinct,
+        order_by,
+        skip: stmt.skip,
+        limit: stmt.limit,
+    }
+}
+
 struct Rewriter<'a> {
     query: &'a Query,
+    /// Node patterns bound only by OPTIONAL MATCH parts.
+    opt_nodes: &'a [NodePattern],
+    /// OPTIONAL MATCH edges; they participate in variable unification (a
+    /// merged or folded optional hop disappears exactly like a mandatory
+    /// one) but never in the COLLECT-to-LIST replacement.
+    opt_edges: &'a [EdgePattern],
     schema: &'a PropertyGraphSchema,
+    /// Variables that must stay bound (predicate / ORDER BY references): the
+    /// aggregation-to-LIST-property replacement is disabled for them.
+    pinned: HashSet<String>,
     /// Original concept label per variable.
     concept_of: HashMap<String, String>,
     /// Target vertex label per variable (None when the concept was dropped).
@@ -43,11 +128,17 @@ struct Rewriter<'a> {
 }
 
 impl<'a> Rewriter<'a> {
-    fn new(query: &'a Query, schema: &'a PropertyGraphSchema) -> Self {
+    fn new(
+        query: &'a Query,
+        opt_nodes: &'a [NodePattern],
+        opt_edges: &'a [EdgePattern],
+        pinned: HashSet<String>,
+        schema: &'a PropertyGraphSchema,
+    ) -> Self {
         let mut concept_of = HashMap::new();
         let mut target_of = HashMap::new();
         let mut subst = HashMap::new();
-        for node in &query.nodes {
+        for node in query.nodes.iter().chain(opt_nodes) {
             concept_of.insert(node.var.clone(), node.label.clone());
             target_of.insert(
                 node.var.clone(),
@@ -55,7 +146,25 @@ impl<'a> Rewriter<'a> {
             );
             subst.insert(node.var.clone(), node.var.clone());
         }
-        Self { query, schema, concept_of, target_of, subst }
+        Self { query, opt_nodes, opt_edges, schema, pinned, concept_of, target_of, subst }
+    }
+
+    /// Position of a variable across mandatory then optional node patterns,
+    /// used to decide which variable survives a unification (mandatory and
+    /// earlier patterns win).
+    fn position_of(&self, var: &str) -> usize {
+        self.query
+            .nodes
+            .iter()
+            .chain(self.opt_nodes)
+            .position(|n| n.var == var)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// True if a predicate or ORDER BY key references a variable resolving
+    /// to `root`, which forbids folding that variable away.
+    fn is_pinned(&self, root: &str) -> bool {
+        self.pinned.iter().any(|p| self.resolve(p) == root)
     }
 
     fn resolve(&self, var: &str) -> String {
@@ -80,28 +189,22 @@ impl<'a> Rewriter<'a> {
     fn unify_variables(&mut self) {
         // (a) Endpoints of an edge that now live in the same vertex type
         //     (1:1 merges, inheritance folds) collapse into one variable.
-        for edge in &self.query.edges {
+        //     Optional edges participate: a folded optional hop is always
+        //     satisfied on the optimized schema (the two vertices are one),
+        //     so the variable unifies and the edge disappears.
+        let all_edges = || self.query.edges.iter().chain(self.opt_edges);
+        let mut unifications: Vec<(String, String)> = Vec::new();
+        for edge in all_edges() {
             let src_target = self.target_of.get(&edge.src).cloned().flatten();
             let dst_target = self.target_of.get(&edge.dst).cloned().flatten();
             if let (Some(s), Some(d)) = (src_target, dst_target) {
                 if s == d {
-                    // Keep the variable that appears first in the pattern.
-                    let keep_src = self
-                        .query
-                        .nodes
-                        .iter()
-                        .position(|n| n.var == edge.src)
-                        .unwrap_or(usize::MAX)
-                        <= self
-                            .query
-                            .nodes
-                            .iter()
-                            .position(|n| n.var == edge.dst)
-                            .unwrap_or(usize::MAX);
-                    if keep_src {
-                        self.unify(&edge.dst, &edge.src);
+                    // Keep the variable that appears first (mandatory
+                    // patterns come before optional ones).
+                    if self.position_of(&edge.src) <= self.position_of(&edge.dst) {
+                        unifications.push((edge.dst.clone(), edge.src.clone()));
                     } else {
-                        self.unify(&edge.src, &edge.dst);
+                        unifications.push((edge.src.clone(), edge.dst.clone()));
                     }
                 }
             }
@@ -109,13 +212,22 @@ impl<'a> Rewriter<'a> {
         // (b) Variables whose concept disappeared (union concepts, pushed-down
         //     parents) fold into an adjacent variable — preferring one reached
         //     through a structural (isA / unionOf) edge, whose node carries the
-        //     dropped concept's properties after the rewrite rules.
-        for node in &self.query.nodes {
+        //     dropped concept's properties after the rewrite rules. A
+        //     mandatory variable only folds along mandatory edges (folding it
+        //     into an optional variable would leave the mandatory pattern
+        //     empty); optional variables may fold along either kind.
+        let mandatory_count = self.query.nodes.len();
+        for (index, node) in self.query.nodes.iter().chain(self.opt_nodes).enumerate() {
             if self.target_of.get(&node.var).cloned().flatten().is_some() {
                 continue;
             }
+            let adjacent: &mut dyn Iterator<Item = &EdgePattern> = if index < mandatory_count {
+                &mut self.query.edges.iter()
+            } else {
+                &mut self.query.edges.iter().chain(self.opt_edges)
+            };
             let mut candidate: Option<String> = None;
-            for edge in &self.query.edges {
+            for edge in adjacent {
                 let (other, structural) = if edge.src == node.var {
                     (&edge.dst, matches!(edge.label.as_str(), "isA" | "unionOf"))
                 } else if edge.dst == node.var {
@@ -135,8 +247,11 @@ impl<'a> Rewriter<'a> {
                 }
             }
             if let Some(other) = candidate {
-                self.unify(&node.var, &other);
+                unifications.push((node.var.clone(), other.clone()));
             }
+        }
+        for (from, into) in unifications {
+            self.unify(&from, &into);
         }
     }
 
@@ -183,6 +298,9 @@ impl<'a> Rewriter<'a> {
                 continue;
             };
             let var_root = self.resolve(var);
+            if self.is_pinned(&var_root) {
+                continue;
+            }
             // The variable must be reached by exactly one pattern edge.
             let incident: Vec<&EdgePattern> = self
                 .query
@@ -385,6 +503,125 @@ mod tests {
         assert_eq!(rewritten.nodes.len(), 1);
         assert_eq!(rewritten.nodes[0].label, "Drug");
         assert_eq!(rewritten.edge_pattern_count(), 0);
+        assert!(rewritten.name.ends_with("-opt"));
+    }
+
+    #[test]
+    fn statement_clauses_are_remapped_over_the_rewrite() {
+        use crate::stmt::{CmpOp, Statement};
+        let schema = optimized_mini();
+        // Q9-style aggregation with a predicate on the drug: the aggregation
+        // still collapses to the LIST property, the predicate stays on `d`.
+        let stmt = Statement::builder("Q9-where")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+            .filter("d", "name", CmpOp::Contains, "Drug_name")
+            .build();
+        let rewritten = rewrite_statement(&stmt, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 0, "{rewritten}");
+        assert_eq!(rewritten.predicates.len(), 1);
+        assert_eq!(rewritten.predicates[0].var, "d");
+        assert_eq!(rewritten.predicates[0].property, "name");
+        assert_eq!(rewritten.skip, stmt.skip);
+    }
+
+    #[test]
+    fn predicate_pins_the_aggregation_variable() {
+        use crate::stmt::{CmpOp, Statement};
+        let schema = optimized_mini();
+        // Filtering on i.desc needs `i` bound per vertex, so the LIST
+        // shortcut must not fire and the traversal must survive.
+        let stmt = Statement::builder("Q9-pinned")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+            .filter("i", "desc", CmpOp::Contains, "Fever")
+            .build();
+        let rewritten = rewrite_statement(&stmt, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 1, "{rewritten}");
+        let indication_target = schema.vertex_for_concept("Indication").unwrap().label.clone();
+        assert!(
+            rewritten.pattern.nodes.iter().any(|n| n.label == indication_target),
+            "{rewritten}"
+        );
+    }
+
+    #[test]
+    fn folded_variables_carry_their_predicates_and_order_keys() {
+        use crate::stmt::{CmpOp, Statement};
+        let schema = optimized_mini();
+        // Q5-style: `di` folds into `dl`; its predicate and ORDER BY key
+        // must follow the substitution and the property renaming.
+        let stmt = Statement::builder("Q5-where")
+            .node("di", "DrugInteraction")
+            .node("dl", "DrugLabInteraction")
+            .edge("di", "isA", "dl")
+            .ret_property("di", "summary")
+            .filter("di", "summary", CmpOp::Ne, "")
+            .order_by("di", "summary", true)
+            .build();
+        let rewritten = rewrite_statement(&stmt, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 0, "{rewritten}");
+        let var = rewritten.pattern.nodes[0].var.clone();
+        assert_eq!(rewritten.predicates[0].var, var);
+        assert!(
+            schema
+                .vertex(&rewritten.pattern.nodes[0].label)
+                .unwrap()
+                .has_property(&rewritten.predicates[0].property),
+            "predicate property must exist on the rewritten vertex"
+        );
+        assert_eq!(rewritten.order_by[0].var, var);
+        assert!(rewritten.order_by[0].descending);
+    }
+
+    #[test]
+    fn optional_edge_over_merged_concepts_unifies_away() {
+        use crate::stmt::Statement;
+        let schema = optimized_mini();
+        // Indication and Condition merge into one vertex type: the optional
+        // hop is always satisfied on the optimized schema, so the variable
+        // unifies into the anchor and the edge disappears (instead of
+        // surviving as an edge the optimized graph never contains).
+        let stmt = Statement::builder("opt-merged")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .ret_property("c", "name")
+            .opt_node("c", "Condition")
+            .opt_edge("i", "hasCondition", "c")
+            .build();
+        let rewritten = rewrite_statement(&stmt, &schema);
+        assert!(rewritten.opt_edges.is_empty(), "{rewritten}");
+        assert!(rewritten.opt_nodes.is_empty(), "{rewritten}");
+        assert_eq!(rewritten.pattern.nodes.len(), 1);
+        let vertex = schema.vertex(&rewritten.pattern.nodes[0].label).unwrap();
+        for item in &rewritten.pattern.returns {
+            if let ReturnItem::Property { var, property } = item {
+                assert_eq!(var, &rewritten.pattern.nodes[0].var);
+                assert!(vertex.has_property(property), "{property} missing on {}", vertex.label);
+            }
+        }
+    }
+
+    #[test]
+    fn optional_edges_are_retargeted() {
+        use crate::stmt::Statement;
+        let schema = optimized_mini();
+        let stmt = Statement::builder("opt")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .opt_node("i", "Indication")
+            .opt_edge("d", "treat", "i")
+            .limit(4)
+            .build();
+        let rewritten = rewrite_statement(&stmt, &schema);
+        assert_eq!(rewritten.opt_edges.len(), 1);
+        assert_eq!(rewritten.opt_edges[0].label, "treat");
+        assert_eq!(rewritten.opt_nodes.len(), 1);
+        assert_eq!(rewritten.limit, Some(4));
         assert!(rewritten.name.ends_with("-opt"));
     }
 

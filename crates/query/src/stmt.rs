@@ -1,0 +1,707 @@
+//! Statement-level query representation.
+//!
+//! A [`Statement`] wraps the pattern core ([`Query`]) and adds the clauses of
+//! a fuller query surface: `WHERE` property predicates, `OPTIONAL` edge
+//! patterns with left-outer semantics, `DISTINCT`, `ORDER BY` and
+//! `SKIP`/`LIMIT`. Statements are what the serving layer caches and what the
+//! text front-end ([`crate::parse()`]) produces; the plain [`Query`] builder
+//! API remains for tests and embedded use.
+//!
+//! The pattern core stays a separate type on purpose: the DIR→OPT rewrite
+//! rules of the paper operate on the label pattern, and every clause added
+//! here is *remapped over* that rewrite ([`crate::rewrite_statement`]) rather
+//! than changing it.
+
+use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder};
+use pgso_graphstore::PropertyValue;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator of a `WHERE` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` (also parsed from `<>`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `CONTAINS` — substring match on strings, element match on LIST values.
+    Contains,
+}
+
+impl CmpOp {
+    /// The operator's surface syntax.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => "CONTAINS",
+        }
+    }
+
+    /// Evaluates `lhs op rhs`. Comparisons between incompatible kinds (and
+    /// anything involving [`PropertyValue::Null`]) are `false`, mirroring
+    /// SQL's three-valued logic collapsed to a boolean filter.
+    pub fn eval(&self, lhs: &PropertyValue, rhs: &PropertyValue) -> bool {
+        if lhs.is_null() || rhs.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => values_equal(lhs, rhs),
+            CmpOp::Ne => !values_equal(lhs, rhs),
+            CmpOp::Lt => matches!(partial_order(lhs, rhs), Some(Ordering::Less)),
+            CmpOp::Le => {
+                matches!(partial_order(lhs, rhs), Some(Ordering::Less | Ordering::Equal))
+            }
+            CmpOp::Gt => matches!(partial_order(lhs, rhs), Some(Ordering::Greater)),
+            CmpOp::Ge => {
+                matches!(partial_order(lhs, rhs), Some(Ordering::Greater | Ordering::Equal))
+            }
+            CmpOp::Contains => match (lhs, rhs) {
+                (PropertyValue::Str(hay), PropertyValue::Str(needle)) => hay.contains(needle),
+                (PropertyValue::List(items), needle) => {
+                    items.iter().any(|item| values_equal(item, needle))
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+/// Equality that treats `Int` and `Float` as one numeric domain. Two `Int`s
+/// compare exactly (no f64 round-trip, which loses precision above 2^53).
+fn values_equal(a: &PropertyValue, b: &PropertyValue) -> bool {
+    match (a, b) {
+        (PropertyValue::Int(x), PropertyValue::Int(y)) => x == y,
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => x == y,
+            _ => a == b,
+        },
+    }
+}
+
+/// Ordering between two values of a comparable kind (both numeric, both
+/// strings, or both booleans); `None` otherwise. `Int`/`Int` compares
+/// exactly; only mixed `Int`/`Float` pairs go through f64.
+fn partial_order(a: &PropertyValue, b: &PropertyValue) -> Option<Ordering> {
+    match (a, b) {
+        (PropertyValue::Str(x), PropertyValue::Str(y)) => Some(x.cmp(y)),
+        (PropertyValue::Bool(x), PropertyValue::Bool(y)) => Some(x.cmp(y)),
+        (PropertyValue::Int(x), PropertyValue::Int(y)) => Some(x.cmp(y)),
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y),
+            _ => None,
+        },
+    }
+}
+
+/// Total order over property values, used by `ORDER BY`: `Null` sorts first,
+/// then booleans, numbers, strings and lists; incomparable floats (NaN) tie.
+pub fn order_values(a: &PropertyValue, b: &PropertyValue) -> Ordering {
+    fn rank(v: &PropertyValue) -> u8 {
+        match v {
+            PropertyValue::Null => 0,
+            PropertyValue::Bool(_) => 1,
+            PropertyValue::Int(_) | PropertyValue::Float(_) => 2,
+            PropertyValue::Str(_) => 3,
+            PropertyValue::List(_) => 4,
+        }
+    }
+    match rank(a).cmp(&rank(b)) {
+        Ordering::Equal => match (a, b) {
+            (PropertyValue::Bool(x), PropertyValue::Bool(y)) => x.cmp(y),
+            (PropertyValue::Str(x), PropertyValue::Str(y)) => x.cmp(y),
+            (PropertyValue::Int(x), PropertyValue::Int(y)) => x.cmp(y),
+            (PropertyValue::List(x), PropertyValue::List(y)) => {
+                for (i, j) in x.iter().zip(y.iter()) {
+                    let ord = order_values(i, j);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                x.len().cmp(&y.len())
+            }
+            _ => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                _ => Ordering::Equal,
+            },
+        },
+        other => other,
+    }
+}
+
+/// A `WHERE` predicate: `var.property op literal`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Node variable the predicate filters.
+    pub var: String,
+    /// Property compared.
+    pub property: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side. Part of the statement, *not* of its
+    /// fingerprint: two statements differing only here share a cached plan.
+    pub value: PropertyValue,
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} {} ", self.var, self.property, self.op.symbol())?;
+        fmt_literal(f, &self.value)
+    }
+}
+
+/// Writes a predicate literal in re-parseable form: strings quoted (with
+/// embedded quotes and backslashes escaped), floats always with a decimal
+/// point or exponent so they do not collapse to ints.
+fn fmt_literal(f: &mut fmt::Formatter<'_>, value: &PropertyValue) -> fmt::Result {
+    match value {
+        PropertyValue::Str(s) => {
+            write!(f, "'")?;
+            for ch in s.chars() {
+                if ch == '\'' || ch == '\\' {
+                    write!(f, "\\")?;
+                }
+                write!(f, "{ch}")?;
+            }
+            write!(f, "'")
+        }
+        PropertyValue::Float(v) => write!(f, "{v:?}"),
+        other => write!(f, "{other}"),
+    }
+}
+
+/// One `ORDER BY` key: `var.property [DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderKey {
+    /// Node variable.
+    pub var: String,
+    /// Property sorted by.
+    pub property: String,
+    /// Descending instead of ascending.
+    pub descending: bool,
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var, self.property)?;
+        if self.descending {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full query statement: the pattern core plus filtering, optional
+/// matching, projection modifiers and row windowing.
+///
+/// `Statement` derefs to its [`Query`] pattern, so pattern accessors
+/// (`name`, `nodes`, `edges`, [`Query::is_aggregation`], …) work directly on
+/// a statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Statement {
+    /// The mandatory pattern and return clause.
+    pub pattern: Query,
+    /// Node patterns bound only by `OPTIONAL MATCH` parts.
+    pub opt_nodes: Vec<NodePattern>,
+    /// `OPTIONAL MATCH` edges, applied in order with left-outer semantics:
+    /// an edge that finds no match keeps the row and leaves its new variable
+    /// unbound (returned as [`PropertyValue::Null`]).
+    pub opt_edges: Vec<EdgePattern>,
+    /// `WHERE` predicates (conjunctive).
+    pub predicates: Vec<Predicate>,
+    /// `RETURN DISTINCT` — deduplicate rows before ordering and windowing.
+    pub distinct: bool,
+    /// `ORDER BY` keys, applied in sequence.
+    pub order_by: Vec<OrderKey>,
+    /// `SKIP n` — rows dropped from the front after ordering.
+    pub skip: Option<usize>,
+    /// `LIMIT n` — maximum rows returned after `SKIP`.
+    pub limit: Option<usize>,
+}
+
+impl From<Query> for Statement {
+    fn from(pattern: Query) -> Self {
+        Statement {
+            pattern,
+            opt_nodes: Vec::new(),
+            opt_edges: Vec::new(),
+            predicates: Vec::new(),
+            distinct: false,
+            order_by: Vec::new(),
+            skip: None,
+            limit: None,
+        }
+    }
+}
+
+impl std::ops::Deref for Statement {
+    type Target = Query;
+
+    fn deref(&self) -> &Query {
+        &self.pattern
+    }
+}
+
+impl Statement {
+    /// Starts building a statement with the given name.
+    pub fn builder(name: impl Into<String>) -> StatementBuilder {
+        StatementBuilder { builder: Query::builder(name), stmt: StatementClauses::default() }
+    }
+
+    /// True if any clause beyond the bare pattern is present.
+    pub fn has_clauses(&self) -> bool {
+        !self.opt_nodes.is_empty()
+            || !self.opt_edges.is_empty()
+            || !self.predicates.is_empty()
+            || self.distinct
+            || !self.order_by.is_empty()
+            || self.skip.is_some()
+            || self.limit.is_some()
+    }
+
+    /// True if the statement carries literal values (predicate right-hand
+    /// sides, `SKIP`, `LIMIT`) that a shape-keyed cached plan must be rebound
+    /// with before execution.
+    pub fn needs_rebind(&self) -> bool {
+        !self.predicates.is_empty() || self.skip.is_some() || self.limit.is_some()
+    }
+
+    /// Clones this statement with the literal values (predicate right-hand
+    /// sides, `SKIP`, `LIMIT`) taken from `source`. Used by the serving
+    /// layer: cached plans are keyed by *shape*, so a hit for
+    /// `… LIMIT 20` may return the plan rewritten for `… LIMIT 10` — the
+    /// literals are positionally rebound before execution.
+    ///
+    /// # Panics
+    /// Panics if `source` has a different number of predicates (the shapes
+    /// would then not share a fingerprint).
+    pub fn rebind_from(&self, source: &Statement) -> Statement {
+        assert_eq!(
+            self.predicates.len(),
+            source.predicates.len(),
+            "rebinding requires structurally identical statements"
+        );
+        let mut bound = self.clone();
+        for (mine, theirs) in bound.predicates.iter_mut().zip(&source.predicates) {
+            mine.value = theirs.value.clone();
+        }
+        bound.skip = source.skip;
+        bound.limit = source.limit;
+        bound
+    }
+
+    /// Looks up a node pattern (mandatory or optional) by variable.
+    pub fn any_node(&self, var: &str) -> Option<&NodePattern> {
+        self.pattern.node(var).or_else(|| self.opt_nodes.iter().find(|n| n.var == var))
+    }
+
+    /// True if `var` is bound only by `OPTIONAL MATCH` parts.
+    pub fn is_optional_var(&self, var: &str) -> bool {
+        self.pattern.node(var).is_none() && self.opt_nodes.iter().any(|n| n.var == var)
+    }
+
+    /// Structural equality, ignoring the presentation name. This is the
+    /// round-trip contract of the text front-end: `parse(s.to_string())`
+    /// yields a statement structurally equal to `s` whatever name either
+    /// carries.
+    pub fn structurally_eq(&self, other: &Statement) -> bool {
+        self.pattern.nodes == other.pattern.nodes
+            && self.pattern.edges == other.pattern.edges
+            && self.pattern.returns == other.pattern.returns
+            && self.opt_nodes == other.opt_nodes
+            && self.opt_edges == other.opt_edges
+            && self.predicates == other.predicates
+            && self.distinct == other.distinct
+            && self.order_by == other.order_by
+            && self.skip == other.skip
+            && self.limit == other.limit
+    }
+}
+
+/// The non-pattern clauses of a statement, shared between [`Statement`] and
+/// its builder.
+#[derive(Debug, Clone, Default)]
+struct StatementClauses {
+    opt_nodes: Vec<NodePattern>,
+    opt_edges: Vec<EdgePattern>,
+    predicates: Vec<Predicate>,
+    distinct: bool,
+    order_by: Vec<OrderKey>,
+    skip: Option<usize>,
+    limit: Option<usize>,
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MATCH ")?;
+        self.pattern.fmt_match(f)?;
+        let mut labelled: Vec<&str> = self.pattern.nodes.iter().map(|n| n.var.as_str()).collect();
+        for edge in &self.opt_edges {
+            write!(f, " OPTIONAL MATCH ")?;
+            let node_ref = |f: &mut fmt::Formatter<'_>, var: &'_ str| -> fmt::Result {
+                if labelled.contains(&var) {
+                    write!(f, "({var})")
+                } else {
+                    let label = self.any_node(var).map(|n| n.label.as_str()).unwrap_or("?");
+                    write!(f, "({var}:{label})")
+                }
+            };
+            node_ref(f, &edge.src)?;
+            write!(f, "-[:{}]->", edge.label)?;
+            node_ref(f, &edge.dst)?;
+            for var in [edge.src.as_str(), edge.dst.as_str()] {
+                if !labelled.contains(&var) {
+                    labelled.push(var);
+                }
+            }
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, predicate) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{predicate}")?;
+            }
+        }
+        write!(f, " RETURN ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        self.pattern.fmt_returns(f)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, key) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{key}")?;
+            }
+        }
+        if let Some(skip) = self.skip {
+            write!(f, " SKIP {skip}")?;
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Statement`]. Pattern methods mirror
+/// [`QueryBuilder`]; clause methods add the statement-level extras.
+#[derive(Debug, Clone)]
+pub struct StatementBuilder {
+    builder: QueryBuilder,
+    stmt: StatementClauses,
+}
+
+impl StatementBuilder {
+    /// Adds a mandatory node pattern.
+    pub fn node(mut self, var: impl Into<String>, label: impl Into<String>) -> Self {
+        self.builder = self.builder.node(var, label);
+        self
+    }
+
+    /// Adds a mandatory edge pattern.
+    pub fn edge(
+        mut self,
+        src: impl Into<String>,
+        label: impl Into<String>,
+        dst: impl Into<String>,
+    ) -> Self {
+        self.builder = self.builder.edge(src, label, dst);
+        self
+    }
+
+    /// Returns a property of a bound node.
+    pub fn ret_property(mut self, var: impl Into<String>, property: impl Into<String>) -> Self {
+        self.builder = self.builder.ret_property(var, property);
+        self
+    }
+
+    /// Returns a bound vertex.
+    pub fn ret_vertex(mut self, var: impl Into<String>) -> Self {
+        self.builder = self.builder.ret_vertex(var);
+        self
+    }
+
+    /// Returns an aggregate.
+    pub fn ret_aggregate(
+        mut self,
+        agg: Aggregate,
+        var: impl Into<String>,
+        property: Option<&str>,
+    ) -> Self {
+        self.builder = self.builder.ret_aggregate(agg, var, property);
+        self
+    }
+
+    /// Declares a node bound only by `OPTIONAL MATCH` parts. Declare optional
+    /// nodes in the order their variables first appear in optional edges so
+    /// the statement's text form round-trips.
+    pub fn opt_node(mut self, var: impl Into<String>, label: impl Into<String>) -> Self {
+        self.stmt.opt_nodes.push(NodePattern { var: var.into(), label: label.into() });
+        self
+    }
+
+    /// Adds an `OPTIONAL MATCH` edge. Endpoints must be mandatory variables
+    /// or variables declared with [`StatementBuilder::opt_node`].
+    pub fn opt_edge(
+        mut self,
+        src: impl Into<String>,
+        label: impl Into<String>,
+        dst: impl Into<String>,
+    ) -> Self {
+        self.stmt.opt_edges.push(EdgePattern {
+            label: label.into(),
+            src: src.into(),
+            dst: dst.into(),
+        });
+        self
+    }
+
+    /// Adds a `WHERE` predicate (conjunctive with any previous one).
+    pub fn filter(
+        mut self,
+        var: impl Into<String>,
+        property: impl Into<String>,
+        op: CmpOp,
+        value: impl Into<PropertyValue>,
+    ) -> Self {
+        self.stmt.predicates.push(Predicate {
+            var: var.into(),
+            property: property.into(),
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Makes the `RETURN` clause `DISTINCT`.
+    pub fn distinct(mut self) -> Self {
+        self.stmt.distinct = true;
+        self
+    }
+
+    /// Adds an `ORDER BY` key.
+    pub fn order_by(
+        mut self,
+        var: impl Into<String>,
+        property: impl Into<String>,
+        descending: bool,
+    ) -> Self {
+        self.stmt.order_by.push(OrderKey {
+            var: var.into(),
+            property: property.into(),
+            descending,
+        });
+        self
+    }
+
+    /// Skips the first `n` result rows.
+    pub fn skip(mut self, n: usize) -> Self {
+        self.stmt.skip = Some(n);
+        self
+    }
+
+    /// Caps the number of result rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.stmt.limit = Some(n);
+        self
+    }
+
+    /// Finalises the statement.
+    ///
+    /// # Panics
+    /// Panics if the pattern has no node or no return item, if an optional
+    /// edge references a variable that is neither a mandatory node nor a
+    /// declared optional node, or if an optional node is referenced by no
+    /// optional edge (such a node has no text form, so the statement could
+    /// not round-trip through `Display` → [`crate::parse()`]).
+    pub fn build(self) -> Statement {
+        let pattern = self.builder.build();
+        let clauses = self.stmt;
+        for edge in &clauses.opt_edges {
+            for var in [&edge.src, &edge.dst] {
+                assert!(
+                    pattern.node(var).is_some() || clauses.opt_nodes.iter().any(|n| &n.var == var),
+                    "optional edge references undeclared variable {var}"
+                );
+            }
+        }
+        for node in &clauses.opt_nodes {
+            assert!(
+                clauses.opt_edges.iter().any(|e| e.src == node.var || e.dst == node.var),
+                "optional node {} is referenced by no optional edge",
+                node.var
+            );
+        }
+        Statement {
+            pattern,
+            opt_nodes: clauses.opt_nodes,
+            opt_edges: clauses.opt_edges,
+            predicates: clauses.predicates,
+            distinct: clauses.distinct,
+            order_by: clauses.order_by,
+            skip: clauses.skip,
+            limit: clauses.limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Statement {
+        Statement::builder("s")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .opt_node("c", "Condition")
+            .opt_edge("i", "hasCondition", "c")
+            .filter("d", "name", CmpOp::Contains, "aspirin")
+            .distinct()
+            .order_by("i", "desc", false)
+            .skip(2)
+            .limit(10)
+            .build()
+    }
+
+    #[test]
+    fn builder_assembles_all_clauses() {
+        let s = sample();
+        assert_eq!(s.pattern.nodes.len(), 2);
+        assert_eq!(s.opt_nodes.len(), 1);
+        assert_eq!(s.opt_edges.len(), 1);
+        assert_eq!(s.predicates.len(), 1);
+        assert!(s.distinct);
+        assert_eq!(s.order_by.len(), 1);
+        assert_eq!(s.skip, Some(2));
+        assert_eq!(s.limit, Some(10));
+        assert!(s.has_clauses());
+        assert!(s.needs_rebind());
+        assert!(s.is_optional_var("c"));
+        assert!(!s.is_optional_var("d"));
+        assert_eq!(s.any_node("c").unwrap().label, "Condition");
+    }
+
+    #[test]
+    fn deref_exposes_the_pattern() {
+        let s = sample();
+        assert_eq!(s.name, "s");
+        assert_eq!(s.edge_pattern_count(), 1);
+        assert!(!s.is_aggregation());
+    }
+
+    #[test]
+    fn display_renders_every_clause() {
+        let text = sample().to_string();
+        assert!(text.contains("OPTIONAL MATCH (i)-[:hasCondition]->(c:Condition)"), "{text}");
+        assert!(text.contains("WHERE d.name CONTAINS 'aspirin'"), "{text}");
+        assert!(text.contains("RETURN DISTINCT i.desc"), "{text}");
+        assert!(text.contains("ORDER BY i.desc"), "{text}");
+        assert!(text.contains("SKIP 2"), "{text}");
+        assert!(text.contains("LIMIT 10"), "{text}");
+    }
+
+    #[test]
+    fn bare_statement_has_no_clauses() {
+        let s: Statement = Query::builder("q").node("a", "A").ret_vertex("a").build().into();
+        assert!(!s.has_clauses());
+        assert!(!s.needs_rebind());
+    }
+
+    #[test]
+    fn rebind_copies_literals_only() {
+        let a = sample();
+        let mut b = sample();
+        b.predicates[0].value = PropertyValue::str("ibuprofen");
+        b.limit = Some(3);
+        b.skip = None;
+        let bound = a.rebind_from(&b);
+        assert_eq!(bound.predicates[0].value.as_str(), Some("ibuprofen"));
+        assert_eq!(bound.limit, Some(3));
+        assert_eq!(bound.skip, None);
+        assert_eq!(bound.pattern, a.pattern);
+    }
+
+    #[test]
+    fn structural_equality_ignores_the_name() {
+        let a = sample();
+        let mut b = sample();
+        b.pattern.name = "renamed".into();
+        assert!(a.structurally_eq(&b));
+        b.limit = Some(11);
+        assert!(!a.structurally_eq(&b));
+    }
+
+    #[test]
+    fn cmp_op_eval_covers_kinds() {
+        use PropertyValue as V;
+        assert!(CmpOp::Eq.eval(&V::Int(3), &V::Float(3.0)));
+        assert!(CmpOp::Ne.eval(&V::str("a"), &V::str("b")));
+        assert!(CmpOp::Lt.eval(&V::Int(1), &V::Int(2)));
+        assert!(CmpOp::Ge.eval(&V::str("b"), &V::str("a")));
+        assert!(CmpOp::Contains.eval(&V::str("aspirin"), &V::str("spir")));
+        assert!(CmpOp::Contains.eval(&V::str_list(["Fever", "Headache"]), &V::str("Fever")));
+        assert!(!CmpOp::Lt.eval(&V::str("a"), &V::Int(1)), "incompatible kinds are false");
+        assert!(!CmpOp::Eq.eval(&V::Null, &V::Null), "null never compares");
+    }
+
+    #[test]
+    fn large_ints_compare_exactly() {
+        use PropertyValue as V;
+        // 2^53 + 1 and 2^53 collapse to the same f64; Int/Int comparisons
+        // must not go through floats.
+        let a = V::Int(9_007_199_254_740_993);
+        let b = V::Int(9_007_199_254_740_992);
+        assert!(!CmpOp::Eq.eval(&a, &b));
+        assert!(CmpOp::Ne.eval(&a, &b));
+        assert!(CmpOp::Gt.eval(&a, &b));
+        assert_eq!(order_values(&a, &b), Ordering::Greater);
+    }
+
+    #[test]
+    fn order_values_is_total() {
+        use PropertyValue as V;
+        assert_eq!(order_values(&V::Null, &V::Int(0)), Ordering::Less);
+        assert_eq!(order_values(&V::Int(2), &V::Float(2.5)), Ordering::Less);
+        assert_eq!(order_values(&V::str("a"), &V::str("b")), Ordering::Less);
+        assert_eq!(order_values(&V::Int(9), &V::str("a")), Ordering::Less);
+        assert_eq!(order_values(&V::str_list(["a"]), &V::str_list(["a", "b"])), Ordering::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared variable")]
+    fn optional_edges_require_declared_vars() {
+        let _ = Statement::builder("bad")
+            .node("a", "A")
+            .ret_vertex("a")
+            .opt_edge("a", "r", "ghost")
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "referenced by no optional edge")]
+    fn optional_nodes_require_an_edge() {
+        // An edge-less optional node has no text form, so it could never
+        // round-trip through Display → parse.
+        let _ = Statement::builder("bad").node("a", "A").ret_vertex("a").opt_node("o", "O").build();
+    }
+}

@@ -3,14 +3,15 @@
 //! Rewriting a DIR query onto the optimized schema walks the whole pattern
 //! and the schema's provenance maps; on the serving hot path that work is
 //! pure overhead after the first request of a given shape. The cache maps a
-//! [`pgso_query::fingerprint`] to the rewritten plan, tagged with the schema
+//! [`pgso_query::fingerprint_statement`] to the rewritten plan (a
+//! [`Statement`]), tagged with the schema
 //! **epoch** it was rewritten against. A schema swap bumps the epoch, which
 //! implicitly invalidates every cached plan: a lookup whose entry carries a
 //! stale epoch is a miss (and the entry is dropped), so no serving thread can
 //! ever execute a plan rewritten for a schema that is no longer loaded.
 
 use parking_lot::RwLock;
-use pgso_query::Query;
+use pgso_query::Statement;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,7 +45,7 @@ impl CacheStats {
 
 struct CachedPlan {
     epoch: u64,
-    plan: Arc<Query>,
+    plan: Arc<Statement>,
     /// Logical insertion/access stamp for eviction.
     stamp: u64,
 }
@@ -78,7 +79,7 @@ impl PlanCache {
     ///
     /// An entry from an older epoch counts as a miss and is removed so the
     /// caller re-rewrites against the current schema.
-    pub fn get(&self, fingerprint: u64, epoch: u64) -> Option<Arc<Query>> {
+    pub fn get(&self, fingerprint: u64, epoch: u64) -> Option<Arc<Statement>> {
         {
             let map = self.map.read();
             if let Some(cached) = map.get(&fingerprint) {
@@ -102,7 +103,7 @@ impl PlanCache {
     }
 
     /// Inserts a freshly rewritten plan.
-    pub fn insert(&self, fingerprint: u64, epoch: u64, plan: Arc<Query>) {
+    pub fn insert(&self, fingerprint: u64, epoch: u64, plan: Arc<Statement>) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.write();
         if map.len() >= self.capacity && !map.contains_key(&fingerprint) {
@@ -152,8 +153,10 @@ impl std::fmt::Debug for PlanCache {
 mod tests {
     use super::*;
 
-    fn plan(name: &str) -> Arc<Query> {
-        Arc::new(Query::builder(name).node("a", "A").ret_vertex("a").build())
+    fn plan(name: &str) -> Arc<Statement> {
+        Arc::new(Statement::from(
+            pgso_query::Query::builder(name).node("a", "A").ret_vertex("a").build(),
+        ))
     }
 
     #[test]

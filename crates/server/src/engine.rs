@@ -29,7 +29,10 @@ use pgso_datagen::{load_into, InstanceKg};
 use pgso_graphstore::{AccessStats, GraphBackend, MemoryGraph};
 use pgso_ontology::{AccessFrequencies, DataStatistics, Ontology};
 use pgso_pgschema::PropertyGraphSchema;
-use pgso_query::{execute, fingerprint, rewrite, Query, QueryResult};
+use pgso_query::{
+    execute_statement, fingerprint_statement, parse_named, rewrite_statement, ParseError, Query,
+    QueryResult, Statement,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -104,7 +107,7 @@ pub struct PreparedId(usize);
 
 struct PreparedEntry {
     fingerprint: u64,
-    query: Arc<Query>,
+    stmt: Arc<Statement>,
 }
 
 /// Outcome of one drift check that crossed the threshold.
@@ -236,46 +239,80 @@ impl KgServer {
         self.events.lock().clone()
     }
 
-    /// Registers a query for repeated execution; the fingerprint is computed
-    /// once here instead of on every call.
+    /// Registers a bare pattern query for repeated execution; the
+    /// fingerprint is computed once here instead of on every call.
     pub fn prepare(&self, query: Query) -> PreparedId {
-        let entry = PreparedEntry { fingerprint: fingerprint(&query), query: Arc::new(query) };
+        self.prepare_statement(Statement::from(query))
+    }
+
+    /// Registers a statement for repeated execution.
+    pub fn prepare_statement(&self, stmt: Statement) -> PreparedId {
+        let entry =
+            PreparedEntry { fingerprint: fingerprint_statement(&stmt), stmt: Arc::new(stmt) };
         let mut prepared = self.prepared.write();
         prepared.push(entry);
         PreparedId(prepared.len() - 1)
     }
 
+    /// Parses a statement text and registers it for repeated execution —
+    /// the text-first way to install a workload
+    /// (see [`pgso_query::parse()`] for the grammar).
+    pub fn prepare_text(&self, text: &str) -> Result<PreparedId, ParseError> {
+        Ok(self.prepare_statement(parse_named(text, "prepared")?))
+    }
+
     /// Serves a previously prepared query.
     ///
     /// # Panics
-    /// Panics if `id` did not come from this server's [`KgServer::prepare`].
+    /// Panics if `id` did not come from this server's [`KgServer::prepare`]
+    /// family of methods.
     pub fn serve_prepared(&self, id: PreparedId) -> QueryResult {
-        let (fp, query) = {
+        let (fp, stmt) = {
             let prepared = self.prepared.read();
             let entry = prepared.get(id.0).expect("unknown PreparedId");
-            (entry.fingerprint, entry.query.clone())
+            (entry.fingerprint, entry.stmt.clone())
         };
-        self.serve_inner(fp, &query)
+        self.serve_inner(fp, &stmt)
     }
 
-    /// Serves one DIR query: rewrite (cached) against the current schema,
-    /// execute on the current graph, record the access for workload tracking.
+    /// Serves one DIR pattern query: rewrite (cached) against the current
+    /// schema, execute on the current graph, record the access for workload
+    /// tracking.
     pub fn serve(&self, query: &Query) -> QueryResult {
-        self.serve_inner(fingerprint(query), query)
+        self.serve_statement(&Statement::from(query.clone()))
     }
 
-    fn serve_inner(&self, fp: u64, query: &Query) -> QueryResult {
-        self.tracker.record(query);
+    /// Serves one DIR statement (see [`KgServer::serve`]).
+    pub fn serve_statement(&self, stmt: &Statement) -> QueryResult {
+        self.serve_inner(fingerprint_statement(stmt), stmt)
+    }
+
+    /// Parses and serves one statement text — the text-first ad-hoc entry
+    /// point. The plan cache is keyed on the statement *shape*, so serving
+    /// the same text with different predicate literals or `LIMIT` counts
+    /// rewrites only once.
+    pub fn serve_text(&self, text: &str) -> Result<QueryResult, ParseError> {
+        Ok(self.serve_statement(&parse_named(text, "adhoc")?))
+    }
+
+    fn serve_inner(&self, fp: u64, stmt: &Statement) -> QueryResult {
+        self.tracker.record_statement(stmt);
         let epoch = self.current_epoch();
         let plan = match self.plan_cache.get(fp, epoch.number) {
             Some(plan) => plan,
             None => {
-                let plan = Arc::new(rewrite(query, &epoch.schema));
+                let plan = Arc::new(rewrite_statement(stmt, &epoch.schema));
                 self.plan_cache.insert(fp, epoch.number, plan.clone());
                 plan
             }
         };
-        let result = execute(&plan, epoch.graph());
+        // A cached plan may carry another caller's literals (the cache is
+        // keyed on shape); rebind ours before executing.
+        let result = if plan.needs_rebind() {
+            execute_statement(&plan.rebind_from(stmt), epoch.graph())
+        } else {
+            execute_statement(&plan, epoch.graph())
+        };
         let served = self.served.fetch_add(1, Ordering::Relaxed) + 1;
         if self.config.auto_reoptimize && served.is_multiple_of(self.config.check_interval) {
             self.try_reoptimize();
@@ -340,23 +377,23 @@ impl KgServer {
         event
     }
 
-    /// Replays `queries` across `threads` worker threads (query `i` goes to
-    /// thread `i % threads`, preserving each thread's relative order) and
-    /// reports aggregate throughput.
-    pub fn run_workload(&self, queries: &[Query], threads: usize) -> WorkloadRunReport {
+    /// Replays `statements` across `threads` worker threads (statement `i`
+    /// goes to thread `i % threads`, preserving each thread's relative
+    /// order) and reports aggregate throughput.
+    pub fn run_workload(&self, statements: &[Statement], threads: usize) -> WorkloadRunReport {
         let threads = threads.max(1);
         let start = Instant::now();
         std::thread::scope(|scope| {
             for t in 0..threads {
-                let queries = &queries;
+                let statements = &statements;
                 scope.spawn(move || {
-                    for query in queries.iter().skip(t).step_by(threads) {
-                        let _ = self.serve(query);
+                    for stmt in statements.iter().skip(t).step_by(threads) {
+                        let _ = self.serve_statement(stmt);
                     }
                 });
             }
         });
-        WorkloadRunReport { served: queries.len() as u64, elapsed: start.elapsed(), threads }
+        WorkloadRunReport { served: statements.len() as u64, elapsed: start.elapsed(), threads }
     }
 }
 
@@ -454,7 +491,7 @@ mod tests {
         // Warm the cache serially: concurrent cold-start threads can race
         // get-before-insert and legitimately rewrite the same plan twice.
         let _ = server.serve(&lookup());
-        let queries: Vec<Query> = (0..40).map(|_| lookup()).collect();
+        let queries: Vec<Statement> = (0..40).map(|_| Statement::from(lookup())).collect();
         let report = server.run_workload(&queries, 4);
         assert_eq!(report.served, 40);
         assert_eq!(report.threads, 4);
@@ -463,5 +500,68 @@ mod tests {
         // 40 structurally identical queries against a warm cache: all hits.
         assert_eq!(server.cache_stats().hits, 40);
         assert_eq!(server.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn serve_text_parses_and_answers() {
+        let server = mini_server(ServerConfig::default());
+        let result = server
+            .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'Drug_name' RETURN d.name LIMIT 3")
+            .unwrap();
+        assert!(result.matches > 0);
+        assert!(result.rows.len() <= 3);
+        assert!(server.serve_text("MATCH (d:Drug RETURN d").is_err(), "syntax errors surface");
+    }
+
+    #[test]
+    fn prepare_text_registers_a_statement() {
+        let server = mini_server(ServerConfig::default());
+        let id = server
+            .prepare_text("MATCH (d:Drug)-[:treat]->(i:Indication) RETURN i.desc ORDER BY i.desc")
+            .unwrap();
+        let a = server.serve_prepared(id);
+        let b = server.serve_prepared(id);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(server.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn literal_variations_share_one_cached_plan() {
+        let server = mini_server(ServerConfig::default());
+        for i in 0..20 {
+            let result = server
+                .serve_text(&format!(
+                    "MATCH (d:Drug) WHERE d.name CONTAINS 'Drug_name_{i}' RETURN d.name LIMIT {}",
+                    i + 1
+                ))
+                .unwrap();
+            // The plan is shared but the literals are rebound per request.
+            assert!(result.rows.len() <= i + 1);
+        }
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 1, "one shape, one rewrite");
+        assert_eq!(stats.hits, 19);
+    }
+
+    #[test]
+    fn rebinding_returns_the_right_rows_per_literal() {
+        let server = mini_server(ServerConfig::default());
+        let narrow =
+            server.serve_text("MATCH (d:Drug) WHERE d.name = 'Drug_name_0' RETURN d.name").unwrap();
+        let broad = server
+            .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'Drug_name' RETURN d.name")
+            .unwrap();
+        // Different shapes (different op): both rewrites, no interference.
+        assert!(broad.rows.len() >= narrow.rows.len());
+        // Same shape, different literal: second call hits the cache but must
+        // not reuse the first call's literal.
+        let a = server
+            .serve_text("MATCH (i:Indication) WHERE i.desc CONTAINS 'instance 0' RETURN i.desc")
+            .unwrap();
+        let b = server
+            .serve_text("MATCH (i:Indication) WHERE i.desc CONTAINS 'no_such_value' RETURN i.desc")
+            .unwrap();
+        assert!(!a.rows.is_empty());
+        assert!(b.rows.is_empty(), "rebound literal must apply");
     }
 }

@@ -10,21 +10,25 @@
 //!
 //! * [`KgServer`] — a thread-safe engine that owns a
 //!   [`pgso_graphstore::GraphBackend`] behind a shared read path and serves
-//!   DIR pattern queries from any number of threads;
+//!   DIR statements from any number of threads. Text is the first-class
+//!   entry point ([`KgServer::serve_text`] / [`KgServer::prepare_text`]
+//!   parse the Cypher-like surface of [`pgso_query::parse()`]); the builder
+//!   APIs remain for tests;
 //! * [`PlanCache`] — a fingerprint-keyed DIR→OPT rewrite cache, invalidated
-//!   wholesale by schema-epoch bumps;
+//!   wholesale by schema-epoch bumps. Keys are statement *shapes*: requests
+//!   differing only in predicate literals or `SKIP`/`LIMIT` counts share a
+//!   plan, rebound with the caller's literals at execution time;
 //! * [`WorkloadTracker`] — lock-free accumulation of the paper's per-concept
 //!   / per-relationship / per-property access frequencies from served
 //!   queries;
 //! * adaptive re-optimization — when the observed mix drifts past a
 //!   threshold, the engine re-runs PGSG off the hot path, diffs the schemas
-//!   via [`pgso_pgschema::diff`], reloads the graph under the new schema and
+//!   via [`pgso_pgschema::diff()`], reloads the graph under the new schema and
 //!   atomically swaps it in ([`Epoch`]).
 //!
 //! ```
 //! use pgso_datagen::InstanceKg;
 //! use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
-//! use pgso_query::Query;
 //! use pgso_server::{KgServer, ServerConfig};
 //!
 //! let ontology = catalog::med_mini();
@@ -34,10 +38,17 @@
 //! let server = KgServer::new(ontology, statistics, instance, frequencies,
 //!                            ServerConfig::default());
 //!
-//! let query = Query::builder("lookup").node("d", "Drug").ret_property("d", "name").build();
-//! let result = server.serve(&query);
+//! let result = server
+//!     .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'Drug' RETURN d.name LIMIT 5")
+//!     .unwrap();
 //! assert!(result.matches > 0);
 //! assert_eq!(server.cache_stats().misses, 1); // first request rewrote the plan
+//!
+//! // Same shape, different literals: served from the cached plan.
+//! let _ = server
+//!     .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'other' RETURN d.name LIMIT 9")
+//!     .unwrap();
+//! assert_eq!(server.cache_stats().hits, 1);
 //! ```
 
 #![warn(missing_docs)]

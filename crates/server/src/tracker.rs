@@ -16,7 +16,7 @@
 
 use parking_lot::Mutex;
 use pgso_ontology::{AccessFrequencies, ConceptId, Ontology, PropertyId, RelationshipId};
-use pgso_query::{Query, ReturnItem};
+use pgso_query::{EdgePattern, NodePattern, Query, ReturnItem, Statement};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -106,17 +106,50 @@ impl WorkloadTracker {
 
     /// Records one served DIR query.
     pub fn record(&self, query: &Query) {
+        self.record_parts(&query.nodes, &[], &query.edges, &[], &query.returns, &[]);
+    }
+
+    /// Records one served DIR statement. `OPTIONAL MATCH` nodes and edges
+    /// count like mandatory ones (the backend traverses them either way),
+    /// and `WHERE` predicates count as property accesses, so the observed
+    /// frequencies keep reflecting what the storage layer actually pays for.
+    pub fn record_statement(&self, stmt: &Statement) {
+        let predicate_accesses: Vec<(&str, &str)> =
+            stmt.predicates.iter().map(|p| (p.var.as_str(), p.property.as_str())).collect();
+        self.record_parts(
+            &stmt.pattern.nodes,
+            &stmt.opt_nodes,
+            &stmt.pattern.edges,
+            &stmt.opt_edges,
+            &stmt.pattern.returns,
+            &predicate_accesses,
+        );
+    }
+
+    fn record_parts(
+        &self,
+        nodes: &[NodePattern],
+        opt_nodes: &[NodePattern],
+        edges: &[EdgePattern],
+        opt_edges: &[EdgePattern],
+        returns: &[ReturnItem],
+        predicate_accesses: &[(&str, &str)],
+    ) {
         self.total.fetch_add(1, Ordering::Relaxed);
-        let concept_of = |var: &str| -> Option<ConceptId> {
-            query.node(var).and_then(|n| self.concept_by_label.get(&n.label)).copied()
+        let node_of = |var: &str| -> Option<&NodePattern> {
+            nodes.iter().chain(opt_nodes).find(|n| n.var == var)
         };
-        for node in &query.nodes {
+        let concept_of = |var: &str| -> Option<ConceptId> {
+            node_of(var).and_then(|n| self.concept_by_label.get(&n.label)).copied()
+        };
+        for node in nodes.iter().chain(opt_nodes) {
             if let Some(&cid) = self.concept_by_label.get(&node.label) {
                 self.concepts[cid.index()].fetch_add(1, Ordering::Relaxed);
             }
         }
-        let mut edge_rel: Vec<Option<RelationshipId>> = Vec::with_capacity(query.edges.len());
-        for edge in &query.edges {
+        let all_edges: Vec<&EdgePattern> = edges.iter().chain(opt_edges).collect();
+        let mut edge_rel: Vec<Option<RelationshipId>> = Vec::with_capacity(all_edges.len());
+        for edge in &all_edges {
             let rid = self.resolve_relationship(
                 &edge.label,
                 concept_of(&edge.src),
@@ -128,22 +161,24 @@ impl WorkloadTracker {
             edge_rel.push(rid);
         }
         // Property accesses reached through a relationship: `var.property`
-        // where some pattern edge ends in `var`.
+        // (from the RETURN clause or a WHERE predicate) where some pattern
+        // edge ends in `var`.
         let mut touched: Vec<(RelationshipId, PropertyId)> = Vec::new();
-        for item in &query.returns {
-            let (var, property) = match item {
-                ReturnItem::Property { var, property } => (var, property),
-                ReturnItem::Aggregate { var, property: Some(property), .. } => (var, property),
-                _ => continue,
-            };
+        let return_accesses = returns.iter().filter_map(|item| match item {
+            ReturnItem::Property { var, property } => Some((var.as_str(), property.as_str())),
+            ReturnItem::Aggregate { var, property: Some(property), .. } => {
+                Some((var.as_str(), property.as_str()))
+            }
+            _ => None,
+        });
+        for (var, property) in return_accesses.chain(predicate_accesses.iter().copied()) {
             let Some(cid) = concept_of(var) else { continue };
-            let Some(&pid) =
-                self.property_by_name.get(&cid).and_then(|props| props.get(property.as_str()))
+            let Some(&pid) = self.property_by_name.get(&cid).and_then(|props| props.get(property))
             else {
                 continue;
             };
-            for (edge, rid) in query.edges.iter().zip(&edge_rel) {
-                if edge.dst == *var {
+            for (edge, rid) in all_edges.iter().zip(&edge_rel) {
+                if edge.dst == var {
                     if let Some(rid) = rid {
                         touched.push((*rid, pid));
                     }
@@ -356,6 +391,34 @@ mod tests {
         let (treat, rel) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
         let desc = o.property_by_name(rel.dst, "desc").unwrap();
         assert_eq!(tracker.snapshot().property_counts.get(&(treat, desc)), Some(&1));
+    }
+
+    #[test]
+    fn statements_record_optional_parts_and_predicates() {
+        use pgso_query::{CmpOp, Statement};
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        let stmt = Statement::builder("s")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .opt_node("i", "Indication")
+            .opt_edge("d", "treat", "i")
+            .filter("i", "desc", CmpOp::Contains, "Fever")
+            .build();
+        tracker.record_statement(&stmt);
+        let snap = tracker.snapshot();
+        let drug = o.concept_by_name("Drug").unwrap();
+        let indication = o.concept_by_name("Indication").unwrap();
+        assert_eq!(snap.concept_counts[drug.index()], 1);
+        assert_eq!(snap.concept_counts[indication.index()], 1, "optional node counts");
+        let (treat, rel) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        assert_eq!(snap.relationship_counts[treat.index()], 1, "optional edge counts");
+        let desc = o.property_by_name(rel.dst, "desc").unwrap();
+        assert_eq!(
+            snap.property_counts.get(&(treat, desc)),
+            Some(&1),
+            "predicate counts as a property access"
+        );
     }
 
     #[test]

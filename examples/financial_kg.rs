@@ -46,15 +46,15 @@ fn main() {
     load_into(&mut direct, &ontology, &direct_schema, &instance);
     load_into(&mut optimized, &ontology, &nsc.schema, &instance);
 
-    let q11 = Query::builder("Q11")
-        .node("corp", "Corporation")
-        .node("con", "Contract")
-        .edge("con", "isManagedBy", "corp")
-        .ret_aggregate(Aggregate::CollectCount, "con", Some("hasEffectiveDate"))
-        .build();
-    let rewritten = rewrite(&q11, &nsc.schema);
-    let dir_result = execute(&q11, &direct);
-    let opt_result = execute(&rewritten, &optimized);
+    let q11 = parse_named(
+        "MATCH (con:Contract)-[:isManagedBy]->(corp:Corporation) \
+         RETURN size(collect(con.hasEffectiveDate))",
+        "Q11",
+    )
+    .expect("Q11 parses");
+    let rewritten = rewrite_statement(&q11, &nsc.schema);
+    let dir_result = execute_statement(&q11, &direct);
+    let opt_result = execute_statement(&rewritten, &optimized);
     println!(
         "\nQ11 on the disk backend: DIR {:?} ({} page reads) vs OPT {:?} ({} page reads)",
         dir_result.elapsed,

@@ -50,18 +50,15 @@ fn main() {
     load_into(&mut direct, &ontology, &direct_schema, &instance);
     load_into(&mut optimized, &ontology, &result.chosen.schema, &instance);
 
-    let q1 = Query::builder("Q1")
-        .node("d", "Drug")
-        .node("di", "DrugInteraction")
-        .node("dfi", "DrugFoodInteraction")
-        .edge("d", "has", "di")
-        .edge("di", "isA", "dfi")
-        .ret_property("d", "name")
-        .ret_property("dfi", "risk")
-        .build();
-    let rewritten = rewrite(&q1, &result.chosen.schema);
-    let dir_result = execute(&q1, &direct);
-    let opt_result = execute(&rewritten, &optimized);
+    let q1 = parse_named(
+        "MATCH (d:Drug)-[:has]->(di:DrugInteraction)-[:isA]->(dfi:DrugFoodInteraction) \
+         RETURN d.name, dfi.risk",
+        "Q1",
+    )
+    .expect("Q1 parses");
+    let rewritten = rewrite_statement(&q1, &result.chosen.schema);
+    let dir_result = execute_statement(&q1, &direct);
+    let opt_result = execute_statement(&rewritten, &optimized);
     println!(
         "\nQ1 matches: DIR={} OPT={} | traversals: DIR={} OPT={} | latency: DIR={:?} OPT={:?}",
         dir_result.matches,

@@ -41,15 +41,16 @@ fn main() {
     );
 
     // 5. Example 2 of the paper: COUNT of Indication.desc treated by drugs.
-    let query = Query::builder("example2")
-        .node("d", "Drug")
-        .node("i", "Indication")
-        .edge("d", "treat", "i")
-        .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
-        .build();
-    let rewritten = rewrite(&query, &outcome.schema);
-    let on_direct = execute(&query, &direct);
-    let on_optimized = execute(&rewritten, &optimized);
+    //    Queries are submitted as text — the Cypher-like front-end is the
+    //    first-class entry point, the builder API remains for tests.
+    let query = parse_named(
+        "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN size(collect(i.desc))",
+        "example2",
+    )
+    .expect("example2 parses");
+    let rewritten = rewrite_statement(&query, &outcome.schema);
+    let on_direct = execute_statement(&query, &direct);
+    let on_optimized = execute_statement(&rewritten, &optimized);
     println!("\nquery (DIR): {query}");
     println!("query (OPT): {rewritten}");
     println!(
@@ -59,4 +60,18 @@ fn main() {
         on_direct.stats.edge_traversals,
         on_optimized.stats.edge_traversals
     );
+
+    // 6. The richer statement surface: filter, order and window in one go.
+    let filtered = parse_named(
+        "MATCH (d:Drug)-[:treat]->(i:Indication) WHERE d.name CONTAINS 'Drug_name' \
+         RETURN DISTINCT i.desc ORDER BY i.desc LIMIT 3",
+        "filtered",
+    )
+    .expect("filtered statement parses");
+    let rewritten = rewrite_statement(&filtered, &outcome.schema);
+    let result = execute_statement(&rewritten, &optimized);
+    println!("\nstatement: {filtered}");
+    for row in &result.rows {
+        println!("  -> {}", row[0]);
+    }
 }

@@ -13,46 +13,30 @@ use pgso::prelude::*;
 use pgso::server::ServerConfig;
 
 /// Patient-centric phase A: the mix the initial schema is optimized for.
-fn phase_a() -> Vec<Query> {
+/// Workloads are plain text — the serving layer parses them.
+fn phase_a_texts() -> Vec<&'static str> {
     vec![
-        Query::builder("patient-lookup").node("p", "Patient").ret_property("p", "mrn").build(),
-        Query::builder("encounters")
-            .node("p", "Patient")
-            .node("e", "Encounter")
-            .edge("p", "hasEncounter", "e")
-            .ret_aggregate(Aggregate::CollectCount, "e", Some("encounterId"))
-            .build(),
-        Query::builder("lab-results")
-            .node("e", "Encounter")
-            .node("l", "LabResult")
-            .edge("e", "hasLabResult", "l")
-            .ret_aggregate(Aggregate::CollectCount, "l", Some("unit"))
-            .build(),
+        "MATCH (p:Patient) RETURN p.mrn",
+        "MATCH (p:Patient)-[:hasEncounter]->(e:Encounter) RETURN size(collect(e.encounterId))",
+        "MATCH (e:Encounter)-[:hasLabResult]->(l:LabResult) RETURN size(collect(l.unit))",
     ]
 }
 
 /// Drug-centric phase B: the paper's Q9-style aggregations take over.
-fn phase_b() -> Vec<Query> {
+fn phase_b_texts() -> Vec<&'static str> {
     vec![
-        Query::builder("q9-routes")
-            .node("d", "Drug")
-            .node("dr", "DrugRoute")
-            .edge("d", "hasDrugRoute", "dr")
-            .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
-            .build(),
-        Query::builder("indications")
-            .node("d", "Drug")
-            .node("i", "Indication")
-            .edge("d", "treat", "i")
-            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
-            .build(),
-        Query::builder("side-effects")
-            .node("d", "Drug")
-            .node("s", "SideEffect")
-            .edge("d", "hasSideEffect", "s")
-            .ret_aggregate(Aggregate::CollectCount, "s", Some("name"))
-            .build(),
+        "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) RETURN size(collect(dr.drugRouteId))",
+        "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN size(collect(i.desc))",
+        "MATCH (d:Drug)-[:hasSideEffect]->(s:SideEffect) RETURN size(collect(s.name))",
     ]
+}
+
+fn phase_a() -> Vec<Statement> {
+    phase_a_texts().into_iter().map(|t| parse_named(t, "phase-a").expect(t)).collect()
+}
+
+fn phase_b() -> Vec<Statement> {
+    phase_b_texts().into_iter().map(|t| parse_named(t, "phase-b").expect(t)).collect()
 }
 
 fn main() {
@@ -67,7 +51,7 @@ fn main() {
     let tracker = WorkloadTracker::new(&ontology);
     for _ in 0..10 {
         for q in &phase_a() {
-            tracker.record(q);
+            tracker.record_statement(q);
         }
     }
     let initial = tracker.to_frequencies(&ontology, 10_000.0);
@@ -94,7 +78,7 @@ fn main() {
     println!("serving epoch {} (optimized for phase A)\n", server.current_epoch().number);
 
     // Phase A steady state, served on 4 threads.
-    let a: Vec<Query> = (0..256).flat_map(|_| phase_a()).take(256).collect();
+    let a: Vec<Statement> = (0..256).flat_map(|_| phase_a()).take(256).collect();
     let report = server.run_workload(&a, 4);
     println!(
         "phase A: {} queries on {} threads -> {:.0} q/s, drift {:.3}, epoch {}",
@@ -105,9 +89,9 @@ fn main() {
         server.current_epoch().number
     );
 
-    // The probe query both phases are judged by.
-    let probe = &phase_b()[0];
-    let before = server.serve(probe);
+    // The probe query both phases are judged by, submitted as text.
+    let probe = phase_b_texts()[0];
+    let before = server.serve_text(probe).expect("probe parses");
     println!(
         "\nprobe (Q9, Drug->DrugRoute aggregation) on phase-A schema: \
          {} edge traversals, answer {:?}",
@@ -117,7 +101,7 @@ fn main() {
 
     // Phase B takes over; the drift checker notices and swaps.
     println!("\nshifting workload to phase B ...");
-    let b: Vec<Query> = (0..512).flat_map(|_| phase_b()).take(512).collect();
+    let b: Vec<Statement> = (0..512).flat_map(|_| phase_b()).take(512).collect();
     let report = server.run_workload(&b, 4);
     println!(
         "phase B: {} queries on {} threads -> {:.0} q/s, epoch {}",
@@ -133,7 +117,7 @@ fn main() {
         );
     }
 
-    let after = server.serve(probe);
+    let after = server.serve_text(probe).expect("probe parses");
     println!(
         "\nprobe on re-optimized schema: {} edge traversals (was {}), answer {:?}",
         after.stats.edge_traversals,

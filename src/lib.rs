@@ -11,7 +11,7 @@
 //! | [`pgschema`] | `pgso-pgschema` | property graph schema model, DDL emission, space estimation, diffs |
 //! | [`optimizer`] | `pgso-core` | relationship rules, OntologyPR, cost-benefit model, NSC / CC / RC / PGSG |
 //! | [`graphstore`] | `pgso-graphstore` | in-memory and disk-backed (paged, buffer pool) property graph storage |
-//! | [`query`] | `pgso-query` | pattern query AST, executor, DIR→OPT rewriter, plan fingerprints |
+//! | [`query`] | `pgso-query` | pattern + statement AST (WHERE/OPTIONAL/ORDER BY/LIMIT), Cypher-like text parser, executor, DIR→OPT rewriter, plan fingerprints |
 //! | [`datagen`] | `pgso-datagen` | synthetic instance generation and schema-conforming loading |
 //! | [`server`] | `pgso-server` | concurrent serving engine: plan cache, workload tracking, adaptive re-optimization |
 //!
@@ -70,6 +70,9 @@ pub mod prelude {
         StatisticsConfig, WorkloadDistribution,
     };
     pub use pgso_pgschema::{ddl, PropertyGraphSchema};
-    pub use pgso_query::{execute, fingerprint, rewrite, Aggregate, Query};
+    pub use pgso_query::{
+        execute, execute_statement, fingerprint, fingerprint_statement, parse, parse_named,
+        rewrite, rewrite_statement, Aggregate, CmpOp, ParseError, Query, Statement,
+    };
     pub use pgso_server::{KgServer, ServerConfig, WorkloadTracker};
 }

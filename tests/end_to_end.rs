@@ -1,5 +1,7 @@
 //! End-to-end integration tests spanning every crate: ontology → optimizer →
-//! data loading → query execution → DIR/OPT equivalence.
+//! data loading → query execution → DIR/OPT equivalence, including the
+//! statement surface (WHERE / OPTIONAL MATCH / ORDER BY / LIMIT) and the
+//! text front-end.
 
 use pgso::ontology::catalog;
 use pgso::prelude::*;
@@ -173,6 +175,92 @@ fn space_constrained_schema_still_loads_and_answers_queries() {
     let rewritten = rewrite(&q, schema);
     let result = execute(&rewritten, &graph);
     assert!(result.matches > 0, "drugs must be queryable under the constrained schema");
+}
+
+#[test]
+fn where_order_limit_statement_is_equivalent_and_cheaper_on_opt() {
+    // Acceptance criterion of the statement API: a WHERE/ORDER BY/LIMIT
+    // statement executed on DIR and its rewrite on OPT return *identical
+    // rows* while OPT traverses strictly fewer edges (the union hop through
+    // Risk is gone).
+    let ontology = catalog::med_mini();
+    let (_, opt_schema, direct, optimized) = pipeline(&ontology, 11, 0.5);
+    let stmt = parse_named(
+        "MATCH (d:Drug)-[:cause]->(r:Risk)-[:unionOf]->(ci:ContraIndication) \
+         WHERE d.name CONTAINS 'Drug_name' \
+         RETURN ci.desc ORDER BY ci.desc LIMIT 10",
+        "union-where",
+    )
+    .expect("statement parses");
+    let rewritten = rewrite_statement(&stmt, &opt_schema);
+    assert!(
+        rewritten.pattern.edges.len() < stmt.pattern.edges.len(),
+        "rewrite must drop the union hop: {rewritten}"
+    );
+    let on_direct = execute_statement(&stmt, &direct);
+    let on_optimized = execute_statement(&rewritten, &optimized);
+    assert!(!on_direct.rows.is_empty(), "the predicate must match generated drugs");
+    assert_eq!(
+        on_direct.rows, on_optimized.rows,
+        "ordered + limited rows must be identical across schemas"
+    );
+    assert!(on_direct.rows.len() <= 10);
+    assert!(
+        on_optimized.stats.edge_traversals < on_direct.stats.edge_traversals,
+        "OPT must traverse strictly fewer edges: {:?} vs {:?}",
+        on_optimized.stats,
+        on_direct.stats
+    );
+}
+
+#[test]
+fn optional_match_pads_rows_identically_across_schemas() {
+    let ontology = catalog::med_mini();
+    let (_, opt_schema, direct, optimized) = pipeline(&ontology, 17, 0.3);
+    let drugs = execute(
+        &Query::builder("count-drugs").node("d", "Drug").ret_property("d", "name").build(),
+        &direct,
+    );
+    let stmt = parse_named(
+        "MATCH (d:Drug) OPTIONAL MATCH (d)-[:treat]->(i:Indication) \
+         RETURN d.name, i.desc ORDER BY d.name",
+        "optional-treat",
+    )
+    .expect("statement parses");
+    let rewritten = rewrite_statement(&stmt, &opt_schema);
+    let on_direct = execute_statement(&stmt, &direct);
+    let on_optimized = execute_statement(&rewritten, &optimized);
+    assert!(!on_direct.rows.is_empty());
+    // Left-outer semantics: every drug survives, matched or not.
+    assert!(on_direct.rows.len() >= drugs.rows.len(), "optional match must keep every drug row");
+    assert_eq!(
+        on_direct.rows, on_optimized.rows,
+        "optional rows (including any null padding) must match across schemas"
+    );
+}
+
+#[test]
+fn distinct_and_skip_window_rows_consistently() {
+    let ontology = catalog::med_mini();
+    let (_, opt_schema, direct, optimized) = pipeline(&ontology, 19, 0.5);
+    let stmt = parse_named(
+        "MATCH (d:Drug)-[:treat]->(i:Indication) \
+         RETURN DISTINCT i.desc ORDER BY i.desc DESC SKIP 1 LIMIT 4",
+        "distinct-window",
+    )
+    .expect("statement parses");
+    let rewritten = rewrite_statement(&stmt, &opt_schema);
+    let on_direct = execute_statement(&stmt, &direct);
+    let on_optimized = execute_statement(&rewritten, &optimized);
+    assert_eq!(on_direct.rows, on_optimized.rows);
+    assert!(on_direct.rows.len() <= 4);
+    let unique: std::collections::HashSet<String> =
+        on_direct.rows.iter().map(|r| format!("{r:?}")).collect();
+    assert_eq!(unique.len(), on_direct.rows.len(), "DISTINCT must hold");
+    // Descending order must hold over the returned window.
+    for pair in on_direct.rows.windows(2) {
+        assert!(pair[0][0].as_str() >= pair[1][0].as_str());
+    }
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests on the core invariants of the paper:
 //! Theorem 3 (rule-order independence), Proposition 1 (knapsack behaviour of
-//! the relation-centric selection), budget monotonicity and DSL round-trips.
+//! the relation-centric selection), budget monotonicity, DSL round-trips,
+//! and the statement API contracts (text round-trip, fingerprint
+//! invariance).
 
 use pgso::ontology::catalog;
 use pgso::optimizer::{
@@ -9,6 +11,73 @@ use pgso::optimizer::{
 };
 use pgso::prelude::*;
 use proptest::prelude::*;
+
+/// Deterministically assembles a [`Statement`] from generated integer specs.
+/// Optional nodes are declared in the order their edges introduce them so
+/// the text form round-trips; everything else is free.
+fn build_statement(
+    node_count: usize,
+    edge_specs: &[(usize, usize, usize)],
+    opt_specs: &[(usize, usize)],
+    pred_specs: &[(usize, usize, usize, i64)],
+    flags: u8,
+) -> Statement {
+    let mut b = Statement::builder("generated");
+    for i in 0..node_count {
+        b = b.node(format!("v{i}"), format!("L{i}"));
+    }
+    for &(src, dst, label) in edge_specs {
+        let (src, dst) = (src % node_count, dst % node_count);
+        if src == dst {
+            continue;
+        }
+        b = b.edge(format!("v{src}"), format!("r{label}"), format!("v{dst}"));
+    }
+    let mut opt_vars = Vec::new();
+    for (k, &(anchor, label)) in opt_specs.iter().enumerate() {
+        let var = format!("o{k}");
+        b = b.opt_node(&var, format!("OL{label}"));
+        b = b.opt_edge(format!("v{}", anchor % node_count), format!("or{label}"), &var);
+        opt_vars.push(var);
+    }
+    for &(var, op, prop, value) in pred_specs {
+        let pool = node_count + opt_vars.len();
+        let var = var % pool;
+        let var =
+            if var < node_count { format!("v{var}") } else { opt_vars[var - node_count].clone() };
+        let op =
+            [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Contains]
+                [op % 7];
+        let literal = if op == CmpOp::Contains {
+            PropertyValue::str(format!("needle{value}"))
+        } else {
+            match prop % 4 {
+                0 => PropertyValue::Int(value),
+                1 => PropertyValue::str(format!("str{value}")),
+                2 => PropertyValue::Float(value as f64 * 0.5 + 0.25),
+                _ => PropertyValue::Bool(value % 2 == 0),
+            }
+        };
+        b = b.filter(var, format!("p{}", prop % 3), op, literal);
+    }
+    b = b.ret_property("v0", "p0");
+    if flags & 8 != 0 {
+        b = b.ret_vertex(format!("v{}", node_count - 1));
+    }
+    if flags & 1 != 0 {
+        b = b.distinct();
+    }
+    if flags & 2 != 0 {
+        b = b.order_by("v0", "p0", flags & 4 != 0);
+    }
+    if flags & 16 != 0 {
+        b = b.skip(3);
+    }
+    if flags & 32 != 0 {
+        b = b.limit(7);
+    }
+    b.build()
+}
 
 /// Applies a fixed item set in the given order until fixpoint, via the raw
 /// schema graph (bypassing apply_plan's canonical ordering).
@@ -102,6 +171,66 @@ proptest! {
         prop_assert!(larger.total_cost <= budget);
         prop_assert!(larger.total_benefit + 1e-9 >= smaller.total_benefit);
         prop_assert!(larger.total_benefit <= nsc.total_benefit + 1e-9);
+    }
+
+    /// Statement API contract: generated statements round-trip through
+    /// `Display` → `parse` → structural equality, and their fingerprint is
+    /// invariant under renaming and predicate-literal / window-count
+    /// changes while the *shape* keys stay significant.
+    #[test]
+    fn statement_text_roundtrip_and_fingerprint_invariance(
+        node_count in 1usize..4,
+        edge_specs in proptest::collection::vec((0usize..4, 0usize..4, 0usize..3), 0..4),
+        opt_specs in proptest::collection::vec((0usize..4, 0usize..3), 0..3),
+        pred_specs in proptest::collection::vec(
+            (0usize..6, 0usize..7, 0usize..4, 0i64..1000),
+            0..4,
+        ),
+        flags in 0u8..64,
+    ) {
+        let stmt = build_statement(node_count, &edge_specs, &opt_specs, &pred_specs, flags);
+
+        // Round-trip through the text front-end.
+        let text = stmt.to_string();
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("generated statement failed to parse: {e}\n  {text}"));
+        prop_assert!(
+            stmt.structurally_eq(&reparsed),
+            "round-trip mismatch:\n  {}\n  {}",
+            stmt,
+            reparsed
+        );
+
+        // Fingerprint invariance: renaming and literal changes do not key.
+        let base = fingerprint_statement(&stmt);
+        let mut renamed = stmt.clone();
+        renamed.pattern.name = "renamed".into();
+        prop_assert_eq!(base, fingerprint_statement(&renamed));
+        let mut other_literals = stmt.clone();
+        for predicate in &mut other_literals.predicates {
+            predicate.value = PropertyValue::str("entirely different");
+        }
+        if other_literals.skip.is_some() {
+            other_literals.skip = Some(999);
+        }
+        if other_literals.limit.is_some() {
+            other_literals.limit = Some(1);
+        }
+        prop_assert_eq!(base, fingerprint_statement(&other_literals));
+        // The reparsed statement shares the fingerprint (names differ only).
+        prop_assert_eq!(base, fingerprint_statement(&reparsed));
+
+        // Shape stays significant: dropping a clause changes the key.
+        if !stmt.predicates.is_empty() {
+            let mut fewer = stmt.clone();
+            fewer.predicates.pop();
+            prop_assert!(base != fingerprint_statement(&fewer));
+        }
+        if stmt.limit.is_some() {
+            let mut unlimited = stmt.clone();
+            unlimited.limit = None;
+            prop_assert!(base != fingerprint_statement(&unlimited));
+        }
     }
 
     /// The ontology DSL round-trips arbitrary small ontologies built from
