@@ -1,9 +1,10 @@
-//! Serving-layer throughput: queries/sec of one shared `KgServer` at 1, 2, 4
-//! and 8 worker threads, plus the plan-cache hit ratio accumulated across
-//! the run. Adaptive re-optimization is disabled so every sample measures
-//! the same schema epoch.
+//! Serving-layer throughput: queries/sec of a shared `KgServer` across a
+//! **shard-count × thread-count grid** (1/2/4/8 storage shards × 1/2/4/8
+//! worker threads), plus the plan-cache hit ratio accumulated across the
+//! run. Adaptive re-optimization is disabled so every sample measures the
+//! same schema epoch.
 //!
-//! Two workload mixes are measured:
+//! Two workload mixes are measured on the monolithic (1-shard) server:
 //!
 //! * **pattern** — the original mix of lookups, patterns and aggregations
 //!   (structurally identical repeats, the best case for the plan cache);
@@ -11,6 +12,14 @@
 //!   literals and LIMIT counts vary per request. The cache keys on the
 //!   statement *shape*, so the hit ratio must stay high even though no two
 //!   requests are textually identical.
+//!
+//! The shard grid then replays the pattern mix against servers whose epochs
+//! are hash-partitioned `ShardedGraph`s, printing q/s per cell and the
+//! per-shard balance of vertex reads. On a multi-core host the executor's
+//! parallel fan-out should make the multi-shard rows beat the single-shard
+//! row at 8 serving threads; on a single core the fan-out gate keeps
+//! execution serial, so multi-shard throughput must merely stay close to
+//! monolithic (the global→local indirection is the only overhead).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_datagen::InstanceKg;
@@ -18,7 +27,7 @@ use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig
 use pgso_query::{parse_named, Aggregate, Query, Statement};
 use pgso_server::{KgServer, ServerConfig};
 
-fn build_server() -> KgServer {
+fn build_server(shard_count: usize) -> KgServer {
     let ontology = catalog::medical();
     let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
     let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 42);
@@ -28,7 +37,7 @@ fn build_server() -> KgServer {
         statistics,
         instance,
         frequencies,
-        ServerConfig { auto_reoptimize: false, ..ServerConfig::default() },
+        ServerConfig { auto_reoptimize: false, shard_count, ..ServerConfig::default() },
     )
 }
 
@@ -133,10 +142,87 @@ fn run_mix(c: &mut Criterion, server: &KgServer, name: &str, workload: &[Stateme
     );
 }
 
+/// The shard-count × thread-count grid over the pattern mix. Returns q/s at
+/// 8 serving threads, keyed by shard count.
+fn shard_grid(c: &mut Criterion, workload: &[Statement]) -> Vec<(usize, f64)> {
+    let mut qps_at_8_threads = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let server = build_server(shards);
+        let _ = server.run_workload(workload, 1); // warm the plan cache
+        let mut group = c.benchmark_group(format!("server_throughput/shards_{shards}"));
+        group.sample_size(5);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(format!("threads_{threads}"), |b| {
+                b.iter_custom(|iters| {
+                    (0..iters).map(|_| server.run_workload(workload, threads).elapsed).sum()
+                })
+            });
+            // Average a few replays for the printed/compared q/s: a single
+            // run is too noisy to gate anything on.
+            let replays = 3;
+            let mut qps_sum = 0.0;
+            let mut last_report = None;
+            for _ in 0..replays {
+                let report = server.run_workload(workload, threads);
+                qps_sum += report.queries_per_second();
+                last_report = Some(report);
+            }
+            let qps = qps_sum / replays as f64;
+            let report = last_report.expect("at least one replay ran");
+            let reads: Vec<u64> = report.per_shard_stats.iter().map(|s| s.vertex_reads).collect();
+            println!(
+                "server_throughput/grid shards_{shards} threads_{threads:<2} \
+                 {qps:>12.0} queries/sec  shard vertex-read balance {reads:?}"
+            );
+            if threads == 8 {
+                qps_at_8_threads.push((shards, qps));
+            }
+            assert_eq!(report.shard_count, shards);
+            assert_eq!(report.per_shard_stats.len(), shards);
+        }
+        group.finish();
+    }
+    qps_at_8_threads
+}
+
 fn bench(c: &mut Criterion) {
-    let server = build_server();
-    run_mix(c, &server, "pattern", &pattern_workload());
+    // Capture before the benchmark groups borrow `c`.
+    let quick = c.is_test_mode();
+    let server = build_server(1);
+    let pattern = pattern_workload();
+    run_mix(c, &server, "pattern", &pattern);
     run_mix(c, &server, "predicate_limit", &predicate_limit_workload());
+    drop(server);
+
+    let at_8 = shard_grid(c, &pattern);
+    let single = at_8.iter().find(|(s, _)| *s == 1).map(|&(_, q)| q).unwrap_or(0.0);
+    let best_multi =
+        at_8.iter().filter(|(s, _)| *s > 1).map(|&(_, q)| q).fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "server_throughput/grid summary @8 threads: 1 shard {single:.0} q/s, \
+         best multi-shard {best_multi:.0} q/s (x{:.2})",
+        best_multi / single.max(1e-9)
+    );
+    // `--test` smoke runs (CI) only check that the grid executes: timing a
+    // single quick pass is not a measurement, so no performance gate there.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if quick {
+        assert!(single > 0.0 && best_multi > 0.0, "grid must have produced throughput numbers");
+    } else if cores > 1 {
+        assert!(
+            best_multi > single,
+            "on a {cores}-core host, multi-shard fan-out must beat the single shard \
+             at 8 serving threads ({best_multi:.0} vs {single:.0} q/s)"
+        );
+    } else {
+        // Single core: fan-out stays gated off; sharding must not cost more
+        // than the global→local indirection.
+        assert!(
+            best_multi > 0.5 * single,
+            "sharded serving regressed far beyond indirection overhead \
+             ({best_multi:.0} vs {single:.0} q/s)"
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -144,7 +144,7 @@ pub fn microbenchmark_latency(scale: f64, repeats: usize, seed: u64) -> Vec<Micr
             scale,
             seed,
             &disk_dir,
-            DiskGraphConfig { buffer_pool_pages: 8 },
+            DiskGraphConfig::with_pool_pages(8),
         )
         .expect("build disk-backed graphs");
 
@@ -224,7 +224,7 @@ pub fn workload_latency_experiment(scale: f64, seed: u64) -> Vec<WorkloadRow> {
             scale,
             seed,
             &disk_dir,
-            DiskGraphConfig { buffer_pool_pages: 8 },
+            DiskGraphConfig::with_pool_pages(8),
         )
         .expect("build disk-backed graphs");
         let (d, o) = crate::workbench::workload_latency(&workload, &disk_pair);
@@ -337,7 +337,7 @@ pub fn ablation_buffer_pool(scale: f64, seed: u64) -> Vec<AblationBufferPoolRow>
             scale,
             seed,
             &dir,
-            DiskGraphConfig { buffer_pool_pages: pool_pages },
+            DiskGraphConfig::with_pool_pages(pool_pages),
         )
         .expect("build disk-backed graphs");
         let (d, o) = crate::workbench::workload_latency(&workload, &pair);

@@ -21,4 +21,4 @@ pub mod instance;
 pub mod load;
 
 pub use instance::{property_value_for, Entity, InstanceKg, RelationshipInstance};
-pub use load::{load_into, LoadReport};
+pub use load::{load_into, load_sharded, LoadReport};

@@ -58,6 +58,28 @@ pub struct AccessStats {
 }
 
 impl AccessStats {
+    /// Component-wise sum of two counter snapshots (used to aggregate
+    /// per-shard statistics).
+    pub fn merged(&self, other: &AccessStats) -> AccessStats {
+        AccessStats {
+            vertex_reads: self.vertex_reads + other.vertex_reads,
+            edge_traversals: self.edge_traversals + other.edge_traversals,
+            page_reads: self.page_reads + other.page_reads,
+            page_hits: self.page_hits + other.page_hits,
+        }
+    }
+
+    /// Component-wise saturating difference (`self - earlier`), used to turn
+    /// two snapshots into the work performed between them.
+    pub fn delta_since(&self, earlier: &AccessStats) -> AccessStats {
+        AccessStats {
+            vertex_reads: self.vertex_reads.saturating_sub(earlier.vertex_reads),
+            edge_traversals: self.edge_traversals.saturating_sub(earlier.edge_traversals),
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_hits: self.page_hits.saturating_sub(earlier.page_hits),
+        }
+    }
+
     /// Buffer-pool hit ratio; 1.0 when no page was touched.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.page_reads + self.page_hits;
@@ -124,7 +146,11 @@ impl StatsCounters {
 /// graph, then the query executor only reads. Mutation therefore takes `&mut
 /// self` while all read paths take `&self` and update the shared statistics
 /// counters internally.
-pub trait GraphBackend {
+///
+/// Every backend is `Send + Sync` by contract: the serving layer shares one
+/// backend across threads, and the query executor fans pattern expansion out
+/// over [shards](GraphBackend::shard_count) with scoped threads.
+pub trait GraphBackend: Send + Sync {
     /// Inserts a vertex and returns its id.
     fn add_vertex(&mut self, label: &str, properties: PropertyMap) -> VertexId;
 
@@ -160,6 +186,35 @@ pub trait GraphBackend {
     /// In-neighbours of a vertex following edges with the given label
     /// (counted as edge traversals).
     fn in_neighbours(&self, vertex: VertexId, edge_label: &str) -> Vec<VertexId>;
+
+    /// Number of out-edges of a vertex with the given label, *without*
+    /// materialising the neighbour list. Used for fan-out estimation (e.g.
+    /// deciding whether a parallel expansion pays off), so backends override
+    /// it with a cheap adjacency-metadata scan that is **not** charged as
+    /// edge traversals. The default falls back to
+    /// [`GraphBackend::out_neighbours`] and therefore *is* counted.
+    fn out_degree(&self, vertex: VertexId, edge_label: &str) -> usize {
+        self.out_neighbours(vertex, edge_label).len()
+    }
+
+    /// Number of storage shards backing this graph. `1` for monolithic
+    /// backends; [`crate::ShardedGraph`] reports its partition count so the
+    /// executor can fan root expansion out shard by shard.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Index of the shard owning `vertex` (always `0` for monolithic
+    /// backends). The result is only meaningful for vertices that exist.
+    fn shard_of(&self, _vertex: VertexId) -> usize {
+        0
+    }
+
+    /// Per-shard access counters; a single-element vector for monolithic
+    /// backends. Summing the entries yields [`GraphBackend::stats`].
+    fn shard_stats(&self) -> Vec<AccessStats> {
+        vec![self.stats()]
+    }
 
     /// Number of vertices.
     fn vertex_count(&self) -> usize;

@@ -8,8 +8,11 @@
 //!
 //! * [`MemoryGraph`] — adjacency lists and property maps in memory;
 //! * [`DiskGraph`] — vertex records in fixed-size pages of a store file with
-//!   an LRU buffer pool, so traversals cost page I/O when the working set
-//!   exceeds the pool.
+//!   a lock-striped LRU buffer pool, so traversals cost page I/O when the
+//!   working set exceeds the pool;
+//! * [`ShardedGraph`] — a hash-partitioned facade over N inner backends
+//!   (pluggable [`ShardRouter`], owner-side adjacency with remote stubs for
+//!   cross-shard edges), the substrate for parallel fan-out query execution.
 //!
 //! Both backends keep [`AccessStats`] counters (vertex reads, edge
 //! traversals, page reads/hits) so experiments can attribute latency
@@ -33,6 +36,7 @@ pub mod backend;
 pub mod codec;
 pub mod disk;
 pub mod memory;
+pub mod sharded;
 pub mod value;
 
 pub use backend::{
@@ -40,6 +44,7 @@ pub use backend::{
 };
 pub use disk::{DiskGraph, DiskGraphConfig, PAGE_SIZE};
 pub use memory::MemoryGraph;
+pub use sharded::{HashRouter, LabelRouter, ShardRouter, ShardedGraph, STUB_LABEL};
 pub use value::{props, PropertyMap, PropertyValue};
 
 // Compile-time guarantee that the serving layer can share backends across
@@ -52,6 +57,7 @@ const _: () = {
     assert_send_sync::<StatsCounters>();
     assert_send_sync::<MemoryGraph>();
     assert_send_sync::<DiskGraph>();
+    assert_send_sync::<ShardedGraph>();
 };
 
 #[cfg(test)]
@@ -65,6 +71,8 @@ mod send_sync_tests {
         assert_impl::<StatsCounters>();
         assert_impl::<MemoryGraph>();
         assert_impl::<DiskGraph>();
-        assert_impl::<Box<dyn GraphBackend + Send + Sync>>();
+        assert_impl::<ShardedGraph>();
+        // `Send + Sync` are supertraits now, so the bare trait object works.
+        assert_impl::<Box<dyn GraphBackend>>();
     }
 }

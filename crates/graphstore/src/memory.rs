@@ -129,6 +129,14 @@ impl GraphBackend for MemoryGraph {
         neighbours
     }
 
+    fn out_degree(&self, vertex: VertexId, edge_label: &str) -> usize {
+        // Pure adjacency-metadata scan: no neighbour list is materialised and
+        // nothing is charged to the access counters (this is cardinality
+        // estimation, not query work).
+        let Some(edge_ids) = self.outgoing.get(vertex.0 as usize) else { return 0 };
+        edge_ids.iter().filter(|&&eid| self.edges[eid.0 as usize].label == edge_label).count()
+    }
+
     fn vertex_count(&self) -> usize {
         self.vertices.len()
     }
@@ -203,6 +211,17 @@ mod tests {
         assert_eq!(stats.page_reads, 0);
         g.reset_stats();
         assert_eq!(g.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn out_degree_counts_without_materialising_or_charging() {
+        let (g, drug, ind1, _) = sample();
+        g.reset_stats();
+        assert_eq!(g.out_degree(drug, "treat"), 2);
+        assert_eq!(g.out_degree(drug, "cause"), 0);
+        assert_eq!(g.out_degree(ind1, "treat"), 0);
+        assert_eq!(g.out_degree(VertexId(99), "treat"), 0);
+        assert_eq!(g.stats(), AccessStats::default(), "estimation must not be charged");
     }
 
     #[test]

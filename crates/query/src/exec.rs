@@ -22,13 +22,69 @@
 //!   kept with the optional variable unbound, which surfaces as
 //!   [`PropertyValue::Null`] in result rows;
 //! * **`DISTINCT` → `ORDER BY` → `SKIP`/`LIMIT`**, applied in that order.
+//!
+//! # Parallel fan-out over shards
+//!
+//! When the backend is partitioned ([`GraphBackend::shard_count`] > 1) and
+//! the root candidate set is large enough to pay for thread spawns (see
+//! [`ExecConfig`]), root-candidate filtering and per-root pattern expansion
+//! fan out across scoped worker threads, one per shard: each worker takes
+//! the root candidates *owned by its shard*, so the initial vertex reads hit
+//! disjoint shard locks. Every worker runs the exact same backtracking
+//! expansion (freely crossing shards mid-pattern), and the per-root result
+//! lists are merged back **in root order**, so the final binding order — and
+//! therefore row order, `DISTINCT` survivor choice and `ORDER BY` tie-breaks
+//! — is bit-for-bit identical to the serial execution. DIR vs OPT row-set
+//! equivalence is unaffected.
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
 use crate::stmt::{order_values, OrderKey, Predicate, Statement};
 use pgso_graphstore::{AccessStats, GraphBackend, PropertyValue, VertexId};
-use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Tuning knobs for the executor's parallel fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Master switch for the shard fan-out. Defaults to `true` only when the
+    /// process actually has more than one CPU — on a single core, per-query
+    /// thread spawns are pure overhead.
+    pub parallel: bool,
+    /// Minimum number of root candidates before fanning out.
+    pub min_parallel_roots: usize,
+    /// Minimum *estimated* expansion work (root count × sampled first-hop
+    /// fan-out, via the uncharged [`GraphBackend::out_degree`] accessor)
+    /// before fanning out.
+    pub min_estimated_work: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { parallel: default_parallel(), min_parallel_roots: 32, min_estimated_work: 192 }
+    }
+}
+
+impl ExecConfig {
+    /// A configuration that never fans out (always serial).
+    pub fn serial() -> Self {
+        Self { parallel: false, ..Self::default() }
+    }
+
+    /// A configuration that fans out whenever the backend is sharded,
+    /// regardless of core count or workload size — used by equivalence tests
+    /// to force the parallel path.
+    pub fn always_parallel() -> Self {
+        Self { parallel: true, min_parallel_roots: 0, min_estimated_work: 0 }
+    }
+}
+
+fn default_parallel() -> bool {
+    static MULTI_CORE: OnceLock<bool> = OnceLock::new();
+    *MULTI_CORE
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get() > 1).unwrap_or(false))
+}
 
 /// One result row: the values requested by the RETURN clause.
 pub type Row = Vec<PropertyValue>;
@@ -60,12 +116,22 @@ impl QueryResult {
 
 /// Executes a bare pattern query against a backend.
 pub fn execute(query: &Query, backend: &dyn GraphBackend) -> QueryResult {
-    run(query, &Clauses::NONE, backend)
+    run(query, &Clauses::NONE, backend, &ExecConfig::default())
 }
 
 /// Executes a full statement (predicates, optional edges, `DISTINCT`,
 /// `ORDER BY`, `SKIP`/`LIMIT`) against a backend.
 pub fn execute_statement(stmt: &Statement, backend: &dyn GraphBackend) -> QueryResult {
+    execute_statement_with(stmt, backend, &ExecConfig::default())
+}
+
+/// [`execute_statement`] with explicit [`ExecConfig`] control over the
+/// parallel shard fan-out.
+pub fn execute_statement_with(
+    stmt: &Statement,
+    backend: &dyn GraphBackend,
+    config: &ExecConfig,
+) -> QueryResult {
     let clauses = Clauses {
         opt_nodes: &stmt.opt_nodes,
         opt_edges: &stmt.opt_edges,
@@ -75,7 +141,7 @@ pub fn execute_statement(stmt: &Statement, backend: &dyn GraphBackend) -> QueryR
         skip: stmt.skip,
         limit: stmt.limit,
     };
-    run(&stmt.pattern, &clauses, backend)
+    run(&stmt.pattern, &clauses, backend, config)
 }
 
 /// Borrowed view of the statement-level clauses; empty for a bare query.
@@ -102,13 +168,14 @@ impl Clauses<'static> {
 }
 
 /// Shared execution context threaded through the backtracking expansion.
+/// `Sync`, so shard workers can share one instance by reference.
 struct Ctx<'a> {
     query: &'a Query,
     clauses: &'a Clauses<'a>,
     backend: &'a dyn GraphBackend,
     /// Predicates grouped by variable, for bind-time filtering.
     preds_by_var: HashMap<&'a str, Vec<&'a Predicate>>,
-    predicate_checks: Cell<u64>,
+    predicate_checks: AtomicU64,
 }
 
 impl<'a> Ctx<'a> {
@@ -117,7 +184,7 @@ impl<'a> Ctx<'a> {
         for predicate in clauses.predicates {
             preds_by_var.entry(predicate.var.as_str()).or_default().push(predicate);
         }
-        Self { query, clauses, backend, preds_by_var, predicate_checks: Cell::new(0) }
+        Self { query, clauses, backend, preds_by_var, predicate_checks: AtomicU64::new(0) }
     }
 
     /// Evaluates every predicate on `var` against `vertex`. A missing
@@ -127,7 +194,7 @@ impl<'a> Ctx<'a> {
             return true;
         };
         for predicate in predicates {
-            self.predicate_checks.set(self.predicate_checks.get() + 1);
+            self.predicate_checks.fetch_add(1, Ordering::Relaxed);
             let Some(value) = self.backend.property_of(vertex, &predicate.property) else {
                 return false;
             };
@@ -148,7 +215,12 @@ impl<'a> Ctx<'a> {
     }
 }
 
-fn run(query: &Query, clauses: &Clauses<'_>, backend: &dyn GraphBackend) -> QueryResult {
+fn run(
+    query: &Query,
+    clauses: &Clauses<'_>,
+    backend: &dyn GraphBackend,
+    config: &ExecConfig,
+) -> QueryResult {
     let before = backend.stats();
     let start = Instant::now();
     let ctx = Ctx::new(query, clauses, backend);
@@ -163,15 +235,20 @@ fn run(query: &Query, clauses: &Clauses<'_>, backend: &dyn GraphBackend) -> Quer
     let mut bindings: Vec<HashMap<String, VertexId>> = Vec::new();
     if !unsatisfiable {
         if let Some(root) = query.nodes.first() {
-            for vertex in backend.vertices_with_label(&root.label) {
-                // Predicate pushdown: root candidates that fail a WHERE
-                // predicate never enter the expansion.
-                if !ctx.var_passes(&root.var, vertex) {
-                    continue;
+            let roots = backend.vertices_with_label(&root.label);
+            if should_fan_out(&ctx, &roots, config) {
+                fan_out_roots(&ctx, root, &roots, &mut bindings);
+            } else {
+                for vertex in roots {
+                    // Predicate pushdown: root candidates that fail a WHERE
+                    // predicate never enter the expansion.
+                    if !ctx.var_passes(&root.var, vertex) {
+                        continue;
+                    }
+                    let mut binding = HashMap::new();
+                    binding.insert(root.var.clone(), vertex);
+                    expand(&ctx, 0, binding, &mut bindings);
                 }
-                let mut binding = HashMap::new();
-                binding.insert(root.var.clone(), vertex);
-                expand(&ctx, 0, binding, &mut bindings);
             }
         }
     }
@@ -185,13 +262,80 @@ fn run(query: &Query, clauses: &Clauses<'_>, backend: &dyn GraphBackend) -> Quer
         rows,
         matches: bindings.len(),
         elapsed,
-        stats: AccessStats {
-            vertex_reads: after.vertex_reads - before.vertex_reads,
-            edge_traversals: after.edge_traversals - before.edge_traversals,
-            page_reads: after.page_reads - before.page_reads,
-            page_hits: after.page_hits - before.page_hits,
-        },
-        predicate_checks: ctx.predicate_checks.get(),
+        stats: after.delta_since(&before),
+        predicate_checks: ctx.predicate_checks.load(Ordering::Relaxed),
+    }
+}
+
+/// Decides whether the root expansion is worth fanning out: the backend must
+/// actually be partitioned, and the estimated work — root count scaled by a
+/// sampled first-hop fan-out (read through the *uncharged*
+/// [`GraphBackend::out_degree`] accessor, so estimation never skews the
+/// experiment counters) — must clear the configured floor.
+fn should_fan_out(ctx: &Ctx<'_>, roots: &[VertexId], config: &ExecConfig) -> bool {
+    if !config.parallel || ctx.backend.shard_count() <= 1 {
+        return false;
+    }
+    if roots.len() < config.min_parallel_roots {
+        return false;
+    }
+    let estimated = match ctx.query.edges.first() {
+        Some(edge) => {
+            let sample: usize =
+                roots.iter().take(4).map(|&v| ctx.backend.out_degree(v, &edge.label)).sum();
+            let per_root = 1 + sample / roots.len().clamp(1, 4);
+            roots.len() * per_root
+        }
+        None => roots.len(),
+    };
+    estimated >= config.min_estimated_work
+}
+
+/// Parallel root fan-out: one scoped worker per shard expands the root
+/// candidates *owned by that shard*; results are merged back in root order,
+/// reproducing the serial binding order exactly.
+fn fan_out_roots(
+    ctx: &Ctx<'_>,
+    root: &NodePattern,
+    roots: &[VertexId],
+    bindings: &mut Vec<HashMap<String, VertexId>>,
+) {
+    let shard_count = ctx.backend.shard_count();
+    let mut groups: Vec<Vec<(usize, VertexId)>> = vec![Vec::new(); shard_count];
+    for (pos, &vertex) in roots.iter().enumerate() {
+        groups[ctx.backend.shard_of(vertex).min(shard_count - 1)].push((pos, vertex));
+    }
+    // Per-root binding lists, indexed by the root's serial position.
+    let mut per_root: Vec<(usize, Vec<HashMap<String, VertexId>>)> =
+        Vec::with_capacity(roots.len());
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = groups
+            .iter()
+            .filter(|group| !group.is_empty())
+            .map(|group| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(group.len());
+                    for &(pos, vertex) in group {
+                        if !ctx.var_passes(&root.var, vertex) {
+                            continue;
+                        }
+                        let mut local = Vec::new();
+                        let mut binding = HashMap::new();
+                        binding.insert(root.var.clone(), vertex);
+                        expand(ctx, 0, binding, &mut local);
+                        out.push((pos, local));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for worker in workers {
+            per_root.extend(worker.join().expect("shard fan-out worker panicked"));
+        }
+    });
+    per_root.sort_unstable_by_key(|(pos, _)| *pos);
+    for (_, mut local) in per_root {
+        bindings.append(&mut local);
     }
 }
 
@@ -937,6 +1081,107 @@ mod tests {
         let result = execute_statement(&stmt, &g);
         assert_eq!(result.scalar(), Some(2));
         assert_eq!(result.rows.len(), 1);
+    }
+
+    // ---- parallel fan-out over shards ----------------------------------
+
+    use pgso_graphstore::ShardedGraph;
+
+    /// Loads the same synthetic graph into a `MemoryGraph` and a
+    /// `ShardedGraph`: `n` drugs, each treating 3 of `n` indications.
+    fn mirrored(shards: usize, n: u64) -> (MemoryGraph, ShardedGraph) {
+        let mut mono = MemoryGraph::new();
+        let mut sharded = ShardedGraph::new_memory(shards);
+        for backend in [&mut mono as &mut dyn pgso_graphstore::GraphBackend, &mut sharded as _] {
+            let drugs: Vec<_> = (0..n)
+                .map(|i| {
+                    backend.add_vertex("Drug", props([("name", format!("drug-{i:03}").into())]))
+                })
+                .collect();
+            let inds: Vec<_> = (0..n)
+                .map(|i| {
+                    backend
+                        .add_vertex("Indication", props([("desc", format!("ind-{i:03}").into())]))
+                })
+                .collect();
+            for (i, &d) in drugs.iter().enumerate() {
+                for k in 0..3u64 {
+                    backend.add_edge(
+                        "treat",
+                        d,
+                        inds[(i as u64 * 7 + k * 5) as usize % n as usize],
+                    );
+                }
+            }
+        }
+        (mono, sharded)
+    }
+
+    #[test]
+    fn parallel_fan_out_matches_serial_rows_and_order() {
+        let (mono, sharded) = mirrored(4, 40);
+        let stmt = Statement::builder("fanout")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .ret_property("i", "desc")
+            .filter("i", "desc", CmpOp::Contains, "ind-0")
+            .build();
+        let serial = execute_statement_with(&stmt, &mono, &ExecConfig::serial());
+        let parallel = execute_statement_with(&stmt, &sharded, &ExecConfig::always_parallel());
+        assert!(serial.matches > 0, "fixture must produce matches");
+        assert_eq!(serial.rows, parallel.rows, "row order must be deterministic");
+        assert_eq!(serial.matches, parallel.matches);
+        assert_eq!(serial.predicate_checks, parallel.predicate_checks);
+        assert_eq!(serial.stats.edge_traversals, parallel.stats.edge_traversals);
+        // The serial path on the sharded backend agrees too.
+        let sharded_serial = execute_statement_with(&stmt, &sharded, &ExecConfig::serial());
+        assert_eq!(serial.rows, sharded_serial.rows);
+    }
+
+    #[test]
+    fn parallel_fan_out_preserves_windowing_semantics() {
+        let (mono, sharded) = mirrored(3, 30);
+        let stmt = Statement::builder("windowed")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .distinct()
+            .order_by("i", "desc", true)
+            .skip(2)
+            .limit(9)
+            .build();
+        let serial = execute_statement_with(&stmt, &mono, &ExecConfig::serial());
+        let parallel = execute_statement_with(&stmt, &sharded, &ExecConfig::always_parallel());
+        assert_eq!(serial.rows, parallel.rows, "DISTINCT/ORDER BY/SKIP/LIMIT must agree");
+        assert_eq!(serial.rows.len(), 9);
+    }
+
+    #[test]
+    fn fan_out_gate_respects_thresholds_and_shard_count() {
+        let (mono, sharded) = mirrored(2, 10);
+        let query = Query::builder("g")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build();
+        let clauses = Clauses::NONE;
+        let roots = sharded.vertices_with_label("Drug");
+        let ctx = Ctx::new(&query, &clauses, &sharded);
+        assert!(should_fan_out(&ctx, &roots, &ExecConfig::always_parallel()));
+        assert!(!should_fan_out(&ctx, &roots, &ExecConfig::serial()));
+        let high_floor =
+            ExecConfig { parallel: true, min_parallel_roots: 1_000, min_estimated_work: 0 };
+        assert!(!should_fan_out(&ctx, &roots, &high_floor), "root floor must gate");
+        let work_floor =
+            ExecConfig { parallel: true, min_parallel_roots: 0, min_estimated_work: 1_000_000 };
+        assert!(!should_fan_out(&ctx, &roots, &work_floor), "work floor must gate");
+        // A monolithic backend never fans out, whatever the config says.
+        let mono_ctx = Ctx::new(&query, &clauses, &mono);
+        assert!(!should_fan_out(&mono_ctx, &roots, &ExecConfig::always_parallel()));
     }
 
     #[test]

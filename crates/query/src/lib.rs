@@ -45,7 +45,7 @@ pub mod rewrite;
 pub mod stmt;
 
 pub use ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder, ReturnItem};
-pub use exec::{execute, execute_statement, QueryResult, Row};
+pub use exec::{execute, execute_statement, execute_statement_with, ExecConfig, QueryResult, Row};
 pub use fingerprint::{fingerprint, fingerprint_statement};
 pub use parse::{parse, parse_named, ParseError};
 pub use rewrite::{rewrite, rewrite_statement};

@@ -13,7 +13,11 @@
 //!   DIR statements from any number of threads. Text is the first-class
 //!   entry point ([`KgServer::serve_text`] / [`KgServer::prepare_text`]
 //!   parse the Cypher-like surface of [`pgso_query::parse()`]); the builder
-//!   APIs remain for tests;
+//!   APIs remain for tests. With [`ServerConfig::shard_count`] > 1 every
+//!   epoch's instance graph is hash-partitioned across a
+//!   [`pgso_graphstore::ShardedGraph`], the executor may fan root expansion
+//!   out across the shards ([`ServerConfig::exec`]), and
+//!   [`WorkloadRunReport`] breaks the storage work down per shard;
 //! * [`PlanCache`] — a fingerprint-keyed DIR→OPT rewrite cache, invalidated
 //!   wholesale by schema-epoch bumps. Keys are statement *shapes*: requests
 //!   differing only in predicate literals or `SKIP`/`LIMIT` counts share a

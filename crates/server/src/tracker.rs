@@ -15,6 +15,7 @@
 //! the query actually reaches a property through an edge.
 
 use parking_lot::Mutex;
+use pgso_graphstore::GraphBackend;
 use pgso_ontology::{AccessFrequencies, ConceptId, Ontology, PropertyId, RelationshipId};
 use pgso_query::{EdgePattern, NodePattern, Query, ReturnItem, Statement};
 use std::collections::HashMap;
@@ -297,6 +298,40 @@ impl WorkloadTracker {
         af
     }
 
+    /// Estimated average out-fan-out of every relationship the tracker has
+    /// seen traversed, measured against `backend`'s current instance graph.
+    ///
+    /// For each relationship with a non-zero traversal count, up to
+    /// `sample_size` vertices of the source concept's label are probed with
+    /// the *uncharged* [`GraphBackend::out_degree`] accessor — no neighbour
+    /// `Vec` is materialised and no edge traversals are counted, so calling
+    /// this between experiments does not disturb the access statistics.
+    /// The result maps relationship → mean out-degree and feeds fan-out-aware
+    /// cost decisions (e.g. how much a 1:M shortcut would save).
+    pub fn estimated_fanouts(
+        &self,
+        ontology: &Ontology,
+        backend: &dyn GraphBackend,
+        sample_size: usize,
+    ) -> Vec<(RelationshipId, f64)> {
+        let snapshot = self.snapshot();
+        let mut fanouts = Vec::new();
+        for (rid, rel) in ontology.relationships() {
+            if snapshot.relationship_counts[rid.index()] == 0 {
+                continue;
+            }
+            let src_label = &ontology.concept(rel.src).name;
+            let vertices = backend.vertices_with_label(src_label);
+            if vertices.is_empty() {
+                continue;
+            }
+            let sample: Vec<_> = vertices.iter().take(sample_size.max(1)).collect();
+            let total: usize = sample.iter().map(|&&v| backend.out_degree(v, &rel.name)).sum();
+            fanouts.push((rid, total as f64 / sample.len() as f64));
+        }
+        fanouts
+    }
+
     /// Zeroes every counter (called after the observed workload has been
     /// promoted to the new optimization baseline).
     pub fn reset(&self) {
@@ -492,6 +527,31 @@ mod tests {
         assert_eq!(after.relationship_counts[treat.index()], 2);
         let desc = o.property_by_name(rel.dst, "desc").unwrap();
         assert_eq!(after.property_counts.get(&(treat, desc)), Some(&2));
+    }
+
+    #[test]
+    fn estimated_fanouts_probe_without_charging_stats() {
+        use pgso_graphstore::{props, MemoryGraph};
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        // Two drugs: one treating two indications, one treating none.
+        let mut g = MemoryGraph::new();
+        let d1 = g.add_vertex("Drug", props([("name", "Aspirin".into())]));
+        let d2 = g.add_vertex("Drug", props([("name", "Placebo".into())]));
+        let i1 = g.add_vertex("Indication", props([("desc", "Fever".into())]));
+        let i2 = g.add_vertex("Indication", props([("desc", "Headache".into())]));
+        g.add_edge("treat", d1, i1);
+        g.add_edge("treat", d1, i2);
+        let _ = d2;
+        // Nothing recorded yet: no relationship qualifies.
+        assert!(tracker.estimated_fanouts(&o, &g, 8).is_empty());
+        tracker.record(&treat_query());
+        g.reset_stats();
+        let fanouts = tracker.estimated_fanouts(&o, &g, 8);
+        let (treat, _) = o.relationships().find(|(_, r)| r.name == "treat").unwrap();
+        let (_, mean) = fanouts.iter().find(|(rid, _)| *rid == treat).expect("treat estimated");
+        assert!((mean - 1.0).abs() < 1e-9, "mean of degrees 2 and 0 is 1, got {mean}");
+        assert_eq!(g.stats().edge_traversals, 0, "estimation must not charge traversals");
     }
 
     #[test]

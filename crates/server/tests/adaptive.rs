@@ -99,6 +99,7 @@ fn adaptive_server() -> KgServer {
             check_interval: 64,
             plan_cache_capacity: 256,
             auto_reoptimize: true,
+            ..ServerConfig::default()
         },
     )
 }

@@ -38,7 +38,7 @@ fn main() {
     let instance = InstanceKg::generate(&ontology, &stats, 0.05, 11);
     let dir_path = std::env::temp_dir().join(format!("pgso-fin-example-{}", std::process::id()));
     std::fs::create_dir_all(&dir_path).expect("create temp dir");
-    let disk_config = DiskGraphConfig { buffer_pool_pages: 8 };
+    let disk_config = DiskGraphConfig::with_pool_pages(8);
     let mut direct =
         DiskGraph::create(dir_path.join("direct.store"), disk_config).expect("create store");
     let mut optimized =

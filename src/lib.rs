@@ -61,9 +61,10 @@ pub mod prelude {
         optimize_concept_centric, optimize_nsc, optimize_pgsg, optimize_relation_centric,
         OptimizationOutcome, OptimizerConfig, OptimizerInput,
     };
-    pub use pgso_datagen::{load_into, InstanceKg};
+    pub use pgso_datagen::{load_into, load_sharded, InstanceKg};
     pub use pgso_graphstore::{
-        props, DiskGraph, DiskGraphConfig, GraphBackend, MemoryGraph, PropertyValue,
+        props, DiskGraph, DiskGraphConfig, GraphBackend, HashRouter, LabelRouter, MemoryGraph,
+        PropertyValue, ShardRouter, ShardedGraph,
     };
     pub use pgso_ontology::{
         AccessFrequencies, DataStatistics, DataType, Ontology, OntologyBuilder, RelationshipKind,
@@ -71,8 +72,9 @@ pub mod prelude {
     };
     pub use pgso_pgschema::{ddl, PropertyGraphSchema};
     pub use pgso_query::{
-        execute, execute_statement, fingerprint, fingerprint_statement, parse, parse_named,
-        rewrite, rewrite_statement, Aggregate, CmpOp, ParseError, Query, Statement,
+        execute, execute_statement, execute_statement_with, fingerprint, fingerprint_statement,
+        parse, parse_named, rewrite, rewrite_statement, Aggregate, CmpOp, ExecConfig, ParseError,
+        Query, Statement,
     };
     pub use pgso_server::{KgServer, ServerConfig, WorkloadTracker};
 }

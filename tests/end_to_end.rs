@@ -132,7 +132,7 @@ fn disk_backend_runs_the_same_pipeline() {
     let instance = InstanceKg::generate(&ontology, &stats, 0.5, 21);
 
     let dir = tempfile::tempdir().unwrap();
-    let config = DiskGraphConfig { buffer_pool_pages: 4 };
+    let config = DiskGraphConfig::with_pool_pages(4);
     let mut direct = DiskGraph::create(dir.path().join("dir.store"), config).unwrap();
     let mut optimized = DiskGraph::create(dir.path().join("opt.store"), config).unwrap();
     load_into(&mut direct, &ontology, &direct_schema, &instance);

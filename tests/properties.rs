@@ -1,9 +1,13 @@
 //! Property-based tests on the core invariants of the paper:
 //! Theorem 3 (rule-order independence), Proposition 1 (knapsack behaviour of
 //! the relation-centric selection), budget monotonicity, DSL round-trips,
-//! and the statement API contracts (text round-trip, fingerprint
-//! invariance).
+//! the statement API contracts (text round-trip, fingerprint invariance),
+//! codec round-trips over every `PropertyValue` variant, and
+//! `ShardedGraph`-vs-`MemoryGraph` execution equivalence over generated
+//! statements.
 
+use pgso::graphstore::codec::{decode_vertex, encode_vertex};
+use pgso::graphstore::PropertyMap;
 use pgso::ontology::catalog;
 use pgso::optimizer::{
     enumerate_items, solve_exact, solve_fptas, solve_greedy, InheritanceSimilarities, KnapsackItem,
@@ -11,6 +15,59 @@ use pgso::optimizer::{
 };
 use pgso::prelude::*;
 use proptest::prelude::*;
+
+/// Deterministically builds a `PropertyValue` from an integer spec, cycling
+/// through every variant — `Null`, `Bool`, `Int`, `Float`, `Str` (with
+/// non-ASCII content) and nested `List` up to `depth` levels.
+fn value_from_spec(kind: usize, payload: i64, depth: usize) -> PropertyValue {
+    match kind % 6 {
+        0 => PropertyValue::Null,
+        1 => PropertyValue::Bool(payload % 2 == 0),
+        2 => PropertyValue::Int(payload),
+        3 => PropertyValue::Float(payload as f64 * 0.125),
+        4 => PropertyValue::Str(format!("s{payload}-äß✓")),
+        _ if depth == 0 => PropertyValue::Int(payload.wrapping_mul(3)),
+        _ => PropertyValue::List(
+            (0..payload.unsigned_abs() % 4)
+                .map(|i| value_from_spec(kind / 6 + i as usize, payload ^ i as i64, depth - 1))
+                .collect(),
+        ),
+    }
+}
+
+/// Deterministically builds a tiny property graph from integer specs and
+/// loads the *same* insertion sequence into a `MemoryGraph` and a
+/// `ShardedGraph`, so global vertex ids line up.
+fn mirrored_graphs(
+    vertex_specs: &[(usize, i64)],
+    edge_specs: &[(usize, usize, usize)],
+    shards: usize,
+) -> (MemoryGraph, ShardedGraph) {
+    let mut mono = MemoryGraph::new();
+    let mut sharded = ShardedGraph::new_memory(shards);
+    for backend in [&mut mono as &mut dyn GraphBackend, &mut sharded as &mut dyn GraphBackend] {
+        let n = vertex_specs.len();
+        for (i, &(label, seed)) in vertex_specs.iter().enumerate() {
+            backend.add_vertex(
+                &format!("L{}", label % 4),
+                props([
+                    ("p0", PropertyValue::Int(seed % 5)),
+                    ("p1", PropertyValue::str(format!("str{}", seed % 7))),
+                    ("p2", value_from_spec(i + label, seed, 2)),
+                ]),
+            );
+        }
+        for &(src, dst, label) in edge_specs {
+            let (src, dst) = (src % n, dst % n);
+            backend.add_edge(
+                &format!("r{}", label % 3),
+                pgso::graphstore::VertexId(src as u64),
+                pgso::graphstore::VertexId(dst as u64),
+            );
+        }
+    }
+    (mono, sharded)
+}
 
 /// Deterministically assembles a [`Statement`] from generated integer specs.
 /// Optional nodes are declared in the order their edges introduce them so
@@ -233,6 +290,56 @@ proptest! {
         }
     }
 
+    /// The disk-record codec round-trips vertices whose properties cycle
+    /// through every `PropertyValue` variant, including `Null` and nested
+    /// `List`s, under arbitrary labels.
+    #[test]
+    fn codec_roundtrips_every_property_value_variant(
+        label_seed in 0u64..1_000,
+        specs in proptest::collection::vec((0usize..32, -1_000i64..1_000), 0..12),
+    ) {
+        let mut properties = PropertyMap::new();
+        for (i, &(kind, payload)) in specs.iter().enumerate() {
+            properties.insert(format!("prop{i}"), value_from_spec(kind, payload, 3));
+        }
+        let label = format!("Label-{label_seed}-ü");
+        let encoded = encode_vertex(&label, &properties);
+        let (decoded_label, decoded) = decode_vertex(&encoded);
+        prop_assert_eq!(label, decoded_label);
+        prop_assert_eq!(properties, decoded);
+    }
+
+    /// Executing a generated statement on a `ShardedGraph` (2 and 4 shards,
+    /// serial and forced-parallel fan-out) returns exactly the rows of a
+    /// `MemoryGraph` holding the same data.
+    #[test]
+    fn sharded_execution_matches_memory_graph(
+        vertex_specs in proptest::collection::vec((0usize..4, 0i64..40), 2..24),
+        graph_edges in proptest::collection::vec((0usize..24, 0usize..24, 0usize..3), 0..32),
+        node_count in 1usize..4,
+        edge_specs in proptest::collection::vec((0usize..4, 0usize..4, 0usize..3), 0..3),
+        pred_specs in proptest::collection::vec(
+            (0usize..4, 0usize..7, 0usize..4, 0i64..10),
+            0..3,
+        ),
+        flags in 0u8..64,
+    ) {
+        let stmt = build_statement(node_count, &edge_specs, &[], &pred_specs, flags);
+        for shards in [2usize, 4] {
+            let (mono, sharded) = mirrored_graphs(&vertex_specs, &graph_edges, shards);
+            let expected = execute_statement_with(&stmt, &mono, &ExecConfig::serial());
+            for config in [ExecConfig::serial(), ExecConfig::always_parallel()] {
+                let got = execute_statement_with(&stmt, &sharded, &config);
+                prop_assert_eq!(
+                    &expected.rows, &got.rows,
+                    "rows diverged at {} shards (parallel={}) for {}",
+                    shards, config.parallel, stmt
+                );
+                prop_assert_eq!(expected.matches, got.matches);
+            }
+        }
+    }
+
     /// The ontology DSL round-trips arbitrary small ontologies built from
     /// generated concept/property/relationship specs.
     #[test]
@@ -267,6 +374,32 @@ proptest! {
         let reparsed = pgso::ontology::dsl::parse(&text).expect("emitted DSL parses");
         prop_assert_eq!(ontology, reparsed);
     }
+}
+
+/// Deterministic companion to the codec proptest: one record carrying every
+/// variant at once (so coverage never depends on the random draws), with a
+/// `Null` inside a nested `List` — the exact shape PR 2's tag 5 added.
+#[test]
+fn codec_roundtrips_all_variants_in_one_record() {
+    let mut properties = PropertyMap::new();
+    properties.insert("null".into(), PropertyValue::Null);
+    properties.insert("bool".into(), PropertyValue::Bool(true));
+    properties.insert("int".into(), PropertyValue::Int(i64::MIN));
+    properties.insert("float".into(), PropertyValue::Float(-0.0));
+    properties.insert("str".into(), PropertyValue::str("Zwiebel–Röstung ✓"));
+    properties.insert(
+        "list".into(),
+        PropertyValue::List(vec![
+            PropertyValue::Null,
+            PropertyValue::List(vec![PropertyValue::Int(7), PropertyValue::Null]),
+            PropertyValue::Bool(false),
+            PropertyValue::str(""),
+        ]),
+    );
+    let encoded = encode_vertex("Everything", &properties);
+    let (label, decoded) = decode_vertex(&encoded);
+    assert_eq!(label, "Everything");
+    assert_eq!(decoded, properties);
 }
 
 /// Non-proptest sanity check: the optimizer never produces dangling edges on

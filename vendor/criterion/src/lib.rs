@@ -7,6 +7,12 @@
 //! `sample_size` timed samples of an adaptively chosen batch, and prints
 //! `name  time: [min mean max]` per sample set. There are no HTML reports or
 //! statistical regressions — this is a timing harness, not an analysis suite.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command line
+//! (`cargo bench -- --test`) switches to **test mode**: every benchmark
+//! routine runs exactly once with no warm-up batching, so CI can smoke-test
+//! that bench-only code paths still *execute* without paying for a full
+//! measurement run.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -34,11 +40,18 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    quick: bool,
 }
 
 impl Bencher {
     /// Times `routine`, collecting the configured number of samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
         // Warm up and size the batch so one sample is ~1ms of work.
         let warmup_start = Instant::now();
         black_box(routine());
@@ -55,7 +68,8 @@ impl Bencher {
 
     /// Times a routine that measures itself (`iters` inner iterations).
     pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
-        for _ in 0..self.sample_size {
+        let samples = if self.quick { 1 } else { self.sample_size };
+        for _ in 0..samples {
             let elapsed = routine(1);
             self.samples.push(elapsed);
         }
@@ -66,6 +80,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    quick: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -82,7 +97,8 @@ impl BenchmarkGroup<'_> {
         id: impl Display,
         mut f: F,
     ) -> &mut Self {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher =
+            Bencher { samples: Vec::new(), sample_size: self.sample_size, quick: self.quick };
         f(&mut bencher);
         report(&format!("{}/{}", self.name, id), &bencher.samples);
         self
@@ -109,15 +125,32 @@ fn report(name: &str, samples: &[Duration]) {
 }
 
 /// Benchmark harness entry point.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the bench binary's arguments: `--test` (criterion's test mode)
+    /// or a set `CRITERION_TEST` environment variable select quick mode.
+    fn default() -> Self {
+        let quick =
+            std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_TEST").is_some();
+        Self { quick }
+    }
+}
 
 impl Criterion {
+    /// True when running in `--test` quick mode (single pass, no batching).
+    pub fn is_test_mode(&self) -> bool {
+        self.quick
+    }
+
     /// Starts a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name} ==");
-        BenchmarkGroup { name, sample_size: 20, _criterion: self }
+        BenchmarkGroup { name, sample_size: 20, quick: self.quick, _criterion: self }
     }
 
     /// Runs a standalone benchmark outside a group.
@@ -126,7 +159,8 @@ impl Criterion {
         id: impl Display,
         mut f: F,
     ) -> &mut Self {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: 20 };
+        let quick = self.quick;
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: 20, quick };
         f(&mut bencher);
         report(&id.to_string(), &bencher.samples);
         self
