@@ -13,6 +13,14 @@
 //!   statement *shape*, so the hit ratio must stay high even though no two
 //!   requests are textually identical.
 //!
+//! An **ingest-while-serving** mix then measures reader degradation: 4
+//! reader threads replay the pattern mix while one ingest thread pushes
+//! streaming-update batches that publish via non-blocking epoch swaps —
+//! once without durability (isolating the epoch-swap interference) and once
+//! with a WAL attached (adding the group-commit logging overhead; fsync off
+//! so the number is not just the disk). Readers must retain throughput
+//! (data-only swaps keep the plan cache warm), asserted with a loose floor.
+//!
 //! The shard grid then replays the pattern mix against servers whose epochs
 //! are hash-partitioned `ShardedGraph`s, printing q/s per cell and the
 //! per-shard balance of vertex reads. On a multi-core host the executor's
@@ -22,23 +30,35 @@
 //! monolithic (the global→local indirection is the only overhead).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pgso_datagen::InstanceKg;
+use pgso_datagen::{streaming_updates, InstanceKg, UpdateStreamConfig};
 use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
 use pgso_query::{parse_named, Aggregate, Query, Statement};
-use pgso_server::{KgServer, ServerConfig};
+use pgso_server::{IngestConfig, KgServer, PersistConfig, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 fn build_server(shard_count: usize) -> KgServer {
+    build_server_with(shard_count, None)
+}
+
+fn build_server_with(shard_count: usize, persist: Option<PersistConfig>) -> KgServer {
     let ontology = catalog::medical();
     let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
     let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 42);
     let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
-    KgServer::new(
-        ontology,
-        statistics,
-        instance,
-        frequencies,
-        ServerConfig { auto_reoptimize: false, shard_count, ..ServerConfig::default() },
-    )
+    let config = ServerConfig {
+        auto_reoptimize: false,
+        shard_count,
+        ingest: IngestConfig {
+            publish_batch: 128,
+            publish_interval: std::time::Duration::from_millis(50),
+        },
+        ..ServerConfig::default()
+    };
+    match persist {
+        None => KgServer::new(ontology, statistics, instance, frequencies, config),
+        Some(p) => KgServer::new_persistent(ontology, statistics, instance, frequencies, config, p)
+            .expect("persistent bench server builds"),
+    }
 }
 
 /// 512-statement mixed workload: lookups, patterns and aggregations.
@@ -185,6 +205,99 @@ fn shard_grid(c: &mut Criterion, workload: &[Statement]) -> Vec<(usize, f64)> {
     qps_at_8_threads
 }
 
+/// Ingest-while-serving: `reader_threads` replay the pattern mix while one
+/// ingest thread pushes streaming-update batches (epoch swaps publish them
+/// without blocking the readers). Returns (reader q/s, batches ingested).
+fn serve_with_ingest(
+    server: &KgServer,
+    workload: &[Statement],
+    reader_threads: usize,
+    replays: usize,
+) -> (f64, u64) {
+    let stop = AtomicBool::new(false);
+    let batches = AtomicU64::new(0);
+    // Pregenerate one long deterministic stream against the current epoch;
+    // since only this stream mutates the graph, its predictive vertex ids
+    // stay valid for the whole run.
+    let epoch = server.current_epoch();
+    let updates = streaming_updates(
+        server.ontology(),
+        &epoch.schema,
+        epoch.graph(),
+        4_096,
+        7,
+        &UpdateStreamConfig::default(),
+    );
+    drop(epoch);
+    let mut qps_sum = 0.0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for batch in updates.chunks(64) {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                server.ingest(batch.to_vec()).expect("ingest succeeds");
+                batches.fetch_add(1, Ordering::Relaxed);
+            }
+            // Stream exhausted: keep the flag semantics simple and just stop.
+        });
+        for _ in 0..replays {
+            qps_sum += server.run_workload(workload, reader_threads).queries_per_second();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    (qps_sum / replays as f64, batches.load(Ordering::Relaxed))
+}
+
+/// The ingest-while-serving mix: reader q/s degradation versus the
+/// read-only baseline, without and with a (page-cache-durability) WAL.
+fn ingest_mix(workload: &[Statement], quick: bool) {
+    let reader_threads = 4;
+    let replays = if quick { 2 } else { 6 };
+
+    let server = build_server(1);
+    let _ = server.run_workload(workload, 1); // warm the plan cache
+    let mut baseline = 0.0;
+    for _ in 0..replays {
+        baseline += server.run_workload(workload, reader_threads).queries_per_second();
+    }
+    let baseline = baseline / replays as f64;
+
+    let (qps_ingest, batches) = serve_with_ingest(&server, workload, reader_threads, replays);
+    let retained = qps_ingest / baseline.max(1e-9);
+    println!(
+        "server_throughput/ingest_mix {reader_threads} readers: read-only {baseline:>10.0} q/s, \
+         +1 ingest thread {qps_ingest:>10.0} q/s (x{retained:.2}, {batches} batches published, \
+         {} updates live)",
+        server.published_updates()
+    );
+    assert!(batches > 0, "the ingest thread must have pushed batches");
+    assert!(server.published_updates() > 0, "published updates must be serving");
+    // Readers must keep serving while epochs swap underneath them. The bound
+    // is deliberately loose: publication rebuilds cost CPU that readers
+    // share on small hosts.
+    assert!(
+        retained > 0.10,
+        "ingest must not starve readers ({qps_ingest:.0} vs {baseline:.0} q/s)"
+    );
+
+    // Same mix with durability attached (WAL group commit, no fsync so the
+    // number isolates the logging overhead rather than the disk).
+    let dir = std::env::temp_dir().join(format!("pgso-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let persistent = build_server_with(1, Some(PersistConfig::new_unsynced(&dir)));
+    let _ = persistent.run_workload(workload, 1);
+    let (qps_wal, wal_batches) = serve_with_ingest(&persistent, workload, reader_threads, replays);
+    println!(
+        "server_throughput/ingest_mix WAL-logged: {qps_wal:>10.0} q/s \
+         (x{:.2} of read-only, {wal_batches} batches)",
+        qps_wal / baseline.max(1e-9)
+    );
+    assert!(wal_batches > 0);
+    drop(persistent);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench(c: &mut Criterion) {
     // Capture before the benchmark groups borrow `c`.
     let quick = c.is_test_mode();
@@ -193,6 +306,8 @@ fn bench(c: &mut Criterion) {
     run_mix(c, &server, "pattern", &pattern);
     run_mix(c, &server, "predicate_limit", &predicate_limit_workload());
     drop(server);
+
+    ingest_mix(&pattern, quick);
 
     let at_8 = shard_grid(c, &pattern);
     let single = at_8.iter().find(|(s, _)| *s == 1).map(|&(_, q)| q).unwrap_or(0.0);

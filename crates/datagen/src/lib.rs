@@ -12,13 +12,19 @@
 //! * [`load_into`] — materialises the instance graph into any
 //!   [`pgso_graphstore::GraphBackend`] under a given schema (direct or
 //!   optimized), following the schema's merges, drops and replicated
-//!   properties.
+//!   properties;
+//! * [`streaming_updates`] — a deterministic stream of physical
+//!   [`pgso_graphstore::GraphUpdate`]s (new entities wired into a loaded
+//!   graph), feeding the serving layer's write-ahead-logged ingest path and
+//!   ingest-while-serving benchmarks.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod instance;
 pub mod load;
+pub mod updates;
 
 pub use instance::{property_value_for, Entity, InstanceKg, RelationshipInstance};
 pub use load::{load_into, load_sharded, LoadReport};
+pub use updates::{streaming_updates, UpdateStreamConfig};

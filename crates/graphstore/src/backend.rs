@@ -140,6 +140,59 @@ impl StatsCounters {
     }
 }
 
+/// One loggable graph mutation: the unit of the ingest path.
+///
+/// Updates are the write-side vocabulary shared by the loader, the
+/// write-ahead log (`pgso-persist`) and the serving layer's ingest API: a
+/// graph is fully described by the ordered sequence of updates that built it,
+/// which is what makes snapshot/replay-based durability and staging-graph
+/// rebuilds exact. The binary encoding lives in
+/// [`crate::codec::encode_update`] and reuses the vertex record codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphUpdate {
+    /// Insert a vertex. The backend assigns the next sequential [`VertexId`],
+    /// so replaying a sequence of updates into an empty backend reproduces
+    /// the exact ids of the original graph.
+    AddVertex {
+        /// Node label.
+        label: String,
+        /// Property map.
+        properties: PropertyMap,
+    },
+    /// Insert an edge between two existing vertices.
+    AddEdge {
+        /// Edge label.
+        label: String,
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+}
+
+impl GraphUpdate {
+    /// Applies this update to a backend, returning the id it produced
+    /// (vertex id for `AddVertex`, `None` for `AddEdge`).
+    pub fn apply(&self, backend: &mut dyn GraphBackend) -> Option<VertexId> {
+        match self {
+            GraphUpdate::AddVertex { label, properties } => {
+                Some(backend.add_vertex(label, properties.clone()))
+            }
+            GraphUpdate::AddEdge { label, src, dst } => {
+                backend.add_edge(label, *src, *dst);
+                None
+            }
+        }
+    }
+}
+
+/// Replays a sequence of updates into a backend, in order.
+pub fn apply_updates(backend: &mut dyn GraphBackend, updates: &[GraphUpdate]) {
+    for update in updates {
+        update.apply(backend);
+    }
+}
+
 /// A property graph storage engine.
 ///
 /// Backends are write-once/read-many in this workspace: the loader builds the
@@ -235,6 +288,90 @@ pub trait GraphBackend: Send + Sync {
     fn backend_name(&self) -> &'static str;
 }
 
+// A boxed backend is itself a backend, so wrappers that need to own an
+// arbitrary backend — `pgso_persist::JournaledGraph`, the serving layer's
+// epochs — can be generic over `GraphBackend` and still hold a
+// `Box<dyn GraphBackend>`. Every method delegates explicitly (rather than
+// relying on the defaults) so inner overrides like `ShardedGraph::shard_of`
+// survive the indirection.
+impl<B: GraphBackend + ?Sized> GraphBackend for Box<B> {
+    fn add_vertex(&mut self, label: &str, properties: PropertyMap) -> VertexId {
+        (**self).add_vertex(label, properties)
+    }
+
+    fn add_edge(&mut self, label: &str, src: VertexId, dst: VertexId) -> EdgeId {
+        (**self).add_edge(label, src, dst)
+    }
+
+    fn vertex(&self, id: VertexId) -> Option<VertexData> {
+        (**self).vertex(id)
+    }
+
+    fn label_of(&self, id: VertexId) -> Option<String> {
+        (**self).label_of(id)
+    }
+
+    fn property_of(&self, id: VertexId, name: &str) -> Option<PropertyValue> {
+        (**self).property_of(id, name)
+    }
+
+    fn vertices_with_label(&self, label: &str) -> Vec<VertexId> {
+        (**self).vertices_with_label(label)
+    }
+
+    fn labels(&self) -> Vec<String> {
+        (**self).labels()
+    }
+
+    fn out_neighbours(&self, vertex: VertexId, edge_label: &str) -> Vec<VertexId> {
+        (**self).out_neighbours(vertex, edge_label)
+    }
+
+    fn in_neighbours(&self, vertex: VertexId, edge_label: &str) -> Vec<VertexId> {
+        (**self).in_neighbours(vertex, edge_label)
+    }
+
+    fn out_degree(&self, vertex: VertexId, edge_label: &str) -> usize {
+        (**self).out_degree(vertex, edge_label)
+    }
+
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+
+    fn shard_of(&self, vertex: VertexId) -> usize {
+        (**self).shard_of(vertex)
+    }
+
+    fn shard_stats(&self) -> Vec<AccessStats> {
+        (**self).shard_stats()
+    }
+
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        (**self).payload_bytes()
+    }
+
+    fn stats(&self) -> AccessStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&self) {
+        (**self).reset_stats()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +403,47 @@ mod tests {
     fn ids_are_ordered() {
         assert!(VertexId(1) < VertexId(2));
         assert!(EdgeId(5) > EdgeId(3));
+    }
+
+    #[test]
+    fn updates_replay_to_an_identical_graph() {
+        use crate::memory::MemoryGraph;
+        use crate::value::props;
+        let updates = vec![
+            GraphUpdate::AddVertex {
+                label: "Drug".into(),
+                properties: props([("name", "Aspirin".into())]),
+            },
+            GraphUpdate::AddVertex {
+                label: "Indication".into(),
+                properties: props([("desc", "Fever".into())]),
+            },
+            GraphUpdate::AddEdge { label: "treat".into(), src: VertexId(0), dst: VertexId(1) },
+        ];
+        let mut g = MemoryGraph::new();
+        apply_updates(&mut g, &updates);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_neighbours(VertexId(0), "treat"), vec![VertexId(1)]);
+        // AddVertex reports the assigned id; AddEdge reports none.
+        let mut h = MemoryGraph::new();
+        assert_eq!(updates[0].apply(&mut h), Some(VertexId(0)));
+        assert_eq!(updates[1].apply(&mut h), Some(VertexId(1)));
+        assert_eq!(updates[2].apply(&mut h), None);
+    }
+
+    #[test]
+    fn boxed_backends_delegate() {
+        use crate::memory::MemoryGraph;
+        use crate::value::props;
+        let mut boxed: Box<dyn GraphBackend> = Box::new(MemoryGraph::new());
+        let v = boxed.add_vertex("Drug", props([("name", "Aspirin".into())]));
+        assert_eq!(boxed.vertex_count(), 1);
+        assert_eq!(boxed.label_of(v).as_deref(), Some("Drug"));
+        assert_eq!(boxed.shard_count(), 1);
+        assert_eq!(boxed.backend_name(), "memory");
+        // Double boxing also works (Box<B: ?Sized> blanket impl).
+        let doubly: Box<Box<dyn GraphBackend>> = Box::new(boxed);
+        assert_eq!(doubly.vertex_count(), 1);
     }
 }

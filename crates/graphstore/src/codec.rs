@@ -1,4 +1,5 @@
-//! Binary encoding of vertex records for the disk backend.
+//! Binary encoding of vertex records for the disk backend and of
+//! [`GraphUpdate`] mutation records for the write-ahead log.
 //!
 //! Records are self-describing and length-prefixed:
 //!
@@ -16,12 +17,27 @@
 //!   tag 5  := null (no payload)
 //! ```
 //!
+//! Mutation records prepend a one-byte kind tag and reuse the vertex record
+//! encoding verbatim for the `AddVertex` payload:
+//!
+//! ```text
+//! update   := tag(u8) payload
+//!   tag 0  := add-vertex (record)
+//!   tag 1  := add-edge (label, u64 src le, u64 dst le)
+//! ```
+//!
 //! The format is deliberately simple — no varints, no compression — because
 //! the disk backend's purpose is to model *where* I/O happens, not to compete
 //! on storage density.
 
+use crate::backend::{GraphUpdate, VertexId};
 use crate::value::{PropertyMap, PropertyValue};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Kind tag of an encoded [`GraphUpdate::AddVertex`] record.
+pub const UPDATE_TAG_ADD_VERTEX: u8 = 0;
+/// Kind tag of an encoded [`GraphUpdate::AddEdge`] record.
+pub const UPDATE_TAG_ADD_EDGE: u8 = 1;
 
 /// Encodes a vertex record (label + properties) into bytes.
 pub fn encode_vertex(label: &str, properties: &PropertyMap) -> Bytes {
@@ -49,6 +65,57 @@ pub fn decode_vertex(mut data: &[u8]) -> (String, PropertyMap) {
         properties.insert(name, value);
     }
     (label, properties)
+}
+
+/// Encodes one graph mutation record. `AddVertex` payloads are exactly the
+/// bytes of [`encode_vertex`], so the write-ahead log shares the disk
+/// backend's record format.
+pub fn encode_update(update: &GraphUpdate) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match update {
+        GraphUpdate::AddVertex { label, properties } => {
+            buf.put_u8(UPDATE_TAG_ADD_VERTEX);
+            buf.put_slice(&encode_vertex(label, properties));
+        }
+        GraphUpdate::AddEdge { label, src, dst } => {
+            buf.put_u8(UPDATE_TAG_ADD_EDGE);
+            put_str16(&mut buf, label);
+            buf.put_u64_le(src.0);
+            buf.put_u64_le(dst.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a mutation record produced by [`encode_update`]. Returns `None`
+/// for an unknown kind tag or a short `AddEdge` buffer. `AddVertex` payloads
+/// delegate to [`decode_vertex`] and therefore must be integrity-checked
+/// first (the write-ahead log CRC-validates every frame before decoding).
+pub fn decode_update(mut data: &[u8]) -> Option<GraphUpdate> {
+    if data.is_empty() {
+        return None;
+    }
+    match data.get_u8() {
+        UPDATE_TAG_ADD_VERTEX => {
+            let (label, properties) = decode_vertex(data);
+            Some(GraphUpdate::AddVertex { label, properties })
+        }
+        UPDATE_TAG_ADD_EDGE => {
+            if data.len() < 2 {
+                return None;
+            }
+            let len = data.get_u16() as usize;
+            if data.len() < len + 16 {
+                return None;
+            }
+            let label = std::str::from_utf8(&data[..len]).ok()?.to_string();
+            data.advance(len);
+            let src = VertexId(data.get_u64_le());
+            let dst = VertexId(data.get_u64_le());
+            Some(GraphUpdate::AddEdge { label, src, dst })
+        }
+        _ => None,
+    }
 }
 
 fn encode_value(buf: &mut BytesMut, value: &PropertyValue) {
@@ -166,5 +233,52 @@ mod tests {
         let p = props([("x", PropertyValue::Int(1))]);
         let encoded = encode_vertex("A", &p);
         assert!(encoded.len() < 32, "record unexpectedly large: {}", encoded.len());
+    }
+
+    #[test]
+    fn roundtrip_updates() {
+        let updates = [
+            GraphUpdate::AddVertex {
+                label: "Drug".into(),
+                properties: props([
+                    ("name", "Aspirin".into()),
+                    ("doses", PropertyValue::str_list(["100mg", "500mg"])),
+                ]),
+            },
+            GraphUpdate::AddVertex { label: "Empty".into(), properties: PropertyMap::new() },
+            GraphUpdate::AddEdge {
+                label: "treat".into(),
+                src: VertexId(7),
+                dst: VertexId(u64::MAX),
+            },
+        ];
+        for update in &updates {
+            let encoded = encode_update(update);
+            assert_eq!(decode_update(&encoded).as_ref(), Some(update));
+        }
+    }
+
+    #[test]
+    fn add_vertex_update_payload_is_the_vertex_record() {
+        let p = props([("name", "Aspirin".into())]);
+        let update = GraphUpdate::AddVertex { label: "Drug".into(), properties: p.clone() };
+        let encoded = encode_update(&update);
+        assert_eq!(encoded[0], UPDATE_TAG_ADD_VERTEX);
+        assert_eq!(&encoded[1..], &encode_vertex("Drug", &p)[..], "codec reuse must be exact");
+    }
+
+    #[test]
+    fn foreign_bytes_decode_to_none() {
+        assert_eq!(decode_update(&[]), None);
+        assert_eq!(decode_update(&[9, 1, 2, 3]), None, "unknown tag");
+        assert_eq!(decode_update(&[UPDATE_TAG_ADD_EDGE, 0]), None, "short add-edge");
+        let truncated_edge = [UPDATE_TAG_ADD_EDGE, 0, 1, b'r', 1, 2, 3];
+        assert_eq!(decode_update(&truncated_edge), None, "missing endpoint bytes");
+        // A label length exceeding the buffer must not panic.
+        assert_eq!(decode_update(&[UPDATE_TAG_ADD_EDGE, 0xFF, 0xFF]), None, "oversized label len");
+        // Non-UTF-8 label bytes are rejected, not unwrapped.
+        let mut bad_utf8 = vec![UPDATE_TAG_ADD_EDGE, 0, 2, 0xFF, 0xFE];
+        bad_utf8.extend_from_slice(&[0u8; 16]);
+        assert_eq!(decode_update(&bad_utf8), None, "invalid utf-8 label");
     }
 }

@@ -40,7 +40,8 @@ pub mod sharded;
 pub mod value;
 
 pub use backend::{
-    AccessStats, EdgeData, EdgeId, GraphBackend, StatsCounters, VertexData, VertexId,
+    apply_updates, AccessStats, EdgeData, EdgeId, GraphBackend, GraphUpdate, StatsCounters,
+    VertexData, VertexId,
 };
 pub use disk::{DiskGraph, DiskGraphConfig, PAGE_SIZE};
 pub use memory::MemoryGraph;

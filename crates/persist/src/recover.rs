@@ -1,0 +1,337 @@
+//! Crash recovery: latest valid snapshot + ordered WAL tail replay.
+//!
+//! A persistence directory holds numbered *generations*: `snapshot-N.snap`
+//! is a complete image of the served world at the moment generation `N`
+//! began, and `wal-N.log` holds every mutation appended while generation `N`
+//! was current. Snapshot writing rotates the WAL first, so the invariant is
+//!
+//! ```text
+//! state(N) == snapshot(N)            // at rotation time
+//! state(now) == snapshot(N) + wal(N) + wal(N+1) + …
+//! ```
+//!
+//! [`recover`] walks the snapshots newest-first until one validates (a crash
+//! mid-snapshot-write leaves a torn or missing file — the previous
+//! generation then still covers everything through its own WAL), replays
+//! every WAL of that generation and later in order, and reports the torn
+//! tail flag of the newest log. The caller rebuilds the graph from
+//! `snapshot.journal + wal_updates` and restores tracker counters from the
+//! newest checkpoint seen.
+
+use crate::snapshot::{parse_generation, read_snapshot, snapshot_path, wal_path, Snapshot};
+use crate::wal::read_wal;
+use pgso_graphstore::GraphUpdate;
+use std::io;
+use std::path::Path;
+
+/// Everything [`recover`] reconstructed from a persistence directory.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Generation of the snapshot that anchored the recovery.
+    pub generation: u64,
+    /// Highest generation seen in the directory (snapshots or WALs); the
+    /// caller should start a *new* generation above this.
+    pub max_generation: u64,
+    /// The anchoring snapshot.
+    pub snapshot: Snapshot,
+    /// Mutations logged after the snapshot, in append order across every
+    /// replayed WAL file.
+    pub wal_updates: Vec<GraphUpdate>,
+    /// Newest tracker-counter checkpoint: the last one in the WAL tail, or
+    /// the snapshot's own blob when the tail holds none.
+    pub tracker: Vec<u8>,
+    /// True when replay stopped early at a torn frame or a missing WAL
+    /// generation; everything after the stopping point was dropped cleanly
+    /// (never partially applied — later records reference positional vertex
+    /// ids that would misalign).
+    pub torn_tail: bool,
+}
+
+impl RecoveredState {
+    /// Full construction journal of the recovered graph: the snapshot's base
+    /// journal, its published ingested updates, then the WAL tail.
+    pub fn full_journal(&self) -> Vec<GraphUpdate> {
+        let mut journal = Vec::with_capacity(
+            self.snapshot.journal.len() + self.snapshot.ingested.len() + self.wal_updates.len(),
+        );
+        journal.extend_from_slice(&self.snapshot.journal);
+        journal.extend_from_slice(&self.snapshot.ingested);
+        journal.extend_from_slice(&self.wal_updates);
+        journal
+    }
+
+    /// Every update ingested after the recovered base load: the snapshot's
+    /// published updates plus the WAL tail. This is the stream a schema
+    /// re-optimization replays onto a freshly reloaded base.
+    pub fn ingested_updates(&self) -> Vec<GraphUpdate> {
+        let mut updates = Vec::with_capacity(self.snapshot.ingested.len() + self.wal_updates.len());
+        updates.extend_from_slice(&self.snapshot.ingested);
+        updates.extend_from_slice(&self.wal_updates);
+        updates
+    }
+}
+
+/// Scans `dir` and returns the generations of every snapshot and WAL file
+/// present, each sorted ascending.
+pub fn list_generations(dir: &Path) -> io::Result<(Vec<u64>, Vec<u64>)> {
+    let mut snapshots = Vec::new();
+    let mut wals = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(generation) = parse_generation(name, "snapshot-", ".snap") {
+            snapshots.push(generation);
+        } else if let Some(generation) = parse_generation(name, "wal-", ".log") {
+            wals.push(generation);
+        }
+    }
+    snapshots.sort_unstable();
+    wals.sort_unstable();
+    Ok((snapshots, wals))
+}
+
+/// Highest generation present in `dir` (snapshot or WAL), if any.
+pub fn latest_generation(dir: &Path) -> io::Result<Option<u64>> {
+    let (snapshots, wals) = list_generations(dir)?;
+    Ok(snapshots.last().copied().max(wals.last().copied()))
+}
+
+/// Recovers the newest consistent state from a persistence directory.
+///
+/// Returns `Ok(None)` when the directory exists but holds no valid
+/// snapshot (nothing was ever persisted, or every snapshot is torn — with
+/// no anchor the WALs alone cannot reproduce the schema, so there is
+/// nothing safe to resume from).
+pub fn recover(dir: &Path) -> io::Result<Option<RecoveredState>> {
+    let (snapshots, wals) = list_generations(dir)?;
+    let max_generation = snapshots.last().copied().max(wals.last().copied()).unwrap_or(0);
+    let mut anchor: Option<(u64, Snapshot)> = None;
+    for &generation in snapshots.iter().rev() {
+        match read_snapshot(&snapshot_path(dir, generation)) {
+            Ok(snapshot) => {
+                anchor = Some((generation, snapshot));
+                break;
+            }
+            // A torn snapshot (crash mid-write) is expected; fall back.
+            Err(err) if err.kind() == io::ErrorKind::InvalidData => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    let Some((generation, snapshot)) = anchor else { return Ok(None) };
+
+    let mut wal_updates = Vec::new();
+    let mut tracker = snapshot.tracker.clone();
+    let mut torn_tail = false;
+    for (expected, &wal_generation) in (generation..).zip(wals.iter().filter(|&&g| g >= generation))
+    {
+        // Replay must stop at the first gap: records reference vertex ids
+        // positionally (dense sequential allocation), so updates from a
+        // *later* generation are meaningless — and silently corrupting —
+        // once any earlier record is missing.
+        if wal_generation != expected {
+            torn_tail = true;
+            break;
+        }
+        let outcome = read_wal(wal_path(dir, wal_generation))?;
+        for record in &outcome.records {
+            match record {
+                crate::wal::WalRecord::Update(update) => wal_updates.push(update.clone()),
+                crate::wal::WalRecord::TrackerCheckpoint(blob) => tracker = blob.clone(),
+            }
+        }
+        if outcome.truncated {
+            // A torn non-newest WAL (e.g. fsync-off crash that raced a
+            // rotation) invalidates everything after it for the same
+            // positional-id reason.
+            torn_tail = true;
+            break;
+        }
+    }
+    Ok(Some(RecoveredState {
+        generation,
+        max_generation,
+        snapshot,
+        wal_updates,
+        tracker,
+        torn_tail,
+    }))
+}
+
+/// Deletes every snapshot and WAL file of a generation below `keep_from`.
+///
+/// Safe to call after a new snapshot generation has been durably written:
+/// `snapshot(N)` subsumes every earlier generation, so files below `N` are
+/// redundant for recovery. Missing files are ignored. (True log compaction —
+/// folding a WAL into an incremental snapshot without a full rewrite — is a
+/// planned follow-on; this is the simple whole-generation reclaim.)
+pub fn prune_generations(dir: &Path, keep_from: u64) -> io::Result<()> {
+    let (snapshots, wals) = list_generations(dir)?;
+    for generation in snapshots.into_iter().filter(|&g| g < keep_from) {
+        let _ = std::fs::remove_file(snapshot_path(dir, generation));
+    }
+    for generation in wals.into_iter().filter(|&g| g < keep_from) {
+        let _ = std::fs::remove_file(wal_path(dir, generation));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_snapshot;
+    use crate::wal::{WalRecord, WalWriter};
+    use pgso_graphstore::props;
+
+    fn update(i: u32) -> GraphUpdate {
+        GraphUpdate::AddVertex {
+            label: "Drug".into(),
+            properties: props([("name", format!("d{i}").into())]),
+        }
+    }
+
+    fn snapshot(epoch: u64, journal: Vec<GraphUpdate>, tracker: Vec<u8>) -> Snapshot {
+        Snapshot {
+            epoch,
+            schema_generation: 0,
+            shard_count: 1,
+            schema: pgso_pgschema::PropertyGraphSchema::new("s"),
+            journal,
+            ingested: Vec::new(),
+            tracker,
+            baseline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_directory_recovers_to_none() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(recover(dir.path()).unwrap().is_none());
+        assert_eq!(latest_generation(dir.path()).unwrap(), None);
+    }
+
+    #[test]
+    fn snapshot_plus_tail_in_order() {
+        let dir = tempfile::tempdir().unwrap();
+        write_snapshot(&snapshot_path(dir.path(), 1), &snapshot(4, vec![update(0)], vec![7]))
+            .unwrap();
+        let mut wal = WalWriter::create(wal_path(dir.path(), 1), false).unwrap();
+        wal.append(&[
+            WalRecord::Update(update(1)),
+            WalRecord::TrackerCheckpoint(vec![8]),
+            WalRecord::Update(update(2)),
+        ])
+        .unwrap();
+        wal.sync().unwrap();
+        let state = recover(dir.path()).unwrap().unwrap();
+        assert_eq!(state.generation, 1);
+        assert_eq!(state.max_generation, 1);
+        assert_eq!(state.snapshot.epoch, 4);
+        assert_eq!(state.wal_updates, vec![update(1), update(2)]);
+        assert_eq!(state.tracker, vec![8], "tail checkpoint beats the snapshot blob");
+        assert!(!state.torn_tail);
+        assert_eq!(state.full_journal(), vec![update(0), update(1), update(2)]);
+    }
+
+    #[test]
+    fn torn_snapshot_falls_back_to_previous_generation_and_replays_both_wals() {
+        let dir = tempfile::tempdir().unwrap();
+        write_snapshot(&snapshot_path(dir.path(), 0), &snapshot(0, vec![], vec![1])).unwrap();
+        let mut wal0 = WalWriter::create(wal_path(dir.path(), 0), false).unwrap();
+        wal0.append(&[WalRecord::Update(update(1))]).unwrap();
+        wal0.sync().unwrap();
+        // Generation 1's snapshot was torn mid-write.
+        std::fs::write(snapshot_path(dir.path(), 1), b"PGSOSNP1 torn").unwrap();
+        let mut wal1 = WalWriter::create(wal_path(dir.path(), 1), false).unwrap();
+        wal1.append(&[WalRecord::Update(update(2))]).unwrap();
+        wal1.sync().unwrap();
+
+        let state = recover(dir.path()).unwrap().unwrap();
+        assert_eq!(state.generation, 0, "falls back past the torn snapshot");
+        assert_eq!(state.max_generation, 1);
+        assert_eq!(state.wal_updates, vec![update(1), update(2)], "both tails replay in order");
+        assert_eq!(state.tracker, vec![1]);
+    }
+
+    #[test]
+    fn only_torn_snapshots_means_nothing_to_recover() {
+        let dir = tempfile::tempdir().unwrap();
+        std::fs::write(snapshot_path(dir.path(), 0), b"garbage").unwrap();
+        let mut wal = WalWriter::create(wal_path(dir.path(), 0), false).unwrap();
+        wal.append(&[WalRecord::Update(update(0))]).unwrap();
+        assert!(recover(dir.path()).unwrap().is_none());
+        assert_eq!(latest_generation(dir.path()).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn torn_middle_wal_stops_replay_of_later_generations() {
+        let dir = tempfile::tempdir().unwrap();
+        write_snapshot(&snapshot_path(dir.path(), 0), &snapshot(0, vec![], vec![1])).unwrap();
+        let mut wal0 = WalWriter::create(wal_path(dir.path(), 0), false).unwrap();
+        wal0.append(&[WalRecord::Update(update(1)), WalRecord::Update(update(2))]).unwrap();
+        wal0.sync().unwrap();
+        // wal-0 loses its tail *after* wal-1 already exists (fsync-off crash
+        // racing a rotation).
+        let full = std::fs::read(wal_path(dir.path(), 0)).unwrap();
+        std::fs::write(wal_path(dir.path(), 0), &full[..full.len() - 3]).unwrap();
+        let mut wal1 = WalWriter::create(wal_path(dir.path(), 1), false).unwrap();
+        wal1.append(&[WalRecord::Update(update(3))]).unwrap();
+        wal1.sync().unwrap();
+
+        let state = recover(dir.path()).unwrap().unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(
+            state.wal_updates,
+            vec![update(1)],
+            "records after the torn generation would misalign ids and must be dropped"
+        );
+    }
+
+    #[test]
+    fn missing_middle_wal_generation_stops_replay() {
+        let dir = tempfile::tempdir().unwrap();
+        write_snapshot(&snapshot_path(dir.path(), 0), &snapshot(0, vec![], vec![])).unwrap();
+        // wal-0 is gone entirely; wal-1 exists.
+        let mut wal1 = WalWriter::create(wal_path(dir.path(), 1), false).unwrap();
+        wal1.append(&[WalRecord::Update(update(9))]).unwrap();
+        wal1.sync().unwrap();
+        let state = recover(dir.path()).unwrap().unwrap();
+        assert!(state.torn_tail, "a generation gap is reported");
+        assert!(state.wal_updates.is_empty(), "nothing after the gap replays");
+    }
+
+    #[test]
+    fn pruning_keeps_the_anchor_generation() {
+        let dir = tempfile::tempdir().unwrap();
+        for generation in 0..3 {
+            write_snapshot(
+                &snapshot_path(dir.path(), generation),
+                &snapshot(generation, vec![update(generation as u32)], vec![]),
+            )
+            .unwrap();
+            let mut wal = WalWriter::create(wal_path(dir.path(), generation), false).unwrap();
+            wal.append(&[WalRecord::Update(update(10 + generation as u32))]).unwrap();
+        }
+        prune_generations(dir.path(), 2).unwrap();
+        let (snapshots, wals) = list_generations(dir.path()).unwrap();
+        assert_eq!(snapshots, vec![2]);
+        assert_eq!(wals, vec![2]);
+        let state = recover(dir.path()).unwrap().unwrap();
+        assert_eq!(state.generation, 2);
+        assert_eq!(state.wal_updates, vec![update(12)]);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_reported_but_not_fatal() {
+        let dir = tempfile::tempdir().unwrap();
+        write_snapshot(&snapshot_path(dir.path(), 3), &snapshot(1, vec![], vec![])).unwrap();
+        let mut wal = WalWriter::create(wal_path(dir.path(), 3), false).unwrap();
+        wal.append(&[WalRecord::Update(update(1)), WalRecord::Update(update(2))]).unwrap();
+        wal.sync().unwrap();
+        let full = std::fs::read(wal_path(dir.path(), 3)).unwrap();
+        std::fs::write(wal_path(dir.path(), 3), &full[..full.len() - 3]).unwrap();
+        let state = recover(dir.path()).unwrap().unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(state.wal_updates, vec![update(1)], "partial record dropped");
+    }
+}

@@ -1,0 +1,510 @@
+//! Epoch snapshot files: one self-contained image of the served world.
+//!
+//! A snapshot captures everything [`recover`](fn@crate::recover) needs to
+//! resurrect a serving epoch without re-deriving it from synthetic instance
+//! data:
+//!
+//! * the **schema** the epoch serves (the optimizer's output — losing it
+//!   would mean re-optimizing from scratch on restart);
+//! * the **graph**, serialized as its *construction journal*: the ordered
+//!   [`GraphUpdate`] sequence that built it. Backends assign dense
+//!   sequential ids, so replaying the journal into any empty backend — one
+//!   [`MemoryGraph`](pgso_graphstore::MemoryGraph) or an N-shard
+//!   [`ShardedGraph`](pgso_graphstore::ShardedGraph) — reproduces the exact
+//!   global ids, orderings and row sets of the original (the per-shard
+//!   layout is re-derived by the router, which is why one format covers
+//!   every shard count);
+//! * the **workload tracker counters** and the **baseline frequencies** the
+//!   schema was optimized for, stored as opaque blobs owned by the serving
+//!   layer, so a restart resumes with the learned workload instead of
+//!   uniform assumptions.
+//!
+//! # File layout
+//!
+//! ```text
+//! snapshot := magic "PGSOSNP1", u64 body_len (le), u32 crc32 (le, over body), body
+//! body     := u16 version, u64 epoch, u64 schema_generation, u32 shard_count,
+//!             schema, journal(base), journal(ingested), blob(tracker),
+//!             blob(baseline)
+//! schema   := str name, u32 nvertices { str label, u16 nmerged str*,
+//!             u16 nprops prop* }, u32 nedges { str label, str src, str dst,
+//!             u8 kind }
+//! prop     := str name, u8 data_type, u8 is_list, u8 has_origin
+//!             [, str concept, str property]
+//! journal  := u32 count, { u32 len, update bytes }*   (graphstore codec)
+//! blob     := u32 len, bytes
+//! str      := u16 len, utf-8 bytes
+//! ```
+//!
+//! Snapshots are written to a temporary file, fsynced, then atomically
+//! renamed into place: a crash mid-write leaves the previous generation
+//! intact and the torn temporary is ignored by recovery.
+
+use pgso_graphstore::codec::{decode_update, encode_update};
+use pgso_graphstore::GraphUpdate;
+use pgso_ontology::{DataType, RelationshipKind};
+use pgso_pgschema::{
+    EdgeSchema, PropertyGraphSchema, PropertyOrigin, PropertySchema, VertexSchema,
+};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::wal::crc32;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PGSOSNP1";
+
+/// Current snapshot body version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// One recoverable image of a serving epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Epoch number the image was taken at.
+    pub epoch: u64,
+    /// Schema generation of that epoch (plan-cache key; ingest swaps bump
+    /// the epoch but not the schema generation).
+    pub schema_generation: u64,
+    /// Storage shard count the epoch was serving with. Recovery may load the
+    /// journal under a different shard count; this records the original.
+    pub shard_count: u32,
+    /// The optimized schema the epoch serves.
+    pub schema: PropertyGraphSchema,
+    /// Construction journal of the epoch's **base load** (the schema-driven
+    /// materialisation of the instance data, before any ingested update).
+    /// Kept separate from [`Snapshot::ingested`] so a schema re-optimization
+    /// can rebuild the base under the new schema and replay the ingested
+    /// stream on top.
+    pub journal: Vec<GraphUpdate>,
+    /// Updates ingested (and published into the serving epoch) after the
+    /// base load, in ingest order. The epoch's graph is
+    /// `journal ++ ingested`.
+    pub ingested: Vec<GraphUpdate>,
+    /// Opaque workload-tracker counter blob (owned by `pgso-server`).
+    pub tracker: Vec<u8>,
+    /// Opaque baseline access-frequencies blob (owned by `pgso-server`).
+    pub baseline: Vec<u8>,
+}
+
+/// Canonical snapshot file path for a generation: `snapshot-{gen:010}.snap`.
+pub fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot-{generation:010}.snap"))
+}
+
+/// Canonical WAL file path for a generation: `wal-{gen:010}.log`.
+pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation:010}.log"))
+}
+
+/// Parses the generation out of a `snapshot-*.snap` / `wal-*.log` file name.
+pub(crate) fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+// ---- primitive encoding helpers -------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string too long for snapshot format");
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_blob(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Byte cursor whose reads fail with `InvalidData` instead of panicking.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(corrupt("unexpected end of snapshot body"));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| corrupt("invalid utf-8"))
+    }
+
+    fn blob(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt snapshot: {what}"))
+}
+
+// ---- schema codec ----------------------------------------------------------
+
+fn data_type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Long => 2,
+        DataType::Double => 3,
+        DataType::Date => 4,
+        DataType::Str => 5,
+        DataType::Text => 6,
+    }
+}
+
+fn data_type_from_tag(tag: u8) -> io::Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Long,
+        3 => DataType::Double,
+        4 => DataType::Date,
+        5 => DataType::Str,
+        6 => DataType::Text,
+        _ => return Err(corrupt("unknown data type tag")),
+    })
+}
+
+fn kind_tag(kind: RelationshipKind) -> u8 {
+    match kind {
+        RelationshipKind::OneToOne => 0,
+        RelationshipKind::OneToMany => 1,
+        RelationshipKind::ManyToMany => 2,
+        RelationshipKind::Inheritance => 3,
+        RelationshipKind::Union => 4,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> io::Result<RelationshipKind> {
+    Ok(match tag {
+        0 => RelationshipKind::OneToOne,
+        1 => RelationshipKind::OneToMany,
+        2 => RelationshipKind::ManyToMany,
+        3 => RelationshipKind::Inheritance,
+        4 => RelationshipKind::Union,
+        _ => return Err(corrupt("unknown relationship kind tag")),
+    })
+}
+
+/// Encodes a schema into the snapshot body format (also usable on its own,
+/// e.g. to ship a schema between processes).
+pub fn encode_schema(schema: &PropertyGraphSchema) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1024);
+    put_str(&mut buf, &schema.name);
+    let vertices: Vec<&VertexSchema> = schema.vertices().collect();
+    buf.extend_from_slice(&(vertices.len() as u32).to_le_bytes());
+    for vertex in vertices {
+        put_str(&mut buf, &vertex.label);
+        buf.extend_from_slice(&(vertex.merged_from.len() as u16).to_le_bytes());
+        for concept in &vertex.merged_from {
+            put_str(&mut buf, concept);
+        }
+        buf.extend_from_slice(&(vertex.properties.len() as u16).to_le_bytes());
+        for prop in &vertex.properties {
+            put_str(&mut buf, &prop.name);
+            buf.push(data_type_tag(prop.data_type));
+            buf.push(prop.is_list as u8);
+            match &prop.origin {
+                Some(origin) => {
+                    buf.push(1);
+                    put_str(&mut buf, &origin.concept);
+                    put_str(&mut buf, &origin.property);
+                }
+                None => buf.push(0),
+            }
+        }
+    }
+    let edges: Vec<&EdgeSchema> = schema.edges().collect();
+    buf.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+    for edge in edges {
+        put_str(&mut buf, &edge.label);
+        put_str(&mut buf, &edge.src);
+        put_str(&mut buf, &edge.dst);
+        buf.push(kind_tag(edge.kind));
+    }
+    buf
+}
+
+fn decode_schema(cursor: &mut Cursor<'_>) -> io::Result<PropertyGraphSchema> {
+    let name = cursor.str()?;
+    let mut schema = PropertyGraphSchema::new(name);
+    let nvertices = cursor.u32()?;
+    for _ in 0..nvertices {
+        let label = cursor.str()?;
+        let nmerged = cursor.u16()?;
+        let mut merged_from = Vec::with_capacity(nmerged as usize);
+        for _ in 0..nmerged {
+            merged_from.push(cursor.str()?);
+        }
+        let nprops = cursor.u16()?;
+        let mut properties = Vec::with_capacity(nprops as usize);
+        for _ in 0..nprops {
+            let name = cursor.str()?;
+            let data_type = data_type_from_tag(cursor.u8()?)?;
+            let is_list = cursor.u8()? != 0;
+            let origin = match cursor.u8()? {
+                0 => None,
+                1 => Some(PropertyOrigin::new(cursor.str()?, cursor.str()?)),
+                _ => return Err(corrupt("bad origin flag")),
+            };
+            properties.push(PropertySchema { name, data_type, is_list, origin });
+        }
+        schema.insert_vertex(VertexSchema { label, properties, merged_from });
+    }
+    let nedges = cursor.u32()?;
+    for _ in 0..nedges {
+        let label = cursor.str()?;
+        let src = cursor.str()?;
+        let dst = cursor.str()?;
+        let kind = kind_from_tag(cursor.u8()?)?;
+        schema.add_edge(EdgeSchema { label, src, dst, kind });
+    }
+    Ok(schema)
+}
+
+/// Decodes a schema produced by [`encode_schema`].
+pub fn decode_schema_bytes(bytes: &[u8]) -> io::Result<PropertyGraphSchema> {
+    decode_schema(&mut Cursor(bytes))
+}
+
+// ---- snapshot file I/O -----------------------------------------------------
+
+fn put_journal(body: &mut Vec<u8>, journal: &[GraphUpdate]) {
+    body.extend_from_slice(&(journal.len() as u32).to_le_bytes());
+    for update in journal {
+        let bytes = encode_update(update);
+        body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        body.extend_from_slice(&bytes);
+    }
+}
+
+fn get_journal(cursor: &mut Cursor<'_>) -> io::Result<Vec<GraphUpdate>> {
+    let count = cursor.u32()?;
+    let mut journal = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = cursor.u32()? as usize;
+        let bytes = cursor.take(len)?;
+        journal.push(decode_update(bytes).ok_or_else(|| corrupt("bad journal record"))?);
+    }
+    Ok(journal)
+}
+
+fn encode_body(snapshot: &Snapshot) -> Vec<u8> {
+    let mut body =
+        Vec::with_capacity((snapshot.journal.len() + snapshot.ingested.len()) * 64 + 4096);
+    body.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    body.extend_from_slice(&snapshot.epoch.to_le_bytes());
+    body.extend_from_slice(&snapshot.schema_generation.to_le_bytes());
+    body.extend_from_slice(&snapshot.shard_count.to_le_bytes());
+    body.extend_from_slice(&encode_schema(&snapshot.schema));
+    put_journal(&mut body, &snapshot.journal);
+    put_journal(&mut body, &snapshot.ingested);
+    put_blob(&mut body, &snapshot.tracker);
+    put_blob(&mut body, &snapshot.baseline);
+    body
+}
+
+fn decode_body(body: &[u8]) -> io::Result<Snapshot> {
+    let mut cursor = Cursor(body);
+    let version = cursor.u16()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt("unsupported snapshot version"));
+    }
+    let epoch = cursor.u64()?;
+    let schema_generation = cursor.u64()?;
+    let shard_count = cursor.u32()?;
+    let schema = decode_schema(&mut cursor)?;
+    let journal = get_journal(&mut cursor)?;
+    let ingested = get_journal(&mut cursor)?;
+    let tracker = cursor.blob()?;
+    let baseline = cursor.blob()?;
+    Ok(Snapshot {
+        epoch,
+        schema_generation,
+        shard_count,
+        schema,
+        journal,
+        ingested,
+        tracker,
+        baseline,
+    })
+}
+
+/// Writes a snapshot atomically and durably: temporary file, fsync, rename,
+/// then fsync of the parent **directory** — without the last step the rename
+/// is unordered metadata, and a power failure could persist a later
+/// `prune_generations` unlink while losing the rename, leaving no valid
+/// snapshot at all.
+pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
+    let body = encode_body(snapshot);
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&SNAPSHOT_MAGIC)?;
+        file.write_all(&(body.len() as u64).to_le_bytes())?;
+        file.write_all(&crc32(&body).to_le_bytes())?;
+        file.write_all(&body)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Directories open read-only; sync_all on the handle flushes the
+        // entry metadata (the rename) to disk.
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Reads and validates a snapshot file.
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] for a missing magic, a short body, a CRC
+/// mismatch, or an undecodable body — recovery treats any of these as "this
+/// generation's snapshot never completed" and falls back to the previous one.
+pub fn read_snapshot(path: &Path) -> io::Result<Snapshot> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < 20 || data[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("missing snapshot magic"));
+    }
+    let body_len = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(data[16..20].try_into().expect("4 bytes"));
+    let Some(body) = data.get(20..20 + body_len) else {
+        return Err(corrupt("short snapshot body"));
+    };
+    if crc32(body) != crc {
+        return Err(corrupt("snapshot crc mismatch"));
+    }
+    decode_body(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_graphstore::{props, VertexId};
+
+    fn sample_schema() -> PropertyGraphSchema {
+        let mut schema = PropertyGraphSchema::new("med-opt");
+        let mut drug = VertexSchema::new("Drug");
+        drug.properties.push(PropertySchema::scalar("name", DataType::Str));
+        drug.properties.push(
+            PropertySchema::list("Indication.desc", DataType::Text)
+                .with_origin(PropertyOrigin::new("Indication", "desc")),
+        );
+        schema.insert_vertex(drug);
+        let mut merged = VertexSchema::new("IndicationCondition");
+        merged.merged_from = vec!["Indication".into(), "Condition".into()];
+        merged.properties.push(PropertySchema::scalar("desc", DataType::Text));
+        schema.insert_vertex(merged);
+        schema.add_edge(EdgeSchema::new(
+            "treat",
+            "Drug",
+            "IndicationCondition",
+            RelationshipKind::OneToMany,
+        ));
+        schema
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            epoch: 7,
+            schema_generation: 3,
+            shard_count: 4,
+            schema: sample_schema(),
+            journal: vec![
+                GraphUpdate::AddVertex {
+                    label: "Drug".into(),
+                    properties: props([("name", "Aspirin".into())]),
+                },
+                GraphUpdate::AddVertex {
+                    label: "IndicationCondition".into(),
+                    properties: props([("desc", "Fever".into())]),
+                },
+                GraphUpdate::AddEdge { label: "treat".into(), src: VertexId(0), dst: VertexId(1) },
+            ],
+            ingested: vec![GraphUpdate::AddVertex {
+                label: "Drug".into(),
+                properties: props([("name", "Ibuprofen".into())]),
+            }],
+            tracker: vec![9, 9, 9],
+            baseline: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn schema_roundtrips() {
+        let schema = sample_schema();
+        let decoded = decode_schema_bytes(&encode_schema(&schema)).unwrap();
+        assert_eq!(decoded, schema);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_a_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = snapshot_path(dir.path(), 2);
+        let snapshot = sample_snapshot();
+        write_snapshot(&path, &snapshot).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), snapshot);
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("snapshot-"));
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_not_panicked_on() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = snapshot_path(dir.path(), 0);
+        write_snapshot(&path, &sample_snapshot()).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncated at every 97th byte (a full sweep is slow for nothing).
+        for cut in (0..good.len()).step_by(97) {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(read_snapshot(&path).is_err(), "cut at {cut} must fail validation");
+        }
+        // Bit flip in the body.
+        let mut flipped = good.clone();
+        let mid = 20 + (flipped.len() - 20) / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(read_snapshot(&path).is_err(), "crc must catch a body flip");
+        // Not a snapshot at all.
+        std::fs::write(&path, b"plain text").unwrap();
+        assert!(read_snapshot(&path).is_err());
+    }
+
+    #[test]
+    fn generation_paths_parse_back() {
+        let dir = Path::new("/tmp/x");
+        let snap = snapshot_path(dir, 42);
+        let wal = wal_path(dir, 42);
+        assert_eq!(
+            parse_generation(snap.file_name().unwrap().to_str().unwrap(), "snapshot-", ".snap"),
+            Some(42)
+        );
+        assert_eq!(
+            parse_generation(wal.file_name().unwrap().to_str().unwrap(), "wal-", ".log"),
+            Some(42)
+        );
+        assert_eq!(parse_generation("snapshot-x.snap", "snapshot-", ".snap"), None);
+    }
+}

@@ -1,0 +1,429 @@
+//! The write-ahead log: CRC-framed mutation records with fsync-batched
+//! group commit.
+//!
+//! # File layout
+//!
+//! ```text
+//! wal      := magic frame*
+//! magic    := "PGSOWAL1" (8 bytes)
+//! frame    := u32 payload_len (le), u32 crc32 (le, IEEE, over payload), payload
+//! payload  := update | checkpoint
+//! update   := graphstore update record (tag 0 = add-vertex, 1 = add-edge,
+//!             see pgso_graphstore::codec)
+//! checkpoint := tag 2 (u8), u32 len (le), opaque bytes
+//! ```
+//!
+//! `AddVertex` payloads are byte-identical to the disk backend's vertex
+//! records ([`pgso_graphstore::codec::encode_vertex`]) — the WAL reuses the
+//! graphstore codec rather than inventing a second serialization.
+//!
+//! # Durability contract
+//!
+//! [`WalWriter::append`] is the **group commit**: all records of one call are
+//! framed into a single buffer, written with one `write(2)` and — when the
+//! writer was opened with `fsync` — made durable with one `fdatasync`. A
+//! caller batching K updates per append therefore pays one disk sync per
+//! batch, not per record.
+//!
+//! # Torn writes
+//!
+//! A crash can leave the file ending in a partial frame (short header, short
+//! payload, or a payload whose CRC does not match). [`read_wal`] stops at the
+//! first invalid frame and reports everything before it plus
+//! [`WalReadOutcome::truncated`] — it never panics on a torn tail and never
+//! yields a partial record.
+
+use pgso_graphstore::codec::{decode_update, encode_update};
+use pgso_graphstore::GraphUpdate;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"PGSOWAL1";
+
+/// Payload kind tag of a tracker-checkpoint record (graph updates use the
+/// graphstore codec tags 0 and 1).
+pub const RECORD_TAG_CHECKPOINT: u8 = 2;
+
+/// Upper bound on a single frame payload; a torn header yielding a larger
+/// length is rejected as truncation instead of attempting a huge allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) over a byte slice; the frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A graph mutation (the ingest stream).
+    Update(GraphUpdate),
+    /// An opaque workload-tracker counter checkpoint; the serving layer
+    /// appends one per ingest batch so recovery resumes with the learned
+    /// frequencies, not just the graph. Replay semantics: the *last*
+    /// checkpoint wins.
+    TrackerCheckpoint(Vec<u8>),
+}
+
+fn encode_record(record: &WalRecord) -> Vec<u8> {
+    match record {
+        WalRecord::Update(update) => encode_update(update).to_vec(),
+        WalRecord::TrackerCheckpoint(blob) => {
+            let mut payload = Vec::with_capacity(blob.len() + 5);
+            payload.push(RECORD_TAG_CHECKPOINT);
+            payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            payload.extend_from_slice(blob);
+            payload
+        }
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    match payload.first()? {
+        &RECORD_TAG_CHECKPOINT => {
+            let rest = &payload[1..];
+            if rest.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+            let blob = rest.get(4..4 + len)?;
+            if rest.len() != 4 + len {
+                return None;
+            }
+            Some(WalRecord::TrackerCheckpoint(blob.to_vec()))
+        }
+        _ => decode_update(payload).map(WalRecord::Update),
+    }
+}
+
+/// Appending side of the log; see the module docs for the durability
+/// contract.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    records: u64,
+    fsync: bool,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the log at `path` and writes the magic header.
+    /// With `fsync`, every [`WalWriter::append`] is made durable before it
+    /// returns; without, durability is left to the OS page cache (fast mode
+    /// for tests and benchmarks).
+    pub fn create(path: impl Into<PathBuf>, fsync: bool) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        file.write_all(&WAL_MAGIC)?;
+        if fsync {
+            file.sync_data()?;
+        }
+        Ok(Self { file, path, bytes: WAL_MAGIC.len() as u64, records: 0, fsync })
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes in the log, including the magic header.
+    pub fn len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// True when no record has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Records appended so far.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Group commit: frames every record into one buffer, writes it with a
+    /// single syscall and (in fsync mode) makes the batch durable with a
+    /// single `fdatasync`. Returns the log length after the append.
+    pub fn append(&mut self, records: &[WalRecord]) -> io::Result<u64> {
+        if records.is_empty() {
+            return Ok(self.bytes);
+        }
+        let mut buf = Vec::with_capacity(records.len() * 64);
+        for record in records {
+            let payload = encode_record(record);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        self.file.write_all(&buf)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        self.bytes += buf.len() as u64;
+        self.records += records.len() as u64;
+        Ok(self.bytes)
+    }
+
+    /// Forces everything appended so far to disk, regardless of the fsync
+    /// mode the writer was opened with.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReadOutcome {
+    /// Every complete, CRC-valid record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset just past the last valid frame (the safe truncation point
+    /// for resuming appends after a crash).
+    pub valid_bytes: u64,
+    /// True when the file ended in a partial or corrupt frame (torn write).
+    pub truncated: bool,
+}
+
+impl WalReadOutcome {
+    /// Only the graph mutations, dropping checkpoints.
+    pub fn updates(&self) -> Vec<GraphUpdate> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Update(u) => Some(u.clone()),
+                WalRecord::TrackerCheckpoint(_) => None,
+            })
+            .collect()
+    }
+
+    /// The last tracker checkpoint in the log, if any (last one wins).
+    pub fn last_checkpoint(&self) -> Option<&[u8]> {
+        self.records.iter().rev().find_map(|r| match r {
+            WalRecord::TrackerCheckpoint(blob) => Some(blob.as_slice()),
+            WalRecord::Update(_) => None,
+        })
+    }
+}
+
+/// Reads a WAL file, stopping cleanly at the first torn or corrupt frame.
+///
+/// # Errors
+/// Fails with [`io::ErrorKind::InvalidData`] when the file does not start
+/// with the WAL magic (it is not a log at all), and propagates I/O errors.
+/// A torn *tail* is not an error — see [`WalReadOutcome::truncated`].
+pub fn read_wal(path: impl AsRef<Path>) -> io::Result<WalReadOutcome> {
+    let mut data = Vec::new();
+    File::open(path.as_ref())?.read_to_end(&mut data)?;
+    if data.len() < WAL_MAGIC.len() || data[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a pgso WAL file", path.as_ref().display()),
+        ));
+    }
+    let mut records = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    let mut truncated = false;
+    while offset < data.len() {
+        let Some(header) = data.get(offset..offset + 8) else {
+            truncated = true;
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_FRAME_BYTES as usize {
+            truncated = true;
+            break;
+        }
+        let Some(payload) = data.get(offset + 8..offset + 8 + len) else {
+            truncated = true;
+            break;
+        };
+        if crc32(payload) != crc {
+            truncated = true;
+            break;
+        }
+        let Some(record) = decode_record(payload) else {
+            truncated = true;
+            break;
+        };
+        records.push(record);
+        offset += 8 + len;
+    }
+    Ok(WalReadOutcome { records, valid_bytes: offset as u64, truncated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_graphstore::{props, VertexId};
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Update(GraphUpdate::AddVertex {
+                label: "Drug".into(),
+                properties: props([("name", "Aspirin".into())]),
+            }),
+            WalRecord::Update(GraphUpdate::AddVertex {
+                label: "Indication".into(),
+                properties: props([("desc", "Fever".into())]),
+            }),
+            WalRecord::Update(GraphUpdate::AddEdge {
+                label: "treat".into(),
+                src: VertexId(0),
+                dst: VertexId(1),
+            }),
+            WalRecord::TrackerCheckpoint(vec![1, 2, 3, 4, 5]),
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_append_and_read() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let records = sample_records();
+        let mut writer = WalWriter::create(&path, true).unwrap();
+        assert!(writer.is_empty());
+        writer.append(&records[..2]).unwrap();
+        writer.append(&records[2..]).unwrap();
+        assert_eq!(writer.record_count(), 4);
+        assert!(writer.len() > WAL_MAGIC.len() as u64);
+        writer.sync().unwrap();
+
+        let outcome = read_wal(&path).unwrap();
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.records, records);
+        assert_eq!(outcome.valid_bytes, writer.len());
+        assert_eq!(outcome.updates().len(), 3);
+        assert_eq!(outcome.last_checkpoint(), Some(&[1u8, 2, 3, 4, 5][..]));
+    }
+
+    #[test]
+    fn empty_wal_reads_empty() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let _ = WalWriter::create(&path, false).unwrap();
+        let outcome = read_wal(&path).unwrap();
+        assert!(outcome.records.is_empty());
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.valid_bytes, WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn non_wal_file_is_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("not-a-wal");
+        std::fs::write(&path, b"hello world, definitely not a log").unwrap();
+        let err = read_wal(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(read_wal(dir.path().join("missing")).is_err());
+    }
+
+    /// The torn-write sweep: truncating the log at *every byte offset* of the
+    /// final frame must drop exactly that frame — earlier records survive, no
+    /// panic, no partial record.
+    #[test]
+    fn truncation_at_every_byte_of_the_last_frame_recovers_the_prefix() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let records = sample_records();
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        writer.append(&records[..records.len() - 1]).unwrap();
+        let before_last = writer.len();
+        writer.append(&records[records.len() - 1..]).unwrap();
+        writer.sync().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(full.len() as u64, writer.len());
+
+        for cut in before_last..writer.len() {
+            let torn = dir.path().join(format!("torn-{cut}.log"));
+            std::fs::write(&torn, &full[..cut as usize]).unwrap();
+            let outcome = read_wal(&torn).unwrap();
+            if cut == before_last {
+                // The whole last frame is gone: that is a *clean* shorter
+                // log, not a torn one.
+                assert!(!outcome.truncated, "cut exactly at the frame boundary is clean");
+            } else {
+                assert!(outcome.truncated, "cut at {cut} must report truncation");
+            }
+            assert_eq!(
+                outcome.records,
+                records[..records.len() - 1],
+                "cut at {cut} must keep exactly the complete records"
+            );
+            assert_eq!(outcome.valid_bytes, before_last, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_frame_stops_the_scan() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let records = sample_records();
+        let mut writer = WalWriter::create(&path, false).unwrap();
+        writer.append(&records).unwrap();
+        writer.sync().unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the second frame.
+        let first_payload_len = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let second_frame = 8 + 8 + first_payload_len;
+        data[second_frame + 8] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let outcome = read_wal(&path).unwrap();
+        assert!(outcome.truncated);
+        assert_eq!(outcome.records, records[..1], "scan stops at the corrupt frame");
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_treated_as_truncation() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let _ = WalWriter::create(&path, false).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let outcome = read_wal(&path).unwrap();
+        assert!(outcome.truncated);
+        assert!(outcome.records.is_empty());
+    }
+
+    #[test]
+    fn append_nothing_is_a_noop() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut writer = WalWriter::create(dir.path().join("wal.log"), false).unwrap();
+        let len = writer.append(&[]).unwrap();
+        assert_eq!(len, WAL_MAGIC.len() as u64);
+        assert!(writer.is_empty());
+    }
+}

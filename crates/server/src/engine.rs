@@ -20,21 +20,46 @@
 //! the observed mix to the frequencies the current schema was optimized for
 //! and, past `drift_threshold`, re-runs the paper's PGSG optimizer, reloads
 //! the graph under the new schema off the read path, and swaps the epoch.
+//!
+//! # Ingest and durability
+//!
+//! [`KgServer::ingest`] accepts graph mutations while serving: each batch is
+//! appended to a write-ahead log as one group commit (durable before the
+//! call returns, when [`KgServer::new_persistent`] attached a
+//! [`pgso_persist::PersistConfig`]), staged invisibly, and published by an
+//! epoch swap at the [`IngestConfig`] thresholds — readers never block, and
+//! because a data-only swap keeps [`Epoch::schema_generation`], every cached
+//! plan stays warm. When the WAL outgrows its budget the log rotates and a
+//! fresh snapshot generation (schema + graph journal + tracker counters +
+//! baseline frequencies) is written off the serving threads.
+//! [`KgServer::recover`] rebuilds a killed server from the newest valid
+//! snapshot plus the WAL tail: bit-identical answers, learned frequencies
+//! intact.
 
 use crate::cache::{CacheStats, PlanCache};
-use crate::tracker::WorkloadTracker;
+use crate::tracker::{
+    frequencies_from_bytes, frequencies_to_bytes, WorkloadSnapshot, WorkloadTracker,
+};
 use parking_lot::{Mutex, RwLock};
 use pgso_core::{reoptimize, OptimizerConfig, OptimizerInput};
-use pgso_datagen::{load_into, load_sharded, InstanceKg};
-use pgso_graphstore::{AccessStats, GraphBackend, MemoryGraph};
+use pgso_datagen::{load_into, InstanceKg};
+use pgso_graphstore::{
+    apply_updates, AccessStats, GraphBackend, GraphUpdate, MemoryGraph, ShardedGraph,
+};
 use pgso_ontology::{AccessFrequencies, DataStatistics, Ontology};
+use pgso_persist::{
+    latest_generation, prune_generations, snapshot_path, wal_path, write_snapshot, JournaledGraph,
+    PersistConfig, Snapshot, WalRecord, WalWriter,
+};
 use pgso_pgschema::PropertyGraphSchema;
 use pgso_query::{
     execute_statement_with, fingerprint_statement, parse_named, rewrite_statement, ExecConfig,
     ParseError, Query, QueryResult, Statement,
 };
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Serving-layer configuration.
@@ -66,6 +91,9 @@ pub struct ServerConfig {
     /// Executor tuning (parallel fan-out gates) applied to every served
     /// statement.
     pub exec: ExecConfig,
+    /// Ingest staging policy: when pending updates are published into a new
+    /// serving epoch.
+    pub ingest: IngestConfig,
 }
 
 impl Default for ServerConfig {
@@ -78,15 +106,40 @@ impl Default for ServerConfig {
             auto_reoptimize: true,
             shard_count: 1,
             exec: ExecConfig::default(),
+            ingest: IngestConfig::default(),
         }
+    }
+}
+
+/// When staged (already durable, not yet visible) updates are published by
+/// an epoch swap. Readers never block on ingest: updates accumulate in a
+/// staging journal and become visible atomically when a batch or time
+/// threshold is crossed.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Pending updates that trigger a publishing epoch swap.
+    pub publish_batch: usize,
+    /// Maximum time pending updates may stay invisible; checked on the next
+    /// [`KgServer::ingest`] call.
+    pub publish_interval: Duration,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self { publish_batch: 256, publish_interval: Duration::from_millis(200) }
     }
 }
 
 /// One immutable generation of the served world: the optimized schema and the
 /// backend loaded under it.
 pub struct Epoch {
-    /// Monotonic generation number; bumped on every swap.
+    /// Monotonic generation number; bumped on every swap (schema
+    /// re-optimizations *and* ingest publications).
     pub number: u64,
+    /// Schema lineage counter: bumped only when a swap changes the schema.
+    /// The plan cache is keyed on this, so ingest swaps — same schema, more
+    /// data — keep every cached DIR→OPT rewrite valid.
+    pub schema_generation: u64,
     /// The schema this generation serves.
     pub schema: PropertyGraphSchema,
     // `GraphBackend` has `Send + Sync` supertraits, so the bare trait object
@@ -189,6 +242,54 @@ impl Drop for FlagGuard<'_> {
     }
 }
 
+/// Mutable ingest bookkeeping, behind one mutex so ingest calls serialize
+/// (readers are untouched — they only clone the epoch `Arc`).
+struct IngestState {
+    /// Construction journal of the current schema's base load (what
+    /// `load_into` produced). Re-derived on every schema swap.
+    base_journal: Vec<GraphUpdate>,
+    /// Ingested updates already published into the serving epoch; the
+    /// epoch's graph is exactly `base_journal ++ ingested`.
+    ingested: Vec<GraphUpdate>,
+    /// Updates durably logged (when persistence is on) but not yet visible
+    /// to readers.
+    pending: Vec<GraphUpdate>,
+    /// When the last publishing swap happened.
+    last_publish: Instant,
+}
+
+/// Durable side of the server: WAL writer + snapshot generation counter.
+struct PersistHandle {
+    config: PersistConfig,
+    inner: Mutex<PersistInner>,
+}
+
+struct PersistInner {
+    wal: WalWriter,
+    generation: u64,
+    last_checkpoint: Instant,
+    /// In-flight background snapshot write, joined before the next rotation
+    /// (and on drop) so errors surface instead of vanishing with the thread.
+    snapshot_thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+/// Outcome of one [`KgServer::ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Updates accepted (and, with persistence, durably logged) by this call.
+    pub accepted: usize,
+    /// Updates still staged after the call (invisible to readers).
+    pub pending: usize,
+    /// True when this call published the staged updates via an epoch swap.
+    pub published: bool,
+    /// Serving epoch number after the call.
+    pub epoch: u64,
+    /// WAL size in bytes after the call (0 without persistence).
+    pub wal_bytes: u64,
+    /// True when this call rotated the WAL and started a snapshot.
+    pub rotated: bool,
+}
+
 /// Thread-safe knowledge-graph serving engine. See the module docs.
 pub struct KgServer {
     ontology: Ontology,
@@ -204,6 +305,8 @@ pub struct KgServer {
     served: AtomicU64,
     reoptimizing: AtomicBool,
     events: Mutex<Vec<ReoptimizationEvent>>,
+    ingest: Mutex<IngestState>,
+    persist: Option<PersistHandle>,
 }
 
 impl KgServer {
@@ -217,12 +320,73 @@ impl KgServer {
         initial_frequencies: AccessFrequencies,
         config: ServerConfig,
     ) -> Self {
+        Self::build(ontology, statistics, instance, initial_frequencies, config, None)
+            .expect("in-memory construction cannot fail")
+    }
+
+    /// Builds a server like [`KgServer::new`] and attaches durability: the
+    /// initial epoch is written as snapshot generation 0 and a write-ahead
+    /// log is opened for [`KgServer::ingest`]. Use [`KgServer::recover`] on
+    /// restart.
+    ///
+    /// # Errors
+    /// Fails with [`io::ErrorKind::AlreadyExists`] when the directory
+    /// already holds snapshot or WAL generations — a fresh server's
+    /// snapshot would *not* subsume them, so proceeding (and later pruning)
+    /// would destroy previously persisted state. Recover from the
+    /// directory, or point the server at an empty one.
+    pub fn new_persistent(
+        ontology: Ontology,
+        statistics: DataStatistics,
+        instance: InstanceKg,
+        initial_frequencies: AccessFrequencies,
+        config: ServerConfig,
+        persist: PersistConfig,
+    ) -> io::Result<Self> {
+        Self::build(ontology, statistics, instance, initial_frequencies, config, Some(persist))
+    }
+
+    fn build(
+        ontology: Ontology,
+        statistics: DataStatistics,
+        instance: InstanceKg,
+        initial_frequencies: AccessFrequencies,
+        config: ServerConfig,
+        persist: Option<PersistConfig>,
+    ) -> io::Result<Self> {
         let input = OptimizerInput::new(&ontology, &statistics, &initial_frequencies);
         let schema = pgso_core::optimize_pgsg(input, &config.optimizer).chosen.schema;
-        let graph = build_graph(&ontology, &schema, &instance, config.shard_count);
+        let (graph, base_journal) = build_graph(&ontology, &schema, &instance, config.shard_count);
         let tracker = WorkloadTracker::new(&ontology);
-        Self {
-            epoch: RwLock::new(Arc::new(Epoch { number: 0, schema, graph })),
+        let persist = match persist {
+            None => None,
+            Some(cfg) => {
+                std::fs::create_dir_all(&cfg.dir)?;
+                if let Some(generation) = latest_generation(&cfg.dir)? {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        format!(
+                            "{} already holds persisted generations (latest {generation}); \
+                             use KgServer::recover or an empty directory",
+                            cfg.dir.display()
+                        ),
+                    ));
+                }
+                let generation = 0;
+                let wal = WalWriter::create(wal_path(&cfg.dir, generation), cfg.fsync)?;
+                Some(PersistHandle {
+                    config: cfg,
+                    inner: Mutex::new(PersistInner {
+                        wal,
+                        generation,
+                        last_checkpoint: Instant::now(),
+                        snapshot_thread: None,
+                    }),
+                })
+            }
+        };
+        let server = Self {
+            epoch: RwLock::new(Arc::new(Epoch { number: 0, schema_generation: 0, schema, graph })),
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             prepared: RwLock::new(Vec::new()),
             tracker,
@@ -230,11 +394,107 @@ impl KgServer {
             served: AtomicU64::new(0),
             reoptimizing: AtomicBool::new(false),
             events: Mutex::new(Vec::new()),
+            ingest: Mutex::new(IngestState {
+                base_journal,
+                ingested: Vec::new(),
+                pending: Vec::new(),
+                last_publish: Instant::now(),
+            }),
+            persist,
             ontology,
             statistics,
             instance,
             config,
+        };
+        if server.persist.is_some() {
+            // The anchoring snapshot for this generation's WAL, written
+            // synchronously: nothing is durable until it exists.
+            let ing = server.ingest.lock();
+            server.write_snapshot_for_current_generation(&ing)?;
         }
+        Ok(server)
+    }
+
+    /// Resurrects a persistent server from `persist.dir`: loads the newest
+    /// valid snapshot, replays the WAL tail (stopping cleanly at a torn
+    /// record), restores the learned workload-tracker counters and baseline
+    /// frequencies, collapses the replayed state into a fresh snapshot
+    /// generation and resumes serving — same schema, same global vertex ids,
+    /// bit-identical query answers.
+    ///
+    /// `config.shard_count` may differ from the killed server's: the graph
+    /// journal replays into any storage layout with identical global ids.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::NotFound`] when the directory holds no valid
+    /// snapshot; [`io::ErrorKind::InvalidData`] when the tracker or baseline
+    /// blobs do not match `ontology`.
+    pub fn recover(
+        ontology: Ontology,
+        statistics: DataStatistics,
+        instance: InstanceKg,
+        config: ServerConfig,
+        persist: PersistConfig,
+    ) -> io::Result<Self> {
+        let state = pgso_persist::recover(&persist.dir)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no valid snapshot in {}", persist.dir.display()),
+            )
+        })?;
+        let mut graph = fresh_backend(config.shard_count);
+        apply_updates(&mut graph, &state.full_journal());
+        let tracker = WorkloadTracker::new(&ontology);
+        if !state.tracker.is_empty() {
+            tracker.restore(&WorkloadSnapshot::from_bytes(&state.tracker)?);
+        }
+        let baseline = if state.snapshot.baseline.is_empty() {
+            AccessFrequencies::uniform(&ontology, 10_000.0)
+        } else {
+            frequencies_from_bytes(&ontology, &state.snapshot.baseline)?
+        };
+        let generation = state.max_generation + 1;
+        let wal = WalWriter::create(wal_path(&persist.dir, generation), persist.fsync)?;
+        let server = Self {
+            epoch: RwLock::new(Arc::new(Epoch {
+                number: state.snapshot.epoch,
+                schema_generation: state.snapshot.schema_generation,
+                schema: state.snapshot.schema.clone(),
+                graph,
+            })),
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            prepared: RwLock::new(Vec::new()),
+            tracker,
+            baseline: Mutex::new(baseline),
+            served: AtomicU64::new(0),
+            reoptimizing: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+            ingest: Mutex::new(IngestState {
+                base_journal: state.snapshot.journal.clone(),
+                ingested: state.ingested_updates(),
+                pending: Vec::new(),
+                last_publish: Instant::now(),
+            }),
+            persist: Some(PersistHandle {
+                config: persist,
+                inner: Mutex::new(PersistInner {
+                    wal,
+                    generation,
+                    last_checkpoint: Instant::now(),
+                    snapshot_thread: None,
+                }),
+            }),
+            ontology,
+            statistics,
+            instance,
+            config,
+        };
+        // Collapse the replayed tail into this generation's anchor snapshot.
+        {
+            let ing = server.ingest.lock();
+            server.write_snapshot_for_current_generation(&ing)?;
+        }
+        Ok(server)
     }
 
     /// The domain ontology this server answers queries over.
@@ -334,11 +594,13 @@ impl KgServer {
     fn serve_inner(&self, fp: u64, stmt: &Statement) -> QueryResult {
         self.tracker.record_statement(stmt);
         let epoch = self.current_epoch();
-        let plan = match self.plan_cache.get(fp, epoch.number) {
+        // Plans are keyed on the schema lineage, not the epoch number: an
+        // ingest publication swaps the epoch but rewrites stay valid.
+        let plan = match self.plan_cache.get(fp, epoch.schema_generation) {
             Some(plan) => plan,
             None => {
                 let plan = Arc::new(rewrite_statement(stmt, &epoch.schema));
-                self.plan_cache.insert(fp, epoch.number, plan.clone());
+                self.plan_cache.insert(fp, epoch.schema_generation, plan.clone());
                 plan
             }
         };
@@ -394,17 +656,47 @@ impl KgServer {
             swapped: false,
         };
         if re.schema_changed() {
-            let graph = build_graph(
+            // The ingest lock is held across the reload so the base journal,
+            // the ingested stream and the published epoch move together.
+            let mut ing = self.ingest.lock();
+            // Re-read under the lock: an ingest publication may have swapped
+            // the epoch since the pre-optimization read, and `number` must
+            // stay strictly monotonic.
+            let current = self.current_epoch();
+            let (mut graph, base_journal) = build_graph(
                 &self.ontology,
                 &re.outcome.schema,
                 &self.instance,
                 self.config.shard_count,
             );
-            let next =
-                Arc::new(Epoch { number: current.number + 1, schema: re.outcome.schema, graph });
+            // Replay the ingested stream onto the new base. This swap also
+            // publishes anything still pending (with persistence, those
+            // updates are already in the WAL).
+            let pending = std::mem::take(&mut ing.pending);
+            ing.ingested.extend(pending);
+            apply_updates(&mut graph, &ing.ingested);
+            ing.base_journal = base_journal;
+            ing.last_publish = Instant::now();
+            let next = Arc::new(Epoch {
+                number: current.number + 1,
+                schema_generation: current.schema_generation + 1,
+                schema: re.outcome.schema,
+                graph,
+            });
             *self.epoch.write() = next.clone();
-            self.plan_cache.invalidate_stale(next.number);
+            self.plan_cache.invalidate_stale(next.schema_generation);
             event.swapped = true;
+            // A schema change obsoletes the previous snapshot's base journal,
+            // so persist the new world immediately (recovery from the old
+            // generation would resurrect the pre-swap schema: correct but
+            // stale, and it would lose this optimization).
+            if self.persist.is_some() {
+                if let Err(err) = self.rotate_and_snapshot(&ing, true) {
+                    // Re-optimization is best-effort; durability of *data* is
+                    // unaffected (the WAL still holds every update).
+                    eprintln!("pgso-server: snapshot after re-optimization failed: {err}");
+                }
+            }
         }
         // Either way the observed workload is the new baseline: a swap made
         // it the optimized-for mix, and a no-change outcome means the current
@@ -412,6 +704,192 @@ impl KgServer {
         *self.baseline.lock() = observed;
         self.tracker.rebase(&snapshot);
         event
+    }
+
+    // ---- ingest & durability ----------------------------------------------
+
+    /// Ingests a batch of graph updates.
+    ///
+    /// Durability first: with persistence attached, the whole batch is
+    /// appended to the write-ahead log as **one group commit** (a single
+    /// write + fsync) before anything else happens — once this returns, the
+    /// updates survive a crash. The updates then stage invisibly; when
+    /// [`IngestConfig::publish_batch`] or
+    /// [`IngestConfig::publish_interval`] is crossed, the staged batch is
+    /// applied to a freshly rebuilt staging graph and published by an epoch
+    /// swap — readers never block and in-flight queries finish on the epoch
+    /// they started with. Publishing keeps the schema, so every cached plan
+    /// stays valid ([`Epoch::schema_generation`] is unchanged).
+    ///
+    /// Finally, when the WAL has grown past
+    /// [`PersistConfig::snapshot_wal_bytes`], the log rotates and a new
+    /// snapshot generation is written on a background thread, off the
+    /// serving (and ingesting) threads.
+    pub fn ingest(&self, updates: Vec<GraphUpdate>) -> io::Result<IngestReport> {
+        let mut ing = self.ingest.lock();
+        let accepted = updates.len();
+        if let Some(persist) = &self.persist {
+            let mut inner = persist.inner.lock();
+            let mut records: Vec<WalRecord> =
+                updates.iter().cloned().map(WalRecord::Update).collect();
+            if inner.last_checkpoint.elapsed() >= persist.config.tracker_checkpoint_interval {
+                records.push(WalRecord::TrackerCheckpoint(self.tracker.snapshot().to_bytes()));
+                inner.last_checkpoint = Instant::now();
+            }
+            inner.wal.append(&records)?;
+        }
+        ing.pending.extend(updates);
+        let should_publish = ing.pending.len() >= self.config.ingest.publish_batch
+            || (!ing.pending.is_empty()
+                && ing.last_publish.elapsed() >= self.config.ingest.publish_interval);
+        let mut published = false;
+        let mut rotated = false;
+        if should_publish {
+            self.publish_locked(&mut ing);
+            published = true;
+            if let Some(persist) = &self.persist {
+                let wal_full = persist.inner.lock().wal.len() >= persist.config.snapshot_wal_bytes;
+                if wal_full {
+                    self.rotate_and_snapshot(&ing, true)?;
+                    rotated = true;
+                }
+            }
+        }
+        let wal_bytes = self.persist.as_ref().map_or(0, |persist| persist.inner.lock().wal.len());
+        Ok(IngestReport {
+            accepted,
+            pending: ing.pending.len(),
+            published,
+            epoch: self.current_epoch().number,
+            wal_bytes,
+            rotated,
+        })
+    }
+
+    /// Publishes any staged updates immediately, regardless of the batch and
+    /// interval thresholds. Returns true when a swap happened.
+    pub fn flush_ingest(&self) -> bool {
+        let mut ing = self.ingest.lock();
+        if ing.pending.is_empty() {
+            return false;
+        }
+        self.publish_locked(&mut ing);
+        true
+    }
+
+    /// Number of updates ingested but not yet visible to readers.
+    pub fn pending_updates(&self) -> usize {
+        self.ingest.lock().pending.len()
+    }
+
+    /// Number of ingested updates visible in the serving epoch.
+    pub fn published_updates(&self) -> usize {
+        self.ingest.lock().ingested.len()
+    }
+
+    /// Forces a durable checkpoint right now: publishes staged updates,
+    /// rotates the WAL and writes a fresh snapshot generation
+    /// *synchronously* (the file is durable when this returns). No-op
+    /// `Ok(false)` without persistence.
+    pub fn checkpoint(&self) -> io::Result<bool> {
+        if self.persist.is_none() {
+            return Ok(false);
+        }
+        let mut ing = self.ingest.lock();
+        if !ing.pending.is_empty() {
+            self.publish_locked(&mut ing);
+        }
+        self.rotate_and_snapshot(&ing, false)?;
+        Ok(true)
+    }
+
+    /// True when this server was built with persistence attached.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Rebuilds the staging graph (base journal + every ingested update,
+    /// including the pending batch), swaps it in as the next epoch, and
+    /// promotes the pending batch to published. The schema — and therefore
+    /// the plan-cache key — is untouched.
+    fn publish_locked(&self, ing: &mut IngestState) {
+        let current = self.current_epoch();
+        let mut graph = fresh_backend(self.config.shard_count);
+        apply_updates(&mut graph, &ing.base_journal);
+        apply_updates(&mut graph, &ing.ingested);
+        apply_updates(&mut graph, &ing.pending);
+        let pending = std::mem::take(&mut ing.pending);
+        ing.ingested.extend(pending);
+        ing.last_publish = Instant::now();
+        let next = Arc::new(Epoch {
+            number: current.number + 1,
+            schema_generation: current.schema_generation,
+            schema: current.schema.clone(),
+            graph,
+        });
+        *self.epoch.write() = next;
+    }
+
+    /// Assembles the snapshot image of the current epoch under the ingest
+    /// lock (so `base_journal`/`ingested` cannot shift underneath it).
+    fn snapshot_image(&self, ing: &IngestState) -> Snapshot {
+        let epoch = self.current_epoch();
+        Snapshot {
+            epoch: epoch.number,
+            schema_generation: epoch.schema_generation,
+            shard_count: epoch.shard_count() as u32,
+            schema: epoch.schema.clone(),
+            journal: ing.base_journal.clone(),
+            ingested: ing.ingested.clone(),
+            tracker: self.tracker.snapshot().to_bytes(),
+            baseline: frequencies_to_bytes(&self.ontology, &self.baseline.lock()),
+        }
+    }
+
+    /// Writes the anchor snapshot of the *current* generation synchronously
+    /// (startup / recovery path — the WAL for this generation is empty).
+    fn write_snapshot_for_current_generation(&self, ing: &IngestState) -> io::Result<()> {
+        let persist = self.persist.as_ref().expect("persistence attached");
+        let image = self.snapshot_image(ing);
+        let generation = persist.inner.lock().generation;
+        write_snapshot(&snapshot_path(&persist.config.dir, generation), &image)?;
+        prune_generations(&persist.config.dir, generation)
+    }
+
+    /// Rotates to a fresh WAL generation and writes its anchor snapshot —
+    /// on a background thread when `background` (the ingest path; serving
+    /// and ingesting threads do not wait for the file), synchronously
+    /// otherwise ([`KgServer::checkpoint`]).
+    ///
+    /// Called with the ingest lock held and `pending` empty (a snapshot must
+    /// describe exactly the published state, since the new WAL starts
+    /// empty).
+    fn rotate_and_snapshot(&self, ing: &IngestState, background: bool) -> io::Result<()> {
+        debug_assert!(ing.pending.is_empty(), "snapshot with unpublished updates");
+        let persist = self.persist.as_ref().expect("persistence attached");
+        let image = self.snapshot_image(ing);
+        let mut inner = persist.inner.lock();
+        // Surface any error from the previous background write before
+        // starting the next one.
+        if let Some(handle) = inner.snapshot_thread.take() {
+            handle
+                .join()
+                .map_err(|_| io::Error::other("background snapshot writer panicked"))??;
+        }
+        inner.generation += 1;
+        let generation = inner.generation;
+        let dir = persist.config.dir.clone();
+        inner.wal = WalWriter::create(wal_path(&dir, generation), persist.config.fsync)?;
+        if background {
+            inner.snapshot_thread = Some(std::thread::spawn(move || {
+                write_snapshot(&snapshot_path(&dir, generation), &image)?;
+                prune_generations(&dir, generation)
+            }));
+            Ok(())
+        } else {
+            write_snapshot(&snapshot_path(&dir, generation), &image)?;
+            prune_generations(&dir, generation)
+        }
     }
 
     /// Replays `statements` across `threads` worker threads (statement `i`
@@ -452,23 +930,30 @@ impl KgServer {
     }
 }
 
-/// Loads `instance` under `schema` into the configured storage layout: a
-/// single [`MemoryGraph`] for `shard_count <= 1`, a hash-partitioned
+/// An empty backend in the configured storage layout: a single
+/// [`MemoryGraph`] for `shard_count <= 1`, a hash-partitioned
 /// [`pgso_graphstore::ShardedGraph`] otherwise.
+fn fresh_backend(shard_count: usize) -> Box<dyn GraphBackend> {
+    if shard_count <= 1 {
+        Box::new(MemoryGraph::new())
+    } else {
+        Box::new(ShardedGraph::new_memory(shard_count))
+    }
+}
+
+/// Loads `instance` under `schema` into the configured storage layout,
+/// capturing the construction journal through a
+/// [`pgso_persist::JournaledGraph`] — the journal is what snapshots persist
+/// and what staging rebuilds replay.
 fn build_graph(
     ontology: &Ontology,
     schema: &PropertyGraphSchema,
     instance: &InstanceKg,
     shard_count: usize,
-) -> Box<dyn GraphBackend> {
-    if shard_count <= 1 {
-        let mut graph = MemoryGraph::new();
-        load_into(&mut graph, ontology, schema, instance);
-        Box::new(graph)
-    } else {
-        let (graph, _) = load_sharded(ontology, schema, instance, shard_count);
-        Box::new(graph)
-    }
+) -> (Box<dyn GraphBackend>, Vec<GraphUpdate>) {
+    let mut journaled = JournaledGraph::new(fresh_backend(shard_count));
+    load_into(&mut journaled, ontology, schema, instance);
+    journaled.into_parts()
 }
 
 impl std::fmt::Debug for KgServer {
@@ -478,7 +963,21 @@ impl std::fmt::Debug for KgServer {
             .field("epoch", &self.current_epoch().number)
             .field("served", &self.served())
             .field("cache", &self.plan_cache.stats())
+            .field("persistent", &self.persist.is_some())
             .finish()
+    }
+}
+
+impl Drop for KgServer {
+    fn drop(&mut self) {
+        // Let an in-flight background snapshot finish; dropping the handle
+        // mid-write would leave a torn temporary (recovery tolerates that,
+        // but a clean shutdown should not have to).
+        if let Some(persist) = &self.persist {
+            if let Some(handle) = persist.inner.lock().snapshot_thread.take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -677,6 +1176,235 @@ mod tests {
             // the sharded epoch still serves.
             assert_eq!(server.current_epoch().shard_count(), 2);
         }
+    }
+
+    fn new_drug(i: u32) -> GraphUpdate {
+        GraphUpdate::AddVertex {
+            label: "Drug".into(),
+            properties: pgso_graphstore::props([("name", format!("IngestedDrug_{i}").into())]),
+        }
+    }
+
+    #[test]
+    fn ingest_stages_then_publishes_at_the_batch_threshold() {
+        let server = mini_server(ServerConfig {
+            auto_reoptimize: false,
+            ingest: IngestConfig { publish_batch: 4, publish_interval: Duration::from_secs(3600) },
+            ..ServerConfig::default()
+        });
+        let before = server.serve(&lookup()).matches;
+        let report = server.ingest(vec![new_drug(0), new_drug(1)]).unwrap();
+        assert!(!report.published);
+        assert_eq!(report.pending, 2);
+        assert_eq!(report.wal_bytes, 0, "no persistence attached");
+        assert_eq!(server.serve(&lookup()).matches, before, "staged updates stay invisible");
+        let report = server.ingest(vec![new_drug(2), new_drug(3)]).unwrap();
+        assert!(report.published, "batch threshold crossed");
+        assert_eq!(report.pending, 0);
+        assert_eq!(server.pending_updates(), 0);
+        assert_eq!(server.published_updates(), 4);
+        assert_eq!(server.serve(&lookup()).matches, before + 4, "published updates serve");
+        assert_eq!(server.current_epoch().number, 1, "publication is an epoch swap");
+    }
+
+    #[test]
+    fn flush_ingest_publishes_early() {
+        let server = mini_server(ServerConfig { auto_reoptimize: false, ..Default::default() });
+        let before = server.serve(&lookup()).matches;
+        let _ = server.ingest(vec![new_drug(0)]).unwrap();
+        assert!(server.flush_ingest());
+        assert!(!server.flush_ingest(), "nothing left to publish");
+        assert_eq!(server.serve(&lookup()).matches, before + 1);
+    }
+
+    #[test]
+    fn ingest_swaps_keep_the_plan_cache_warm() {
+        let server = mini_server(ServerConfig {
+            auto_reoptimize: false,
+            ingest: IngestConfig { publish_batch: 1, publish_interval: Duration::ZERO },
+            ..ServerConfig::default()
+        });
+        let _ = server.serve(&lookup()); // miss: first rewrite
+        for i in 0..5 {
+            let report = server.ingest(vec![new_drug(i)]).unwrap();
+            assert!(report.published);
+            let _ = server.serve(&lookup());
+        }
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 1, "data-only swaps must not invalidate plans");
+        assert_eq!(stats.hits, 5);
+        assert_eq!(server.current_epoch().number, 5);
+        assert_eq!(server.current_epoch().schema_generation, 0);
+    }
+
+    #[test]
+    fn ingested_edges_connect_new_vertices_to_old_ones() {
+        let server = mini_server(ServerConfig { auto_reoptimize: false, ..Default::default() });
+        let epoch = server.current_epoch();
+        // Target any pre-existing vertex; updates are physical-graph-level,
+        // so the test needs no assumption about the optimized schema's
+        // labels. The new vertex gets the next sequential global id.
+        let new_id = pgso_graphstore::VertexId(epoch.graph().vertex_count() as u64);
+        let target = pgso_graphstore::VertexId(0);
+        let updates = vec![
+            new_drug(0),
+            GraphUpdate::AddEdge { label: "treat".into(), src: new_id, dst: target },
+        ];
+        let _ = server.ingest(updates).unwrap();
+        server.flush_ingest();
+        let published = server.current_epoch();
+        assert_eq!(
+            published.graph().out_neighbours(new_id, "treat"),
+            vec![target],
+            "the ingested edge must be traversable"
+        );
+        let result = server
+            .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'IngestedDrug' RETURN d.name")
+            .unwrap();
+        assert_eq!(result.rows.len(), 1, "the ingested vertex must be queryable");
+    }
+
+    #[test]
+    fn persistent_server_recovers_after_a_kill() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = ServerConfig {
+            auto_reoptimize: false,
+            ingest: IngestConfig { publish_batch: 3, publish_interval: Duration::from_secs(3600) },
+            ..ServerConfig::default()
+        };
+        let make = || {
+            let ontology = catalog::med_mini();
+            let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+            let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+            let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+            (ontology, statistics, instance, frequencies)
+        };
+        let (pre_kill_rows, pre_kill_tracker) = {
+            let (o, s, i, f) = make();
+            let server = KgServer::new_persistent(
+                o,
+                s,
+                i,
+                f,
+                cfg,
+                pgso_persist::PersistConfig::new_unsynced(dir.path()),
+            )
+            .unwrap();
+            assert!(server.is_persistent());
+            for _ in 0..10 {
+                let _ = server.serve(&lookup());
+            }
+            // 5 updates: 3 published by the batch threshold, 2 still staged
+            // (durable in the WAL only) when the server dies.
+            let report = server.ingest((0..3).map(new_drug).collect()).unwrap();
+            assert!(report.published);
+            assert!(report.wal_bytes > 0);
+            let report = server.ingest((3..5).map(new_drug).collect()).unwrap();
+            assert!(!report.published);
+            assert_eq!(report.pending, 2);
+            // Taken *before* the final serve: this is the state the last WAL
+            // tracker checkpoint captured, which is what recovery restores
+            // (counters recorded after the last durable checkpoint die with
+            // the process, exactly like un-logged data would).
+            let tracker = server.tracker().snapshot();
+            let rows = server.serve(&lookup()).rows;
+            (rows, tracker)
+            // drop without checkpoint = kill
+        };
+
+        let (o, s, i, _) = make();
+        let recovered =
+            KgServer::recover(o, s, i, cfg, pgso_persist::PersistConfig::new_unsynced(dir.path()))
+                .unwrap();
+        // All 5 ingested updates are durable, so the recovered graph has the
+        // 2 that were still staged at kill time as well.
+        assert_eq!(recovered.published_updates(), 5);
+        assert_eq!(recovered.pending_updates(), 0);
+        // Tracker counters survive exactly: the WAL checkpoint written with
+        // the last ingest batch captured the 10 recorded lookups. (Snapshot
+        // them before serving anything new on the recovered server.)
+        let tracker = recovered.tracker().snapshot();
+        let rows = recovered.serve(&lookup()).rows;
+        assert_eq!(rows.len(), pre_kill_rows.len() + 2, "WAL tail replays into the graph");
+        assert_eq!(tracker.total_queries, pre_kill_tracker.total_queries);
+        assert_eq!(tracker.concept_counts, pre_kill_tracker.concept_counts);
+        assert_eq!(tracker.property_counts, pre_kill_tracker.property_counts);
+        assert_eq!(recovered.current_epoch().schema_generation, 0);
+        assert!(recovered.drift() > 0.0, "recovered counters drive drift immediately");
+    }
+
+    #[test]
+    fn recovering_an_empty_directory_fails_cleanly() {
+        let dir = tempfile::tempdir().unwrap();
+        let ontology = catalog::med_mini();
+        let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+        let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+        let err = KgServer::recover(
+            ontology,
+            statistics,
+            instance,
+            ServerConfig::default(),
+            pgso_persist::PersistConfig::new_unsynced(dir.path()),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn new_persistent_refuses_a_directory_with_existing_generations() {
+        let dir = tempfile::tempdir().unwrap();
+        let build = || {
+            let ontology = catalog::med_mini();
+            let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+            let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+            let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+            KgServer::new_persistent(
+                ontology,
+                statistics,
+                instance,
+                frequencies,
+                ServerConfig::default(),
+                pgso_persist::PersistConfig::new_unsynced(dir.path()),
+            )
+        };
+        drop(build().unwrap());
+        // A second fresh server on the same directory would *not* subsume the
+        // existing generations; it must refuse instead of pruning them away.
+        let err = build().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        let (snapshots, _) = pgso_persist::list_generations(dir.path()).unwrap();
+        assert!(!snapshots.is_empty(), "existing state must be untouched");
+    }
+
+    #[test]
+    fn checkpoint_rotates_the_wal() {
+        let dir = tempfile::tempdir().unwrap();
+        let ontology = catalog::med_mini();
+        let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+        let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+        let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+        let server = KgServer::new_persistent(
+            ontology,
+            statistics,
+            instance,
+            frequencies,
+            ServerConfig { auto_reoptimize: false, ..ServerConfig::default() },
+            pgso_persist::PersistConfig::new_unsynced(dir.path()),
+        )
+        .unwrap();
+        let before = server.ingest((0..8).map(new_drug).collect()).unwrap().wal_bytes;
+        assert!(before > 0);
+        assert!(server.checkpoint().unwrap());
+        let after = server.ingest(vec![new_drug(8)]).unwrap().wal_bytes;
+        assert!(after < before, "rotation must have started a fresh WAL ({after} vs {before})");
+        // Older generations are pruned once the new snapshot is durable.
+        let (snapshots, wals) = pgso_persist::list_generations(dir.path()).unwrap();
+        assert_eq!(snapshots.len(), 1, "one live snapshot generation: {snapshots:?}");
+        assert_eq!(wals.len(), 1);
+        // A non-persistent server's checkpoint is a no-op.
+        let plain = mini_server(ServerConfig::default());
+        assert!(!plain.checkpoint().unwrap());
+        assert!(!plain.is_persistent());
     }
 
     #[test]

@@ -28,7 +28,14 @@
 //! * adaptive re-optimization — when the observed mix drifts past a
 //!   threshold, the engine re-runs PGSG off the hot path, diffs the schemas
 //!   via [`pgso_pgschema::diff()`], reloads the graph under the new schema and
-//!   atomically swaps it in ([`Epoch`]).
+//!   atomically swaps it in ([`Epoch`]);
+//! * write-ahead-logged ingest and crash recovery — [`KgServer::ingest`]
+//!   group-commits mutation batches to a `pgso-persist` WAL and publishes
+//!   them with non-blocking epoch swaps; snapshot generations capture the
+//!   schema, the graph journal and the learned workload counters, and
+//!   [`KgServer::recover`] resumes a killed server bit-identically —
+//!   including the [`WorkloadTracker`] frequencies that drive adaptive
+//!   re-optimization.
 //!
 //! ```
 //! use pgso_datagen::InstanceKg;
@@ -64,6 +71,15 @@ pub mod tracker;
 
 pub use cache::{CacheStats, PlanCache};
 pub use engine::{
-    Epoch, KgServer, PreparedId, ReoptimizationEvent, ServerConfig, WorkloadRunReport,
+    Epoch, IngestConfig, IngestReport, KgServer, PreparedId, ReoptimizationEvent, ServerConfig,
+    WorkloadRunReport,
 };
-pub use tracker::{WorkloadSnapshot, WorkloadTracker};
+// The durability vocabulary callers need for `KgServer::ingest` /
+// `KgServer::recover`, re-exported so applications do not have to depend on
+// the lower-level crates directly.
+pub use pgso_graphstore::GraphUpdate;
+pub use pgso_persist::PersistConfig;
+pub use tracker::{
+    frequencies_from_bytes, frequencies_to_bytes, WorkloadSnapshot, WorkloadTracker,
+    WORKLOAD_SNAPSHOT_VERSION,
+};

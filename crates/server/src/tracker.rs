@@ -35,6 +35,104 @@ pub struct WorkloadSnapshot {
     pub property_counts: HashMap<(RelationshipId, PropertyId), u64>,
 }
 
+/// Binary format version of [`WorkloadSnapshot::to_bytes`].
+pub const WORKLOAD_SNAPSHOT_VERSION: u16 = 1;
+
+fn decode_err(what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt tracker snapshot: {what}"),
+    )
+}
+
+impl WorkloadSnapshot {
+    /// Serializes the counters into a versioned, self-contained byte blob —
+    /// the payload the persistence layer stores in snapshot files and WAL
+    /// tracker checkpoints.
+    ///
+    /// Layout (all integers little-endian): `u16 version, u64 total, u32
+    /// concept count + u64 each, u32 relationship count + u64 each, u32
+    /// property-entry count + (u32 relationship, u32 property, u64 count)
+    /// each`, property entries sorted by key for deterministic output.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(
+            16 + 8 * (self.concept_counts.len() + self.relationship_counts.len())
+                + 16 * self.property_counts.len(),
+        );
+        buf.extend_from_slice(&WORKLOAD_SNAPSHOT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.total_queries.to_le_bytes());
+        buf.extend_from_slice(&(self.concept_counts.len() as u32).to_le_bytes());
+        for &count in &self.concept_counts {
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.relationship_counts.len() as u32).to_le_bytes());
+        for &count in &self.relationship_counts {
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+        let mut entries: Vec<(&(RelationshipId, PropertyId), &u64)> =
+            self.property_counts.iter().collect();
+        entries.sort_by_key(|(key, _)| **key);
+        buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (&(rid, pid), &count) in entries {
+            buf.extend_from_slice(&(rid.index() as u32).to_le_bytes());
+            buf.extend_from_slice(&(pid.index() as u32).to_le_bytes());
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a blob produced by [`WorkloadSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    /// [`std::io::ErrorKind::InvalidData`] on a version mismatch or a
+    /// malformed buffer; counters are never silently truncated.
+    pub fn from_bytes(mut data: &[u8]) -> std::io::Result<Self> {
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> std::io::Result<&'a [u8]> {
+            if data.len() < n {
+                return Err(decode_err("unexpected end of buffer"));
+            }
+            let (head, tail) = data.split_at(n);
+            *data = tail;
+            Ok(head)
+        }
+        fn u16le(data: &mut &[u8]) -> std::io::Result<u16> {
+            Ok(u16::from_le_bytes(take(data, 2)?.try_into().expect("2 bytes")))
+        }
+        fn u32le(data: &mut &[u8]) -> std::io::Result<u32> {
+            Ok(u32::from_le_bytes(take(data, 4)?.try_into().expect("4 bytes")))
+        }
+        fn u64le(data: &mut &[u8]) -> std::io::Result<u64> {
+            Ok(u64::from_le_bytes(take(data, 8)?.try_into().expect("8 bytes")))
+        }
+        let version = u16le(&mut data)?;
+        if version != WORKLOAD_SNAPSHOT_VERSION {
+            return Err(decode_err("unsupported version"));
+        }
+        let total_queries = u64le(&mut data)?;
+        let nconcepts = u32le(&mut data)? as usize;
+        let mut concept_counts = Vec::with_capacity(nconcepts);
+        for _ in 0..nconcepts {
+            concept_counts.push(u64le(&mut data)?);
+        }
+        let nrels = u32le(&mut data)? as usize;
+        let mut relationship_counts = Vec::with_capacity(nrels);
+        for _ in 0..nrels {
+            relationship_counts.push(u64le(&mut data)?);
+        }
+        let nprops = u32le(&mut data)? as usize;
+        let mut property_counts = HashMap::with_capacity(nprops);
+        for _ in 0..nprops {
+            let rid = RelationshipId::new(u32le(&mut data)?);
+            let pid = PropertyId::new(u32le(&mut data)?);
+            property_counts.insert((rid, pid), u64le(&mut data)?);
+        }
+        if !data.is_empty() {
+            return Err(decode_err("trailing bytes"));
+        }
+        Ok(Self { total_queries, concept_counts, relationship_counts, property_counts })
+    }
+}
+
 /// Accumulates access frequencies from served queries.
 pub struct WorkloadTracker {
     concepts: Vec<AtomicU64>,
@@ -371,6 +469,108 @@ impl WorkloadTracker {
         }
         self.total.fetch_sub(snapshot.total_queries, Ordering::Relaxed);
     }
+
+    /// Overwrites every counter with a previously taken snapshot — the
+    /// recovery path: a restarted server resumes from the persisted counters
+    /// instead of observing from zero.
+    ///
+    /// # Panics
+    /// Panics when the snapshot's dimensions do not match the ontology this
+    /// tracker was built for (restoring counters against the wrong catalog
+    /// would silently attribute frequencies to the wrong concepts).
+    pub fn restore(&self, snapshot: &WorkloadSnapshot) {
+        assert_eq!(
+            snapshot.concept_counts.len(),
+            self.concepts.len(),
+            "tracker snapshot concept dimension mismatch"
+        );
+        assert_eq!(
+            snapshot.relationship_counts.len(),
+            self.relationships.len(),
+            "tracker snapshot relationship dimension mismatch"
+        );
+        for (counter, &count) in self.concepts.iter().zip(&snapshot.concept_counts) {
+            counter.store(count, Ordering::Relaxed);
+        }
+        for (counter, &count) in self.relationships.iter().zip(&snapshot.relationship_counts) {
+            counter.store(count, Ordering::Relaxed);
+        }
+        *self.properties.lock() = snapshot.property_counts.clone();
+        self.total.store(snapshot.total_queries, Ordering::Relaxed);
+    }
+}
+
+/// Serializes [`AccessFrequencies`] relative to an ontology (concepts and
+/// relationships in id order, then every `(relationship, destination
+/// property)` pair), for the snapshot `baseline` blob. Decoding requires the
+/// same catalog.
+pub fn frequencies_to_bytes(ontology: &Ontology, frequencies: &AccessFrequencies) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&WORKLOAD_SNAPSHOT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(ontology.concept_count() as u32).to_le_bytes());
+    for cid in ontology.concept_ids() {
+        buf.extend_from_slice(&frequencies.concept(cid).to_bits().to_le_bytes());
+    }
+    buf.extend_from_slice(&(ontology.relationship_count() as u32).to_le_bytes());
+    for (rid, rel) in ontology.relationships() {
+        buf.extend_from_slice(&frequencies.relationship(rid).to_bits().to_le_bytes());
+        let dst_props = ontology.concept_properties(rel.dst);
+        buf.extend_from_slice(&(dst_props.len() as u16).to_le_bytes());
+        for &pid in dst_props {
+            buf.extend_from_slice(&frequencies.property(rid, pid).to_bits().to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Decodes a blob produced by [`frequencies_to_bytes`] against the same
+/// ontology.
+pub fn frequencies_from_bytes(
+    ontology: &Ontology,
+    mut data: &[u8],
+) -> std::io::Result<AccessFrequencies> {
+    fn f64le(data: &mut &[u8]) -> std::io::Result<f64> {
+        if data.len() < 8 {
+            return Err(decode_err("unexpected end of frequency buffer"));
+        }
+        let (head, tail) = data.split_at(8);
+        *data = tail;
+        Ok(f64::from_bits(u64::from_le_bytes(head.try_into().expect("8 bytes"))))
+    }
+    fn dim(data: &mut &[u8], bytes: usize, expected: usize, what: &str) -> std::io::Result<()> {
+        if data.len() < bytes {
+            return Err(decode_err("unexpected end of frequency buffer"));
+        }
+        let (head, tail) = data.split_at(bytes);
+        *data = tail;
+        let got = match bytes {
+            2 => u16::from_le_bytes(head.try_into().expect("2 bytes")) as usize,
+            _ => u32::from_le_bytes(head.try_into().expect("4 bytes")) as usize,
+        };
+        if got != expected {
+            return Err(decode_err(what));
+        }
+        Ok(())
+    }
+    dim(&mut data, 2, WORKLOAD_SNAPSHOT_VERSION as usize, "unsupported version")?;
+    let mut frequencies = AccessFrequencies::uniform(ontology, 0.0);
+    dim(&mut data, 4, ontology.concept_count(), "concept dimension mismatch")?;
+    for cid in ontology.concept_ids() {
+        frequencies.set_concept(cid, f64le(&mut data)?);
+    }
+    dim(&mut data, 4, ontology.relationship_count(), "relationship dimension mismatch")?;
+    for (rid, rel) in ontology.relationships() {
+        frequencies.set_relationship(rid, f64le(&mut data)?);
+        let dst_props = ontology.concept_properties(rel.dst);
+        dim(&mut data, 2, dst_props.len(), "property dimension mismatch")?;
+        for &pid in dst_props {
+            frequencies.set_property(rid, pid, f64le(&mut data)?);
+        }
+    }
+    if !data.is_empty() {
+        return Err(decode_err("trailing bytes"));
+    }
+    Ok(frequencies)
 }
 
 impl std::fmt::Debug for WorkloadTracker {
@@ -552,6 +752,71 @@ mod tests {
         let (_, mean) = fanouts.iter().find(|(rid, _)| *rid == treat).expect("treat estimated");
         assert!((mean - 1.0).abs() < 1e-9, "mean of degrees 2 and 0 is 1, got {mean}");
         assert_eq!(g.stats().edge_traversals, 0, "estimation must not charge traversals");
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip_and_restore() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        for _ in 0..7 {
+            tracker.record(&treat_query());
+        }
+        let snapshot = tracker.snapshot();
+        let bytes = snapshot.to_bytes();
+        assert_eq!(bytes, snapshot.to_bytes(), "encoding is deterministic");
+        let decoded = WorkloadSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snapshot);
+
+        // A fresh tracker restored from the blob reports identical counts
+        // and identical derived frequencies.
+        let restored = WorkloadTracker::new(&o);
+        restored.restore(&decoded);
+        assert_eq!(restored.snapshot(), snapshot);
+        let a = tracker.to_frequencies(&o, 10_000.0);
+        let b = restored.to_frequencies(&o, 10_000.0);
+        for cid in o.concept_ids() {
+            assert_eq!(a.concept(cid).to_bits(), b.concept(cid).to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_reject_corruption() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        tracker.record(&treat_query());
+        let bytes = tracker.snapshot().to_bytes();
+        assert!(WorkloadSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err(), "short");
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(WorkloadSnapshot::from_bytes(&extended).is_err(), "trailing bytes");
+        let mut wrong_version = bytes;
+        wrong_version[0] = 0xFF;
+        assert!(WorkloadSnapshot::from_bytes(&wrong_version).is_err(), "version");
+    }
+
+    #[test]
+    fn frequencies_blob_roundtrips() {
+        let o = catalog::med_mini();
+        let tracker = WorkloadTracker::new(&o);
+        for _ in 0..9 {
+            tracker.record(&treat_query());
+        }
+        let af = tracker.to_frequencies(&o, 10_000.0);
+        let bytes = frequencies_to_bytes(&o, &af);
+        let decoded = frequencies_from_bytes(&o, &bytes).unwrap();
+        for cid in o.concept_ids() {
+            assert_eq!(af.concept(cid).to_bits(), decoded.concept(cid).to_bits());
+        }
+        for (rid, rel) in o.relationships() {
+            assert_eq!(af.relationship(rid).to_bits(), decoded.relationship(rid).to_bits());
+            for &pid in o.concept_properties(rel.dst) {
+                assert_eq!(af.property(rid, pid).to_bits(), decoded.property(rid, pid).to_bits());
+            }
+        }
+        assert!(frequencies_from_bytes(&o, &bytes[..10]).is_err());
+        // Decoding against a different catalog is a dimension mismatch.
+        let other = catalog::medical();
+        assert!(frequencies_from_bytes(&other, &bytes).is_err());
     }
 
     #[test]

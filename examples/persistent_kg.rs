@@ -1,0 +1,171 @@
+//! Durability scenario: build a persistent serving engine, teach it a
+//! workload, ingest a stream of updates through the write-ahead log, kill
+//! the server without any graceful shutdown — and recover it, asserting
+//! that the optimized Q9 plan, the query answers and the learned workload
+//! frequencies all survive the restart.
+//!
+//! ```text
+//! cargo run --example persistent_kg
+//! ```
+
+use pgso::ontology::catalog;
+use pgso::persist::PersistConfig;
+use pgso::prelude::*;
+use pgso::server::ServerConfig;
+
+/// The drug-centric workload the schema is optimized for; the probe is the
+/// paper's Q9-style aggregation (Drug → DrugRoute).
+const WORKLOAD: [&str; 3] = [
+    "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) RETURN size(collect(dr.drugRouteId))",
+    "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN size(collect(i.desc))",
+    "MATCH (d:Drug) WHERE d.name CONTAINS 'Drug_name' RETURN d.name LIMIT 5",
+];
+
+fn workload_statements() -> Vec<Statement> {
+    (0..120)
+        .map(|i| parse_named(WORKLOAD[i % WORKLOAD.len()], "wl").expect("workload parses"))
+        .collect()
+}
+
+fn build_inputs() -> (Ontology, DataStatistics, InstanceKg, AccessFrequencies) {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 23);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 23);
+    // Teach the initial frequencies from the workload itself.
+    let tracker = WorkloadTracker::new(&ontology);
+    for statement in workload_statements() {
+        tracker.record_statement(&statement);
+    }
+    let frequencies = tracker.to_frequencies(&ontology, 10_000.0);
+    (ontology, statistics, instance, frequencies)
+}
+
+fn space_limited(
+    inputs: &(Ontology, DataStatistics, InstanceKg, AccessFrequencies),
+) -> ServerConfig {
+    let nsc = optimize_nsc(
+        OptimizerInput::new(&inputs.0, &inputs.1, &inputs.3),
+        &OptimizerConfig::default(),
+    );
+    ServerConfig {
+        optimizer: OptimizerConfig::with_space_limit(nsc.total_cost / 8),
+        auto_reoptimize: false,
+        ingest: IngestConfig { publish_batch: 64, publish_interval: std::time::Duration::ZERO },
+        ..ServerConfig::default()
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pgso-persistent-kg-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let probe = WORKLOAD[0];
+
+    let inputs = build_inputs();
+    let config = space_limited(&inputs);
+    let (pre_kill_answer, pre_kill_traversals, pre_kill_ratio, pre_kill_total) = {
+        let (ontology, statistics, instance, frequencies) = build_inputs();
+        let server = KgServer::new_persistent(
+            ontology,
+            statistics,
+            instance,
+            frequencies,
+            config,
+            PersistConfig::new(&dir),
+        )
+        .expect("persistent server builds");
+        println!("serving from {} (WAL fsync on)", dir.display());
+
+        // Steady state: 4 threads replay the workload; the tracker learns.
+        let report = server.run_workload(&workload_statements(), 4);
+        println!(
+            "workload: {} queries -> {:.0} q/s, plan-cache hit ratio {:.3}",
+            report.served,
+            report.queries_per_second(),
+            server.cache_stats().hit_ratio()
+        );
+
+        // Ingest a stream of new entities through the WAL while serving.
+        let epoch = server.current_epoch();
+        let updates = streaming_updates(
+            server.ontology(),
+            &epoch.schema,
+            epoch.graph(),
+            200,
+            99,
+            &pgso::datagen::UpdateStreamConfig::default(),
+        );
+        drop(epoch);
+        let total = updates.len();
+        for batch in updates.chunks(50) {
+            let report = server.ingest(batch.to_vec()).expect("ingest is durable");
+            println!(
+                "ingest: {} updates (pending {}, published {}, wal {} bytes{})",
+                report.accepted,
+                report.pending,
+                report.published,
+                report.wal_bytes,
+                if report.rotated { ", rotated + snapshot" } else { "" }
+            );
+        }
+        server.flush_ingest();
+
+        let probe_result = server.serve_text(probe).expect("probe parses");
+        let ratio = server.cache_stats().hit_ratio();
+        println!(
+            "\npre-kill probe (Q9): answer {:?}, {} edge traversals, hit ratio {ratio:.3}",
+            probe_result.scalar(),
+            probe_result.stats.edge_traversals
+        );
+        println!("killing the server (no checkpoint, no graceful shutdown) ...");
+        (probe_result.scalar(), probe_result.stats.edge_traversals, ratio, total)
+        // <- server dropped here: the process state is gone, only dir remains
+    };
+
+    // ---- restart ----------------------------------------------------------
+    let (ontology, statistics, instance, _) = build_inputs();
+    let recovered =
+        KgServer::recover(ontology, statistics, instance, config, PersistConfig::new(&dir))
+            .expect("recovery finds the snapshot + WAL tail");
+    println!(
+        "\nrecovered: {} ingested updates survived, epoch {}, drift {:.3}",
+        recovered.published_updates(),
+        recovered.current_epoch().number,
+        recovered.drift()
+    );
+    assert_eq!(recovered.published_updates(), pre_kill_total, "every logged update recovered");
+
+    // The Q9 plan survives: same answer, same traversal count — the
+    // optimized schema (and with it the rewrite) came back from the
+    // snapshot, not from re-optimizing.
+    let probe_result = recovered.serve_text(probe).expect("probe parses");
+    assert_eq!(probe_result.scalar(), pre_kill_answer, "Q9 answer survives the restart");
+    assert_eq!(
+        probe_result.stats.edge_traversals, pre_kill_traversals,
+        "Q9 plan (traversal count) survives the restart"
+    );
+    println!(
+        "probe after recovery: answer {:?}, {} edge traversals (unchanged)",
+        probe_result.scalar(),
+        probe_result.stats.edge_traversals
+    );
+
+    // The learned frequencies survive too: replaying the same workload on
+    // the recovered server reaches the same plan-cache hit ratio (same
+    // shapes, same rewrites) and the drift picks up where it left off.
+    let report = recovered.run_workload(&workload_statements(), 4);
+    let ratio = recovered.cache_stats().hit_ratio();
+    println!(
+        "replay after recovery: {} queries -> {:.0} q/s, hit ratio {ratio:.3} \
+         (pre-kill {pre_kill_ratio:.3})",
+        report.served,
+        report.queries_per_second()
+    );
+    assert!(
+        (ratio - pre_kill_ratio).abs() < 0.05,
+        "hit ratio must survive the restart ({ratio:.3} vs {pre_kill_ratio:.3})"
+    );
+    assert!(recovered.tracker().total_queries() > 0, "learned frequencies restored");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\nkill → recover round trip complete: plans, answers and workload survive.");
+}

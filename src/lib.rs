@@ -12,8 +12,9 @@
 //! | [`optimizer`] | `pgso-core` | relationship rules, OntologyPR, cost-benefit model, NSC / CC / RC / PGSG |
 //! | [`graphstore`] | `pgso-graphstore` | in-memory and disk-backed (paged, buffer pool) property graph storage |
 //! | [`query`] | `pgso-query` | pattern + statement AST (WHERE/OPTIONAL/ORDER BY/LIMIT), Cypher-like text parser, executor, DIR→OPT rewriter, plan fingerprints |
-//! | [`datagen`] | `pgso-datagen` | synthetic instance generation and schema-conforming loading |
-//! | [`server`] | `pgso-server` | concurrent serving engine: plan cache, workload tracking, adaptive re-optimization |
+//! | [`datagen`] | `pgso-datagen` | synthetic instance generation, schema-conforming loading, streaming update generation |
+//! | [`persist`] | `pgso-persist` | write-ahead log, epoch snapshots, crash recovery |
+//! | [`server`] | `pgso-server` | concurrent serving engine: plan cache, workload tracking, adaptive re-optimization, WAL-backed ingest |
 //!
 //! ## Quick start
 //!
@@ -51,6 +52,7 @@ pub use pgso_core as optimizer;
 pub use pgso_datagen as datagen;
 pub use pgso_graphstore as graphstore;
 pub use pgso_ontology as ontology;
+pub use pgso_persist as persist;
 pub use pgso_pgschema as pgschema;
 pub use pgso_query as query;
 pub use pgso_server as server;
@@ -61,20 +63,21 @@ pub mod prelude {
         optimize_concept_centric, optimize_nsc, optimize_pgsg, optimize_relation_centric,
         OptimizationOutcome, OptimizerConfig, OptimizerInput,
     };
-    pub use pgso_datagen::{load_into, load_sharded, InstanceKg};
+    pub use pgso_datagen::{load_into, load_sharded, streaming_updates, InstanceKg};
     pub use pgso_graphstore::{
-        props, DiskGraph, DiskGraphConfig, GraphBackend, HashRouter, LabelRouter, MemoryGraph,
-        PropertyValue, ShardRouter, ShardedGraph,
+        props, DiskGraph, DiskGraphConfig, GraphBackend, GraphUpdate, HashRouter, LabelRouter,
+        MemoryGraph, PropertyValue, ShardRouter, ShardedGraph,
     };
     pub use pgso_ontology::{
         AccessFrequencies, DataStatistics, DataType, Ontology, OntologyBuilder, RelationshipKind,
         StatisticsConfig, WorkloadDistribution,
     };
+    pub use pgso_persist::{JournaledGraph, PersistConfig};
     pub use pgso_pgschema::{ddl, PropertyGraphSchema};
     pub use pgso_query::{
         execute, execute_statement, execute_statement_with, fingerprint, fingerprint_statement,
         parse, parse_named, rewrite, rewrite_statement, Aggregate, CmpOp, ExecConfig, ParseError,
         Query, Statement,
     };
-    pub use pgso_server::{KgServer, ServerConfig, WorkloadTracker};
+    pub use pgso_server::{IngestConfig, KgServer, ServerConfig, WorkloadTracker};
 }

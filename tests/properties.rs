@@ -423,3 +423,60 @@ fn optimized_schemas_are_always_well_formed() {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The persisted `WorkloadTracker` counter format round-trips exactly:
+    /// encode → decode → restore into a fresh tracker reproduces every
+    /// counter (the ROADMAP "persistence of workload stats" contract, now
+    /// served by snapshot files and WAL checkpoints).
+    #[test]
+    fn workload_snapshot_counters_roundtrip(
+        concept_seeds in proptest::collection::vec(0u64..1_000_000, 8..9),
+        relationship_seeds in proptest::collection::vec(0u64..1_000_000, 8..9),
+        property_seeds in proptest::collection::vec((0u32..8, 0u32..12, 1u64..1_000), 0..10),
+        total in 0u64..10_000_000,
+    ) {
+        use pgso::server::{WorkloadSnapshot, WorkloadTracker};
+        let ontology = catalog::med_mini();
+        let nconcepts = ontology.concept_count();
+        let nrels = ontology.relationship_count();
+        // Shape arbitrary seed vectors onto the ontology's dimensions.
+        let snapshot = WorkloadSnapshot {
+            total_queries: total,
+            concept_counts: (0..nconcepts)
+                .map(|i| concept_seeds[i % concept_seeds.len()].wrapping_add(i as u64))
+                .collect(),
+            relationship_counts: (0..nrels)
+                .map(|i| relationship_seeds[i % relationship_seeds.len()].wrapping_mul(i as u64))
+                .collect(),
+            property_counts: property_seeds
+                .iter()
+                .map(|&(r, p, c)| {
+                    (
+                        (
+                            pgso::ontology::RelationshipId::new(r % nrels as u32),
+                            pgso::ontology::PropertyId::new(p),
+                        ),
+                        c,
+                    )
+                })
+                .collect(),
+        };
+        let bytes = snapshot.to_bytes();
+        prop_assert_eq!(&bytes, &snapshot.to_bytes(), "deterministic encoding");
+        let decoded = WorkloadSnapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &snapshot);
+        // Restoring into a live tracker reproduces the counters bit-exactly.
+        let tracker = WorkloadTracker::new(&ontology);
+        tracker.restore(&decoded);
+        prop_assert_eq!(tracker.snapshot(), snapshot);
+        // Truncations never decode successfully to a *different* snapshot.
+        for cut in [1usize, 7, bytes.len() / 2, bytes.len().saturating_sub(3)] {
+            if cut < bytes.len() {
+                prop_assert!(WorkloadSnapshot::from_bytes(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

@@ -142,6 +142,11 @@ pub trait Buf {
         v
     }
 
+    /// Reads a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        self.get_i64_le() as u64
+    }
+
     /// Reads a little-endian f64.
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_i64_le() as u64)
@@ -184,6 +189,11 @@ pub trait BufMut {
 
     /// Appends a little-endian i64.
     fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
 
