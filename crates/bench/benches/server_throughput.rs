@@ -8,10 +8,12 @@
 //!
 //! * **pattern** — the original mix of lookups, patterns and aggregations
 //!   (structurally identical repeats, the best case for the plan cache);
-//! * **predicate+limit** — WHERE/ORDER BY/LIMIT statements whose predicate
-//!   literals and LIMIT counts vary per request. The cache keys on the
-//!   statement *shape*, so the hit ratio must stay high even though no two
-//!   requests are textually identical.
+//! * **prepared_params** — four statements prepared **once** with `$name`
+//!   parameters, then executed 512 times with per-request values and
+//!   `SKIP`/`LIMIT` counts bound by name (`KgServer::execute`). This is the
+//!   regression gate for the prepare/execute redesign: the plan cache keys
+//!   on the parameterized statement, so a value-varying workload must keep a
+//!   ≥90% hit ratio with no literal splicing anywhere.
 //!
 //! An **ingest-while-serving** mix then measures reader degradation: 4
 //! reader threads replay the pattern mix while one ingest thread pushes
@@ -32,8 +34,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_datagen::{streaming_updates, InstanceKg, UpdateStreamConfig};
 use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
-use pgso_query::{parse_named, Aggregate, Query, Statement};
-use pgso_server::{IngestConfig, KgServer, PersistConfig, ServerConfig};
+use pgso_query::{Aggregate, Params, Query, Statement};
+use pgso_server::{IngestConfig, KgServer, PersistConfig, PreparedStatement, ServerConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 fn build_server(shard_count: usize) -> KgServer {
@@ -87,39 +89,43 @@ fn pattern_workload() -> Vec<Statement> {
     (0..512).map(|i| Statement::from(shapes[i % shapes.len()].clone())).collect()
 }
 
-/// 512-statement predicate+LIMIT workload in which every request carries a
-/// *different* literal and LIMIT count over only four statement shapes.
-fn predicate_limit_workload() -> Vec<Statement> {
+/// The four `$param` statement texts of the value-varying mix. Prepared
+/// **once**; every request binds its own values by name.
+const PREPARED_TEXTS: [&str; 4] = [
+    "MATCH (d:Drug) WHERE d.name CONTAINS $needle \
+     RETURN d.name ORDER BY d.name LIMIT $n",
+    "MATCH (d:Drug)-[:treat]->(i:Indication) WHERE d.name CONTAINS $needle \
+     RETURN DISTINCT i.desc ORDER BY i.desc DESC LIMIT $n",
+    "MATCH (p:Patient) OPTIONAL MATCH (p)-[:hasEncounter]->(e:Encounter) \
+     WHERE p.mrn CONTAINS $needle RETURN p.mrn, e.encounterId SKIP $offset LIMIT $n",
+    "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) WHERE d.name CONTAINS $needle \
+     RETURN size(collect(dr.drugRouteId)) LIMIT $n",
+];
+
+/// 512-execution prepared workload: each request picks one of the four
+/// prepared handles and a *different* parameter set (needles, offsets and
+/// limits all vary per request).
+fn prepared_param_workload(server: &KgServer) -> Vec<(PreparedStatement, Params)> {
+    let handles: Vec<PreparedStatement> = PREPARED_TEXTS
+        .iter()
+        .map(|text| server.prepare_text(text).expect("workload statement prepares"))
+        .collect();
     (0..512)
         .map(|i| {
-            let text = match i % 4 {
-                0 => format!(
-                    "MATCH (d:Drug) WHERE d.name CONTAINS 'Drug_name_{}' \
-                     RETURN d.name ORDER BY d.name LIMIT {}",
-                    i / 4,
-                    1 + i % 16
-                ),
-                1 => format!(
-                    "MATCH (d:Drug)-[:treat]->(i:Indication) WHERE d.name CONTAINS '_{}' \
-                     RETURN DISTINCT i.desc ORDER BY i.desc DESC LIMIT {}",
-                    i % 10,
-                    2 + i % 8
-                ),
-                2 => format!(
-                    "MATCH (p:Patient) OPTIONAL MATCH (p)-[:hasEncounter]->(e:Encounter) \
-                     WHERE p.mrn CONTAINS '{}' RETURN p.mrn, e.encounterId SKIP {} LIMIT {}",
-                    i % 7,
-                    i % 3,
-                    4 + i % 12
-                ),
-                _ => format!(
-                    "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) \
-                     WHERE d.name CONTAINS 'Drug_name' \
-                     RETURN size(collect(dr.drugRouteId)) LIMIT {}",
-                    1 + i % 4
-                ),
+            let params = match i % 4 {
+                0 => Params::new()
+                    .set("needle", format!("Drug_name_{}", i / 4))
+                    .set("n", (1 + i % 16) as i64),
+                1 => {
+                    Params::new().set("needle", format!("_{}", i % 10)).set("n", (2 + i % 8) as i64)
+                }
+                2 => Params::new()
+                    .set("needle", format!("{}", i % 7))
+                    .set("offset", (i % 3) as i64)
+                    .set("n", (4 + i % 12) as i64),
+                _ => Params::new().set("needle", "Drug_name").set("n", (1 + i % 4) as i64),
             };
-            parse_named(&text, format!("pl{}", i % 4)).expect("workload statement parses")
+            (handles[i % 4].clone(), params)
         })
         .collect()
 }
@@ -159,6 +165,52 @@ fn run_mix(c: &mut Criterion, server: &KgServer, name: &str, workload: &[Stateme
     assert!(
         ratio >= 0.90,
         "plan-cache hit ratio {ratio:.4} for {name} fell below 0.90 — shape keys regressed?"
+    );
+}
+
+/// Like [`run_mix`] but through the prepare/execute path: handles are
+/// prepared once, values bind by name per request. The ≥90% hit-ratio gate
+/// is the regression check for the parameterized plan cache — prepared
+/// statements must rewrite once however much their bound values vary.
+fn run_prepared_mix(
+    c: &mut Criterion,
+    server: &KgServer,
+    name: &str,
+    jobs: &[(PreparedStatement, Params)],
+) {
+    // Warm the plan cache so the throughput numbers measure the steady state.
+    let _ = server.run_prepared_workload(jobs, 1);
+    let warm = server.cache_stats();
+
+    let mut group = c.benchmark_group(format!("server_throughput/{name}"));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter_custom(|iters| {
+                (0..iters).map(|_| server.run_prepared_workload(jobs, threads).elapsed).sum()
+            })
+        });
+        let report = server.run_prepared_workload(jobs, threads);
+        println!(
+            "server_throughput/{name}/threads_{threads:<2} {:>12.0} queries/sec",
+            report.queries_per_second()
+        );
+    }
+    group.finish();
+
+    let stats = server.cache_stats();
+    let hits = stats.hits - warm.hits;
+    let misses = stats.misses - warm.misses;
+    let ratio = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "server_throughput/{name}/plan_cache  post-warm hits {hits} misses {misses} \
+         hit_ratio {ratio:.4} (cumulative: {} hits / {} misses, {} entries)",
+        stats.hits, stats.misses, stats.entries
+    );
+    assert!(
+        ratio >= 0.90,
+        "plan-cache hit ratio {ratio:.4} for {name} fell below 0.90 — \
+         parameterized plans must be shared across executions"
     );
 }
 
@@ -304,7 +356,8 @@ fn bench(c: &mut Criterion) {
     let server = build_server(1);
     let pattern = pattern_workload();
     run_mix(c, &server, "pattern", &pattern);
-    run_mix(c, &server, "predicate_limit", &predicate_limit_workload());
+    let prepared = prepared_param_workload(&server);
+    run_prepared_mix(c, &server, "prepared_params", &prepared);
     drop(server);
 
     ingest_mix(&pattern, quick);

@@ -45,6 +45,7 @@
 //!     ingested: Vec::new(),
 //!     tracker: Vec::new(),
 //!     baseline: Vec::new(),
+//!     prepared: Vec::new(),
 //! };
 //! snapshot::write_snapshot(&snapshot::snapshot_path(dir.path(), 0), &image).unwrap();
 //! let mut log = wal::WalWriter::create(snapshot::wal_path(dir.path(), 0), true).unwrap();

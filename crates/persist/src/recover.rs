@@ -40,6 +40,9 @@ pub struct RecoveredState {
     /// Newest tracker-counter checkpoint: the last one in the WAL tail, or
     /// the snapshot's own blob when the tail holds none.
     pub tracker: Vec<u8>,
+    /// Prepared-statement registrations logged after the snapshot, in append
+    /// order (see [`RecoveredState::prepared_statements`]).
+    pub wal_prepared: Vec<String>,
     /// True when replay stopped early at a torn frame or a missing WAL
     /// generation; everything after the stopping point was dropped cleanly
     /// (never partially applied — later records reference positional vertex
@@ -68,6 +71,18 @@ impl RecoveredState {
         updates.extend_from_slice(&self.snapshot.ingested);
         updates.extend_from_slice(&self.wal_updates);
         updates
+    }
+
+    /// The full prepared-statement registry in registration order: the
+    /// snapshot's entries followed by registrations logged in the WAL tail.
+    /// Re-preparing these in order reproduces the killed server's dense
+    /// prepared ids and parameter signatures.
+    pub fn prepared_statements(&self) -> Vec<String> {
+        let mut prepared =
+            Vec::with_capacity(self.snapshot.prepared.len() + self.wal_prepared.len());
+        prepared.extend_from_slice(&self.snapshot.prepared);
+        prepared.extend_from_slice(&self.wal_prepared);
+        prepared
     }
 }
 
@@ -121,6 +136,7 @@ pub fn recover(dir: &Path) -> io::Result<Option<RecoveredState>> {
     let Some((generation, snapshot)) = anchor else { return Ok(None) };
 
     let mut wal_updates = Vec::new();
+    let mut wal_prepared = Vec::new();
     let mut tracker = snapshot.tracker.clone();
     let mut torn_tail = false;
     for (expected, &wal_generation) in (generation..).zip(wals.iter().filter(|&&g| g >= generation))
@@ -138,6 +154,7 @@ pub fn recover(dir: &Path) -> io::Result<Option<RecoveredState>> {
             match record {
                 crate::wal::WalRecord::Update(update) => wal_updates.push(update.clone()),
                 crate::wal::WalRecord::TrackerCheckpoint(blob) => tracker = blob.clone(),
+                crate::wal::WalRecord::Prepared(text) => wal_prepared.push(text.clone()),
             }
         }
         if outcome.truncated {
@@ -153,6 +170,7 @@ pub fn recover(dir: &Path) -> io::Result<Option<RecoveredState>> {
         max_generation,
         snapshot,
         wal_updates,
+        wal_prepared,
         tracker,
         torn_tail,
     }))
@@ -200,6 +218,7 @@ mod tests {
             ingested: Vec::new(),
             tracker,
             baseline: Vec::new(),
+            prepared: vec!["MATCH (d:Drug) RETURN d".into()],
         }
     }
 
@@ -219,6 +238,7 @@ mod tests {
         wal.append(&[
             WalRecord::Update(update(1)),
             WalRecord::TrackerCheckpoint(vec![8]),
+            WalRecord::Prepared("MATCH (i:Indication) RETURN i".into()),
             WalRecord::Update(update(2)),
         ])
         .unwrap();
@@ -231,6 +251,11 @@ mod tests {
         assert_eq!(state.tracker, vec![8], "tail checkpoint beats the snapshot blob");
         assert!(!state.torn_tail);
         assert_eq!(state.full_journal(), vec![update(0), update(1), update(2)]);
+        assert_eq!(
+            state.prepared_statements(),
+            vec!["MATCH (d:Drug) RETURN d".to_string(), "MATCH (i:Indication) RETURN i".into()],
+            "snapshot registry first, then the WAL tail registrations"
+        );
     }
 
     #[test]

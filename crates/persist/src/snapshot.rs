@@ -25,7 +25,7 @@
 //! snapshot := magic "PGSOSNP1", u64 body_len (le), u32 crc32 (le, over body), body
 //! body     := u16 version, u64 epoch, u64 schema_generation, u32 shard_count,
 //!             schema, journal(base), journal(ingested), blob(tracker),
-//!             blob(baseline)
+//!             blob(baseline), prepared
 //! schema   := str name, u32 nvertices { str label, u16 nmerged str*,
 //!             u16 nprops prop* }, u32 nedges { str label, str src, str dst,
 //!             u8 kind }
@@ -33,6 +33,7 @@
 //!             [, str concept, str property]
 //! journal  := u32 count, { u32 len, update bytes }*   (graphstore codec)
 //! blob     := u32 len, bytes
+//! prepared := u32 count, blob*                        (statement text, utf-8)
 //! str      := u16 len, utf-8 bytes
 //! ```
 //!
@@ -55,8 +56,10 @@ use crate::wal::crc32;
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PGSOSNP1";
 
-/// Current snapshot body version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current snapshot body version. Version 2 added the prepared-statement
+/// registry (`prepared`); earlier bodies are rejected rather than silently
+/// read without it.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// One recoverable image of a serving epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +88,11 @@ pub struct Snapshot {
     pub tracker: Vec<u8>,
     /// Opaque baseline access-frequencies blob (owned by `pgso-server`).
     pub baseline: Vec<u8>,
+    /// Prepared-statement registry in registration order: each entry is a
+    /// statement's text form (round-trips through the query parser), so a
+    /// recovered server re-prepares them and hands out the *same* dense
+    /// prepared ids — parameter signatures included.
+    pub prepared: Vec<String>,
 }
 
 /// Canonical snapshot file path for a generation: `snapshot-{gen:010}.snap`.
@@ -322,6 +330,10 @@ fn encode_body(snapshot: &Snapshot) -> Vec<u8> {
     put_journal(&mut body, &snapshot.ingested);
     put_blob(&mut body, &snapshot.tracker);
     put_blob(&mut body, &snapshot.baseline);
+    body.extend_from_slice(&(snapshot.prepared.len() as u32).to_le_bytes());
+    for text in &snapshot.prepared {
+        put_blob(&mut body, text.as_bytes());
+    }
     body
 }
 
@@ -339,6 +351,12 @@ fn decode_body(body: &[u8]) -> io::Result<Snapshot> {
     let ingested = get_journal(&mut cursor)?;
     let tracker = cursor.blob()?;
     let baseline = cursor.blob()?;
+    let nprepared = cursor.u32()?;
+    let mut prepared = Vec::with_capacity(nprepared as usize);
+    for _ in 0..nprepared {
+        prepared
+            .push(String::from_utf8(cursor.blob()?).map_err(|_| corrupt("invalid prepared text"))?);
+    }
     Ok(Snapshot {
         epoch,
         schema_generation,
@@ -348,6 +366,7 @@ fn decode_body(body: &[u8]) -> io::Result<Snapshot> {
         ingested,
         tracker,
         baseline,
+        prepared,
     })
 }
 
@@ -449,6 +468,9 @@ mod tests {
             }],
             tracker: vec![9, 9, 9],
             baseline: vec![1, 2],
+            prepared: vec![
+                "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n".into()
+            ],
         }
     }
 

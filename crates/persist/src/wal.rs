@@ -46,6 +46,9 @@ pub const WAL_MAGIC: [u8; 8] = *b"PGSOWAL1";
 /// graphstore codec tags 0 and 1).
 pub const RECORD_TAG_CHECKPOINT: u8 = 2;
 
+/// Payload kind tag of a prepared-statement registration record.
+pub const RECORD_TAG_PREPARED: u8 = 3;
+
 /// Upper bound on a single frame payload; a torn header yielding a larger
 /// length is rejected as truncation instead of attempting a huge allocation.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
@@ -87,34 +90,51 @@ pub enum WalRecord {
     /// frequencies, not just the graph. Replay semantics: the *last*
     /// checkpoint wins.
     TrackerCheckpoint(Vec<u8>),
+    /// A prepared-statement registration: the statement's text form (its
+    /// `Display` rendering, which round-trips through the query parser).
+    /// Replayed in order on recovery, so prepared-statement ids — dense
+    /// registration indices — and their parameter signatures survive a
+    /// restart.
+    Prepared(String),
+}
+
+fn encode_blob_record(tag: u8, blob: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(blob.len() + 5);
+    payload.push(tag);
+    payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    payload.extend_from_slice(blob);
+    payload
 }
 
 fn encode_record(record: &WalRecord) -> Vec<u8> {
     match record {
         WalRecord::Update(update) => encode_update(update).to_vec(),
-        WalRecord::TrackerCheckpoint(blob) => {
-            let mut payload = Vec::with_capacity(blob.len() + 5);
-            payload.push(RECORD_TAG_CHECKPOINT);
-            payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
-            payload.extend_from_slice(blob);
-            payload
-        }
+        WalRecord::TrackerCheckpoint(blob) => encode_blob_record(RECORD_TAG_CHECKPOINT, blob),
+        WalRecord::Prepared(text) => encode_blob_record(RECORD_TAG_PREPARED, text.as_bytes()),
     }
 }
 
+fn decode_blob_record(payload: &[u8]) -> Option<&[u8]> {
+    let rest = &payload[1..];
+    if rest.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+    let blob = rest.get(4..4 + len)?;
+    if rest.len() != 4 + len {
+        return None;
+    }
+    Some(blob)
+}
+
 fn decode_record(payload: &[u8]) -> Option<WalRecord> {
-    match payload.first()? {
-        &RECORD_TAG_CHECKPOINT => {
-            let rest = &payload[1..];
-            if rest.len() < 4 {
-                return None;
-            }
-            let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
-            let blob = rest.get(4..4 + len)?;
-            if rest.len() != 4 + len {
-                return None;
-            }
-            Some(WalRecord::TrackerCheckpoint(blob.to_vec()))
+    match *payload.first()? {
+        RECORD_TAG_CHECKPOINT => {
+            Some(WalRecord::TrackerCheckpoint(decode_blob_record(payload)?.to_vec()))
+        }
+        RECORD_TAG_PREPARED => {
+            let text = String::from_utf8(decode_blob_record(payload)?.to_vec()).ok()?;
+            Some(WalRecord::Prepared(text))
         }
         _ => decode_update(payload).map(WalRecord::Update),
     }
@@ -209,13 +229,13 @@ pub struct WalReadOutcome {
 }
 
 impl WalReadOutcome {
-    /// Only the graph mutations, dropping checkpoints.
+    /// Only the graph mutations, dropping checkpoints and registrations.
     pub fn updates(&self) -> Vec<GraphUpdate> {
         self.records
             .iter()
             .filter_map(|r| match r {
                 WalRecord::Update(u) => Some(u.clone()),
-                WalRecord::TrackerCheckpoint(_) => None,
+                _ => None,
             })
             .collect()
     }
@@ -224,8 +244,19 @@ impl WalReadOutcome {
     pub fn last_checkpoint(&self) -> Option<&[u8]> {
         self.records.iter().rev().find_map(|r| match r {
             WalRecord::TrackerCheckpoint(blob) => Some(blob.as_slice()),
-            WalRecord::Update(_) => None,
+            _ => None,
         })
+    }
+
+    /// Prepared-statement registrations in append order.
+    pub fn prepared(&self) -> Vec<String> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Prepared(text) => Some(text.clone()),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -296,6 +327,7 @@ mod tests {
                 src: VertexId(0),
                 dst: VertexId(1),
             }),
+            WalRecord::Prepared("MATCH (d:Drug) WHERE d.name = $n RETURN d.name".into()),
             WalRecord::TrackerCheckpoint(vec![1, 2, 3, 4, 5]),
         ]
     }
@@ -316,7 +348,7 @@ mod tests {
         assert!(writer.is_empty());
         writer.append(&records[..2]).unwrap();
         writer.append(&records[2..]).unwrap();
-        assert_eq!(writer.record_count(), 4);
+        assert_eq!(writer.record_count(), 5);
         assert!(writer.len() > WAL_MAGIC.len() as u64);
         writer.sync().unwrap();
 
@@ -326,6 +358,10 @@ mod tests {
         assert_eq!(outcome.valid_bytes, writer.len());
         assert_eq!(outcome.updates().len(), 3);
         assert_eq!(outcome.last_checkpoint(), Some(&[1u8, 2, 3, 4, 5][..]));
+        assert_eq!(
+            outcome.prepared(),
+            vec!["MATCH (d:Drug) WHERE d.name = $n RETURN d.name".to_string()]
+        );
     }
 
     #[test]

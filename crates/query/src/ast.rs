@@ -37,14 +37,44 @@ pub struct EdgePattern {
 }
 
 /// Aggregation functions supported by the return clause.
+///
+/// Aggregates with a property (`SUM`/`MIN`/`MAX`/`AVG`, `COUNT(DISTINCT
+/// v.p)`, `size(COLLECT(v.p))`) range over the *scalar values* of that
+/// property across the group's bindings: a LIST-typed value contributes one
+/// scalar per element. That flattening is what keeps aggregates correct when
+/// the DIR→OPT rewrite answers them from a replicated LIST property instead
+/// of an edge traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Aggregate {
-    /// Number of matched bindings.
+    /// `count(v)` — number of bindings where the variable is bound;
+    /// `count(v.p)` — number of bindings carrying the property.
     Count,
+    /// `count(DISTINCT v)` — distinct vertices bound to the variable;
+    /// `count(DISTINCT v.p)` — distinct scalar property values.
+    CountDistinct,
     /// Number of collected property values (`size(COLLECT(p))`); LIST-typed
     /// properties contribute their element count, which is what makes the
     /// rewritten aggregation queries equivalent on the optimized schema.
     CollectCount,
+    /// `sum(v.p)` — numeric sum (exact `Int` when every value is an `Int`,
+    /// `Float` otherwise; `0` over an empty group).
+    Sum,
+    /// `min(v.p)` — smallest value under the total `ORDER BY` value order
+    /// (`null` over an empty group).
+    Min,
+    /// `max(v.p)` — largest value (`null` over an empty group).
+    Max,
+    /// `avg(v.p)` — mean of the numeric values as a `Float` (`null` over an
+    /// empty group).
+    Avg,
+}
+
+impl Aggregate {
+    /// True for the functions that require a `v.property` operand
+    /// (`SUM`/`MIN`/`MAX`/`AVG`).
+    pub fn requires_property(&self) -> bool {
+        matches!(self, Aggregate::Sum | Aggregate::Min | Aggregate::Max | Aggregate::Avg)
+    }
 }
 
 /// One item of the `RETURN` clause.
@@ -187,7 +217,12 @@ impl Query {
                     };
                     match agg {
                         Aggregate::Count => format!("count({inner})"),
+                        Aggregate::CountDistinct => format!("count(DISTINCT {inner})"),
                         Aggregate::CollectCount => format!("size(collect({inner}))"),
+                        Aggregate::Sum => format!("sum({inner})"),
+                        Aggregate::Min => format!("min({inner})"),
+                        Aggregate::Max => format!("max({inner})"),
+                        Aggregate::Avg => format!("avg({inner})"),
                     }
                 }
             })
@@ -248,12 +283,20 @@ impl QueryBuilder {
     }
 
     /// Returns an aggregate.
+    ///
+    /// # Panics
+    /// Panics when a numeric aggregate (`SUM`/`MIN`/`MAX`/`AVG`) is given no
+    /// property — those functions have no meaning over bare vertices.
     pub fn ret_aggregate(
         mut self,
         agg: Aggregate,
         var: impl Into<String>,
         property: Option<&str>,
     ) -> Self {
+        assert!(
+            !(agg.requires_property() && property.is_none()),
+            "{agg:?} requires a v.property operand"
+        );
         self.query.returns.push(ReturnItem::Aggregate {
             agg,
             var: var.into(),

@@ -21,7 +21,15 @@
 //!   with left-outer semantics: a row whose optional edge finds no match is
 //!   kept with the optional variable unbound, which surfaces as
 //!   [`PropertyValue::Null`] in result rows;
-//! * **`DISTINCT` → `ORDER BY` → `SKIP`/`LIMIT`**, applied in that order.
+//! * **aggregation** — statements whose `RETURN` clause carries aggregates
+//!   (`COUNT`, `COUNT(DISTINCT …)`, `SUM`/`MIN`/`MAX`/`AVG`,
+//!   `size(COLLECT(…))`) collapse the match into one row per `GROUP BY`
+//!   group (one global group without `GROUP BY`); property-carrying
+//!   aggregates flatten LIST values into their elements, which is what keeps
+//!   them correct over the replicated LIST properties the DIR→OPT rewrite
+//!   substitutes for edge traversals;
+//! * **`DISTINCT` → `ORDER BY` → `SKIP`/`LIMIT`**, applied in that order to
+//!   the (possibly aggregated) rows.
 //!
 //! # Parallel fan-out over shards
 //!
@@ -38,7 +46,7 @@
 //! equivalence is unaffected.
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
-use crate::stmt::{order_values, OrderKey, Predicate, Statement};
+use crate::stmt::{order_values, CountTerm, OrderKey, Predicate, Statement, Term};
 use pgso_graphstore::{AccessStats, GraphBackend, PropertyValue, VertexId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,8 +127,13 @@ pub fn execute(query: &Query, backend: &dyn GraphBackend) -> QueryResult {
     run(query, &Clauses::NONE, backend, &ExecConfig::default())
 }
 
-/// Executes a full statement (predicates, optional edges, `DISTINCT`,
-/// `ORDER BY`, `SKIP`/`LIMIT`) against a backend.
+/// Executes a full statement (predicates, optional edges, aggregation with
+/// `GROUP BY`, `DISTINCT`, `ORDER BY`, `SKIP`/`LIMIT`) against a backend.
+///
+/// Statements should be fully bound ([`Statement::bind`]) before execution.
+/// An *unbound* `$parameter` degrades gracefully rather than panicking: a
+/// predicate comparing against it matches nothing (like a `Null` literal),
+/// an unbound `SKIP` skips nothing, and an unbound `LIMIT` does not limit.
 pub fn execute_statement(stmt: &Statement, backend: &dyn GraphBackend) -> QueryResult {
     execute_statement_with(stmt, backend, &ExecConfig::default())
 }
@@ -137,19 +150,23 @@ pub fn execute_statement_with(
         opt_edges: &stmt.opt_edges,
         predicates: &stmt.predicates,
         distinct: stmt.distinct,
+        group_by: &stmt.group_by,
         order_by: &stmt.order_by,
-        skip: stmt.skip,
-        limit: stmt.limit,
+        skip: stmt.skip.as_ref().and_then(CountTerm::count),
+        limit: stmt.limit.as_ref().and_then(CountTerm::count),
     };
     run(&stmt.pattern, &clauses, backend, config)
 }
 
 /// Borrowed view of the statement-level clauses; empty for a bare query.
+/// Window counts are already resolved (an unbound `$parameter` resolves to
+/// `None`: no skip, no limit).
 struct Clauses<'a> {
     opt_nodes: &'a [NodePattern],
     opt_edges: &'a [EdgePattern],
     predicates: &'a [Predicate],
     distinct: bool,
+    group_by: &'a [String],
     order_by: &'a [OrderKey],
     skip: Option<usize>,
     limit: Option<usize>,
@@ -161,6 +178,7 @@ impl Clauses<'static> {
         opt_edges: &[],
         predicates: &[],
         distinct: false,
+        group_by: &[],
         order_by: &[],
         skip: None,
         limit: None,
@@ -188,17 +206,21 @@ impl<'a> Ctx<'a> {
     }
 
     /// Evaluates every predicate on `var` against `vertex`. A missing
-    /// property fails the predicate.
+    /// property fails the predicate, as does an unbound `$parameter` (no
+    /// property is fetched for one, so it is not counted as a check).
     fn var_passes(&self, var: &str, vertex: VertexId) -> bool {
         let Some(predicates) = self.preds_by_var.get(var) else {
             return true;
         };
         for predicate in predicates {
+            let Term::Literal(rhs) = &predicate.value else {
+                return false;
+            };
             self.predicate_checks.fetch_add(1, Ordering::Relaxed);
             let Some(value) = self.backend.property_of(vertex, &predicate.property) else {
                 return false;
             };
-            if !predicate.op.eval(&value, &predicate.value) {
+            if !predicate.op.eval(&value, rhs) {
                 return false;
             }
         }
@@ -254,8 +276,12 @@ fn run(
     }
     let bindings = apply_optional(&ctx, bindings);
 
-    let rows = build_rows(&ctx, &bindings);
-    let rows = finalize_rows(&ctx, rows, &bindings);
+    let (rows, reps) = if query.is_aggregation() {
+        aggregate_rows(&ctx, &bindings)
+    } else {
+        (build_rows(&ctx, &bindings), (0..bindings.len()).collect())
+    };
+    let rows = finalize_rows(&ctx, rows, &reps, &bindings);
     let elapsed = start.elapsed();
     let after = backend.stats();
     QueryResult {
@@ -548,51 +574,6 @@ fn label_matches(backend: &dyn GraphBackend, vertex: VertexId, label: &str) -> b
 fn build_rows(ctx: &Ctx<'_>, bindings: &[HashMap<String, VertexId>]) -> Vec<Row> {
     let query = ctx.query;
     let backend = ctx.backend;
-    if query.is_aggregation() {
-        let mut row = Row::new();
-        for item in &query.returns {
-            match item {
-                ReturnItem::Aggregate { agg: Aggregate::Count, .. } => {
-                    row.push(PropertyValue::Int(bindings.len() as i64));
-                }
-                ReturnItem::Aggregate { agg: Aggregate::CollectCount, var, property } => {
-                    let mut collected = 0usize;
-                    for binding in bindings {
-                        let Some(&vertex) = binding.get(var) else { continue };
-                        match property {
-                            Some(p) => {
-                                if let Some(value) = backend.property_of(vertex, p) {
-                                    collected += value.element_count();
-                                }
-                            }
-                            None => collected += 1,
-                        }
-                    }
-                    row.push(PropertyValue::Int(collected as i64));
-                }
-                ReturnItem::Property { var, property } => {
-                    // Non-aggregated return mixed with aggregates: take the
-                    // first binding's value, mirroring an implicit group key.
-                    let value = bindings
-                        .first()
-                        .and_then(|b| b.get(var))
-                        .and_then(|&v| backend.property_of(v, property))
-                        .unwrap_or(PropertyValue::Str(String::new()));
-                    row.push(value);
-                }
-                ReturnItem::Vertex { var } => {
-                    let value = bindings
-                        .first()
-                        .and_then(|b| b.get(var))
-                        .map(|&v| PropertyValue::Int(v.0 as i64))
-                        .unwrap_or(PropertyValue::Int(-1));
-                    row.push(value);
-                }
-            }
-        }
-        return vec![row];
-    }
-
     let optional_var = |var: &str| ctx.clauses.opt_nodes.iter().any(|n| n.var == var);
     bindings
         .iter()
@@ -615,33 +596,208 @@ fn build_rows(ctx: &Ctx<'_>, bindings: &[HashMap<String, VertexId>]) -> Vec<Row>
                         None if optional_var(var) => PropertyValue::Null,
                         None => PropertyValue::Int(-1),
                     },
-                    ReturnItem::Aggregate { .. } => unreachable!("handled above"),
+                    ReturnItem::Aggregate { .. } => {
+                        unreachable!("aggregation statements go through aggregate_rows")
+                    }
                 })
                 .collect()
         })
         .collect()
 }
 
+/// Computes one row per aggregation group — a single global group without
+/// `GROUP BY`, one group per distinct combination of grouped vertices
+/// otherwise (groups in first-appearance order, so the output is
+/// deterministic). Also returns each row's *representative* binding index
+/// (the group's first binding), which downstream `ORDER BY` keys are
+/// evaluated against; `usize::MAX` marks the binding-less global group of an
+/// empty match (its sort keys read as `Null`).
+fn aggregate_rows(ctx: &Ctx<'_>, bindings: &[HashMap<String, VertexId>]) -> (Vec<Row>, Vec<usize>) {
+    let group_by = ctx.clauses.group_by;
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    if group_by.is_empty() {
+        // The global group exists even over an empty match: COUNT of an
+        // empty set is 0, not no-answer.
+        groups.push((0..bindings.len()).collect());
+    } else {
+        let mut index: HashMap<Vec<Option<VertexId>>, usize> = HashMap::new();
+        for (i, binding) in bindings.iter().enumerate() {
+            let key: Vec<Option<VertexId>> =
+                group_by.iter().map(|var| binding.get(var).copied()).collect();
+            let slot = *index.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[slot].push(i);
+        }
+    }
+
+    let optional_var = |var: &str| ctx.clauses.opt_nodes.iter().any(|n| n.var == var);
+    let mut rows = Vec::with_capacity(groups.len());
+    let mut reps = Vec::with_capacity(groups.len());
+    for members in &groups {
+        let rep = members.first().map(|&i| &bindings[i]);
+        // Scalar property values shared across this group's aggregates:
+        // `sum(r.dose), min(r.dose), max(r.dose)` reads each property once,
+        // not once per aggregate (the reads go through the backend and are
+        // charged to AccessStats, so sharing also keeps the experiment
+        // counters proportional to the data touched).
+        let mut scalars: HashMap<(&str, &str), Vec<PropertyValue>> = HashMap::new();
+        let mut row = Row::with_capacity(ctx.query.returns.len());
+        for item in &ctx.query.returns {
+            row.push(match item {
+                // A non-aggregated item next to aggregates reads from the
+                // group's first binding — well-defined when the item's
+                // variable is a GROUP BY key, an implicit sample otherwise.
+                ReturnItem::Property { var, property } => match rep.and_then(|b| b.get(var)) {
+                    Some(&v) => ctx
+                        .backend
+                        .property_of(v, property)
+                        .unwrap_or(PropertyValue::Str(String::new())),
+                    None if optional_var(var) && rep.is_some() => PropertyValue::Null,
+                    None => PropertyValue::Str(String::new()),
+                },
+                ReturnItem::Vertex { var } => match rep.and_then(|b| b.get(var)) {
+                    Some(&v) => PropertyValue::Int(v.0 as i64),
+                    None if optional_var(var) && rep.is_some() => PropertyValue::Null,
+                    None => PropertyValue::Int(-1),
+                },
+                // `count(v.p)` counts per-binding property *presence* (a
+                // LIST is one value here), so it reads the property itself
+                // instead of the flattened scalar set.
+                ReturnItem::Aggregate { agg: Aggregate::Count, var, property: Some(p) } => {
+                    let n = members
+                        .iter()
+                        .filter_map(|&i| bindings[i].get(var))
+                        .filter(|&&v| ctx.backend.property_of(v, p).is_some())
+                        .count();
+                    PropertyValue::Int(n as i64)
+                }
+                ReturnItem::Aggregate { agg, var, property } => {
+                    let values = property.as_deref().map(|p| {
+                        &*scalars
+                            .entry((var.as_str(), p))
+                            .or_insert_with(|| scalar_values(ctx, bindings, members, var, p))
+                    });
+                    aggregate_value(bindings, members, *agg, var, values)
+                }
+            });
+        }
+        rows.push(row);
+        reps.push(members.first().copied().unwrap_or(usize::MAX));
+    }
+    (rows, reps)
+}
+
+/// Evaluates one aggregate over a group's bindings. `values` is the shared
+/// flattened scalar set of the aggregate's `var.property` (`None` for
+/// property-less aggregates).
+fn aggregate_value(
+    bindings: &[HashMap<String, VertexId>],
+    members: &[usize],
+    agg: Aggregate,
+    var: &str,
+    values: Option<&Vec<PropertyValue>>,
+) -> PropertyValue {
+    let bound = || members.iter().filter_map(|&i| bindings[i].get(var)).copied();
+    match (agg, values) {
+        (Aggregate::Count | Aggregate::CollectCount, None) => {
+            PropertyValue::Int(bound().count() as i64)
+        }
+        (Aggregate::CountDistinct, None) => {
+            let distinct: HashSet<VertexId> = bound().collect();
+            PropertyValue::Int(distinct.len() as i64)
+        }
+        (agg, Some(values)) => match agg {
+            Aggregate::CollectCount => PropertyValue::Int(values.len() as i64),
+            Aggregate::CountDistinct => {
+                let distinct: HashSet<String> = values.iter().map(|v| format!("{v:?}")).collect();
+                PropertyValue::Int(distinct.len() as i64)
+            }
+            Aggregate::Sum => {
+                if values.iter().all(|v| matches!(v, PropertyValue::Int(_))) {
+                    PropertyValue::Int(values.iter().filter_map(PropertyValue::as_int).sum())
+                } else {
+                    PropertyValue::Float(values.iter().filter_map(PropertyValue::as_float).sum())
+                }
+            }
+            Aggregate::Min => values
+                .iter()
+                .min_by(|a, b| order_values(a, b))
+                .cloned()
+                .unwrap_or(PropertyValue::Null),
+            Aggregate::Max => values
+                .iter()
+                .max_by(|a, b| order_values(a, b))
+                .cloned()
+                .unwrap_or(PropertyValue::Null),
+            Aggregate::Avg => {
+                let nums: Vec<f64> = values.iter().filter_map(PropertyValue::as_float).collect();
+                if nums.is_empty() {
+                    PropertyValue::Null
+                } else {
+                    PropertyValue::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            Aggregate::Count => unreachable!("count(v.p) is evaluated at the call site"),
+        },
+        // A property-less numeric aggregate cannot be built through the
+        // builder or the parser; answer Null for a hand-assembled one.
+        (_, None) => PropertyValue::Null,
+    }
+}
+
+/// The scalar values of `var.property` across a group, flattening LIST
+/// values into their elements. The flattening is what keeps per-element
+/// aggregates (`SUM`/`MIN`/`MAX`/`AVG`, `COUNT(DISTINCT v.p)`,
+/// `size(COLLECT(v.p))`) correct when the DIR→OPT rewrite answers them from
+/// a replicated LIST property: the list holds one element per original edge,
+/// so the flattened multiset equals the per-binding multiset on DIR.
+fn scalar_values(
+    ctx: &Ctx<'_>,
+    bindings: &[HashMap<String, VertexId>],
+    members: &[usize],
+    var: &str,
+    property: &str,
+) -> Vec<PropertyValue> {
+    let mut out = Vec::new();
+    for &i in members {
+        let Some(&vertex) = bindings[i].get(var) else { continue };
+        let Some(value) = ctx.backend.property_of(vertex, property) else { continue };
+        match value {
+            PropertyValue::List(items) => out.extend(items),
+            PropertyValue::Null => {}
+            scalar => out.push(scalar),
+        }
+    }
+    out
+}
+
 /// Applies `DISTINCT`, `ORDER BY` and `SKIP`/`LIMIT` to the built rows.
+/// `reps[i]` is the binding index `ORDER BY` keys of row `i` are evaluated
+/// against — the row's own binding for plain rows, the group's first binding
+/// for aggregate rows (`usize::MAX` for the binding-less global group, whose
+/// keys read as `Null`).
 fn finalize_rows(
     ctx: &Ctx<'_>,
     rows: Vec<Row>,
+    reps: &[usize],
     bindings: &[HashMap<String, VertexId>],
 ) -> Vec<Row> {
     let clauses = ctx.clauses;
-    let aggregated = ctx.query.is_aggregation();
-    let mut keyed: Vec<(Row, Vec<PropertyValue>)> = if clauses.order_by.is_empty() || aggregated {
+    let mut keyed: Vec<(Row, Vec<PropertyValue>)> = if clauses.order_by.is_empty() {
         rows.into_iter().map(|r| (r, Vec::new())).collect()
     } else {
         rows.into_iter()
-            .zip(bindings)
-            .map(|(row, binding)| {
+            .zip(reps)
+            .map(|(row, &rep)| {
                 let keys = clauses
                     .order_by
                     .iter()
                     .map(|key| {
-                        binding
-                            .get(&key.var)
+                        bindings
+                            .get(rep)
+                            .and_then(|b| b.get(&key.var))
                             .and_then(|&v| ctx.backend.property_of(v, &key.property))
                             .unwrap_or(PropertyValue::Null)
                     })
@@ -656,7 +812,7 @@ fn finalize_rows(
     // part of the returned row) the row content breaks the tie, so DIR and
     // OPT executions of equivalent statements produce identically ordered
     // rows. The surviving set is the same as deduplicating first.
-    if !clauses.order_by.is_empty() && !aggregated {
+    if !clauses.order_by.is_empty() {
         let reprs: Vec<String> = keyed.iter().map(|(row, _)| format!("{row:?}")).collect();
         let mut order: Vec<usize> = (0..keyed.len()).collect();
         order.sort_by(|&ia, &ib| {
@@ -677,7 +833,7 @@ fn finalize_rows(
         keyed = sorted;
     }
 
-    if clauses.distinct && !aggregated {
+    if clauses.distinct {
         let mut seen: HashSet<String> = HashSet::with_capacity(keyed.len());
         keyed.retain(|(row, _)| seen.insert(format!("{row:?}")));
     }
@@ -1066,6 +1222,154 @@ mod tests {
         let rows = execute_statement(&stmt, &g).rows;
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0].as_str(), Some("Aspirin"));
+    }
+
+    #[test]
+    fn unbound_parameters_degrade_gracefully() {
+        let g = figure_1_direct();
+        // Unbound predicate parameter: matches nothing, fetches nothing.
+        let stmt = Statement::builder("unbound")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .filter_param("i", "desc", CmpOp::Eq, "needle")
+            .build();
+        let result = execute_statement(&stmt, &g);
+        assert!(result.rows.is_empty());
+        assert_eq!(result.predicate_checks, 0, "no property fetched for an unbound parameter");
+        // Bound through `bind`, it behaves like the literal statement.
+        let bound = stmt.bind(&crate::Params::new().set("needle", "Fever")).unwrap();
+        assert_eq!(execute_statement(&bound, &g).rows.len(), 1);
+        // Unbound window parameters: no skip, no limit.
+        let windowed = Statement::builder("window")
+            .node("i", "Indication")
+            .ret_property("i", "desc")
+            .skip_param("s")
+            .limit_param("n")
+            .build();
+        assert_eq!(execute_statement(&windowed, &g).rows.len(), 2);
+    }
+
+    #[test]
+    fn group_by_aggregates_per_vertex() {
+        let mut g = figure_1_direct();
+        // A second drug treating one indication, so groups differ in size.
+        let placebo = g.add_vertex("Drug", props([("name", "Placebo".into())]));
+        g.add_edge("treat", placebo, pgso_graphstore::VertexId(1));
+        let stmt = Statement::builder("per-drug")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .ret_aggregate(Aggregate::Count, "i", None)
+            .group_by("d")
+            .order_by("d", "name", false)
+            .build();
+        let rows = execute_statement(&stmt, &g).rows;
+        assert_eq!(rows.len(), 2, "one row per drug");
+        assert_eq!(rows[0][0].as_str(), Some("Aspirin"));
+        assert_eq!(rows[0][1].as_int(), Some(2));
+        assert_eq!(rows[1][0].as_str(), Some("Placebo"));
+        assert_eq!(rows[1][1].as_int(), Some(1));
+    }
+
+    #[test]
+    fn group_by_over_an_empty_match_returns_no_groups() {
+        let g = figure_1_direct();
+        let stmt = Statement::builder("empty-groups")
+            .node("x", "Pharmacy")
+            .ret_aggregate(Aggregate::Count, "x", None)
+            .group_by("x")
+            .build();
+        assert!(execute_statement(&stmt, &g).rows.is_empty(), "no vertices, no groups");
+        // Without GROUP BY the global group still answers 0.
+        let global = Statement::builder("global")
+            .node("x", "Pharmacy")
+            .ret_aggregate(Aggregate::Count, "x", None)
+            .build();
+        assert_eq!(execute_statement(&global, &g).scalar(), Some(0));
+    }
+
+    #[test]
+    fn numeric_aggregates_compute_sum_min_max_avg() {
+        let mut g = MemoryGraph::new();
+        let d = g.add_vertex("Drug", props([("name", "A".into())]));
+        for (i, dose) in [10i64, 30, 20].into_iter().enumerate() {
+            let r = g.add_vertex(
+                "Route",
+                props([("dose", dose.into()), ("tag", format!("r{i}").into())]),
+            );
+            g.add_edge("hasRoute", d, r);
+        }
+        let stmt = Statement::builder("nums")
+            .node("d", "Drug")
+            .node("r", "Route")
+            .edge("d", "hasRoute", "r")
+            .ret_aggregate(Aggregate::Sum, "r", Some("dose"))
+            .ret_aggregate(Aggregate::Min, "r", Some("dose"))
+            .ret_aggregate(Aggregate::Max, "r", Some("dose"))
+            .ret_aggregate(Aggregate::Avg, "r", Some("dose"))
+            .ret_aggregate(Aggregate::CountDistinct, "r", None)
+            .ret_aggregate(Aggregate::CountDistinct, "r", Some("tag"))
+            .build();
+        let row = &execute_statement(&stmt, &g).rows[0];
+        assert_eq!(row[0], PropertyValue::Int(60), "Int-only sum stays exact");
+        assert_eq!(row[1], PropertyValue::Int(10));
+        assert_eq!(row[2], PropertyValue::Int(30));
+        assert_eq!(row[3], PropertyValue::Float(20.0));
+        assert_eq!(row[4], PropertyValue::Int(3));
+        assert_eq!(row[5], PropertyValue::Int(3));
+    }
+
+    #[test]
+    fn per_element_aggregates_flatten_list_properties() {
+        // The optimized graph stores Indication.desc as a LIST on the drug;
+        // aggregating over it must see one scalar per element, exactly what
+        // the DIR traversal sees per binding.
+        let g = figure_1_optimized();
+        let stmt = Statement::builder("flat")
+            .node("d", "Drug")
+            .ret_aggregate(Aggregate::CountDistinct, "d", Some("Indication.desc"))
+            .ret_aggregate(Aggregate::Min, "d", Some("Indication.desc"))
+            .ret_aggregate(Aggregate::Max, "d", Some("Indication.desc"))
+            .build();
+        let row = &execute_statement(&stmt, &g).rows[0];
+        assert_eq!(row[0].as_int(), Some(2));
+        assert_eq!(row[1].as_str(), Some("Fever"));
+        assert_eq!(row[2].as_str(), Some("Headache"));
+    }
+
+    #[test]
+    fn empty_numeric_aggregates_answer_zero_or_null() {
+        let g = figure_1_direct();
+        let stmt = Statement::builder("empty")
+            .node("x", "Pharmacy")
+            .ret_aggregate(Aggregate::Sum, "x", Some("stock"))
+            .ret_aggregate(Aggregate::Min, "x", Some("stock"))
+            .ret_aggregate(Aggregate::Avg, "x", Some("stock"))
+            .build();
+        let row = &execute_statement(&stmt, &g).rows[0];
+        assert_eq!(row[0], PropertyValue::Int(0), "SUM of nothing is 0");
+        assert!(row[1].is_null(), "MIN of nothing is null");
+        assert!(row[2].is_null(), "AVG of nothing is null");
+    }
+
+    #[test]
+    fn count_distinct_collapses_repeated_bindings() {
+        let g = figure_1_direct();
+        // Homomorphism semantics bind (i1, i2) in 4 combinations; the drug
+        // variable repeats in every one of them.
+        let stmt = Statement::builder("distinct-drug")
+            .node("d", "Drug")
+            .node("i1", "Indication")
+            .node("i2", "Indication")
+            .edge("d", "treat", "i1")
+            .edge("d", "treat", "i2")
+            .ret_aggregate(Aggregate::Count, "d", None)
+            .ret_aggregate(Aggregate::CountDistinct, "d", None)
+            .build();
+        let row = &execute_statement(&stmt, &g).rows[0];
+        assert_eq!(row[0].as_int(), Some(4));
+        assert_eq!(row[1].as_int(), Some(1));
     }
 
     #[test]

@@ -1,21 +1,25 @@
 //! Stable structural fingerprints for pattern queries and statements.
 //!
-//! The serving layer caches DIR→OPT rewrites per query *shape*: two queries
-//! with the same node patterns, edge patterns and return clause share one
-//! plan regardless of their display name. [`fingerprint`] hashes exactly that
-//! shape with FNV-1a, giving a stable 64-bit key that does not depend on
+//! The serving layer caches DIR→OPT rewrites per statement: two statements
+//! that are structurally equal share one plan regardless of their display
+//! name. [`fingerprint`] / [`fingerprint_statement`] hash that structure
+//! with FNV-1a, giving a stable 64-bit key that does not depend on
 //! `std::collections` hash seeds or on the process — so cache keys are
 //! reproducible across runs and across serving threads.
 //!
-//! [`fingerprint_statement`] extends the shape with the statement-level
-//! clauses, hashing the predicate *shape* (variable, property, operator) but
-//! **not** the literal value, and the *presence* of `SKIP`/`LIMIT` but not
-//! their counts — so `… LIMIT 10` and `… LIMIT 20`, or the same `CONTAINS`
-//! filter with different needles, share one cached plan (rebound with the
-//! caller's literals at execution time).
+//! Unlike the positional-rebinding design this replaces, the fingerprint
+//! hashes the statement **verbatim**: literal values, `SKIP`/`LIMIT` counts
+//! and `$parameter` names all key. Value-independent plan sharing is the job
+//! of *parameterization* instead — `$name` placeholders hash by name, so a
+//! prepared statement has one fingerprint across every execution, and the
+//! serving layer canonicalizes ad-hoc statements through
+//! [`crate::Statement::parameterize`] before keying the cache. Sharing is
+//! then visible in the statement itself rather than silently spliced in by
+//! position.
 
 use crate::ast::{Aggregate, Query, ReturnItem};
-use crate::stmt::{CmpOp, Statement};
+use crate::stmt::{CmpOp, CountTerm, Statement, Term};
+use pgso_graphstore::PropertyValue;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -61,8 +65,9 @@ pub fn fingerprint(query: &Query) -> u64 {
 /// Computes the structural fingerprint of a statement.
 ///
 /// A statement without any statement-level clause hashes identically to its
-/// bare pattern query. Predicate literals and `SKIP`/`LIMIT` counts are
-/// excluded (see the module docs), as is the presentation name.
+/// bare pattern query. Everything else keys: predicate terms (literal values
+/// by content, `$parameters` by name), `SKIP`/`LIMIT` terms, `GROUP BY`,
+/// `DISTINCT` and the sort keys. Only the presentation name is excluded.
 pub fn fingerprint_statement(stmt: &Statement) -> u64 {
     let mut h = Fnv::new();
     hash_query(&mut h, &stmt.pattern);
@@ -94,6 +99,7 @@ pub fn fingerprint_statement(stmt: &Statement) -> u64 {
                 CmpOp::Ge => 25,
                 CmpOp::Contains => 26,
             });
+            hash_term(&mut h, &predicate.value);
         }
         h.write_tag(7);
         h.write_tag(stmt.distinct as u8);
@@ -105,10 +111,71 @@ pub fn fingerprint_statement(stmt: &Statement) -> u64 {
             h.write_tag(key.descending as u8);
         }
         h.write_tag(9);
-        h.write_tag(stmt.skip.is_some() as u8);
-        h.write_tag(stmt.limit.is_some() as u8);
+        hash_count_term(&mut h, stmt.skip.as_ref());
+        hash_count_term(&mut h, stmt.limit.as_ref());
+        h.write_tag(30);
+        h.write(&(stmt.group_by.len() as u32).to_le_bytes());
+        for var in &stmt.group_by {
+            h.write_str(var);
+        }
     }
     h.0
+}
+
+fn hash_term(h: &mut Fnv, term: &Term) {
+    match term {
+        Term::Literal(value) => {
+            h.write_tag(40);
+            hash_value(h, value);
+        }
+        Term::Parameter(name) => {
+            h.write_tag(41);
+            h.write_str(name);
+        }
+    }
+}
+
+fn hash_count_term(h: &mut Fnv, term: Option<&CountTerm>) {
+    match term {
+        None => h.write_tag(0),
+        Some(CountTerm::Count(n)) => {
+            h.write_tag(1);
+            h.write(&(*n as u64).to_le_bytes());
+        }
+        Some(CountTerm::Parameter(name)) => {
+            h.write_tag(2);
+            h.write_str(name);
+        }
+    }
+}
+
+fn hash_value(h: &mut Fnv, value: &PropertyValue) {
+    match value {
+        PropertyValue::Null => h.write_tag(50),
+        PropertyValue::Bool(b) => {
+            h.write_tag(51);
+            h.write_tag(*b as u8);
+        }
+        PropertyValue::Int(n) => {
+            h.write_tag(52);
+            h.write(&n.to_le_bytes());
+        }
+        PropertyValue::Float(x) => {
+            h.write_tag(53);
+            h.write(&x.to_bits().to_le_bytes());
+        }
+        PropertyValue::Str(s) => {
+            h.write_tag(54);
+            h.write_str(s);
+        }
+        PropertyValue::List(items) => {
+            h.write_tag(55);
+            h.write(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+    }
 }
 
 fn hash_query(h: &mut Fnv, query: &Query) {
@@ -142,6 +209,11 @@ fn hash_query(h: &mut Fnv, query: &Query) {
                 h.write_tag(match agg {
                     Aggregate::Count => 12,
                     Aggregate::CollectCount => 13,
+                    Aggregate::CountDistinct => 14,
+                    Aggregate::Sum => 15,
+                    Aggregate::Min => 16,
+                    Aggregate::Max => 17,
+                    Aggregate::Avg => 18,
                 });
                 h.write_str(var);
                 match property {
@@ -234,7 +306,6 @@ mod tests {
     // ---- statement fingerprints ----------------------------------------
 
     use crate::stmt::{CmpOp, Statement};
-    use pgso_graphstore::PropertyValue;
 
     fn stmt1() -> Statement {
         Statement::builder("S1")
@@ -256,17 +327,46 @@ mod tests {
     }
 
     #[test]
-    fn literals_and_window_counts_are_excluded() {
+    fn names_do_not_key_but_literals_now_do() {
         let base = fingerprint_statement(&stmt1());
-        let mut other_literal = stmt1();
-        other_literal.predicates[0].value = PropertyValue::str("ibuprofen");
-        assert_eq!(base, fingerprint_statement(&other_literal), "literal value must not key");
-        let mut other_limit = stmt1();
-        other_limit.limit = Some(20);
-        assert_eq!(base, fingerprint_statement(&other_limit), "LIMIT count must not key");
         let mut renamed = stmt1();
         renamed.pattern.name = "renamed".into();
         assert_eq!(base, fingerprint_statement(&renamed), "name must not key");
+        // Unlike the positional-rebinding design, a different constant is a
+        // different statement — sharing is parameterization's job.
+        let mut other_literal = stmt1();
+        other_literal.predicates[0].value = crate::stmt::Term::literal("ibuprofen");
+        assert_ne!(base, fingerprint_statement(&other_literal), "literal value keys");
+        let mut other_limit = stmt1();
+        other_limit.limit = Some(crate::stmt::CountTerm::Count(20));
+        assert_ne!(base, fingerprint_statement(&other_limit), "LIMIT count keys");
+    }
+
+    #[test]
+    fn parameterization_restores_value_independent_sharing() {
+        let mut other = stmt1();
+        other.predicates[0].value = crate::stmt::Term::literal("ibuprofen");
+        other.limit = Some(crate::stmt::CountTerm::Count(99));
+        let (canonical_a, _) = stmt1().parameterize();
+        let (canonical_b, _) = other.parameterize();
+        assert_eq!(
+            fingerprint_statement(&canonical_a),
+            fingerprint_statement(&canonical_b),
+            "same shape, different constants: canonical forms must share one key"
+        );
+        // Parameter names key: $a and $b are different prepared statements.
+        let by_name = |name: &str| {
+            Statement::builder("p")
+                .node("d", "Drug")
+                .ret_property("d", "name")
+                .filter_param("d", "name", CmpOp::Eq, name)
+                .build()
+        };
+        assert_ne!(
+            fingerprint_statement(&by_name("a")),
+            fingerprint_statement(&by_name("b")),
+            "parameter names key"
+        );
     }
 
     #[test]
@@ -299,5 +399,30 @@ mod tests {
             .opt_edge("i", "hasCondition", "c")
             .build();
         assert_ne!(base, fingerprint_statement(&with_optional), "optional edges key");
+    }
+
+    #[test]
+    fn group_by_and_aggregate_functions_key() {
+        let agg = |a: Aggregate, grouped: bool| {
+            let mut b = Query::builder("g")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i");
+            b = b.ret_aggregate(a, "i", Some("desc"));
+            let mut s = Statement::from(b.build());
+            if grouped {
+                s.group_by.push("d".into());
+            }
+            s
+        };
+        use crate::ast::Aggregate as A;
+        let sums = fingerprint_statement(&agg(A::Sum, false));
+        assert_ne!(sums, fingerprint_statement(&agg(A::Avg, false)), "function keys");
+        assert_ne!(sums, fingerprint_statement(&agg(A::Sum, true)), "GROUP BY keys");
+        assert_ne!(
+            fingerprint_statement(&agg(A::Count, false)),
+            fingerprint_statement(&agg(A::CountDistinct, false)),
+            "DISTINCT inside count keys"
+        );
     }
 }

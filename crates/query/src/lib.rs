@@ -2,18 +2,21 @@
 //!
 //! Graph query layer for the `pgso` workspace: a pattern-query AST
 //! ([`Query`]), the statement layer on top of it ([`Statement`]: `WHERE`
-//! predicates, `OPTIONAL` edges, `DISTINCT`, `ORDER BY`, `SKIP`/`LIMIT`), a
-//! Cypher-like text front-end ([`parse()`]), a backtracking executor
-//! ([`execute()`] / [`execute_statement`]) that runs against any
+//! predicates, `OPTIONAL` edges, aggregation with `GROUP BY`, `DISTINCT`,
+//! `ORDER BY`, `SKIP`/`LIMIT`), named `$parameters` with typed signatures
+//! and by-name binding ([`Params`] / [`Statement::bind`]), a Cypher-like
+//! text front-end ([`parse()`]), a backtracking executor ([`execute()`] /
+//! [`execute_statement`]) that runs against any
 //! [`pgso_graphstore::GraphBackend`], and the DIR→OPT rewriter
 //! ([`rewrite()`] / [`rewrite_statement`]) that maps queries written against
 //! the direct schema onto an optimized schema (Section 5.3 of the paper).
 //!
-//! Text is the first-class entry point:
+//! Text is the first-class entry point, and prepared statements carry
+//! `$name` placeholders instead of splicing literals:
 //!
 //! ```
 //! use pgso_graphstore::{props, GraphBackend, MemoryGraph};
-//! use pgso_query::{execute_statement, parse};
+//! use pgso_query::{execute_statement, parse, Params};
 //!
 //! let mut graph = MemoryGraph::new();
 //! let drug = graph.add_vertex("Drug", props([("name", "Aspirin".into())]));
@@ -22,12 +25,18 @@
 //!
 //! let stmt = parse(
 //!     "MATCH (d:Drug)-[:treat]->(i:Indication) \
-//!      WHERE d.name CONTAINS 'spir' \
-//!      RETURN i.desc ORDER BY i.desc LIMIT 10",
+//!      WHERE d.name CONTAINS $needle \
+//!      RETURN i.desc ORDER BY i.desc LIMIT $n",
 //! )
 //! .unwrap();
-//! let result = execute_statement(&stmt, &graph);
+//! let bound = stmt.bind(&Params::new().set("needle", "spir").set("n", 10i64)).unwrap();
+//! let result = execute_statement(&bound, &graph);
 //! assert_eq!(result.rows[0][0].as_str(), Some("Fever"));
+//!
+//! // Aggregation: count indications per drug.
+//! let agg = parse("MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, count(i) GROUP BY d")
+//!     .unwrap();
+//! assert_eq!(execute_statement(&agg, &graph).rows[0][1].as_int(), Some(1));
 //! ```
 //!
 //! The builder API ([`Query::builder`], [`Statement::builder`]) remains for
@@ -40,6 +49,7 @@
 pub mod ast;
 pub mod exec;
 pub mod fingerprint;
+pub mod params;
 pub mod parse;
 pub mod rewrite;
 pub mod stmt;
@@ -47,6 +57,7 @@ pub mod stmt;
 pub use ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder, ReturnItem};
 pub use exec::{execute, execute_statement, execute_statement_with, ExecConfig, QueryResult, Row};
 pub use fingerprint::{fingerprint, fingerprint_statement};
+pub use params::{BindError, ParamKind, ParamSignature, ParamSpec, Params};
 pub use parse::{parse, parse_named, ParseError};
 pub use rewrite::{rewrite, rewrite_statement};
-pub use stmt::{CmpOp, OrderKey, Predicate, Statement, StatementBuilder};
+pub use stmt::{CmpOp, CountTerm, OrderKey, Predicate, Statement, StatementBuilder, Term};

@@ -8,22 +8,23 @@
 //! so statements round-trip:
 //!
 //! ```
-//! use pgso_query::parse;
+//! use pgso_query::{parse, CountTerm};
 //!
 //! let stmt = parse(
 //!     "MATCH (d:Drug)-[:treat]->(i:Indication) \
-//!      WHERE d.name CONTAINS 'aspirin' \
+//!      WHERE d.name CONTAINS $needle \
 //!      RETURN i.desc ORDER BY i.desc LIMIT 10",
 //! )
 //! .unwrap();
 //! assert_eq!(stmt.predicates.len(), 1);
-//! assert_eq!(stmt.limit, Some(10));
+//! assert_eq!(stmt.predicates[0].value.parameter_name(), Some("needle"));
+//! assert_eq!(stmt.limit, Some(CountTerm::Count(10)));
 //! let reparsed = parse(&stmt.to_string()).unwrap();
 //! assert!(stmt.structurally_eq(&reparsed));
 //! ```
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
-use crate::stmt::{CmpOp, OrderKey, Predicate, Statement};
+use crate::stmt::{CmpOp, CountTerm, OrderKey, Predicate, Statement, Term};
 use pgso_graphstore::PropertyValue;
 use std::fmt;
 
@@ -67,6 +68,8 @@ enum Tok {
     Number(String),
     /// Quoted string literal (quotes stripped).
     Str(String),
+    /// Named parameter (`$name`, dollar stripped).
+    Param(String),
     /// Punctuation / operator: one of `( ) [ ] : , . = < > <= >= != <> -[ ]->`.
     Punct(&'static str),
 }
@@ -178,6 +181,22 @@ fn tokenize(text: &str) -> Result<Vec<Spanned>, ParseError> {
                 tokens.push(Spanned { tok: Tok::Number(text[i..j].to_string()), offset });
                 i = j;
             }
+            '$' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(ParseError {
+                        message: "expected a parameter name after `$`".into(),
+                        offset,
+                    });
+                }
+                tokens.push(Spanned { tok: Tok::Param(text[i + 1..j].to_string()), offset });
+                i = j;
+            }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 let mut j = i;
                 while j < bytes.len()
@@ -234,6 +253,15 @@ impl Parser {
         matches!(self.peek(), Some(Tok::Ident(word)) if word.eq_ignore_ascii_case(keyword))
     }
 
+    /// True when the next tokens are `keyword (` — an aggregate-function
+    /// call. The paren lookahead keeps `count`, `size`, `sum`, `min`, `max`
+    /// and `avg` usable as plain variable names (`RETURN sum.total`): they
+    /// are only treated as functions when actually called.
+    fn peek_call(&self, keyword: &str) -> bool {
+        self.peek_keyword(keyword)
+            && matches!(self.tokens.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Punct("(")))
+    }
+
     fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
         if self.eat_keyword(keyword) {
             Ok(())
@@ -281,16 +309,22 @@ impl Parser {
         Ok(name)
     }
 
-    fn usize_literal(&mut self) -> Result<usize, ParseError> {
-        match self.peek() {
+    /// A `SKIP`/`LIMIT` count: a non-negative integer or a `$parameter`.
+    fn count_term(&mut self) -> Result<CountTerm, ParseError> {
+        match self.peek().cloned() {
             Some(Tok::Number(n)) => {
                 let parsed = n
                     .parse::<usize>()
+                    .map(CountTerm::Count)
                     .map_err(|_| self.error(format!("expected a non-negative integer, got {n}")));
                 self.pos += 1;
                 parsed
             }
-            _ => Err(self.error("expected a non-negative integer")),
+            Some(Tok::Param(name)) => {
+                self.pos += 1;
+                Ok(CountTerm::Parameter(name))
+            }
+            _ => Err(self.error("expected a non-negative integer or a $parameter")),
         }
     }
 
@@ -357,8 +391,17 @@ impl Parser {
         } else {
             return Err(self.error("expected a comparison operator"));
         };
-        let value = self.literal()?;
+        let value = self.term()?;
         Ok(Predicate { var, property, op, value })
+    }
+
+    /// A predicate right-hand side: a literal or a `$parameter`.
+    fn term(&mut self) -> Result<Term, ParseError> {
+        if let Some(Tok::Param(name)) = self.peek().cloned() {
+            self.pos += 1;
+            return Ok(Term::Parameter(name));
+        }
+        self.literal().map(Term::Literal)
     }
 
     fn literal(&mut self) -> Result<PropertyValue, ParseError> {
@@ -368,7 +411,33 @@ impl Parser {
         if self.eat_keyword("false") {
             return Ok(PropertyValue::Bool(false));
         }
+        if self.eat_keyword("null") {
+            return Ok(PropertyValue::Null);
+        }
+        if self.eat_keyword("NaN") {
+            return Ok(PropertyValue::Float(f64::NAN));
+        }
+        if self.eat_punct("[") {
+            let mut items = Vec::new();
+            if !self.eat_punct("]") {
+                loop {
+                    items.push(self.literal()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct("]")?;
+            }
+            return Ok(PropertyValue::List(items));
+        }
         let negative = self.eat_punct("-");
+        if self.eat_keyword("inf") {
+            return Ok(PropertyValue::Float(if negative {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }));
+        }
         match self.peek().cloned() {
             Some(Tok::Str(s)) if !negative => {
                 self.pos += 1;
@@ -387,22 +456,44 @@ impl Parser {
                         .map_err(|_| self.error(format!("invalid integer literal {text}")))
                 }
             }
-            _ => Err(self.error("expected a literal (string, number or boolean)")),
+            _ => Err(self.error(
+                "expected a literal (string, number, boolean, null or list) or a $parameter",
+            )),
         }
     }
 
     // -- RETURN -----------------------------------------------------------
 
     fn return_item(&mut self) -> Result<ReturnItem, ParseError> {
-        if self.peek_keyword("count") {
+        if self.peek_call("count") {
             self.pos += 1;
             self.expect_punct("(")?;
+            let distinct = self.eat_keyword("DISTINCT");
             let var = self.ident()?;
             let property = if self.eat_punct(".") { Some(self.property_name()?) } else { None };
             self.expect_punct(")")?;
-            return Ok(ReturnItem::Aggregate { agg: Aggregate::Count, var, property });
+            let agg = if distinct { Aggregate::CountDistinct } else { Aggregate::Count };
+            return Ok(ReturnItem::Aggregate { agg, var, property });
         }
-        if self.peek_keyword("size") {
+        for (keyword, agg) in [
+            ("sum", Aggregate::Sum),
+            ("min", Aggregate::Min),
+            ("max", Aggregate::Max),
+            ("avg", Aggregate::Avg),
+        ] {
+            if self.peek_call(keyword) {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let var = self.ident()?;
+                if !self.eat_punct(".") {
+                    return Err(self.error(format!("{keyword}() requires a v.property operand")));
+                }
+                let property = self.property_name()?;
+                self.expect_punct(")")?;
+                return Ok(ReturnItem::Aggregate { agg, var, property: Some(property) });
+            }
+        }
+        if self.peek_call("size") {
             self.pos += 1;
             self.expect_punct("(")?;
             self.expect_keyword("collect")?;
@@ -469,6 +560,22 @@ impl Parser {
             }
         }
 
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            if !returns.iter().any(|r| matches!(r, ReturnItem::Aggregate { .. })) {
+                return Err(
+                    self.error("GROUP BY requires at least one aggregate in the RETURN clause")
+                );
+            }
+        }
+
         let mut order_by = Vec::new();
         if self.eat_keyword("ORDER") {
             self.expect_keyword("BY")?;
@@ -489,8 +596,8 @@ impl Parser {
             }
         }
 
-        let skip = if self.eat_keyword("SKIP") { Some(self.usize_literal()?) } else { None };
-        let limit = if self.eat_keyword("LIMIT") { Some(self.usize_literal()?) } else { None };
+        let skip = if self.eat_keyword("SKIP") { Some(self.count_term()?) } else { None };
+        let limit = if self.eat_keyword("LIMIT") { Some(self.count_term()?) } else { None };
 
         if self.pos != self.tokens.len() {
             return Err(self.error("unexpected trailing input"));
@@ -522,6 +629,11 @@ impl Parser {
                 return Err(self.error(format!("ORDER BY references unbound variable {}", key.var)));
             }
         }
+        for var in &group_by {
+            if !bound(var) {
+                return Err(self.error(format!("GROUP BY references unbound variable {var}")));
+            }
+        }
 
         Ok(Statement {
             pattern: Query { name, nodes, edges, returns },
@@ -529,6 +641,7 @@ impl Parser {
             opt_edges,
             predicates,
             distinct,
+            group_by,
             order_by,
             skip,
             limit,
@@ -598,6 +711,11 @@ mod tests {
     use super::*;
     use crate::stmt::Statement;
 
+    /// The literal value of predicate `i`, panicking on a parameter.
+    fn lit(stmt: &Statement, i: usize) -> &PropertyValue {
+        stmt.predicates[i].value.as_literal().expect("literal predicate")
+    }
+
     #[test]
     fn parses_the_motivating_statement() {
         let stmt = parse(
@@ -609,9 +727,9 @@ mod tests {
         assert_eq!(stmt.pattern.edges.len(), 1);
         assert_eq!(stmt.predicates.len(), 1);
         assert_eq!(stmt.predicates[0].op, CmpOp::Contains);
-        assert_eq!(stmt.predicates[0].value.as_str(), Some("aspirin"));
+        assert_eq!(lit(&stmt, 0).as_str(), Some("aspirin"));
         assert_eq!(stmt.order_by.len(), 1);
-        assert_eq!(stmt.limit, Some(10));
+        assert_eq!(stmt.limit, Some(CountTerm::Count(10)));
         assert_eq!(stmt.skip, None);
     }
 
@@ -637,12 +755,120 @@ mod tests {
                 CmpOp::Contains
             ]
         );
-        assert_eq!(stmt.predicates[0].value, PropertyValue::Int(3));
-        assert_eq!(stmt.predicates[1].value, PropertyValue::Float(2.5));
-        assert_eq!(stmt.predicates[3].value, PropertyValue::Int(-7));
-        assert_eq!(stmt.predicates[4].value, PropertyValue::Float(1e3));
-        assert_eq!(stmt.predicates[5].value, PropertyValue::Bool(true));
-        assert_eq!(stmt.predicates[6].value.as_str(), Some("s"));
+        assert_eq!(lit(&stmt, 0), &PropertyValue::Int(3));
+        assert_eq!(lit(&stmt, 1), &PropertyValue::Float(2.5));
+        assert_eq!(lit(&stmt, 3), &PropertyValue::Int(-7));
+        assert_eq!(lit(&stmt, 4), &PropertyValue::Float(1e3));
+        assert_eq!(lit(&stmt, 5), &PropertyValue::Bool(true));
+        assert_eq!(lit(&stmt, 6).as_str(), Some("s"));
+    }
+
+    #[test]
+    fn every_literal_kind_round_trips_through_display() {
+        // The serving layer persists prepared statements as text, so the
+        // literal grammar must be total over PropertyValue: null, lists
+        // (nested, with escapes) and non-finite floats included.
+        let stmt = Statement::builder("totals")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .filter("d", "gone", CmpOp::Eq, PropertyValue::Null)
+            .filter(
+                "d",
+                "tags",
+                CmpOp::Contains,
+                PropertyValue::List(vec![
+                    PropertyValue::str("O'Brien"),
+                    PropertyValue::Int(-3),
+                    PropertyValue::Null,
+                    PropertyValue::List(vec![PropertyValue::Bool(true)]),
+                ]),
+            )
+            .filter("d", "x", CmpOp::Lt, PropertyValue::Float(f64::INFINITY))
+            .filter("d", "y", CmpOp::Gt, PropertyValue::Float(f64::NEG_INFINITY))
+            .build();
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert!(stmt.structurally_eq(&reparsed), "{stmt}\n{reparsed}");
+        // NaN parses too (it can never satisfy structural equality — NaN is
+        // not equal to itself — but it must not be a parse error).
+        let nan = parse("MATCH (d:Drug) WHERE d.x = NaN RETURN d").unwrap();
+        match nan.predicates[0].value.as_literal() {
+            Some(PropertyValue::Float(v)) => assert!(v.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+        let empty = parse("MATCH (d:Drug) WHERE d.tags CONTAINS [] RETURN d").unwrap();
+        assert_eq!(empty.predicates[0].value.as_literal(), Some(&PropertyValue::List(vec![])));
+    }
+
+    #[test]
+    fn aggregate_names_stay_usable_as_variables() {
+        // `sum`, `count` & co. are functions only when *called*; as plain
+        // identifiers they keep working as variable names.
+        let stmt = parse(
+            "MATCH (sum:Drug)-[:treat]->(count:Indication) RETURN sum.name, count, min(count.desc)",
+        )
+        .unwrap();
+        assert_eq!(stmt.pattern.nodes[0].var, "sum");
+        assert!(
+            matches!(&stmt.pattern.returns[0], ReturnItem::Property { var, .. } if var == "sum")
+        );
+        assert!(matches!(&stmt.pattern.returns[1], ReturnItem::Vertex { var } if var == "count"));
+        assert!(matches!(
+            &stmt.pattern.returns[2],
+            ReturnItem::Aggregate { agg: Aggregate::Min, .. }
+        ));
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert!(stmt.structurally_eq(&reparsed), "{stmt} vs {reparsed}");
+    }
+
+    #[test]
+    fn parses_parameters_in_every_value_position() {
+        let stmt = parse(
+            "MATCH (d:Drug) WHERE d.name CONTAINS $needle AND d.strength >= $dose \
+             RETURN d.name ORDER BY d.name SKIP $offset LIMIT $page",
+        )
+        .unwrap();
+        assert!(stmt.has_parameters());
+        assert_eq!(stmt.predicates[0].value, Term::Parameter("needle".into()));
+        assert_eq!(stmt.predicates[1].value, Term::Parameter("dose".into()));
+        assert_eq!(stmt.skip, Some(CountTerm::Parameter("offset".into())));
+        assert_eq!(stmt.limit, Some(CountTerm::Parameter("page".into())));
+        // Round-trip: Display emits `$name`, which re-parses identically.
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert!(stmt.structurally_eq(&reparsed), "{stmt} vs {reparsed}");
+    }
+
+    #[test]
+    fn parses_aggregate_functions_and_group_by() {
+        let stmt = parse(
+            "MATCH (d:Drug)-[:treat]->(i:Indication) \
+             RETURN d.name, count(i), count(DISTINCT i.desc), sum(i.weight), \
+             min(i.desc), max(i.desc), avg(i.weight) GROUP BY d ORDER BY d.name LIMIT 3",
+        )
+        .unwrap();
+        assert!(stmt.is_aggregation());
+        assert_eq!(stmt.group_by, vec!["d".to_string()]);
+        let aggs: Vec<Aggregate> = stmt
+            .pattern
+            .returns
+            .iter()
+            .filter_map(|r| match r {
+                ReturnItem::Aggregate { agg, .. } => Some(*agg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            aggs,
+            vec![
+                Aggregate::Count,
+                Aggregate::CountDistinct,
+                Aggregate::Sum,
+                Aggregate::Min,
+                Aggregate::Max,
+                Aggregate::Avg,
+            ]
+        );
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert!(stmt.structurally_eq(&reparsed), "{stmt} vs {reparsed}");
     }
 
     #[test]
@@ -658,8 +884,8 @@ mod tests {
             vec![NodePattern { var: "i".into(), label: "Indication".into() }]
         );
         assert_eq!(stmt.opt_edges.len(), 1);
-        assert_eq!(stmt.skip, Some(1));
-        assert_eq!(stmt.limit, Some(5));
+        assert_eq!(stmt.skip, Some(CountTerm::Count(1)));
+        assert_eq!(stmt.limit, Some(CountTerm::Count(5)));
         assert!(stmt.is_optional_var("i"));
     }
 
@@ -711,6 +937,10 @@ mod tests {
             ("MATCH (d:Drug) OPTIONAL MATCH (x:X) RETURN d", "at least one edge"),
             ("MATCH (d:Drug) WHERE x.p = 1 RETURN d", "unbound variable x"),
             ("MATCH (d:Drug) RETURN d ORDER BY x.p", "unbound variable x"),
+            ("MATCH (d:Drug) WHERE d.name = $ RETURN d", "parameter name"),
+            ("MATCH (d:Drug) RETURN sum(d) GROUP BY d", "requires a v.property"),
+            ("MATCH (d:Drug) RETURN d.name GROUP BY d", "requires at least one aggregate"),
+            ("MATCH (d:Drug) RETURN count(d) GROUP BY x", "unbound variable x"),
         ] {
             let err = parse(text).expect_err(text);
             assert!(
@@ -730,7 +960,9 @@ mod tests {
         .unwrap();
         assert!(stmt.distinct);
         assert!(stmt.order_by[0].descending);
-        assert_eq!(stmt.limit, Some(2));
+        assert_eq!(stmt.limit, Some(CountTerm::Count(2)));
+        let grouped = parse("match (d:Drug) return count(distinct d) group by d limit 1").unwrap();
+        assert_eq!(grouped.group_by, vec!["d".to_string()]);
     }
 
     #[test]
@@ -764,13 +996,13 @@ mod tests {
         assert!(err.message.contains("unexpected character"), "{err}");
         // Inside string literals any UTF-8 is allowed.
         let stmt = parse("MATCH (d:Drug) WHERE d.name = 'é€ 漢字' RETURN d.name").unwrap();
-        assert_eq!(stmt.predicates[0].value.as_str(), Some("é€ 漢字"));
+        assert_eq!(lit(&stmt, 0).as_str(), Some("é€ 漢字"));
     }
 
     #[test]
     fn quotes_and_backslashes_escape_and_round_trip() {
         let stmt = parse(r"MATCH (d:Drug) WHERE d.name = 'O\'Brien \\ co' RETURN d.name").unwrap();
-        assert_eq!(stmt.predicates[0].value.as_str(), Some(r"O'Brien \ co"));
+        assert_eq!(lit(&stmt, 0).as_str(), Some(r"O'Brien \ co"));
         // Display escapes what the tokenizer unescapes: full round-trip.
         let built = Statement::builder("q")
             .node("d", "Drug")

@@ -27,30 +27,40 @@ use std::collections::{HashMap, HashSet};
 /// Rewrites a query expressed against the direct schema into an equivalent
 /// query against the optimized schema.
 pub fn rewrite(query: &Query, optimized: &PropertyGraphSchema) -> Query {
-    let mut rewriter = Rewriter::new(query, &[], &[], HashSet::new(), optimized);
+    let mut rewriter = Rewriter::new(query, &[], &[], HashSet::new(), false, optimized);
     rewriter.unify_variables();
     rewriter.rebuild()
 }
 
 /// Rewrites a full statement: the pattern core goes through the paper's
 /// DIR→OPT rules ([`rewrite()`]), and every statement-level clause is remapped
-/// over the result — predicate and `ORDER BY` variables follow the variable
-/// unification, their properties follow the replicated-property renaming
-/// (`desc` → `Indication.desc` when the property moved under the 1:M/M:N
-/// rules), and optional edges are re-targeted like mandatory ones.
+/// over the result — predicate, `ORDER BY` and `GROUP BY` variables follow
+/// the variable unification, predicate and sort properties follow the
+/// replicated-property renaming (`desc` → `Indication.desc` when the
+/// property moved under the 1:M/M:N rules), and optional edges are
+/// re-targeted like mandatory ones. Predicate `$parameters` pass through
+/// untouched, so one rewritten plan serves every binding of a prepared
+/// statement.
 ///
-/// Variables referenced by a predicate or an `ORDER BY` key are *pinned*:
-/// the `COLLECT`-to-LIST-property shortcut is skipped for them, because the
-/// filter needs the variable bound to evaluate per vertex.
+/// Variables referenced by a predicate, an `ORDER BY` key or a `GROUP BY`
+/// are *pinned*: the aggregate-to-LIST-property shortcut is skipped for
+/// them, because those clauses need the variable bound per vertex.
 pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> Statement {
     let pinned: HashSet<String> = stmt
         .predicates
         .iter()
         .map(|p| p.var.clone())
         .chain(stmt.order_by.iter().map(|k| k.var.clone()))
+        .chain(stmt.group_by.iter().cloned())
         .collect();
-    let mut rewriter =
-        Rewriter::new(&stmt.pattern, &stmt.opt_nodes, &stmt.opt_edges, pinned, optimized);
+    let mut rewriter = Rewriter::new(
+        &stmt.pattern,
+        &stmt.opt_nodes,
+        &stmt.opt_edges,
+        pinned,
+        !stmt.group_by.is_empty(),
+        optimized,
+    );
     rewriter.unify_variables();
     let pattern = rewriter.rebuild();
 
@@ -94,6 +104,15 @@ pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> S
             descending: k.descending,
         })
         .collect();
+    let mut group_by: Vec<String> = Vec::new();
+    for var in &stmt.group_by {
+        let root = rewriter.resolve(var);
+        // Unified variables collapse to one group key (grouping by both
+        // sides of a 1:1 merge is grouping by the merged vertex).
+        if !group_by.contains(&root) {
+            group_by.push(root);
+        }
+    }
 
     Statement {
         pattern,
@@ -101,9 +120,10 @@ pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> S
         opt_edges,
         predicates,
         distinct: stmt.distinct,
+        group_by,
         order_by,
-        skip: stmt.skip,
-        limit: stmt.limit,
+        skip: stmt.skip.clone(),
+        limit: stmt.limit.clone(),
     }
 }
 
@@ -116,9 +136,13 @@ struct Rewriter<'a> {
     /// one) but never in the COLLECT-to-LIST replacement.
     opt_edges: &'a [EdgePattern],
     schema: &'a PropertyGraphSchema,
-    /// Variables that must stay bound (predicate / ORDER BY references): the
-    /// aggregation-to-LIST-property replacement is disabled for them.
+    /// Variables that must stay bound (predicate / ORDER BY / GROUP BY
+    /// references): the aggregation-to-LIST-property replacement is disabled
+    /// for them.
     pinned: HashSet<String>,
+    /// True when the statement carries a `GROUP BY`; the LIST-property
+    /// shortcut is disabled wholesale then (see `rebuild`).
+    grouped: bool,
     /// Original concept label per variable.
     concept_of: HashMap<String, String>,
     /// Target vertex label per variable (None when the concept was dropped).
@@ -133,6 +157,7 @@ impl<'a> Rewriter<'a> {
         opt_nodes: &'a [NodePattern],
         opt_edges: &'a [EdgePattern],
         pinned: HashSet<String>,
+        grouped: bool,
         schema: &'a PropertyGraphSchema,
     ) -> Self {
         let mut concept_of = HashMap::new();
@@ -146,7 +171,7 @@ impl<'a> Rewriter<'a> {
             );
             subst.insert(node.var.clone(), node.var.clone());
         }
-        Self { query, opt_nodes, opt_edges, schema, pinned, concept_of, target_of, subst }
+        Self { query, opt_nodes, opt_edges, schema, pinned, grouped, concept_of, target_of, subst }
     }
 
     /// Position of a variable across mandatory then optional node patterns,
@@ -285,20 +310,65 @@ impl<'a> Rewriter<'a> {
     }
 
     fn rebuild(&mut self) -> Query {
-        // Decide which CollectCount aggregations can be answered from a
-        // replicated LIST property, eliminating their edge and node pattern.
-        let mut replaced_vars: HashMap<String, (String, String)> = HashMap::new();
+        // Decide which aggregations can be answered from a replicated LIST
+        // property, eliminating their edge and node pattern. Per-element
+        // aggregates qualify (`size(COLLECT)`, `SUM`/`MIN`/`MAX`/`AVG`,
+        // `COUNT(DISTINCT v.p)`): the list holds one element per original
+        // edge, so the flattened element multiset the executor aggregates
+        // over equals the per-binding multiset on DIR. Plain `COUNT` does
+        // not (it counts bindings, not elements).
+        let per_element = |agg: Aggregate| {
+            matches!(
+                agg,
+                Aggregate::CollectCount
+                    | Aggregate::CountDistinct
+                    | Aggregate::Sum
+                    | Aggregate::Min
+                    | Aggregate::Max
+                    | Aggregate::Avg
+            )
+        };
+        // Dropping a variable's edge changes both the binding multiplicity
+        // and the *existence constraint* every other return item sees (a
+        // drug with zero routes binds the pattern once the edge is gone),
+        // so the shortcut only fires when the whole RETURN clause is
+        // per-element aggregates over the variable: a vertex contributing
+        // an empty list then contributes nothing, exactly like the DIR
+        // join. Plain projections (which sample a representative binding),
+        // binding-counting aggregates and `GROUP BY` (which would fabricate
+        // groups for providerless anchors) all disable it — an
+        // existence-aware variant is a ROADMAP follow-on.
+        let mut agg_roots: HashSet<String> = HashSet::new();
+        let mut all_replaceable = !self.grouped;
         for item in &self.query.returns {
-            let ReturnItem::Aggregate {
-                agg: Aggregate::CollectCount,
-                var,
-                property: Some(property),
-            } = item
-            else {
+            match item {
+                ReturnItem::Aggregate { agg, var, property } => {
+                    agg_roots.insert(self.resolve(var));
+                    if !(per_element(*agg) && property.is_some()) {
+                        all_replaceable = false;
+                    }
+                }
+                ReturnItem::Property { .. } | ReturnItem::Vertex { .. } => {
+                    all_replaceable = false;
+                }
+            }
+        }
+        // var_root → (holder_root, provider concept): per-item replicated
+        // property names are derived as `{provider_concept}.{property}`.
+        let mut replaced_vars: HashMap<String, (String, String)> = HashMap::new();
+        'candidates: for item in &self.query.returns {
+            let ReturnItem::Aggregate { agg, var, property: Some(_) } = item else {
                 continue;
             };
+            if !per_element(*agg) {
+                continue;
+            }
             let var_root = self.resolve(var);
-            if self.is_pinned(&var_root) {
+            if !all_replaceable
+                || agg_roots.len() != 1
+                || self.is_pinned(&var_root)
+                || replaced_vars.contains_key(&var_root)
+            {
                 continue;
             }
             // The variable must be reached by exactly one pattern edge.
@@ -319,15 +389,23 @@ impl<'a> Rewriter<'a> {
             };
             let holder_label = self.label_of(holder_var);
             let provider_concept = self.concept_of.get(provider_var).cloned().unwrap_or_default();
-            let replicated = format!("{provider_concept}.{property}");
-            let available = self
-                .schema
-                .vertex(&holder_label)
-                .map(|v| v.property(&replicated).map(|p| p.is_list).unwrap_or(false))
-                .unwrap_or(false);
-            if available {
-                replaced_vars.insert(var_root.clone(), (self.resolve(holder_var), replicated));
+            // Every aggregated property must be replicated as a LIST on the
+            // holder — one unreplicated property and the traversal stays
+            // (replacing only some aggregates would dangle the others).
+            for other in &self.query.returns {
+                if let ReturnItem::Aggregate { property: Some(property), .. } = other {
+                    let replicated = format!("{provider_concept}.{property}");
+                    let available = self
+                        .schema
+                        .vertex(&holder_label)
+                        .map(|v| v.property(&replicated).map(|p| p.is_list).unwrap_or(false))
+                        .unwrap_or(false);
+                    if !available {
+                        continue 'candidates;
+                    }
+                }
             }
+            replaced_vars.insert(var_root.clone(), (self.resolve(holder_var), provider_concept));
         }
 
         // Node patterns: one per surviving variable root that is still needed.
@@ -377,18 +455,19 @@ impl<'a> Rewriter<'a> {
                 ReturnItem::Vertex { var } => ReturnItem::Vertex { var: self.resolve(var) },
                 ReturnItem::Aggregate { agg, var, property } => {
                     let root = self.resolve(var);
-                    if let Some((holder, replicated)) = replaced_vars.get(&root) {
-                        ReturnItem::Aggregate {
-                            agg: *agg,
-                            var: holder.clone(),
-                            property: Some(replicated.clone()),
+                    match (replaced_vars.get(&root), property) {
+                        (Some((holder, provider_concept)), Some(property)) => {
+                            ReturnItem::Aggregate {
+                                agg: *agg,
+                                var: holder.clone(),
+                                property: Some(format!("{provider_concept}.{property}")),
+                            }
                         }
-                    } else {
-                        ReturnItem::Aggregate {
+                        _ => ReturnItem::Aggregate {
                             agg: *agg,
                             var: root.clone(),
                             property: property.as_ref().map(|p| self.property_name(var, p)),
-                        }
+                        },
                     }
                 }
             })
@@ -493,6 +572,167 @@ mod tests {
             ReturnItem::Aggregate { property: Some(p), .. } => assert_eq!(p, "Indication.desc"),
             other => panic!("unexpected return item {other:?}"),
         }
+    }
+
+    #[test]
+    fn per_element_aggregates_share_the_list_shortcut() {
+        use crate::stmt::Statement;
+        let schema = optimized_mini();
+        // SUM/MIN/MAX/AVG and COUNT(DISTINCT …) over the 1:M neighbour's
+        // property collapse to the replicated LIST exactly like COLLECT.
+        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Avg] {
+            let stmt = Statement::from(
+                Query::builder("q")
+                    .node("d", "Drug")
+                    .node("i", "Indication")
+                    .edge("d", "treat", "i")
+                    .ret_aggregate(agg, "i", Some("desc"))
+                    .build(),
+            );
+            let rewritten = rewrite_statement(&stmt, &schema);
+            assert_eq!(rewritten.pattern.edges.len(), 0, "{agg:?}: {rewritten}");
+            match &rewritten.pattern.returns[0] {
+                ReturnItem::Aggregate { property: Some(p), var, .. } => {
+                    assert_eq!(p, "Indication.desc");
+                    assert_eq!(var, "d");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Two aggregates over the same variable replace together.
+        let both = Statement::from(
+            Query::builder("q")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+                .ret_aggregate(Aggregate::CountDistinct, "i", Some("desc"))
+                .build(),
+        );
+        let rewritten = rewrite_statement(&both, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 0, "{rewritten}");
+    }
+
+    #[test]
+    fn binding_sensitive_mixes_keep_the_traversal() {
+        use crate::stmt::Statement;
+        let schema = optimized_mini();
+        // count(d) counts bindings: eliminating the treat edge would change
+        // its multiplicity, so the shortcut must not fire for the mix.
+        let mixed = Statement::from(
+            Query::builder("mix")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_aggregate(Aggregate::Count, "d", None)
+                .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+                .build(),
+        );
+        let rewritten = rewrite_statement(&mixed, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 1, "{rewritten}");
+        // A projection of the aggregated variable pins it the same way.
+        let projected = Statement::from(
+            Query::builder("proj")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_property("i", "desc")
+                .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+                .build(),
+        );
+        let rewritten = rewrite_statement(&projected, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 1, "{rewritten}");
+        // So does a projection of the *holder*: with the edge gone, the
+        // pattern would also match drugs that treat nothing, and the
+        // representative row could name a drug the DIR join never binds.
+        let holder_projected = Statement::from(
+            Query::builder("holder-proj")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_property("d", "name")
+                .ret_aggregate(Aggregate::Min, "i", Some("desc"))
+                .build(),
+        );
+        let rewritten = rewrite_statement(&holder_projected, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 1, "{rewritten}");
+    }
+
+    #[test]
+    fn group_by_pins_its_variable_and_follows_unification() {
+        use crate::stmt::Statement;
+        let schema = optimized_mini();
+        // Grouping by the aggregated variable needs it bound per vertex: the
+        // LIST shortcut must not fire.
+        let mut grouped = Statement::from(
+            Query::builder("g")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+                .build(),
+        );
+        grouped.group_by.push("i".into());
+        let rewritten = rewrite_statement(&grouped, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 1, "{rewritten}");
+        assert_eq!(rewritten.group_by.len(), 1);
+
+        // Grouping by the *holder* also keeps the traversal: with the edge
+        // gone, a drug treating nothing would still bind the pattern and
+        // gain a group the DIR join never produces.
+        let mut by_holder = Statement::from(
+            Query::builder("g2")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+                .build(),
+        );
+        by_holder.group_by.push("d".into());
+        let rewritten = rewrite_statement(&by_holder, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 1, "{rewritten}");
+        assert_eq!(rewritten.group_by, vec!["d".to_string()]);
+
+        // Grouping by both sides of a 1:1 merge collapses to one key.
+        let mut merged = Statement::from(
+            Query::builder("g3")
+                .node("i", "Indication")
+                .node("c", "Condition")
+                .edge("i", "hasCondition", "c")
+                .ret_aggregate(Aggregate::Count, "i", None)
+                .build(),
+        );
+        merged.group_by.extend(["i".into(), "c".into()]);
+        let rewritten = rewrite_statement(&merged, &schema);
+        assert_eq!(rewritten.group_by.len(), 1, "{rewritten}");
+    }
+
+    #[test]
+    fn parameter_terms_survive_the_rewrite() {
+        use crate::stmt::{CmpOp, Statement, Term};
+        let schema = optimized_mini();
+        let stmt = Statement::builder("p")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .filter_param("i", "desc", CmpOp::Contains, "needle")
+            .limit_param("n")
+            .build();
+        let rewritten = rewrite_statement(&stmt, &schema);
+        assert_eq!(rewritten.predicates[0].value, Term::Parameter("needle".into()));
+        assert_eq!(
+            rewritten.limit,
+            Some(crate::stmt::CountTerm::Parameter("n".into())),
+            "window parameters pass through"
+        );
+        // The predicate property still follows the renaming rules on the
+        // rewritten variable.
+        let target = schema.vertex_for_concept("Indication").unwrap().label.clone();
+        assert!(
+            rewritten.pattern.nodes.iter().any(|n| n.label == target),
+            "pinned variable keeps its node: {rewritten}"
+        );
     }
 
     #[test]
@@ -621,7 +861,7 @@ mod tests {
         assert_eq!(rewritten.opt_edges.len(), 1);
         assert_eq!(rewritten.opt_edges[0].label, "treat");
         assert_eq!(rewritten.opt_nodes.len(), 1);
-        assert_eq!(rewritten.limit, Some(4));
+        assert_eq!(rewritten.limit, Some(crate::stmt::CountTerm::Count(4)));
         assert!(rewritten.name.ends_with("-opt"));
     }
 

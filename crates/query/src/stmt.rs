@@ -142,7 +142,116 @@ pub fn order_values(a: &PropertyValue, b: &PropertyValue) -> Ordering {
     }
 }
 
-/// A `WHERE` predicate: `var.property op literal`.
+/// A value position that is either a literal constant or a named `$parameter`
+/// bound at execution time.
+///
+/// Parameters are what make a statement *prepared*: the statement's shape —
+/// including the parameter names — is fixed at prepare time, and every
+/// execution supplies concrete [`PropertyValue`]s through
+/// [`crate::Params`]. [`Statement::bind`] substitutes the values in;
+/// executing a statement with an unbound parameter makes the enclosing
+/// predicate match nothing (documented on [`crate::execute_statement`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// A literal constant, part of the statement itself.
+    Literal(PropertyValue),
+    /// A named placeholder (`$name`), bound per execution.
+    Parameter(String),
+}
+
+impl Term {
+    /// Convenience constructor for a literal term.
+    pub fn literal(value: impl Into<PropertyValue>) -> Self {
+        Term::Literal(value.into())
+    }
+
+    /// Convenience constructor for a `$name` parameter term.
+    pub fn param(name: impl Into<String>) -> Self {
+        Term::Parameter(name.into())
+    }
+
+    /// The literal value, if this term is bound.
+    pub fn as_literal(&self) -> Option<&PropertyValue> {
+        match self {
+            Term::Literal(value) => Some(value),
+            Term::Parameter(_) => None,
+        }
+    }
+
+    /// The parameter name, if this term is a placeholder.
+    pub fn parameter_name(&self) -> Option<&str> {
+        match self {
+            Term::Literal(_) => None,
+            Term::Parameter(name) => Some(name),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Literal(value) => fmt_literal(f, value),
+            Term::Parameter(name) => write!(f, "${name}"),
+        }
+    }
+}
+
+impl<V: Into<PropertyValue>> From<V> for Term {
+    fn from(value: V) -> Self {
+        Term::Literal(value.into())
+    }
+}
+
+/// A `SKIP` / `LIMIT` count that is either a literal non-negative integer or
+/// a named `$parameter` bound (to a non-negative integer) at execution time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CountTerm {
+    /// A literal row count.
+    Count(usize),
+    /// A named placeholder (`$name`); its bound value must be a non-negative
+    /// [`PropertyValue::Int`].
+    Parameter(String),
+}
+
+impl CountTerm {
+    /// Convenience constructor for a `$name` parameter count.
+    pub fn param(name: impl Into<String>) -> Self {
+        CountTerm::Parameter(name.into())
+    }
+
+    /// The literal count, if this term is bound.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            CountTerm::Count(n) => Some(*n),
+            CountTerm::Parameter(_) => None,
+        }
+    }
+
+    /// The parameter name, if this term is a placeholder.
+    pub fn parameter_name(&self) -> Option<&str> {
+        match self {
+            CountTerm::Count(_) => None,
+            CountTerm::Parameter(name) => Some(name),
+        }
+    }
+}
+
+impl fmt::Display for CountTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountTerm::Count(n) => write!(f, "{n}"),
+            CountTerm::Parameter(name) => write!(f, "${name}"),
+        }
+    }
+}
+
+impl From<usize> for CountTerm {
+    fn from(n: usize) -> Self {
+        CountTerm::Count(n)
+    }
+}
+
+/// A `WHERE` predicate: `var.property op term`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Predicate {
     /// Node variable the predicate filters.
@@ -151,21 +260,22 @@ pub struct Predicate {
     pub property: String,
     /// Comparison operator.
     pub op: CmpOp,
-    /// Literal right-hand side. Part of the statement, *not* of its
-    /// fingerprint: two statements differing only here share a cached plan.
-    pub value: PropertyValue,
+    /// Right-hand side: a literal constant or a `$parameter`.
+    pub value: Term,
 }
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{} {} ", self.var, self.property, self.op.symbol())?;
-        fmt_literal(f, &self.value)
+        write!(f, "{}.{} {} {}", self.var, self.property, self.op.symbol(), self.value)
     }
 }
 
 /// Writes a predicate literal in re-parseable form: strings quoted (with
 /// embedded quotes and backslashes escaped), floats always with a decimal
-/// point or exponent so they do not collapse to ints.
+/// point or exponent so they do not collapse to ints (`NaN`/`inf` by
+/// keyword), `null` by keyword, lists bracketed element-wise. Every
+/// [`PropertyValue`] round-trips through the parser, which is what lets the
+/// serving layer persist prepared statements as text.
 fn fmt_literal(f: &mut fmt::Formatter<'_>, value: &PropertyValue) -> fmt::Result {
     match value {
         PropertyValue::Str(s) => {
@@ -178,7 +288,22 @@ fn fmt_literal(f: &mut fmt::Formatter<'_>, value: &PropertyValue) -> fmt::Result
             }
             write!(f, "'")
         }
+        PropertyValue::Float(v) if v.is_nan() => write!(f, "NaN"),
+        PropertyValue::Float(v) if v.is_infinite() => {
+            write!(f, "{}inf", if *v < 0.0 { "-" } else { "" })
+        }
         PropertyValue::Float(v) => write!(f, "{v:?}"),
+        PropertyValue::Null => write!(f, "null"),
+        PropertyValue::List(items) => {
+            write!(f, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_literal(f, item)?;
+            }
+            write!(f, "]")
+        }
         other => write!(f, "{other}"),
     }
 }
@@ -224,12 +349,19 @@ pub struct Statement {
     pub predicates: Vec<Predicate>,
     /// `RETURN DISTINCT` — deduplicate rows before ordering and windowing.
     pub distinct: bool,
+    /// `GROUP BY` variables: aggregates in the `RETURN` clause are computed
+    /// per distinct combination of the vertices bound to these variables
+    /// (one global group when empty). Only meaningful together with at least
+    /// one [`crate::ReturnItem::Aggregate`].
+    pub group_by: Vec<String>,
     /// `ORDER BY` keys, applied in sequence.
     pub order_by: Vec<OrderKey>,
-    /// `SKIP n` — rows dropped from the front after ordering.
-    pub skip: Option<usize>,
-    /// `LIMIT n` — maximum rows returned after `SKIP`.
-    pub limit: Option<usize>,
+    /// `SKIP n` — rows dropped from the front after ordering. The count may
+    /// be a `$parameter`.
+    pub skip: Option<CountTerm>,
+    /// `LIMIT n` — maximum rows returned after `SKIP`. The count may be a
+    /// `$parameter`.
+    pub limit: Option<CountTerm>,
 }
 
 impl From<Query> for Statement {
@@ -240,6 +372,7 @@ impl From<Query> for Statement {
             opt_edges: Vec::new(),
             predicates: Vec::new(),
             distinct: false,
+            group_by: Vec::new(),
             order_by: Vec::new(),
             skip: None,
             limit: None,
@@ -267,40 +400,19 @@ impl Statement {
             || !self.opt_edges.is_empty()
             || !self.predicates.is_empty()
             || self.distinct
+            || !self.group_by.is_empty()
             || !self.order_by.is_empty()
             || self.skip.is_some()
             || self.limit.is_some()
     }
 
-    /// True if the statement carries literal values (predicate right-hand
-    /// sides, `SKIP`, `LIMIT`) that a shape-keyed cached plan must be rebound
-    /// with before execution.
-    pub fn needs_rebind(&self) -> bool {
-        !self.predicates.is_empty() || self.skip.is_some() || self.limit.is_some()
-    }
-
-    /// Clones this statement with the literal values (predicate right-hand
-    /// sides, `SKIP`, `LIMIT`) taken from `source`. Used by the serving
-    /// layer: cached plans are keyed by *shape*, so a hit for
-    /// `… LIMIT 20` may return the plan rewritten for `… LIMIT 10` — the
-    /// literals are positionally rebound before execution.
-    ///
-    /// # Panics
-    /// Panics if `source` has a different number of predicates (the shapes
-    /// would then not share a fingerprint).
-    pub fn rebind_from(&self, source: &Statement) -> Statement {
-        assert_eq!(
-            self.predicates.len(),
-            source.predicates.len(),
-            "rebinding requires structurally identical statements"
-        );
-        let mut bound = self.clone();
-        for (mine, theirs) in bound.predicates.iter_mut().zip(&source.predicates) {
-            mine.value = theirs.value.clone();
-        }
-        bound.skip = source.skip;
-        bound.limit = source.limit;
-        bound
+    /// True if the statement declares at least one `$parameter` (in a
+    /// predicate, `SKIP` or `LIMIT`). Such a statement must be bound
+    /// ([`Statement::bind`]) before execution returns meaningful rows.
+    pub fn has_parameters(&self) -> bool {
+        self.predicates.iter().any(|p| matches!(p.value, Term::Parameter(_)))
+            || matches!(self.skip, Some(CountTerm::Parameter(_)))
+            || matches!(self.limit, Some(CountTerm::Parameter(_)))
     }
 
     /// Looks up a node pattern (mandatory or optional) by variable.
@@ -325,6 +437,7 @@ impl Statement {
             && self.opt_edges == other.opt_edges
             && self.predicates == other.predicates
             && self.distinct == other.distinct
+            && self.group_by == other.group_by
             && self.order_by == other.order_by
             && self.skip == other.skip
             && self.limit == other.limit
@@ -339,9 +452,10 @@ struct StatementClauses {
     opt_edges: Vec<EdgePattern>,
     predicates: Vec<Predicate>,
     distinct: bool,
+    group_by: Vec<String>,
     order_by: Vec<OrderKey>,
-    skip: Option<usize>,
-    limit: Option<usize>,
+    skip: Option<CountTerm>,
+    limit: Option<CountTerm>,
 }
 
 impl fmt::Display for Statement {
@@ -382,6 +496,9 @@ impl fmt::Display for Statement {
             write!(f, "DISTINCT ")?;
         }
         self.pattern.fmt_returns(f)?;
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
         if !self.order_by.is_empty() {
             write!(f, " ORDER BY ")?;
             for (i, key) in self.order_by.iter().enumerate() {
@@ -391,10 +508,10 @@ impl fmt::Display for Statement {
                 write!(f, "{key}")?;
             }
         }
-        if let Some(skip) = self.skip {
+        if let Some(skip) = &self.skip {
             write!(f, " SKIP {skip}")?;
         }
-        if let Some(limit) = self.limit {
+        if let Some(limit) = &self.limit {
             write!(f, " LIMIT {limit}")?;
         }
         Ok(())
@@ -474,7 +591,8 @@ impl StatementBuilder {
         self
     }
 
-    /// Adds a `WHERE` predicate (conjunctive with any previous one).
+    /// Adds a `WHERE` predicate with a literal right-hand side (conjunctive
+    /// with any previous one).
     pub fn filter(
         mut self,
         var: impl Into<String>,
@@ -486,7 +604,26 @@ impl StatementBuilder {
             var: var.into(),
             property: property.into(),
             op,
-            value: value.into(),
+            value: Term::Literal(value.into()),
+        });
+        self
+    }
+
+    /// Adds a `WHERE` predicate whose right-hand side is a `$parameter`,
+    /// bound per execution through [`Statement::bind`] / the serving layer's
+    /// `execute`.
+    pub fn filter_param(
+        mut self,
+        var: impl Into<String>,
+        property: impl Into<String>,
+        op: CmpOp,
+        param: impl Into<String>,
+    ) -> Self {
+        self.stmt.predicates.push(Predicate {
+            var: var.into(),
+            property: property.into(),
+            op,
+            value: Term::Parameter(param.into()),
         });
         self
     }
@@ -494,6 +631,13 @@ impl StatementBuilder {
     /// Makes the `RETURN` clause `DISTINCT`.
     pub fn distinct(mut self) -> Self {
         self.stmt.distinct = true;
+        self
+    }
+
+    /// Adds a `GROUP BY` variable: aggregates are computed per distinct
+    /// combination of the vertices bound to the grouped variables.
+    pub fn group_by(mut self, var: impl Into<String>) -> Self {
+        self.stmt.group_by.push(var.into());
         self
     }
 
@@ -514,13 +658,25 @@ impl StatementBuilder {
 
     /// Skips the first `n` result rows.
     pub fn skip(mut self, n: usize) -> Self {
-        self.stmt.skip = Some(n);
+        self.stmt.skip = Some(CountTerm::Count(n));
+        self
+    }
+
+    /// Skips a `$parameter`-bound number of result rows.
+    pub fn skip_param(mut self, param: impl Into<String>) -> Self {
+        self.stmt.skip = Some(CountTerm::Parameter(param.into()));
         self
     }
 
     /// Caps the number of result rows.
     pub fn limit(mut self, n: usize) -> Self {
-        self.stmt.limit = Some(n);
+        self.stmt.limit = Some(CountTerm::Count(n));
+        self
+    }
+
+    /// Caps the number of result rows at a `$parameter`-bound count.
+    pub fn limit_param(mut self, param: impl Into<String>) -> Self {
+        self.stmt.limit = Some(CountTerm::Parameter(param.into()));
         self
     }
 
@@ -550,12 +706,25 @@ impl StatementBuilder {
                 node.var
             );
         }
+        if !clauses.group_by.is_empty() {
+            assert!(
+                pattern.is_aggregation(),
+                "GROUP BY requires at least one aggregate in the RETURN clause"
+            );
+            for var in &clauses.group_by {
+                assert!(
+                    pattern.node(var).is_some() || clauses.opt_nodes.iter().any(|n| &n.var == var),
+                    "GROUP BY references undeclared variable {var}"
+                );
+            }
+        }
         Statement {
             pattern,
             opt_nodes: clauses.opt_nodes,
             opt_edges: clauses.opt_edges,
             predicates: clauses.predicates,
             distinct: clauses.distinct,
+            group_by: clauses.group_by,
             order_by: clauses.order_by,
             skip: clauses.skip,
             limit: clauses.limit,
@@ -592,13 +761,68 @@ mod tests {
         assert_eq!(s.predicates.len(), 1);
         assert!(s.distinct);
         assert_eq!(s.order_by.len(), 1);
-        assert_eq!(s.skip, Some(2));
-        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.skip, Some(CountTerm::Count(2)));
+        assert_eq!(s.limit, Some(CountTerm::Count(10)));
         assert!(s.has_clauses());
-        assert!(s.needs_rebind());
+        assert!(!s.has_parameters());
         assert!(s.is_optional_var("c"));
         assert!(!s.is_optional_var("d"));
         assert_eq!(s.any_node("c").unwrap().label, "Condition");
+    }
+
+    #[test]
+    fn parameter_terms_render_and_report() {
+        let s = Statement::builder("p")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .filter_param("d", "name", CmpOp::Contains, "needle")
+            .skip_param("offset")
+            .limit_param("page")
+            .build();
+        assert!(s.has_parameters());
+        assert_eq!(s.predicates[0].value.parameter_name(), Some("needle"));
+        assert_eq!(s.skip.as_ref().unwrap().parameter_name(), Some("offset"));
+        assert_eq!(s.limit.as_ref().unwrap().count(), None);
+        let text = s.to_string();
+        assert!(text.contains("d.name CONTAINS $needle"), "{text}");
+        assert!(text.contains("SKIP $offset LIMIT $page"), "{text}");
+    }
+
+    #[test]
+    fn group_by_renders_after_returns() {
+        use crate::ast::Aggregate;
+        let s = Statement::builder("g")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .ret_aggregate(Aggregate::Count, "i", None)
+            .group_by("d")
+            .build();
+        assert!(s.has_clauses());
+        let text = s.to_string();
+        assert!(text.contains("RETURN d.name, count(i) GROUP BY d"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "GROUP BY requires at least one aggregate")]
+    fn group_by_without_aggregate_is_rejected() {
+        let _ = Statement::builder("bad")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .group_by("d")
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "GROUP BY references undeclared variable")]
+    fn group_by_requires_declared_vars() {
+        use crate::ast::Aggregate;
+        let _ = Statement::builder("bad")
+            .node("d", "Drug")
+            .ret_aggregate(Aggregate::Count, "d", None)
+            .group_by("ghost")
+            .build();
     }
 
     #[test]
@@ -624,21 +848,7 @@ mod tests {
     fn bare_statement_has_no_clauses() {
         let s: Statement = Query::builder("q").node("a", "A").ret_vertex("a").build().into();
         assert!(!s.has_clauses());
-        assert!(!s.needs_rebind());
-    }
-
-    #[test]
-    fn rebind_copies_literals_only() {
-        let a = sample();
-        let mut b = sample();
-        b.predicates[0].value = PropertyValue::str("ibuprofen");
-        b.limit = Some(3);
-        b.skip = None;
-        let bound = a.rebind_from(&b);
-        assert_eq!(bound.predicates[0].value.as_str(), Some("ibuprofen"));
-        assert_eq!(bound.limit, Some(3));
-        assert_eq!(bound.skip, None);
-        assert_eq!(bound.pattern, a.pattern);
+        assert!(!s.has_parameters());
     }
 
     #[test]
@@ -647,7 +857,7 @@ mod tests {
         let mut b = sample();
         b.pattern.name = "renamed".into();
         assert!(a.structurally_eq(&b));
-        b.limit = Some(11);
+        b.limit = Some(CountTerm::Count(11));
         assert!(!a.structurally_eq(&b));
     }
 

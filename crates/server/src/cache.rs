@@ -1,14 +1,20 @@
 //! Fingerprint-keyed DIR→OPT plan cache.
 //!
-//! Rewriting a DIR query onto the optimized schema walks the whole pattern
-//! and the schema's provenance maps; on the serving hot path that work is
-//! pure overhead after the first request of a given shape. The cache maps a
-//! [`pgso_query::fingerprint_statement`] to the rewritten plan (a
-//! [`Statement`]), tagged with the schema
-//! **epoch** it was rewritten against. A schema swap bumps the epoch, which
-//! implicitly invalidates every cached plan: a lookup whose entry carries a
-//! stale epoch is a miss (and the entry is dropped), so no serving thread can
-//! ever execute a plan rewritten for a schema that is no longer loaded.
+//! Rewriting a DIR statement onto the optimized schema walks the whole
+//! pattern and the schema's provenance maps; on the serving hot path that
+//! work is pure overhead after the first request of a given statement. The
+//! cache maps a [`pgso_query::fingerprint_statement`] to the rewritten plan
+//! (a [`Statement`]), tagged with the schema **generation** it was rewritten
+//! against. A schema swap bumps the generation, which implicitly invalidates
+//! every cached plan: a lookup whose entry carries a stale generation is a
+//! miss (and the entry is dropped), so no serving thread can ever execute a
+//! plan rewritten for a schema that is no longer loaded.
+//!
+//! Cached plans are **parameterized statements**: `$name` placeholders are
+//! part of the plan, and each execution binds its values into a copy by
+//! name. Value-varying workloads therefore share plans by construction —
+//! one prepared statement (or one auto-parameterized ad-hoc shape) is one
+//! entry, with no literal splicing at lookup time.
 
 use parking_lot::RwLock;
 use pgso_query::Statement;

@@ -8,12 +8,23 @@
 //! in-flight queries finish on the epoch they started with; nothing is ever
 //! mutated in place.
 //!
-//! Two caches sit in front of execution:
+//! The query surface is a **prepare/execute contract**:
 //!
-//! * the **prepared-query registry** ([`KgServer::prepare`]) stores a query
-//!   and its fingerprint once, so repeat executions skip hashing;
-//! * the **plan cache** maps fingerprints to DIR→OPT rewrites, tagged with
-//!   the epoch they were rewritten against (see [`crate::cache::PlanCache`]).
+//! * [`KgServer::prepare_text`] / [`KgServer::prepare_statement`] register a
+//!   statement — `$name` parameters included — once, returning a
+//!   [`PreparedStatement`] handle that carries the statement's typed
+//!   parameter signature;
+//! * [`KgServer::execute`] binds a [`Params`] set **by name** against that
+//!   signature (a [`BindError`] on anything missing, mismatched or
+//!   undeclared) and runs the cached plan;
+//! * [`KgServer::serve_text`] is the ad-hoc path, implemented as parse →
+//!   auto-parameterize → execute: literal constants canonicalize into
+//!   generated parameters, so value-varying requests of one shape share a
+//!   single cached plan without any literal-splicing machinery.
+//!
+//! Behind that surface the **plan cache** maps statement fingerprints to
+//! DIR→OPT rewrites of the *parameterized* statement, tagged with the schema
+//! generation they were rewritten against (see [`crate::cache::PlanCache`]).
 //!
 //! Every served query is recorded by the [`WorkloadTracker`]; every
 //! `check_interval` queries one thread (never more — a CAS guard) compares
@@ -53,8 +64,8 @@ use pgso_persist::{
 };
 use pgso_pgschema::PropertyGraphSchema;
 use pgso_query::{
-    execute_statement_with, fingerprint_statement, parse_named, rewrite_statement, ExecConfig,
-    ParseError, Query, QueryResult, Statement,
+    execute_statement_with, fingerprint_statement, parse_named, rewrite_statement, BindError,
+    ExecConfig, ParamSignature, Params, ParseError, Query, QueryResult, Statement,
 };
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -179,13 +190,53 @@ impl std::fmt::Debug for Epoch {
     }
 }
 
-/// Handle to a registered prepared query.
+/// Identity of a registered prepared statement: its dense registration
+/// index. Stable across epoch swaps, and — on a persistent server — across
+/// [`KgServer::recover`], which re-registers the persisted statements in
+/// their original order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PreparedId(usize);
+
+/// Handle returned by the [`KgServer::prepare`] family: the statement's
+/// registration id plus its typed parameter signature
+/// ([`pgso_query::ParamSignature`]).
+///
+/// The handle is the execution contract. [`KgServer::execute`] binds a
+/// [`Params`] set against the signature **by name** — a missing, mismatched
+/// or undeclared parameter is a [`BindError`], never a silently mis-bound
+/// value (which is what the positional literal rebinding this replaces could
+/// do when two literals swapped roles).
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    id: PreparedId,
+    signature: Arc<ParamSignature>,
+}
+
+impl PreparedStatement {
+    /// The registration id.
+    pub fn id(&self) -> PreparedId {
+        self.id
+    }
+
+    /// The statement's declared parameters.
+    pub fn signature(&self) -> &ParamSignature {
+        &self.signature
+    }
+}
 
 struct PreparedEntry {
     fingerprint: u64,
     stmt: Arc<Statement>,
+    signature: Arc<ParamSignature>,
+    /// Text form persisted in snapshots / the WAL so the registry survives
+    /// recovery (statements round-trip through the parser).
+    text: String,
+    /// True when `text` re-parses to a structurally equal statement. The
+    /// literal grammar is total over [`pgso_graphstore::PropertyValue`], so
+    /// this only fails for exotica (`NaN` literals, which are never equal to
+    /// themselves, or identifiers outside the grammar); such entries are
+    /// excluded from persistence rather than bricking recovery.
+    persistable: bool,
 }
 
 /// Outcome of one drift check that crossed the threshold.
@@ -489,7 +540,22 @@ impl KgServer {
             instance,
             config,
         };
-        // Collapse the replayed tail into this generation's anchor snapshot.
+        // Restore the prepared-statement registry in registration order, so
+        // ids and parameter signatures match the killed server's.
+        for text in state.prepared_statements() {
+            let stmt = parse_named(&text, "prepared").map_err(|err| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("persisted prepared statement does not parse: {err} in `{text}`"),
+                )
+            })?;
+            // It parsed from this very text, so it round-trips by the
+            // grammar's Display→parse contract: persistable as-is.
+            server.register_prepared(stmt, text, true);
+        }
+        // Collapse the replayed tail into this generation's anchor snapshot
+        // (which now carries the restored registry, so the old WAL's
+        // registration records are subsumed before pruning).
         {
             let ing = server.ingest.lock();
             server.write_snapshot_for_current_generation(&ing)?;
@@ -537,38 +603,145 @@ impl KgServer {
 
     /// Registers a bare pattern query for repeated execution; the
     /// fingerprint is computed once here instead of on every call.
-    pub fn prepare(&self, query: Query) -> PreparedId {
+    pub fn prepare(&self, query: Query) -> PreparedStatement {
         self.prepare_statement(Statement::from(query))
     }
 
-    /// Registers a statement for repeated execution.
-    pub fn prepare_statement(&self, stmt: Statement) -> PreparedId {
-        let entry =
-            PreparedEntry { fingerprint: fingerprint_statement(&stmt), stmt: Arc::new(stmt) };
-        let mut prepared = self.prepared.write();
-        prepared.push(entry);
-        PreparedId(prepared.len() - 1)
+    /// Registers a statement for repeated execution and returns its handle,
+    /// carrying the typed parameter signature callers bind against through
+    /// [`KgServer::execute`].
+    ///
+    /// On a persistent server the registration is also appended to the
+    /// write-ahead log (best effort — a logging failure is reported on
+    /// stderr but does not fail the prepare), so [`KgServer::recover`]
+    /// restores the registry with identical ids and signatures. A statement
+    /// whose text form does not re-parse to an equal statement (e.g. a
+    /// `NaN` literal, which is never equal to itself) is registered but not
+    /// persisted — it is reported on stderr and will be missing after
+    /// recovery, shifting the ids of later registrations.
+    pub fn prepare_statement(&self, stmt: Statement) -> PreparedStatement {
+        let Some(persist) = &self.persist else {
+            // In-memory servers never persist the registry, so the text
+            // rendering and round-trip check are skipped entirely.
+            return self.register_prepared(stmt, String::new(), false);
+        };
+        // Rendering and the round-trip re-parse depend only on the immutable
+        // statement, so they run before the lock — only the registry push +
+        // WAL append need to be one unit.
+        let text = stmt.to_string();
+        let persistable =
+            parse_named(&text, "prepared").map(|p| p.structurally_eq(&stmt)).unwrap_or(false);
+        if !persistable {
+            eprintln!(
+                "pgso-server: prepared statement does not round-trip through the text \
+                 grammar and will not survive recovery: {text}"
+            );
+        }
+        // The WAL lock is held across the registry insertion so the log
+        // order matches the dense registration ids, and so a concurrent
+        // snapshot rotation (which assembles its image under this lock)
+        // sees the registration and the WAL record as one unit — never a
+        // record that a freshly rotated snapshot already subsumes, never a
+        // registration the image missed and the pruned WAL lost.
+        let mut inner = persist.inner.lock();
+        let prepared = self.register_prepared(stmt, text.clone(), persistable);
+        if persistable {
+            if let Err(err) = inner.wal.append(&[WalRecord::Prepared(text)]) {
+                eprintln!("pgso-server: logging prepared statement failed: {err}");
+            }
+        }
+        prepared
     }
 
-    /// Parses a statement text and registers it for repeated execution —
-    /// the text-first way to install a workload
-    /// (see [`pgso_query::parse()`] for the grammar).
-    pub fn prepare_text(&self, text: &str) -> Result<PreparedId, ParseError> {
+    /// Registry insertion without WAL logging (construction + recovery).
+    /// `text`/`persistable` are the pre-computed persistence metadata (empty
+    /// and false on in-memory servers, which never read them).
+    fn register_prepared(
+        &self,
+        stmt: Statement,
+        text: String,
+        persistable: bool,
+    ) -> PreparedStatement {
+        let signature = Arc::new(stmt.signature());
+        let entry = PreparedEntry {
+            fingerprint: fingerprint_statement(&stmt),
+            text,
+            stmt: Arc::new(stmt),
+            signature: signature.clone(),
+            persistable,
+        };
+        let mut prepared = self.prepared.write();
+        prepared.push(entry);
+        PreparedStatement { id: PreparedId(prepared.len() - 1), signature }
+    }
+
+    /// Handles for every registered prepared statement, in registration
+    /// order. The primary consumer is recovery: [`KgServer::recover`]
+    /// restores the registry from the persisted snapshot + WAL, and callers
+    /// pick their handles — ids and parameter signatures intact — back up
+    /// from here.
+    pub fn prepared_statements(&self) -> Vec<PreparedStatement> {
+        self.prepared
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| PreparedStatement {
+                id: PreparedId(i),
+                signature: entry.signature.clone(),
+            })
+            .collect()
+    }
+
+    /// Parses a statement text — `$name` placeholders included — and
+    /// registers it for repeated execution: the text-first way to install a
+    /// workload (see [`pgso_query::parse()`] for the grammar).
+    ///
+    /// ```text
+    /// let ps = server.prepare_text(
+    ///     "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n",
+    /// )?;
+    /// let result = server.execute(&ps, &Params::new().set("needle", "aspirin").set("n", 5i64))?;
+    /// ```
+    pub fn prepare_text(&self, text: &str) -> Result<PreparedStatement, ParseError> {
         Ok(self.prepare_statement(parse_named(text, "prepared")?))
     }
 
-    /// Serves a previously prepared query.
+    /// Executes a prepared statement with `params` bound **by name** against
+    /// its signature. The DIR→OPT plan is cached per prepared statement
+    /// (parameters and all), so value-varying executions rewrite once and
+    /// bind per call.
+    ///
+    /// # Errors
+    /// [`BindError`] when a declared parameter is missing, a `SKIP`/`LIMIT`
+    /// parameter is not a non-negative integer, or `params` binds an
+    /// undeclared name.
     ///
     /// # Panics
-    /// Panics if `id` did not come from this server's [`KgServer::prepare`]
-    /// family of methods.
-    pub fn serve_prepared(&self, id: PreparedId) -> QueryResult {
-        let (fp, stmt) = {
-            let prepared = self.prepared.read();
-            let entry = prepared.get(id.0).expect("unknown PreparedId");
-            (entry.fingerprint, entry.stmt.clone())
+    /// Panics if `prepared` did not come from this server's
+    /// [`KgServer::prepare`] family of methods.
+    pub fn execute(
+        &self,
+        prepared: &PreparedStatement,
+        params: &Params,
+    ) -> Result<QueryResult, BindError> {
+        let (fp, stmt, signature) = {
+            let entries = self.prepared.read();
+            let entry = entries.get(prepared.id.0).expect("unknown PreparedId");
+            (entry.fingerprint, entry.stmt.clone(), entry.signature.clone())
         };
-        self.serve_inner(fp, &stmt)
+        self.serve_inner(fp, &stmt, params, Some(&signature))
+    }
+
+    /// Serves a previously prepared parameterless statement (a convenience
+    /// over [`KgServer::execute`] with empty [`Params`]).
+    ///
+    /// # Panics
+    /// Panics if the statement declares parameters (bind them through
+    /// [`KgServer::execute`]) or if `prepared` came from another server.
+    pub fn serve_prepared(&self, prepared: &PreparedStatement) -> QueryResult {
+        self.execute(prepared, &Params::new()).unwrap_or_else(|err| {
+            panic!("serve_prepared on a parameterized statement ({err}); use KgServer::execute")
+        })
     }
 
     /// Serves one DIR pattern query: rewrite (cached) against the current
@@ -578,21 +751,60 @@ impl KgServer {
         self.serve_statement(&Statement::from(query.clone()))
     }
 
-    /// Serves one DIR statement (see [`KgServer::serve`]).
+    /// Serves one DIR statement ad hoc. The statement is
+    /// **auto-parameterized** first ([`Statement::parameterize`]): its
+    /// literal constants move into generated `$parameters`, the plan cache
+    /// is keyed on the canonical parameterized statement, and the extracted
+    /// values are bound back at execution — so value-varying ad-hoc
+    /// statements of one shape share a single cached plan.
+    ///
+    /// # Panics
+    /// Panics if the statement declares `$parameters` of its own: those have
+    /// no values here — register the statement with
+    /// [`KgServer::prepare_statement`] and bind them via
+    /// [`KgServer::execute`].
     pub fn serve_statement(&self, stmt: &Statement) -> QueryResult {
-        self.serve_inner(fingerprint_statement(stmt), stmt)
+        let (canonical, params) = stmt.parameterize();
+        let fp = fingerprint_statement(&canonical);
+        self.serve_inner(fp, &canonical, &params, None).unwrap_or_else(|err| {
+            panic!(
+                "serve_statement on a statement with unbound parameters ({err}); \
+                    prepare it and bind them via KgServer::execute"
+            )
+        })
     }
 
     /// Parses and serves one statement text — the text-first ad-hoc entry
-    /// point. The plan cache is keyed on the statement *shape*, so serving
-    /// the same text with different predicate literals or `LIMIT` counts
-    /// rewrites only once.
+    /// point, implemented as parse → auto-parameterize →
+    /// execute. Serving the same text with different predicate literals or
+    /// `SKIP`/`LIMIT` counts therefore rewrites only once: the constants
+    /// canonicalize into the same parameterized plan.
+    ///
+    /// # Errors
+    /// A [`ParseError`] for malformed text, and also for well-formed text
+    /// that declares `$parameters`: the ad-hoc path has no values to bind
+    /// them with — register such a statement through
+    /// [`KgServer::prepare_text`] and execute it with [`KgServer::execute`].
     pub fn serve_text(&self, text: &str) -> Result<QueryResult, ParseError> {
-        Ok(self.serve_statement(&parse_named(text, "adhoc")?))
+        let stmt = parse_named(text, "adhoc")?;
+        if stmt.has_parameters() {
+            return Err(ParseError {
+                message: "statement declares $parameters; register it with prepare_text and \
+                          bind them via execute"
+                    .into(),
+                offset: 0,
+            });
+        }
+        Ok(self.serve_statement(&stmt))
     }
 
-    fn serve_inner(&self, fp: u64, stmt: &Statement) -> QueryResult {
-        self.tracker.record_statement(stmt);
+    fn serve_inner(
+        &self,
+        fp: u64,
+        stmt: &Statement,
+        params: &Params,
+        signature: Option<&ParamSignature>,
+    ) -> Result<QueryResult, BindError> {
         let epoch = self.current_epoch();
         // Plans are keyed on the schema lineage, not the epoch number: an
         // ingest publication swaps the epoch but rewrites stay valid.
@@ -604,18 +816,26 @@ impl KgServer {
                 plan
             }
         };
-        // A cached plan may carry another caller's literals (the cache is
-        // keyed on shape); rebind ours before executing.
-        let result = if plan.needs_rebind() {
-            execute_statement_with(&plan.rebind_from(stmt), epoch.graph(), &self.config.exec)
+        // The cached plan is the rewritten *parameterized* statement; bind
+        // this execution's values by name before running it. The prepared
+        // path supplies the registry's cached signature (valid for the plan
+        // too — the rewrite never touches parameters) so the hot path skips
+        // re-deriving it.
+        let result = if plan.has_parameters() || !params.is_empty() {
+            let bound = match signature {
+                Some(signature) => plan.bind_against(signature, params)?,
+                None => plan.bind(params)?,
+            };
+            execute_statement_with(&bound, epoch.graph(), &self.config.exec)
         } else {
             execute_statement_with(&plan, epoch.graph(), &self.config.exec)
         };
+        self.tracker.record_statement(stmt);
         let served = self.served.fetch_add(1, Ordering::Relaxed) + 1;
         if self.config.auto_reoptimize && served.is_multiple_of(self.config.check_interval) {
             self.try_reoptimize();
         }
-        result
+        Ok(result)
     }
 
     /// Checks drift and — past the threshold — re-optimizes and swaps. At
@@ -843,6 +1063,13 @@ impl KgServer {
             ingested: ing.ingested.clone(),
             tracker: self.tracker.snapshot().to_bytes(),
             baseline: frequencies_to_bytes(&self.ontology, &self.baseline.lock()),
+            prepared: self
+                .prepared
+                .read()
+                .iter()
+                .filter(|e| e.persistable)
+                .map(|e| e.text.clone())
+                .collect(),
         }
     }
 
@@ -850,8 +1077,12 @@ impl KgServer {
     /// (startup / recovery path — the WAL for this generation is empty).
     fn write_snapshot_for_current_generation(&self, ing: &IngestState) -> io::Result<()> {
         let persist = self.persist.as_ref().expect("persistence attached");
-        let image = self.snapshot_image(ing);
-        let generation = persist.inner.lock().generation;
+        let (image, generation) = {
+            // Image assembled under the WAL lock, like rotation, so a racing
+            // prepare lands in either the image or the WAL, never neither.
+            let inner = persist.inner.lock();
+            (self.snapshot_image(ing), inner.generation)
+        };
         write_snapshot(&snapshot_path(&persist.config.dir, generation), &image)?;
         prune_generations(&persist.config.dir, generation)
     }
@@ -867,7 +1098,6 @@ impl KgServer {
     fn rotate_and_snapshot(&self, ing: &IngestState, background: bool) -> io::Result<()> {
         debug_assert!(ing.pending.is_empty(), "snapshot with unpublished updates");
         let persist = self.persist.as_ref().expect("persistence attached");
-        let image = self.snapshot_image(ing);
         let mut inner = persist.inner.lock();
         // Surface any error from the previous background write before
         // starting the next one.
@@ -876,6 +1106,11 @@ impl KgServer {
                 .join()
                 .map_err(|_| io::Error::other("background snapshot writer panicked"))??;
         }
+        // The image is assembled while the WAL lock is held: a concurrent
+        // prepare (which registers and logs under this lock) is therefore
+        // captured either by this image or by the WAL that survives the
+        // rotation — it can neither duplicate nor vanish.
+        let image = self.snapshot_image(ing);
         inner.generation += 1;
         let generation = inner.generation;
         let dir = persist.config.dir.clone();
@@ -922,6 +1157,51 @@ impl KgServer {
             .collect();
         WorkloadRunReport {
             served: statements.len() as u64,
+            elapsed,
+            threads,
+            shard_count: epoch.shard_count(),
+            per_shard_stats,
+        }
+    }
+
+    /// Replays a prepared workload — `(handle, params)` executions — across
+    /// `threads` worker threads, exactly like [`KgServer::run_workload`] but
+    /// through the prepare/execute path: no per-request parsing, no
+    /// re-fingerprinting, parameters bound by name per execution.
+    ///
+    /// # Panics
+    /// Panics when an execution fails to bind (the workload's parameter sets
+    /// are expected to match their statements' signatures).
+    pub fn run_prepared_workload(
+        &self,
+        jobs: &[(PreparedStatement, Params)],
+        threads: usize,
+    ) -> WorkloadRunReport {
+        let threads = threads.max(1);
+        let epoch = self.current_epoch();
+        let before = epoch.shard_stats();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    for (prepared, params) in jobs.iter().skip(t).step_by(threads) {
+                        let _ = self
+                            .execute(prepared, params)
+                            .expect("workload parameters bind against their statements");
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        let per_shard_stats = epoch
+            .shard_stats()
+            .iter()
+            .zip(&before)
+            .map(|(after, before)| after.delta_since(before))
+            .collect();
+        WorkloadRunReport {
+            served: jobs.len() as u64,
             elapsed,
             threads,
             shard_count: epoch.shard_count(),
@@ -1014,9 +1294,10 @@ mod tests {
     #[test]
     fn prepared_queries_reuse_the_fingerprint() {
         let server = mini_server(ServerConfig::default());
-        let id = server.prepare(lookup());
-        let a = server.serve_prepared(id);
-        let b = server.serve_prepared(id);
+        let ps = server.prepare(lookup());
+        assert!(ps.signature().is_empty(), "a bare lookup declares no parameters");
+        let a = server.serve_prepared(&ps);
+        let b = server.serve_prepared(&ps);
         assert_eq!(a.rows, b.rows);
         assert_eq!(server.cache_stats().hits, 1);
         // The ad-hoc path shares the cache: same shape, same plan.
@@ -1025,10 +1306,131 @@ mod tests {
     }
 
     #[test]
+    fn execute_binds_parameters_by_name() {
+        let server = mini_server(ServerConfig::default());
+        let ps = server
+            .prepare_text(
+                "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name \
+                 ORDER BY d.name LIMIT $n",
+            )
+            .unwrap();
+        assert_eq!(ps.signature().names().collect::<Vec<_>>(), ["needle", "n"]);
+        let broad = server
+            .execute(&ps, &Params::new().set("needle", "Drug_name").set("n", 100i64))
+            .unwrap();
+        let narrow = server
+            .execute(&ps, &Params::new().set("needle", "Drug_name_0").set("n", 100i64))
+            .unwrap();
+        assert!(!broad.rows.is_empty());
+        assert!(broad.rows.len() > narrow.rows.len(), "the bound needle must apply");
+        let limited =
+            server.execute(&ps, &Params::new().set("needle", "Drug_name").set("n", 2i64)).unwrap();
+        assert_eq!(limited.rows.len(), 2, "the bound LIMIT must apply");
+        // One shape, one rewrite: every execution after the first hits.
+        assert_eq!(server.cache_stats().misses, 1);
+        assert_eq!(server.cache_stats().hits, 2);
+        // Same names in any insertion order bind identically.
+        let shuffled = server
+            .execute(&ps, &Params::new().set("n", 100i64).set("needle", "Drug_name"))
+            .unwrap();
+        assert_eq!(shuffled.rows, broad.rows);
+    }
+
+    #[test]
+    fn execute_rejects_bad_parameter_sets() {
+        let server = mini_server(ServerConfig::default());
+        let ps = server
+            .prepare_text("MATCH (d:Drug) WHERE d.name = $name RETURN d.name LIMIT $n")
+            .unwrap();
+        let missing = server.execute(&ps, &Params::new().set("name", "x")).unwrap_err();
+        assert!(matches!(missing, BindError::Missing { ref name } if name == "n"), "{missing}");
+        let mismatched =
+            server.execute(&ps, &Params::new().set("name", "x").set("n", "ten")).unwrap_err();
+        assert!(matches!(mismatched, BindError::Mismatch { .. }), "{mismatched}");
+        let unknown = server
+            .execute(&ps, &Params::new().set("name", "x").set("n", 1i64).set("typo", 1i64))
+            .unwrap_err();
+        assert!(matches!(unknown, BindError::Unknown { .. }), "{unknown}");
+        // Failed binds never count as served queries.
+        assert_eq!(server.served(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown PreparedId")]
     fn foreign_prepared_ids_are_rejected() {
         let server = mini_server(ServerConfig::default());
-        let _ = server.serve_prepared(PreparedId(99));
+        let foreign = PreparedStatement {
+            id: PreparedId(99),
+            signature: Arc::new(pgso_query::ParamSignature::default()),
+        };
+        let _ = server.serve_prepared(&foreign);
+    }
+
+    #[test]
+    #[should_panic(expected = "use KgServer::execute")]
+    fn serve_prepared_refuses_parameterized_statements() {
+        let server = mini_server(ServerConfig::default());
+        let ps = server.prepare_text("MATCH (d:Drug) WHERE d.name = $name RETURN d.name").unwrap();
+        let _ = server.serve_prepared(&ps);
+    }
+
+    #[test]
+    fn serve_text_rejects_parameterized_text_with_an_error() {
+        // Valid grammar, but the ad-hoc path has no values to bind: this is
+        // an error result, never a panic (serve_text takes untrusted text).
+        let server = mini_server(ServerConfig::default());
+        let err = server
+            .serve_text("MATCH (d:Drug) WHERE d.name = $x RETURN d.name")
+            .expect_err("parameterized text cannot be served ad hoc");
+        assert!(err.message.contains("prepare_text"), "{err}");
+        assert_eq!(server.served(), 0);
+    }
+
+    #[test]
+    fn non_roundtrippable_prepared_statements_do_not_brick_recovery() {
+        let dir = tempfile::tempdir().unwrap();
+        let make = || {
+            let ontology = catalog::med_mini();
+            let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+            let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+            let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+            (ontology, statistics, instance, frequencies)
+        };
+        let cfg = ServerConfig { auto_reoptimize: false, ..ServerConfig::default() };
+        {
+            let (o, s, i, f) = make();
+            let server = KgServer::new_persistent(
+                o,
+                s,
+                i,
+                f,
+                cfg,
+                pgso_persist::PersistConfig::new_unsynced(dir.path()),
+            )
+            .unwrap();
+            // NaN is never equal to itself, so this statement cannot
+            // round-trip through text; it must still prepare and serve …
+            let nan = server.prepare_statement(
+                pgso_query::Statement::builder("nan")
+                    .node("d", "Drug")
+                    .ret_property("d", "name")
+                    .filter("d", "name", pgso_query::CmpOp::Eq, f64::NAN)
+                    .build(),
+            );
+            assert!(server.serve_prepared(&nan).rows.is_empty(), "NaN never compares");
+            // … while null/list literals round-trip fine and persist.
+            let listy = server
+                .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS ['a', null] RETURN d.name")
+                .unwrap();
+            let _ = server.serve_prepared(&listy);
+            // kill without checkpoint
+        }
+        let (o, s, i, _) = make();
+        let recovered =
+            KgServer::recover(o, s, i, cfg, pgso_persist::PersistConfig::new_unsynced(dir.path()))
+                .expect("an exotic prepared statement must not brick recovery");
+        // Only the round-trippable registration survives.
+        assert_eq!(recovered.prepared_statements().len(), 1);
     }
 
     #[test]
@@ -1421,11 +1823,11 @@ mod tests {
     #[test]
     fn prepare_text_registers_a_statement() {
         let server = mini_server(ServerConfig::default());
-        let id = server
+        let ps = server
             .prepare_text("MATCH (d:Drug)-[:treat]->(i:Indication) RETURN i.desc ORDER BY i.desc")
             .unwrap();
-        let a = server.serve_prepared(id);
-        let b = server.serve_prepared(id);
+        let a = server.serve_prepared(&ps);
+        let b = server.serve_prepared(&ps);
         assert_eq!(a.rows, b.rows);
         assert_eq!(server.cache_stats().hits, 1);
     }
@@ -1440,7 +1842,8 @@ mod tests {
                     i + 1
                 ))
                 .unwrap();
-            // The plan is shared but the literals are rebound per request.
+            // Auto-parameterization canonicalizes the constants away, so the
+            // plan is shared while each request binds its own values.
             assert!(result.rows.len() <= i + 1);
         }
         let stats = server.cache_stats();
@@ -1449,7 +1852,7 @@ mod tests {
     }
 
     #[test]
-    fn rebinding_returns_the_right_rows_per_literal() {
+    fn auto_parameterization_returns_the_right_rows_per_literal() {
         let server = mini_server(ServerConfig::default());
         let narrow =
             server.serve_text("MATCH (d:Drug) WHERE d.name = 'Drug_name_0' RETURN d.name").unwrap();
@@ -1459,7 +1862,7 @@ mod tests {
         // Different shapes (different op): both rewrites, no interference.
         assert!(broad.rows.len() >= narrow.rows.len());
         // Same shape, different literal: second call hits the cache but must
-        // not reuse the first call's literal.
+        // not see the first call's value.
         let a = server
             .serve_text("MATCH (i:Indication) WHERE i.desc CONTAINS 'instance 0' RETURN i.desc")
             .unwrap();
@@ -1467,6 +1870,107 @@ mod tests {
             .serve_text("MATCH (i:Indication) WHERE i.desc CONTAINS 'no_such_value' RETURN i.desc")
             .unwrap();
         assert!(!a.rows.is_empty());
-        assert!(b.rows.is_empty(), "rebound literal must apply");
+        assert!(b.rows.is_empty(), "the bound value must apply");
+        // And crucially: two literals swapping roles cannot mis-bind, the
+        // failure mode of the positional rebinding this design replaced.
+        let swapped_a = server
+            .serve_text(
+                "MATCH (d:Drug) WHERE d.name CONTAINS 'Drug' AND d.name CONTAINS 'name_1' \
+                 RETURN d.name",
+            )
+            .unwrap();
+        let swapped_b = server
+            .serve_text(
+                "MATCH (d:Drug) WHERE d.name CONTAINS 'name_1' AND d.name CONTAINS 'Drug' \
+                 RETURN d.name",
+            )
+            .unwrap();
+        assert_eq!(swapped_a.rows, swapped_b.rows, "conjunction order must not matter");
+    }
+
+    #[test]
+    fn aggregation_group_by_serves_through_the_cache() {
+        let server = mini_server(ServerConfig { auto_reoptimize: false, ..Default::default() });
+        let text = "MATCH (d:Drug)-[:treat]->(i:Indication) \
+                    RETURN d.name, count(i) GROUP BY d ORDER BY d.name";
+        let a = server.serve_text(text).unwrap();
+        let b = server.serve_text(text).unwrap();
+        assert!(!a.rows.is_empty());
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(server.cache_stats().hits, 1, "grouped aggregations cache too");
+        // Every row is (name, count) with a positive count.
+        for row in &a.rows {
+            assert!(row[0].as_str().is_some());
+            assert!(row[1].as_int().unwrap_or(0) >= 1);
+        }
+    }
+
+    #[test]
+    fn run_prepared_workload_executes_across_threads() {
+        let server = mini_server(ServerConfig { auto_reoptimize: false, ..Default::default() });
+        let ps = server
+            .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n")
+            .unwrap();
+        // Warm the cache serially: concurrent cold-start threads can race
+        // get-before-insert and legitimately rewrite the same plan twice.
+        let _ = server.execute(&ps, &Params::new().set("needle", "x").set("n", 1i64)).unwrap();
+        let jobs: Vec<(PreparedStatement, Params)> = (0..32)
+            .map(|i| {
+                (
+                    ps.clone(),
+                    Params::new().set("needle", format!("Drug_name_{}", i % 5)).set("n", 4i64),
+                )
+            })
+            .collect();
+        let report = server.run_prepared_workload(&jobs, 4);
+        assert_eq!(report.served, 32);
+        assert_eq!(server.served(), 33);
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 1, "one prepared shape, one rewrite");
+        assert_eq!(stats.hits, 32);
+    }
+
+    #[test]
+    fn prepared_handles_survive_recovery_with_signatures() {
+        let dir = tempfile::tempdir().unwrap();
+        let make = || {
+            let ontology = catalog::med_mini();
+            let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+            let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+            let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+            (ontology, statistics, instance, frequencies)
+        };
+        let cfg = ServerConfig { auto_reoptimize: false, ..ServerConfig::default() };
+        let text = "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n";
+        let params = Params::new().set("needle", "Drug_name").set("n", 3i64);
+        let (plain_rows, param_rows) = {
+            let (o, s, i, f) = make();
+            let server = KgServer::new_persistent(
+                o,
+                s,
+                i,
+                f,
+                cfg,
+                pgso_persist::PersistConfig::new_unsynced(dir.path()),
+            )
+            .unwrap();
+            let plain = server.prepare(lookup());
+            let parameterized = server.prepare_text(text).unwrap();
+            (
+                server.serve_prepared(&plain).rows,
+                server.execute(&parameterized, &params).unwrap().rows,
+            )
+            // drop without checkpoint = kill; registrations live in the WAL
+        };
+        let (o, s, i, _) = make();
+        let recovered =
+            KgServer::recover(o, s, i, cfg, pgso_persist::PersistConfig::new_unsynced(dir.path()))
+                .unwrap();
+        let restored = recovered.prepared_statements();
+        assert_eq!(restored.len(), 2, "both registrations recovered in order");
+        assert!(restored[0].signature().is_empty());
+        assert_eq!(restored[1].signature().names().collect::<Vec<_>>(), ["needle", "n"]);
+        assert_eq!(recovered.serve_prepared(&restored[0]).rows, plain_rows);
+        assert_eq!(recovered.execute(&restored[1], &params).unwrap().rows, param_rows);
     }
 }

@@ -10,18 +10,23 @@
 //!
 //! * [`KgServer`] — a thread-safe engine that owns a
 //!   [`pgso_graphstore::GraphBackend`] behind a shared read path and serves
-//!   DIR statements from any number of threads. Text is the first-class
-//!   entry point ([`KgServer::serve_text`] / [`KgServer::prepare_text`]
-//!   parse the Cypher-like surface of [`pgso_query::parse()`]); the builder
-//!   APIs remain for tests. With [`ServerConfig::shard_count`] > 1 every
-//!   epoch's instance graph is hash-partitioned across a
+//!   DIR statements from any number of threads. The query surface is a
+//!   **prepare/execute contract**: [`KgServer::prepare_text`] registers a
+//!   statement with `$name` parameters and returns a [`PreparedStatement`]
+//!   handle carrying its typed signature, and [`KgServer::execute`] binds a
+//!   [`Params`] set by name ([`BindError`] on missing/mismatched/undeclared
+//!   names). [`KgServer::serve_text`] is the ad-hoc path — parse →
+//!   auto-parameterize → execute — so one-off texts still share cached
+//!   plans across literal variations. With [`ServerConfig::shard_count`] > 1
+//!   every epoch's instance graph is hash-partitioned across a
 //!   [`pgso_graphstore::ShardedGraph`], the executor may fan root expansion
 //!   out across the shards ([`ServerConfig::exec`]), and
 //!   [`WorkloadRunReport`] breaks the storage work down per shard;
 //! * [`PlanCache`] — a fingerprint-keyed DIR→OPT rewrite cache, invalidated
-//!   wholesale by schema-epoch bumps. Keys are statement *shapes*: requests
-//!   differing only in predicate literals or `SKIP`/`LIMIT` counts share a
-//!   plan, rebound with the caller's literals at execution time;
+//!   wholesale by schema-generation bumps. Keys are *parameterized
+//!   statements*: one prepared statement (or one auto-parameterized ad-hoc
+//!   shape) has one cached plan, and each execution binds its values into
+//!   that plan by name;
 //! * [`WorkloadTracker`] — lock-free accumulation of the paper's per-concept
 //!   / per-relationship / per-property access frequencies from served
 //!   queries;
@@ -32,15 +37,15 @@
 //! * write-ahead-logged ingest and crash recovery — [`KgServer::ingest`]
 //!   group-commits mutation batches to a `pgso-persist` WAL and publishes
 //!   them with non-blocking epoch swaps; snapshot generations capture the
-//!   schema, the graph journal and the learned workload counters, and
-//!   [`KgServer::recover`] resumes a killed server bit-identically —
-//!   including the [`WorkloadTracker`] frequencies that drive adaptive
-//!   re-optimization.
+//!   schema, the graph journal, the learned workload counters *and the
+//!   prepared-statement registry*, and [`KgServer::recover`] resumes a
+//!   killed server bit-identically — prepared ids and parameter signatures
+//!   included ([`KgServer::prepared_statements`]).
 //!
 //! ```
 //! use pgso_datagen::InstanceKg;
 //! use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
-//! use pgso_server::{KgServer, ServerConfig};
+//! use pgso_server::{KgServer, Params, ServerConfig};
 //!
 //! let ontology = catalog::med_mini();
 //! let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
@@ -49,17 +54,25 @@
 //! let server = KgServer::new(ontology, statistics, instance, frequencies,
 //!                            ServerConfig::default());
 //!
+//! // Prepare once (the $parameters are part of the statement) ...
+//! let ps = server
+//!     .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n")
+//!     .unwrap();
+//! // ... execute many, binding values by name.
 //! let result = server
-//!     .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'Drug' RETURN d.name LIMIT 5")
+//!     .execute(&ps, &Params::new().set("needle", "Drug").set("n", 5i64))
 //!     .unwrap();
 //! assert!(result.matches > 0);
-//! assert_eq!(server.cache_stats().misses, 1); // first request rewrote the plan
-//!
-//! // Same shape, different literals: served from the cached plan.
+//! assert_eq!(server.cache_stats().misses, 1); // first execution rewrote the plan
 //! let _ = server
-//!     .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'other' RETURN d.name LIMIT 9")
+//!     .execute(&ps, &Params::new().set("needle", "other").set("n", 9i64))
 //!     .unwrap();
-//! assert_eq!(server.cache_stats().hits, 1);
+//! assert_eq!(server.cache_stats().hits, 1); // same plan, new bindings
+//!
+//! // Ad-hoc text is auto-parameterized into the same machinery.
+//! let _ = server
+//!     .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'Drug' RETURN d.name LIMIT 5")
+//!     .unwrap();
 //! ```
 
 #![warn(missing_docs)]
@@ -71,14 +84,16 @@ pub mod tracker;
 
 pub use cache::{CacheStats, PlanCache};
 pub use engine::{
-    Epoch, IngestConfig, IngestReport, KgServer, PreparedId, ReoptimizationEvent, ServerConfig,
-    WorkloadRunReport,
+    Epoch, IngestConfig, IngestReport, KgServer, PreparedId, PreparedStatement,
+    ReoptimizationEvent, ServerConfig, WorkloadRunReport,
 };
 // The durability vocabulary callers need for `KgServer::ingest` /
-// `KgServer::recover`, re-exported so applications do not have to depend on
-// the lower-level crates directly.
+// `KgServer::recover`, and the binding vocabulary for
+// `KgServer::prepare_text` / `KgServer::execute`, re-exported so
+// applications do not have to depend on the lower-level crates directly.
 pub use pgso_graphstore::GraphUpdate;
 pub use pgso_persist::PersistConfig;
+pub use pgso_query::{BindError, ParamKind, ParamSignature, Params};
 pub use tracker::{
     frequencies_from_bytes, frequencies_to_bytes, WorkloadSnapshot, WorkloadTracker,
     WORKLOAD_SNAPSHOT_VERSION,

@@ -107,24 +107,60 @@ fn concurrent_execution_matches_serial_row_sets() {
 #[test]
 fn prepared_queries_are_thread_safe() {
     let server = medical_server();
-    let ids: Vec<_> = workload().into_iter().map(|q| server.prepare(q)).collect();
-    let serial: Vec<Vec<Row>> = ids.iter().map(|&id| server.serve_prepared(id).rows).collect();
+    let handles: Vec<_> = workload().into_iter().map(|q| server.prepare(q)).collect();
+    let serial: Vec<Vec<Row>> = handles.iter().map(|ps| server.serve_prepared(ps).rows).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..6 {
             let server = &server;
-            let ids = &ids;
+            let handles = &handles;
             let serial = &serial;
             scope.spawn(move || {
                 for _ in 0..20 {
-                    for (&id, expected) in ids.iter().zip(serial) {
-                        assert_eq!(&server.serve_prepared(id).rows, expected);
+                    for (ps, expected) in handles.iter().zip(serial) {
+                        assert_eq!(&server.serve_prepared(ps).rows, expected);
                     }
                 }
             });
         }
     });
-    assert_eq!(server.served(), (6 * 20 * ids.len() + ids.len()) as u64);
+    assert_eq!(server.served(), (6 * 20 * handles.len() + handles.len()) as u64);
+}
+
+#[test]
+fn parameterized_execution_is_thread_safe() {
+    use pgso_server::Params;
+    let server = medical_server();
+    let ps = server
+        .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n")
+        .expect("prepares");
+    // Reference rows for a handful of distinct parameter sets.
+    let params: Vec<Params> = (0..4)
+        .map(|i| Params::new().set("needle", format!("Drug_name_{i}")).set("n", (i + 1) as i64))
+        .collect();
+    let serial: Vec<Vec<Row>> =
+        params.iter().map(|p| server.execute(&ps, p).expect("binds").rows).collect();
+
+    // Concurrent executions with interleaved parameter sets must each see
+    // exactly their own bindings — by-name binding cannot cross-bind, even
+    // when every thread shares one cached plan.
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let server = &server;
+            let ps = &ps;
+            let params = &params;
+            let serial = &serial;
+            scope.spawn(move || {
+                for round in 0..15 {
+                    let which = (t + round) % params.len();
+                    let result = server.execute(ps, &params[which]).expect("binds");
+                    assert_eq!(result.rows, serial[which], "params set {which} cross-bound");
+                }
+            });
+        }
+    });
+    let stats = server.cache_stats();
+    assert_eq!(stats.misses, 1, "one prepared shape, one rewrite");
 }
 
 #[test]

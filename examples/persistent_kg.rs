@@ -62,7 +62,7 @@ fn main() {
 
     let inputs = build_inputs();
     let config = space_limited(&inputs);
-    let (pre_kill_answer, pre_kill_traversals, pre_kill_ratio, pre_kill_total) = {
+    let (pre_kill_answer, pre_kill_traversals, pre_kill_ratio, pre_kill_total, pre_kill_lookup) = {
         let (ontology, statistics, instance, frequencies) = build_inputs();
         let server = KgServer::new_persistent(
             ontology,
@@ -109,6 +109,21 @@ fn main() {
         }
         server.flush_ingest();
 
+        // A parameterized prepared statement registered pre-kill: the
+        // registration rides the WAL, so its handle — id and signature —
+        // comes back after recovery.
+        let lookup = server
+            .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n")
+            .expect("prepares");
+        let looked_up = server
+            .execute(&lookup, &Params::new().set("needle", "Drug_name_1").set("n", 3i64))
+            .expect("binds");
+        println!(
+            "prepared lookup [{}] pre-kill: {} rows",
+            lookup.signature().names().collect::<Vec<_>>().join(", "),
+            looked_up.rows.len()
+        );
+
         let probe_result = server.serve_text(probe).expect("probe parses");
         let ratio = server.cache_stats().hit_ratio();
         println!(
@@ -117,7 +132,7 @@ fn main() {
             probe_result.stats.edge_traversals
         );
         println!("killing the server (no checkpoint, no graceful shutdown) ...");
-        (probe_result.scalar(), probe_result.stats.edge_traversals, ratio, total)
+        (probe_result.scalar(), probe_result.stats.edge_traversals, ratio, total, looked_up.rows)
         // <- server dropped here: the process state is gone, only dir remains
     };
 
@@ -133,6 +148,20 @@ fn main() {
         recovered.drift()
     );
     assert_eq!(recovered.published_updates(), pre_kill_total, "every logged update recovered");
+
+    // The prepared-statement registry survives: the handle registered before
+    // the kill is back, signature intact, and executes identically.
+    let restored = recovered.prepared_statements();
+    let lookup = restored.last().expect("registry recovered");
+    println!(
+        "recovered {} prepared statements; lookup signature [{}]",
+        restored.len(),
+        lookup.signature().names().collect::<Vec<_>>().join(", ")
+    );
+    let looked_up = recovered
+        .execute(lookup, &Params::new().set("needle", "Drug_name_1").set("n", 3i64))
+        .expect("recovered handle binds");
+    assert_eq!(looked_up.rows, pre_kill_lookup, "prepared execution survives the restart");
 
     // The Q9 plan survives: same answer, same traversal count — the
     // optimized schema (and with it the rewrite) came back from the

@@ -72,19 +72,35 @@ fn main() {
         workload,
         ServerConfig { shard_count: 4, auto_reoptimize: false, ..ServerConfig::default() },
     );
+    // Prepare each statement once — `$n` is bound per request, so the serve
+    // loop neither re-parses text nor re-fingerprints statements.
     let texts = [
-        "MATCH (d:Drug) RETURN d.name LIMIT 10",
+        "MATCH (d:Drug) RETURN d.name LIMIT $n",
         "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN size(collect(i.desc))",
-        "MATCH (p:Patient)-[:hasEncounter]->(e:Encounter) RETURN e.encounterId LIMIT 20",
+        "MATCH (p:Patient)-[:hasEncounter]->(e:Encounter) RETURN e.encounterId LIMIT $n",
     ];
-    let statements: Vec<Statement> =
-        (0..300).map(|i| parse_named(texts[i % texts.len()], "mix").unwrap()).collect();
-    let run = server.run_workload(&statements, 4);
+    let handles: Vec<PreparedStatement> =
+        texts.iter().map(|t| server.prepare_text(t).unwrap()).collect();
+    let jobs: Vec<(PreparedStatement, Params)> = (0..300)
+        .map(|i| {
+            let handle = handles[i % handles.len()].clone();
+            let params = if handle.signature().is_empty() {
+                Params::new()
+            } else {
+                Params::new().set("n", (10 + i % 11) as i64)
+            };
+            (handle, params)
+        })
+        .collect();
+    let run = server.run_prepared_workload(&jobs, 4);
     println!(
-        "served {} queries at {:.0} q/s over {} shards",
+        "served {} prepared executions at {:.0} q/s over {} shards \
+         (plan cache: {} misses for {} shapes)",
         run.served,
         run.queries_per_second(),
         run.shard_count,
+        server.cache_stats().misses,
+        texts.len(),
     );
     for (i, stats) in run.per_shard_stats.iter().enumerate() {
         println!(

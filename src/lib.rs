@@ -11,10 +11,10 @@
 //! | [`pgschema`] | `pgso-pgschema` | property graph schema model, DDL emission, space estimation, diffs |
 //! | [`optimizer`] | `pgso-core` | relationship rules, OntologyPR, cost-benefit model, NSC / CC / RC / PGSG |
 //! | [`graphstore`] | `pgso-graphstore` | in-memory and disk-backed (paged, buffer pool) property graph storage |
-//! | [`query`] | `pgso-query` | pattern + statement AST (WHERE/OPTIONAL/ORDER BY/LIMIT), Cypher-like text parser, executor, DIR→OPT rewriter, plan fingerprints |
+//! | [`query`] | `pgso-query` | pattern + statement AST (WHERE/OPTIONAL/ORDER BY/LIMIT, `$name` parameters, aggregation + GROUP BY), Cypher-like text parser, executor, DIR→OPT rewriter, plan fingerprints |
 //! | [`datagen`] | `pgso-datagen` | synthetic instance generation, schema-conforming loading, streaming update generation |
 //! | [`persist`] | `pgso-persist` | write-ahead log, epoch snapshots, crash recovery |
-//! | [`server`] | `pgso-server` | concurrent serving engine: plan cache, workload tracking, adaptive re-optimization, WAL-backed ingest |
+//! | [`server`] | `pgso-server` | concurrent serving engine: prepare/execute API with named parameters, plan cache, workload tracking, adaptive re-optimization, WAL-backed ingest |
 //!
 //! ## Quick start
 //!
@@ -76,8 +76,10 @@ pub mod prelude {
     pub use pgso_pgschema::{ddl, PropertyGraphSchema};
     pub use pgso_query::{
         execute, execute_statement, execute_statement_with, fingerprint, fingerprint_statement,
-        parse, parse_named, rewrite, rewrite_statement, Aggregate, CmpOp, ExecConfig, ParseError,
-        Query, Statement,
+        parse, parse_named, rewrite, rewrite_statement, Aggregate, BindError, CmpOp, CountTerm,
+        ExecConfig, Params, ParseError, Query, Statement, Term,
     };
-    pub use pgso_server::{IngestConfig, KgServer, ServerConfig, WorkloadTracker};
+    pub use pgso_server::{
+        IngestConfig, KgServer, PreparedStatement, ServerConfig, WorkloadTracker,
+    };
 }

@@ -71,15 +71,20 @@ fn mirrored_graphs(
 
 /// Deterministically assembles a [`Statement`] from generated integer specs.
 /// Optional nodes are declared in the order their edges introduce them so
-/// the text form round-trips; everything else is free.
+/// the text form round-trips; everything else is free. Predicate specs with
+/// an odd `param` component become `$name` parameter terms (collected into
+/// the returned [`Params`] with a deterministic value), as do `SKIP`/`LIMIT`
+/// when flag bit 64 is set — so every generated statement comes with a
+/// parameter set that binds it.
 fn build_statement(
     node_count: usize,
     edge_specs: &[(usize, usize, usize)],
     opt_specs: &[(usize, usize)],
     pred_specs: &[(usize, usize, usize, i64)],
     flags: u8,
-) -> Statement {
+) -> (Statement, Params) {
     let mut b = Statement::builder("generated");
+    let mut params = Params::new();
     for i in 0..node_count {
         b = b.node(format!("v{i}"), format!("L{i}"));
     }
@@ -97,7 +102,7 @@ fn build_statement(
         b = b.opt_edge(format!("v{}", anchor % node_count), format!("or{label}"), &var);
         opt_vars.push(var);
     }
-    for &(var, op, prop, value) in pred_specs {
+    for (k, &(var, op, prop, value)) in pred_specs.iter().enumerate() {
         let pool = node_count + opt_vars.len();
         let var = var % pool;
         let var =
@@ -115,7 +120,14 @@ fn build_statement(
                 _ => PropertyValue::Bool(value % 2 == 0),
             }
         };
-        b = b.filter(var, format!("p{}", prop % 3), op, literal);
+        let property = format!("p{}", prop % 3);
+        if value % 2 == 1 {
+            let name = format!("param{k}");
+            params.insert(&name, literal);
+            b = b.filter_param(var, property, op, name);
+        } else {
+            b = b.filter(var, property, op, literal);
+        }
     }
     b = b.ret_property("v0", "p0");
     if flags & 8 != 0 {
@@ -127,13 +139,24 @@ fn build_statement(
     if flags & 2 != 0 {
         b = b.order_by("v0", "p0", flags & 4 != 0);
     }
+    let window_params = flags & 64 != 0;
     if flags & 16 != 0 {
-        b = b.skip(3);
+        if window_params {
+            params.insert("skip", 3i64);
+            b = b.skip_param("skip");
+        } else {
+            b = b.skip(3);
+        }
     }
     if flags & 32 != 0 {
-        b = b.limit(7);
+        if window_params {
+            params.insert("limit", 7i64);
+            b = b.limit_param("limit");
+        } else {
+            b = b.limit(7);
+        }
     }
-    b.build()
+    (b.build(), params)
 }
 
 /// Applies a fixed item set in the given order until fixpoint, via the raw
@@ -230,10 +253,11 @@ proptest! {
         prop_assert!(larger.total_benefit <= nsc.total_benefit + 1e-9);
     }
 
-    /// Statement API contract: generated statements round-trip through
-    /// `Display` → `parse` → structural equality, and their fingerprint is
-    /// invariant under renaming and predicate-literal / window-count
-    /// changes while the *shape* keys stay significant.
+    /// Statement API contract: generated statements — `$parameters`
+    /// included — round-trip through `Display` → `parse` → structural
+    /// equality, the fingerprint ignores the presentation name but keys on
+    /// the clause shape, and auto-parameterization canonicalizes literal
+    /// variations onto one fingerprint.
     #[test]
     fn statement_text_roundtrip_and_fingerprint_invariance(
         node_count in 1usize..4,
@@ -243,9 +267,9 @@ proptest! {
             (0usize..6, 0usize..7, 0usize..4, 0i64..1000),
             0..4,
         ),
-        flags in 0u8..64,
+        flags in 0u8..128,
     ) {
-        let stmt = build_statement(node_count, &edge_specs, &opt_specs, &pred_specs, flags);
+        let (stmt, params) = build_statement(node_count, &edge_specs, &opt_specs, &pred_specs, flags);
 
         // Round-trip through the text front-end.
         let text = stmt.to_string();
@@ -257,25 +281,38 @@ proptest! {
             stmt,
             reparsed
         );
+        // Binding makes the parameters disappear; the bound statement still
+        // round-trips.
+        let bound = stmt.bind(&params).expect("generated params bind");
+        prop_assert!(!bound.has_parameters());
+        let bound_reparsed = parse(&bound.to_string()).expect("bound statement parses");
+        prop_assert!(bound.structurally_eq(&bound_reparsed));
 
-        // Fingerprint invariance: renaming and literal changes do not key.
+        // Fingerprint: renaming does not key, the reparsed statement shares
+        // the key (names differ only), and literal variations share a key
+        // after canonicalization.
         let base = fingerprint_statement(&stmt);
         let mut renamed = stmt.clone();
         renamed.pattern.name = "renamed".into();
         prop_assert_eq!(base, fingerprint_statement(&renamed));
-        let mut other_literals = stmt.clone();
+        prop_assert_eq!(base, fingerprint_statement(&reparsed));
+        let mut other_literals = bound.clone();
         for predicate in &mut other_literals.predicates {
-            predicate.value = PropertyValue::str("entirely different");
+            predicate.value = Term::Literal(PropertyValue::str("entirely different"));
         }
         if other_literals.skip.is_some() {
-            other_literals.skip = Some(999);
+            other_literals.skip = Some(CountTerm::Count(999));
         }
         if other_literals.limit.is_some() {
-            other_literals.limit = Some(1);
+            other_literals.limit = Some(CountTerm::Count(1));
         }
-        prop_assert_eq!(base, fingerprint_statement(&other_literals));
-        // The reparsed statement shares the fingerprint (names differ only).
-        prop_assert_eq!(base, fingerprint_statement(&reparsed));
+        let (canonical_a, _) = bound.parameterize();
+        let (canonical_b, _) = other_literals.parameterize();
+        prop_assert_eq!(
+            fingerprint_statement(&canonical_a),
+            fingerprint_statement(&canonical_b),
+            "canonical forms of literal variations must share one plan key"
+        );
 
         // Shape stays significant: dropping a clause changes the key.
         if !stmt.predicates.is_empty() {
@@ -288,6 +325,58 @@ proptest! {
             unlimited.limit = None;
             prop_assert!(base != fingerprint_statement(&unlimited));
         }
+    }
+
+    /// Binding semantics: executing `stmt.bind(params)` equals executing the
+    /// statement with the values substituted by hand, and the binding is
+    /// insensitive to the order the caller assembled the [`Params`] in —
+    /// by-name lookup cannot mis-bind shuffled same-name parameters, which
+    /// was exactly the failure mode of positional rebinding.
+    #[test]
+    fn shuffled_params_bind_like_literal_substitution(
+        vertex_specs in proptest::collection::vec((0usize..4, 0i64..40), 2..16),
+        graph_edges in proptest::collection::vec((0usize..16, 0usize..16, 0usize..3), 0..24),
+        node_count in 1usize..4,
+        edge_specs in proptest::collection::vec((0usize..4, 0usize..4, 0usize..3), 0..3),
+        pred_specs in proptest::collection::vec(
+            (0usize..4, 0usize..7, 0usize..4, 0i64..10),
+            0..4,
+        ),
+        flags in 0u8..128,
+    ) {
+        let (stmt, params) = build_statement(node_count, &edge_specs, &[], &pred_specs, flags);
+        let (mono, _) = mirrored_graphs(&vertex_specs, &graph_edges, 2);
+
+        // Hand substitution, the ground truth.
+        let mut literal = stmt.clone();
+        for predicate in &mut literal.predicates {
+            if let Some(name) = predicate.value.parameter_name().map(str::to_string) {
+                let value = params.get(&name).expect("declared parameter generated").clone();
+                predicate.value = Term::Literal(value);
+            }
+        }
+        for count in [&mut literal.skip, &mut literal.limit].into_iter().flatten() {
+            if let Some(name) = count.parameter_name().map(str::to_string) {
+                let n = params.get(&name).and_then(PropertyValue::as_int).expect("count param");
+                *count = CountTerm::Count(n as usize);
+            }
+        }
+
+        // Bind with the parameter set assembled in reversed order: by-name
+        // binding must not care.
+        let mut shuffled = Params::new();
+        let pairs: Vec<(String, PropertyValue)> =
+            params.iter().map(|(n, v)| (n.to_string(), v.clone())).collect();
+        for (name, value) in pairs.into_iter().rev() {
+            shuffled.insert(name, value);
+        }
+        let bound = stmt.bind(&shuffled).expect("generated params bind");
+        prop_assert!(bound.structurally_eq(&literal), "{bound} vs {literal}");
+
+        let via_bind = execute_statement(&bound, &mono);
+        let via_literals = execute_statement(&literal, &mono);
+        prop_assert_eq!(via_bind.rows, via_literals.rows);
+        prop_assert_eq!(via_bind.matches, via_literals.matches);
     }
 
     /// The disk-record codec round-trips vertices whose properties cycle
@@ -322,9 +411,10 @@ proptest! {
             (0usize..4, 0usize..7, 0usize..4, 0i64..10),
             0..3,
         ),
-        flags in 0u8..64,
+        flags in 0u8..128,
     ) {
-        let stmt = build_statement(node_count, &edge_specs, &[], &pred_specs, flags);
+        let (stmt, params) = build_statement(node_count, &edge_specs, &[], &pred_specs, flags);
+        let stmt = stmt.bind(&params).expect("generated params bind");
         for shards in [2usize, 4] {
             let (mono, sharded) = mirrored_graphs(&vertex_specs, &graph_edges, shards);
             let expected = execute_statement_with(&stmt, &mono, &ExecConfig::serial());

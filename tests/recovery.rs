@@ -63,6 +63,16 @@ fn dataset_queries(dataset: DatasetId) -> Vec<Statement> {
     microbenchmark().into_iter().filter(|q| q.dataset == dataset).map(|q| q.query).collect()
 }
 
+/// The `$param` statement every matrix server prepares pre-kill; its handle
+/// (dense id + typed signature) must survive the epoch swaps the ingest
+/// batches cause *and* the recovery.
+const PREPARED_TEXT: &str =
+    "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name ORDER BY d.name LIMIT $n";
+
+fn prepared_params() -> pgso::prelude::Params {
+    pgso::prelude::Params::new().set("needle", "Drug_name").set("n", 5i64)
+}
+
 /// The kill/recover equivalence matrix: Med and Fin, 1 and 4 shards.
 #[test]
 fn killed_server_recovers_to_bit_identical_q1_q12_rows() {
@@ -75,11 +85,13 @@ fn killed_server_recovers_to_bit_identical_q1_q12_rows() {
 
             // Server A: serve the full microbenchmark (the tracker learns),
             // ingest K updates, die without a checkpoint.
-            let (updates, pre_kill_tracker) = {
+            let (updates, pre_kill_tracker, pre_kill_prepared_rows) = {
                 let server = build(dataset, shards, Some(persist.clone()));
                 for query in &queries {
                     let _ = server.serve_statement(query);
                 }
+                let prepared = server.prepare_text(PREPARED_TEXT).expect("prepares");
+                let before_swaps = server.execute(&prepared, &prepared_params()).unwrap().rows;
                 let epoch = server.current_epoch();
                 assert_eq!(epoch.shard_count(), shards);
                 let updates = streaming_updates(
@@ -100,15 +112,28 @@ fn killed_server_recovers_to_bit_identical_q1_q12_rows() {
                 }
                 assert!(published_some, "some batches must have been published pre-kill");
                 assert!(staged_some, "some updates must still be WAL-only at kill time");
-                (updates, server.tracker().snapshot())
+                // Taken *before* the final execute: this is the state the
+                // last WAL tracker checkpoint captured, which is what
+                // recovery restores.
+                let tracker = server.tracker().snapshot();
+                // The prepared handle survives the publication epoch swaps:
+                // same signature, still executable, rows growing only with
+                // the ingested data.
+                let after_swaps = server.execute(&prepared, &prepared_params()).unwrap().rows;
+                assert!(after_swaps.len() >= before_swaps.len());
+                (updates, tracker, after_swaps)
                 // drop = kill: no checkpoint, no flush
             };
 
-            // Server B: identical construction, same updates, never killed.
+            // Server B: identical construction, same request stream (one
+            // prepared execution included, so the learned frequencies
+            // match), same updates, never killed.
             let uninterrupted = build(dataset, shards, None);
             for query in &queries {
                 let _ = uninterrupted.serve_statement(query);
             }
+            let prepared_b = uninterrupted.prepare_text(PREPARED_TEXT).unwrap();
+            let _ = uninterrupted.execute(&prepared_b, &prepared_params()).unwrap();
             uninterrupted.ingest(updates.clone()).unwrap();
             uninterrupted.flush_ingest();
 
@@ -149,6 +174,25 @@ fn killed_server_recovers_to_bit_identical_q1_q12_rows() {
                     index + 1
                 );
             }
+
+            // The prepared handle registered pre-kill survives recovery:
+            // the registry comes back in registration order with the typed
+            // parameter signature intact, and executing it with the same
+            // bindings reproduces the pre-kill rows (the staged WAL-only
+            // updates replayed, so the graph is the pre-kill graph).
+            let restored = recovered.prepared_statements();
+            assert_eq!(restored.len(), 1, "{dataset:?} shards={shards}");
+            let prepared = &restored[0];
+            assert_eq!(
+                prepared.signature().names().collect::<Vec<_>>(),
+                ["needle", "n"],
+                "parameter signature survives recovery"
+            );
+            assert_eq!(
+                recovered.execute(prepared, &prepared_params()).unwrap().rows,
+                pre_kill_prepared_rows,
+                "{dataset:?} shards={shards}: prepared execution survives recovery"
+            );
         }
     }
 }
