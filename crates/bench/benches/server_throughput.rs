@@ -30,12 +30,26 @@
 //! row at 8 serving threads; on a single core the fan-out gate keeps
 //! execution serial, so multi-shard throughput must merely stay close to
 //! monolithic (the global→local indirection is the only overhead).
+//!
+//! # Recorded baseline — `BENCH_serving.json`
+//!
+//! Every run ends by writing a machine-readable summary to
+//! `BENCH_serving.json` at the repository root (`PGSO_BENCH_OUT` overrides
+//! the path): q/s per mix and thread count, serve-latency percentiles and
+//! per-stage p50s from the server's own telemetry, plan-cache hit ratio,
+//! WAL append/fsync percentiles from a durable run, per-shard vertex-read
+//! balance, and the telemetry on/off overhead ratio. The committed copy is
+//! the reference baseline; with `PGSO_BENCH_GATE=1` the run *fails* when
+//! pattern-mix q/s drops more than 20% below that baseline. Telemetry
+//! overhead is asserted `< 5%` in full (non `--test`) runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_datagen::{streaming_updates, InstanceKg, UpdateStreamConfig};
 use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
 use pgso_query::{Aggregate, Params, Query, Statement};
 use pgso_server::{IngestConfig, KgServer, PersistConfig, PreparedStatement, ServerConfig};
+use pgso_telemetry::Json;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 fn build_server(shard_count: usize) -> KgServer {
@@ -130,11 +144,17 @@ fn prepared_param_workload(server: &KgServer) -> Vec<(PreparedStatement, Params)
         .collect()
 }
 
-fn run_mix(c: &mut Criterion, server: &KgServer, name: &str, workload: &[Statement]) {
+fn run_mix(
+    c: &mut Criterion,
+    server: &KgServer,
+    name: &str,
+    workload: &[Statement],
+) -> (Vec<(usize, f64)>, f64) {
     // Warm the plan cache so the throughput numbers measure the steady state.
     let _ = server.run_workload(workload, 1);
     let warm = server.cache_stats();
 
+    let mut qps_by_threads = Vec::new();
     let mut group = c.benchmark_group(format!("server_throughput/{name}"));
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
@@ -148,6 +168,7 @@ fn run_mix(c: &mut Criterion, server: &KgServer, name: &str, workload: &[Stateme
             "server_throughput/{name}/threads_{threads:<2} {:>12.0} queries/sec",
             report.queries_per_second()
         );
+        qps_by_threads.push((threads, report.queries_per_second()));
     }
     group.finish();
 
@@ -166,6 +187,7 @@ fn run_mix(c: &mut Criterion, server: &KgServer, name: &str, workload: &[Stateme
         ratio >= 0.90,
         "plan-cache hit ratio {ratio:.4} for {name} fell below 0.90 — shape keys regressed?"
     );
+    (qps_by_threads, ratio)
 }
 
 /// Like [`run_mix`] but through the prepare/execute path: handles are
@@ -177,11 +199,12 @@ fn run_prepared_mix(
     server: &KgServer,
     name: &str,
     jobs: &[(PreparedStatement, Params)],
-) {
+) -> (Vec<(usize, f64)>, f64) {
     // Warm the plan cache so the throughput numbers measure the steady state.
     let _ = server.run_prepared_workload(jobs, 1);
     let warm = server.cache_stats();
 
+    let mut qps_by_threads = Vec::new();
     let mut group = c.benchmark_group(format!("server_throughput/{name}"));
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
@@ -195,6 +218,7 @@ fn run_prepared_mix(
             "server_throughput/{name}/threads_{threads:<2} {:>12.0} queries/sec",
             report.queries_per_second()
         );
+        qps_by_threads.push((threads, report.queries_per_second()));
     }
     group.finish();
 
@@ -212,12 +236,22 @@ fn run_prepared_mix(
         "plan-cache hit ratio {ratio:.4} for {name} fell below 0.90 — \
          parameterized plans must be shared across executions"
     );
+    (qps_by_threads, ratio)
 }
 
-/// The shard-count × thread-count grid over the pattern mix. Returns q/s at
-/// 8 serving threads, keyed by shard count.
-fn shard_grid(c: &mut Criterion, workload: &[Statement]) -> Vec<(usize, f64)> {
-    let mut qps_at_8_threads = Vec::new();
+/// One shard-grid row at 8 serving threads: throughput plus how evenly the
+/// storage work spread across the shards.
+struct GridRow {
+    shards: usize,
+    qps_at_8_threads: f64,
+    /// Per-shard vertex reads of the last 8-thread replay.
+    vertex_read_balance: Vec<u64>,
+}
+
+/// The shard-count × thread-count grid over the pattern mix. Returns the
+/// 8-serving-thread row per shard count.
+fn shard_grid(c: &mut Criterion, workload: &[Statement]) -> Vec<GridRow> {
+    let mut rows = Vec::new();
     for shards in [1usize, 2, 4, 8] {
         let server = build_server(shards);
         let _ = server.run_workload(workload, 1); // warm the plan cache
@@ -247,14 +281,14 @@ fn shard_grid(c: &mut Criterion, workload: &[Statement]) -> Vec<(usize, f64)> {
                  {qps:>12.0} queries/sec  shard vertex-read balance {reads:?}"
             );
             if threads == 8 {
-                qps_at_8_threads.push((shards, qps));
+                rows.push(GridRow { shards, qps_at_8_threads: qps, vertex_read_balance: reads });
             }
             assert_eq!(report.shard_count, shards);
             assert_eq!(report.per_shard_stats.len(), shards);
         }
         group.finish();
     }
-    qps_at_8_threads
+    rows
 }
 
 /// Ingest-while-serving: `reader_threads` replay the pattern mix while one
@@ -350,22 +384,213 @@ fn ingest_mix(workload: &[Statement], quick: bool) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Latency and durability detail for the recorded baseline, read from the
+/// server's own telemetry after a durable (fsync-on) mixed run: pattern
+/// statements, prepared executions and ingest batches on one server.
+fn telemetry_profile(pattern: &[Statement], quick: bool) -> Json {
+    let dir = std::env::temp_dir().join(format!("pgso-bench-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // fsync ON: this is the run whose `wal.fsync` percentiles the baseline
+    // records (the ingest mix keeps fsync off to isolate logging overhead).
+    let server = build_server_with(1, Some(PersistConfig::new(&dir)));
+    // `jobs` was prepared against a different server; re-prepare here so the
+    // handles belong to this one.
+    let local_jobs = prepared_param_workload(&server);
+    let replays = if quick { 1 } else { 4 };
+    for _ in 0..replays {
+        let _ = server.run_workload(pattern, 4);
+        let _ = server.run_prepared_workload(&local_jobs, 4);
+    }
+    // A little ingest so WAL append/fsync have samples beyond the prepare
+    // registrations.
+    let epoch = server.current_epoch();
+    let updates = streaming_updates(
+        server.ontology(),
+        &epoch.schema,
+        epoch.graph(),
+        512,
+        7,
+        &UpdateStreamConfig::default(),
+    );
+    drop(epoch);
+    for batch in updates.chunks(64) {
+        server.ingest(batch.to_vec()).expect("ingest succeeds");
+    }
+
+    let snapshot = server.metrics_snapshot();
+    let latency = snapshot.histogram("query.latency").expect("telemetry is on");
+    let mut stage_p50 = Json::obj();
+    for stage in ["root_selection", "expansion", "optional", "aggregate", "windowing"] {
+        let hist = snapshot.histogram(&format!("query.stage.{stage}")).expect("stage series");
+        stage_p50.set(stage, hist.p50());
+    }
+    let wal_append = snapshot.histogram("wal.append").expect("durable server logs");
+    let wal_fsync = snapshot.histogram("wal.fsync").expect("fsync is on");
+    assert!(latency.count > 0, "the mixed run must have recorded serve latencies");
+    assert!(wal_fsync.count > 0, "the durable run must have recorded fsyncs");
+    println!(
+        "server_throughput/telemetry query.latency p50 {} p90 {} p99 {} max {} ns \
+         ({} serves); wal.fsync p50 {} p99 {} ns ({} syncs)",
+        latency.p50(),
+        latency.p90(),
+        latency.p99(),
+        latency.max(),
+        latency.count,
+        wal_fsync.p50(),
+        wal_fsync.p99(),
+        wal_fsync.count
+    );
+    let profile = Json::obj()
+        .with("serves", latency.count)
+        .with(
+            "query_latency_ns",
+            Json::obj()
+                .with("p50", latency.p50())
+                .with("p90", latency.p90())
+                .with("p99", latency.p99())
+                .with("max", latency.max()),
+        )
+        .with("stage_p50_ns", stage_p50)
+        .with(
+            "wal_ns",
+            Json::obj()
+                .with("append_p50", wal_append.p50())
+                .with("append_p99", wal_append.p99())
+                .with("fsync_p50", wal_fsync.p50())
+                .with("fsync_p99", wal_fsync.p99())
+                .with("appends", wal_append.count)
+                .with("fsyncs", wal_fsync.count),
+        )
+        .with(
+            "plan_cache_hit_ratio",
+            snapshot.gauge("plan_cache.hit_ratio").expect("mirrored gauge"),
+        );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    profile
+}
+
+/// Telemetry on vs off on the same workload: the instrumented hot path must
+/// stay within 5% of the uninstrumented one (asserted only in full runs —
+/// one quick pass is noise, not a measurement). Returns the JSON fragment
+/// plus the telemetry-on average q/s (the regression-gate headline).
+fn telemetry_overhead(pattern: &[Statement], quick: bool) -> (Json, f64) {
+    let build = |enabled: bool| {
+        let ontology = catalog::medical();
+        let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
+        let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 42);
+        let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+        let config = ServerConfig {
+            auto_reoptimize: false,
+            telemetry_enabled: enabled,
+            ..ServerConfig::default()
+        };
+        KgServer::new(ontology, statistics, instance, frequencies, config)
+    };
+    let on = build(true);
+    let off = build(false);
+    let _ = on.run_workload(pattern, 1); // warm both plan caches
+    let _ = off.run_workload(pattern, 1);
+    // Interleave the replay rounds so frequency scaling and cache effects
+    // hit both sides equally — back-to-back blocks systematically favour
+    // whichever side runs second. Kept well-sampled even in quick mode:
+    // `enabled_qps` doubles as the regression-gate headline, and a
+    // single-replay number is far too noisy to gate on.
+    let rounds = if quick { 8 } else { 12 };
+    let (mut enabled_qps, mut disabled_qps) = (0.0f64, 0.0f64);
+    for _ in 0..rounds {
+        enabled_qps += on.run_workload(pattern, 4).queries_per_second();
+        disabled_qps += off.run_workload(pattern, 4).queries_per_second();
+    }
+    let enabled_qps = enabled_qps / rounds as f64;
+    let disabled_qps = disabled_qps / rounds as f64;
+    let overhead = 1.0 - enabled_qps / disabled_qps.max(1e-9);
+    println!(
+        "server_throughput/telemetry_overhead on {enabled_qps:>10.0} q/s, \
+         off {disabled_qps:>10.0} q/s ({:+.2}%)",
+        overhead * 100.0
+    );
+    if !quick {
+        assert!(
+            overhead < 0.05,
+            "telemetry instrumentation costs {:.2}% q/s (budget: 5%)",
+            overhead * 100.0
+        );
+    }
+    let fragment = Json::obj()
+        .with("enabled_qps", enabled_qps)
+        .with("disabled_qps", disabled_qps)
+        .with("overhead_fraction", overhead);
+    (fragment, enabled_qps)
+}
+
+/// Where the recorded baseline lives: `PGSO_BENCH_OUT`, or
+/// `BENCH_serving.json` at the repository root.
+fn baseline_path() -> PathBuf {
+    match std::env::var_os("PGSO_BENCH_OUT") {
+        Some(path) => PathBuf::from(path),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_serving.json"),
+    }
+}
+
+/// `PGSO_BENCH_GATE=1`: compare this run's pattern-mix q/s against the
+/// committed baseline *before* overwriting it; >20% regression fails. The
+/// headline number is the multi-round average from the overhead
+/// measurement (telemetry on, 4 threads) — single replays are far too
+/// noisy to gate on.
+fn gate_against_baseline(headline_qps: f64) {
+    if std::env::var("PGSO_BENCH_GATE").map(|v| v == "1").unwrap_or(false) {
+        let path = baseline_path();
+        let baseline = std::fs::read_to_string(&path).ok().and_then(|text| {
+            // Minimal extraction — the baseline is written by this very
+            // bench, so the field shape is known.
+            let key = "\"headline_qps\":";
+            let start = text.find(key)? + key.len();
+            let rest = &text[start..];
+            let end = rest.find([',', '\n', '}'])?;
+            rest[..end].trim().parse::<f64>().ok()
+        });
+        match baseline {
+            Some(expected) if expected > 0.0 => {
+                let ratio = headline_qps / expected;
+                println!(
+                    "server_throughput/gate headline {headline_qps:.0} q/s vs baseline \
+                     {expected:.0} q/s (x{ratio:.2})"
+                );
+                assert!(
+                    ratio >= 0.80,
+                    "serving throughput regressed >20% vs the recorded baseline \
+                     ({headline_qps:.0} vs {expected:.0} q/s)"
+                );
+            }
+            _ => println!(
+                "server_throughput/gate no readable baseline at {} — gate skipped",
+                path.display()
+            ),
+        }
+    }
+}
+
 fn bench(c: &mut Criterion) {
     // Capture before the benchmark groups borrow `c`.
     let quick = c.is_test_mode();
     let server = build_server(1);
     let pattern = pattern_workload();
-    run_mix(c, &server, "pattern", &pattern);
+    let (pattern_qps, pattern_hit_ratio) = run_mix(c, &server, "pattern", &pattern);
     let prepared = prepared_param_workload(&server);
-    run_prepared_mix(c, &server, "prepared_params", &prepared);
+    let (prepared_qps, prepared_hit_ratio) =
+        run_prepared_mix(c, &server, "prepared_params", &prepared);
     drop(server);
 
     ingest_mix(&pattern, quick);
 
-    let at_8 = shard_grid(c, &pattern);
-    let single = at_8.iter().find(|(s, _)| *s == 1).map(|&(_, q)| q).unwrap_or(0.0);
-    let best_multi =
-        at_8.iter().filter(|(s, _)| *s > 1).map(|&(_, q)| q).fold(f64::NEG_INFINITY, f64::max);
+    let grid = shard_grid(c, &pattern);
+    let single = grid.iter().find(|r| r.shards == 1).map(|r| r.qps_at_8_threads).unwrap_or(0.0);
+    let best_multi = grid
+        .iter()
+        .filter(|r| r.shards > 1)
+        .map(|r| r.qps_at_8_threads)
+        .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "server_throughput/grid summary @8 threads: 1 shard {single:.0} q/s, \
          best multi-shard {best_multi:.0} q/s (x{:.2})",
@@ -391,6 +616,53 @@ fn bench(c: &mut Criterion) {
              ({best_multi:.0} vs {single:.0} q/s)"
         );
     }
+
+    let profile = telemetry_profile(&pattern, quick);
+    // The headline number the regression gate compares: the interleaved
+    // multi-round pattern-mix average at 4 threads, telemetry on (the
+    // default serving configuration).
+    let (overhead, headline_qps) = telemetry_overhead(&pattern, quick);
+    gate_against_baseline(headline_qps);
+
+    let qps_obj = |rows: &[(usize, f64)]| {
+        let mut obj = Json::obj();
+        for &(threads, qps) in rows {
+            obj.set(&format!("threads_{threads}"), qps);
+        }
+        obj
+    };
+    let grid_rows: Vec<Json> = grid
+        .iter()
+        .map(|row| {
+            Json::obj().with("shards", row.shards).with("threads_8_qps", row.qps_at_8_threads).with(
+                "vertex_read_balance",
+                row.vertex_read_balance.iter().map(|&r| Json::from(r)).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let report = Json::obj()
+        .with("bench", "server_throughput")
+        .with("mode", if quick { "quick" } else { "full" })
+        .with("statements_per_replay", pattern.len())
+        .with("headline_qps", headline_qps)
+        .with(
+            "pattern",
+            Json::obj()
+                .with("queries_per_second", qps_obj(&pattern_qps))
+                .with("plan_cache_hit_ratio", pattern_hit_ratio),
+        )
+        .with(
+            "prepared_params",
+            Json::obj()
+                .with("queries_per_second", qps_obj(&prepared_qps))
+                .with("plan_cache_hit_ratio", prepared_hit_ratio),
+        )
+        .with("telemetry", profile)
+        .with("telemetry_overhead", overhead)
+        .with("shard_grid_at_8_threads", grid_rows);
+    let path = baseline_path();
+    std::fs::write(&path, report.pretty()).expect("baseline file writes");
+    println!("server_throughput/baseline written to {}", path.display());
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,65 @@
+//! Standalone telemetry-overhead probe: the same on/off comparison the
+//! `server_throughput` bench records, runnable with enough replays to be a
+//! measurement rather than a smoke pass. Ignored by default — run it with
+//!
+//! ```text
+//! cargo test -p pgso-bench --release --test overhead_probe -- --ignored --nocapture
+//! ```
+
+use pgso_datagen::InstanceKg;
+use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
+use pgso_query::{Query, Statement};
+use pgso_server::{KgServer, ServerConfig};
+
+fn workload() -> Vec<Statement> {
+    let shapes = [
+        Query::builder("lookup").node("d", "Drug").ret_property("d", "name").build(),
+        Query::builder("treat")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build(),
+    ];
+    (0..512).map(|i| Statement::from(shapes[i % shapes.len()].clone())).collect()
+}
+
+fn qps(enabled: bool, replays: usize, threads: usize, workload: &[Statement]) -> f64 {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 42);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 42);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    let config = ServerConfig {
+        auto_reoptimize: false,
+        telemetry_enabled: enabled,
+        ..ServerConfig::default()
+    };
+    let server = KgServer::new(ontology, statistics, instance, frequencies, config);
+    let _ = server.run_workload(workload, 1);
+    let mut sum = 0.0;
+    for _ in 0..replays {
+        sum += server.run_workload(workload, threads).queries_per_second();
+    }
+    sum / replays as f64
+}
+
+#[test]
+#[ignore = "measurement probe, not a correctness test"]
+fn telemetry_overhead_probe() {
+    let workload = workload();
+    for threads in [1usize, 4] {
+        // Interleave on/off rounds so frequency scaling and cache effects
+        // hit both sides equally.
+        let rounds = 6;
+        let (mut on, mut off) = (0.0, 0.0);
+        for _ in 0..rounds {
+            on += qps(true, 8, threads, &workload);
+            off += qps(false, 8, threads, &workload);
+        }
+        let (on, off) = (on / rounds as f64, off / rounds as f64);
+        println!(
+            "threads {threads}: on {on:>10.0} q/s, off {off:>10.0} q/s ({:+.2}%)",
+            (1.0 - on / off) * 100.0
+        );
+    }
+}

@@ -78,7 +78,7 @@ pub use snapshot::{
     read_snapshot, snapshot_path, wal_path, write_snapshot, Snapshot, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
 };
-pub use wal::{crc32, read_wal, WalReadOutcome, WalRecord, WalWriter, WAL_MAGIC};
+pub use wal::{crc32, read_wal, WalReadOutcome, WalRecord, WalTelemetry, WalWriter, WAL_MAGIC};
 
 use std::path::PathBuf;
 use std::time::Duration;

@@ -374,8 +374,9 @@ fn decode_body(body: &[u8]) -> io::Result<Snapshot> {
 /// then fsync of the parent **directory** — without the last step the rename
 /// is unordered metadata, and a power failure could persist a later
 /// `prune_generations` unlink while losing the rename, leaving no valid
-/// snapshot at all.
-pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
+/// snapshot at all. Returns the file size in bytes (header + body), which
+/// the serving layer's telemetry reports as the snapshot size.
+pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> io::Result<u64> {
     let body = encode_body(snapshot);
     let tmp = path.with_extension("snap.tmp");
     {
@@ -392,7 +393,7 @@ pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
         // entry metadata (the rename) to disk.
         File::open(dir)?.sync_all()?;
     }
-    Ok(())
+    Ok(20 + body.len() as u64)
 }
 
 /// Reads and validates a snapshot file.

@@ -48,6 +48,7 @@
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
 use crate::stmt::{order_values, CountTerm, OrderKey, Predicate, Statement, Term};
 use pgso_graphstore::{AccessStats, GraphBackend, PropertyValue, VertexId};
+use pgso_telemetry::{FieldValue, StageTimings, TraceBuffer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -112,6 +113,11 @@ pub struct QueryResult {
     /// as a vertex read in [`QueryResult::stats`], since the property is
     /// fetched through the backend.
     pub predicate_checks: u64,
+    /// Wall time spent in each execution stage (root selection, expansion,
+    /// optional matching, aggregation, windowing) and the number of shards
+    /// the expansion fanned out across. Always populated; the five extra
+    /// monotonic-clock reads are noise next to any real query.
+    pub stage_timings: StageTimings,
 }
 
 impl QueryResult {
@@ -156,6 +162,46 @@ pub fn execute_statement_with(
         limit: stmt.limit.as_ref().and_then(CountTerm::count),
     };
     run(&stmt.pattern, &clauses, backend, config)
+}
+
+/// [`execute_statement_with`] plus structured tracing: after execution, one
+/// trace event per non-zero stage (named `stage.<name>`) and a closing
+/// `query.exec` event carrying match/row counts and the fan-out width are
+/// emitted under a fresh span. Emission happens post-hoc from the recorded
+/// [`StageTimings`], so the execution hot path is identical to the untraced
+/// entry points.
+pub fn execute_statement_traced(
+    stmt: &Statement,
+    backend: &dyn GraphBackend,
+    config: &ExecConfig,
+    trace: &TraceBuffer,
+) -> QueryResult {
+    let result = execute_statement_with(stmt, backend, config);
+    let span = trace.new_span();
+    for (name, duration) in result.stage_timings.stages() {
+        if !duration.is_zero() {
+            let event = match name {
+                "root_selection" => "stage.root_selection",
+                "expansion" => "stage.expansion",
+                "optional" => "stage.optional",
+                "aggregate" => "stage.aggregate",
+                _ => "stage.windowing",
+            };
+            trace.emit_with_duration(event, span, duration, Vec::new());
+        }
+    }
+    trace.emit_with_duration(
+        "query.exec",
+        span,
+        result.elapsed,
+        vec![
+            ("matches", FieldValue::from(result.matches)),
+            ("rows", FieldValue::from(result.rows.len())),
+            ("predicate_checks", FieldValue::from(result.predicate_checks)),
+            ("fanned_out_shards", FieldValue::from(result.stage_timings.fanned_out_shards)),
+        ],
+    );
+    result
 }
 
 /// Borrowed view of the statement-level clauses; empty for a bare query.
@@ -246,6 +292,7 @@ fn run(
     let before = backend.stats();
     let start = Instant::now();
     let ctx = Ctx::new(query, clauses, backend);
+    let mut timings = StageTimings::default();
 
     // A predicate on a variable bound by no pattern can never hold; detect
     // that before paying for any matching work.
@@ -257,9 +304,12 @@ fn run(
     let mut bindings: Vec<HashMap<String, VertexId>> = Vec::new();
     if !unsatisfiable {
         if let Some(root) = query.nodes.first() {
+            let stage = Instant::now();
             let roots = backend.vertices_with_label(&root.label);
+            timings.root_selection = stage.elapsed();
+            let stage = Instant::now();
             if should_fan_out(&ctx, &roots, config) {
-                fan_out_roots(&ctx, root, &roots, &mut bindings);
+                timings.fanned_out_shards = fan_out_roots(&ctx, root, &roots, &mut bindings);
             } else {
                 for vertex in roots {
                     // Predicate pushdown: root candidates that fail a WHERE
@@ -272,16 +322,23 @@ fn run(
                     expand(&ctx, 0, binding, &mut bindings);
                 }
             }
+            timings.expansion = stage.elapsed();
         }
     }
+    let stage = Instant::now();
     let bindings = apply_optional(&ctx, bindings);
+    timings.optional = stage.elapsed();
 
+    let stage = Instant::now();
     let (rows, reps) = if query.is_aggregation() {
         aggregate_rows(&ctx, &bindings)
     } else {
         (build_rows(&ctx, &bindings), (0..bindings.len()).collect())
     };
+    timings.aggregate = stage.elapsed();
+    let stage = Instant::now();
     let rows = finalize_rows(&ctx, rows, &reps, &bindings);
+    timings.windowing = stage.elapsed();
     let elapsed = start.elapsed();
     let after = backend.stats();
     QueryResult {
@@ -290,6 +347,7 @@ fn run(
         elapsed,
         stats: after.delta_since(&before),
         predicate_checks: ctx.predicate_checks.load(Ordering::Relaxed),
+        stage_timings: timings,
     }
 }
 
@@ -319,13 +377,15 @@ fn should_fan_out(ctx: &Ctx<'_>, roots: &[VertexId], config: &ExecConfig) -> boo
 
 /// Parallel root fan-out: one scoped worker per shard expands the root
 /// candidates *owned by that shard*; results are merged back in root order,
-/// reproducing the serial binding order exactly.
+/// reproducing the serial binding order exactly. Returns the number of
+/// shard workers actually spawned (shards owning no root candidate get
+/// none).
 fn fan_out_roots(
     ctx: &Ctx<'_>,
     root: &NodePattern,
     roots: &[VertexId],
     bindings: &mut Vec<HashMap<String, VertexId>>,
-) {
+) -> usize {
     let shard_count = ctx.backend.shard_count();
     let mut groups: Vec<Vec<(usize, VertexId)>> = vec![Vec::new(); shard_count];
     for (pos, &vertex) in roots.iter().enumerate() {
@@ -334,6 +394,7 @@ fn fan_out_roots(
     // Per-root binding lists, indexed by the root's serial position.
     let mut per_root: Vec<(usize, Vec<HashMap<String, VertexId>>)> =
         Vec::with_capacity(roots.len());
+    let mut workers_spawned = 0;
     std::thread::scope(|scope| {
         let workers: Vec<_> = groups
             .iter()
@@ -355,6 +416,7 @@ fn fan_out_roots(
                 })
             })
             .collect();
+        workers_spawned = workers.len();
         for worker in workers {
             per_root.extend(worker.join().expect("shard fan-out worker panicked"));
         }
@@ -363,6 +425,7 @@ fn fan_out_roots(
     for (_, mut local) in per_root {
         bindings.append(&mut local);
     }
+    workers_spawned
 }
 
 /// Recursively matches mandatory edge patterns in order.
@@ -1502,5 +1565,43 @@ mod tests {
         assert_eq!(plain.rows, stmt.rows);
         assert_eq!(plain.matches, stmt.matches);
         assert_eq!(stmt.predicate_checks, 0);
+    }
+
+    #[test]
+    fn stage_timings_reflect_the_executed_stages() {
+        let (_, sharded) = mirrored(4, 40);
+        let stmt = Statement::builder("timed")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .order_by("i", "desc", false)
+            .build();
+        let parallel = execute_statement_with(&stmt, &sharded, &ExecConfig::always_parallel());
+        assert_eq!(parallel.stage_timings.fanned_out_shards, 4, "one worker per shard");
+        assert!(parallel.stage_timings.total() <= parallel.elapsed + parallel.elapsed);
+        let serial = execute_statement_with(&stmt, &sharded, &ExecConfig::serial());
+        assert_eq!(serial.stage_timings.fanned_out_shards, 0, "serial walk reports no fan-out");
+    }
+
+    #[test]
+    fn traced_execution_emits_stage_and_summary_events() {
+        let g = figure_1_direct();
+        let stmt = Statement::builder("traced")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build();
+        let trace = pgso_telemetry::TraceBuffer::new(32);
+        let traced = execute_statement_traced(&stmt, &g, &ExecConfig::serial(), &trace);
+        let plain = execute_statement(&stmt, &g);
+        assert_eq!(traced.rows, plain.rows, "tracing must not change results");
+        let events = trace.recent();
+        let summary = events.iter().find(|e| e.name == "query.exec").expect("summary event");
+        assert_eq!(summary.duration, Some(traced.elapsed));
+        assert!(summary.fields.contains(&("matches", FieldValue::U64(traced.matches as u64))));
+        // Every stage event shares the summary's span.
+        assert!(events.iter().all(|e| e.span_id == summary.span_id));
     }
 }

@@ -55,9 +55,13 @@ pub mod rewrite;
 pub mod stmt;
 
 pub use ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder, ReturnItem};
-pub use exec::{execute, execute_statement, execute_statement_with, ExecConfig, QueryResult, Row};
+pub use exec::{
+    execute, execute_statement, execute_statement_traced, execute_statement_with, ExecConfig,
+    QueryResult, Row,
+};
 pub use fingerprint::{fingerprint, fingerprint_statement};
 pub use params::{BindError, ParamKind, ParamSignature, ParamSpec, Params};
 pub use parse::{parse, parse_named, ParseError};
+pub use pgso_telemetry::StageTimings;
 pub use rewrite::{rewrite, rewrite_statement};
 pub use stmt::{CmpOp, CountTerm, OrderKey, Predicate, Statement, StatementBuilder, Term};

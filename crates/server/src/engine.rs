@@ -48,6 +48,7 @@
 //! intact.
 
 use crate::cache::{CacheStats, PlanCache};
+use crate::telemetry::ServerTelemetry;
 use crate::tracker::{
     frequencies_from_bytes, frequencies_to_bytes, WorkloadSnapshot, WorkloadTracker,
 };
@@ -67,6 +68,7 @@ use pgso_query::{
     execute_statement_with, fingerprint_statement, parse_named, rewrite_statement, BindError,
     ExecConfig, ParamSignature, Params, ParseError, Query, QueryResult, Statement,
 };
+use pgso_telemetry::{FieldValue, MetricsRegistry, MetricsSnapshot, TraceEvent};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -105,6 +107,21 @@ pub struct ServerConfig {
     /// Ingest staging policy: when pending updates are published into a new
     /// serving epoch.
     pub ingest: IngestConfig,
+    /// Master switch for the observability layer. On (the default), the
+    /// server owns a [`pgso_telemetry::MetricsRegistry`] + trace ring and
+    /// every serve/ingest/snapshot path records into it; off, the serve hot
+    /// path performs no clock reads or metric updates at all —
+    /// [`KgServer::metrics_snapshot`] still works but reports only the
+    /// engine-state gauges.
+    pub telemetry_enabled: bool,
+    /// Serves slower than this are counted in `server.slow_queries` and
+    /// logged to the trace ring as a structured `slow_query` event carrying
+    /// the statement fingerprint, a hash of the bound parameters, and the
+    /// per-stage timings. `None` (the default) disables the slow-query log.
+    pub slow_query_log_threshold: Option<Duration>,
+    /// Capacity of the structured trace ring (events retained before the
+    /// oldest are overwritten).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +135,9 @@ impl Default for ServerConfig {
             shard_count: 1,
             exec: ExecConfig::default(),
             ingest: IngestConfig::default(),
+            telemetry_enabled: true,
+            slow_query_log_threshold: None,
+            trace_capacity: 1024,
         }
     }
 }
@@ -358,6 +378,9 @@ pub struct KgServer {
     events: Mutex<Vec<ReoptimizationEvent>>,
     ingest: Mutex<IngestState>,
     persist: Option<PersistHandle>,
+    /// `Some` when [`ServerConfig::telemetry_enabled`]; shared with every
+    /// WAL writer the server opens and with background snapshot threads.
+    telemetry: Option<Arc<ServerTelemetry>>,
 }
 
 impl KgServer {
@@ -409,6 +432,8 @@ impl KgServer {
         let schema = pgso_core::optimize_pgsg(input, &config.optimizer).chosen.schema;
         let (graph, base_journal) = build_graph(&ontology, &schema, &instance, config.shard_count);
         let tracker = WorkloadTracker::new(&ontology);
+        let telemetry =
+            config.telemetry_enabled.then(|| Arc::new(ServerTelemetry::new(config.trace_capacity)));
         let persist = match persist {
             None => None,
             Some(cfg) => {
@@ -424,7 +449,8 @@ impl KgServer {
                     ));
                 }
                 let generation = 0;
-                let wal = WalWriter::create(wal_path(&cfg.dir, generation), cfg.fsync)?;
+                let mut wal = WalWriter::create(wal_path(&cfg.dir, generation), cfg.fsync)?;
+                wal.set_telemetry(telemetry.as_ref().map(|t| t.wal.clone()));
                 Some(PersistHandle {
                     config: cfg,
                     inner: Mutex::new(PersistInner {
@@ -452,6 +478,7 @@ impl KgServer {
                 last_publish: Instant::now(),
             }),
             persist,
+            telemetry,
             ontology,
             statistics,
             instance,
@@ -493,8 +520,25 @@ impl KgServer {
                 format!("no valid snapshot in {}", persist.dir.display()),
             )
         })?;
+        let telemetry =
+            config.telemetry_enabled.then(|| Arc::new(ServerTelemetry::new(config.trace_capacity)));
         let mut graph = fresh_backend(config.shard_count);
-        apply_updates(&mut graph, &state.full_journal());
+        let full_journal = state.full_journal();
+        let replay_started = Instant::now();
+        apply_updates(&mut graph, &full_journal);
+        if let Some(t) = &telemetry {
+            let replay = replay_started.elapsed();
+            t.recovery_replay.record_duration(replay);
+            t.trace().emit_with_duration(
+                "recovery.replay",
+                0,
+                replay,
+                vec![
+                    ("updates", FieldValue::from(full_journal.len())),
+                    ("snapshot_generation", FieldValue::from(state.max_generation)),
+                ],
+            );
+        }
         let tracker = WorkloadTracker::new(&ontology);
         if !state.tracker.is_empty() {
             tracker.restore(&WorkloadSnapshot::from_bytes(&state.tracker)?);
@@ -505,7 +549,8 @@ impl KgServer {
             frequencies_from_bytes(&ontology, &state.snapshot.baseline)?
         };
         let generation = state.max_generation + 1;
-        let wal = WalWriter::create(wal_path(&persist.dir, generation), persist.fsync)?;
+        let mut wal = WalWriter::create(wal_path(&persist.dir, generation), persist.fsync)?;
+        wal.set_telemetry(telemetry.as_ref().map(|t| t.wal.clone()));
         let server = Self {
             epoch: RwLock::new(Arc::new(Epoch {
                 number: state.snapshot.epoch,
@@ -535,6 +580,7 @@ impl KgServer {
                     snapshot_thread: None,
                 }),
             }),
+            telemetry,
             ontology,
             statistics,
             instance,
@@ -599,6 +645,70 @@ impl KgServer {
     /// they swapped the schema).
     pub fn reoptimization_events(&self) -> Vec<ReoptimizationEvent> {
         self.events.lock().clone()
+    }
+
+    /// The live telemetry handles, or `None` when
+    /// [`ServerConfig::telemetry_enabled`] is off.
+    pub fn telemetry(&self) -> Option<&Arc<ServerTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// The most recent structured trace events, oldest first (empty when
+    /// telemetry is off).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.telemetry.as_ref().map(|t| t.trace().recent()).unwrap_or_default()
+    }
+
+    /// A point-in-time snapshot of every server metric: latency and stage
+    /// histograms, WAL/snapshot/recovery instruments, and gauges mirroring
+    /// engine state (plan cache, epoch, drift, ingest backlog) refreshed at
+    /// this call.
+    ///
+    /// With telemetry disabled the snapshot still carries the state gauges —
+    /// only the hot-path series (histograms, counters) are absent.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.telemetry {
+            Some(t) => {
+                self.mirror_gauges(t.registry());
+                t.registry().snapshot()
+            }
+            None => {
+                let registry = MetricsRegistry::new();
+                self.mirror_gauges(&registry);
+                registry.snapshot()
+            }
+        }
+    }
+
+    /// [`KgServer::metrics_snapshot`] rendered in Prometheus-style text
+    /// exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render_text()
+    }
+
+    /// Refreshes the state-mirror gauges in `registry`. These are read-time
+    /// mirrors of engine counters that already exist elsewhere — writing
+    /// them here keeps the serve hot path free of gauge stores.
+    fn mirror_gauges(&self, registry: &MetricsRegistry) {
+        let cache = self.plan_cache.stats();
+        registry.gauge("plan_cache.hits").set(cache.hits as f64);
+        registry.gauge("plan_cache.misses").set(cache.misses as f64);
+        registry.gauge("plan_cache.invalidations").set(cache.invalidations as f64);
+        registry.gauge("plan_cache.evictions").set(cache.evictions as f64);
+        registry.gauge("plan_cache.entries").set(cache.entries as f64);
+        registry.gauge("plan_cache.hit_ratio").set(cache.hit_ratio());
+        registry.gauge("server.served").set(self.served() as f64);
+        registry.gauge("workload.drift").set(self.drift());
+        let epoch = self.current_epoch();
+        registry.gauge("epoch.number").set(epoch.number as f64);
+        registry.gauge("epoch.schema_generation").set(epoch.schema_generation as f64);
+        registry.gauge("epoch.shard_count").set(epoch.shard_count() as f64);
+        {
+            let ing = self.ingest.lock();
+            registry.gauge("ingest.pending").set(ing.pending.len() as f64);
+            registry.gauge("ingest.published").set(ing.ingested.len() as f64);
+        }
+        registry.gauge("prepared.count").set(self.prepared.read().len() as f64);
     }
 
     /// Registers a bare pattern query for repeated execution; the
@@ -729,7 +839,8 @@ impl KgServer {
             let entry = entries.get(prepared.id.0).expect("unknown PreparedId");
             (entry.fingerprint, entry.stmt.clone(), entry.signature.clone())
         };
-        self.serve_inner(fp, &stmt, params, Some(&signature))
+        let detailed = self.telemetry.as_deref().is_some_and(|t| t.sample_detail());
+        self.serve_inner(fp, &stmt, params, Some(&signature), Some(prepared.id), detailed)
     }
 
     /// Serves a previously prepared parameterless statement (a convenience
@@ -764,9 +875,16 @@ impl KgServer {
     /// [`KgServer::prepare_statement`] and bind them via
     /// [`KgServer::execute`].
     pub fn serve_statement(&self, stmt: &Statement) -> QueryResult {
+        // The detail-sampling ticket is drawn here so it can also gate the
+        // parameterize timing, upstream of `serve_inner`'s phases.
+        let detailed = self.telemetry.as_deref().is_some_and(|t| t.sample_detail());
+        let started = if detailed { Some(Instant::now()) } else { None };
         let (canonical, params) = stmt.parameterize();
+        if let (Some(t), Some(s)) = (self.telemetry.as_deref(), started) {
+            t.parameterize.record_duration(s.elapsed());
+        }
         let fp = fingerprint_statement(&canonical);
-        self.serve_inner(fp, &canonical, &params, None).unwrap_or_else(|err| {
+        self.serve_inner(fp, &canonical, &params, None, None, detailed).unwrap_or_else(|err| {
             panic!(
                 "serve_statement on a statement with unbound parameters ({err}); \
                     prepare it and bind them via KgServer::execute"
@@ -786,7 +904,11 @@ impl KgServer {
     /// them with — register such a statement through
     /// [`KgServer::prepare_text`] and execute it with [`KgServer::execute`].
     pub fn serve_text(&self, text: &str) -> Result<QueryResult, ParseError> {
+        let started = self.telemetry.as_deref().map(|_| Instant::now());
         let stmt = parse_named(text, "adhoc")?;
+        if let (Some(t), Some(s)) = (self.telemetry.as_deref(), started) {
+            t.parse.record_duration(s.elapsed());
+        }
         if stmt.has_parameters() {
             return Err(ParseError {
                 message: "statement declares $parameters; register it with prepare_text and \
@@ -804,14 +926,41 @@ impl KgServer {
         stmt: &Statement,
         params: &Params,
         signature: Option<&ParamSignature>,
+        prepared: Option<PreparedId>,
+        detailed: bool,
     ) -> Result<QueryResult, BindError> {
+        // With telemetry off, every timestamp is `None` and the hot path
+        // performs no clock reads and no metric updates at all. With it on,
+        // the end-to-end latency costs two clock reads per serve; the phase
+        // breakdown (boundary timestamps, one clock read per phase edge)
+        // only runs on the sampled detail serves (`detailed`, drawn by the
+        // caller via `ServerTelemetry::sample_detail`).
+        let telemetry = self.telemetry.as_deref();
+        let serve_started = telemetry.map(|_| Instant::now());
         let epoch = self.current_epoch();
         // Plans are keyed on the schema lineage, not the epoch number: an
         // ingest publication swaps the epoch but rewrites stay valid.
-        let plan = match self.plan_cache.get(fp, epoch.schema_generation) {
+        let cached = self.plan_cache.get(fp, epoch.schema_generation);
+        let mut after_lookup = if detailed { Some(Instant::now()) } else { None };
+        if let (Some(t), Some(s), Some(l)) = (telemetry, serve_started, after_lookup) {
+            t.cache_lookup.record_duration(l.duration_since(s));
+        }
+        let plan = match cached {
             Some(plan) => plan,
             None => {
+                // Misses are rare and already expensive: the rewrite is
+                // always timed, whatever the sampling ticket said.
+                let rewrite_started = telemetry.map(|_| Instant::now());
                 let plan = Arc::new(rewrite_statement(stmt, &epoch.schema));
+                if let (Some(t), Some(s)) = (telemetry, rewrite_started) {
+                    let done = Instant::now();
+                    t.rewrite.record_duration(done.duration_since(s));
+                    // Keep a detail serve's bind phase from absorbing the
+                    // rewrite.
+                    if detailed {
+                        after_lookup = Some(done);
+                    }
+                }
                 self.plan_cache.insert(fp, epoch.schema_generation, plan.clone());
                 plan
             }
@@ -821,21 +970,88 @@ impl KgServer {
         // path supplies the registry's cached signature (valid for the plan
         // too — the rewrite never touches parameters) so the hot path skips
         // re-deriving it.
-        let result = if plan.has_parameters() || !params.is_empty() {
+        let (result, exec_started) = if plan.has_parameters() || !params.is_empty() {
             let bound = match signature {
                 Some(signature) => plan.bind_against(signature, params)?,
                 None => plan.bind(params)?,
             };
-            execute_statement_with(&bound, epoch.graph(), &self.config.exec)
+            let after_bind = if detailed { Some(Instant::now()) } else { None };
+            if let (Some(t), Some(l), Some(b)) = (telemetry, after_lookup, after_bind) {
+                t.bind.record_duration(b.duration_since(l));
+            }
+            (execute_statement_with(&bound, epoch.graph(), &self.config.exec), after_bind)
         } else {
-            execute_statement_with(&plan, epoch.graph(), &self.config.exec)
+            (execute_statement_with(&plan, epoch.graph(), &self.config.exec), after_lookup)
         };
+        if let (Some(t), Some(s)) = (telemetry, serve_started) {
+            // One final clock read closes both the execute phase (detail
+            // serves only) and the end-to-end serve.
+            let end = Instant::now();
+            if let Some(e) = exec_started {
+                t.execute.record_duration(end.duration_since(e));
+            }
+            self.record_serve(detailed, end.duration_since(s), fp, params, prepared, &result);
+        }
         self.tracker.record_statement(stmt);
         let served = self.served.fetch_add(1, Ordering::Relaxed) + 1;
         if self.config.auto_reoptimize && served.is_multiple_of(self.config.check_interval) {
             self.try_reoptimize();
         }
         Ok(result)
+    }
+
+    /// Post-execution telemetry: end-to-end latency (every serve), the
+    /// per-stage detail series (sampled serves), the
+    /// per-prepared-statement series, and — past the configured threshold —
+    /// the structured slow-query trace event.
+    fn record_serve(
+        &self,
+        detailed: bool,
+        elapsed: Duration,
+        fp: u64,
+        params: &Params,
+        prepared: Option<PreparedId>,
+        result: &QueryResult,
+    ) {
+        let Some(t) = self.telemetry.as_deref() else {
+            return;
+        };
+        t.query_latency.record_duration(elapsed);
+        let stages = result.stage_timings.stages();
+        if detailed {
+            for (hist, &(_, duration)) in t.stage.iter().zip(stages.iter()) {
+                hist.record_duration(duration);
+            }
+            t.fanned_out_shards.record(result.stage_timings.fanned_out_shards as u64);
+        }
+        if let Some(id) = prepared {
+            t.prepared_latency(id.0).record_duration(elapsed);
+        }
+        let Some(threshold) = self.config.slow_query_log_threshold else {
+            return;
+        };
+        if elapsed < threshold {
+            return;
+        }
+        t.slow_queries.inc();
+        let mut fields = vec![
+            ("fingerprint", FieldValue::Str(format!("{fp:016x}"))),
+            ("params_hash", FieldValue::Str(format!("{:016x}", params_hash(params)))),
+            ("rows", FieldValue::from(result.rows.len())),
+            ("matches", FieldValue::from(result.matches)),
+            ("fanned_out_shards", FieldValue::from(result.stage_timings.fanned_out_shards)),
+        ];
+        for &(name, duration) in &stages {
+            let field = match name {
+                "root_selection" => "root_selection_ns",
+                "expansion" => "expansion_ns",
+                "optional" => "optional_ns",
+                "aggregate" => "aggregate_ns",
+                _ => "windowing_ns",
+            };
+            fields.push((field, FieldValue::from(duration.as_nanos() as u64)));
+        }
+        t.trace().emit_with_duration("slow_query", t.trace().new_span(), elapsed, fields);
     }
 
     /// Checks drift and — past the threshold — re-optimizes and swaps. At
@@ -906,6 +1122,20 @@ impl KgServer {
             *self.epoch.write() = next.clone();
             self.plan_cache.invalidate_stale(next.schema_generation);
             event.swapped = true;
+            if let Some(t) = &self.telemetry {
+                t.schema_swaps.inc();
+                t.trace().emit(
+                    "epoch.swap",
+                    0,
+                    vec![
+                        ("kind", FieldValue::from("schema")),
+                        ("epoch", FieldValue::from(next.number)),
+                        ("schema_generation", FieldValue::from(next.schema_generation)),
+                        ("drift", FieldValue::from(drift)),
+                        ("changes", FieldValue::from(event.changes)),
+                    ],
+                );
+            }
             // A schema change obsoletes the previous snapshot's base journal,
             // so persist the new world immediately (recovery from the old
             // generation would resurrect the pre-swap schema: correct but
@@ -1039,6 +1269,7 @@ impl KgServer {
         apply_updates(&mut graph, &ing.ingested);
         apply_updates(&mut graph, &ing.pending);
         let pending = std::mem::take(&mut ing.pending);
+        let published = pending.len();
         ing.ingested.extend(pending);
         ing.last_publish = Instant::now();
         let next = Arc::new(Epoch {
@@ -1047,7 +1278,20 @@ impl KgServer {
             schema: current.schema.clone(),
             graph,
         });
+        let number = next.number;
         *self.epoch.write() = next;
+        if let Some(t) = &self.telemetry {
+            t.ingest_swaps.inc();
+            t.trace().emit(
+                "epoch.swap",
+                0,
+                vec![
+                    ("kind", FieldValue::from("ingest")),
+                    ("epoch", FieldValue::from(number)),
+                    ("published", FieldValue::from(published)),
+                ],
+            );
+        }
     }
 
     /// Assembles the snapshot image of the current epoch under the ingest
@@ -1083,7 +1327,12 @@ impl KgServer {
             let inner = persist.inner.lock();
             (self.snapshot_image(ing), inner.generation)
         };
-        write_snapshot(&snapshot_path(&persist.config.dir, generation), &image)?;
+        let started = Instant::now();
+        let bytes = write_snapshot(&snapshot_path(&persist.config.dir, generation), &image)?;
+        if let Some(t) = &self.telemetry {
+            t.snapshot_write.record_duration(started.elapsed());
+            t.snapshot_bytes.add(bytes);
+        }
         prune_generations(&persist.config.dir, generation)
     }
 
@@ -1114,16 +1363,32 @@ impl KgServer {
         inner.generation += 1;
         let generation = inner.generation;
         let dir = persist.config.dir.clone();
-        inner.wal = WalWriter::create(wal_path(&dir, generation), persist.config.fsync)?;
+        let mut wal = WalWriter::create(wal_path(&dir, generation), persist.config.fsync)?;
+        // The successor writer keeps recording into the same metric handles,
+        // so `wal.*` stays one continuous series across rotations.
+        wal.set_telemetry(self.telemetry.as_ref().map(|t| t.wal.clone()));
+        inner.wal = wal;
+        if let Some(t) = &self.telemetry {
+            t.snapshot_rotations.inc();
+        }
+        // Clone just the two snapshot instruments for the background thread
+        // (the image already owns everything else it needs).
+        let snapshot_metrics =
+            self.telemetry.as_ref().map(|t| (t.snapshot_write.clone(), t.snapshot_bytes.clone()));
+        let write_timed = move || -> io::Result<()> {
+            let started = Instant::now();
+            let bytes = write_snapshot(&snapshot_path(&dir, generation), &image)?;
+            if let Some((write_hist, bytes_counter)) = snapshot_metrics {
+                write_hist.record_duration(started.elapsed());
+                bytes_counter.add(bytes);
+            }
+            prune_generations(&dir, generation)
+        };
         if background {
-            inner.snapshot_thread = Some(std::thread::spawn(move || {
-                write_snapshot(&snapshot_path(&dir, generation), &image)?;
-                prune_generations(&dir, generation)
-            }));
+            inner.snapshot_thread = Some(std::thread::spawn(write_timed));
             Ok(())
         } else {
-            write_snapshot(&snapshot_path(&dir, generation), &image)?;
-            prune_generations(&dir, generation)
+            write_timed()
         }
     }
 
@@ -1147,14 +1412,7 @@ impl KgServer {
             }
         });
         let elapsed = start.elapsed();
-        // Per-shard deltas are taken on the epoch the replay started with; a
-        // concurrent swap mid-replay only makes the report conservative.
-        let per_shard_stats = epoch
-            .shard_stats()
-            .iter()
-            .zip(&before)
-            .map(|(after, before)| after.delta_since(before))
-            .collect();
+        let per_shard_stats = self.per_shard_deltas(&epoch, &before);
         WorkloadRunReport {
             served: statements.len() as u64,
             elapsed,
@@ -1194,12 +1452,7 @@ impl KgServer {
             }
         });
         let elapsed = start.elapsed();
-        let per_shard_stats = epoch
-            .shard_stats()
-            .iter()
-            .zip(&before)
-            .map(|(after, before)| after.delta_since(before))
-            .collect();
+        let per_shard_stats = self.per_shard_deltas(&epoch, &before);
         WorkloadRunReport {
             served: jobs.len() as u64,
             elapsed,
@@ -1208,6 +1461,58 @@ impl KgServer {
             per_shard_stats,
         }
     }
+
+    /// Per-shard storage work done since `before` was sampled on `start`.
+    ///
+    /// The delta is taken against the epoch the run started with (the `Arc`
+    /// keeps it alive even after a swap). When an ingest publication or a
+    /// schema re-optimization swapped epochs mid-run, the rebuilt shards
+    /// started from zeroed counters — so the *current* epoch's totals are
+    /// entirely in-window and are merged in shard-by-shard. Work done on
+    /// intermediate epochs (two or more swaps mid-run) is the only loss.
+    fn per_shard_deltas(&self, start: &Arc<Epoch>, before: &[AccessStats]) -> Vec<AccessStats> {
+        let mut deltas: Vec<AccessStats> = start
+            .shard_stats()
+            .iter()
+            .zip(before)
+            .map(|(after, before)| after.delta_since(before))
+            .collect();
+        let end = self.current_epoch();
+        if !Arc::ptr_eq(start, &end) {
+            for (shard, stats) in end.shard_stats().iter().enumerate() {
+                match deltas.get_mut(shard) {
+                    Some(delta) => *delta = delta.merged(stats),
+                    // The swapped-in layout has more shards than the one the
+                    // run started on; report the extras as-is.
+                    None => deltas.push(*stats),
+                }
+            }
+        }
+        deltas
+    }
+}
+
+/// FNV-1a over a parameter set's sorted `(name, value)` pairs — a stable
+/// fingerprint for the slow-query log that identifies *which bindings* were
+/// slow without logging the values themselves. [`Params`] iterates in name
+/// order, so equal sets hash equal regardless of insertion order.
+fn params_hash(params: &Params) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash ^= 0xff; // terminator keeps ("ab","c") distinct from ("a","bc")
+        hash = hash.wrapping_mul(FNV_PRIME);
+    };
+    for (name, value) in params.iter() {
+        mix(name.as_bytes());
+        mix(format!("{value:?}").as_bytes());
+    }
+    hash
 }
 
 /// An empty backend in the configured storage layout: a single
@@ -1972,5 +2277,196 @@ mod tests {
         assert_eq!(restored[1].signature().names().collect::<Vec<_>>(), ["needle", "n"]);
         assert_eq!(recovered.serve_prepared(&restored[0]).rows, plain_rows);
         assert_eq!(recovered.execute(&restored[1], &params).unwrap().rows, param_rows);
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_latency_cache_and_stage_series() {
+        let server = mini_server(ServerConfig { auto_reoptimize: false, ..Default::default() });
+        let ps = server.prepare(lookup());
+        for _ in 0..8 {
+            let _ = server.serve_prepared(&ps);
+        }
+        let snapshot = server.metrics_snapshot();
+        let latency = snapshot.histogram("query.latency").expect("query.latency registered");
+        assert_eq!(latency.count, 8);
+        assert!(latency.p50() > 0 && latency.p99() >= latency.p50());
+        let root = snapshot.histogram("query.stage.root_selection").unwrap();
+        // 8 serves draw detail tickets 0..8; only ticket 0 samples the
+        // stage series (DETAIL_SAMPLE_EVERY = 8).
+        assert_eq!(root.count, 1, "detail series is sampled 1-in-8");
+        let per_prepared = snapshot.histogram(&format!("prepared.{}.latency", ps.id().0)).unwrap();
+        assert_eq!(per_prepared.count, 8);
+        assert_eq!(snapshot.gauge("plan_cache.hits"), Some(7.0));
+        assert_eq!(snapshot.gauge("plan_cache.misses"), Some(1.0));
+        assert_eq!(snapshot.gauge("plan_cache.hit_ratio"), Some(7.0 / 8.0));
+        assert_eq!(snapshot.gauge("server.served"), Some(8.0));
+        assert_eq!(snapshot.gauge("epoch.number"), Some(0.0));
+        let text = server.metrics_text();
+        assert!(text.contains("query_latency_bucket"), "histogram exposition:\n{text}");
+        assert!(text.contains("plan_cache_hit_ratio"), "gauge exposition:\n{text}");
+    }
+
+    #[test]
+    fn metrics_snapshot_without_telemetry_still_mirrors_state() {
+        let server = mini_server(ServerConfig {
+            telemetry_enabled: false,
+            auto_reoptimize: false,
+            ..Default::default()
+        });
+        let _ = server.serve(&lookup());
+        assert!(server.telemetry().is_none());
+        assert!(server.trace_events().is_empty());
+        let snapshot = server.metrics_snapshot();
+        assert!(snapshot.histograms.is_empty(), "no hot-path series when disabled");
+        assert_eq!(snapshot.gauge("server.served"), Some(1.0));
+        assert_eq!(snapshot.gauge("plan_cache.misses"), Some(1.0));
+    }
+
+    #[test]
+    fn slow_query_log_emits_a_structured_event_past_the_threshold() {
+        let server = mini_server(ServerConfig {
+            // Zero threshold: every serve is "slow", deterministically.
+            slow_query_log_threshold: Some(Duration::ZERO),
+            auto_reoptimize: false,
+            ..Default::default()
+        });
+        let text = "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n";
+        let ps = server.prepare_text(text).unwrap();
+        let params = Params::new().set("needle", "Drug").set("n", 3i64);
+        let _ = server.execute(&ps, &params).unwrap();
+        let events = server.trace_events();
+        let slow: Vec<_> = events.iter().filter(|e| e.name == "slow_query").collect();
+        assert_eq!(slow.len(), 1);
+        let event = slow[0];
+        assert!(event.duration.is_some());
+        let field = |name: &str| {
+            event
+                .fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("field {name} in {event}"))
+                .1
+                .to_string()
+        };
+        let fp = fingerprint_statement(&parse_named(text, "prepared").unwrap());
+        assert_eq!(field("fingerprint"), format!("{fp:016x}"));
+        assert_eq!(field("params_hash"), format!("{:016x}", params_hash(&params)));
+        assert_eq!(field("rows"), "3");
+        assert!(field("expansion_ns").parse::<u64>().is_ok());
+        assert_eq!(
+            server.metrics_snapshot().counter("server.slow_queries"),
+            Some(1),
+            "slow-query counter tracks the log"
+        );
+        // Same shape, different bindings: the fingerprint stays, the
+        // params hash distinguishes the executions.
+        let other = Params::new().set("needle", "other").set("n", 9i64);
+        let _ = server.execute(&ps, &other).unwrap();
+        let events = server.trace_events();
+        let second = events.iter().filter(|e| e.name == "slow_query").nth(1).unwrap();
+        let second_hash =
+            second.fields.iter().find(|(n, _)| *n == "params_hash").unwrap().1.to_string();
+        assert_ne!(second_hash, field("params_hash"));
+    }
+
+    #[test]
+    fn slow_query_log_is_off_by_default() {
+        let server = mini_server(ServerConfig { auto_reoptimize: false, ..Default::default() });
+        let _ = server.serve(&lookup());
+        assert!(server.trace_events().iter().all(|e| e.name != "slow_query"));
+        assert_eq!(server.metrics_snapshot().counter("server.slow_queries"), Some(0));
+    }
+
+    #[test]
+    fn params_hash_is_insertion_order_independent() {
+        let a = Params::new().set("x", 1i64).set("y", "v");
+        let b = Params::new().set("y", "v").set("x", 1i64);
+        assert_eq!(params_hash(&a), params_hash(&b));
+        assert_ne!(params_hash(&a), params_hash(&Params::new().set("x", 2i64).set("y", "v")));
+        // Field boundaries matter: ("ab","c") != ("a","bc").
+        assert_ne!(
+            params_hash(&Params::new().set("ab", "c")),
+            params_hash(&Params::new().set("a", "bc"))
+        );
+    }
+
+    #[test]
+    fn ingest_swaps_and_recovery_emit_trace_events() {
+        let dir = tempfile::tempdir().unwrap();
+        let make = || {
+            let ontology = catalog::med_mini();
+            let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+            let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+            let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+            (ontology, statistics, instance, frequencies)
+        };
+        let cfg = ServerConfig { auto_reoptimize: false, ..ServerConfig::default() };
+        {
+            let (o, s, i, f) = make();
+            let server = KgServer::new_persistent(
+                o,
+                s,
+                i,
+                f,
+                cfg,
+                pgso_persist::PersistConfig::new_unsynced(dir.path()),
+            )
+            .unwrap();
+            let _ = server.ingest(vec![new_drug(0), new_drug(1)]).unwrap();
+            assert!(server.flush_ingest());
+            let events = server.trace_events();
+            let swap = events.iter().find(|e| e.name == "epoch.swap").expect("swap event");
+            assert!(swap.to_string().contains("kind=ingest"));
+            assert!(swap.to_string().contains("published=2"));
+            let snapshot = server.metrics_snapshot();
+            assert_eq!(snapshot.counter("epoch.ingest_swaps"), Some(1));
+            assert!(snapshot.histogram("wal.append").unwrap().count >= 1, "ingest logged");
+            assert!(snapshot.histogram("snapshot.write").unwrap().count >= 1, "anchor written");
+        }
+        let (o, s, i, _) = make();
+        let recovered =
+            KgServer::recover(o, s, i, cfg, pgso_persist::PersistConfig::new_unsynced(dir.path()))
+                .unwrap();
+        let snapshot = recovered.metrics_snapshot();
+        assert_eq!(snapshot.histogram("recovery.replay").unwrap().count, 1);
+        assert!(recovered.trace_events().iter().any(|e| e.name == "recovery.replay"));
+    }
+
+    #[test]
+    fn workload_report_keeps_counting_across_a_mid_run_epoch_swap() {
+        // Deterministic reproduction of the mid-run-swap accounting bug:
+        // pin the start epoch, do some work, swap epochs (rebuilding the
+        // shards from zeroed counters), do more work, then ask for the
+        // deltas. The fixed report must include the post-swap work.
+        let server = mini_server(ServerConfig {
+            shard_count: 2,
+            auto_reoptimize: false,
+            ..Default::default()
+        });
+        let start = server.current_epoch();
+        let before = start.shard_stats();
+        let _ = server.serve(&lookup());
+        let pre_swap: u64 =
+            server.per_shard_deltas(&start, &before).iter().map(|s| s.vertex_reads).sum();
+        assert!(pre_swap > 0, "the serve touched vertices");
+        // Publish an ingest batch: epoch swap, shards rebuilt from scratch.
+        let _ = server.ingest(vec![new_drug(0)]).unwrap();
+        assert!(server.flush_ingest());
+        assert!(!Arc::ptr_eq(&start, &server.current_epoch()));
+        let _ = server.serve(&lookup());
+        let with_post_swap: u64 =
+            server.per_shard_deltas(&start, &before).iter().map(|s| s.vertex_reads).sum();
+        assert!(
+            with_post_swap > pre_swap,
+            "post-swap work must be counted ({with_post_swap} vs {pre_swap})"
+        );
+        // The naive delta (what the report used to be) loses it entirely.
+        let naive: u64 = start
+            .shard_stats()
+            .iter()
+            .zip(&before)
+            .map(|(after, before)| after.delta_since(before).vertex_reads)
+            .sum();
+        assert!(with_post_swap > naive, "the fix adds exactly the rebuilt shards' work");
     }
 }

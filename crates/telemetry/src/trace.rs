@@ -1,0 +1,268 @@
+//! Ring-buffer structured trace: bounded, allocation-light, always-on-able.
+//!
+//! A [`TraceBuffer`] keeps the most recent `capacity` [`TraceEvent`]s.
+//! Events carry a monotonic sequence number, a timestamp relative to the
+//! buffer's creation, an optional span id tying related events together,
+//! an optional duration, and typed key/value fields. Emission takes one
+//! short mutex section; when the buffer is full the oldest event is
+//! overwritten and a dropped counter advances, so a hot serving loop can
+//! trace forever in constant memory.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A typed value attached to a [`TraceEvent`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured event in the trace ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global emission order (monotonic, never reused).
+    pub seq: u64,
+    /// Time since the owning [`TraceBuffer`] was created.
+    pub at: Duration,
+    /// Span this event belongs to; `0` for span-less events.
+    pub span_id: u64,
+    /// Event name, e.g. `"stage.expansion"` or `"slow_query"`.
+    pub name: &'static str,
+    /// Wall time covered by the event, for span-closing events.
+    pub duration: Option<Duration>,
+    /// Structured payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}] #{} {}", self.at, self.seq, self.name)?;
+        if self.span_id != 0 {
+            write!(f, " span={}", self.span_id)?;
+        }
+        if let Some(d) = self.duration {
+            write!(f, " dur={d:?}")?;
+        }
+        for (key, value) in &self.fields {
+            write!(f, " {key}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Bounded, thread-safe ring of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    origin: Instant,
+    capacity: usize,
+    next_seq: AtomicU64,
+    next_span: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceBuffer {
+    /// A buffer retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            origin: Instant::now(),
+            capacity,
+            next_seq: AtomicU64::new(0),
+            next_span: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates a fresh non-zero span id; events emitted with it are
+    /// correlated when reading the trace back.
+    pub fn new_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Emits an instantaneous event.
+    pub fn emit(&self, name: &'static str, span_id: u64, fields: Vec<(&'static str, FieldValue)>) {
+        self.push(name, span_id, None, fields);
+    }
+
+    /// Emits an event covering `duration` of wall time.
+    pub fn emit_with_duration(
+        &self,
+        name: &'static str,
+        span_id: u64,
+        duration: Duration,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        self.push(name, span_id, Some(duration), fields);
+    }
+
+    fn push(
+        &self,
+        name: &'static str,
+        span_id: u64,
+        duration: Option<Duration>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        let event = TraceEvent {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            at: self.origin.elapsed(),
+            span_id,
+            name,
+            duration,
+            fields,
+        };
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discards all retained events (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_ordered_and_timestamped() {
+        let trace = TraceBuffer::new(16);
+        let span = trace.new_span();
+        trace.emit("first", span, vec![("k", FieldValue::from(1u64))]);
+        trace.emit_with_duration("second", span, Duration::from_micros(5), vec![]);
+        let events = trace.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[0].span_id, span);
+        assert_eq!(events[0].fields, vec![("k", FieldValue::U64(1))]);
+        assert!(events[1].seq > events[0].seq);
+        assert!(events[1].at >= events[0].at, "timestamps are monotonic");
+        assert_eq!(events[1].duration, Some(Duration::from_micros(5)));
+    }
+
+    #[test]
+    fn ring_drops_oldest_at_capacity() {
+        let trace = TraceBuffer::new(3);
+        for _ in 0..5 {
+            trace.emit("e", 0, vec![]);
+        }
+        let events = trace.recent();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2, "two oldest events were dropped");
+        assert_eq!(trace.dropped(), 2);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let trace = TraceBuffer::new(4);
+        let a = trace.new_span();
+        let b = trace.new_span();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_sequence() {
+        let trace = TraceBuffer::new(4);
+        trace.emit("e", 0, vec![]);
+        trace.clear();
+        assert!(trace.recent().is_empty());
+        trace.emit("e", 0, vec![]);
+        assert_eq!(trace.recent()[0].seq, 1, "sequence numbers are never reused");
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let trace = TraceBuffer::new(4);
+        let span = trace.new_span();
+        trace.emit_with_duration(
+            "slow_query",
+            span,
+            Duration::from_millis(12),
+            vec![("fingerprint", FieldValue::from("abc123")), ("rows", FieldValue::from(7u64))],
+        );
+        let line = trace.recent()[0].to_string();
+        assert!(line.contains("slow_query"), "{line}");
+        assert!(line.contains("fingerprint=abc123"), "{line}");
+        assert!(line.contains("rows=7"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+}

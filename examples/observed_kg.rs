@@ -1,0 +1,141 @@
+//! Observability scenario: run the persistent serving engine under a mixed
+//! text + prepared workload with streaming ingest, then read everything the
+//! telemetry layer collected — latency percentiles, per-stage executor
+//! timings, plan-cache hit ratio, WAL append/fsync timings — as one
+//! metrics snapshot, as a Prometheus-style text exposition, and as the
+//! structured trace of epoch swaps and slow queries.
+//!
+//! ```text
+//! cargo run --example observed_kg
+//! ```
+
+use pgso::ontology::catalog;
+use pgso::persist::PersistConfig;
+use pgso::prelude::*;
+use pgso::server::ServerConfig;
+use pgso::telemetry::HistogramSnapshot;
+use std::time::Duration;
+
+const WORKLOAD: [&str; 4] = [
+    "MATCH (p:Patient) RETURN p.mrn LIMIT 10",
+    "MATCH (p:Patient)-[:hasEncounter]->(e:Encounter) RETURN size(collect(e.encounterId))",
+    "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) RETURN size(collect(dr.drugRouteId))",
+    "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN size(collect(i.desc))",
+];
+
+fn percentiles(hist: &HistogramSnapshot) -> String {
+    format!(
+        "n={:<5} p50={:<7} p90={:<7} p99={:<8} max={}",
+        hist.count,
+        hist.percentile(0.50),
+        hist.percentile(0.90),
+        hist.percentile(0.99),
+        hist.max
+    )
+}
+
+fn main() {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 19);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 19);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+
+    let dir = std::env::temp_dir().join(format!("pgso-observed-kg-{}", std::process::id()));
+    let server = KgServer::new_persistent(
+        ontology,
+        statistics,
+        instance,
+        frequencies,
+        ServerConfig {
+            auto_reoptimize: false,
+            // Log every serve slower than 50µs as a structured trace event.
+            slow_query_log_threshold: Some(Duration::from_micros(50)),
+            ingest: IngestConfig { publish_batch: 16, ..IngestConfig::default() },
+            ..ServerConfig::default()
+        },
+        PersistConfig::new(&dir),
+    )
+    .expect("persistent server builds");
+
+    // Mixed workload: text serves and parameterized prepared executions.
+    let statements: Vec<Statement> =
+        WORKLOAD.iter().map(|t| parse_named(t, "wl").expect(t)).collect();
+    let prepared = server
+        .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n")
+        .expect("prepares");
+    for round in 0..64 {
+        for stmt in &statements {
+            let _ = server.serve_statement(stmt);
+        }
+        let params = Params::new().set("needle", "Drug_name").set("n", (3 + round % 8) as i64);
+        server.execute(&prepared, &params).expect("prepared executes");
+    }
+
+    // Streaming ingest through the WAL, across an epoch swap.
+    let epoch = server.current_epoch();
+    let updates = streaming_updates(
+        server.ontology(),
+        &epoch.schema,
+        epoch.graph(),
+        48,
+        3,
+        &pgso::datagen::UpdateStreamConfig::default(),
+    );
+    drop(epoch);
+    server.ingest(updates).expect("ingest succeeds");
+    server.flush_ingest();
+
+    // ── 1. The metrics snapshot: one immutable read of every instrument.
+    let snapshot = server.metrics_snapshot();
+    println!("== latency percentiles (ns) ==");
+    for name in ["query.latency", "server.execute", "wal.append", "wal.fsync", "snapshot.write"] {
+        if let Some(hist) = snapshot.histogram(name) {
+            println!("  {name:<16} {}", percentiles(hist));
+        }
+    }
+    println!("\n== per-stage executor timings (ns, sampled) ==");
+    for (name, hist) in &snapshot.histograms {
+        if let Some(stage) = name.strip_prefix("query.stage.") {
+            println!("  {stage:<16} {}", percentiles(hist));
+        }
+    }
+    println!("\n== engine state gauges ==");
+    for name in [
+        "plan_cache.hit_ratio",
+        "server.served",
+        "epoch.number",
+        "ingest.published",
+        "workload.drift",
+    ] {
+        if let Some(value) = snapshot.gauge(name) {
+            println!("  {name:<22} {value}");
+        }
+    }
+    println!(
+        "\nWAL: {} appends, {} fsyncs, {} bytes snapshotted, {} ingest swap(s)",
+        snapshot.counter("wal.appends").unwrap_or(0),
+        snapshot.histogram("wal.fsync").map_or(0, |h| h.count),
+        snapshot.counter("snapshot.bytes").unwrap_or(0),
+        snapshot.counter("epoch.ingest_swaps").unwrap_or(0),
+    );
+
+    // ── 2. The structured trace: swaps, WAL activity, slow queries.
+    let events = server.trace_events();
+    let slow = events.iter().filter(|e| e.name == "slow_query").count();
+    println!("\n== trace ring: {} events, {} slow queries ==", events.len(), slow);
+    for event in events.iter().filter(|e| e.name != "slow_query").take(4) {
+        println!("  {event}");
+    }
+    if let Some(event) = events.iter().find(|e| e.name == "slow_query") {
+        println!("  {event}");
+    }
+
+    // ── 3. Prometheus-style exposition, ready for a scrape endpoint.
+    let text = server.metrics_text();
+    println!("\n== text exposition ({} lines, excerpt) ==", text.lines().count());
+    for line in text.lines().filter(|l| l.starts_with("query_latency")).take(8) {
+        println!("  {line}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

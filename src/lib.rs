@@ -14,6 +14,7 @@
 //! | [`query`] | `pgso-query` | pattern + statement AST (WHERE/OPTIONAL/ORDER BY/LIMIT, `$name` parameters, aggregation + GROUP BY), Cypher-like text parser, executor, DIR→OPT rewriter, plan fingerprints |
 //! | [`datagen`] | `pgso-datagen` | synthetic instance generation, schema-conforming loading, streaming update generation |
 //! | [`persist`] | `pgso-persist` | write-ahead log, epoch snapshots, crash recovery |
+//! | [`telemetry`] | `pgso-telemetry` | metrics registry (counters, gauges, log-scaled latency histograms), structured trace ring, Prometheus-style text exposition |
 //! | [`server`] | `pgso-server` | concurrent serving engine: prepare/execute API with named parameters, plan cache, workload tracking, adaptive re-optimization, WAL-backed ingest |
 //!
 //! ## Quick start
@@ -44,6 +45,35 @@
 //! assert!(outcome.schema.vertex("Drug").unwrap().has_property("Indication.desc"));
 //! assert!(!outcome.schema.has_vertex("Risk"));
 //! ```
+//!
+//! ## Observability
+//!
+//! The serving stack is instrumented end to end through [`telemetry`]
+//! (enabled by default, [`server::ServerConfig::telemetry_enabled`]):
+//!
+//! * [`server::KgServer::metrics_snapshot`] returns a
+//!   [`telemetry::MetricsSnapshot`] — serve-latency percentiles
+//!   (`query.latency`), sampled per-stage executor timings
+//!   (`query.stage.*`), serve-pipeline phases, per-prepared-statement
+//!   series, WAL append/fsync and snapshot/recovery timings, and gauges
+//!   mirroring engine state (plan-cache hit ratio, epoch, drift, ingest
+//!   backlog). [`telemetry::MetricsSnapshot::render_text`] emits it in
+//!   Prometheus-style text exposition format, and the snapshot round-trips
+//!   through a versioned binary codec for shipping off-process.
+//! * [`server::KgServer::trace_events`] drains a bounded in-memory ring of
+//!   structured [`telemetry::TraceEvent`]s: epoch swaps (ingest and schema
+//!   re-optimization), recovery replay, and — when
+//!   [`server::ServerConfig::slow_query_log_threshold`] is set — a
+//!   slow-query log entry carrying the statement fingerprint, a hash of the
+//!   bound parameters and nanosecond stage timings.
+//! * [`query::execute_statement_traced`] runs one statement with per-stage
+//!   trace events, and every [`query::QueryResult`] carries its
+//!   [`query::StageTimings`].
+//! * The `server_throughput` bench records the reference numbers to
+//!   `BENCH_serving.json` at the repository root (latency percentiles, q/s
+//!   per mix, WAL fsync timings, telemetry on/off overhead); CI replays it
+//!   in quick mode and gates on >20% q/s regressions. See
+//!   `examples/observed_kg.rs` for a live tour.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -56,6 +86,7 @@ pub use pgso_persist as persist;
 pub use pgso_pgschema as pgschema;
 pub use pgso_query as query;
 pub use pgso_server as server;
+pub use pgso_telemetry as telemetry;
 
 /// Commonly used types, re-exported for `use pgso::prelude::*`.
 pub mod prelude {
@@ -82,4 +113,5 @@ pub mod prelude {
     pub use pgso_server::{
         IngestConfig, KgServer, PreparedStatement, ServerConfig, WorkloadTracker,
     };
+    pub use pgso_telemetry::{MetricsRegistry, MetricsSnapshot, TraceEvent};
 }

@@ -1,0 +1,157 @@
+//! Observability acceptance: a persistent `KgServer` under a mixed
+//! text + prepared workload with streaming ingest must expose — through one
+//! [`MetricsSnapshot`] — query-latency percentiles, plan-cache hit ratio,
+//! per-stage executor timings and WAL append/fsync timings, and the
+//! snapshot must survive its own binary codec and text exposition. A server
+//! with telemetry disabled still mirrors its engine-state gauges.
+
+use pgso::datagen::{streaming_updates, UpdateStreamConfig};
+use pgso::ontology::catalog;
+use pgso::persist::PersistConfig;
+use pgso::prelude::*;
+use pgso::server::ServerConfig;
+
+fn mixed_texts() -> Vec<&'static str> {
+    vec![
+        "MATCH (p:Patient) RETURN p.mrn LIMIT 5",
+        "MATCH (p:Patient)-[:hasEncounter]->(e:Encounter) RETURN size(collect(e.encounterId))",
+        "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN size(collect(i.desc))",
+    ]
+}
+
+fn build_persistent(dir: &std::path::Path) -> KgServer {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 11);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.04, 11);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    KgServer::new_persistent(
+        ontology,
+        statistics,
+        instance,
+        frequencies,
+        ServerConfig {
+            auto_reoptimize: false,
+            ingest: IngestConfig {
+                publish_batch: 8,
+                publish_interval: std::time::Duration::from_secs(3600),
+            },
+            ..ServerConfig::default()
+        },
+        // fsync on: the acceptance criterion includes `wal.fsync` timings.
+        PersistConfig::new(dir),
+    )
+    .expect("persistent server builds")
+}
+
+#[test]
+fn serving_metrics_cover_latency_cache_stages_and_wal() {
+    let dir = tempfile::tempdir().unwrap();
+    let server = build_persistent(dir.path());
+
+    // Mixed workload: text serves (parse + cache), prepared executions
+    // (bind by name), repeated so the plan cache gets hits.
+    let statements: Vec<Statement> =
+        mixed_texts().iter().map(|t| parse_named(t, "mixed").expect(t)).collect();
+    let prepared = server
+        .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n")
+        .expect("prepares");
+    let mut serves = 0u64;
+    for round in 0..8 {
+        for stmt in &statements {
+            let result = server.serve_statement(stmt);
+            assert!(result.elapsed >= result.stage_timings.expansion);
+            serves += 1;
+        }
+        let params = Params::new().set("needle", "Drug_name").set("n", (3 + round) as i64);
+        server.execute(&prepared, &params).expect("prepared executes");
+        serves += 1;
+    }
+
+    // Streaming ingest past the publish batch: WAL appends + fsyncs, an
+    // epoch swap, and a staged tail flushed at the end.
+    let epoch = server.current_epoch();
+    let updates = streaming_updates(
+        server.ontology(),
+        &epoch.schema,
+        epoch.graph(),
+        24,
+        7,
+        &UpdateStreamConfig::default(),
+    );
+    drop(epoch);
+    server.ingest(updates).expect("ingest succeeds");
+    server.flush_ingest();
+
+    let snapshot = server.metrics_snapshot();
+
+    // Query latency percentiles, recorded for every serve.
+    let latency = snapshot.histogram("query.latency").expect("query.latency is registered");
+    assert_eq!(latency.count, serves, "every serve records end-to-end latency");
+    assert!(latency.percentile(0.50) > 0, "p50 > 0");
+    assert!(latency.percentile(0.99) >= latency.percentile(0.50), "p99 >= p50");
+    assert!(latency.max >= latency.percentile(0.99), "max >= p99");
+
+    // Plan-cache hit ratio gauge, mirrored at snapshot time: the repeated
+    // mix must be mostly hits.
+    let hit_ratio = snapshot.gauge("plan_cache.hit_ratio").expect("hit ratio gauge");
+    assert!(hit_ratio > 0.5 && hit_ratio <= 1.0, "repeated mix hits the cache: {hit_ratio}");
+
+    // Per-stage executor series (sampled, but the first serve is always
+    // detailed) and the per-prepared-statement series.
+    let expansion = snapshot.histogram("query.stage.expansion").expect("stage series");
+    assert!(expansion.count >= 1, "at least the first serve records stage detail");
+    let (_, per_prepared) = snapshot
+        .histograms
+        .iter()
+        .find(|(name, _)| name.starts_with("prepared.") && name.ends_with(".latency"))
+        .expect("per-prepared series");
+    assert_eq!(per_prepared.count, 8, "one sample per prepared execution");
+
+    // WAL timings: every ingest batch appended and (fsync mode) synced.
+    let append = snapshot.histogram("wal.append").expect("wal.append series");
+    assert!(append.count > 0, "ingest appended to the WAL");
+    let fsync = snapshot.histogram("wal.fsync").expect("wal.fsync series");
+    assert!(fsync.count > 0, "fsync-mode WAL times its group commits");
+    assert!(fsync.percentile(0.50) > 0);
+    assert!(snapshot.counter("epoch.ingest_swaps").unwrap_or(0) >= 1, "publish batch swapped");
+
+    // The swap left a structured trace event behind.
+    let events = server.trace_events();
+    assert!(events.iter().any(|e| e.name == "epoch.swap"), "epoch swap is traced");
+
+    // The snapshot ships: text exposition + versioned binary codec.
+    let text = snapshot.render_text();
+    assert!(text.contains("# TYPE query_latency histogram"), "{text}");
+    assert!(text.contains("plan_cache_hit_ratio"), "{text}");
+    assert!(text.contains("wal_fsync_count"), "{text}");
+    let decoded = pgso::telemetry::MetricsSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
+    assert_eq!(decoded, snapshot, "snapshot round-trips through the binary codec");
+}
+
+#[test]
+fn disabled_telemetry_still_mirrors_engine_gauges() {
+    let ontology = catalog::med_mini();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 5);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 5);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    let server = KgServer::new(
+        ontology,
+        statistics,
+        instance,
+        frequencies,
+        ServerConfig { telemetry_enabled: false, ..ServerConfig::default() },
+    );
+    assert!(server.telemetry().is_none());
+
+    let result = server.serve_text("MATCH (d:Drug) RETURN d.name LIMIT 2").expect("serves");
+    // Stage timings ride on the result itself, telemetry on or off.
+    assert!(result.stage_timings.total() <= result.elapsed + result.elapsed);
+
+    let snapshot = server.metrics_snapshot();
+    assert!(snapshot.histogram("query.latency").is_none(), "no hot-path series when disabled");
+    assert_eq!(snapshot.gauge("server.served"), Some(1.0), "state gauges still mirror");
+    assert!(snapshot.gauge("plan_cache.hit_ratio").is_some());
+    assert_eq!(snapshot.gauge("epoch.shard_count"), Some(1.0), "default shard count");
+    assert!(server.trace_events().is_empty(), "no trace ring when disabled");
+    assert!(server.metrics_text().contains("server_served 1"));
+}
