@@ -31,6 +31,14 @@
 //! execution serial, so multi-shard throughput must merely stay close to
 //! monolithic (the global→local indirection is the only overhead).
 //!
+//! A **loopback wire grid** measures the same value-varying prepared mix
+//! over real TCP through `pgso-net`: 1/2/4/8 concurrent `KgClient`
+//! connections × pipeline depths 1/4/16, each connection preparing the
+//! four texts once and streaming `EXECUTE` bursts. Per-connection
+//! served/error balance is asserted per cell and the wire plan-cache hit
+//! ratio must stay ≥ 0.90 — the protocol must not reintroduce literal
+//! rebinding the prepare/execute redesign removed.
+//!
 //! # Recorded baseline — `BENCH_serving.json`
 //!
 //! Every run ends by writing a machine-readable summary to
@@ -38,10 +46,12 @@
 //! the path): q/s per mix and thread count, serve-latency percentiles and
 //! per-stage p50s from the server's own telemetry, plan-cache hit ratio,
 //! WAL append/fsync percentiles from a durable run, per-shard vertex-read
-//! balance, and the telemetry on/off overhead ratio. The committed copy is
-//! the reference baseline; with `PGSO_BENCH_GATE=1` the run *fails* when
-//! pattern-mix q/s drops more than 20% below that baseline. Telemetry
-//! overhead is asserted `< 5%` in full (non `--test`) runs.
+//! balance, the loopback wire grid (q/s per connections × depth cell plus
+//! the wire hit ratio), and the telemetry on/off overhead ratio. The
+//! committed copy is the reference baseline; with `PGSO_BENCH_GATE=1` the
+//! run *fails* when pattern-mix q/s — or loopback wire q/s at 4
+//! connections × depth 16 — drops more than 20% below that baseline.
+//! Telemetry overhead is asserted `< 5%` in full (non `--test`) runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_datagen::{streaming_updates, InstanceKg, UpdateStreamConfig};
@@ -116,6 +126,23 @@ const PREPARED_TEXTS: [&str; 4] = [
      RETURN size(collect(dr.drugRouteId)) LIMIT $n",
 ];
 
+/// The value set for request `i` of the value-varying mixes (in-process
+/// prepared workload and the loopback wire grid alike): needles, offsets
+/// and limits all vary per request, statement `i % 4`.
+fn varying_params(i: usize) -> Params {
+    match i % 4 {
+        0 => Params::new()
+            .set("needle", format!("Drug_name_{}", i / 4))
+            .set("n", (1 + i % 16) as i64),
+        1 => Params::new().set("needle", format!("_{}", i % 10)).set("n", (2 + i % 8) as i64),
+        2 => Params::new()
+            .set("needle", format!("{}", i % 7))
+            .set("offset", (i % 3) as i64)
+            .set("n", (4 + i % 12) as i64),
+        _ => Params::new().set("needle", "Drug_name").set("n", (1 + i % 4) as i64),
+    }
+}
+
 /// 512-execution prepared workload: each request picks one of the four
 /// prepared handles and a *different* parameter set (needles, offsets and
 /// limits all vary per request).
@@ -124,24 +151,7 @@ fn prepared_param_workload(server: &KgServer) -> Vec<(PreparedStatement, Params)
         .iter()
         .map(|text| server.prepare_text(text).expect("workload statement prepares"))
         .collect();
-    (0..512)
-        .map(|i| {
-            let params = match i % 4 {
-                0 => Params::new()
-                    .set("needle", format!("Drug_name_{}", i / 4))
-                    .set("n", (1 + i % 16) as i64),
-                1 => {
-                    Params::new().set("needle", format!("_{}", i % 10)).set("n", (2 + i % 8) as i64)
-                }
-                2 => Params::new()
-                    .set("needle", format!("{}", i % 7))
-                    .set("offset", (i % 3) as i64)
-                    .set("n", (4 + i % 12) as i64),
-                _ => Params::new().set("needle", "Drug_name").set("n", (1 + i % 4) as i64),
-            };
-            (handles[i % 4].clone(), params)
-        })
-        .collect()
+    (0..512).map(|i| (handles[i % 4].clone(), varying_params(i))).collect()
 }
 
 fn run_mix(
@@ -524,6 +534,128 @@ fn telemetry_overhead(pattern: &[Statement], quick: bool) -> (Json, f64) {
     (fragment, enabled_qps)
 }
 
+/// One loopback-grid cell: wire q/s at a connections × pipelining-depth
+/// point.
+struct LoopbackRow {
+    connections: usize,
+    depth: usize,
+    qps: f64,
+}
+
+/// The loopback wire grid: real TCP clients against a `KgListener` on
+/// 127.0.0.1, over a **connections × pipelining-depth grid** (1/2/4/8
+/// connections × 1/4/16 in-flight requests). Every connection prepares the
+/// four `$param` statements once and executes with per-request values —
+/// the wire twin of the `prepared_params` mix. Returns the grid rows, the
+/// loopback headline q/s (4 connections × depth 16) and the plan-cache hit
+/// ratio accumulated over the wire.
+fn loopback_grid(quick: bool) -> (Vec<LoopbackRow>, f64, f64) {
+    use pgso_net::{KgClient, KgListener, NetConfig};
+    use std::sync::Arc;
+
+    let server = Arc::new(build_server(1));
+    // Warm: register the four texts and the plan cache through one wire
+    // client so the grid measures the steady state.
+    let executes_per_cell = if quick { 512 } else { 4096 };
+    let warm_listener = {
+        let mut listener =
+            KgListener::bind(server.clone(), "127.0.0.1:0", NetConfig::default()).expect("binds");
+        listener.serve().expect("serves");
+        let mut client = KgClient::connect(listener.local_addr()).expect("connects");
+        let stmts: Vec<_> = PREPARED_TEXTS
+            .iter()
+            .map(|text| client.prepare(text).expect("prepares over the wire"))
+            .collect();
+        for (i, stmt) in stmts.iter().enumerate() {
+            client.execute(stmt, &varying_params(i)).expect("warm execute");
+        }
+        client.goodbye().expect("closes");
+        listener
+    };
+    warm_listener.shutdown();
+    let warm = server.cache_stats();
+
+    let mut rows = Vec::new();
+    let mut headline = 0.0;
+    for connections in [1usize, 2, 4, 8] {
+        for depth in [1usize, 4, 16] {
+            let per_conn = executes_per_cell / connections;
+            let mut listener =
+                KgListener::bind(server.clone(), "127.0.0.1:0", NetConfig::default())
+                    .expect("binds");
+            listener.serve().expect("serves");
+            let addr = listener.local_addr();
+            let started = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for conn_index in 0..connections {
+                    scope.spawn(move || {
+                        let mut client = KgClient::connect(addr).expect("connects");
+                        let stmts: Vec<_> = PREPARED_TEXTS
+                            .iter()
+                            .map(|text| client.prepare(text).expect("prepares"))
+                            .collect();
+                        let base = conn_index * per_conn;
+                        let mut done = 0;
+                        while done < per_conn {
+                            let burst = depth.min(per_conn - done);
+                            for k in 0..burst {
+                                let i = base + done + k;
+                                client
+                                    .send_execute(&stmts[i % 4], &varying_params(i))
+                                    .expect("queues");
+                            }
+                            for _ in 0..burst {
+                                client.recv_result().expect("result arrives");
+                            }
+                            done += burst;
+                        }
+                        client.goodbye().expect("closes");
+                    });
+                }
+            });
+            let elapsed = started.elapsed();
+            let total = (connections * per_conn) as f64;
+            let qps = total / elapsed.as_secs_f64().max(1e-9);
+            // Per-connection wire accounting: the served counts must balance
+            // exactly (every connection ran the same request share).
+            let report = listener.run_report();
+            assert_eq!(report.served as usize, connections * per_conn, "wire accounting");
+            assert_eq!(report.errors, 0, "no wire errors in the grid");
+            let balance = report.served_balance();
+            assert!(
+                balance.iter().all(|&served| served as usize == per_conn),
+                "per-connection balance must be even, got {balance:?}"
+            );
+            println!(
+                "server_throughput/loopback conns_{connections} depth_{depth:<2} \
+                 {qps:>12.0} queries/sec  served balance {balance:?}"
+            );
+            listener.shutdown();
+            if connections == 4 && depth == 16 {
+                headline = qps;
+            }
+            rows.push(LoopbackRow { connections, depth, qps });
+        }
+    }
+
+    // The wire path must ride the plan cache exactly like in-process
+    // serving: per-request values, shared parameterized plans.
+    let stats = server.cache_stats();
+    let hits = stats.hits - warm.hits;
+    let misses = stats.misses - warm.misses;
+    let ratio = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "server_throughput/loopback/plan_cache  post-warm hits {hits} misses {misses} \
+         hit_ratio {ratio:.4}"
+    );
+    assert!(
+        ratio >= 0.90,
+        "plan-cache hit ratio {ratio:.4} over the wire fell below 0.90 — \
+         remote prepare/execute must share parameterized plans"
+    );
+    (rows, headline, ratio)
+}
+
 /// Where the recorded baseline lives: `PGSO_BENCH_OUT`, or
 /// `BENCH_serving.json` at the repository root.
 fn baseline_path() -> PathBuf {
@@ -533,40 +665,49 @@ fn baseline_path() -> PathBuf {
     }
 }
 
-/// `PGSO_BENCH_GATE=1`: compare this run's pattern-mix q/s against the
-/// committed baseline *before* overwriting it; >20% regression fails. The
-/// headline number is the multi-round average from the overhead
-/// measurement (telemetry on, 4 threads) — single replays are far too
-/// noisy to gate on.
-fn gate_against_baseline(headline_qps: f64) {
+/// Extracts a numeric field from the recorded baseline text. Minimal
+/// string extraction — the baseline is written by this very bench, so the
+/// field shape is known.
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse::<f64>().ok()
+}
+
+/// `PGSO_BENCH_GATE=1`: compare this run's q/s against the committed
+/// baseline *before* overwriting it; >20% regression fails. Two headline
+/// numbers gate independently: the in-process pattern mix (multi-round
+/// average from the overhead measurement — telemetry on, 4 threads) and
+/// the loopback wire grid (4 connections × depth 16). Single replays are
+/// far too noisy to gate on; a baseline that predates a headline key skips
+/// that gate gracefully.
+fn gate_against_baseline(headline_qps: f64, loopback_headline_qps: f64) {
     if std::env::var("PGSO_BENCH_GATE").map(|v| v == "1").unwrap_or(false) {
         let path = baseline_path();
-        let baseline = std::fs::read_to_string(&path).ok().and_then(|text| {
-            // Minimal extraction — the baseline is written by this very
-            // bench, so the field shape is known.
-            let key = "\"headline_qps\":";
-            let start = text.find(key)? + key.len();
-            let rest = &text[start..];
-            let end = rest.find([',', '\n', '}'])?;
-            rest[..end].trim().parse::<f64>().ok()
-        });
-        match baseline {
-            Some(expected) if expected > 0.0 => {
-                let ratio = headline_qps / expected;
-                println!(
-                    "server_throughput/gate headline {headline_qps:.0} q/s vs baseline \
-                     {expected:.0} q/s (x{ratio:.2})"
-                );
-                assert!(
-                    ratio >= 0.80,
-                    "serving throughput regressed >20% vs the recorded baseline \
-                     ({headline_qps:.0} vs {expected:.0} q/s)"
-                );
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        for (key, measured) in
+            [("headline_qps", headline_qps), ("loopback_headline_qps", loopback_headline_qps)]
+        {
+            match baseline_field(&text, key) {
+                Some(expected) if expected > 0.0 => {
+                    let ratio = measured / expected;
+                    println!(
+                        "server_throughput/gate {key} {measured:.0} q/s vs baseline \
+                         {expected:.0} q/s (x{ratio:.2})"
+                    );
+                    assert!(
+                        ratio >= 0.80,
+                        "{key} regressed >20% vs the recorded baseline \
+                         ({measured:.0} vs {expected:.0} q/s)"
+                    );
+                }
+                _ => println!(
+                    "server_throughput/gate no {key} baseline at {} — gate skipped",
+                    path.display()
+                ),
             }
-            _ => println!(
-                "server_throughput/gate no readable baseline at {} — gate skipped",
-                path.display()
-            ),
         }
     }
 }
@@ -618,11 +759,16 @@ fn bench(c: &mut Criterion) {
     }
 
     let profile = telemetry_profile(&pattern, quick);
-    // The headline number the regression gate compares: the interleaved
+    // The headline numbers the regression gate compares: the interleaved
     // multi-round pattern-mix average at 4 threads, telemetry on (the
-    // default serving configuration).
+    // default serving configuration), and the loopback wire cell at 4
+    // connections × depth 16. The overhead comparison runs *before* the
+    // loopback grid: the grid's socket churn (tens of thousands of wire
+    // round-trips, a listener per cell) disturbs the machine enough to
+    // distort the narrow on/off delta measured here.
     let (overhead, headline_qps) = telemetry_overhead(&pattern, quick);
-    gate_against_baseline(headline_qps);
+    let (loopback_rows, loopback_headline_qps, loopback_hit_ratio) = loopback_grid(quick);
+    gate_against_baseline(headline_qps, loopback_headline_qps);
 
     let qps_obj = |rows: &[(usize, f64)]| {
         let mut obj = Json::obj();
@@ -640,11 +786,21 @@ fn bench(c: &mut Criterion) {
             )
         })
         .collect();
+    let loopback_grid_rows: Vec<Json> = loopback_rows
+        .iter()
+        .map(|row| {
+            Json::obj()
+                .with("connections", row.connections)
+                .with("pipeline_depth", row.depth)
+                .with("qps", row.qps)
+        })
+        .collect();
     let report = Json::obj()
         .with("bench", "server_throughput")
         .with("mode", if quick { "quick" } else { "full" })
         .with("statements_per_replay", pattern.len())
         .with("headline_qps", headline_qps)
+        .with("loopback_headline_qps", loopback_headline_qps)
         .with(
             "pattern",
             Json::obj()
@@ -656,6 +812,12 @@ fn bench(c: &mut Criterion) {
             Json::obj()
                 .with("queries_per_second", qps_obj(&prepared_qps))
                 .with("plan_cache_hit_ratio", prepared_hit_ratio),
+        )
+        .with(
+            "loopback",
+            Json::obj()
+                .with("grid", loopback_grid_rows)
+                .with("plan_cache_hit_ratio", loopback_hit_ratio),
         )
         .with("telemetry", profile)
         .with("telemetry_overhead", overhead)

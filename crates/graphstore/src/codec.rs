@@ -118,7 +118,15 @@ pub fn decode_update(mut data: &[u8]) -> Option<GraphUpdate> {
     }
 }
 
-fn encode_value(buf: &mut BytesMut, value: &PropertyValue) {
+/// Nesting depth cap for [`try_decode_value`]: deeper lists are rejected so
+/// foreign bytes (network frames) cannot drive unbounded recursion.
+pub const MAX_VALUE_DEPTH: u32 = 32;
+
+/// Encodes one [`PropertyValue`] in the record format (tag byte + payload;
+/// see the module docs). Public so higher layers — the wire protocol in
+/// `pgso-net` — reuse the exact on-disk value encoding instead of inventing
+/// a second one.
+pub fn encode_value(buf: &mut BytesMut, value: &PropertyValue) {
     match value {
         PropertyValue::Bool(v) => {
             buf.put_u8(0);
@@ -151,24 +159,59 @@ fn encode_value(buf: &mut BytesMut, value: &PropertyValue) {
 }
 
 fn decode_value(data: &mut &[u8]) -> PropertyValue {
-    match data.get_u8() {
-        0 => PropertyValue::Bool(data.get_u8() != 0),
-        1 => PropertyValue::Int(data.get_i64_le()),
-        2 => PropertyValue::Float(data.get_f64_le()),
+    try_decode_value(data).expect("malformed value record")
+}
+
+/// Bounds-checked, non-panicking decode of one [`PropertyValue`]. Returns
+/// `None` for truncated payloads, unknown tags, invalid UTF-8, list counts
+/// exceeding the remaining bytes, or nesting past [`MAX_VALUE_DEPTH`] — the
+/// hardened entry point for bytes that arrived over a network rather than
+/// from this module's own encoder.
+pub fn try_decode_value(data: &mut &[u8]) -> Option<PropertyValue> {
+    try_decode_value_at(data, 0)
+}
+
+fn try_decode_value_at(data: &mut &[u8], depth: u32) -> Option<PropertyValue> {
+    if depth > MAX_VALUE_DEPTH {
+        return None;
+    }
+    let (&tag, rest) = data.split_first()?;
+    *data = rest;
+    match tag {
+        0 => Some(PropertyValue::Bool(*take(data, 1)?.first()? != 0)),
+        1 => Some(PropertyValue::Int(i64::from_le_bytes(take(data, 8)?.try_into().ok()?))),
+        2 => Some(PropertyValue::Float(f64::from_le_bytes(take(data, 8)?.try_into().ok()?))),
         3 => {
-            let len = data.get_u32_le() as usize;
-            let s = String::from_utf8(data[..len].to_vec()).expect("valid utf8 in record");
-            data.advance(len);
-            PropertyValue::Str(s)
+            let len = u32::from_le_bytes(take(data, 4)?.try_into().ok()?) as usize;
+            let bytes = take(data, len)?;
+            Some(PropertyValue::Str(std::str::from_utf8(bytes).ok()?.to_string()))
         }
         4 => {
-            let count = data.get_u32_le() as usize;
-            let items = (0..count).map(|_| decode_value(data)).collect();
-            PropertyValue::List(items)
+            let count = u32::from_le_bytes(take(data, 4)?.try_into().ok()?) as usize;
+            // Every encoded value is at least one tag byte, so a count larger
+            // than the remaining payload is malformed — reject it up front
+            // instead of looping (and never pre-allocate from a foreign count).
+            if count > data.len() {
+                return None;
+            }
+            let mut items = Vec::new();
+            for _ in 0..count {
+                items.push(try_decode_value_at(data, depth + 1)?);
+            }
+            Some(PropertyValue::List(items))
         }
-        5 => PropertyValue::Null,
-        tag => panic!("unknown value tag {tag}"),
+        5 => Some(PropertyValue::Null),
+        _ => None,
     }
+}
+
+fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if data.len() < n {
+        return None;
+    }
+    let (head, tail) = data.split_at(n);
+    *data = tail;
+    Some(head)
 }
 
 fn put_str16(buf: &mut BytesMut, s: &str) {

@@ -1,0 +1,213 @@
+//! Blocking client for the wire protocol: [`KgClient`] speaks to a
+//! [`crate::KgListener`] over TCP with the same prepare/execute shape as the
+//! in-process [`pgso_server::KgServer`] API.
+//!
+//! The connection is pipelined: [`KgClient::send_execute`] queues any number
+//! of requests without waiting, and [`KgClient::recv_result`] collects the
+//! responses, which arrive strictly in request order. The convenience
+//! methods ([`KgClient::execute`], [`KgClient::run`]) are one send + one
+//! receive.
+
+use crate::frame::{write_frame, FrameReader, MAX_FRAME_LEN};
+use crate::proto::{
+    decode_response, encode_request, ErrorCode, Request, Response, PROTOCOL_VERSION,
+};
+use pgso_query::{ParamSignature, Params, Row};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, write, unexpected EOF).
+    Io(io::Error),
+    /// The server answered with an ERROR frame.
+    Remote {
+        /// Typed error code from the server.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server's bytes violated the protocol (client-side decode).
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Remote { code, message } => write!(f, "server error ({code:?}): {message}"),
+            NetError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// A statement prepared over the wire: the client-chosen handle plus the
+/// server-reported parameter signature.
+#[derive(Debug, Clone)]
+pub struct NetPrepared {
+    handle: u32,
+    signature: ParamSignature,
+}
+
+impl NetPrepared {
+    /// The wire handle EXECUTE frames reference.
+    pub fn handle(&self) -> u32 {
+        self.handle
+    }
+
+    /// The statement's typed parameter signature, as reported by the server.
+    pub fn signature(&self) -> &ParamSignature {
+        &self.signature
+    }
+}
+
+/// One complete result stream, reassembled from ROWS chunks + SUMMARY.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetResult {
+    /// All result rows, chunk order preserved.
+    pub rows: Vec<Row>,
+    /// Pattern matches found (before aggregation/windowing).
+    pub matches: u64,
+}
+
+/// Blocking wire-protocol client.
+///
+/// ```no_run
+/// use pgso_net::KgClient;
+/// use pgso_query::Params;
+///
+/// # fn demo(addr: std::net::SocketAddr) -> Result<(), pgso_net::NetError> {
+/// let mut client = KgClient::connect(addr)?;
+/// let stmt = client.prepare(
+///     "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n",
+/// )?;
+/// let result = client.execute(&stmt, &Params::new().set("needle", "ol").set("n", 10i64))?;
+/// println!("{} rows", result.rows.len());
+/// client.goodbye()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KgClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_handle: u32,
+}
+
+impl KgClient {
+    /// Connects and performs the HELLO handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Self { stream, reader: FrameReader::new(MAX_FRAME_LEN), next_handle: 0 };
+        client.send(&Request::Hello { version: PROTOCOL_VERSION })?;
+        match client.recv_response()? {
+            Response::HelloOk { .. } => Ok(client),
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::Protocol(format!("expected HELLO_OK, got {other:?}"))),
+        }
+    }
+
+    /// Prepares `text` under a fresh handle and waits for the signature.
+    pub fn prepare(&mut self, text: &str) -> Result<NetPrepared, NetError> {
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.send(&Request::Prepare { handle, text: text.to_string() })?;
+        match self.recv_response()? {
+            Response::Prepared { handle: echoed, signature } if echoed == handle => {
+                Ok(NetPrepared { handle, signature })
+            }
+            Response::Prepared { handle: echoed, .. } => Err(NetError::Protocol(format!(
+                "PREPARED echoed handle {echoed}, expected {handle}"
+            ))),
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::Protocol(format!("expected PREPARED, got {other:?}"))),
+        }
+    }
+
+    /// One EXECUTE round trip: send, then collect the full result stream.
+    pub fn execute(&mut self, stmt: &NetPrepared, params: &Params) -> Result<NetResult, NetError> {
+        self.send_execute(stmt, params)?;
+        self.recv_result()
+    }
+
+    /// One RUN round trip for a parameterless statement text.
+    pub fn run(&mut self, text: &str) -> Result<NetResult, NetError> {
+        self.send(&Request::Run { text: text.to_string() })?;
+        self.recv_result()
+    }
+
+    /// Queues an EXECUTE without waiting (pipelining). Pair each call with
+    /// one later [`KgClient::recv_result`]; responses arrive in send order.
+    pub fn send_execute(&mut self, stmt: &NetPrepared, params: &Params) -> Result<(), NetError> {
+        self.send(&Request::Execute { handle: stmt.handle, params: params.clone() })
+    }
+
+    /// Collects one result stream (ROWS chunks until SUMMARY), or the ERROR
+    /// that replaced it.
+    pub fn recv_result(&mut self) -> Result<NetResult, NetError> {
+        let mut rows = Vec::new();
+        loop {
+            match self.recv_response()? {
+                Response::Rows { rows: chunk } => rows.extend(chunk),
+                Response::Summary { matches, .. } => return Ok(NetResult { rows, matches }),
+                Response::Error { code, message } => {
+                    return Err(NetError::Remote { code, message })
+                }
+                other => {
+                    return Err(NetError::Protocol(format!("expected ROWS/SUMMARY, got {other:?}")))
+                }
+            }
+        }
+    }
+
+    /// Orderly close: GOODBYE, wait for the acknowledgment, drop the socket.
+    pub fn goodbye(mut self) -> Result<(), NetError> {
+        self.send(&Request::Goodbye)?;
+        match self.recv_response()? {
+            Response::GoodbyeOk => Ok(()),
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::Protocol(format!("expected GOODBYE_OK, got {other:?}"))),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), NetError> {
+        let (op, payload) = encode_request(request);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        write_frame(&mut frame, op, &payload);
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Blocks for the next complete response frame.
+    fn recv_response(&mut self) -> Result<Response, NetError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some((op, payload))) => {
+                    return decode_response(op, &payload).map_err(|v| NetError::Protocol(v.message))
+                }
+                Ok(None) => {}
+                Err(e) => return Err(NetError::Protocol(e.to_string())),
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                )));
+            }
+            self.reader.extend(&buf[..n]);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! pgso-net: binary wire protocol + non-blocking TCP connection layer, so a
+//! [`pgso_server::KgServer`] serves real clients over a socket instead of
+//! only in-process calls.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`frame`] — length-delimited framing (`len(u32 le) opcode(u8) payload`)
+//!   with an incremental [`frame::FrameReader`] that tolerates torn reads and
+//!   rejects pathological length prefixes before allocating;
+//! * [`proto`] — typed requests/responses and their payload codec, reusing
+//!   the workspace value encoding ([`pgso_graphstore::codec`]) for parameters
+//!   and result cells;
+//! * [`KgListener`] — the serving side: one accept thread, a few readiness
+//!   loop threads multiplexing non-blocking sockets, and a shared worker
+//!   pool executing requests against the engine. Connections are pipelined
+//!   (many requests in flight; responses strictly in request order) and
+//!   drain gracefully on [`KgListener::shutdown`];
+//! * [`KgClient`] — a blocking client with the same prepare/execute shape as
+//!   the in-process API, plus explicit [`KgClient::send_execute`] /
+//!   [`KgClient::recv_result`] for pipelining.
+//!
+//! Wire observability threads through the server's own telemetry registry as
+//! `net.*` series (see [`NetTelemetry`]), so one `metrics_text()` exposition
+//! covers the engine and the connection layer. The full wire format is
+//! documented in `crates/net/README.md`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod listener;
+pub mod proto;
+pub mod telemetry;
+
+pub use client::{KgClient, NetError, NetPrepared, NetResult};
+pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
+pub use listener::{ConnectionReport, KgListener, NetConfig, NetRunReport, ShutdownReport};
+pub use proto::{ErrorCode, ProtoViolation, Request, Response, PROTOCOL_MAGIC, PROTOCOL_VERSION};
+pub use telemetry::NetTelemetry;

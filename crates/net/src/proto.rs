@@ -1,0 +1,539 @@
+//! Message layer: typed requests/responses and their binary payload codec.
+//!
+//! Payloads reuse the workspace's existing value encoding
+//! ([`pgso_graphstore::codec`]) for every [`pgso_graphstore::PropertyValue`]
+//! — parameters
+//! and result cells travel in exactly the bytes the disk backend and WAL
+//! use. See `crates/net/README.md` for the full wire format.
+//!
+//! Decoding is total: any byte sequence decodes to either a message or a
+//! [`ProtoViolation`] carrying a typed [`ErrorCode`]; nothing in this module
+//! panics on foreign input.
+
+use bytes::{BufMut, BytesMut};
+use pgso_graphstore::codec::{encode_value, try_decode_value};
+use pgso_query::{ParamKind, ParamSignature, ParamSpec, Params, Row};
+
+/// `"PGSO"` in big-endian byte order: the first four payload bytes of every
+/// HELLO.
+pub const PROTOCOL_MAGIC: u32 = 0x5047_534F;
+
+/// Protocol revision this build speaks. The handshake is an exact match —
+/// there is only one revision so far.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame opcodes. Client→server opcodes occupy the low range, server→client
+/// responses are the same ideas with the high bit set.
+pub mod opcode {
+    /// Client handshake: magic + version.
+    pub const HELLO: u8 = 0x01;
+    /// Register a parameterized statement under a client-chosen handle.
+    pub const PREPARE: u8 = 0x02;
+    /// Execute a prepared handle with named parameter bindings.
+    pub const EXECUTE: u8 = 0x03;
+    /// Parse and run a parameterless statement text ad hoc.
+    pub const RUN: u8 = 0x04;
+    /// Orderly goodbye; the server drains and closes after replying.
+    pub const GOODBYE: u8 = 0x05;
+    /// Handshake accepted.
+    pub const HELLO_OK: u8 = 0x81;
+    /// PREPARE succeeded; carries the statement's typed signature.
+    pub const PREPARED: u8 = 0x82;
+    /// One chunk of result rows (a result streams as ROWS* then SUMMARY).
+    pub const ROWS: u8 = 0x83;
+    /// Terminates a result stream with its match count.
+    pub const SUMMARY: u8 = 0x84;
+    /// Request-level failure as a typed value.
+    pub const ERROR: u8 = 0x85;
+    /// GOODBYE acknowledged; the connection closes after this frame.
+    pub const GOODBYE_OK: u8 = 0x86;
+}
+
+/// Typed wire error codes (the `u16` in an ERROR frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// HELLO missing, repeated, carrying the wrong magic, or an unsupported
+    /// version. Connection-fatal.
+    BadHandshake = 1,
+    /// Frame opcode outside the protocol. The frame boundary is intact, so
+    /// the connection survives.
+    UnknownOpcode = 2,
+    /// Payload bytes did not decode as the opcode's message. The connection
+    /// survives (framing is intact).
+    Malformed = 3,
+    /// Frame length prefix violated the cap, or was zero. Connection-fatal:
+    /// frame boundaries can no longer be trusted.
+    Oversized = 4,
+    /// Statement text failed to parse (PREPARE / RUN).
+    Parse = 5,
+    /// Parameter binding failed (EXECUTE): missing, mismatched or undeclared
+    /// names.
+    Bind = 6,
+    /// EXECUTE referenced a handle this connection never prepared.
+    UnknownHandle = 7,
+    /// The listener is draining; no new work is accepted.
+    ShuttingDown = 8,
+    /// The request panicked server-side; the connection (and its siblings)
+    /// survive.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// Decodes the wire representation.
+    pub fn from_u16(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => Self::BadHandshake,
+            2 => Self::UnknownOpcode,
+            3 => Self::Malformed,
+            4 => Self::Oversized,
+            5 => Self::Parse,
+            6 => Self::Bind,
+            7 => Self::UnknownHandle,
+            8 => Self::ShuttingDown,
+            9 => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A decode failure: the typed code plus a human-readable reason, ready to
+/// be sent back as an ERROR frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoViolation {
+    /// Typed error code for the ERROR frame.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoViolation {
+    fn malformed(what: &str) -> Self {
+        Self { code: ErrorCode::Malformed, message: format!("malformed {what} payload") }
+    }
+}
+
+/// One client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake (magic already verified by the decoder).
+    Hello {
+        /// Protocol revision the client speaks.
+        version: u16,
+    },
+    /// Register `text` under the client-chosen `handle` (re-preparing a
+    /// handle rebinds it, like named statements in other wire protocols).
+    Prepare {
+        /// Client-chosen handle for subsequent EXECUTEs.
+        handle: u32,
+        /// Statement text, `$name` parameters included.
+        text: String,
+    },
+    /// Execute a prepared handle with named bindings.
+    Execute {
+        /// Handle from an earlier PREPARE on this connection.
+        handle: u32,
+        /// Named parameter values.
+        params: Params,
+    },
+    /// Parse and serve a parameterless statement text.
+    Run {
+        /// Statement text.
+        text: String,
+    },
+    /// Orderly close.
+    Goodbye,
+}
+
+/// One server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted at this version.
+    HelloOk {
+        /// Negotiated protocol revision.
+        version: u16,
+    },
+    /// PREPARE succeeded.
+    Prepared {
+        /// The handle the client chose.
+        handle: u32,
+        /// The statement's typed parameter signature.
+        signature: ParamSignature,
+    },
+    /// One chunk of result rows.
+    Rows {
+        /// The rows in this chunk.
+        rows: Vec<Row>,
+    },
+    /// End of a result stream.
+    Summary {
+        /// Pattern matches found (before aggregation/windowing).
+        matches: u64,
+        /// Total rows streamed for this result.
+        rows: u64,
+    },
+    /// Request failed.
+    Error {
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// GOODBYE acknowledged.
+    GoodbyeOk,
+}
+
+/// Encodes a request as `(opcode, payload)`.
+pub fn encode_request(request: &Request) -> (u8, Vec<u8>) {
+    let mut buf = BytesMut::with_capacity(64);
+    let op = match request {
+        Request::Hello { version } => {
+            put_u32(&mut buf, PROTOCOL_MAGIC);
+            put_u16(&mut buf, *version);
+            opcode::HELLO
+        }
+        Request::Prepare { handle, text } => {
+            put_u32(&mut buf, *handle);
+            put_str32(&mut buf, text);
+            opcode::PREPARE
+        }
+        Request::Execute { handle, params } => {
+            put_u32(&mut buf, *handle);
+            put_params(&mut buf, params);
+            opcode::EXECUTE
+        }
+        Request::Run { text } => {
+            put_str32(&mut buf, text);
+            opcode::RUN
+        }
+        Request::Goodbye => opcode::GOODBYE,
+    };
+    (op, buf.to_vec())
+}
+
+/// Decodes a request frame. Every failure carries the [`ErrorCode`] the
+/// server should answer with.
+pub fn decode_request(op: u8, mut payload: &[u8]) -> Result<Request, ProtoViolation> {
+    let data = &mut payload;
+    let request = match op {
+        opcode::HELLO => {
+            let magic = take_u32(data).ok_or_else(|| ProtoViolation::malformed("HELLO"))?;
+            if magic != PROTOCOL_MAGIC {
+                return Err(ProtoViolation {
+                    code: ErrorCode::BadHandshake,
+                    message: format!("bad magic {magic:#010x} (expected {PROTOCOL_MAGIC:#010x})"),
+                });
+            }
+            let version = take_u16(data).ok_or_else(|| ProtoViolation::malformed("HELLO"))?;
+            Request::Hello { version }
+        }
+        opcode::PREPARE => {
+            let err = || ProtoViolation::malformed("PREPARE");
+            let handle = take_u32(data).ok_or_else(err)?;
+            let text = take_str32(data).ok_or_else(err)?;
+            Request::Prepare { handle, text }
+        }
+        opcode::EXECUTE => {
+            let err = || ProtoViolation::malformed("EXECUTE");
+            let handle = take_u32(data).ok_or_else(err)?;
+            let params = take_params(data).ok_or_else(err)?;
+            Request::Execute { handle, params }
+        }
+        opcode::RUN => {
+            let text = take_str32(data).ok_or_else(|| ProtoViolation::malformed("RUN"))?;
+            Request::Run { text }
+        }
+        opcode::GOODBYE => Request::Goodbye,
+        other => {
+            return Err(ProtoViolation {
+                code: ErrorCode::UnknownOpcode,
+                message: format!("unknown request opcode {other:#04x}"),
+            })
+        }
+    };
+    if !data.is_empty() {
+        return Err(ProtoViolation {
+            code: ErrorCode::Malformed,
+            message: format!("{} trailing bytes after request", data.len()),
+        });
+    }
+    Ok(request)
+}
+
+/// Encodes a response as `(opcode, payload)`.
+pub fn encode_response(response: &Response) -> (u8, Vec<u8>) {
+    let mut buf = BytesMut::with_capacity(64);
+    let op = match response {
+        Response::HelloOk { version } => {
+            put_u16(&mut buf, *version);
+            opcode::HELLO_OK
+        }
+        Response::Prepared { handle, signature } => {
+            put_u32(&mut buf, *handle);
+            put_u16(&mut buf, signature.len() as u16);
+            for spec in signature.specs() {
+                put_str16(&mut buf, &spec.name);
+                buf.put_slice(&[match spec.kind {
+                    ParamKind::Value => 0u8,
+                    ParamKind::Count => 1u8,
+                }]);
+            }
+            opcode::PREPARED
+        }
+        Response::Rows { rows } => {
+            put_u32(&mut buf, rows.len() as u32);
+            for row in rows {
+                put_u16(&mut buf, row.len() as u16);
+                for value in row {
+                    encode_value(&mut buf, value);
+                }
+            }
+            opcode::ROWS
+        }
+        Response::Summary { matches, rows } => {
+            put_u64(&mut buf, *matches);
+            put_u64(&mut buf, *rows);
+            opcode::SUMMARY
+        }
+        Response::Error { code, message } => {
+            put_u16(&mut buf, *code as u16);
+            put_str32(&mut buf, message);
+            opcode::ERROR
+        }
+        Response::GoodbyeOk => opcode::GOODBYE_OK,
+    };
+    (op, buf.to_vec())
+}
+
+/// Decodes a response frame (the client side of [`decode_request`]).
+pub fn decode_response(op: u8, mut payload: &[u8]) -> Result<Response, ProtoViolation> {
+    let data = &mut payload;
+    let response = match op {
+        opcode::HELLO_OK => {
+            let version = take_u16(data).ok_or_else(|| ProtoViolation::malformed("HELLO_OK"))?;
+            Response::HelloOk { version }
+        }
+        opcode::PREPARED => {
+            let err = || ProtoViolation::malformed("PREPARED");
+            let handle = take_u32(data).ok_or_else(err)?;
+            let count = take_u16(data).ok_or_else(err)? as usize;
+            let mut specs = Vec::new();
+            for _ in 0..count {
+                let name = take_str16(data).ok_or_else(err)?;
+                let kind = match take_u8(data).ok_or_else(err)? {
+                    0 => ParamKind::Value,
+                    1 => ParamKind::Count,
+                    _ => return Err(err()),
+                };
+                specs.push(ParamSpec { name, kind });
+            }
+            Response::Prepared { handle, signature: ParamSignature::from_specs(specs) }
+        }
+        opcode::ROWS => {
+            let err = || ProtoViolation::malformed("ROWS");
+            let count = take_u32(data).ok_or_else(err)? as usize;
+            if count > data.len() {
+                return Err(err());
+            }
+            let mut rows = Vec::new();
+            for _ in 0..count {
+                let cols = take_u16(data).ok_or_else(err)? as usize;
+                let mut row = Vec::with_capacity(cols.min(64));
+                for _ in 0..cols {
+                    row.push(try_decode_value(data).ok_or_else(err)?);
+                }
+                rows.push(row);
+            }
+            Response::Rows { rows }
+        }
+        opcode::SUMMARY => {
+            let err = || ProtoViolation::malformed("SUMMARY");
+            let matches = take_u64(data).ok_or_else(err)?;
+            let rows = take_u64(data).ok_or_else(err)?;
+            Response::Summary { matches, rows }
+        }
+        opcode::ERROR => {
+            let err = || ProtoViolation::malformed("ERROR");
+            let raw = take_u16(data).ok_or_else(err)?;
+            let code = ErrorCode::from_u16(raw).ok_or_else(err)?;
+            let message = take_str32(data).ok_or_else(err)?;
+            Response::Error { code, message }
+        }
+        opcode::GOODBYE_OK => Response::GoodbyeOk,
+        other => {
+            return Err(ProtoViolation {
+                code: ErrorCode::UnknownOpcode,
+                message: format!("unknown response opcode {other:#04x}"),
+            })
+        }
+    };
+    if !data.is_empty() {
+        return Err(ProtoViolation {
+            code: ErrorCode::Malformed,
+            message: format!("{} trailing bytes after response", data.len()),
+        });
+    }
+    Ok(response)
+}
+
+// ---- payload primitives -------------------------------------------------
+//
+// Writers append to a `BytesMut`; readers are bounds-checked slice cursors
+// that return `None` instead of panicking on truncation.
+
+fn put_u16(buf: &mut BytesMut, v: u16) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut BytesMut, v: u32) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+fn put_str16(buf: &mut BytesMut, s: &str) {
+    put_u16(buf, s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_str32(buf: &mut BytesMut, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_params(buf: &mut BytesMut, params: &Params) {
+    put_u16(buf, params.len() as u16);
+    for (name, value) in params.iter() {
+        put_str16(buf, name);
+        encode_value(buf, value);
+    }
+}
+
+fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if data.len() < n {
+        return None;
+    }
+    let (head, tail) = data.split_at(n);
+    *data = tail;
+    Some(head)
+}
+
+fn take_u8(data: &mut &[u8]) -> Option<u8> {
+    take(data, 1).map(|b| b[0])
+}
+
+fn take_u16(data: &mut &[u8]) -> Option<u16> {
+    take(data, 2).map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+}
+
+fn take_u32(data: &mut &[u8]) -> Option<u32> {
+    take(data, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+fn take_u64(data: &mut &[u8]) -> Option<u64> {
+    take(data, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn take_str16(data: &mut &[u8]) -> Option<String> {
+    let len = take_u16(data)? as usize;
+    let bytes = take(data, len)?;
+    Some(std::str::from_utf8(bytes).ok()?.to_string())
+}
+
+fn take_str32(data: &mut &[u8]) -> Option<String> {
+    let len = take_u32(data)? as usize;
+    let bytes = take(data, len)?;
+    Some(std::str::from_utf8(bytes).ok()?.to_string())
+}
+
+fn take_params(data: &mut &[u8]) -> Option<Params> {
+    let count = take_u16(data)? as usize;
+    let mut params = Params::new();
+    for _ in 0..count {
+        let name = take_str16(data)?;
+        let value = try_decode_value(data)?;
+        params.insert(name, value);
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_graphstore::PropertyValue;
+
+    fn roundtrip_request(request: Request) {
+        let (op, payload) = encode_request(&request);
+        assert_eq!(decode_request(op, &payload).expect("decodes"), request);
+    }
+
+    fn roundtrip_response(response: Response) {
+        let (op, payload) = encode_response(&response);
+        assert_eq!(decode_response(op, &payload).expect("decodes"), response);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Hello { version: PROTOCOL_VERSION });
+        roundtrip_request(Request::Prepare {
+            handle: 3,
+            text: "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n".into(),
+        });
+        roundtrip_request(Request::Execute {
+            handle: 3,
+            params: Params::new().set("needle", "aspirin").set("n", 5i64),
+        });
+        roundtrip_request(Request::Run { text: "MATCH (d:Drug) RETURN d.name".into() });
+        roundtrip_request(Request::Goodbye);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::HelloOk { version: PROTOCOL_VERSION });
+        roundtrip_response(Response::Prepared {
+            handle: 3,
+            signature: ParamSignature::from_specs([
+                ParamSpec { name: "needle".into(), kind: ParamKind::Value },
+                ParamSpec { name: "n".into(), kind: ParamKind::Count },
+            ]),
+        });
+        roundtrip_response(Response::Rows {
+            rows: vec![
+                vec![PropertyValue::Str("a".into()), PropertyValue::Int(1)],
+                vec![PropertyValue::Null, PropertyValue::Bool(true)],
+                vec![PropertyValue::List(vec![PropertyValue::Float(2.5)])],
+            ],
+        });
+        roundtrip_response(Response::Summary { matches: 7, rows: 3 });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Parse,
+            message: "expected MATCH".into(),
+        });
+        roundtrip_response(Response::GoodbyeOk);
+    }
+
+    #[test]
+    fn bad_magic_is_a_handshake_violation() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        payload.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        let violation = decode_request(opcode::HELLO, &payload).unwrap_err();
+        assert_eq!(violation.code, ErrorCode::BadHandshake);
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_malformed_not_panics() {
+        let (op, payload) =
+            encode_request(&Request::Execute { handle: 1, params: Params::new().set("k", 1i64) });
+        for cut in 0..payload.len() {
+            let violation = decode_request(op, &payload[..cut]).unwrap_err();
+            assert_eq!(violation.code, ErrorCode::Malformed, "cut at {cut}");
+        }
+        let mut extended = payload.clone();
+        extended.push(0);
+        assert_eq!(decode_request(op, &extended).unwrap_err().code, ErrorCode::Malformed);
+        assert_eq!(decode_request(0x77, &payload).unwrap_err().code, ErrorCode::UnknownOpcode);
+    }
+}

@@ -1,0 +1,94 @@
+//! Wire-layer observability: `net.*` instruments registered into the
+//! serving engine's own [`pgso_telemetry::MetricsRegistry`], so one
+//! [`pgso_server::KgServer::metrics_text`] exposition covers the engine and
+//! the connection layer in front of it.
+//!
+//! # Metric names
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `net.connections.open` | gauge | currently connected peers |
+//! | `net.connections.total` | counter | connections ever accepted |
+//! | `net.bytes.in` / `net.bytes.out` | counter | payload bytes read from / written to sockets |
+//! | `net.requests` | counter | frames decoded into requests |
+//! | `net.errors` | counter | ERROR responses sent |
+//! | `net.request.latency` | histogram | wire latency of EXECUTE/RUN: frame decoded → response bytes handed to the socket, ns |
+//! | `net.slow_requests` | counter | wire requests past [`crate::NetConfig::slow_request_threshold`] |
+//!
+//! Past the threshold a structured `net.slow_request` trace event lands in
+//! the server's trace ring with the connection id, request sequence number
+//! and opcode.
+
+use pgso_server::{KgServer, ServerTelemetry};
+use pgso_telemetry::{Counter, FieldValue, Gauge, Histogram, TraceBuffer};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pre-resolved `net.*` instrument handles (one set per listener).
+#[derive(Debug)]
+pub struct NetTelemetry {
+    /// `net.connections.open`.
+    pub connections_open: Arc<Gauge>,
+    /// `net.connections.total`.
+    pub connections_total: Arc<Counter>,
+    /// `net.bytes.in`.
+    pub bytes_in: Arc<Counter>,
+    /// `net.bytes.out`.
+    pub bytes_out: Arc<Counter>,
+    /// `net.requests`.
+    pub requests: Arc<Counter>,
+    /// `net.errors`.
+    pub errors: Arc<Counter>,
+    /// `net.request.latency`.
+    pub request_latency: Arc<Histogram>,
+    /// `net.slow_requests`.
+    pub slow_requests: Arc<Counter>,
+    trace: Arc<TraceBuffer>,
+    slow_threshold: Option<Duration>,
+}
+
+impl NetTelemetry {
+    /// Resolves the `net.*` instruments in the server's registry; `None`
+    /// when the server runs with telemetry disabled (the wire path then
+    /// performs no clock reads or metric updates, matching the engine).
+    pub fn for_server(server: &KgServer, slow_threshold: Option<Duration>) -> Option<Self> {
+        server.telemetry().map(|t: &Arc<ServerTelemetry>| {
+            let registry = t.registry();
+            Self {
+                connections_open: registry.gauge("net.connections.open"),
+                connections_total: registry.counter("net.connections.total"),
+                bytes_in: registry.counter("net.bytes.in"),
+                bytes_out: registry.counter("net.bytes.out"),
+                requests: registry.counter("net.requests"),
+                errors: registry.counter("net.errors"),
+                request_latency: registry.histogram("net.request.latency"),
+                slow_requests: registry.counter("net.slow_requests"),
+                trace: t.trace().clone(),
+                slow_threshold,
+            }
+        })
+    }
+
+    /// Records the wire latency of one completed request and, past the
+    /// configured threshold, emits the `net.slow_request` trace event.
+    pub fn record_request(&self, conn_id: u64, seq: u64, op: u8, elapsed: Duration) {
+        self.request_latency.record_duration(elapsed);
+        let Some(threshold) = self.slow_threshold else {
+            return;
+        };
+        if elapsed < threshold {
+            return;
+        }
+        self.slow_requests.inc();
+        self.trace.emit_with_duration(
+            "net.slow_request",
+            0,
+            elapsed,
+            vec![
+                ("conn", FieldValue::from(conn_id)),
+                ("seq", FieldValue::from(seq)),
+                ("opcode", FieldValue::from(op as u64)),
+            ],
+        );
+    }
+}

@@ -91,6 +91,19 @@ impl ParamSignature {
         signature
     }
 
+    /// Reassembles a signature from explicit specs — the deserialization
+    /// constructor for transports that ship signatures across processes
+    /// (`pgso-net` sends them to clients in PREPARED responses). Duplicate
+    /// names collapse under the same stricter-kind-wins rule as
+    /// [`ParamSignature::of`].
+    pub fn from_specs(specs: impl IntoIterator<Item = ParamSpec>) -> Self {
+        let mut signature = ParamSignature::default();
+        for spec in specs {
+            signature.declare(&spec.name, spec.kind);
+        }
+        signature
+    }
+
     fn declare(&mut self, name: &str, kind: ParamKind) {
         match self.specs.iter_mut().find(|s| s.name == name) {
             Some(existing) => {

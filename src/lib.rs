@@ -16,6 +16,7 @@
 //! | [`persist`] | `pgso-persist` | write-ahead log, epoch snapshots, crash recovery |
 //! | [`telemetry`] | `pgso-telemetry` | metrics registry (counters, gauges, log-scaled latency histograms), structured trace ring, Prometheus-style text exposition |
 //! | [`server`] | `pgso-server` | concurrent serving engine: prepare/execute API with named parameters, plan cache, workload tracking, adaptive re-optimization, WAL-backed ingest |
+//! | [`net`] | `pgso-net` | binary wire protocol + non-blocking TCP connection layer: `KgListener` serves a `KgServer` to remote `KgClient`s with pipelining and graceful shutdown |
 //!
 //! ## Quick start
 //!
@@ -71,9 +72,33 @@
 //!   [`query::StageTimings`].
 //! * The `server_throughput` bench records the reference numbers to
 //!   `BENCH_serving.json` at the repository root (latency percentiles, q/s
-//!   per mix, WAL fsync timings, telemetry on/off overhead); CI replays it
-//!   in quick mode and gates on >20% q/s regressions. See
+//!   per mix, WAL fsync timings, telemetry on/off overhead, loopback wire
+//!   throughput over a connections × pipelining grid); CI replays it in
+//!   quick mode and gates on >20% q/s regressions. See
 //!   `examples/observed_kg.rs` for a live tour.
+//!
+//! ## Networking
+//!
+//! [`net`] puts a TCP front-end on the serving engine, so real clients reach
+//! a [`server::KgServer`] over a socket instead of only in-process calls:
+//!
+//! * a length-framed **binary wire protocol** (`len(u32 le) opcode(u8)
+//!   payload`) carrying handshake/version negotiation, PREPARE with
+//!   client-chosen handles, EXECUTE with named parameters, ad-hoc RUN,
+//!   streamed ROWS chunks + SUMMARY, and typed ERROR frames — parameter and
+//!   result values travel in the same [`graphstore`] codec bytes the WAL and
+//!   disk backend use (full format: `crates/net/README.md`);
+//! * [`net::KgListener`] — a self-built non-blocking serving loop (accept
+//!   thread + readiness loops + shared worker pool, no async runtime) with
+//!   **pipelining**: many requests in flight per connection, responses
+//!   strictly in request order, and graceful [`net::KgListener::shutdown`]
+//!   that drains in-flight work before closing;
+//! * [`net::KgClient`] — a blocking client mirroring the in-process
+//!   prepare/execute shape, plus explicit send/recv halves for pipelining;
+//! * wire observability as `net.*` metrics (connections, bytes, request
+//!   latency histogram, slow-request trace events) in the server's own
+//!   registry, and per-connection served/error accounting via
+//!   [`net::listener::NetRunReport`]. See `examples/networked_kg.rs`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -81,6 +106,7 @@
 pub use pgso_core as optimizer;
 pub use pgso_datagen as datagen;
 pub use pgso_graphstore as graphstore;
+pub use pgso_net as net;
 pub use pgso_ontology as ontology;
 pub use pgso_persist as persist;
 pub use pgso_pgschema as pgschema;
@@ -99,6 +125,7 @@ pub mod prelude {
         props, DiskGraph, DiskGraphConfig, GraphBackend, GraphUpdate, HashRouter, LabelRouter,
         MemoryGraph, PropertyValue, ShardRouter, ShardedGraph,
     };
+    pub use pgso_net::{KgClient, KgListener, NetConfig};
     pub use pgso_ontology::{
         AccessFrequencies, DataStatistics, DataType, Ontology, OntologyBuilder, RelationshipKind,
         StatisticsConfig, WorkloadDistribution,

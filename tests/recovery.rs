@@ -197,6 +197,76 @@ fn killed_server_recovers_to_bit_identical_q1_q12_rows() {
     }
 }
 
+/// A remote client killed mid-pipelined-burst (socket dropped without
+/// reading a single response) must not take down the serving process — and
+/// when the persistent server is later killed itself, it must recover to
+/// bit-identical prepared-statement rows.
+#[test]
+fn socket_killed_client_leaves_persistent_server_recoverable() {
+    use pgso::net::{KgClient, KgListener, NetConfig};
+    use std::sync::Arc;
+
+    let dir = tempfile::tempdir().unwrap();
+    let persist = PersistConfig::new_unsynced(dir.path());
+
+    let pre_kill_rows = {
+        let server = Arc::new(build(DatasetId::Med, 1, Some(persist.clone())));
+        let mut listener =
+            KgListener::bind(server.clone(), "127.0.0.1:0", NetConfig::default()).unwrap();
+        listener.serve().unwrap();
+        let addr = listener.local_addr();
+
+        // A healthy client registers the prepared statement over the wire
+        // (the registration is WAL-logged exactly like an in-process one).
+        let mut healthy = KgClient::connect(addr).expect("connects");
+        let stmt = healthy.prepare(PREPARED_TEXT).expect("prepares over the wire");
+        let baseline = healthy.execute(&stmt, &prepared_params()).expect("executes").rows;
+
+        // The victim: queue a deep pipelined burst and vanish without
+        // reading one byte of response.
+        let mut victim = KgClient::connect(addr).expect("connects");
+        let victim_stmt = victim.prepare(PREPARED_TEXT).expect("prepares");
+        for _ in 0..32 {
+            victim.send_execute(&victim_stmt, &prepared_params()).expect("queues");
+        }
+        drop(victim); // socket killed mid-request
+
+        // Ingest through the engine while the wire layer digests the kill.
+        let epoch = server.current_epoch();
+        let updates = streaming_updates(
+            server.ontology(),
+            &epoch.schema,
+            epoch.graph(),
+            30,
+            77,
+            &UpdateStreamConfig::default(),
+        );
+        drop(epoch);
+        server.ingest(updates).unwrap();
+
+        // The healthy sibling never noticed the kill.
+        let after = healthy.execute(&stmt, &prepared_params()).expect("sibling survives").rows;
+        assert!(after.len() >= baseline.len());
+        healthy.goodbye().expect("orderly close");
+        listener.shutdown();
+        assert!(Arc::strong_count(&server) == 1, "the listener released the engine");
+        let rows = server.execute(&server.prepared_statements()[0], &prepared_params());
+        rows.unwrap().rows
+        // drop(server) = kill: no checkpoint, no flush
+    };
+
+    let i = inputs(DatasetId::Med);
+    let recovered = KgServer::recover(i.ontology, i.statistics, i.instance, config(1), persist)
+        .expect("recovery succeeds after a socket-killed client");
+    let restored = recovered.prepared_statements();
+    assert_eq!(restored.len(), 1, "the wire-registered prepared statement survives");
+    assert_eq!(
+        recovered.execute(&restored[0], &prepared_params()).unwrap().rows,
+        pre_kill_rows,
+        "recovered rows must be bit-identical to the pre-kill state"
+    );
+}
+
 /// A torn WAL tail (the crash hit mid-append) recovers cleanly to the last
 /// complete record: no panic, no partial vertex.
 #[test]

@@ -128,6 +128,93 @@ fn serving_metrics_cover_latency_cache_stages_and_wal() {
     assert_eq!(decoded, snapshot, "snapshot round-trips through the binary codec");
 }
 
+/// Wire-layer observability: serving over TCP threads `net.*` counters,
+/// the request-latency histogram and the slow-request trace through the
+/// server's own registry, all visible in one `metrics_text()` exposition.
+#[test]
+fn wire_serving_threads_net_metrics_through_the_server_registry() {
+    use pgso::net::{KgClient, KgListener, NetConfig};
+    use std::sync::Arc;
+
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 11);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.04, 11);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    let server = Arc::new(KgServer::new(
+        ontology,
+        statistics,
+        instance,
+        frequencies,
+        ServerConfig { auto_reoptimize: false, ..ServerConfig::default() },
+    ));
+
+    // Threshold zero: every wire request is a "slow" request, so the trace
+    // event path is exercised deterministically.
+    let config = NetConfig {
+        slow_request_threshold: Some(std::time::Duration::ZERO),
+        ..NetConfig::default()
+    };
+    let mut listener = KgListener::bind(server.clone(), "127.0.0.1:0", config).unwrap();
+    listener.serve().unwrap();
+
+    let mut client = KgClient::connect(listener.local_addr()).expect("connects");
+    let stmt = client
+        .prepare("MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n")
+        .expect("prepares");
+    for n in 1..=6i64 {
+        let params = Params::new().set("needle", "Drug_name").set("n", n);
+        client.execute(&stmt, &params).expect("executes");
+    }
+    // One typed error so `net.errors` moves too.
+    assert!(client.run("NOT A STATEMENT").is_err());
+    client.goodbye().expect("orderly close");
+
+    // Second short-lived connection so open != total.
+    let extra = KgClient::connect(listener.local_addr()).expect("connects");
+    drop(extra);
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let snapshot = server.metrics_snapshot();
+        let open = snapshot.gauge("net.connections.open").unwrap_or(f64::NAN);
+        if open == 0.0 || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let snapshot = server.metrics_snapshot();
+    assert_eq!(snapshot.counter("net.connections.total"), Some(2), "both connections counted");
+    assert_eq!(snapshot.gauge("net.connections.open"), Some(0.0), "all connections closed");
+    assert!(snapshot.counter("net.bytes.in").unwrap_or(0) > 0, "request bytes counted");
+    assert!(snapshot.counter("net.bytes.out").unwrap_or(0) > 0, "response bytes counted");
+    // 1 HELLO + 1 PREPARE + 6 EXECUTE + 1 RUN + 1 GOODBYE on the first
+    // connection, plus the second connection's handshake HELLO.
+    assert_eq!(snapshot.counter("net.requests"), Some(11), "every decoded frame counted");
+    assert_eq!(snapshot.counter("net.errors"), Some(1), "the parse failure counted");
+
+    // The wire latency histogram records EXECUTE/RUN only (pool-executed
+    // requests), and with a zero threshold each one is also "slow".
+    let latency = snapshot.histogram("net.request.latency").expect("wire latency series");
+    assert_eq!(latency.count, 7, "6 executes + 1 failed run");
+    assert!(latency.max > 0);
+    assert_eq!(snapshot.counter("net.slow_requests"), Some(7));
+    let events = server.trace_events();
+    assert!(
+        events.iter().any(|e| e.name == "net.slow_request"),
+        "slow wire requests leave trace events"
+    );
+
+    // One exposition covers the engine and the wire layer in front of it.
+    let text = server.metrics_text();
+    assert!(text.contains("net_connections_total 2"), "{text}");
+    assert!(text.contains("net_requests 11"), "{text}");
+    assert!(text.contains("# TYPE net_request_latency histogram"), "{text}");
+    assert!(text.contains("query_latency"), "engine series in the same exposition: {text}");
+
+    assert!(listener.shutdown().drained);
+}
+
 #[test]
 fn disabled_telemetry_still_mirrors_engine_gauges() {
     let ontology = catalog::med_mini();
