@@ -39,6 +39,18 @@
 //! ratio must stay ≥ 0.90 — the protocol must not reintroduce literal
 //! rebinding the prepare/execute redesign removed.
 //!
+//! A **storage-tier scale ladder** closes the run: a [`ScaleLadder`] of
+//! deterministic instance chunks (≈10⁴ vertices per rung) is served at
+//! rungs 1 and 10 (and 100 with `PGSO_BENCH_SCALE100=1`; `--test` smoke
+//! runs stop at rung 1) on the memory and CSR tiers — plus the disk tier
+//! at rung 1 for layout coverage — replaying a traversal-heavy mix (label
+//! scans, expansions, a collect aggregation; no plain lookups) where
+//! adjacency layout, not parsing or planning, dominates. Rungs above 1
+//! arrive through the ingest path: the suffix journal beyond the base
+//! chunk is staged and published in a single epoch swap, exactly how a
+//! production server would grow. Each cell records q/s and the epoch's
+//! resident bytes.
+//!
 //! # Recorded baseline — `BENCH_serving.json`
 //!
 //! Every run ends by writing a machine-readable summary to
@@ -47,17 +59,24 @@
 //! per-stage p50s from the server's own telemetry, plan-cache hit ratio,
 //! WAL append/fsync percentiles from a durable run, per-shard vertex-read
 //! balance, the loopback wire grid (q/s per connections × depth cell plus
-//! the wire hit ratio), and the telemetry on/off overhead ratio. The
+//! the wire hit ratio), the telemetry on/off overhead ratio, and the scale
+//! ladder (one cell per scale × storage tier, each tagged with `scale` and
+//! `storage_tier` plus a flat `scale_ladder_s<scale>_<tier>_qps` key). The
 //! committed copy is the reference baseline; with `PGSO_BENCH_GATE=1` the
-//! run *fails* when pattern-mix q/s — or loopback wire q/s at 4
-//! connections × depth 16 — drops more than 20% below that baseline.
-//! Telemetry overhead is asserted `< 5%` in full (non `--test`) runs.
+//! run *fails* when pattern-mix q/s, loopback wire q/s at 4 connections ×
+//! depth 16, or any ladder cell measured this run drops more than 20%
+//! below that baseline. Telemetry overhead is asserted `< 5%` in full
+//! (non `--test`) runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pgso_datagen::{streaming_updates, InstanceKg, UpdateStreamConfig};
+use pgso_datagen::{load_into, streaming_updates, InstanceKg, ScaleLadder, UpdateStreamConfig};
+use pgso_graphstore::MemoryGraph;
 use pgso_ontology::{catalog, AccessFrequencies, DataStatistics, StatisticsConfig};
+use pgso_persist::JournaledGraph;
 use pgso_query::{Aggregate, Params, Query, Statement};
-use pgso_server::{IngestConfig, KgServer, PersistConfig, PreparedStatement, ServerConfig};
+use pgso_server::{
+    IngestConfig, KgServer, PersistConfig, PreparedStatement, ServerConfig, StorageTier,
+};
 use pgso_telemetry::Json;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -503,14 +522,21 @@ fn telemetry_overhead(pattern: &[Statement], quick: bool) -> (Json, f64) {
     let _ = off.run_workload(pattern, 1);
     // Interleave the replay rounds so frequency scaling and cache effects
     // hit both sides equally — back-to-back blocks systematically favour
-    // whichever side runs second. Kept well-sampled even in quick mode:
+    // whichever side runs second — and alternate which side goes first
+    // within each round, cancelling the residual first-runner penalty a
+    // fixed order bakes in. Kept well-sampled even in quick mode:
     // `enabled_qps` doubles as the regression-gate headline, and a
     // single-replay number is far too noisy to gate on.
     let rounds = if quick { 8 } else { 12 };
     let (mut enabled_qps, mut disabled_qps) = (0.0f64, 0.0f64);
-    for _ in 0..rounds {
-        enabled_qps += on.run_workload(pattern, 4).queries_per_second();
-        disabled_qps += off.run_workload(pattern, 4).queries_per_second();
+    for round in 0..rounds {
+        if round % 2 == 0 {
+            enabled_qps += on.run_workload(pattern, 4).queries_per_second();
+            disabled_qps += off.run_workload(pattern, 4).queries_per_second();
+        } else {
+            disabled_qps += off.run_workload(pattern, 4).queries_per_second();
+            enabled_qps += on.run_workload(pattern, 4).queries_per_second();
+        }
     }
     let enabled_qps = enabled_qps / rounds as f64;
     let disabled_qps = disabled_qps / rounds as f64;
@@ -656,6 +682,164 @@ fn loopback_grid(quick: bool) -> (Vec<LoopbackRow>, f64, f64) {
     (rows, headline, ratio)
 }
 
+/// Per-rung chunk size of the scale ladder: ≈10⁴ vertices / 1.6×10⁴ edges
+/// per chunk with the medical catalog and the seed-42 small statistics, so
+/// rung 10 serves ≈10⁵ vertices and rung 100 ≈10⁶.
+const LADDER_BASE_SCALE: f64 = 3.3;
+const LADDER_SEED: u64 = 42;
+
+/// One measured ladder cell: the traversal mix served at `scale` (rung)
+/// on `tier`.
+struct LadderCell {
+    scale: usize,
+    tier: StorageTier,
+    qps: f64,
+    resident_bytes: u64,
+    vertices: usize,
+    edges: usize,
+}
+
+impl LadderCell {
+    /// Flat baseline key, e.g. `scale_ladder_s10_csr_qps` — unique across
+    /// the report so [`baseline_field`]'s string extraction finds it.
+    fn flat_key(&self) -> String {
+        format!("scale_ladder_s{}_{}_qps", self.scale, self.tier.name())
+    }
+}
+
+/// 256-statement traversal-heavy mix: label scans feeding one-hop
+/// expansions and a collect aggregation, no plain lookups — the shapes
+/// whose physical cost is adjacency and property layout rather than
+/// parsing or planning, i.e. where the storage tiers actually differ.
+fn ladder_workload() -> Vec<Statement> {
+    let shapes = [
+        Query::builder("treat")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("i", "desc")
+            .build(),
+        Query::builder("encounters")
+            .node("p", "Patient")
+            .node("e", "Encounter")
+            .edge("p", "hasEncounter", "e")
+            .ret_property("e", "encounterId")
+            .build(),
+        Query::builder("q9")
+            .node("d", "Drug")
+            .node("dr", "DrugRoute")
+            .edge("d", "hasDrugRoute", "dr")
+            .ret_aggregate(Aggregate::CollectCount, "dr", Some("drugRouteId"))
+            .build(),
+    ];
+    (0..256).map(|i| Statement::from(shapes[i % shapes.len()].clone())).collect()
+}
+
+/// Builds a `tier`-layout server holding ladder rung `rung`. The base
+/// chunk goes in through construction; everything above it goes through
+/// the ingest path — the suffix of the rung's deterministic load journal
+/// beyond the base chunk, staged and published in one epoch swap. That
+/// exercises the same path a growing production server uses, and keeps
+/// vertex ids bit-identical across tiers (the prefix property of
+/// [`ScaleLadder`]).
+fn ladder_server(ladder: &ScaleLadder, rung: usize, tier: StorageTier) -> KgServer {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), LADDER_SEED);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    let config = ServerConfig {
+        auto_reoptimize: false,
+        storage_tier: tier,
+        ingest: IngestConfig {
+            // Never publish mid-stream: the whole suffix lands in one
+            // explicit flush below, so each cell pays exactly one rebuild.
+            publish_batch: usize::MAX,
+            publish_interval: std::time::Duration::from_secs(3600),
+        },
+        ..ServerConfig::default()
+    };
+    let server = KgServer::new(
+        ontology.clone(),
+        statistics,
+        ladder.base_chunk().clone(),
+        frequencies,
+        config,
+    );
+    if rung > 1 {
+        // Replaying the loader into a journaled scratch graph under the
+        // server's own (possibly optimized) schema reproduces the exact
+        // update sequence the server built its base epoch from; the slice
+        // past the base chunk is therefore a valid continuation.
+        let schema = server.current_epoch().schema.clone();
+        let mut scratch = JournaledGraph::new(MemoryGraph::new());
+        load_into(&mut scratch, &ontology, &schema, ladder.base_chunk());
+        let prefix_len = scratch.journal().len();
+        for chunk in ladder.chunks_above_base(rung) {
+            load_into(&mut scratch, &ontology, &schema, chunk);
+        }
+        let suffix = scratch.journal()[prefix_len..].to_vec();
+        server.ingest(suffix).expect("ladder suffix ingests");
+        assert!(server.flush_ingest(), "ladder suffix publishes in one swap");
+    }
+    server
+}
+
+/// The scale × storage-tier ladder. Quick (`--test`) runs measure rung 1
+/// only; full runs add rung 10, and `PGSO_BENCH_SCALE100=1` rung 100
+/// (≈10⁶ vertices — minutes of generation and load, so opt-in). The disk
+/// tier joins at rung 1 only: enough to record the paged layout's
+/// position without paying its page-read tax at every scale.
+fn scale_ladder(quick: bool) -> Vec<LadderCell> {
+    let mut rungs = vec![1usize];
+    if !quick {
+        rungs.push(10);
+    }
+    if std::env::var("PGSO_BENCH_SCALE100").map(|v| v == "1").unwrap_or(false) {
+        rungs.push(100);
+    }
+    let max_rung = *rungs.iter().max().expect("at least one rung");
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), LADDER_SEED);
+    let ladder =
+        ScaleLadder::generate(&ontology, &statistics, LADDER_BASE_SCALE, LADDER_SEED, max_rung);
+    let workload = ladder_workload();
+    let threads = 4;
+    let replays = if quick { 2 } else { 4 };
+
+    let mut cells = Vec::new();
+    for &rung in &rungs {
+        let mut tiers = vec![StorageTier::Memory, StorageTier::Csr];
+        if rung == 1 {
+            tiers.push(StorageTier::Disk);
+        }
+        for tier in tiers {
+            let server = ladder_server(&ladder, rung, tier);
+            let epoch = server.current_epoch();
+            let (vertices, edges) = (epoch.graph().vertex_count(), epoch.graph().edge_count());
+            let resident_bytes = epoch.graph().resident_bytes();
+            drop(epoch);
+            let _ = server.run_workload(&workload, 1); // warm the plan cache
+            let qps = (0..replays)
+                .map(|_| server.run_workload(&workload, threads).queries_per_second())
+                .sum::<f64>()
+                / replays as f64;
+            println!(
+                "server_throughput/scale_ladder s{rung:<3} {:<6} {qps:>12.0} queries/sec  \
+                 {vertices:>7} vertices {edges:>7} edges  {resident_bytes:>10} resident bytes",
+                tier.name()
+            );
+            cells.push(LadderCell { scale: rung, tier, qps, resident_bytes, vertices, edges });
+        }
+        let qps_of = |t: StorageTier| {
+            cells.iter().find(|c| c.scale == rung && c.tier == t).map(|c| c.qps).unwrap_or(0.0)
+        };
+        println!(
+            "server_throughput/scale_ladder s{rung:<3} csr/memory ratio x{:.2}",
+            qps_of(StorageTier::Csr) / qps_of(StorageTier::Memory).max(1e-9)
+        );
+    }
+    cells
+}
+
 /// Where the recorded baseline lives: `PGSO_BENCH_OUT`, or
 /// `BENCH_serving.json` at the repository root.
 fn baseline_path() -> PathBuf {
@@ -677,20 +861,28 @@ fn baseline_field(text: &str, key: &str) -> Option<f64> {
 }
 
 /// `PGSO_BENCH_GATE=1`: compare this run's q/s against the committed
-/// baseline *before* overwriting it; >20% regression fails. Two headline
+/// baseline *before* overwriting it; >20% regression fails. The headline
 /// numbers gate independently: the in-process pattern mix (multi-round
-/// average from the overhead measurement — telemetry on, 4 threads) and
-/// the loopback wire grid (4 connections × depth 16). Single replays are
-/// far too noisy to gate on; a baseline that predates a headline key skips
-/// that gate gracefully.
-fn gate_against_baseline(headline_qps: f64, loopback_headline_qps: f64) {
+/// average from the overhead measurement — telemetry on, 4 threads), the
+/// loopback wire grid (4 connections × depth 16), and every scale-ladder
+/// cell measured this run (quick runs measure — and therefore gate — only
+/// the rung-1 cells). Single replays are far too noisy to gate on; a
+/// baseline that predates a key skips that gate gracefully.
+fn gate_against_baseline(
+    headline_qps: f64,
+    loopback_headline_qps: f64,
+    ladder_cells: &[(String, f64)],
+) {
     if std::env::var("PGSO_BENCH_GATE").map(|v| v == "1").unwrap_or(false) {
         let path = baseline_path();
         let text = std::fs::read_to_string(&path).unwrap_or_default();
-        for (key, measured) in
-            [("headline_qps", headline_qps), ("loopback_headline_qps", loopback_headline_qps)]
-        {
-            match baseline_field(&text, key) {
+        let mut gates = vec![
+            ("headline_qps".to_string(), headline_qps),
+            ("loopback_headline_qps".to_string(), loopback_headline_qps),
+        ];
+        gates.extend(ladder_cells.iter().cloned());
+        for (key, measured) in gates {
+            match baseline_field(&text, &key) {
                 Some(expected) if expected > 0.0 => {
                     let ratio = measured / expected;
                     println!(
@@ -768,7 +960,10 @@ fn bench(c: &mut Criterion) {
     // distort the narrow on/off delta measured here.
     let (overhead, headline_qps) = telemetry_overhead(&pattern, quick);
     let (loopback_rows, loopback_headline_qps, loopback_hit_ratio) = loopback_grid(quick);
-    gate_against_baseline(headline_qps, loopback_headline_qps);
+    let ladder = scale_ladder(quick);
+    let ladder_flat: Vec<(String, f64)> =
+        ladder.iter().map(|cell| (cell.flat_key(), cell.qps)).collect();
+    gate_against_baseline(headline_qps, loopback_headline_qps, &ladder_flat);
 
     let qps_obj = |rows: &[(usize, f64)]| {
         let mut obj = Json::obj();
@@ -795,9 +990,25 @@ fn bench(c: &mut Criterion) {
                 .with("qps", row.qps)
         })
         .collect();
-    let report = Json::obj()
+    let ladder_rows: Vec<Json> = ladder
+        .iter()
+        .map(|cell| {
+            Json::obj()
+                .with("scale", cell.scale)
+                .with("storage_tier", cell.tier.name())
+                .with("qps", cell.qps)
+                .with("resident_bytes", cell.resident_bytes)
+                .with("vertices", cell.vertices)
+                .with("edges", cell.edges)
+        })
+        .collect();
+    let mut report = Json::obj()
         .with("bench", "server_throughput")
         .with("mode", if quick { "quick" } else { "full" })
+        // The tier and instance scale every non-ladder entry below was
+        // measured on; the ladder cells carry their own.
+        .with("storage_tier", StorageTier::Memory.name())
+        .with("instance_scale", 0.05)
         .with("statements_per_replay", pattern.len())
         .with("headline_qps", headline_qps)
         .with("loopback_headline_qps", loopback_headline_qps)
@@ -821,7 +1032,14 @@ fn bench(c: &mut Criterion) {
         )
         .with("telemetry", profile)
         .with("telemetry_overhead", overhead)
-        .with("shard_grid_at_8_threads", grid_rows);
+        .with("shard_grid_at_8_threads", grid_rows)
+        .with("scale_ladder", ladder_rows);
+    // Flat per-cell keys so the gate's string extraction finds them; full
+    // runs re-record every rung, quick runs keep the deeper rungs' cells
+    // from the committed baseline out of the gate (they weren't measured).
+    for (key, qps) in &ladder_flat {
+        report.set(key, *qps);
+    }
     let path = baseline_path();
     std::fs::write(&path, report.pretty()).expect("baseline file writes");
     println!("server_throughput/baseline written to {}", path.display());

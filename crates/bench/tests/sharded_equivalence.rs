@@ -1,0 +1,152 @@
+//! Storage-tier execution equivalence: the CSR read-optimized layout must
+//! be *indistinguishable* from the mutable `MemoryGraph` through the whole
+//! query surface — same rows, same order — monolithic and behind a
+//! 4-shard `ShardedGraph`, serial and forced-parallel, under the direct
+//! schema and the optimizer's rewrites alike.
+//!
+//! Two layers of coverage:
+//!
+//! * the fixed Q1–Q12 microbenchmark (pattern, lookup, aggregation) on the
+//!   medical dataset — the grid the acceptance gate names;
+//! * a property test over generated statements (shape × literal filter ×
+//!   SKIP/LIMIT windows) comparing a CSR and a memory graph loaded with
+//!   the same instance.
+
+use pgso_bench::{microbenchmark, DatasetId, Workbench};
+use pgso_core::{optimize_nsc, OptimizerConfig};
+use pgso_datagen::{load_into, InstanceKg};
+use pgso_graphstore::{CsrGraph, GraphBackend, HashRouter, MemoryGraph, ShardedGraph};
+use pgso_ontology::WorkloadDistribution;
+use pgso_pgschema::PropertyGraphSchema;
+use pgso_query::{execute_statement_with, parse_named, rewrite_statement, ExecConfig, Statement};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One schema's worth of graphs: the memory reference plus the CSR
+/// backends under test, all loaded from the same instance.
+struct SchemaFixture {
+    memory: MemoryGraph,
+    csr: CsrGraph,
+    csr_sharded_4: ShardedGraph,
+}
+
+struct Fixture {
+    direct: SchemaFixture,
+    optimized: SchemaFixture,
+    optimized_schema: PropertyGraphSchema,
+}
+
+fn load_schema(
+    wb: &Workbench,
+    schema: &PropertyGraphSchema,
+    instance: &InstanceKg,
+) -> SchemaFixture {
+    let mut memory = MemoryGraph::new();
+    load_into(&mut memory, &wb.ontology, schema, instance);
+    let mut csr = CsrGraph::new();
+    load_into(&mut csr, &wb.ontology, schema, instance);
+    let shards: Vec<Box<dyn GraphBackend>> =
+        (0..4).map(|_| Box::new(CsrGraph::new()) as Box<dyn GraphBackend>).collect();
+    let mut csr_sharded_4 = ShardedGraph::with_router(shards, Box::new(HashRouter));
+    load_into(&mut csr_sharded_4, &wb.ontology, schema, instance);
+    SchemaFixture { memory, csr, csr_sharded_4 }
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let wb = Workbench::new(DatasetId::Med, WorkloadDistribution::Uniform, 3);
+        let instance = InstanceKg::generate(&wb.ontology, &wb.statistics, 0.05, 3);
+        let direct_schema = PropertyGraphSchema::direct_from_ontology(&wb.ontology);
+        let optimized_schema = optimize_nsc(wb.input(), &OptimizerConfig::default()).schema;
+        Fixture {
+            direct: load_schema(&wb, &direct_schema, &instance),
+            optimized: load_schema(&wb, &optimized_schema, &instance),
+            optimized_schema,
+        }
+    })
+}
+
+/// Executes `stmt` on the memory reference and on every CSR backend, in
+/// serial and forced-parallel mode, and asserts bit-identical rows.
+fn assert_rows_match(fx: &SchemaFixture, stmt: &Statement, context: &str) {
+    for config in [ExecConfig::serial(), ExecConfig::always_parallel()] {
+        let mode = if config.parallel { "parallel" } else { "serial" };
+        let reference = execute_statement_with(stmt, &fx.memory, &config);
+        for (tier, backend) in
+            [("csr", &fx.csr as &dyn GraphBackend), ("csr/4-shards", &fx.csr_sharded_4)]
+        {
+            let got = execute_statement_with(stmt, backend, &config);
+            assert_eq!(
+                got.rows,
+                reference.rows,
+                "{context} [{mode}] rows diverged on {tier} (memory reference: \
+                 {} rows, {tier}: {} rows)",
+                reference.rows.len(),
+                got.rows.len()
+            );
+            assert_eq!(got.matches, reference.matches, "{context} [{mode}] matches on {tier}");
+        }
+    }
+}
+
+#[test]
+fn q1_to_q12_rows_are_bit_identical_on_csr_at_1_and_4_shards() {
+    let fx = fixture();
+    for bq in microbenchmark().iter().filter(|q| q.dataset == DatasetId::Med) {
+        // DIR statement on the direct-schema graphs …
+        assert_rows_match(&fx.direct, &bq.query, &format!("{} DIR", bq.query.name));
+        // … and its optimizer rewrite on the optimized-schema graphs.
+        let rewritten = rewrite_statement(&bq.query, &fx.optimized_schema);
+        assert_rows_match(&fx.optimized, &rewritten, &format!("{} OPT", bq.query.name));
+    }
+}
+
+/// Statement shapes the generator draws from: `{0}` is a digit-bearing
+/// needle, `{1}`/`{2}` are SKIP/LIMIT counts.
+const SHAPES: [&str; 4] = [
+    "MATCH (d:Drug) WHERE d.name CONTAINS '{0}' RETURN d.name ORDER BY d.name SKIP {1} LIMIT {2}",
+    "MATCH (d:Drug)-[:treat]->(i:Indication) WHERE i.desc CONTAINS '{0}' \
+     RETURN DISTINCT i.desc ORDER BY i.desc DESC LIMIT {2}",
+    "MATCH (p:Patient) OPTIONAL MATCH (p)-[:hasEncounter]->(e:Encounter) \
+     RETURN p.mrn, e.encounterId SKIP {1} LIMIT {2}",
+    "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) \
+     RETURN size(collect(dr.drugRouteId)) LIMIT {2}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn generated_statements_answer_identically_on_csr(
+        shape in 0usize..SHAPES.len(),
+        needle in 0u32..10,
+        skip in 0usize..5,
+        limit in 1usize..24,
+    ) {
+        let text = SHAPES[shape]
+            .replace("{0}", &needle.to_string())
+            .replace("{1}", &skip.to_string())
+            .replace("{2}", &limit.to_string());
+        let stmt = parse_named(&text, "gen").expect("generated statement parses");
+        let fx = fixture();
+        for (schema, sfx) in [("DIR", &fx.direct), ("OPT", &fx.optimized)] {
+            let stmt = if schema == "OPT" {
+                rewrite_statement(&stmt, &fx.optimized_schema)
+            } else {
+                stmt.clone()
+            };
+            for config in [ExecConfig::serial(), ExecConfig::always_parallel()] {
+                let reference = execute_statement_with(&stmt, &sfx.memory, &config);
+                for (tier, backend) in
+                    [("csr", &sfx.csr as &dyn GraphBackend), ("csr/4", &sfx.csr_sharded_4)]
+                {
+                    let got = execute_statement_with(&stmt, backend, &config);
+                    prop_assert_eq!(
+                        &got.rows, &reference.rows,
+                        "{} {} diverged: {}", schema, tier, text
+                    );
+                }
+            }
+        }
+    }
+}

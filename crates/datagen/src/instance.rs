@@ -14,7 +14,7 @@ use pgso_ontology::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An entity: the `index`-th instance of a concept.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,8 +41,12 @@ pub struct RelationshipInstance {
 pub struct InstanceKg {
     /// Number of entities per concept (indexed by concept id).
     entity_counts: Vec<u32>,
-    /// Relationship instances, grouped per relationship.
-    instances: HashMap<RelationshipId, Vec<RelationshipInstance>>,
+    /// Relationship instances, grouped per relationship. A `BTreeMap` so
+    /// whole-graph iteration ([`InstanceKg::all_instances`]) has one
+    /// deterministic order across program runs and `generate` calls —
+    /// loaders and the benchmark scale ladder rely on that for
+    /// bit-reproducible construction journals.
+    instances: BTreeMap<RelationshipId, Vec<RelationshipInstance>>,
 }
 
 impl InstanceKg {
@@ -70,7 +74,7 @@ impl InstanceKg {
             entity_counts[cid.index()] = cardinality.max(1);
         }
 
-        let mut instances: HashMap<RelationshipId, Vec<RelationshipInstance>> = HashMap::new();
+        let mut instances: BTreeMap<RelationshipId, Vec<RelationshipInstance>> = BTreeMap::new();
         for (rid, rel) in ontology.relationships() {
             if !rel.kind.is_functional() {
                 continue; // isA / unionOf structure is derived from concepts at load time

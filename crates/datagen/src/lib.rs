@@ -16,15 +16,20 @@
 //! * [`streaming_updates`] — a deterministic stream of physical
 //!   [`pgso_graphstore::GraphUpdate`]s (new entities wired into a loaded
 //!   graph), feeding the serving layer's write-ahead-logged ingest path and
-//!   ingest-while-serving benchmarks.
+//!   ingest-while-serving benchmarks;
+//! * [`ScaleLadder`] — pre-generated instance chunks whose rungs (1×, 10×,
+//!   100×, …) load into bit-identical induced prefixes of each other, the
+//!   substrate for the storage-tier scale benchmarks.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod instance;
+pub mod ladder;
 pub mod load;
 pub mod updates;
 
 pub use instance::{property_value_for, Entity, InstanceKg, RelationshipInstance};
+pub use ladder::ScaleLadder;
 pub use load::{load_into, load_sharded, LoadReport};
 pub use updates::{streaming_updates, UpdateStreamConfig};

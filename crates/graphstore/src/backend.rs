@@ -286,6 +286,37 @@ pub trait GraphBackend: Send + Sync {
 
     /// Human-readable backend name ("memory" / "disk").
     fn backend_name(&self) -> &'static str;
+
+    /// Replays this graph as the ordered [`GraphUpdate`] sequence that
+    /// rebuilds it exactly: every vertex id, every adjacency-list order and
+    /// every label index come back identical when the sequence is applied to
+    /// an empty backend. This is the compilation input for
+    /// [`crate::CsrGraph::freeze`] and a journal-free alternative to
+    /// wrapping a backend in `pgso_persist::JournaledGraph`.
+    ///
+    /// Returns `None` when the backend cannot reconstruct a faithful
+    /// insertion order (e.g. [`crate::ShardedGraph`], which distributes
+    /// edges across shards without keeping a global edge sequence). The
+    /// default is `None`; backends that retain enough ordering information
+    /// override it.
+    fn export_updates(&self) -> Option<Vec<GraphUpdate>> {
+        None
+    }
+
+    /// Forces any lazily built read structures (indexes, compiled adjacency)
+    /// to be materialised *now*, so the cost lands at publication time
+    /// instead of on the first query of a fresh epoch. No-op for backends
+    /// whose read structures are maintained eagerly.
+    fn ensure_ready(&self) {}
+
+    /// Approximate resident bytes of the read path: property payload plus
+    /// any compiled read-optimized structures. Defaults to
+    /// [`GraphBackend::payload_bytes`]; backends with a separate compiled
+    /// representation (CSR segments, property columns) override it with the
+    /// real footprint so benchmarks can compare tiers like-for-like.
+    fn resident_bytes(&self) -> u64 {
+        self.payload_bytes()
+    }
 }
 
 // A boxed backend is itself a backend, so wrappers that need to own an
@@ -369,6 +400,18 @@ impl<B: GraphBackend + ?Sized> GraphBackend for Box<B> {
 
     fn backend_name(&self) -> &'static str {
         (**self).backend_name()
+    }
+
+    fn export_updates(&self) -> Option<Vec<GraphUpdate>> {
+        (**self).export_updates()
+    }
+
+    fn ensure_ready(&self) {
+        (**self).ensure_ready()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        (**self).resident_bytes()
     }
 }
 

@@ -12,7 +12,11 @@
 //!   working set exceeds the pool;
 //! * [`ShardedGraph`] — a hash-partitioned facade over N inner backends
 //!   (pluggable [`ShardRouter`], owner-side adjacency with remote stubs for
-//!   cross-shard edges), the substrate for parallel fan-out query execution.
+//!   cross-shard edges), the substrate for parallel fan-out query execution;
+//! * [`CsrGraph`] — the read-optimized serving tier: type-segmented CSR
+//!   adjacency (delta + varint compressed) and typed property columns,
+//!   compiled lazily or frozen from any replayable backend via
+//!   [`CsrGraph::freeze`].
 //!
 //! Both backends keep [`AccessStats`] counters (vertex reads, edge
 //! traversals, page reads/hits) so experiments can attribute latency
@@ -34,6 +38,7 @@
 
 pub mod backend;
 pub mod codec;
+pub mod csr;
 pub mod disk;
 pub mod memory;
 pub mod sharded;
@@ -43,6 +48,7 @@ pub use backend::{
     apply_updates, AccessStats, EdgeData, EdgeId, GraphBackend, GraphUpdate, StatsCounters,
     VertexData, VertexId,
 };
+pub use csr::{CsrBuildStats, CsrGraph};
 pub use disk::{DiskGraph, DiskGraphConfig, PAGE_SIZE};
 pub use memory::MemoryGraph;
 pub use sharded::{HashRouter, LabelRouter, ShardRouter, ShardedGraph, STUB_LABEL};
@@ -59,6 +65,7 @@ const _: () = {
     assert_send_sync::<MemoryGraph>();
     assert_send_sync::<DiskGraph>();
     assert_send_sync::<ShardedGraph>();
+    assert_send_sync::<CsrGraph>();
 };
 
 #[cfg(test)]
@@ -73,6 +80,7 @@ mod send_sync_tests {
         assert_impl::<MemoryGraph>();
         assert_impl::<DiskGraph>();
         assert_impl::<ShardedGraph>();
+        assert_impl::<CsrGraph>();
         // `Send + Sync` are supertraits now, so the bare trait object works.
         assert_impl::<Box<dyn GraphBackend>>();
     }

@@ -6,7 +6,7 @@
 //! and schemas.
 
 use crate::backend::{
-    AccessStats, EdgeData, EdgeId, GraphBackend, StatsCounters, VertexData, VertexId,
+    AccessStats, EdgeData, EdgeId, GraphBackend, GraphUpdate, StatsCounters, VertexData, VertexId,
 };
 use crate::value::PropertyMap;
 use std::collections::HashMap;
@@ -159,6 +159,25 @@ impl GraphBackend for MemoryGraph {
 
     fn backend_name(&self) -> &'static str {
         "memory"
+    }
+
+    fn export_updates(&self) -> Option<Vec<GraphUpdate>> {
+        // Vertices in id order, then edges in insertion order. Ids are dense
+        // and sequential, so replaying assigns the same ids; per-vertex
+        // adjacency lists append in global edge order, so filtering either
+        // sequence by vertex yields the same neighbour order as the original
+        // (interleaved) construction.
+        let mut updates = Vec::with_capacity(self.vertices.len() + self.edges.len());
+        for v in &self.vertices {
+            updates.push(GraphUpdate::AddVertex {
+                label: v.label.clone(),
+                properties: v.properties.clone(),
+            });
+        }
+        for e in &self.edges {
+            updates.push(GraphUpdate::AddEdge { label: e.label.clone(), src: e.src, dst: e.dst });
+        }
+        Some(updates)
     }
 }
 

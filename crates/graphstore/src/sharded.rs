@@ -324,6 +324,10 @@ impl GraphBackend for ShardedGraph {
     }
 
     fn out_degree(&self, vertex: VertexId, edge_label: &str) -> usize {
+        // Delegates straight to the owning shard's `out_degree` override —
+        // never the trait's charged materialise-and-count default — so
+        // fan-out estimation inherits the inner tier's cost (O(1) offset
+        // subtraction on a CSR shard) and charges nothing to the counters.
         let Some(placement) = self.placement(vertex) else { return 0 };
         self.shards[placement.shard as usize].out_degree(placement.local, edge_label)
     }
@@ -364,6 +368,23 @@ impl GraphBackend for ShardedGraph {
 
     fn backend_name(&self) -> &'static str {
         "sharded"
+    }
+
+    // `export_updates` stays at the default `None`: shards only see their
+    // local slice of the mutation stream, so the facade cannot reconstruct
+    // the *global* edge-insertion order that a replay (and therefore
+    // `CsrGraph::freeze`) requires. Wrap construction in a
+    // `JournaledGraph` to capture the global sequence instead.
+
+    fn ensure_ready(&self) {
+        for shard in &self.shards {
+            shard.ensure_ready();
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let directory = (self.directory.len() * std::mem::size_of::<Placement>()) as u64;
+        self.shards.iter().map(|s| s.resident_bytes()).sum::<u64>() + directory
     }
 }
 
@@ -511,6 +532,74 @@ mod tests {
             );
         }
         assert_eq!(sharded.out_degree(VertexId(99), "treat"), 0);
+    }
+
+    #[test]
+    fn out_degree_never_charges_through_the_wrapper_stack() {
+        // Fan-out estimation must stay free across the whole delegation
+        // chain: ShardedGraph → Box<dyn GraphBackend> → concrete override.
+        // Only the trait's *default* out_degree charges; every concrete
+        // backend (and this facade) must bypass it.
+        for inner in ["memory", "csr"] {
+            let make = |_: usize| -> Box<dyn GraphBackend> {
+                match inner {
+                    "memory" => Box::new(MemoryGraph::new()),
+                    _ => Box::new(crate::CsrGraph::new()),
+                }
+            };
+            let mut sharded =
+                ShardedGraph::with_router((0..3).map(make).collect(), Box::new(HashRouter));
+            let a = sharded.add_vertex("Drug", props([("name", "Aspirin".into())]));
+            let b = sharded.add_vertex("Indication", props([("desc", "Fever".into())]));
+            let c = sharded.add_vertex("Indication", props([("desc", "Rash".into())]));
+            sharded.add_edge("treat", a, b);
+            sharded.add_edge("treat", a, c);
+            sharded.ensure_ready();
+            sharded.reset_stats();
+            assert_eq!(sharded.out_degree(a, "treat"), 2, "{inner}");
+            assert_eq!(sharded.out_degree(b, "treat"), 0, "{inner}");
+            assert_eq!(
+                sharded.stats(),
+                AccessStats::default(),
+                "estimation over {inner} shards must not be charged"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_shards_answer_like_memory_shards() {
+        let make_csr = |_: usize| Box::new(crate::CsrGraph::new()) as Box<dyn GraphBackend>;
+        let mut csr_sharded =
+            ShardedGraph::with_router((0..3).map(make_csr).collect(), Box::new(HashRouter));
+        let (mono, mem_sharded) = pair(3);
+        {
+            let backend: &mut dyn GraphBackend = &mut csr_sharded;
+            let drug = backend.add_vertex("Drug", props([("name", "Aspirin".into())]));
+            let ind1 = backend.add_vertex("Indication", props([("desc", "Fever".into())]));
+            let ind2 = backend.add_vertex("Indication", props([("desc", "Headache".into())]));
+            let di = backend.add_vertex("DrugInteraction", props([("summary", "Delayed".into())]));
+            backend.add_edge("treat", drug, ind1);
+            backend.add_edge("treat", drug, ind2);
+            backend.add_edge("has", drug, di);
+        }
+        for v in 0..mono.vertex_count() as u64 {
+            let v = VertexId(v);
+            assert_eq!(csr_sharded.label_of(v), mem_sharded.label_of(v));
+            assert_eq!(csr_sharded.vertex(v), mem_sharded.vertex(v));
+            for elabel in ["treat", "has"] {
+                assert_eq!(
+                    csr_sharded.out_neighbours(v, elabel),
+                    mem_sharded.out_neighbours(v, elabel)
+                );
+                assert_eq!(
+                    csr_sharded.in_neighbours(v, elabel),
+                    mem_sharded.in_neighbours(v, elabel)
+                );
+            }
+        }
+        assert!(csr_sharded.resident_bytes() > 0);
+        // The facade cannot export a global update sequence.
+        assert!(csr_sharded.export_updates().is_none());
     }
 
     #[test]

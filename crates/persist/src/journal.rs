@@ -159,6 +159,21 @@ impl<B: GraphBackend> GraphBackend for JournaledGraph<B> {
     fn backend_name(&self) -> &'static str {
         "journaled"
     }
+
+    fn export_updates(&self) -> Option<Vec<GraphUpdate>> {
+        // The journal is by construction the complete, ordered update
+        // sequence — exporting works even when the inner backend (e.g. a
+        // sharded one) cannot reconstruct its own.
+        Some(self.journal.clone())
+    }
+
+    fn ensure_ready(&self) {
+        self.inner.ensure_ready()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.inner.resident_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +237,21 @@ mod tests {
         assert_eq!(g.labels(), vec!["Drug".to_string(), "Indication".to_string()]);
         assert!(g.stats().vertex_reads >= 2, "reads charge the inner backend's counters");
         assert_eq!(g.inner().backend_name(), "memory");
+    }
+
+    #[test]
+    fn export_updates_returns_the_journal_even_over_sharded_backends() {
+        let mut g = JournaledGraph::new(ShardedGraph::new_memory(3));
+        let d = g.add_vertex("Drug", props([("name", "Aspirin".into())]));
+        let i = g.add_vertex("Indication", props([("desc", "Fever".into())]));
+        g.add_edge("treat", d, i);
+        // The sharded inner backend cannot export, but the wrapper can.
+        assert!(g.inner().export_updates().is_none());
+        assert_eq!(g.export_updates().as_deref(), Some(g.journal()));
+        // Which is exactly what CsrGraph::freeze needs.
+        let frozen = pgso_graphstore::CsrGraph::freeze(&g);
+        assert_eq!(frozen.vertex_count(), 2);
+        assert_eq!(frozen.out_neighbours(d, "treat"), vec![i]);
     }
 
     #[test]

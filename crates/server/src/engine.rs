@@ -49,15 +49,14 @@
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::telemetry::ServerTelemetry;
+use crate::tier::{fresh_backend, StorageTier};
 use crate::tracker::{
     frequencies_from_bytes, frequencies_to_bytes, WorkloadSnapshot, WorkloadTracker,
 };
 use parking_lot::{Mutex, RwLock};
 use pgso_core::{reoptimize, OptimizerConfig, OptimizerInput};
 use pgso_datagen::{load_into, InstanceKg};
-use pgso_graphstore::{
-    apply_updates, AccessStats, GraphBackend, GraphUpdate, MemoryGraph, ShardedGraph,
-};
+use pgso_graphstore::{apply_updates, AccessStats, GraphBackend, GraphUpdate};
 use pgso_ontology::{AccessFrequencies, DataStatistics, Ontology};
 use pgso_persist::{
     latest_generation, prune_generations, snapshot_path, wal_path, write_snapshot, JournaledGraph,
@@ -94,13 +93,18 @@ pub struct ServerConfig {
     /// happens through [`KgServer::try_reoptimize`].
     pub auto_reoptimize: bool,
     /// Number of storage shards per epoch. `1` serves from a single
-    /// [`MemoryGraph`]; larger values hash-partition every epoch's instance
-    /// graph across that many in-memory shards
-    /// ([`pgso_graphstore::ShardedGraph`]), and the executor may fan root
-    /// expansion out across them (see [`ServerConfig::exec`]). Epoch swaps
-    /// rebuild the *sharded* graph off the read path, exactly like the
-    /// monolithic case.
+    /// backend of the configured [`ServerConfig::storage_tier`]; larger
+    /// values hash-partition every epoch's instance graph across that many
+    /// tier-layout shards ([`pgso_graphstore::ShardedGraph`]), and the
+    /// executor may fan root expansion out across them (see
+    /// [`ServerConfig::exec`]). Epoch swaps rebuild the *sharded* graph off
+    /// the read path, exactly like the monolithic case.
     pub shard_count: usize,
+    /// Physical storage layout every epoch (initial build, ingest
+    /// publications, re-optimization swaps, recovery) is built on. The CSR
+    /// tier compiles its read index at publication
+    /// ([`crate::tier::StorageTier::Csr`]), recorded as `csr.compile`.
+    pub storage_tier: StorageTier,
     /// Executor tuning (parallel fan-out gates) applied to every served
     /// statement.
     pub exec: ExecConfig,
@@ -133,6 +137,7 @@ impl Default for ServerConfig {
             plan_cache_capacity: 1024,
             auto_reoptimize: true,
             shard_count: 1,
+            storage_tier: StorageTier::Memory,
             exec: ExecConfig::default(),
             ingest: IngestConfig::default(),
             telemetry_enabled: true,
@@ -430,10 +435,12 @@ impl KgServer {
     ) -> io::Result<Self> {
         let input = OptimizerInput::new(&ontology, &statistics, &initial_frequencies);
         let schema = pgso_core::optimize_pgsg(input, &config.optimizer).chosen.schema;
-        let (graph, base_journal) = build_graph(&ontology, &schema, &instance, config.shard_count);
+        let (graph, base_journal) =
+            build_graph(&ontology, &schema, &instance, config.storage_tier, config.shard_count);
         let tracker = WorkloadTracker::new(&ontology);
         let telemetry =
             config.telemetry_enabled.then(|| Arc::new(ServerTelemetry::new(config.trace_capacity)));
+        compile_for_serving(graph.as_ref(), config.storage_tier, telemetry.as_ref());
         let persist = match persist {
             None => None,
             Some(cfg) => {
@@ -522,10 +529,11 @@ impl KgServer {
         })?;
         let telemetry =
             config.telemetry_enabled.then(|| Arc::new(ServerTelemetry::new(config.trace_capacity)));
-        let mut graph = fresh_backend(config.shard_count);
+        let mut graph = fresh_backend(config.storage_tier, config.shard_count);
         let full_journal = state.full_journal();
         let replay_started = Instant::now();
         apply_updates(&mut graph, &full_journal);
+        compile_for_serving(graph.as_ref(), config.storage_tier, telemetry.as_ref());
         if let Some(t) = &telemetry {
             let replay = replay_started.elapsed();
             t.recovery_replay.record_duration(replay);
@@ -703,6 +711,11 @@ impl KgServer {
         registry.gauge("epoch.number").set(epoch.number as f64);
         registry.gauge("epoch.schema_generation").set(epoch.schema_generation as f64);
         registry.gauge("epoch.shard_count").set(epoch.shard_count() as f64);
+        if self.config.storage_tier == StorageTier::Csr {
+            // Cheap on an already-published epoch: the CSR index was
+            // compiled at publication, so this only sums footprints.
+            registry.gauge("csr.resident_bytes").set(epoch.graph.resident_bytes() as f64);
+        }
         {
             let ing = self.ingest.lock();
             registry.gauge("ingest.pending").set(ing.pending.len() as f64);
@@ -1103,6 +1116,7 @@ impl KgServer {
                 &self.ontology,
                 &re.outcome.schema,
                 &self.instance,
+                self.config.storage_tier,
                 self.config.shard_count,
             );
             // Replay the ingested stream onto the new base. This swap also
@@ -1111,6 +1125,7 @@ impl KgServer {
             let pending = std::mem::take(&mut ing.pending);
             ing.ingested.extend(pending);
             apply_updates(&mut graph, &ing.ingested);
+            compile_for_serving(graph.as_ref(), self.config.storage_tier, self.telemetry.as_ref());
             ing.base_journal = base_journal;
             ing.last_publish = Instant::now();
             let next = Arc::new(Epoch {
@@ -1264,10 +1279,11 @@ impl KgServer {
     /// the plan-cache key — is untouched.
     fn publish_locked(&self, ing: &mut IngestState) {
         let current = self.current_epoch();
-        let mut graph = fresh_backend(self.config.shard_count);
+        let mut graph = fresh_backend(self.config.storage_tier, self.config.shard_count);
         apply_updates(&mut graph, &ing.base_journal);
         apply_updates(&mut graph, &ing.ingested);
         apply_updates(&mut graph, &ing.pending);
+        compile_for_serving(graph.as_ref(), self.config.storage_tier, self.telemetry.as_ref());
         let pending = std::mem::take(&mut ing.pending);
         let published = pending.len();
         ing.ingested.extend(pending);
@@ -1515,30 +1531,51 @@ fn params_hash(params: &Params) -> u64 {
     hash
 }
 
-/// An empty backend in the configured storage layout: a single
-/// [`MemoryGraph`] for `shard_count <= 1`, a hash-partitioned
-/// [`pgso_graphstore::ShardedGraph`] otherwise.
-fn fresh_backend(shard_count: usize) -> Box<dyn GraphBackend> {
-    if shard_count <= 1 {
-        Box::new(MemoryGraph::new())
-    } else {
-        Box::new(ShardedGraph::new_memory(shard_count))
-    }
-}
-
-/// Loads `instance` under `schema` into the configured storage layout,
-/// capturing the construction journal through a
-/// [`pgso_persist::JournaledGraph`] — the journal is what snapshots persist
-/// and what staging rebuilds replay.
+/// Loads `instance` under `schema` into the configured storage layout
+/// (see [`crate::tier::fresh_backend`]), capturing the construction journal
+/// through a [`pgso_persist::JournaledGraph`] — the journal is what
+/// snapshots persist and what staging rebuilds replay.
 fn build_graph(
     ontology: &Ontology,
     schema: &PropertyGraphSchema,
     instance: &InstanceKg,
+    tier: StorageTier,
     shard_count: usize,
 ) -> (Box<dyn GraphBackend>, Vec<GraphUpdate>) {
-    let mut journaled = JournaledGraph::new(fresh_backend(shard_count));
+    let mut journaled = JournaledGraph::new(fresh_backend(tier, shard_count));
     load_into(&mut journaled, ontology, schema, instance);
     journaled.into_parts()
+}
+
+/// Makes a freshly built epoch graph serve-ready off the read path: on the
+/// CSR tier this compiles the adjacency segments
+/// ([`GraphBackend::ensure_ready`]) and records the cost as `csr.compile` /
+/// `csr.compiles`, so the first query of the new epoch never pays it. A
+/// no-op on the other tiers.
+fn compile_for_serving(
+    graph: &dyn GraphBackend,
+    tier: StorageTier,
+    telemetry: Option<&Arc<ServerTelemetry>>,
+) {
+    if tier != StorageTier::Csr {
+        return;
+    }
+    let started = Instant::now();
+    graph.ensure_ready();
+    let took = started.elapsed();
+    if let Some(t) = telemetry {
+        t.csr_compile.record_duration(took);
+        t.csr_compiles.inc();
+        t.trace().emit_with_duration(
+            "csr.compile",
+            0,
+            took,
+            vec![
+                ("vertices", FieldValue::from(graph.vertex_count())),
+                ("edges", FieldValue::from(graph.edge_count())),
+            ],
+        );
+    }
 }
 
 impl std::fmt::Debug for KgServer {
@@ -1809,6 +1846,63 @@ mod tests {
     }
 
     #[test]
+    fn csr_and_disk_tier_servers_answer_identically_to_memory() {
+        let memory = mini_server(ServerConfig::default());
+        for tier in [StorageTier::Csr, StorageTier::Disk] {
+            for shard_count in [1usize, 4] {
+                let tiered = mini_server(ServerConfig {
+                    storage_tier: tier,
+                    shard_count,
+                    exec: pgso_query::ExecConfig::always_parallel(),
+                    ..ServerConfig::default()
+                });
+                let inner = if shard_count == 1 { tier.name() } else { "sharded" };
+                assert_eq!(tiered.current_epoch().graph().backend_name(), inner);
+                for text in [
+                    "MATCH (d:Drug) RETURN d.name ORDER BY d.name",
+                    "MATCH (d:Drug)-[:treat]->(i:Indication) WHERE i.desc CONTAINS 'instance' \
+                     RETURN d.name, i.desc ORDER BY i.desc DESC LIMIT 7",
+                    "MATCH (d:Drug) OPTIONAL MATCH (d)-[:treat]->(i:Indication) \
+                     RETURN DISTINCT d.name, i.desc",
+                ] {
+                    let a = memory.serve_text(text).unwrap();
+                    let b = tiered.serve_text(text).unwrap();
+                    assert_eq!(a.rows, b.rows, "tier={} shards={shard_count}", tier.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_tier_compiles_at_publication_and_reports_metrics() {
+        let server = mini_server(ServerConfig {
+            storage_tier: StorageTier::Csr,
+            auto_reoptimize: false,
+            ingest: IngestConfig { publish_batch: 1, publish_interval: Duration::from_secs(3600) },
+            ..ServerConfig::default()
+        });
+        // The initial build compiled once.
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("csr.compiles"), Some(1));
+        assert!(snap.histogram("csr.compile").is_some_and(|h| h.count == 1));
+        assert!(snap.gauge("csr.resident_bytes").is_some_and(|b| b > 0.0));
+        // An ingest publication targets CSR too and compiles again — off
+        // the read path, so queries immediately after never pay it.
+        server
+            .ingest(vec![GraphUpdate::AddVertex {
+                label: "Drug".into(),
+                properties: pgso_graphstore::props([("name", "Zynteglo".into())]),
+            }])
+            .unwrap();
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("csr.compiles"), Some(2));
+        let rows = server
+            .serve_text("MATCH (d:Drug) WHERE d.name CONTAINS 'Zynteglo' RETURN d.name")
+            .unwrap();
+        assert_eq!(rows.matches, 1);
+    }
+
+    #[test]
     fn run_workload_reports_per_shard_stats() {
         let server = mini_server(ServerConfig {
             shard_count: 4,
@@ -2038,6 +2132,83 @@ mod tests {
         assert_eq!(tracker.property_counts, pre_kill_tracker.property_counts);
         assert_eq!(recovered.current_epoch().schema_generation, 0);
         assert!(recovered.drift() > 0.0, "recovered counters drive drift immediately");
+    }
+
+    #[test]
+    fn csr_tier_recovery_matches_memory_tier_bit_for_bit() {
+        // The same WAL history recovered onto two storage tiers must yield
+        // the same epoch: identical replayable update sequences, identical
+        // rows. The tier changes the physical layout, never the contents.
+        let make = || {
+            let ontology = catalog::med_mini();
+            let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 7);
+            let instance = InstanceKg::generate(&ontology, &statistics, 0.5, 7);
+            let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+            (ontology, statistics, instance, frequencies)
+        };
+        let recovered_on = |tier: StorageTier| {
+            let dir = tempfile::tempdir().unwrap();
+            let cfg = ServerConfig {
+                auto_reoptimize: false,
+                storage_tier: tier,
+                ingest: IngestConfig {
+                    publish_batch: 3,
+                    publish_interval: Duration::from_secs(3600),
+                },
+                ..ServerConfig::default()
+            };
+            {
+                let (o, s, i, f) = make();
+                let server = KgServer::new_persistent(
+                    o,
+                    s,
+                    i,
+                    f,
+                    cfg,
+                    pgso_persist::PersistConfig::new_unsynced(dir.path()),
+                )
+                .unwrap();
+                // 3 updates publish via the batch threshold, 2 stay staged
+                // (WAL-only) when the server dies — recovery must replay
+                // both kinds.
+                server.ingest((0..3).map(new_drug).collect()).unwrap();
+                server.ingest((3..5).map(new_drug).collect()).unwrap();
+                // drop without checkpoint = kill
+            }
+            let (o, s, i, _) = make();
+            let server = KgServer::recover(
+                o,
+                s,
+                i,
+                cfg,
+                pgso_persist::PersistConfig::new_unsynced(dir.path()),
+            )
+            .unwrap();
+            (server, dir)
+        };
+
+        let (mem, _mem_dir) = recovered_on(StorageTier::Memory);
+        let (csr, _csr_dir) = recovered_on(StorageTier::Csr);
+        assert_eq!(mem.current_epoch().graph().backend_name(), "memory");
+        assert_eq!(csr.current_epoch().graph().backend_name(), "csr");
+        // Strongest equivalence first: both recovered epochs replay into
+        // the identical update sequence (ids, labels, properties, edge
+        // order — everything).
+        let mem_updates = mem.current_epoch().graph().export_updates();
+        let csr_updates = csr.current_epoch().graph().export_updates();
+        assert!(mem_updates.is_some() && mem_updates == csr_updates);
+        assert_eq!(mem.published_updates(), csr.published_updates());
+        assert_eq!(csr.pending_updates(), 0);
+        // And the serving surface agrees, lookups through aggregations.
+        for text in [
+            "MATCH (d:Drug) RETURN d.name ORDER BY d.name",
+            "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN i.desc",
+            "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN size(collect(i.desc))",
+        ] {
+            let expected = mem.serve_text(text).expect(text).rows;
+            assert_eq!(csr.serve_text(text).expect(text).rows, expected, "{text}");
+            assert!(!expected.is_empty(), "{text} must exercise real data");
+        }
     }
 
     #[test]

@@ -81,6 +81,7 @@
 pub mod cache;
 pub mod engine;
 pub mod telemetry;
+pub mod tier;
 pub mod tracker;
 
 pub use cache::{CacheStats, PlanCache};
@@ -89,6 +90,7 @@ pub use engine::{
     ReoptimizationEvent, ServerConfig, WorkloadRunReport,
 };
 pub use telemetry::ServerTelemetry;
+pub use tier::{StorageTier, TempDiskGraph};
 // The durability vocabulary callers need for `KgServer::ingest` /
 // `KgServer::recover`, and the binding vocabulary for
 // `KgServer::prepare_text` / `KgServer::execute`, re-exported so

@@ -24,6 +24,9 @@
 //! | `snapshot.bytes` | counter | snapshot bytes written |
 //! | `snapshot.rotations` | counter | WAL rotations |
 //! | `recovery.replay` | histogram | journal replay time on recover, ns |
+//! | `csr.compile` | histogram | CSR adjacency compilation time at epoch publication, ns |
+//! | `csr.compiles` | counter | CSR compilations performed (one per published epoch on the CSR tier) |
+//! | `csr.resident_bytes` | gauge | resident bytes of the served epoch's storage (CSR tier; refreshed at snapshot read) |
 //!
 //! Gauges (`plan_cache.*`, `server.served`, `epoch.number`, …) are mirrors
 //! of engine state, refreshed by [`crate::KgServer::metrics_snapshot`] at
@@ -97,6 +100,12 @@ pub struct ServerTelemetry {
     per_prepared: RwLock<HashMap<usize, Arc<Histogram>>>,
     /// Round-robin chooser for the detail series (see the module docs).
     detail_counter: AtomicU64,
+    // Epoch-publication instruments last: cold fields, kept off the cache
+    // lines the per-serve fields above share.
+    /// `csr.compile`.
+    pub csr_compile: Arc<Histogram>,
+    /// `csr.compiles`.
+    pub csr_compiles: Arc<Counter>,
 }
 
 impl ServerTelemetry {
@@ -131,6 +140,8 @@ impl ServerTelemetry {
             wal: WalTelemetry::register(&registry),
             per_prepared: RwLock::new(HashMap::new()),
             detail_counter: AtomicU64::new(0),
+            csr_compile: registry.histogram("csr.compile"),
+            csr_compiles: registry.counter("csr.compiles"),
             registry,
         }
     }

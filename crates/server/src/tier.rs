@@ -1,0 +1,216 @@
+//! Storage-tier selection: which physical graph layout the server builds
+//! its epochs on.
+//!
+//! Every epoch swap, recovery and staging rebuild goes through
+//! `fresh_backend`, so [`StorageTier`] is a one-field decision on
+//! [`crate::ServerConfig`] that changes the physical layout of *every*
+//! generation the server ever publishes — the serving machinery above it
+//! (plan cache, epoch swaps, ingest overlays, WAL) is layout-agnostic.
+
+use pgso_graphstore::{
+    AccessStats, CsrGraph, DiskGraph, DiskGraphConfig, EdgeId, GraphBackend, GraphUpdate,
+    HashRouter, MemoryGraph, PropertyMap, PropertyValue, ShardedGraph, VertexData, VertexId,
+};
+
+/// Physical storage layout of a serving epoch.
+///
+/// With [`crate::ServerConfig::shard_count`] > 1 the chosen tier becomes
+/// the *inner shard* backend of a [`ShardedGraph`]; at 1 it is the epoch's
+/// backend directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageTier {
+    /// [`MemoryGraph`]: adjacency lists + per-vertex property maps. The
+    /// write-friendly default — O(1) appends, no compile step.
+    #[default]
+    Memory,
+    /// [`DiskGraph`] in a temporary directory: paged vertex records behind
+    /// a buffer pool. Traversals cost page reads when the working set
+    /// exceeds the pool; the tier to pick when the instance outgrows RAM
+    /// (or to *measure* that cliff).
+    Disk,
+    /// [`CsrGraph`]: type-segmented delta/varint CSR adjacency + typed
+    /// property columns, compiled once per epoch publication
+    /// ([`GraphBackend::ensure_ready`]) so the read path is contiguous
+    /// scans. The read-optimized serving tier.
+    Csr,
+}
+
+impl StorageTier {
+    /// Stable lower-case name, used in benchmark cells and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageTier::Memory => "memory",
+            StorageTier::Disk => "disk",
+            StorageTier::Csr => "csr",
+        }
+    }
+}
+
+/// An empty backend in the configured layout: the tier's backend directly
+/// for `shard_count <= 1`, a hash-partitioned [`ShardedGraph`] over
+/// tier-layout shards otherwise.
+pub(crate) fn fresh_backend(tier: StorageTier, shard_count: usize) -> Box<dyn GraphBackend> {
+    let make = || -> Box<dyn GraphBackend> {
+        match tier {
+            StorageTier::Memory => Box::new(MemoryGraph::new()),
+            StorageTier::Disk => Box::new(TempDiskGraph::new()),
+            StorageTier::Csr => Box::new(CsrGraph::new()),
+        }
+    };
+    if shard_count <= 1 {
+        make()
+    } else {
+        Box::new(ShardedGraph::with_router(
+            (0..shard_count).map(|_| make()).collect(),
+            Box::new(HashRouter),
+        ))
+    }
+}
+
+/// A [`DiskGraph`] whose store file lives in an owned temporary directory —
+/// the serving layer's epochs are rebuilt from the journal on every swap
+/// and recovery, so the file needs no name and no lifetime beyond the
+/// epoch's.
+#[derive(Debug)]
+pub struct TempDiskGraph {
+    graph: DiskGraph,
+    /// Held for its `Drop`: removing the directory deletes the store file
+    /// when the epoch is retired.
+    _dir: tempfile::TempDir,
+}
+
+impl TempDiskGraph {
+    /// Creates an empty paged graph in a fresh temporary directory.
+    ///
+    /// # Panics
+    /// Panics when the temporary directory or store file cannot be created
+    /// — a disk-tier server cannot run without its store.
+    pub fn new() -> Self {
+        let dir = tempfile::tempdir().expect("create temp dir for disk-tier epoch");
+        let graph = DiskGraph::create(dir.path().join("epoch.pgso"), DiskGraphConfig::default())
+            .expect("create disk-tier store file");
+        TempDiskGraph { graph, _dir: dir }
+    }
+}
+
+impl Default for TempDiskGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBackend for TempDiskGraph {
+    fn add_vertex(&mut self, label: &str, properties: PropertyMap) -> VertexId {
+        self.graph.add_vertex(label, properties)
+    }
+
+    fn add_edge(&mut self, label: &str, src: VertexId, dst: VertexId) -> EdgeId {
+        self.graph.add_edge(label, src, dst)
+    }
+
+    fn vertex(&self, id: VertexId) -> Option<VertexData> {
+        self.graph.vertex(id)
+    }
+
+    fn label_of(&self, id: VertexId) -> Option<String> {
+        self.graph.label_of(id)
+    }
+
+    fn property_of(&self, id: VertexId, name: &str) -> Option<PropertyValue> {
+        self.graph.property_of(id, name)
+    }
+
+    fn vertices_with_label(&self, label: &str) -> Vec<VertexId> {
+        self.graph.vertices_with_label(label)
+    }
+
+    fn labels(&self) -> Vec<String> {
+        self.graph.labels()
+    }
+
+    fn out_neighbours(&self, vertex: VertexId, edge_label: &str) -> Vec<VertexId> {
+        self.graph.out_neighbours(vertex, edge_label)
+    }
+
+    fn in_neighbours(&self, vertex: VertexId, edge_label: &str) -> Vec<VertexId> {
+        self.graph.in_neighbours(vertex, edge_label)
+    }
+
+    fn out_degree(&self, vertex: VertexId, edge_label: &str) -> usize {
+        self.graph.out_degree(vertex, edge_label)
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.graph.payload_bytes()
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.graph.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.graph.reset_stats()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.graph.backend_name()
+    }
+
+    fn export_updates(&self) -> Option<Vec<GraphUpdate>> {
+        self.graph.export_updates()
+    }
+
+    fn ensure_ready(&self) {
+        self.graph.ensure_ready()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.graph.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgso_graphstore::props;
+
+    #[test]
+    fn tier_names_are_stable() {
+        assert_eq!(StorageTier::default(), StorageTier::Memory);
+        assert_eq!(StorageTier::Memory.name(), "memory");
+        assert_eq!(StorageTier::Disk.name(), "disk");
+        assert_eq!(StorageTier::Csr.name(), "csr");
+    }
+
+    #[test]
+    fn fresh_backend_honours_tier_and_shards() {
+        assert_eq!(fresh_backend(StorageTier::Memory, 1).backend_name(), "memory");
+        assert_eq!(fresh_backend(StorageTier::Csr, 1).backend_name(), "csr");
+        assert_eq!(fresh_backend(StorageTier::Disk, 1).backend_name(), "disk");
+        let sharded = fresh_backend(StorageTier::Csr, 3);
+        assert_eq!(sharded.backend_name(), "sharded");
+        assert_eq!(sharded.shard_count(), 3);
+    }
+
+    #[test]
+    fn temp_disk_graph_stores_and_cleans_up() {
+        let mut g = TempDiskGraph::new();
+        let store_dir = g._dir.path().to_path_buf();
+        let a = g.add_vertex("Drug", props([("name", "Aspirin".into())]));
+        let b = g.add_vertex("Indication", props([("desc", "Fever".into())]));
+        g.add_edge("treat", a, b);
+        assert_eq!(g.out_neighbours(a, "treat"), vec![b]);
+        assert_eq!(g.label_of(b).as_deref(), Some("Indication"));
+        assert!(store_dir.join("epoch.pgso").exists());
+        drop(g);
+        assert!(!store_dir.exists(), "retiring the epoch removes its store file");
+    }
+}

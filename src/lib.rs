@@ -10,7 +10,7 @@
 //! | [`ontology`] | `pgso-ontology` | ontology model, DSL, MED/FIN catalog, statistics, workload summaries |
 //! | [`pgschema`] | `pgso-pgschema` | property graph schema model, DDL emission, space estimation, diffs |
 //! | [`optimizer`] | `pgso-core` | relationship rules, OntologyPR, cost-benefit model, NSC / CC / RC / PGSG |
-//! | [`graphstore`] | `pgso-graphstore` | in-memory and disk-backed (paged, buffer pool) property graph storage |
+//! | [`graphstore`] | `pgso-graphstore` | in-memory, disk-backed (paged, buffer pool) and CSR read-optimized property graph storage |
 //! | [`query`] | `pgso-query` | pattern + statement AST (WHERE/OPTIONAL/ORDER BY/LIMIT, `$name` parameters, aggregation + GROUP BY), Cypher-like text parser, executor, DIR→OPT rewriter, plan fingerprints |
 //! | [`datagen`] | `pgso-datagen` | synthetic instance generation, schema-conforming loading, streaming update generation |
 //! | [`persist`] | `pgso-persist` | write-ahead log, epoch snapshots, crash recovery |
@@ -77,6 +77,35 @@
 //!   quick mode and gates on >20% q/s regressions. See
 //!   `examples/observed_kg.rs` for a live tour.
 //!
+//! ## Storage tiers
+//!
+//! Every serving epoch is built on one of three physical layouts, chosen
+//! by [`server::ServerConfig::storage_tier`] — the serving machinery
+//! above (plan cache, epoch swaps, ingest overlays, WAL recovery) is
+//! layout-agnostic, and with [`server::ServerConfig::shard_count`] > 1
+//! the chosen tier becomes the inner shard backend of a
+//! [`graphstore::ShardedGraph`]:
+//!
+//! * **Memory** ([`graphstore::MemoryGraph`]) — adjacency lists and
+//!   per-vertex property maps; the write-friendly default.
+//! * **Disk** ([`graphstore::DiskGraph`] in a temporary directory) —
+//!   paged vertex records behind a lock-striped buffer pool, for
+//!   instances that outgrow RAM.
+//! * **Csr** ([`graphstore::CsrGraph`]) — the read-optimized tier:
+//!   per-vertex-type CSR adjacency segments keyed by relationship type
+//!   (delta + varint-compressed neighbour ids, O(1) `out_degree`) and
+//!   typed columnar property storage with present-bitmaps. Compiled once
+//!   per epoch publication ([`graphstore::GraphBackend::ensure_ready`],
+//!   surfaced as `csr.*` metrics), so the query path only sees contiguous
+//!   scans. [`graphstore::CsrGraph::freeze`] compiles any replayable
+//!   backend (e.g. a [`persist::JournaledGraph`]-wrapped build) into an
+//!   immutable CSR with bit-identical query answers.
+//!
+//! The `server_throughput` bench's *scale ladder* records q/s and
+//! resident bytes per (scale × tier) cell into `BENCH_serving.json` at
+//! ≈10⁴…10⁶ vertices; see `examples/csr_kg.rs` for a freeze → serve →
+//! metrics tour.
+//!
 //! ## Networking
 //!
 //! [`net`] puts a TCP front-end on the serving engine, so real clients reach
@@ -122,8 +151,8 @@ pub mod prelude {
     };
     pub use pgso_datagen::{load_into, load_sharded, streaming_updates, InstanceKg};
     pub use pgso_graphstore::{
-        props, DiskGraph, DiskGraphConfig, GraphBackend, GraphUpdate, HashRouter, LabelRouter,
-        MemoryGraph, PropertyValue, ShardRouter, ShardedGraph,
+        props, CsrGraph, DiskGraph, DiskGraphConfig, GraphBackend, GraphUpdate, HashRouter,
+        LabelRouter, MemoryGraph, PropertyValue, ShardRouter, ShardedGraph,
     };
     pub use pgso_net::{KgClient, KgListener, NetConfig};
     pub use pgso_ontology::{
@@ -138,7 +167,7 @@ pub mod prelude {
         ExecConfig, Params, ParseError, Query, Statement, Term,
     };
     pub use pgso_server::{
-        IngestConfig, KgServer, PreparedStatement, ServerConfig, WorkloadTracker,
+        IngestConfig, KgServer, PreparedStatement, ServerConfig, StorageTier, WorkloadTracker,
     };
     pub use pgso_telemetry::{MetricsRegistry, MetricsSnapshot, TraceEvent};
 }
