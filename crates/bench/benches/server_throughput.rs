@@ -67,6 +67,12 @@
 //! depth 16, or any ladder cell measured this run drops more than 20%
 //! below that baseline. Telemetry overhead is asserted `< 5%` in full
 //! (non `--test`) runs.
+//!
+//! Beside the baseline, the durable telemetry run also dumps two plain-text
+//! observability artifacts for CI upload: `BENCH_exposition.txt` (the full
+//! Prometheus-style exposition of that server) and `BENCH_trace.txt` (its
+//! trace ring, including one explicitly trace-stamped prepare + serve so
+//! the dump carries a complete engine → executor → WAL span chain).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgso_datagen::{load_into, streaming_updates, InstanceKg, ScaleLadder, UpdateStreamConfig};
@@ -77,7 +83,7 @@ use pgso_query::{Aggregate, Params, Query, Statement};
 use pgso_server::{
     IngestConfig, KgServer, PersistConfig, PreparedStatement, ServerConfig, StorageTier,
 };
-use pgso_telemetry::Json;
+use pgso_telemetry::{set_current_trace, Json};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -494,9 +500,35 @@ fn telemetry_profile(pattern: &[Statement], quick: bool) -> Json {
             "plan_cache_hit_ratio",
             snapshot.gauge("plan_cache.hit_ratio").expect("mirrored gauge"),
         );
+
+    // The CI observability artifacts, dumped from this same server. One
+    // prepare + serve runs under an explicit trace id so the trace dump
+    // carries a complete engine → executor → WAL span chain.
+    {
+        let _guard = set_current_trace(ARTIFACT_TRACE_ID, 0);
+        let _ = server
+            .prepare_text("MATCH (d:Drug) WHERE d.name CONTAINS $probe RETURN d.name LIMIT $n");
+        let _ = server.serve_statement(&pattern[0]);
+    }
+    write_artifact("BENCH_exposition.txt", &server.metrics_text());
+    let trace_dump: String =
+        server.trace_events().iter().map(|event| format!("{event}\n")).collect();
+    write_artifact("BENCH_trace.txt", &trace_dump);
+
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
     profile
+}
+
+/// The trace id stamped on the artifact-dump request chain, recognizable in
+/// `BENCH_trace.txt`.
+const ARTIFACT_TRACE_ID: u64 = 0xB6C4;
+
+/// Writes one observability artifact beside the recorded baseline.
+fn write_artifact(name: &str, contents: &str) {
+    let path = baseline_path().with_file_name(name);
+    std::fs::write(&path, contents).expect("artifact file writes");
+    println!("server_throughput/artifact written to {}", path.display());
 }
 
 /// Telemetry on vs off on the same workload: the instrumented hot path must

@@ -62,5 +62,5 @@ pub use relation_centric::{
     optimize_relation_centric, optimize_relation_centric_with, SelectionStrategy,
 };
 pub use reopt::{reoptimize, Reoptimization};
-pub use rules::{enumerate_items, RuleItem};
+pub use rules::{enumerate_items, RuleItem, RuleKind};
 pub use sgraph::SchemaGraph;

@@ -21,6 +21,44 @@ use pgso_ontology::{Ontology, PropertyId, RelationshipId, RelationshipKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// The paper's relationship-rule families, independent of the concrete
+/// relationship a [`RuleItem`] applies one to.
+///
+/// Plan attribution (EXPLAIN/PROFILE) reports rules by kind, and
+/// [`RuleKind::name`] is the canonical spelling shared with the query
+/// rewriter's `AppliedRule.rule` strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// The union rule (fold `unionOf` members into the union concept).
+    Union,
+    /// The inheritance rule (fold a subclass into its superclass or
+    /// vice versa, outside the keep-the-edge band).
+    Inheritance,
+    /// The 1:1 merge rule.
+    OneToOne,
+    /// Property propagation across one direction of a 1:M / M:N
+    /// relationship (a LIST replica).
+    OneToMany,
+}
+
+impl RuleKind {
+    /// Canonical short name, as reported in plans and reoptimization diffs.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleKind::Union => "union",
+            RuleKind::Inheritance => "inheritance",
+            RuleKind::OneToOne => "one-to-one",
+            RuleKind::OneToMany => "one-to-many",
+        }
+    }
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One selectable unit of schema optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RuleItem {
@@ -57,14 +95,19 @@ impl RuleItem {
         }
     }
 
+    /// The rule family this item applies.
+    pub fn kind(&self) -> RuleKind {
+        match self {
+            RuleItem::Union(_) => RuleKind::Union,
+            RuleItem::Inheritance(_) => RuleKind::Inheritance,
+            RuleItem::OneToOne(_) => RuleKind::OneToOne,
+            RuleItem::PropagateProperty { .. } => RuleKind::OneToMany,
+        }
+    }
+
     /// Short rule name for reporting.
     pub fn rule_name(&self) -> &'static str {
-        match self {
-            RuleItem::Union(_) => "union",
-            RuleItem::Inheritance(_) => "inheritance",
-            RuleItem::OneToOne(_) => "one-to-one",
-            RuleItem::PropagateProperty { .. } => "one-to-many",
-        }
+        self.kind().name()
     }
 }
 

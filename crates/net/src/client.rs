@@ -7,15 +7,50 @@
 //! responses, which arrive strictly in request order. The convenience
 //! methods ([`KgClient::execute`], [`KgClient::run`]) are one send + one
 //! receive.
+//!
+//! On a revision-2 session every PREPARE/EXECUTE/RUN is stamped with a
+//! fresh wire trace id ([`KgClient::last_trace_id`]) that the server
+//! propagates through engine, query stages and WAL into its trace ring, and
+//! the `observe_*` methods scrape the server's metrics / trace / health
+//! surfaces remotely.
 
 use crate::frame::{write_frame, FrameReader, MAX_FRAME_LEN};
 use crate::proto::{
-    decode_response, encode_request, ErrorCode, Request, Response, PROTOCOL_VERSION,
+    decode_response, encode_request, ErrorCode, ObserveReply, ObserveRequest, Request, Response,
+    TraceContext, WireTraceEvent, PROTOCOL_VERSION,
 };
 use pgso_query::{ParamSignature, Params, Row};
+use pgso_server::HealthSummary;
+use pgso_telemetry::MetricsSnapshot;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Process-wide trace-id source: a time-seeded counter pushed through a
+/// splitmix64 finalizer, so ids from concurrent clients (and across client
+/// processes started at different times) don't collide in a shared server
+/// trace ring. Uniqueness is best-effort — trace ids are correlation keys,
+/// not capabilities.
+fn next_trace_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0x9e37)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 0 means "untraced" on the wire; remap the one forbidden value.
+    if z == 0 {
+        z = 1;
+    }
+    z
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -102,6 +137,8 @@ pub struct KgClient {
     stream: TcpStream,
     reader: FrameReader,
     next_handle: u32,
+    negotiated: u16,
+    last_trace_id: u64,
 }
 
 impl KgClient {
@@ -109,20 +146,54 @@ impl KgClient {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        let mut client = Self { stream, reader: FrameReader::new(MAX_FRAME_LEN), next_handle: 0 };
+        let mut client = Self {
+            stream,
+            reader: FrameReader::new(MAX_FRAME_LEN),
+            next_handle: 0,
+            negotiated: PROTOCOL_VERSION,
+            last_trace_id: 0,
+        };
         client.send(&Request::Hello { version: PROTOCOL_VERSION })?;
         match client.recv_response()? {
-            Response::HelloOk { .. } => Ok(client),
+            Response::HelloOk { version } => {
+                client.negotiated = version;
+                Ok(client)
+            }
             Response::Error { code, message } => Err(NetError::Remote { code, message }),
             other => Err(NetError::Protocol(format!("expected HELLO_OK, got {other:?}"))),
         }
+    }
+
+    /// The protocol revision the handshake settled on.
+    pub fn negotiated_version(&self) -> u16 {
+        self.negotiated
+    }
+
+    /// The trace id stamped on the most recent PREPARE/EXECUTE/RUN, `0`
+    /// before the first request (or on a revision-1 session, which has no
+    /// trace trailer). Feed it to [`KgClient::observe_trace`] to pull that
+    /// request's server-side spans.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
+    /// Stamps (and remembers) a fresh trace context when the session speaks
+    /// revision ≥ 2.
+    fn stamp_trace(&mut self) -> Option<TraceContext> {
+        if self.negotiated < 2 {
+            return None;
+        }
+        let trace_id = next_trace_id();
+        self.last_trace_id = trace_id;
+        Some(TraceContext { trace_id, parent_span: 0 })
     }
 
     /// Prepares `text` under a fresh handle and waits for the signature.
     pub fn prepare(&mut self, text: &str) -> Result<NetPrepared, NetError> {
         let handle = self.next_handle;
         self.next_handle += 1;
-        self.send(&Request::Prepare { handle, text: text.to_string() })?;
+        let trace = self.stamp_trace();
+        self.send(&Request::Prepare { handle, text: text.to_string(), trace })?;
         match self.recv_response()? {
             Response::Prepared { handle: echoed, signature } if echoed == handle => {
                 Ok(NetPrepared { handle, signature })
@@ -143,14 +214,68 @@ impl KgClient {
 
     /// One RUN round trip for a parameterless statement text.
     pub fn run(&mut self, text: &str) -> Result<NetResult, NetError> {
-        self.send(&Request::Run { text: text.to_string() })?;
+        let trace = self.stamp_trace();
+        self.send(&Request::Run { text: text.to_string(), trace })?;
         self.recv_result()
     }
 
     /// Queues an EXECUTE without waiting (pipelining). Pair each call with
     /// one later [`KgClient::recv_result`]; responses arrive in send order.
     pub fn send_execute(&mut self, stmt: &NetPrepared, params: &Params) -> Result<(), NetError> {
-        self.send(&Request::Execute { handle: stmt.handle, params: params.clone() })
+        let trace = self.stamp_trace();
+        self.send(&Request::Execute { handle: stmt.handle, params: params.clone(), trace })
+    }
+
+    /// Scrapes the server's Prometheus-style text exposition
+    /// ([`pgso_server::KgServer::metrics_text`] over the wire).
+    pub fn observe_metrics_text(&mut self) -> Result<String, NetError> {
+        match self.observe(ObserveRequest::MetricsText)? {
+            ObserveReply::MetricsText(text) => Ok(text),
+            other => Err(NetError::Protocol(format!("expected MetricsText, got {other:?}"))),
+        }
+    }
+
+    /// Scrapes and decodes the binary metrics snapshot.
+    pub fn observe_metrics_snapshot(&mut self) -> Result<MetricsSnapshot, NetError> {
+        match self.observe(ObserveRequest::MetricsSnapshot)? {
+            ObserveReply::MetricsSnapshot(bytes) => MetricsSnapshot::from_bytes(&bytes)
+                .map_err(|e| NetError::Protocol(format!("snapshot decode: {e}"))),
+            other => Err(NetError::Protocol(format!("expected MetricsSnapshot, got {other:?}"))),
+        }
+    }
+
+    /// Drains the server's trace ring; `trace_id != 0` keeps only that
+    /// trace's spans (use [`KgClient::last_trace_id`] for the previous
+    /// request's).
+    pub fn observe_trace(&mut self, trace_id: u64) -> Result<Vec<WireTraceEvent>, NetError> {
+        match self.observe(ObserveRequest::Trace { trace_id })? {
+            ObserveReply::Trace(events) => Ok(events),
+            other => Err(NetError::Protocol(format!("expected Trace, got {other:?}"))),
+        }
+    }
+
+    /// Scrapes the engine's liveness summary with rolling request/error
+    /// rates.
+    pub fn observe_health(&mut self) -> Result<HealthSummary, NetError> {
+        match self.observe(ObserveRequest::Health)? {
+            ObserveReply::Health(health) => Ok(health),
+            other => Err(NetError::Protocol(format!("expected Health, got {other:?}"))),
+        }
+    }
+
+    fn observe(&mut self, observe: ObserveRequest) -> Result<ObserveReply, NetError> {
+        if self.negotiated < 2 {
+            return Err(NetError::Protocol(format!(
+                "OBSERVE needs protocol revision 2, session negotiated {}",
+                self.negotiated
+            )));
+        }
+        self.send(&Request::Observe(observe))?;
+        match self.recv_response()? {
+            Response::Observe(reply) => Ok(reply),
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::Protocol(format!("expected OBSERVE_OK, got {other:?}"))),
+        }
     }
 
     /// Collects one result stream (ROWS chunks until SUMMARY), or the ERROR

@@ -35,5 +35,8 @@ pub mod telemetry;
 pub use client::{KgClient, NetError, NetPrepared, NetResult};
 pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
 pub use listener::{ConnectionReport, KgListener, NetConfig, NetRunReport, ShutdownReport};
-pub use proto::{ErrorCode, ProtoViolation, Request, Response, PROTOCOL_MAGIC, PROTOCOL_VERSION};
+pub use proto::{
+    ErrorCode, ObserveReply, ObserveRequest, ProtoViolation, Request, Response, TraceContext,
+    WireTraceEvent, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
 pub use telemetry::NetTelemetry;

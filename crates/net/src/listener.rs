@@ -26,10 +26,13 @@
 //! responses are released strictly in request order through a per-connection
 //! reorder buffer, however the pool interleaves the executions.
 //!
-//! **Request routing.** HELLO, PREPARE and GOODBYE are handled inline on the
-//! loop thread — PREPARE deliberately so: the handle map is updated in
-//! receive order, which makes `PREPARE h1; EXECUTE h1` correct in one
-//! pipelined burst without a round trip. EXECUTE and RUN go to the pool.
+//! **Request routing.** HELLO, PREPARE, OBSERVE and GOODBYE are handled
+//! inline on the loop thread — PREPARE deliberately so: the handle map is
+//! updated in receive order, which makes `PREPARE h1; EXECUTE h1` correct in
+//! one pipelined burst without a round trip. EXECUTE and RUN go to the pool.
+//! Requests carrying a wire trace context run under
+//! [`pgso_telemetry::set_current_trace`], so engine/query/WAL spans land in
+//! the trace ring under the client's id.
 //!
 //! **Hardening.** Every decode failure maps to a typed ERROR frame. Payload
 //! violations (bad opcode, malformed message) keep the connection alive —
@@ -40,11 +43,13 @@
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::proto::{
-    decode_request, encode_response, ErrorCode, Request, Response, PROTOCOL_VERSION,
+    decode_request, encode_response, ErrorCode, ObserveReply, ObserveRequest, Request, Response,
+    WireTraceEvent, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::telemetry::NetTelemetry;
 use parking_lot::{Mutex as PlMutex, RwLock};
 use pgso_server::{KgServer, PreparedStatement};
+use pgso_telemetry::set_current_trace;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -274,7 +279,7 @@ impl Inner {
     fn count_error(&self, conn: &ConnShared) {
         conn.stats.errors.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = &self.telemetry {
-            t.errors.inc();
+            t.record_error();
         }
     }
 }
@@ -681,14 +686,13 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
     };
     match (conn.state, request) {
         (ConnState::AwaitingHello, Request::Hello { version }) => {
-            if version == PROTOCOL_VERSION {
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+                // Negotiate down to the client's revision: echoing it back
+                // promises the server will never use newer-revision frames
+                // on this connection (nothing server-initiated exists yet,
+                // so accepting an old client is free).
                 conn.state = ConnState::Ready;
-                finish(
-                    inner,
-                    &conn.shared,
-                    seq,
-                    response_bytes(&Response::HelloOk { version: PROTOCOL_VERSION }),
-                );
+                finish(inner, &conn.shared, seq, response_bytes(&Response::HelloOk { version }));
             } else {
                 inner.count_error(&conn.shared);
                 finish(
@@ -697,7 +701,10 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
                     seq,
                     error_bytes(
                         ErrorCode::BadHandshake,
-                        &format!("unsupported version {version} (serving {PROTOCOL_VERSION})"),
+                        &format!(
+                            "unsupported version {version} \
+                             (serving {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                        ),
                     ),
                 );
                 conn.state = ConnState::Draining;
@@ -723,11 +730,14 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
             );
             conn.state = ConnState::Draining;
         }
-        (ConnState::Ready, Request::Prepare { handle, text }) => {
+        (ConnState::Ready, Request::Prepare { handle, text, trace }) => {
             // Inline on the loop thread so the handle map is updated in
             // receive order: `PREPARE h; EXECUTE h` works in one burst.
             // Texts dedup across connections — the engine (and its WAL)
-            // sees each distinct statement once.
+            // sees each distinct statement once. A wire trace context is
+            // installed for the engine call so the WAL group-commit span
+            // lands under the client's trace id.
+            let _trace_guard = trace.map(|ctx| set_current_trace(ctx.trace_id, ctx.parent_span));
             let existing = inner.prepared_by_text.lock().get(&text).cloned();
             let outcome = match existing {
                 Some(ps) => Ok(ps),
@@ -756,6 +766,16 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
                     );
                 }
             }
+            if let (Some(t), Some(ctx), Some(received)) = (&inner.telemetry, trace, received) {
+                t.record_traced_request(ctx.trace_id, conn.shared.id, seq, received.elapsed());
+            }
+        }
+        (ConnState::Ready, Request::Observe(observe)) => {
+            // Scrapes are cheap reads over already-aggregated state, so they
+            // run inline on the loop thread like PREPARE — no pool detour,
+            // and a scrape can never be reordered behind the queries it is
+            // trying to observe on the same connection.
+            finish(inner, &conn.shared, seq, response_bytes(&observe_response(inner, observe)));
         }
         (ConnState::Ready, Request::Goodbye) => {
             finish(inner, &conn.shared, seq, response_bytes(&Response::GoodbyeOk));
@@ -778,11 +798,39 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
     }
 }
 
+/// Builds the OBSERVE_OK for one scrape. Every mode reads state the engine
+/// aggregates anyway; none of them perturbs the serving counters.
+fn observe_response(inner: &Inner, observe: ObserveRequest) -> Response {
+    let reply = match observe {
+        ObserveRequest::MetricsText => ObserveReply::MetricsText(inner.server.metrics_text()),
+        ObserveRequest::MetricsSnapshot => {
+            ObserveReply::MetricsSnapshot(inner.server.metrics_snapshot().to_bytes())
+        }
+        ObserveRequest::Trace { trace_id } => ObserveReply::Trace(
+            inner
+                .server
+                .trace_events()
+                .iter()
+                .filter(|event| trace_id == 0 || event.span_id == trace_id)
+                .map(WireTraceEvent::from)
+                .collect(),
+        ),
+        ObserveRequest::Health => ObserveReply::Health(inner.server.health_summary()),
+    };
+    Response::Observe(reply)
+}
+
 // ---- worker pool --------------------------------------------------------
 
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.pop() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(inner, &job)));
+        let trace = job.request.trace();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The guard lives for the engine call only: spans emitted by
+            // the engine, query stages and WAL inherit the wire trace id.
+            let _trace_guard = trace.map(|ctx| set_current_trace(ctx.trace_id, ctx.parent_span));
+            execute_job(inner, &job)
+        }));
         let (bytes, is_error) = outcome.unwrap_or_else(|_| {
             (error_bytes(ErrorCode::Internal, "request panicked server-side"), true)
         });
@@ -793,6 +841,9 @@ fn worker_loop(inner: &Inner) {
         }
         if let (Some(t), Some(received)) = (&inner.telemetry, job.received) {
             t.record_request(job.conn.id, job.seq, job.op, received.elapsed());
+            if let Some(ctx) = trace {
+                t.record_traced_request(ctx.trace_id, job.conn.id, job.seq, received.elapsed());
+            }
         }
         finish(inner, &job.conn, job.seq, bytes);
     }
@@ -802,7 +853,7 @@ fn worker_loop(inner: &Inner) {
 /// stream (ROWS* SUMMARY, or one ERROR). Returns `(frame bytes, is_error)`.
 fn execute_job(inner: &Inner, job: &Job) -> (Vec<u8>, bool) {
     match &job.request {
-        Request::Execute { handle, params } => {
+        Request::Execute { handle, params, .. } => {
             let prepared = job.conn.prepared.read().get(handle).cloned();
             let Some(prepared) = prepared else {
                 return (
@@ -818,7 +869,7 @@ fn execute_job(inner: &Inner, job: &Job) -> (Vec<u8>, bool) {
                 Err(bind) => (error_bytes(ErrorCode::Bind, &bind.to_string()), true),
             }
         }
-        Request::Run { text } => match inner.server.serve_text(text) {
+        Request::Run { text, .. } => match inner.server.serve_text(text) {
             Ok(result) => (result_bytes(inner, result.rows, result.matches as u64), false),
             Err(parse) => (error_bytes(ErrorCode::Parse, &parse.to_string()), true),
         },

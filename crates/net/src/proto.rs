@@ -13,14 +13,23 @@
 use bytes::{BufMut, BytesMut};
 use pgso_graphstore::codec::{encode_value, try_decode_value};
 use pgso_query::{ParamKind, ParamSignature, ParamSpec, Params, Row};
+use pgso_server::HealthSummary;
+use pgso_telemetry::{FieldValue, TraceEvent, WindowRates};
+use std::time::Duration;
 
 /// `"PGSO"` in big-endian byte order: the first four payload bytes of every
 /// HELLO.
 pub const PROTOCOL_MAGIC: u32 = 0x5047_534F;
 
-/// Protocol revision this build speaks. The handshake is an exact match —
-/// there is only one revision so far.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol revision this build speaks. Revision 2 adds the optional
+/// [`TraceContext`] trailer on PREPARE/EXECUTE/RUN and the OBSERVE scrape
+/// opcode; the payload codecs are otherwise unchanged from revision 1.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest revision the server still accepts. A revision-1 HELLO negotiates
+/// a revision-1 session: the server never sends OBSERVE_OK unprompted and a
+/// v1 client never appends trace trailers, so both sides interoperate.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Frame opcodes. Client→server opcodes occupy the low range, server→client
 /// responses are the same ideas with the high bit set.
@@ -35,6 +44,8 @@ pub mod opcode {
     pub const RUN: u8 = 0x04;
     /// Orderly goodbye; the server drains and closes after replying.
     pub const GOODBYE: u8 = 0x05;
+    /// Scrape the server's observability surfaces (metrics, traces, health).
+    pub const OBSERVE: u8 = 0x06;
     /// Handshake accepted.
     pub const HELLO_OK: u8 = 0x81;
     /// PREPARE succeeded; carries the statement's typed signature.
@@ -47,6 +58,8 @@ pub mod opcode {
     pub const ERROR: u8 = 0x85;
     /// GOODBYE acknowledged; the connection closes after this frame.
     pub const GOODBYE_OK: u8 = 0x86;
+    /// OBSERVE answered; carries the requested observability payload.
+    pub const OBSERVE_OK: u8 = 0x87;
 }
 
 /// Typed wire error codes (the `u16` in an ERROR frame).
@@ -113,6 +126,92 @@ impl ProtoViolation {
     }
 }
 
+/// Request-scoped tracing identifiers a client stamps into
+/// PREPARE/EXECUTE/RUN frames (protocol revision ≥ 2). The server installs
+/// them as the handling thread's [`pgso_telemetry::set_current_trace`]
+/// context, so every span the request touches — socket, engine, query
+/// stages, WAL group commit — lands in the trace ring under this id.
+///
+/// On the wire the context is an optional 16-byte trailer after the request
+/// body: absent (revision-1 clients) means untraced. A non-empty,
+/// non-16-byte remainder is malformed like any other trailing bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-chosen trace id; `0` means untraced (same as no trailer).
+    pub trace_id: u64,
+    /// Client-side parent span, `0` for a root request.
+    pub parent_span: u64,
+}
+
+/// What an OBSERVE request asks the server to scrape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserveRequest {
+    /// Prometheus-style text exposition
+    /// ([`pgso_server::KgServer::metrics_text`]).
+    MetricsText,
+    /// The binary [`pgso_telemetry::MetricsSnapshot`] blob.
+    MetricsSnapshot,
+    /// Drain the trace ring; `trace_id != 0` keeps only that trace's spans.
+    Trace {
+        /// Trace-id filter; `0` returns every retained event.
+        trace_id: u64,
+    },
+    /// The engine's [`HealthSummary`] with rolling request/error rates.
+    Health,
+}
+
+/// An owned mirror of [`pgso_telemetry::TraceEvent`] for the wire: event
+/// names and field keys are `&'static str` in-process, so a decoded copy
+/// owns its strings instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTraceEvent {
+    /// Emission order in the server's ring.
+    pub seq: u64,
+    /// Time since the server's trace ring was created.
+    pub at: Duration,
+    /// Span id (the trace id for request-scoped spans); `0` for span-less
+    /// events.
+    pub span_id: u64,
+    /// Event name, e.g. `"server.serve"` or `"wal.group_commit"`.
+    pub name: String,
+    /// Wall time covered, for span-closing events.
+    pub duration: Option<Duration>,
+    /// Structured payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl From<&TraceEvent> for WireTraceEvent {
+    fn from(event: &TraceEvent) -> Self {
+        Self {
+            seq: event.seq,
+            at: event.at,
+            span_id: event.span_id,
+            name: event.name.to_string(),
+            duration: event.duration,
+            fields: event
+                .fields
+                .iter()
+                .map(|(key, value)| (key.to_string(), value.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// The payload of an OBSERVE_OK, mirroring the [`ObserveRequest`] modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObserveReply {
+    /// Text exposition bytes.
+    MetricsText(String),
+    /// Raw [`pgso_telemetry::MetricsSnapshot::to_bytes`] blob, passed
+    /// through opaquely so snapshot versioning stays the snapshot codec's
+    /// concern.
+    MetricsSnapshot(Vec<u8>),
+    /// Retained trace events, oldest first, post-filter.
+    Trace(Vec<WireTraceEvent>),
+    /// Engine liveness summary.
+    Health(HealthSummary),
+}
+
 /// One client→server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -128,6 +227,8 @@ pub enum Request {
         handle: u32,
         /// Statement text, `$name` parameters included.
         text: String,
+        /// Request tracing context (revision ≥ 2).
+        trace: Option<TraceContext>,
     },
     /// Execute a prepared handle with named bindings.
     Execute {
@@ -135,14 +236,32 @@ pub enum Request {
         handle: u32,
         /// Named parameter values.
         params: Params,
+        /// Request tracing context (revision ≥ 2).
+        trace: Option<TraceContext>,
     },
     /// Parse and serve a parameterless statement text.
     Run {
         /// Statement text.
         text: String,
+        /// Request tracing context (revision ≥ 2).
+        trace: Option<TraceContext>,
     },
+    /// Scrape an observability surface (revision ≥ 2).
+    Observe(ObserveRequest),
     /// Orderly close.
     Goodbye,
+}
+
+impl Request {
+    /// The tracing context stamped on this request, if any.
+    pub fn trace(&self) -> Option<TraceContext> {
+        match self {
+            Request::Prepare { trace, .. }
+            | Request::Execute { trace, .. }
+            | Request::Run { trace, .. } => *trace,
+            _ => None,
+        }
+    }
 }
 
 /// One server→client message.
@@ -179,6 +298,8 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// OBSERVE answered.
+    Observe(ObserveReply),
     /// GOODBYE acknowledged.
     GoodbyeOk,
 }
@@ -192,19 +313,34 @@ pub fn encode_request(request: &Request) -> (u8, Vec<u8>) {
             put_u16(&mut buf, *version);
             opcode::HELLO
         }
-        Request::Prepare { handle, text } => {
+        Request::Prepare { handle, text, trace } => {
             put_u32(&mut buf, *handle);
             put_str32(&mut buf, text);
+            put_trace(&mut buf, trace);
             opcode::PREPARE
         }
-        Request::Execute { handle, params } => {
+        Request::Execute { handle, params, trace } => {
             put_u32(&mut buf, *handle);
             put_params(&mut buf, params);
+            put_trace(&mut buf, trace);
             opcode::EXECUTE
         }
-        Request::Run { text } => {
+        Request::Run { text, trace } => {
             put_str32(&mut buf, text);
+            put_trace(&mut buf, trace);
             opcode::RUN
+        }
+        Request::Observe(observe) => {
+            match observe {
+                ObserveRequest::MetricsText => buf.put_slice(&[0]),
+                ObserveRequest::MetricsSnapshot => buf.put_slice(&[1]),
+                ObserveRequest::Trace { trace_id } => {
+                    buf.put_slice(&[2]);
+                    put_u64(&mut buf, *trace_id);
+                }
+                ObserveRequest::Health => buf.put_slice(&[3]),
+            }
+            opcode::OBSERVE
         }
         Request::Goodbye => opcode::GOODBYE,
     };
@@ -231,17 +367,28 @@ pub fn decode_request(op: u8, mut payload: &[u8]) -> Result<Request, ProtoViolat
             let err = || ProtoViolation::malformed("PREPARE");
             let handle = take_u32(data).ok_or_else(err)?;
             let text = take_str32(data).ok_or_else(err)?;
-            Request::Prepare { handle, text }
+            Request::Prepare { handle, text, trace: take_trace(data) }
         }
         opcode::EXECUTE => {
             let err = || ProtoViolation::malformed("EXECUTE");
             let handle = take_u32(data).ok_or_else(err)?;
             let params = take_params(data).ok_or_else(err)?;
-            Request::Execute { handle, params }
+            Request::Execute { handle, params, trace: take_trace(data) }
         }
         opcode::RUN => {
             let text = take_str32(data).ok_or_else(|| ProtoViolation::malformed("RUN"))?;
-            Request::Run { text }
+            Request::Run { text, trace: take_trace(data) }
+        }
+        opcode::OBSERVE => {
+            let err = || ProtoViolation::malformed("OBSERVE");
+            let observe = match take_u8(data).ok_or_else(err)? {
+                0 => ObserveRequest::MetricsText,
+                1 => ObserveRequest::MetricsSnapshot,
+                2 => ObserveRequest::Trace { trace_id: take_u64(data).ok_or_else(err)? },
+                3 => ObserveRequest::Health,
+                _ => return Err(err()),
+            };
+            Request::Observe(observe)
         }
         opcode::GOODBYE => Request::Goodbye,
         other => {
@@ -299,6 +446,40 @@ pub fn encode_response(response: &Response) -> (u8, Vec<u8>) {
             put_u16(&mut buf, *code as u16);
             put_str32(&mut buf, message);
             opcode::ERROR
+        }
+        Response::Observe(reply) => {
+            match reply {
+                ObserveReply::MetricsText(text) => {
+                    buf.put_slice(&[0]);
+                    put_str32(&mut buf, text);
+                }
+                ObserveReply::MetricsSnapshot(bytes) => {
+                    buf.put_slice(&[1]);
+                    put_u32(&mut buf, bytes.len() as u32);
+                    buf.put_slice(bytes);
+                }
+                ObserveReply::Trace(events) => {
+                    buf.put_slice(&[2]);
+                    put_u32(&mut buf, events.len() as u32);
+                    for event in events {
+                        put_trace_event(&mut buf, event);
+                    }
+                }
+                ObserveReply::Health(health) => {
+                    buf.put_slice(&[3]);
+                    put_u64(&mut buf, health.served);
+                    put_u64(&mut buf, health.epoch);
+                    put_u64(&mut buf, health.schema_generation);
+                    buf.put_slice(&health.drift.to_bits().to_le_bytes());
+                    for window in &health.windows {
+                        put_u64(&mut buf, window.window_secs);
+                        put_u64(&mut buf, window.requests);
+                        put_u64(&mut buf, window.errors);
+                    }
+                    put_u64(&mut buf, health.trace_dropped);
+                }
+            }
+            opcode::OBSERVE_OK
         }
         Response::GoodbyeOk => opcode::GOODBYE_OK,
     };
@@ -359,6 +540,50 @@ pub fn decode_response(op: u8, mut payload: &[u8]) -> Result<Response, ProtoViol
             let message = take_str32(data).ok_or_else(err)?;
             Response::Error { code, message }
         }
+        opcode::OBSERVE_OK => {
+            let err = || ProtoViolation::malformed("OBSERVE_OK");
+            let reply = match take_u8(data).ok_or_else(err)? {
+                0 => ObserveReply::MetricsText(take_str32(data).ok_or_else(err)?),
+                1 => {
+                    let len = take_u32(data).ok_or_else(err)? as usize;
+                    ObserveReply::MetricsSnapshot(take(data, len).ok_or_else(err)?.to_vec())
+                }
+                2 => {
+                    let count = take_u32(data).ok_or_else(err)? as usize;
+                    if count > data.len() {
+                        return Err(err());
+                    }
+                    let mut events = Vec::new();
+                    for _ in 0..count {
+                        events.push(take_trace_event(data).ok_or_else(err)?);
+                    }
+                    ObserveReply::Trace(events)
+                }
+                3 => {
+                    let served = take_u64(data).ok_or_else(err)?;
+                    let epoch = take_u64(data).ok_or_else(err)?;
+                    let schema_generation = take_u64(data).ok_or_else(err)?;
+                    let drift = f64::from_bits(take_u64(data).ok_or_else(err)?);
+                    let mut windows = [WindowRates::default(); 3];
+                    for window in &mut windows {
+                        window.window_secs = take_u64(data).ok_or_else(err)?;
+                        window.requests = take_u64(data).ok_or_else(err)?;
+                        window.errors = take_u64(data).ok_or_else(err)?;
+                    }
+                    let trace_dropped = take_u64(data).ok_or_else(err)?;
+                    ObserveReply::Health(HealthSummary {
+                        served,
+                        epoch,
+                        schema_generation,
+                        drift,
+                        windows,
+                        trace_dropped,
+                    })
+                }
+                _ => return Err(err()),
+            };
+            Response::Observe(reply)
+        }
         opcode::GOODBYE_OK => Response::GoodbyeOk,
         other => {
             return Err(ProtoViolation {
@@ -409,6 +634,105 @@ fn put_params(buf: &mut BytesMut, params: &Params) {
         put_str16(buf, name);
         encode_value(buf, value);
     }
+}
+
+/// Appends the optional 16-byte trace trailer. `None` (and a zero trace id,
+/// which means "untraced") writes nothing, so traced and untraced encodings
+/// of the same request differ only by the trailer — a revision-1 decoder
+/// never sees it because a revision-1 client never writes it.
+fn put_trace(buf: &mut BytesMut, trace: &Option<TraceContext>) {
+    if let Some(ctx) = trace {
+        if ctx.trace_id != 0 {
+            put_u64(buf, ctx.trace_id);
+            put_u64(buf, ctx.parent_span);
+        }
+    }
+}
+
+/// Consumes the trace trailer iff exactly 16 bytes remain. Any other
+/// remainder is left in place for the caller's trailing-bytes check.
+fn take_trace(data: &mut &[u8]) -> Option<TraceContext> {
+    if data.len() != 16 {
+        return None;
+    }
+    let trace_id = take_u64(data)?;
+    let parent_span = take_u64(data)?;
+    if trace_id == 0 {
+        return None;
+    }
+    Some(TraceContext { trace_id, parent_span })
+}
+
+fn put_field_value(buf: &mut BytesMut, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => {
+            buf.put_slice(&[0]);
+            put_u64(buf, *v);
+        }
+        FieldValue::I64(v) => {
+            buf.put_slice(&[1]);
+            buf.put_slice(&v.to_le_bytes());
+        }
+        FieldValue::F64(v) => {
+            buf.put_slice(&[2]);
+            buf.put_slice(&v.to_bits().to_le_bytes());
+        }
+        FieldValue::Str(v) => {
+            buf.put_slice(&[3]);
+            put_str32(buf, v);
+        }
+    }
+}
+
+fn take_field_value(data: &mut &[u8]) -> Option<FieldValue> {
+    Some(match take_u8(data)? {
+        0 => FieldValue::U64(take_u64(data)?),
+        1 => FieldValue::I64(take_u64(data)? as i64),
+        2 => FieldValue::F64(f64::from_bits(take_u64(data)?)),
+        3 => FieldValue::Str(take_str32(data)?),
+        _ => return None,
+    })
+}
+
+fn put_trace_event(buf: &mut BytesMut, event: &WireTraceEvent) {
+    put_u64(buf, event.seq);
+    put_u64(buf, event.at.as_nanos() as u64);
+    put_u64(buf, event.span_id);
+    put_str16(buf, &event.name);
+    match event.duration {
+        Some(duration) => {
+            buf.put_slice(&[1]);
+            put_u64(buf, duration.as_nanos() as u64);
+        }
+        None => buf.put_slice(&[0]),
+    }
+    put_u16(buf, event.fields.len() as u16);
+    for (key, value) in &event.fields {
+        put_str16(buf, key);
+        put_field_value(buf, value);
+    }
+}
+
+fn take_trace_event(data: &mut &[u8]) -> Option<WireTraceEvent> {
+    let seq = take_u64(data)?;
+    let at = Duration::from_nanos(take_u64(data)?);
+    let span_id = take_u64(data)?;
+    let name = take_str16(data)?;
+    let duration = match take_u8(data)? {
+        0 => None,
+        1 => Some(Duration::from_nanos(take_u64(data)?)),
+        _ => return None,
+    };
+    let field_count = take_u16(data)? as usize;
+    if field_count > data.len() {
+        return None;
+    }
+    let mut fields = Vec::with_capacity(field_count.min(64));
+    for _ in 0..field_count {
+        let key = take_str16(data)?;
+        fields.push((key, take_field_value(data)?));
+    }
+    Some(WireTraceEvent { seq, at, span_id, name, duration, fields })
 }
 
 fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
@@ -480,13 +804,109 @@ mod tests {
         roundtrip_request(Request::Prepare {
             handle: 3,
             text: "MATCH (d:Drug) WHERE d.name CONTAINS $needle RETURN d.name LIMIT $n".into(),
+            trace: None,
         });
         roundtrip_request(Request::Execute {
             handle: 3,
             params: Params::new().set("needle", "aspirin").set("n", 5i64),
+            trace: None,
         });
-        roundtrip_request(Request::Run { text: "MATCH (d:Drug) RETURN d.name".into() });
+        roundtrip_request(Request::Run {
+            text: "MATCH (d:Drug) RETURN d.name".into(),
+            trace: None,
+        });
         roundtrip_request(Request::Goodbye);
+    }
+
+    #[test]
+    fn traced_requests_roundtrip() {
+        let trace = Some(TraceContext { trace_id: 0xdead_beef_cafe_f00d, parent_span: 42 });
+        roundtrip_request(Request::Prepare { handle: 1, text: "MATCH (d:Drug)".into(), trace });
+        roundtrip_request(Request::Execute {
+            handle: 1,
+            params: Params::new().set("n", 5i64),
+            trace,
+        });
+        roundtrip_request(Request::Run { text: "MATCH (d:Drug) RETURN d.name".into(), trace });
+        // A zero trace id means untraced: no trailer on the wire.
+        let (_, with_zero) = encode_request(&Request::Run {
+            text: "x".into(),
+            trace: Some(TraceContext { trace_id: 0, parent_span: 9 }),
+        });
+        let (_, without) = encode_request(&Request::Run { text: "x".into(), trace: None });
+        assert_eq!(with_zero, without);
+    }
+
+    #[test]
+    fn v1_request_bytes_still_decode() {
+        // A revision-1 PREPARE is the same payload without the 16-byte trace
+        // trailer; the decoder must accept it unchanged.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        let text = "MATCH (d:Drug) RETURN d.name";
+        payload.extend_from_slice(&(text.len() as u32).to_le_bytes());
+        payload.extend_from_slice(text.as_bytes());
+        assert_eq!(
+            decode_request(opcode::PREPARE, &payload).expect("decodes"),
+            Request::Prepare { handle: 7, text: text.into(), trace: None }
+        );
+    }
+
+    #[test]
+    fn observe_requests_roundtrip() {
+        roundtrip_request(Request::Observe(ObserveRequest::MetricsText));
+        roundtrip_request(Request::Observe(ObserveRequest::MetricsSnapshot));
+        roundtrip_request(Request::Observe(ObserveRequest::Trace { trace_id: 77 }));
+        roundtrip_request(Request::Observe(ObserveRequest::Health));
+        let (op, payload) = encode_request(&Request::Observe(ObserveRequest::Health));
+        assert_eq!(op, opcode::OBSERVE);
+        assert_eq!(
+            decode_request(op, &[payload, vec![9u8]].concat()).unwrap_err().code,
+            ErrorCode::Malformed
+        );
+    }
+
+    #[test]
+    fn observe_replies_roundtrip() {
+        roundtrip_response(Response::Observe(ObserveReply::MetricsText(
+            "query_latency_count 3\n".into(),
+        )));
+        roundtrip_response(Response::Observe(ObserveReply::MetricsSnapshot(vec![1, 0, 2, 3])));
+        roundtrip_response(Response::Observe(ObserveReply::Trace(vec![
+            WireTraceEvent {
+                seq: 4,
+                at: Duration::from_micros(12),
+                span_id: 99,
+                name: "server.serve".into(),
+                duration: Some(Duration::from_nanos(1234)),
+                fields: vec![
+                    ("rows".into(), FieldValue::U64(7)),
+                    ("drift".into(), FieldValue::F64(0.25)),
+                    ("delta".into(), FieldValue::I64(-3)),
+                    ("fingerprint".into(), FieldValue::Str("abc".into())),
+                ],
+            },
+            WireTraceEvent {
+                seq: 5,
+                at: Duration::from_micros(13),
+                span_id: 0,
+                name: "net.request".into(),
+                duration: None,
+                fields: vec![],
+            },
+        ])));
+        roundtrip_response(Response::Observe(ObserveReply::Health(HealthSummary {
+            served: 10,
+            epoch: 2,
+            schema_generation: 3,
+            drift: 0.125,
+            windows: [
+                WindowRates { window_secs: 1, requests: 5, errors: 0 },
+                WindowRates { window_secs: 10, requests: 9, errors: 1 },
+                WindowRates { window_secs: 60, requests: 10, errors: 1 },
+            ],
+            trace_dropped: 4,
+        })));
     }
 
     #[test]
@@ -525,8 +945,11 @@ mod tests {
 
     #[test]
     fn truncated_and_trailing_payloads_are_malformed_not_panics() {
-        let (op, payload) =
-            encode_request(&Request::Execute { handle: 1, params: Params::new().set("k", 1i64) });
+        let (op, payload) = encode_request(&Request::Execute {
+            handle: 1,
+            params: Params::new().set("k", 1i64),
+            trace: None,
+        });
         for cut in 0..payload.len() {
             let violation = decode_request(op, &payload[..cut]).unwrap_err();
             assert_eq!(violation.code, ErrorCode::Malformed, "cut at {cut}");

@@ -17,7 +17,9 @@
 //!
 //! Past the threshold a structured `net.slow_request` trace event lands in
 //! the server's trace ring with the connection id, request sequence number
-//! and opcode.
+//! and opcode. Requests stamped with a wire [`crate::TraceContext`]
+//! additionally close a `net.request` span under the client's trace id —
+//! the outermost span of the socket → engine → query → WAL chain.
 
 use pgso_server::{KgServer, ServerTelemetry};
 use pgso_telemetry::{Counter, FieldValue, Gauge, Histogram, TraceBuffer};
@@ -43,6 +45,10 @@ pub struct NetTelemetry {
     pub request_latency: Arc<Histogram>,
     /// `net.slow_requests`.
     pub slow_requests: Arc<Counter>,
+    /// The whole engine-side telemetry bundle, kept so the wire layer can
+    /// feed the shared rolling request/error windows behind
+    /// [`pgso_server::KgServer::health_summary`].
+    server: Arc<ServerTelemetry>,
     trace: Arc<TraceBuffer>,
     slow_threshold: Option<Duration>,
 }
@@ -63,10 +69,18 @@ impl NetTelemetry {
                 errors: registry.counter("net.errors"),
                 request_latency: registry.histogram("net.request.latency"),
                 slow_requests: registry.counter("net.slow_requests"),
+                server: t.clone(),
                 trace: t.trace().clone(),
                 slow_threshold,
             }
         })
+    }
+
+    /// Counts one ERROR response, into both the `net.errors` counter and
+    /// the rolling error-rate windows behind the health summary.
+    pub fn record_error(&self) {
+        self.errors.inc();
+        self.server.windows.record_error();
     }
 
     /// Records the wire latency of one completed request and, past the
@@ -89,6 +103,19 @@ impl NetTelemetry {
                 ("seq", FieldValue::from(seq)),
                 ("opcode", FieldValue::from(op as u64)),
             ],
+        );
+    }
+
+    /// Closes the `net.request` span for a traced request: the wire-level
+    /// event tying the client-supplied trace id to this connection. Emitted
+    /// only when the request carried a [`crate::TraceContext`], so untraced
+    /// hot-path requests never touch the ring.
+    pub fn record_traced_request(&self, trace_id: u64, conn_id: u64, seq: u64, elapsed: Duration) {
+        self.trace.emit_with_duration(
+            "net.request",
+            trace_id,
+            elapsed,
+            vec![("conn", FieldValue::from(conn_id)), ("seq", FieldValue::from(seq))],
         );
     }
 }

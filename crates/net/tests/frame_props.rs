@@ -68,7 +68,13 @@ proptest! {
         for (i, (kind, payload)) in specs.iter().enumerate() {
             params.insert(format!("p{i}"), value_from_spec(*kind, *payload, 2));
         }
-        let request = Request::Execute { handle, params };
+        // Odd handles ride with a trace trailer, even ones without, so the
+        // optional-16-byte rule is exercised across arbitrary param sets.
+        let trace = (handle % 2 == 1).then(|| pgso_net::TraceContext {
+            trace_id: handle as u64 + 1,
+            parent_span: handle as u64,
+        });
+        let request = Request::Execute { handle, params, trace };
         let (op, payload) = encode_request(&request);
         prop_assert_eq!(decode_request(op, &payload).expect("decodes"), request);
     }
@@ -98,7 +104,7 @@ proptest! {
     ) {
         let text =
             (0..text_len).map(|i| format!("tok{} ", text_seed ^ i as i64)).collect::<String>();
-        let request = Request::Prepare { handle: 7, text };
+        let request = Request::Prepare { handle: 7, text, trace: None };
         let (op, payload) = encode_request(&request);
         let cut = ((payload.len() as f64) * cut_ratio) as usize;
         if cut < payload.len() {

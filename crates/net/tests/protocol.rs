@@ -178,10 +178,12 @@ fn prepare_then_execute_pipelined_in_one_burst() {
     let (prep_op, prep_payload) = pgso_net::proto::encode_request(&pgso_net::Request::Prepare {
         handle: 9,
         text: PARAM_TEXT.to_string(),
+        trace: None,
     });
     let (exec_op, exec_payload) = pgso_net::proto::encode_request(&pgso_net::Request::Execute {
         handle: 9,
         params: params(4),
+        trace: None,
     });
     let mut burst = Vec::new();
     pgso_net::frame::write_frame(&mut burst, prep_op, &prep_payload);
@@ -255,8 +257,10 @@ fn malformed_inputs_are_rejected_without_killing_siblings() {
     let (code, _) = raw.recv_error();
     assert_eq!(code, ErrorCode::UnknownOpcode);
     // ...and the same connection still serves real requests afterwards.
-    let (op, payload) =
-        pgso_net::proto::encode_request(&pgso_net::Request::Run { text: PLAIN_TEXT.to_string() });
+    let (op, payload) = pgso_net::proto::encode_request(&pgso_net::Request::Run {
+        text: PLAIN_TEXT.to_string(),
+        trace: None,
+    });
     raw.send_frame(op, &payload);
     let (op, _) = raw.recv_frame().expect("the connection survived");
     assert_eq!(op, opcode::ROWS);
@@ -281,6 +285,7 @@ fn malformed_inputs_are_rejected_without_killing_siblings() {
     let (op, payload) = pgso_net::proto::encode_request(&pgso_net::Request::Execute {
         handle: 404,
         params: Params::new(),
+        trace: None,
     });
     raw.send_frame(op, &payload);
     let (code, message) = raw.recv_error();

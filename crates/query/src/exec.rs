@@ -177,7 +177,20 @@ pub fn execute_statement_traced(
     trace: &TraceBuffer,
 ) -> QueryResult {
     let result = execute_statement_with(stmt, backend, config);
-    let span = trace.new_span();
+    // A wire-propagated trace context wins over a fresh local span, so the
+    // query-stage events land under the client's trace id.
+    let span = pgso_telemetry::current_trace_id();
+    let span = if span != 0 { span } else { trace.new_span() };
+    emit_exec_trace(&result, trace, span);
+    result
+}
+
+/// Emits the post-hoc execution trace of `result` under an explicit `span`:
+/// one `stage.<name>` event per non-zero stage and a closing `query.exec`
+/// event carrying match/row counts and the fan-out width. Factored out of
+/// [`execute_statement_traced`] so serving layers that already hold a span
+/// (a wire-supplied trace id) can reuse the exact same emission.
+pub fn emit_exec_trace(result: &QueryResult, trace: &TraceBuffer, span: u64) {
     for (name, duration) in result.stage_timings.stages() {
         if !duration.is_zero() {
             let event = match name {
@@ -201,7 +214,6 @@ pub fn execute_statement_traced(
             ("fanned_out_shards", FieldValue::from(result.stage_timings.fanned_out_shards)),
         ],
     );
-    result
 }
 
 /// Borrowed view of the statement-level clauses; empty for a bare query.

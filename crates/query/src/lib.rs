@@ -48,6 +48,7 @@
 
 pub mod ast;
 pub mod exec;
+pub mod explain;
 pub mod fingerprint;
 pub mod params;
 pub mod parse;
@@ -56,12 +57,13 @@ pub mod stmt;
 
 pub use ast::{Aggregate, EdgePattern, NodePattern, Query, QueryBuilder, ReturnItem};
 pub use exec::{
-    execute, execute_statement, execute_statement_traced, execute_statement_with, ExecConfig,
-    QueryResult, Row,
+    emit_exec_trace, execute, execute_statement, execute_statement_traced, execute_statement_with,
+    ExecConfig, QueryResult, Row,
 };
+pub use explain::{AppliedRule, PlanActuals, QueryMode, QueryPlan};
 pub use fingerprint::{fingerprint, fingerprint_statement};
 pub use params::{BindError, ParamKind, ParamSignature, ParamSpec, Params};
-pub use parse::{parse, parse_named, ParseError};
+pub use parse::{parse, parse_directive, parse_named, strip_directive, ParseError};
 pub use pgso_telemetry::StageTimings;
-pub use rewrite::{rewrite, rewrite_statement};
+pub use rewrite::{rewrite, rewrite_statement, rewrite_statement_traced};
 pub use stmt::{CmpOp, CountTerm, OrderKey, Predicate, Statement, StatementBuilder, Term};

@@ -58,6 +58,49 @@ pub fn parse_named(text: &str, name: impl Into<String>) -> Result<Statement, Par
     parser.statement(name.into())
 }
 
+/// Splits an optional `EXPLAIN` / `PROFILE` directive (case-insensitive)
+/// off the front of a statement text, returning the mode and the remaining
+/// statement text. Directives are *not* part of [`Statement`] — the same
+/// inner text always produces the same fingerprint and plan-cache entry
+/// whether it is explained, profiled or executed.
+pub fn strip_directive(text: &str) -> (Option<crate::explain::QueryMode>, &str) {
+    use crate::explain::QueryMode;
+    let trimmed = text.trim_start();
+    let word_end = trimmed
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_alphabetic())
+        .map_or(trimmed.len(), |(i, _)| i);
+    let word = &trimmed[..word_end];
+    let mode = if word.eq_ignore_ascii_case("EXPLAIN") {
+        Some(QueryMode::Explain)
+    } else if word.eq_ignore_ascii_case("PROFILE") {
+        Some(QueryMode::Profile)
+    } else {
+        None
+    };
+    match mode {
+        Some(mode) => (Some(mode), trimmed[word_end..].trim_start()),
+        None => (None, text),
+    }
+}
+
+/// [`parse()`] with `EXPLAIN` / `PROFILE` directive support: parses the
+/// statement after an optional directive prefix and returns both. Parse
+/// error offsets still point into the *original* text.
+pub fn parse_directive(
+    text: &str,
+) -> Result<(Option<crate::explain::QueryMode>, Statement), ParseError> {
+    let (mode, rest) = strip_directive(text);
+    let prefix_len = text.len() - rest.len();
+    match parse(rest) {
+        Ok(stmt) => Ok((mode, stmt)),
+        Err(mut error) => {
+            error.offset += prefix_len;
+            Err(error)
+        }
+    }
+}
+
 // ---------------------------------------------------------------- tokenizer
 
 #[derive(Debug, Clone, PartialEq)]

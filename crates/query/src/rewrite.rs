@@ -20,8 +20,10 @@
 //!    needed.
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
+use crate::explain::AppliedRule;
 use crate::stmt::{OrderKey, Predicate, Statement};
 use pgso_pgschema::PropertyGraphSchema;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
 /// Rewrites a query expressed against the direct schema into an equivalent
@@ -46,6 +48,19 @@ pub fn rewrite(query: &Query, optimized: &PropertyGraphSchema) -> Query {
 /// are *pinned*: the aggregate-to-LIST-property shortcut is skipped for
 /// them, because those clauses need the variable bound per vertex.
 pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> Statement {
+    rewrite_statement_traced(stmt, optimized).0
+}
+
+/// [`rewrite_statement`] plus rule provenance: returns the rewritten
+/// statement together with one [`AppliedRule`] per schema-optimization rule
+/// the rewrite exploited (label retargets onto merged vertices, variable
+/// unifications, dropped-concept folds, the COLLECT→LIST shortcut and
+/// replicated-property renames). The list is empty exactly when the rewrite
+/// left the statement unchanged, which is what `EXPLAIN` relies on.
+pub fn rewrite_statement_traced(
+    stmt: &Statement,
+    optimized: &PropertyGraphSchema,
+) -> (Statement, Vec<AppliedRule>) {
     let pinned: HashSet<String> = stmt
         .predicates
         .iter()
@@ -114,7 +129,7 @@ pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> S
         }
     }
 
-    Statement {
+    let rewritten = Statement {
         pattern,
         opt_nodes,
         opt_edges,
@@ -124,7 +139,8 @@ pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> S
         order_by,
         skip: stmt.skip.clone(),
         limit: stmt.limit.clone(),
-    }
+    };
+    (rewritten, rewriter.applied.into_inner())
 }
 
 struct Rewriter<'a> {
@@ -149,6 +165,10 @@ struct Rewriter<'a> {
     target_of: HashMap<String, Option<String>>,
     /// Variable substitution map (var -> surviving var).
     subst: HashMap<String, String>,
+    /// Rule provenance collected while rewriting, deduplicated by
+    /// (rule, detail). `RefCell` because several recording sites (`label_of`,
+    /// `property_name`) are reached through `&self` helpers.
+    applied: RefCell<Vec<AppliedRule>>,
 }
 
 impl<'a> Rewriter<'a> {
@@ -171,7 +191,42 @@ impl<'a> Rewriter<'a> {
             );
             subst.insert(node.var.clone(), node.var.clone());
         }
-        Self { query, opt_nodes, opt_edges, schema, pinned, grouped, concept_of, target_of, subst }
+        Self {
+            query,
+            opt_nodes,
+            opt_edges,
+            schema,
+            pinned,
+            grouped,
+            concept_of,
+            target_of,
+            subst,
+            applied: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Records one applied rule, skipping exact (rule, detail) duplicates —
+    /// helpers like [`Rewriter::property_name`] run once per referencing
+    /// clause, not once per rule application.
+    fn record(&self, rule: &str, detail: String, edge_label: Option<String>) {
+        let mut applied = self.applied.borrow_mut();
+        if applied.iter().any(|r| r.rule == rule && r.detail == detail) {
+            return;
+        }
+        applied.push(AppliedRule::new(rule, detail, edge_label));
+    }
+
+    /// Classifies the rule that eliminated a pattern hop, by the hop's edge
+    /// label: structural edges name their rule, anything else is a vertex
+    /// merge (1:1) when both endpoints survived in one vertex type, or a
+    /// union-style concept drop when one endpoint vanished from the schema.
+    fn rule_for_edge(label: &str, endpoint_dropped: bool) -> &'static str {
+        match label {
+            "isA" => "inheritance",
+            "unionOf" => "union",
+            _ if endpoint_dropped => "union",
+            _ => "one-to-one",
+        }
     }
 
     /// Position of a variable across mandatory then optional node patterns,
@@ -231,6 +286,17 @@ impl<'a> Rewriter<'a> {
                     } else {
                         unifications.push((edge.src.clone(), edge.dst.clone()));
                     }
+                    let src_concept = self.concept_of.get(&edge.src).cloned().unwrap_or_default();
+                    let dst_concept = self.concept_of.get(&edge.dst).cloned().unwrap_or_default();
+                    self.record(
+                        Self::rule_for_edge(&edge.label, false),
+                        format!(
+                            "({}:{src_concept}) and ({}:{dst_concept}) bind the same {s} \
+                             vertex; `{}` hop eliminated",
+                            edge.src, edge.dst, edge.label
+                        ),
+                        Some(edge.label.clone()),
+                    );
                 }
             }
         }
@@ -251,7 +317,7 @@ impl<'a> Rewriter<'a> {
             } else {
                 &mut self.query.edges.iter().chain(self.opt_edges)
             };
-            let mut candidate: Option<String> = None;
+            let mut candidate: Option<(String, String)> = None;
             for edge in adjacent {
                 let (other, structural) = if edge.src == node.var {
                     (&edge.dst, matches!(edge.label.as_str(), "isA" | "unionOf"))
@@ -264,15 +330,26 @@ impl<'a> Rewriter<'a> {
                     continue;
                 }
                 if structural {
-                    candidate = Some(other.clone());
+                    candidate = Some((other.clone(), edge.label.clone()));
                     break;
                 }
                 if candidate.is_none() {
-                    candidate = Some(other.clone());
+                    candidate = Some((other.clone(), edge.label.clone()));
                 }
             }
-            if let Some(other) = candidate {
-                unifications.push((node.var.clone(), other.clone()));
+            if let Some((other, label)) = candidate {
+                let concept = self.concept_of.get(&node.var).cloned().unwrap_or_default();
+                let into = self.target_of.get(&other).cloned().flatten().unwrap_or_default();
+                self.record(
+                    Self::rule_for_edge(&label, true),
+                    format!(
+                        "concept {concept} is not materialized in the optimized schema; \
+                         ({}) folded into ({other}:{into}) along `{label}`",
+                        node.var
+                    ),
+                    Some(label),
+                );
+                unifications.push((node.var.clone(), other));
             }
         }
         for (from, into) in unifications {
@@ -283,12 +360,30 @@ impl<'a> Rewriter<'a> {
     /// Label the surviving variable maps to in the optimized schema.
     fn label_of(&self, var: &str) -> String {
         let root = self.resolve(var);
-        self.target_of
-            .get(&root)
-            .cloned()
-            .flatten()
-            .or_else(|| self.concept_of.get(&root).cloned())
-            .unwrap_or_default()
+        let target = self.target_of.get(&root).cloned().flatten();
+        if let (Some(target), Some(concept)) = (&target, self.concept_of.get(&root)) {
+            // A label retarget without any unification in *this* pattern
+            // still means a merge rule fired when the schema was optimized:
+            // the concept is now served by a vertex type that absorbed it.
+            // (Only the 1:1 merge keeps absorbed concepts in `merged_from`;
+            // union/inheritance drop theirs, which the fold path reports.)
+            if target != concept {
+                let merged_from = self
+                    .schema
+                    .vertex(target)
+                    .map(|v| v.merged_from.join(", "))
+                    .unwrap_or_default();
+                self.record(
+                    "one-to-one",
+                    format!(
+                        "concept {concept} is served by merged vertex {target} \
+                         (merged from: {merged_from})"
+                    ),
+                    None,
+                );
+            }
+        }
+        target.or_else(|| self.concept_of.get(&root).cloned()).unwrap_or_default()
     }
 
     /// Finds the property name to use for `var.property` on the optimized
@@ -303,6 +398,17 @@ impl<'a> Rewriter<'a> {
             }
             let qualified = format!("{original_concept}.{property}");
             if vertex.has_property(&qualified) {
+                let is_list = vertex.property(&qualified).map(|p| p.is_list).unwrap_or(false);
+                if is_list {
+                    self.record(
+                        "one-to-many",
+                        format!(
+                            "property {original_concept}.{property} read from the \
+                             replicated LIST `{qualified}` on {label}"
+                        ),
+                        None,
+                    );
+                }
                 return qualified;
             }
         }
@@ -405,6 +511,15 @@ impl<'a> Rewriter<'a> {
                     }
                 }
             }
+            self.record(
+                "one-to-many",
+                format!(
+                    "aggregate over ({var}:{provider_concept}) answered from replicated \
+                     LIST properties on {holder_label}; `{}` traversal eliminated",
+                    edge.label
+                ),
+                Some(edge.label.clone()),
+            );
             replaced_vars.insert(var_root.clone(), (self.resolve(holder_var), provider_concept));
         }
 
@@ -863,6 +978,85 @@ mod tests {
         assert_eq!(rewritten.opt_nodes.len(), 1);
         assert_eq!(rewritten.limit, Some(crate::stmt::CountTerm::Count(4)));
         assert!(rewritten.name.ends_with("-opt"));
+    }
+
+    #[test]
+    fn provenance_names_every_rule_kind() {
+        use crate::stmt::Statement;
+        let schema = optimized_mini();
+
+        // Union fold (Q1-style): Risk vanished, folded along unionOf.
+        let union = Statement::from(
+            Query::builder("Q1")
+                .node("d", "Drug")
+                .node("r", "Risk")
+                .node("ci", "ContraIndication")
+                .edge("d", "cause", "r")
+                .edge("r", "unionOf", "ci")
+                .ret_property("d", "name")
+                .build(),
+        );
+        let (_, rules) = rewrite_statement_traced(&union, &schema);
+        assert!(rules.iter().any(|r| r.rule == "union"), "{rules:?}");
+
+        // Inheritance fold (Q5-style).
+        let inheritance = Statement::from(
+            Query::builder("Q5")
+                .node("di", "DrugInteraction")
+                .node("dl", "DrugLabInteraction")
+                .edge("di", "isA", "dl")
+                .ret_property("di", "summary")
+                .build(),
+        );
+        let (_, rules) = rewrite_statement_traced(&inheritance, &schema);
+        assert!(rules.iter().any(|r| r.rule == "inheritance"), "{rules:?}");
+
+        // 1:1 merge: endpoint unification plus label retarget.
+        let merge = Statement::from(
+            Query::builder("merge")
+                .node("i", "Indication")
+                .node("c", "Condition")
+                .edge("i", "hasCondition", "c")
+                .ret_property("c", "name")
+                .build(),
+        );
+        let (_, rules) = rewrite_statement_traced(&merge, &schema);
+        assert!(rules.iter().any(|r| r.rule == "one-to-one"), "{rules:?}");
+
+        // 1:M LIST shortcut (Q9-style), with the eliminated edge label.
+        let list = Statement::from(
+            Query::builder("Q9")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+                .build(),
+        );
+        let (_, rules) = rewrite_statement_traced(&list, &schema);
+        let one_to_many = rules.iter().find(|r| r.rule == "one-to-many").expect("LIST shortcut");
+        assert_eq!(one_to_many.edge_label.as_deref(), Some("treat"));
+
+        // A label retarget alone (no unification in the pattern) must still
+        // attribute the merge rule — this is what keeps EXPLAIN's rule list
+        // non-empty whenever DIR and OPT differ.
+        let lone = Statement::from(
+            Query::builder("lone").node("i", "Indication").ret_property("i", "desc").build(),
+        );
+        let (rewritten, rules) = rewrite_statement_traced(&lone, &schema);
+        if rewritten.pattern.nodes[0].label != "Indication" {
+            assert!(rules.iter().any(|r| r.rule == "one-to-one"), "{rules:?}");
+        }
+    }
+
+    #[test]
+    fn identity_rewrites_report_no_rules() {
+        let schema = optimized_mini();
+        let stmt = crate::stmt::Statement::from(
+            Query::builder("Q7").node("d", "Drug").ret_property("d", "brand").build(),
+        );
+        let (rewritten, rules) = rewrite_statement_traced(&stmt, &schema);
+        assert_eq!(rewritten.to_string(), stmt.to_string());
+        assert!(rules.is_empty(), "identity rewrite must not claim rules: {rules:?}");
     }
 
     #[test]

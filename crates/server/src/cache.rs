@@ -108,6 +108,13 @@ impl PlanCache {
         None
     }
 
+    /// Whether a current-epoch plan for `fingerprint` is resident, without
+    /// touching the hit/miss counters or dropping stale entries — EXPLAIN
+    /// inspects the cache, it does not serve from it.
+    pub fn peek(&self, fingerprint: u64, epoch: u64) -> bool {
+        self.map.read().get(&fingerprint).is_some_and(|c| c.epoch == epoch)
+    }
+
     /// Inserts a freshly rewritten plan.
     pub fn insert(&self, fingerprint: u64, epoch: u64, plan: Arc<Statement>) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);

@@ -64,10 +64,14 @@ use pgso_persist::{
 };
 use pgso_pgschema::PropertyGraphSchema;
 use pgso_query::{
-    execute_statement_with, fingerprint_statement, parse_named, rewrite_statement, BindError,
-    ExecConfig, ParamSignature, Params, ParseError, Query, QueryResult, Statement,
+    emit_exec_trace, execute_statement_with, fingerprint_statement, parse_named, rewrite_statement,
+    rewrite_statement_traced, strip_directive, AppliedRule, BindError, ExecConfig, ParamSignature,
+    Params, ParseError, PlanActuals, Query, QueryMode, QueryPlan, QueryResult, Statement,
 };
-use pgso_telemetry::{FieldValue, MetricsRegistry, MetricsSnapshot, TraceEvent};
+use pgso_telemetry::{
+    current_trace_id, FieldValue, MetricsRegistry, MetricsSnapshot, StageTimings, TraceEvent,
+    WindowRates, WINDOW_SECS,
+};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -126,6 +130,11 @@ pub struct ServerConfig {
     /// Capacity of the structured trace ring (events retained before the
     /// oldest are overwritten).
     pub trace_capacity: usize,
+    /// Cap on distinct `prepared.<id>.latency` metric series. The first
+    /// this-many prepared ids get their own series; later ones share
+    /// `prepared.other.latency`, so a workload preparing statements without
+    /// bound cannot grow the metrics registry without bound.
+    pub prepared_series_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -143,6 +152,7 @@ impl Default for ServerConfig {
             telemetry_enabled: true,
             slow_query_log_threshold: None,
             trace_capacity: 1024,
+            prepared_series_limit: crate::telemetry::DEFAULT_PREPARED_SERIES_LIMIT,
         }
     }
 }
@@ -308,6 +318,52 @@ impl WorkloadRunReport {
     }
 }
 
+/// Point-in-time liveness summary: engine progress counters plus rolling
+/// request/error rates ([`pgso_telemetry::RollingWindows`]), the payload of
+/// the wire plane's health scrape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSummary {
+    /// Queries served since startup.
+    pub served: u64,
+    /// Serving epoch number.
+    pub epoch: u64,
+    /// Schema lineage of the serving epoch.
+    pub schema_generation: u64,
+    /// Current workload drift against the optimized-for baseline.
+    pub drift: f64,
+    /// Request/error totals over the trailing 1 s / 10 s / 60 s windows
+    /// ([`pgso_telemetry::WINDOW_SECS`] order). All-zero when telemetry is
+    /// disabled.
+    pub windows: [WindowRates; 3],
+    /// Trace-ring events overwritten before being read.
+    pub trace_dropped: u64,
+}
+
+/// Renders a [`QueryPlan`] as a [`QueryResult`] so EXPLAIN/PROFILE flow
+/// through every result surface unchanged: the plan travels as tagged rows
+/// (see [`QueryPlan::to_rows`]) that the wire streams like any result and
+/// clients rebuild with [`QueryPlan::from_rows`]. PROFILE copies its actuals
+/// into the result's own accounting fields too.
+fn plan_query_result(plan: &QueryPlan) -> QueryResult {
+    let rows = plan.to_rows();
+    let actuals = plan.actuals.as_ref();
+    QueryResult {
+        matches: rows.len(),
+        rows,
+        elapsed: actuals.map(|a| Duration::from_nanos(a.elapsed_ns)).unwrap_or_default(),
+        stats: actuals
+            .map(|a| AccessStats {
+                vertex_reads: a.vertex_reads,
+                edge_traversals: a.edge_traversals,
+                page_reads: a.page_reads,
+                page_hits: a.page_hits,
+            })
+            .unwrap_or_default(),
+        predicate_checks: actuals.map(|a| a.predicate_checks).unwrap_or(0),
+        stage_timings: StageTimings::default(),
+    }
+}
+
 /// Resets a flag on drop so a panicking re-optimization cannot wedge the
 /// server into "somebody is already re-optimizing" forever.
 struct FlagGuard<'a>(&'a AtomicBool);
@@ -438,8 +494,12 @@ impl KgServer {
         let (graph, base_journal) =
             build_graph(&ontology, &schema, &instance, config.storage_tier, config.shard_count);
         let tracker = WorkloadTracker::new(&ontology);
-        let telemetry =
-            config.telemetry_enabled.then(|| Arc::new(ServerTelemetry::new(config.trace_capacity)));
+        let telemetry = config.telemetry_enabled.then(|| {
+            Arc::new(ServerTelemetry::with_limits(
+                config.trace_capacity,
+                config.prepared_series_limit,
+            ))
+        });
         compile_for_serving(graph.as_ref(), config.storage_tier, telemetry.as_ref());
         let persist = match persist {
             None => None,
@@ -527,8 +587,12 @@ impl KgServer {
                 format!("no valid snapshot in {}", persist.dir.display()),
             )
         })?;
-        let telemetry =
-            config.telemetry_enabled.then(|| Arc::new(ServerTelemetry::new(config.trace_capacity)));
+        let telemetry = config.telemetry_enabled.then(|| {
+            Arc::new(ServerTelemetry::with_limits(
+                config.trace_capacity,
+                config.prepared_series_limit,
+            ))
+        });
         let mut graph = fresh_backend(config.storage_tier, config.shard_count);
         let full_journal = state.full_journal();
         let replay_started = Instant::now();
@@ -722,6 +786,32 @@ impl KgServer {
             registry.gauge("ingest.published").set(ing.ingested.len() as f64);
         }
         registry.gauge("prepared.count").set(self.prepared.read().len() as f64);
+        if let Some(t) = &self.telemetry {
+            registry.gauge("trace.dropped").set(t.trace().dropped() as f64);
+        }
+    }
+
+    /// Liveness summary: progress counters plus the rolling 1 s / 10 s /
+    /// 60 s request and error rates. With telemetry disabled the windows are
+    /// all-zero (nothing records into them) but the engine counters are
+    /// still live.
+    pub fn health_summary(&self) -> HealthSummary {
+        let epoch = self.current_epoch();
+        let (windows, trace_dropped) = match &self.telemetry {
+            Some(t) => (t.windows.summary(), t.trace().dropped()),
+            None => (
+                WINDOW_SECS.map(|window_secs| WindowRates { window_secs, ..Default::default() }),
+                0,
+            ),
+        };
+        HealthSummary {
+            served: self.served(),
+            epoch: epoch.number,
+            schema_generation: epoch.schema_generation,
+            drift: self.drift(),
+            windows,
+            trace_dropped,
+        }
     }
 
     /// Registers a bare pattern query for repeated execution; the
@@ -769,8 +859,25 @@ impl KgServer {
         let mut inner = persist.inner.lock();
         let prepared = self.register_prepared(stmt, text.clone(), persistable);
         if persistable {
+            let append_started = Instant::now();
             if let Err(err) = inner.wal.append(&[WalRecord::Prepared(text)]) {
                 eprintln!("pgso-server: logging prepared statement failed: {err}");
+            } else if let Some(t) = &self.telemetry {
+                // Close the durable tail of a wire-propagated trace: the
+                // group commit (append + fsync) that made this registration
+                // recoverable, under the request's trace id.
+                let trace_id = current_trace_id();
+                if trace_id != 0 {
+                    t.trace().emit_with_duration(
+                        "wal.group_commit",
+                        trace_id,
+                        append_started.elapsed(),
+                        vec![
+                            ("kind", FieldValue::Str("prepared".into())),
+                            ("records", FieldValue::U64(1)),
+                        ],
+                    );
+                }
             }
         }
         prepared
@@ -917,6 +1024,16 @@ impl KgServer {
     /// them with — register such a statement through
     /// [`KgServer::prepare_text`] and execute it with [`KgServer::execute`].
     pub fn serve_text(&self, text: &str) -> Result<QueryResult, ParseError> {
+        // An `EXPLAIN` / `PROFILE` prefix diverts the text into the plan
+        // surface: the typed [`QueryPlan`] travels back as tagged rows
+        // ([`QueryPlan::to_rows`]), so the wire's RUN path streams plans
+        // exactly like any result and clients rebuild them with
+        // [`QueryPlan::from_rows`].
+        let (mode, rest) = strip_directive(text);
+        if let Some(mode) = mode {
+            let plan = self.plan_text(rest, mode, text.len() - rest.len())?;
+            return Ok(plan_query_result(&plan));
+        }
         let started = self.telemetry.as_deref().map(|_| Instant::now());
         let stmt = parse_named(text, "adhoc")?;
         if let (Some(t), Some(s)) = (self.telemetry.as_deref(), started) {
@@ -931,6 +1048,142 @@ impl KgServer {
             });
         }
         Ok(self.serve_statement(&stmt))
+    }
+
+    /// `EXPLAIN` for a statement text: parses, rewrites against the current
+    /// schema, and returns the typed [`QueryPlan`] — DIR and OPT texts, the
+    /// optimization rules the rewrite exploited (tracker-estimated fan-outs
+    /// attached), and whether the serving plan cache already holds the plan.
+    /// Nothing is executed. A leading `EXPLAIN`/`PROFILE` directive in
+    /// `text` is ignored in favour of this method's mode.
+    ///
+    /// # Errors
+    /// A [`ParseError`] for malformed text or text declaring `$parameters`
+    /// (the plan surface, like the ad-hoc path, has no values to bind).
+    pub fn explain_text(&self, text: &str) -> Result<QueryPlan, ParseError> {
+        let (_, rest) = strip_directive(text);
+        self.plan_text(rest, QueryMode::Explain, text.len() - rest.len())
+    }
+
+    /// `PROFILE` for a statement text: everything [`KgServer::explain_text`]
+    /// reports, plus the statement is actually executed on the current epoch
+    /// and the plan carries [`PlanActuals`] — per-stage wall times, backend
+    /// access counters and predicate checks, side by side with the rule
+    /// attribution.
+    ///
+    /// # Errors
+    /// A [`ParseError`] for malformed text or text declaring `$parameters`.
+    pub fn profile_text(&self, text: &str) -> Result<QueryPlan, ParseError> {
+        let (_, rest) = strip_directive(text);
+        self.plan_text(rest, QueryMode::Profile, text.len() - rest.len())
+    }
+
+    /// The directive-stripped planning path shared by [`KgServer::serve_text`]
+    /// and the `*_text` plan methods; `offset` is the stripped prefix length,
+    /// added back onto parse-error offsets so they index the original text.
+    fn plan_text(
+        &self,
+        rest: &str,
+        mode: QueryMode,
+        offset: usize,
+    ) -> Result<QueryPlan, ParseError> {
+        let started = self.telemetry.as_deref().map(|_| Instant::now());
+        let stmt = parse_named(rest, "adhoc").map_err(|mut err| {
+            err.offset += offset;
+            err
+        })?;
+        if let (Some(t), Some(s)) = (self.telemetry.as_deref(), started) {
+            t.parse.record_duration(s.elapsed());
+        }
+        if stmt.has_parameters() {
+            return Err(ParseError {
+                message: format!(
+                    "{} statement declares $parameters; plan a parameterless statement \
+                     (literals are fine — they auto-parameterize)",
+                    mode.keyword()
+                ),
+                offset,
+            });
+        }
+        Ok(self.plan_statement(&stmt, mode))
+    }
+
+    /// Plans one parameterless DIR statement: DIR→OPT rewrite with rule
+    /// provenance ([`pgso_query::rewrite_statement_traced`]), fan-out
+    /// estimates from the workload tracker, plan-cache residency — and, in
+    /// [`QueryMode::Profile`], a real execution on the current epoch whose
+    /// actuals are exactly what [`pgso_query::execute_statement_with`]
+    /// reports for the rewritten statement.
+    ///
+    /// # Panics
+    /// Panics in `Profile` mode if the statement declares `$parameters`
+    /// (there are no values to bind); `Explain` mode plans it anyway.
+    pub fn plan_statement(&self, stmt: &Statement, mode: QueryMode) -> QueryPlan {
+        let epoch = self.current_epoch();
+        // The serving cache is keyed on the registered statement for the
+        // prepared path and on the auto-parameterized canonical form for the
+        // ad-hoc path; probe whichever this statement would use. `peek`
+        // leaves the hit/miss counters alone — planning is not serving.
+        let cache_hit = if stmt.has_parameters() {
+            self.plan_cache.peek(fingerprint_statement(stmt), epoch.schema_generation)
+        } else {
+            let (canonical, _) = stmt.parameterize();
+            self.plan_cache.peek(fingerprint_statement(&canonical), epoch.schema_generation)
+        };
+        let (opt, mut rules) = rewrite_statement_traced(stmt, &epoch.schema);
+        self.attach_fanouts(&mut rules, epoch.graph());
+        let actuals = match mode {
+            QueryMode::Explain => None,
+            QueryMode::Profile => {
+                assert!(
+                    !stmt.has_parameters(),
+                    "PROFILE executes the statement and has no parameter values; \
+                     EXPLAIN it instead, or splice literals"
+                );
+                let result = execute_statement_with(&opt, epoch.graph(), &self.config.exec);
+                // A profile is a real serve as far as the learned workload
+                // is concerned, and its executor stages join any live trace.
+                self.tracker.record_statement(stmt);
+                if let Some(t) = self.telemetry.as_deref() {
+                    t.windows.record_request();
+                    let trace_id = current_trace_id();
+                    if trace_id != 0 {
+                        emit_exec_trace(&result, t.trace(), trace_id);
+                    }
+                }
+                Some(PlanActuals::from_result(&result))
+            }
+        };
+        QueryPlan {
+            mode,
+            dir: stmt.to_string(),
+            opt: opt.to_string(),
+            schema_generation: epoch.schema_generation,
+            cache_hit,
+            rules,
+            actuals,
+        }
+    }
+
+    /// Fills [`AppliedRule::estimated_fanout`] from the workload tracker's
+    /// sampled mean out-degrees, matching rules to relationships by edge
+    /// label. Rules whose relationship the tracker has never seen traversed
+    /// keep `None`.
+    fn attach_fanouts(&self, rules: &mut [AppliedRule], backend: &dyn GraphBackend) {
+        if rules.iter().all(|rule| rule.edge_label.is_none()) {
+            return;
+        }
+        let fanouts = self.tracker.estimated_fanouts(&self.ontology, backend, 64);
+        if fanouts.is_empty() {
+            return;
+        }
+        for rule in rules.iter_mut() {
+            let Some(label) = &rule.edge_label else { continue };
+            rule.estimated_fanout = fanouts
+                .iter()
+                .find(|&&(rid, _)| self.ontology.relationship(rid).name == *label)
+                .map(|&(_, fanout)| fanout);
+        }
     }
 
     fn serve_inner(
@@ -1004,6 +1257,26 @@ impl KgServer {
                 t.execute.record_duration(end.duration_since(e));
             }
             self.record_serve(detailed, end.duration_since(s), fp, params, prepared, &result);
+            t.windows.record_request();
+            // A request arriving with a wire-propagated trace context gets
+            // its serve and executor stages recorded under that id — the
+            // engine's contribution to the end-to-end (socket → fsync)
+            // trace. Context-less serves skip all of this: one thread-local
+            // read is the only hot-path cost.
+            let trace_id = current_trace_id();
+            if trace_id != 0 {
+                t.trace().emit_with_duration(
+                    "server.serve",
+                    trace_id,
+                    end.duration_since(s),
+                    vec![
+                        ("fingerprint", FieldValue::Str(format!("{fp:016x}"))),
+                        ("rows", FieldValue::from(result.rows.len())),
+                        ("matches", FieldValue::from(result.matches)),
+                    ],
+                );
+                emit_exec_trace(&result, t.trace(), trace_id);
+            }
         }
         self.tracker.record_statement(stmt);
         let served = self.served.fetch_add(1, Ordering::Relaxed) + 1;

@@ -86,10 +86,10 @@ pub mod tracker;
 
 pub use cache::{CacheStats, PlanCache};
 pub use engine::{
-    Epoch, IngestConfig, IngestReport, KgServer, PreparedId, PreparedStatement,
+    Epoch, HealthSummary, IngestConfig, IngestReport, KgServer, PreparedId, PreparedStatement,
     ReoptimizationEvent, ServerConfig, WorkloadRunReport,
 };
-pub use telemetry::ServerTelemetry;
+pub use telemetry::{ServerTelemetry, DEFAULT_PREPARED_SERIES_LIMIT};
 pub use tier::{StorageTier, TempDiskGraph};
 // The durability vocabulary callers need for `KgServer::ingest` /
 // `KgServer::recover`, and the binding vocabulary for
@@ -98,10 +98,13 @@ pub use tier::{StorageTier, TempDiskGraph};
 pub use pgso_graphstore::GraphUpdate;
 pub use pgso_persist::PersistConfig;
 pub use pgso_query::{BindError, ParamKind, ParamSignature, Params};
+// The plan vocabulary behind `KgServer::explain_text` / `profile_text`.
+pub use pgso_query::{AppliedRule, PlanActuals, QueryMode, QueryPlan};
 // Observability vocabulary for `KgServer::metrics_snapshot` /
-// `KgServer::trace_events` readers.
+// `KgServer::trace_events` / `KgServer::health_summary` readers.
 pub use pgso_telemetry::{
-    HistogramSnapshot, MetricsSnapshot, StageTimings, TraceEvent, METRICS_SNAPSHOT_VERSION,
+    HistogramSnapshot, MetricsSnapshot, StageTimings, TraceEvent, WindowRates,
+    METRICS_SNAPSHOT_VERSION, WINDOW_SECS,
 };
 pub use tracker::{
     frequencies_from_bytes, frequencies_to_bytes, WorkloadSnapshot, WorkloadTracker,

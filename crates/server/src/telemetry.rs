@@ -16,7 +16,8 @@
 //! | `query.fanned_out_shards` | histogram | shard workers per query (0 = serial; sampled) |
 //! | `server.parse` / `server.parameterize` | histogram | text-path front-end time, ns |
 //! | `server.cache_lookup` / `server.rewrite` / `server.bind` / `server.execute` | histogram | serve pipeline phases, ns (sampled; `rewrite` always) |
-//! | `prepared.<id>.latency` | histogram | per-prepared-statement serve time, ns |
+//! | `prepared.<id>.latency` | histogram | per-prepared-statement serve time, ns (first [`ServerTelemetry`] `prepared_series_limit` ids) |
+//! | `prepared.other.latency` | histogram | shared overflow series for prepared ids past the limit |
 //! | `server.slow_queries` | counter | serves past the slow-query threshold |
 //! | `epoch.ingest_swaps` / `epoch.schema_swaps` | counter | epoch publications / re-optimizations |
 //! | `wal.append` / `wal.fsync` / `wal.batch_records` / `wal.appends` / `wal.appended_bytes` | see `pgso_persist::WalTelemetry` | |
@@ -27,10 +28,28 @@
 //! | `csr.compile` | histogram | CSR adjacency compilation time at epoch publication, ns |
 //! | `csr.compiles` | counter | CSR compilations performed (one per published epoch on the CSR tier) |
 //! | `csr.resident_bytes` | gauge | resident bytes of the served epoch's storage (CSR tier; refreshed at snapshot read) |
+//! | `trace.dropped` | gauge | trace-ring events overwritten before being read (refreshed at snapshot read) |
+//!
+//! A listener in front of the engine (`pgso-net`) registers its wire-layer
+//! series into this same registry, so one exposition covers both:
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `net.connections.open` / `net.connections.total` | gauge / counter | currently connected peers / connections ever accepted |
+//! | `net.bytes.in` / `net.bytes.out` | counter | payload bytes read from / written to sockets |
+//! | `net.requests` / `net.errors` | counter | frames decoded into requests / ERROR responses sent |
+//! | `net.request.latency` | histogram | wire latency of EXECUTE/RUN, ns |
+//! | `net.slow_requests` | counter | wire requests past the listener's slow threshold |
 //!
 //! Gauges (`plan_cache.*`, `server.served`, `epoch.number`, …) are mirrors
 //! of engine state, refreshed by [`crate::KgServer::metrics_snapshot`] at
 //! read time rather than written on the hot path.
+//!
+//! Besides the registry series, [`ServerTelemetry`] owns the
+//! [`RollingWindows`] behind [`crate::KgServer::health_summary`]: every
+//! serve records a request (and the wire layer records its errors) into
+//! lock-free per-second buckets, from which the summary reports 1 s / 10 s /
+//! 60 s q/s and error rates without any per-event retention.
 //!
 //! # Detail sampling
 //!
@@ -47,7 +66,7 @@
 
 use parking_lot::RwLock;
 use pgso_persist::WalTelemetry;
-use pgso_telemetry::{Counter, Histogram, MetricsRegistry, TraceBuffer};
+use pgso_telemetry::{Counter, Histogram, MetricsRegistry, RollingWindows, TraceBuffer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -55,6 +74,10 @@ use std::sync::Arc;
 /// One serve in this many records the detail series (stage timings, fan-out
 /// width, pipeline phase histograms). The first serve is always sampled.
 pub const DETAIL_SAMPLE_EVERY: u64 = 8;
+
+/// Default cap on distinct `prepared.<id>.latency` series (see
+/// [`crate::ServerConfig::prepared_series_limit`]).
+pub const DEFAULT_PREPARED_SERIES_LIMIT: usize = 256;
 
 /// Pre-resolved instrument handles plus the trace ring for one server.
 #[derive(Debug)]
@@ -98,6 +121,14 @@ pub struct ServerTelemetry {
     pub wal: WalTelemetry,
     /// `prepared.<id>.latency`, lazily registered per prepared statement.
     per_prepared: RwLock<HashMap<usize, Arc<Histogram>>>,
+    /// Cap on distinct per-prepared series; ids past it share
+    /// [`ServerTelemetry::prepared_overflow`].
+    prepared_series_limit: usize,
+    /// `prepared.other.latency` — the shared overflow series.
+    prepared_overflow: Arc<Histogram>,
+    /// Rolling request/error rate windows behind
+    /// [`crate::KgServer::health_summary`].
+    pub windows: RollingWindows,
     /// Round-robin chooser for the detail series (see the module docs).
     detail_counter: AtomicU64,
     // Epoch-publication instruments last: cold fields, kept off the cache
@@ -109,8 +140,18 @@ pub struct ServerTelemetry {
 }
 
 impl ServerTelemetry {
-    /// A fresh registry + trace with every engine instrument resolved.
+    /// A fresh registry + trace with every engine instrument resolved, at
+    /// the default per-prepared series cap.
     pub fn new(trace_capacity: usize) -> Self {
+        Self::with_limits(trace_capacity, DEFAULT_PREPARED_SERIES_LIMIT)
+    }
+
+    /// [`ServerTelemetry::new`] with an explicit cap on distinct
+    /// `prepared.<id>.latency` series; prepared ids past the cap record
+    /// into the shared `prepared.other.latency` histogram instead, so a
+    /// workload preparing statements without bound cannot grow the registry
+    /// without bound.
+    pub fn with_limits(trace_capacity: usize, prepared_series_limit: usize) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         let stage = [
             registry.histogram("query.stage.root_selection"),
@@ -139,6 +180,9 @@ impl ServerTelemetry {
             recovery_replay: registry.histogram("recovery.replay"),
             wal: WalTelemetry::register(&registry),
             per_prepared: RwLock::new(HashMap::new()),
+            prepared_series_limit,
+            prepared_overflow: registry.histogram("prepared.other.latency"),
+            windows: RollingWindows::new(),
             detail_counter: AtomicU64::new(0),
             csr_compile: registry.histogram("csr.compile"),
             csr_compiles: registry.counter("csr.compiles"),
@@ -164,13 +208,47 @@ impl ServerTelemetry {
     }
 
     /// The latency histogram of prepared statement `id`, registered as
-    /// `prepared.<id>.latency` on first use.
+    /// `prepared.<id>.latency` on first use. Once `prepared_series_limit`
+    /// distinct ids have their own series, further ids share
+    /// `prepared.other.latency` — the registry stays bounded however many
+    /// statements a workload prepares.
     pub fn prepared_latency(&self, id: usize) -> Arc<Histogram> {
         if let Some(hist) = self.per_prepared.read().get(&id) {
             return hist.clone();
         }
+        let mut map = self.per_prepared.write();
+        if let Some(hist) = map.get(&id) {
+            return hist.clone();
+        }
+        if map.len() >= self.prepared_series_limit {
+            return self.prepared_overflow.clone();
+        }
         let hist = self.registry.histogram(&format!("prepared.{id}.latency"));
-        self.per_prepared.write().entry(id).or_insert_with(|| hist.clone());
+        map.insert(id, hist.clone());
         hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_series_cap_overflows_into_shared_histogram() {
+        let telemetry = ServerTelemetry::with_limits(16, 2);
+        telemetry.prepared_latency(0).record(10);
+        telemetry.prepared_latency(1).record(20);
+        // Past the cap: both land in the shared overflow series.
+        telemetry.prepared_latency(2).record(30);
+        telemetry.prepared_latency(3).record(40);
+        // A capped id keeps its own series on re-lookup.
+        telemetry.prepared_latency(0).record(11);
+        // Dots render as underscores in the text exposition.
+        let text = telemetry.registry().snapshot().render_text();
+        assert!(text.contains("prepared_0_latency"), "{text}");
+        assert!(text.contains("prepared_1_latency_count 1"), "{text}");
+        assert!(!text.contains("prepared_2_latency"), "{text}");
+        assert!(!text.contains("prepared_3_latency"), "{text}");
+        assert!(text.contains("prepared_other_latency_count 2"), "{text}");
     }
 }

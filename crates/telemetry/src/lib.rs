@@ -28,6 +28,13 @@
 //! exposition ([`MetricsSnapshot::render_text`]). [`StageTimings`] is the
 //! shared per-query cost breakdown the executor fills in, and [`Json`] is
 //! a small writer used for the `BENCH_serving.json` bench artifact.
+//!
+//! Two request-scoped facilities round out the layer: [`RollingWindows`]
+//! answers "q/s and error rate over the last 1 s / 10 s / 60 s" from a
+//! lock-free ring of per-second buckets, and [`set_current_trace`] installs
+//! a thread-local `(trace id, parent span)` so subsystems deep in a serving
+//! call stack can stamp their [`TraceBuffer`] events with the wire-supplied
+//! trace id ([`current_trace_id`]).
 
 #![warn(missing_docs)]
 
@@ -36,6 +43,7 @@ mod json;
 mod metrics;
 mod stage;
 mod trace;
+mod windows;
 
 pub use hist::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot,
@@ -43,4 +51,8 @@ pub use hist::{
 pub use json::Json;
 pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, METRICS_SNAPSHOT_VERSION};
 pub use stage::StageTimings;
-pub use trace::{FieldValue, TraceBuffer, TraceEvent};
+pub use trace::{
+    current_trace, current_trace_id, set_current_trace, FieldValue, TraceBuffer, TraceContextGuard,
+    TraceEvent,
+};
+pub use windows::{RollingWindows, WindowRates, WINDOW_SECS};

@@ -198,6 +198,59 @@ impl TraceBuffer {
     }
 }
 
+// ------------------------------------------------------- trace propagation
+
+use std::cell::Cell;
+
+thread_local! {
+    /// (trace id, parent span) of the request this thread is currently
+    /// serving; `(0, 0)` when none.
+    static CURRENT_TRACE: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Clears or restores the thread's trace context when dropped — the result
+/// of [`set_current_trace`].
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately clears the trace context"]
+pub struct TraceContextGuard {
+    previous: (u64, u64),
+}
+
+impl Drop for TraceContextGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Installs `(trace_id, parent_span)` as the calling thread's trace context
+/// for the lifetime of the returned guard. Subsystems deeper in the call
+/// stack pick it up via [`current_trace_id`] and stamp their trace events
+/// with the caller's id, which is how one wire-supplied trace id follows a
+/// request from socket read to WAL fsync. Nesting restores the outer
+/// context on drop.
+pub fn set_current_trace(trace_id: u64, parent_span: u64) -> TraceContextGuard {
+    let previous = CURRENT_TRACE.with(|cell| cell.replace((trace_id, parent_span)));
+    TraceContextGuard { previous }
+}
+
+/// The calling thread's current trace id, `0` when no context is installed.
+#[inline]
+pub fn current_trace_id() -> u64 {
+    CURRENT_TRACE.with(|cell| cell.get().0)
+}
+
+/// The calling thread's `(trace id, parent span)`, if a context is
+/// installed.
+#[inline]
+pub fn current_trace() -> Option<(u64, u64)> {
+    let (id, parent) = CURRENT_TRACE.with(|cell| cell.get());
+    if id == 0 {
+        None
+    } else {
+        Some((id, parent))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +300,21 @@ mod tests {
         assert!(trace.recent().is_empty());
         trace.emit("e", 0, vec![]);
         assert_eq!(trace.recent()[0].seq, 1, "sequence numbers are never reused");
+    }
+
+    #[test]
+    fn trace_context_nests_and_restores() {
+        assert_eq!(current_trace_id(), 0);
+        assert_eq!(current_trace(), None);
+        let outer = set_current_trace(7, 1);
+        assert_eq!(current_trace(), Some((7, 1)));
+        {
+            let _inner = set_current_trace(9, 2);
+            assert_eq!(current_trace_id(), 9);
+        }
+        assert_eq!(current_trace(), Some((7, 1)), "inner guard restores outer context");
+        drop(outer);
+        assert_eq!(current_trace_id(), 0);
     }
 
     #[test]

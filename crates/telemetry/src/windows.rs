@@ -1,0 +1,234 @@
+//! Rolling-window request/error rates: lock-free per-second buckets.
+//!
+//! A [`RollingWindows`] keeps a fixed ring of per-second buckets (enough to
+//! cover the longest reported window plus slack) and answers "how many
+//! requests / errors in the last 1 s / 10 s / 60 s" without retaining any
+//! per-event state. Recording is two relaxed atomic ops on the hot path; a
+//! bucket is lazily re-tagged (CAS on its second stamp) the first time a
+//! new second touches it, so there is no background sweeper thread.
+//!
+//! Counts are *approximate at second boundaries*: a recording racing the
+//! re-tagging of its bucket can be lost or land in the evicted second.
+//! That bounded fuzz is the price of staying lock-free, and is irrelevant
+//! for the health-summary rates these windows feed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Ring length: covers the 60 s window plus slack so a reader summing the
+/// last 60 complete seconds never collides with the writer's current one.
+const BUCKETS: usize = 64;
+
+/// The window lengths (seconds) a health summary reports, shortest first.
+pub const WINDOW_SECS: [u64; 3] = [1, 10, 60];
+
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Absolute second (since [`RollingWindows`] creation) this bucket
+    /// currently counts, `u64::MAX` when never used.
+    tag: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Request/error totals over one trailing window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowRates {
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Requests observed in the window.
+    pub requests: u64,
+    /// Errors observed in the window.
+    pub errors: u64,
+}
+
+impl WindowRates {
+    /// Requests per second over the window.
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.window_secs.max(1) as f64
+    }
+
+    /// Errors per second over the window.
+    pub fn eps(&self) -> f64 {
+        self.errors as f64 / self.window_secs.max(1) as f64
+    }
+
+    /// Errors as a fraction of requests (0 when the window saw none).
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Lock-free rolling request/error rate windows (see the module docs).
+#[derive(Debug)]
+pub struct RollingWindows {
+    origin: Instant,
+    buckets: Vec<Bucket>,
+}
+
+impl Default for RollingWindows {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollingWindows {
+    /// A fresh set of windows; second 0 is "now".
+    pub fn new() -> Self {
+        let buckets = (0..BUCKETS)
+            .map(|_| Bucket {
+                tag: AtomicU64::new(u64::MAX),
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            })
+            .collect();
+        Self { origin: Instant::now(), buckets }
+    }
+
+    /// Seconds elapsed since creation — the clock every recording and
+    /// read uses.
+    pub fn now_sec(&self) -> u64 {
+        self.origin.elapsed().as_secs()
+    }
+
+    /// Records one served request at the current second.
+    #[inline]
+    pub fn record_request(&self) {
+        self.record_request_at(self.now_sec());
+    }
+
+    /// Records one failed request at the current second. Errors are counted
+    /// *in addition to* the request recording the serving path makes — an
+    /// error does not also count as a served request unless the caller
+    /// records both.
+    #[inline]
+    pub fn record_error(&self) {
+        self.record_error_at(self.now_sec());
+    }
+
+    /// [`RollingWindows::record_request`] at an explicit second (tests,
+    /// replay).
+    pub fn record_request_at(&self, sec: u64) {
+        self.bucket(sec).requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`RollingWindows::record_error`] at an explicit second.
+    pub fn record_error_at(&self, sec: u64) {
+        self.bucket(sec).errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Totals over the trailing `window_secs` seconds, the current
+    /// (partial) second included.
+    pub fn rates(&self, window_secs: u64) -> WindowRates {
+        self.rates_at(self.now_sec(), window_secs)
+    }
+
+    /// [`RollingWindows::rates`] read at an explicit current second.
+    pub fn rates_at(&self, now_sec: u64, window_secs: u64) -> WindowRates {
+        let window_secs = window_secs.clamp(1, BUCKETS as u64 - 1);
+        let oldest = now_sec.saturating_sub(window_secs - 1);
+        let mut rates = WindowRates { window_secs, requests: 0, errors: 0 };
+        for sec in oldest..=now_sec {
+            let bucket = &self.buckets[(sec % BUCKETS as u64) as usize];
+            if bucket.tag.load(Ordering::Acquire) == sec {
+                rates.requests += bucket.requests.load(Ordering::Relaxed);
+                rates.errors += bucket.errors.load(Ordering::Relaxed);
+            }
+        }
+        rates
+    }
+
+    /// One [`WindowRates`] per entry of [`WINDOW_SECS`].
+    pub fn summary(&self) -> [WindowRates; 3] {
+        let now = self.now_sec();
+        [
+            self.rates_at(now, WINDOW_SECS[0]),
+            self.rates_at(now, WINDOW_SECS[1]),
+            self.rates_at(now, WINDOW_SECS[2]),
+        ]
+    }
+
+    /// The bucket for `sec`, re-tagged (and zeroed) if it still holds an
+    /// older second's counts.
+    fn bucket(&self, sec: u64) -> &Bucket {
+        let bucket = &self.buckets[(sec % BUCKETS as u64) as usize];
+        let tag = bucket.tag.load(Ordering::Acquire);
+        if tag != sec
+            && bucket.tag.compare_exchange(tag, sec, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+        {
+            bucket.requests.store(0, Ordering::Relaxed);
+            bucket.errors.store(0, Ordering::Relaxed);
+        }
+        bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_their_window() {
+        let windows = RollingWindows::new();
+        for _ in 0..5 {
+            windows.record_request_at(100);
+        }
+        windows.record_error_at(100);
+        let w1 = windows.rates_at(100, 1);
+        assert_eq!(w1, WindowRates { window_secs: 1, requests: 5, errors: 1 });
+        assert_eq!(w1.qps(), 5.0);
+        assert_eq!(w1.error_rate(), 0.2);
+    }
+
+    #[test]
+    fn old_seconds_age_out_of_short_windows() {
+        let windows = RollingWindows::new();
+        windows.record_request_at(10);
+        windows.record_request_at(15);
+        assert_eq!(windows.rates_at(15, 1).requests, 1, "1s window sees only second 15");
+        assert_eq!(windows.rates_at(15, 10).requests, 2, "10s window sees both");
+        assert_eq!(windows.rates_at(80, 60).requests, 0, "everything aged out");
+    }
+
+    #[test]
+    fn ring_reuse_evicts_stale_counts() {
+        let windows = RollingWindows::new();
+        windows.record_request_at(3);
+        // Second 3 + BUCKETS lands in the same slot and must evict it.
+        windows.record_request_at(3 + BUCKETS as u64);
+        assert_eq!(windows.rates_at(3 + BUCKETS as u64, 1).requests, 1);
+        assert_eq!(
+            windows.rates_at(3 + BUCKETS as u64, 60).requests,
+            1,
+            "the evicted second's count must not resurface"
+        );
+    }
+
+    #[test]
+    fn window_is_clamped_to_the_ring() {
+        let windows = RollingWindows::new();
+        windows.record_request_at(0);
+        let rates = windows.rates_at(0, 10_000);
+        assert_eq!(rates.window_secs, BUCKETS as u64 - 1);
+        assert_eq!(rates.requests, 1);
+    }
+
+    #[test]
+    fn summary_reports_all_three_windows() {
+        let windows = RollingWindows::new();
+        windows.record_request();
+        let summary = windows.summary();
+        assert_eq!(summary.iter().map(|w| w.window_secs).collect::<Vec<_>>(), vec![1, 10, 60]);
+        assert!(summary.iter().all(|w| w.requests == 1));
+    }
+
+    #[test]
+    fn error_rate_of_empty_window_is_zero() {
+        let windows = RollingWindows::new();
+        assert_eq!(windows.rates_at(50, 10).error_rate(), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! `MetricsSnapshot` codec forward-compat: a decoder pointed at an unknown
+//! version byte (a future writer) or any mutated byte stream must return a
+//! typed `InvalidData` error, never panic — and decode(encode(s)) must be
+//! the identity for arbitrary registry contents.
+
+use pgso_telemetry::{MetricsRegistry, MetricsSnapshot, METRICS_SNAPSHOT_VERSION};
+use proptest::collection;
+use proptest::prelude::*;
+use std::io::ErrorKind;
+
+/// Builds a snapshot through a real registry so histogram states carry
+/// internally consistent bucket/count/sum/min/max values — the only shape
+/// the encoder ever sees in production. Gauge bits are reinterpreted as
+/// `f64`, so NaN/±Inf payloads are covered.
+fn build_snapshot(
+    counters: &[(u64, u64)],
+    gauges: &[(u64, u64)],
+    histograms: &[Vec<u64>],
+) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    for (i, &(tag, value)) in counters.iter().enumerate() {
+        registry.counter(&format!("c{i}.n{:x}.total", tag % 4096)).add(value);
+    }
+    for (i, &(tag, bits)) in gauges.iter().enumerate() {
+        registry.gauge(&format!("g{i}.n{:x}", tag % 4096)).set(f64::from_bits(bits));
+    }
+    for (i, samples) in histograms.iter().enumerate() {
+        let hist = registry.histogram(&format!("h{i}.latency"));
+        for &sample in samples {
+            hist.record(sample);
+        }
+    }
+    registry.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decode_encode_is_identity(
+        counters in collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..8),
+        gauges in collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..8),
+        histograms in collection::vec(collection::vec(0u64..u64::MAX, 0..50), 0..4),
+    ) {
+        let snapshot = build_snapshot(&counters, &gauges, &histograms);
+        let decoded = MetricsSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
+        // NaN gauges break `PartialEq`; the encoded bytes are exact (gauges
+        // serialize as `f64::to_bits`), so compare through them.
+        prop_assert_eq!(decoded.to_bytes(), snapshot.to_bytes());
+    }
+
+    #[test]
+    fn unknown_version_is_a_typed_error(
+        version in (METRICS_SNAPSHOT_VERSION + 1)..u16::MAX,
+        counters in collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..4),
+    ) {
+        let mut bytes = build_snapshot(&counters, &[], &[]).to_bytes();
+        bytes[..2].copy_from_slice(&version.to_le_bytes());
+        let err = MetricsSnapshot::from_bytes(&bytes).expect_err("future version must not decode");
+        prop_assert_eq!(err.kind(), ErrorKind::InvalidData);
+        prop_assert!(err.to_string().contains(&version.to_string()), "error names the version");
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        histograms in collection::vec(collection::vec(0u64..u64::MAX, 0..50), 1..4),
+        keep in 0usize..4096,
+    ) {
+        let bytes = build_snapshot(&[], &[], &histograms).to_bytes();
+        if keep < bytes.len() {
+            // Every strict prefix must be rejected — and, the actual point,
+            // nothing may panic or loop while rejecting it.
+            prop_assert!(MetricsSnapshot::from_bytes(&bytes[..keep]).is_err());
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(0u64..256, 0..512)) {
+        // Total decoder: any byte soup yields Ok or a typed error.
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = MetricsSnapshot::from_bytes(&bytes);
+    }
+}
+
+#[test]
+fn version_zero_and_empty_input_are_typed_errors() {
+    let err = MetricsSnapshot::from_bytes(&[0, 0]).expect_err("version 0 is unknown");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    let err = MetricsSnapshot::from_bytes(&[]).expect_err("empty input is truncated");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+}

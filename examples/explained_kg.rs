@@ -1,0 +1,104 @@
+//! Query introspection scenario: EXPLAIN a workload to see which
+//! optimization rules rewrote each statement against the optimized schema,
+//! PROFILE one to get executed actuals per stage, then do the same over the
+//! wire — a traced client runs the query, drains its own trace from the
+//! server's ring via OBSERVE, and scrapes the health summary.
+//!
+//! ```text
+//! cargo run --example explained_kg
+//! ```
+
+use pgso::net::{KgClient, KgListener, NetConfig};
+use pgso::ontology::catalog;
+use pgso::prelude::*;
+use pgso::server::{QueryPlan, ServerConfig};
+use std::sync::Arc;
+
+const WORKLOAD: [&str; 4] = [
+    "MATCH (d:Drug)-[:has]->(di:DrugInteraction)-[:isA]->(dfi:DrugFoodInteraction) \
+     RETURN d.name, dfi.risk LIMIT 5",
+    "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, i.desc ORDER BY d.name LIMIT 5",
+    "MATCH (di:DrugInteraction)-[:isA]->(dli:DrugLabInteraction) RETURN dli.summary LIMIT 5",
+    "MATCH (p:Patient)-[:hasEncounter]->(e:Encounter) RETURN size(collect(e.encounterId))",
+];
+
+fn main() {
+    let ontology = catalog::medical();
+    let statistics = DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), 23);
+    let instance = InstanceKg::generate(&ontology, &statistics, 0.05, 23);
+    let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+    let config = ServerConfig { auto_reoptimize: false, ..ServerConfig::default() };
+    let server = Arc::new(KgServer::new(ontology, statistics, instance, frequencies, config));
+
+    // ── 1. EXPLAIN the workload: which rules rewrote what, and how hard
+    //       the optimizer expects each traversal to fan out.
+    println!("== EXPLAIN: rule attribution across the workload ==");
+    for text in WORKLOAD {
+        let plan = server.explain_text(text).expect(text);
+        let rules: Vec<String> = plan
+            .rules
+            .iter()
+            .map(|r| match r.estimated_fanout {
+                Some(f) => format!("{} ({}, est. fanout {f:.1})", r.rule, r.detail),
+                None => format!("{} ({})", r.rule, r.detail),
+            })
+            .collect();
+        println!("\n  DIR {}", plan.dir);
+        if plan.rewritten() {
+            println!("  OPT {}", plan.opt);
+            println!("      rules: {}", rules.join("; "));
+        } else {
+            println!("      (identity rewrite — already in optimized form)");
+        }
+    }
+
+    // ── 2. PROFILE one statement: the full report, executed actuals and
+    //       per-stage nanoseconds included.
+    let plan = server.profile_text(WORKLOAD[0]).expect("profiles");
+    println!("\n== PROFILE report ==\n");
+    for line in plan.render_text().lines() {
+        println!("  {line}");
+    }
+
+    // ── 3. The same plan travels the wire as tagged rows: EXPLAIN is just
+    //       a statement prefix, so any client can ask.
+    let mut listener =
+        KgListener::bind(server.clone(), "127.0.0.1:0", NetConfig::default()).expect("binds");
+    listener.serve().expect("serves");
+    let mut client = KgClient::connect(listener.local_addr()).expect("connects");
+
+    let result = client.run(&format!("EXPLAIN {}", WORKLOAD[1])).expect("explains remotely");
+    let remote = QueryPlan::from_rows(&result.rows).expect("tagged rows rebuild");
+    println!("\n== EXPLAIN over the wire ==");
+    println!("  {} rule(s), cache_hit={}", remote.rules.len(), remote.cache_hit);
+
+    // ── 4. The client's requests were trace-stamped (protocol revision 2):
+    //       run one query, then drain exactly its trace from the server.
+    client.run(WORKLOAD[1]).expect("runs");
+    let trace_id = client.last_trace_id();
+    let events = client.observe_trace(trace_id).expect("drains");
+    println!("\n== trace {trace_id:#018x}: {} event(s) across the stack ==", events.len());
+    for event in &events {
+        let span_ns = event.duration.map_or(0, |d| d.as_nanos() as u64);
+        println!("  {:<24} {span_ns:>8} ns", event.name);
+    }
+
+    // ── 5. And the scrape plane: health plus a metrics excerpt, remotely.
+    let health = client.observe_health().expect("summarizes");
+    println!("\n== OBSERVE health ==");
+    println!(
+        "  served={} epoch={} schema_gen={} drift={:.3}",
+        health.served, health.epoch, health.schema_generation, health.drift
+    );
+    for w in health.windows {
+        println!("  last {:>2} s: {} request(s), {} error(s)", w.window_secs, w.requests, w.errors);
+    }
+    let exposition = client.observe_metrics_text().expect("scrapes");
+    println!("\n== OBSERVE exposition ({} lines, excerpt) ==", exposition.lines().count());
+    for line in exposition.lines().filter(|l| l.starts_with("net_")).take(6) {
+        println!("  {line}");
+    }
+
+    client.goodbye().expect("orderly close");
+    listener.shutdown();
+}
