@@ -39,6 +39,16 @@
 //! ratio must stay ≥ 0.90 — the protocol must not reintroduce literal
 //! rebinding the prepare/execute redesign removed.
 //!
+//! A **multi-tenant hosting grid** replays the same value-varying prepared
+//! mix against a `pgso_tenant::TenantHost` carrying 1/2/4 independent
+//! medical-catalog tenants — each its own optimized schema, graph and plan
+//! cache, all in one process — × 1/2 client threads per tenant. Each cell
+//! records total q/s, per-tenant q/s and a **fairness ratio** (min/max of
+//! the per-tenant numbers; 1.0 is perfectly fair hosting). Full runs
+//! assert fairness ≥ 0.5, zero quota rejections and a ≥ 90% post-warm
+//! plan-cache hit ratio on *every* tenant — hosting N graphs must not
+//! cross-pollute their caches or starve any one of them.
+//!
 //! A **storage-tier scale ladder** closes the run: a [`ScaleLadder`] of
 //! deterministic instance chunks (≈10⁴ vertices per rung) is served at
 //! rungs 1 and 10 (and 100 with `PGSO_BENCH_SCALE100=1`; `--test` smoke
@@ -59,13 +69,15 @@
 //! per-stage p50s from the server's own telemetry, plan-cache hit ratio,
 //! WAL append/fsync percentiles from a durable run, per-shard vertex-read
 //! balance, the loopback wire grid (q/s per connections × depth cell plus
-//! the wire hit ratio), the telemetry on/off overhead ratio, and the scale
-//! ladder (one cell per scale × storage tier, each tagged with `scale` and
+//! the wire hit ratio), the telemetry on/off overhead ratio, the
+//! multi-tenant grid (per-cell total/per-tenant q/s + fairness, plus flat
+//! `tenant_grid_t<tenants>_x<threads>_qps` keys), and the scale ladder
+//! (one cell per scale × storage tier, each tagged with `scale` and
 //! `storage_tier` plus a flat `scale_ladder_s<scale>_<tier>_qps` key). The
 //! committed copy is the reference baseline; with `PGSO_BENCH_GATE=1` the
 //! run *fails* when pattern-mix q/s, loopback wire q/s at 4 connections ×
-//! depth 16, or any ladder cell measured this run drops more than 20%
-//! below that baseline. Telemetry overhead is asserted `< 5%` in full
+//! depth 16, any ladder cell, or any tenant-grid cell measured this run
+//! drops more than 20% below that baseline. Telemetry overhead is asserted `< 5%` in full
 //! (non `--test`) runs.
 //!
 //! Beside the baseline, the durable telemetry run also dumps two plain-text
@@ -714,6 +726,169 @@ fn loopback_grid(quick: bool) -> (Vec<LoopbackRow>, f64, f64) {
     (rows, headline, ratio)
 }
 
+/// One multi-tenant grid cell: `tenants` equally-provisioned tenants in
+/// one host, each served by `threads_per_tenant` client threads.
+struct TenantRow {
+    tenants: usize,
+    threads_per_tenant: usize,
+    total_qps: f64,
+    per_tenant_qps: Vec<f64>,
+    /// min/max of `per_tenant_qps` — 1.0 is perfectly fair hosting.
+    fairness: f64,
+}
+
+impl TenantRow {
+    /// Flat baseline key, e.g. `tenant_grid_t2_x2_qps` — unique across the
+    /// report so [`baseline_field`]'s string extraction finds it.
+    fn flat_key(&self) -> String {
+        format!("tenant_grid_t{}_x{}_qps", self.tenants, self.threads_per_tenant)
+    }
+}
+
+/// The multi-tenant hosting grid: the value-varying prepared mix replayed
+/// against a [`pgso_tenant::TenantHost`] carrying 1/2/4 independent
+/// medical-catalog tenants (distinct seeds, so distinct graphs) × 1/2
+/// client threads per tenant. Beyond throughput, the cells are isolation
+/// gates: every tenant must keep its own plan cache ≥ 90% hot (hosting N
+/// graphs must not cross-pollute the caches), no open-quota request may
+/// be rejected, and in full runs the per-tenant q/s spread must stay
+/// within 2× (fairness ≥ 0.5 — no tenant starved by its siblings).
+fn tenant_grid(quick: bool) -> Vec<TenantRow> {
+    use pgso_tenant::{Tenant, TenantHost, TenantHostConfig, TenantSpec};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // Duration-based cells: every thread loops until a shared stop flag and
+    // counts what it served. Fixed-request cells mismeasure fairness badly —
+    // a few hundred executes finish inside one scheduling quantum, so the
+    // OS runs the threads nearly back-to-back and elapsed-from-start makes
+    // whichever tenant ran first look several times faster.
+    let cell_duration = Duration::from_millis(if quick { 100 } else { 500 });
+    let mut rows = Vec::new();
+    for tenants in [1usize, 2, 4] {
+        let mut config = TenantHostConfig::default();
+        config.server.auto_reoptimize = false;
+        let host = TenantHost::new(config);
+        let cohort: Vec<Arc<Tenant>> = (0..tenants)
+            .map(|i| {
+                let seed = 42 + i as u64;
+                let ontology = catalog::medical();
+                let statistics =
+                    DataStatistics::synthesize(&ontology, &StatisticsConfig::small(), seed);
+                let instance = InstanceKg::generate(&ontology, &statistics, 0.04, seed);
+                let frequencies = AccessFrequencies::uniform(&ontology, 10_000.0);
+                host.create_tenant(
+                    &format!("t{i}"),
+                    TenantSpec { ontology, statistics, instance, frequencies },
+                )
+                .expect("grid tenant builds")
+            })
+            .collect();
+        // Prepare the four texts and warm every tenant's plan cache once so
+        // the cells measure steady-state serving.
+        let prepared: Vec<Vec<PreparedStatement>> = cohort
+            .iter()
+            .map(|tenant| {
+                PREPARED_TEXTS
+                    .iter()
+                    .map(|text| tenant.prepare_text(text).expect("grid statement prepares"))
+                    .collect()
+            })
+            .collect();
+        for (tenant, stmts) in cohort.iter().zip(&prepared) {
+            for (i, stmt) in stmts.iter().enumerate() {
+                tenant.execute(stmt, &varying_params(i)).expect("warm execute admits");
+            }
+        }
+        let warm: Vec<_> = cohort.iter().map(|tenant| tenant.server().cache_stats()).collect();
+        let mut served_by_tenant = vec![0u64; tenants];
+
+        for threads_per_tenant in [1usize, 2] {
+            let stop = AtomicBool::new(false);
+            let counts: Vec<AtomicU64> = (0..tenants).map(|_| AtomicU64::new(0)).collect();
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for (t, (tenant, stmts)) in cohort.iter().zip(&prepared).enumerate() {
+                    for worker in 0..threads_per_tenant {
+                        let (stop, counts) = (&stop, &counts);
+                        scope.spawn(move || {
+                            // Offset each thread's value stream so siblings
+                            // don't execute in lockstep.
+                            let mut i = worker * 7919;
+                            while !stop.load(Ordering::Relaxed) {
+                                tenant
+                                    .execute(&stmts[i % 4], &varying_params(i))
+                                    .expect("open-quota execute admits");
+                                counts[t].fetch_add(1, Ordering::Relaxed);
+                                i += 1;
+                            }
+                        });
+                    }
+                }
+                std::thread::sleep(cell_duration);
+                stop.store(true, Ordering::Relaxed);
+            });
+            let wall = started.elapsed().as_secs_f64().max(1e-9);
+            let per_tenant_qps: Vec<f64> =
+                counts.iter().map(|count| count.load(Ordering::Relaxed) as f64 / wall).collect();
+            for (t, count) in counts.iter().enumerate() {
+                served_by_tenant[t] += count.load(Ordering::Relaxed);
+            }
+            let total_qps: f64 = per_tenant_qps.iter().sum();
+            let slowest = per_tenant_qps.iter().cloned().fold(f64::INFINITY, f64::min);
+            let fastest = per_tenant_qps.iter().cloned().fold(0.0f64, f64::max);
+            let fairness = slowest / fastest.max(1e-9);
+            let rounded: Vec<i64> = per_tenant_qps.iter().map(|&q| q as i64).collect();
+            println!(
+                "server_throughput/tenant_grid tenants_{tenants} threads_{threads_per_tenant} \
+                 {total_qps:>12.0} queries/sec total  per-tenant {rounded:?}  \
+                 fairness {fairness:.2}"
+            );
+            if quick {
+                assert!(slowest > 0.0, "every tenant must have served its share");
+            } else {
+                assert!(
+                    fairness >= 0.5,
+                    "per-tenant q/s spread exceeded 2x (fairness {fairness:.2}) — \
+                     a tenant is being starved by its siblings"
+                );
+            }
+            rows.push(TenantRow {
+                tenants,
+                threads_per_tenant,
+                total_qps,
+                per_tenant_qps,
+                fairness,
+            });
+        }
+
+        // Isolation accounting: exact per-tenant admission counts, zero
+        // rejections (all quotas open), and a hot private plan cache.
+        for (idx, tenant) in cohort.iter().enumerate() {
+            let health = tenant.health();
+            let expected_admitted = PREPARED_TEXTS.len() as u64 + served_by_tenant[idx];
+            assert_eq!(
+                health.admitted,
+                expected_admitted,
+                "tenant {} admission count off — requests leaked across tenants?",
+                tenant.name()
+            );
+            assert_eq!(health.rejected, 0, "open quotas must reject nothing");
+            let stats = tenant.server().cache_stats();
+            let hits = stats.hits - warm[idx].hits;
+            let misses = stats.misses - warm[idx].misses;
+            let ratio = hits as f64 / (hits + misses).max(1) as f64;
+            assert!(
+                ratio >= 0.90,
+                "tenant {} post-warm plan-cache hit ratio {ratio:.4} fell below 0.90 — \
+                 multi-tenant hosting must not cross-pollute per-tenant caches",
+                tenant.name()
+            );
+        }
+    }
+    rows
+}
+
 /// Per-rung chunk size of the scale ladder: ≈10⁴ vertices / 1.6×10⁴ edges
 /// per chunk with the medical catalog and the seed-42 small statistics, so
 /// rung 10 serves ≈10⁵ vertices and rung 100 ≈10⁶.
@@ -896,14 +1071,15 @@ fn baseline_field(text: &str, key: &str) -> Option<f64> {
 /// baseline *before* overwriting it; >20% regression fails. The headline
 /// numbers gate independently: the in-process pattern mix (multi-round
 /// average from the overhead measurement — telemetry on, 4 threads), the
-/// loopback wire grid (4 connections × depth 16), and every scale-ladder
+/// loopback wire grid (4 connections × depth 16), every scale-ladder
 /// cell measured this run (quick runs measure — and therefore gate — only
-/// the rung-1 cells). Single replays are far too noisy to gate on; a
-/// baseline that predates a key skips that gate gracefully.
+/// the rung-1 cells), and every multi-tenant grid cell. Single replays
+/// are far too noisy to gate on; a baseline that predates a key skips
+/// that gate gracefully.
 fn gate_against_baseline(
     headline_qps: f64,
     loopback_headline_qps: f64,
-    ladder_cells: &[(String, f64)],
+    flat_cells: &[(String, f64)],
 ) {
     if std::env::var("PGSO_BENCH_GATE").map(|v| v == "1").unwrap_or(false) {
         let path = baseline_path();
@@ -912,7 +1088,7 @@ fn gate_against_baseline(
             ("headline_qps".to_string(), headline_qps),
             ("loopback_headline_qps".to_string(), loopback_headline_qps),
         ];
-        gates.extend(ladder_cells.iter().cloned());
+        gates.extend(flat_cells.iter().cloned());
         for (key, measured) in gates {
             match baseline_field(&text, &key) {
                 Some(expected) if expected > 0.0 => {
@@ -995,7 +1171,12 @@ fn bench(c: &mut Criterion) {
     let ladder = scale_ladder(quick);
     let ladder_flat: Vec<(String, f64)> =
         ladder.iter().map(|cell| (cell.flat_key(), cell.qps)).collect();
-    gate_against_baseline(headline_qps, loopback_headline_qps, &ladder_flat);
+    let tenant_rows = tenant_grid(quick);
+    let tenant_flat: Vec<(String, f64)> =
+        tenant_rows.iter().map(|row| (row.flat_key(), row.total_qps)).collect();
+    let mut flat_cells = ladder_flat.clone();
+    flat_cells.extend(tenant_flat.iter().cloned());
+    gate_against_baseline(headline_qps, loopback_headline_qps, &flat_cells);
 
     let qps_obj = |rows: &[(usize, f64)]| {
         let mut obj = Json::obj();
@@ -1020,6 +1201,20 @@ fn bench(c: &mut Criterion) {
                 .with("connections", row.connections)
                 .with("pipeline_depth", row.depth)
                 .with("qps", row.qps)
+        })
+        .collect();
+    let tenant_grid_rows: Vec<Json> = tenant_rows
+        .iter()
+        .map(|row| {
+            Json::obj()
+                .with("tenants", row.tenants)
+                .with("threads_per_tenant", row.threads_per_tenant)
+                .with("total_qps", row.total_qps)
+                .with(
+                    "per_tenant_qps",
+                    row.per_tenant_qps.iter().map(|&q| Json::from(q)).collect::<Vec<_>>(),
+                )
+                .with("fairness", row.fairness)
         })
         .collect();
     let ladder_rows: Vec<Json> = ladder
@@ -1065,11 +1260,12 @@ fn bench(c: &mut Criterion) {
         .with("telemetry", profile)
         .with("telemetry_overhead", overhead)
         .with("shard_grid_at_8_threads", grid_rows)
+        .with("tenant_grid", tenant_grid_rows)
         .with("scale_ladder", ladder_rows);
     // Flat per-cell keys so the gate's string extraction finds them; full
     // runs re-record every rung, quick runs keep the deeper rungs' cells
     // from the committed baseline out of the gate (they weren't measured).
-    for (key, qps) in &ladder_flat {
+    for (key, qps) in ladder_flat.iter().chain(&tenant_flat) {
         report.set(key, *qps);
     }
     let path = baseline_path();

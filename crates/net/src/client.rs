@@ -12,7 +12,9 @@
 //! fresh wire trace id ([`KgClient::last_trace_id`]) that the server
 //! propagates through engine, query stages and WAL into its trace ring, and
 //! the `observe_*` methods scrape the server's metrics / trace / health
-//! surfaces remotely.
+//! surfaces remotely. On a revision-3 session [`KgClient::use_tenant`]
+//! selects which hosted tenant subsequent RUN/PREPARE requests route to
+//! (multi-tenant listeners; connections start on the host default).
 
 use crate::frame::{write_frame, FrameReader, MAX_FRAME_LEN};
 use crate::proto::{
@@ -203,6 +205,29 @@ impl KgClient {
             ))),
             Response::Error { code, message } => Err(NetError::Remote { code, message }),
             other => Err(NetError::Protocol(format!("expected PREPARED, got {other:?}"))),
+        }
+    }
+
+    /// Selects the tenant subsequent RUN/PREPARE requests route to
+    /// (revision ≥ 3). Selection is sticky for the connection; handles
+    /// already prepared keep executing on the tenant that prepared them.
+    /// An unknown name fails with [`ErrorCode::UnknownTenant`] and leaves
+    /// the previous selection in effect — the connection stays usable.
+    pub fn use_tenant(&mut self, tenant: &str) -> Result<(), NetError> {
+        if self.negotiated < 3 {
+            return Err(NetError::Protocol(format!(
+                "USE needs protocol revision 3, session negotiated {}",
+                self.negotiated
+            )));
+        }
+        self.send(&Request::Use { tenant: tenant.to_string() })?;
+        match self.recv_response()? {
+            Response::UseOk { tenant: echoed } if echoed == tenant => Ok(()),
+            Response::UseOk { tenant: echoed } => {
+                Err(NetError::Protocol(format!("USE_OK echoed `{echoed}`, expected `{tenant}`")))
+            }
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::Protocol(format!("expected USE_OK, got {other:?}"))),
         }
     }
 

@@ -12,17 +12,23 @@
 //!   and result cells;
 //! * [`KgListener`] — the serving side: one accept thread, a few readiness
 //!   loop threads multiplexing non-blocking sockets, and a shared worker
-//!   pool executing requests against the engine. Connections are pipelined
-//!   (many requests in flight; responses strictly in request order) and
-//!   drain gracefully on [`KgListener::shutdown`];
+//!   pool executing requests against the engines. A listener fronts a
+//!   [`pgso_tenant::TenantHost`] ([`KgListener::bind_host`]) — many
+//!   independent tenant graphs behind one socket, selected per connection
+//!   with the revision-3 `USE` request — while [`KgListener::bind`] keeps
+//!   the single-server shape (the server becomes the host's sole `default`
+//!   tenant). Connections are pipelined (many requests in flight; responses
+//!   strictly in request order) and drain gracefully on
+//!   [`KgListener::shutdown`];
 //! * [`KgClient`] — a blocking client with the same prepare/execute shape as
 //!   the in-process API, plus explicit [`KgClient::send_execute`] /
-//!   [`KgClient::recv_result`] for pipelining.
+//!   [`KgClient::recv_result`] for pipelining and
+//!   [`KgClient::use_tenant`] for tenant selection.
 //!
-//! Wire observability threads through the server's own telemetry registry as
-//! `net.*` series (see [`NetTelemetry`]), so one `metrics_text()` exposition
-//! covers the engine and the connection layer. The full wire format is
-//! documented in `crates/net/README.md`.
+//! Wire observability threads through the host's shared telemetry registry
+//! as `net.*` series (see [`NetTelemetry`]), so one `metrics_text()`
+//! exposition covers the connection layer and every tenant engine. The full
+//! wire format is documented in `crates/net/README.md`.
 
 #![warn(missing_docs)]
 

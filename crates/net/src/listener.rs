@@ -1,5 +1,8 @@
 //! The serving side: [`KgListener`] accepts TCP connections and serves the
-//! wire protocol on top of an [`std::sync::Arc`]'d [`KgServer`].
+//! wire protocol on top of a [`pgso_tenant::TenantHost`] — one listener,
+//! many independent tenant graphs, with [`KgListener::bind`] as the
+//! single-server bridge (it wraps the server as a host's sole `default`
+//! tenant).
 //!
 //! # Architecture
 //!
@@ -15,7 +18,7 @@
 //!   connection. Loops spin while any socket makes progress and back off to
 //!   a short sleep when everything is idle;
 //! * **a shared worker pool** ([`NetConfig::worker_threads`]) executes the
-//!   decoded EXECUTE/RUN requests against the engine. This is the
+//!   decoded EXECUTE/RUN requests against the engines. This is the
 //!   ROADMAP's worker-pool item folded in: parallelism pays off at
 //!   *wire-request* granularity — requests from one pipelined connection
 //!   run concurrently across the pool — instead of per-query scoped-thread
@@ -26,20 +29,31 @@
 //! responses are released strictly in request order through a per-connection
 //! reorder buffer, however the pool interleaves the executions.
 //!
-//! **Request routing.** HELLO, PREPARE, OBSERVE and GOODBYE are handled
+//! **Tenant routing.** Every connection lands on the host's default tenant
+//! at accept; a revision-3 `USE <tenant>` re-targets subsequent requests.
+//! Selection is sticky per connection, and prepared handles stay bound to
+//! the tenant that prepared them — `USE b` after `PREPARE h` does not move
+//! `h`, so pipelined bursts spanning a switch stay correct. An unknown
+//! tenant name answers with a survivable [`ErrorCode::UnknownTenant`] and
+//! the previous selection stays in effect. Per-tenant quota rejections
+//! surface as [`ErrorCode::QuotaExceeded`] — back-pressure, not failure:
+//! the connection keeps serving.
+//!
+//! **Request routing.** HELLO, USE, PREPARE, OBSERVE and GOODBYE are handled
 //! inline on the loop thread — PREPARE deliberately so: the handle map is
 //! updated in receive order, which makes `PREPARE h1; EXECUTE h1` correct in
 //! one pipelined burst without a round trip. EXECUTE and RUN go to the pool.
 //! Requests carrying a wire trace context run under
 //! [`pgso_telemetry::set_current_trace`], so engine/query/WAL spans land in
-//! the trace ring under the client's id.
+//! the serving tenant's trace ring under the client's id.
 //!
 //! **Hardening.** Every decode failure maps to a typed ERROR frame. Payload
-//! violations (bad opcode, malformed message) keep the connection alive —
-//! the length-prefixed framing is intact. Framing violations (oversized or
-//! zero length) and handshake violations are connection-fatal, but only for
-//! that connection: siblings and the engine are untouched, and a worker
-//! panic is caught and answered with `ErrorCode::Internal`.
+//! violations (bad opcode, malformed message, unknown tenant, quota
+//! rejection) keep the connection alive — the length-prefixed framing is
+//! intact. Framing violations (oversized or zero length) and handshake
+//! violations are connection-fatal, but only for that connection: siblings
+//! and the engines are untouched, and a worker panic is caught and answered
+//! with `ErrorCode::Internal`.
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::proto::{
@@ -49,7 +63,8 @@ use crate::proto::{
 use crate::telemetry::NetTelemetry;
 use parking_lot::{Mutex as PlMutex, RwLock};
 use pgso_server::{KgServer, PreparedStatement};
-use pgso_telemetry::set_current_trace;
+use pgso_telemetry::{set_current_trace, TraceBuffer};
+use pgso_tenant::{Tenant, TenantError, TenantHost};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -188,9 +203,15 @@ struct ConnShared {
     write: PlMutex<WriteState>,
     /// Requests decoded but not yet answered (reorder buffer included).
     inflight: AtomicU64,
-    /// Wire handle → engine handle, written inline by PREPARE (receive
-    /// order), read by pool workers.
-    prepared: RwLock<HashMap<u32, PreparedStatement>>,
+    /// The tenant unrouted requests run on: the host default at accept,
+    /// re-targeted by USE (written inline on the loop thread, read by pool
+    /// workers). `None` only when the host has no tenants at all.
+    tenant: RwLock<Option<Arc<Tenant>>>,
+    /// Wire handle → (preparing tenant, engine handle), written inline by
+    /// PREPARE (receive order), read by pool workers. The tenant rides
+    /// along because handles must execute on the engine that issued them —
+    /// a later USE re-targets ad-hoc RUNs, never prepared handles.
+    prepared: RwLock<HashMap<u32, (Arc<Tenant>, PreparedStatement)>>,
     /// Set on any socket error; the owning loop closes the connection.
     dead: AtomicBool,
     stats: Arc<ConnectionStats>,
@@ -255,7 +276,7 @@ impl JobQueue {
 
 /// State shared by every thread of one listener.
 struct Inner {
-    server: Arc<KgServer>,
+    host: Arc<TenantHost>,
     config: NetConfig,
     listener: TcpListener,
     shutdown: AtomicBool,
@@ -266,25 +287,49 @@ struct Inner {
     telemetry: Option<NetTelemetry>,
     /// Every connection ever accepted, accept order (stats outlive closes).
     stats: PlMutex<Vec<Arc<ConnectionStats>>>,
-    /// Statement text → engine handle, shared across connections: N clients
-    /// preparing the same text register it with the engine (and its WAL)
-    /// once, not N times.
-    prepared_by_text: PlMutex<HashMap<String, PreparedStatement>>,
+    /// (tenant, statement text) → engine handle, shared across connections:
+    /// N clients preparing the same text on one tenant register it with
+    /// that tenant's engine (and its WAL) once, not N times. The tenant
+    /// name in the key keeps sibling tenants' identical texts apart — each
+    /// engine must own its registration.
+    prepared_by_text: PlMutex<HashMap<(String, String), PreparedStatement>>,
     next_conn_id: AtomicU64,
     open_connections: AtomicU64,
     force_closed: AtomicU64,
 }
 
 impl Inner {
+    /// Counts an error against the connection's *currently selected*
+    /// tenant — for inline (loop-thread) failures, where the selection is
+    /// the serving tenant by construction.
     fn count_error(&self, conn: &ConnShared) {
+        let tenant = conn.tenant.read().clone();
+        self.count_error_for(conn, tenant.as_deref());
+    }
+
+    /// Counts an error against an explicit serving tenant (pool results:
+    /// EXECUTE runs on the handle's bound tenant, which may differ from the
+    /// connection's current selection). Feeds the connection stats, the
+    /// listener-global `net.errors` counter, and the serving tenant's
+    /// rolling error window (behind its health summary).
+    fn count_error_for(&self, conn: &ConnShared, tenant: Option<&Tenant>) {
         conn.stats.errors.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = &self.telemetry {
             t.record_error();
         }
+        if let Some(st) = tenant.and_then(|t| t.server().telemetry()) {
+            st.windows.record_error();
+        }
     }
 }
 
-/// TCP front-end for a [`KgServer`]: bind, serve, drain, shut down.
+/// The trace ring wire events for this request should land in — the serving
+/// tenant's, when it has telemetry.
+fn trace_ring(tenant: Option<&Tenant>) -> Option<Arc<TraceBuffer>> {
+    tenant.and_then(|t| t.server().telemetry()).map(|st| st.trace().clone())
+}
+
+/// TCP front-end for a [`TenantHost`]: bind, serve, drain, shut down.
 ///
 /// ```no_run
 /// use pgso_server::KgServer;
@@ -308,20 +353,32 @@ pub struct KgListener {
 }
 
 impl KgListener {
-    /// Binds the TCP listener (port 0 picks a free port). Serving starts
-    /// with [`KgListener::serve`].
+    /// Binds a single-server listener (port 0 picks a free port): the
+    /// server becomes the sole `default` tenant of a fresh
+    /// [`TenantHost`] ([`TenantHost::single`]), so pre-tenancy callers see
+    /// identical behavior. Serving starts with [`KgListener::serve`].
     pub fn bind(
         server: Arc<KgServer>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> io::Result<Self> {
+        Self::bind_host(TenantHost::single(server), addr, config)
+    }
+
+    /// Binds a multi-tenant listener over `host`: connections land on the
+    /// host's default tenant and re-target with `USE <tenant>`.
+    pub fn bind_host(
+        host: Arc<TenantHost>,
         addr: impl ToSocketAddrs,
         config: NetConfig,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let telemetry = NetTelemetry::for_server(&server, config.slow_request_threshold);
+        let telemetry = NetTelemetry::for_host(&host, config.slow_request_threshold);
         let loops = config.loop_threads.max(1);
         let inner = Arc::new(Inner {
-            server,
+            host,
             config,
             listener,
             shutdown: AtomicBool::new(false),
@@ -341,6 +398,11 @@ impl KgListener {
     /// The bound address (the actual port when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The tenant host this listener serves.
+    pub fn host(&self) -> &Arc<TenantHost> {
+        &self.inner.host
     }
 
     /// Spawns the accept thread, the readiness loops and the worker pool,
@@ -487,6 +549,7 @@ fn accept_loop(inner: &Inner) {
                     stream,
                     write: PlMutex::new(WriteState::default()),
                     inflight: AtomicU64::new(0),
+                    tenant: RwLock::new(inner.host.default_tenant()),
                     prepared: RwLock::new(HashMap::new()),
                     dead: AtomicBool::new(false),
                     stats,
@@ -730,25 +793,57 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
             );
             conn.state = ConnState::Draining;
         }
+        (ConnState::Ready, Request::Use { tenant }) => {
+            // Inline, like PREPARE: `USE a; RUN q` in one pipelined burst
+            // must route `q` to `a`. Unknown names are survivable — the
+            // previous selection stays in effect.
+            match inner.host.tenant(&tenant) {
+                Ok(routed) => {
+                    *conn.shared.tenant.write() = Some(routed);
+                    finish(inner, &conn.shared, seq, response_bytes(&Response::UseOk { tenant }));
+                }
+                Err(err) => {
+                    inner.count_error(&conn.shared);
+                    finish(
+                        inner,
+                        &conn.shared,
+                        seq,
+                        error_bytes(ErrorCode::UnknownTenant, &err.to_string()),
+                    );
+                }
+            }
+        }
         (ConnState::Ready, Request::Prepare { handle, text, trace }) => {
             // Inline on the loop thread so the handle map is updated in
             // receive order: `PREPARE h; EXECUTE h` works in one burst.
-            // Texts dedup across connections — the engine (and its WAL)
-            // sees each distinct statement once. A wire trace context is
-            // installed for the engine call so the WAL group-commit span
-            // lands under the client's trace id.
+            // Texts dedup across connections *per tenant* — each tenant's
+            // engine (and its WAL) sees each distinct statement once. A
+            // wire trace context is installed for the engine call so the
+            // WAL group-commit span lands under the client's trace id.
+            let tenant = conn.shared.tenant.read().clone();
+            let Some(tenant) = tenant else {
+                inner.count_error(&conn.shared);
+                finish(
+                    inner,
+                    &conn.shared,
+                    seq,
+                    error_bytes(ErrorCode::UnknownTenant, "no tenant selected (host is empty)"),
+                );
+                return;
+            };
             let _trace_guard = trace.map(|ctx| set_current_trace(ctx.trace_id, ctx.parent_span));
-            let existing = inner.prepared_by_text.lock().get(&text).cloned();
+            let key = (tenant.name().to_string(), text.clone());
+            let existing = inner.prepared_by_text.lock().get(&key).cloned();
             let outcome = match existing {
                 Some(ps) => Ok(ps),
-                None => inner.server.prepare_text(&text).inspect(|ps| {
-                    inner.prepared_by_text.lock().insert(text.clone(), ps.clone());
+                None => tenant.prepare_text(&text).inspect(|ps| {
+                    inner.prepared_by_text.lock().insert(key, ps.clone());
                 }),
             };
             match outcome {
                 Ok(ps) => {
                     let signature = ps.signature().clone();
-                    conn.shared.prepared.write().insert(handle, ps);
+                    conn.shared.prepared.write().insert(handle, (tenant.clone(), ps));
                     finish(
                         inner,
                         &conn.shared,
@@ -756,18 +851,25 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
                         response_bytes(&Response::Prepared { handle, signature }),
                     );
                 }
-                Err(parse) => {
-                    inner.count_error(&conn.shared);
+                Err(err) => {
+                    inner.count_error_for(&conn.shared, Some(&tenant));
                     finish(
                         inner,
                         &conn.shared,
                         seq,
-                        error_bytes(ErrorCode::Parse, &parse.to_string()),
+                        error_bytes(wire_code(&err), &err.to_string()),
                     );
                 }
             }
             if let (Some(t), Some(ctx), Some(received)) = (&inner.telemetry, trace, received) {
-                t.record_traced_request(ctx.trace_id, conn.shared.id, seq, received.elapsed());
+                let ring = trace_ring(Some(&tenant));
+                t.record_traced_request(
+                    ring.as_ref(),
+                    ctx.trace_id,
+                    conn.shared.id,
+                    seq,
+                    received.elapsed(),
+                );
             }
         }
         (ConnState::Ready, Request::Observe(observe)) => {
@@ -775,7 +877,12 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
             // run inline on the loop thread like PREPARE — no pool detour,
             // and a scrape can never be reordered behind the queries it is
             // trying to observe on the same connection.
-            finish(inner, &conn.shared, seq, response_bytes(&observe_response(inner, observe)));
+            let tenant = conn.shared.tenant.read().clone();
+            let response = observe_response(inner, tenant.as_deref(), observe);
+            if matches!(response, Response::Error { .. }) {
+                inner.count_error(&conn.shared);
+            }
+            finish(inner, &conn.shared, seq, response_bytes(&response));
         }
         (ConnState::Ready, Request::Goodbye) => {
             finish(inner, &conn.shared, seq, response_bytes(&Response::GoodbyeOk));
@@ -798,26 +905,53 @@ fn handle_frame(inner: &Inner, conn: &mut ConnLocal, op: u8, payload: &[u8]) {
     }
 }
 
-/// Builds the OBSERVE_OK for one scrape. Every mode reads state the engine
-/// aggregates anyway; none of them perturbs the serving counters.
-fn observe_response(inner: &Inner, observe: ObserveRequest) -> Response {
+/// Builds the OBSERVE_OK for one scrape. Host-wide modes (metrics) cover
+/// every tenant in one exposition; per-tenant modes (trace, health) read
+/// the connection's selected tenant. Every mode reads state the engines
+/// aggregate anyway; none of them perturbs the serving counters.
+fn observe_response(inner: &Inner, tenant: Option<&Tenant>, observe: ObserveRequest) -> Response {
+    let no_tenant = || Response::Error {
+        code: ErrorCode::UnknownTenant,
+        message: "no tenant selected (host is empty)".to_string(),
+    };
     let reply = match observe {
-        ObserveRequest::MetricsText => ObserveReply::MetricsText(inner.server.metrics_text()),
+        ObserveRequest::MetricsText => ObserveReply::MetricsText(inner.host.metrics_text()),
         ObserveRequest::MetricsSnapshot => {
-            ObserveReply::MetricsSnapshot(inner.server.metrics_snapshot().to_bytes())
+            ObserveReply::MetricsSnapshot(inner.host.metrics_snapshot().to_bytes())
         }
-        ObserveRequest::Trace { trace_id } => ObserveReply::Trace(
-            inner
-                .server
-                .trace_events()
-                .iter()
-                .filter(|event| trace_id == 0 || event.span_id == trace_id)
-                .map(WireTraceEvent::from)
-                .collect(),
-        ),
-        ObserveRequest::Health => ObserveReply::Health(inner.server.health_summary()),
+        ObserveRequest::Trace { trace_id } => {
+            let Some(tenant) = tenant else { return no_tenant() };
+            ObserveReply::Trace(
+                tenant
+                    .server()
+                    .trace_events()
+                    .iter()
+                    .filter(|event| trace_id == 0 || event.span_id == trace_id)
+                    .map(WireTraceEvent::from)
+                    .collect(),
+            )
+        }
+        ObserveRequest::Health => {
+            let Some(tenant) = tenant else { return no_tenant() };
+            ObserveReply::Health(tenant.server().health_summary())
+        }
     };
     Response::Observe(reply)
+}
+
+/// Maps a tenant-layer failure to its wire error code. Quota rejections get
+/// their own survivable code so clients can tell back-pressure from broken
+/// requests.
+fn wire_code(err: &TenantError) -> ErrorCode {
+    match err {
+        TenantError::Quota { .. } => ErrorCode::QuotaExceeded,
+        TenantError::Bind(_) => ErrorCode::Bind,
+        TenantError::Parse(_) => ErrorCode::Parse,
+        TenantError::UnknownTenant(_) => ErrorCode::UnknownTenant,
+        TenantError::Io(_) | TenantError::AlreadyExists(_) | TenantError::InvalidName(_) => {
+            ErrorCode::Internal
+        }
+    }
 }
 
 // ---- worker pool --------------------------------------------------------
@@ -831,49 +965,76 @@ fn worker_loop(inner: &Inner) {
             let _trace_guard = trace.map(|ctx| set_current_trace(ctx.trace_id, ctx.parent_span));
             execute_job(inner, &job)
         }));
-        let (bytes, is_error) = outcome.unwrap_or_else(|_| {
-            (error_bytes(ErrorCode::Internal, "request panicked server-side"), true)
+        let (bytes, is_error, tenant) = outcome.unwrap_or_else(|_| {
+            (error_bytes(ErrorCode::Internal, "request panicked server-side"), true, None)
         });
         if is_error {
-            inner.count_error(&job.conn);
+            inner.count_error_for(&job.conn, tenant.as_deref());
         } else {
             job.conn.stats.served.fetch_add(1, Ordering::Relaxed);
         }
         if let (Some(t), Some(received)) = (&inner.telemetry, job.received) {
-            t.record_request(job.conn.id, job.seq, job.op, received.elapsed());
+            let ring = trace_ring(tenant.as_deref());
+            t.record_request(ring.as_ref(), job.conn.id, job.seq, job.op, received.elapsed());
             if let Some(ctx) = trace {
-                t.record_traced_request(ctx.trace_id, job.conn.id, job.seq, received.elapsed());
+                t.record_traced_request(
+                    ring.as_ref(),
+                    ctx.trace_id,
+                    job.conn.id,
+                    job.seq,
+                    received.elapsed(),
+                );
             }
         }
         finish(inner, &job.conn, job.seq, bytes);
     }
 }
 
-/// Runs one EXECUTE/RUN against the engine, encoding the full response
-/// stream (ROWS* SUMMARY, or one ERROR). Returns `(frame bytes, is_error)`.
-fn execute_job(inner: &Inner, job: &Job) -> (Vec<u8>, bool) {
+/// Runs one EXECUTE/RUN against its tenant's engine, encoding the full
+/// response stream (ROWS* SUMMARY, or one ERROR). Returns
+/// `(frame bytes, is_error, serving tenant)` — the tenant rides back so the
+/// worker loop can attribute errors and trace events to the engine that
+/// actually served the request.
+fn execute_job(inner: &Inner, job: &Job) -> (Vec<u8>, bool, Option<Arc<Tenant>>) {
     match &job.request {
         Request::Execute { handle, params, .. } => {
             let prepared = job.conn.prepared.read().get(handle).cloned();
-            let Some(prepared) = prepared else {
+            let Some((tenant, prepared)) = prepared else {
                 return (
                     error_bytes(
                         ErrorCode::UnknownHandle,
                         &format!("handle {handle} was never prepared on this connection"),
                     ),
                     true,
+                    None,
                 );
             };
-            match inner.server.execute(&prepared, params) {
-                Ok(result) => (result_bytes(inner, result.rows, result.matches as u64), false),
-                Err(bind) => (error_bytes(ErrorCode::Bind, &bind.to_string()), true),
+            match tenant.execute(&prepared, params) {
+                Ok(result) => {
+                    (result_bytes(inner, result.rows, result.matches as u64), false, Some(tenant))
+                }
+                Err(err) => (error_bytes(wire_code(&err), &err.to_string()), true, Some(tenant)),
             }
         }
-        Request::Run { text, .. } => match inner.server.serve_text(text) {
-            Ok(result) => (result_bytes(inner, result.rows, result.matches as u64), false),
-            Err(parse) => (error_bytes(ErrorCode::Parse, &parse.to_string()), true),
-        },
-        other => (error_bytes(ErrorCode::Internal, &format!("{other:?} is not pool work")), true),
+        Request::Run { text, .. } => {
+            let tenant = job.conn.tenant.read().clone();
+            let Some(tenant) = tenant else {
+                return (
+                    error_bytes(ErrorCode::UnknownTenant, "no tenant selected (host is empty)"),
+                    true,
+                    None,
+                );
+            };
+            match tenant.serve_text(text) {
+                Ok(result) => {
+                    (result_bytes(inner, result.rows, result.matches as u64), false, Some(tenant))
+                }
+                Err(err) => (error_bytes(wire_code(&err), &err.to_string()), true, Some(tenant)),
+            }
+        }
+        other => {
+            (error_bytes(ErrorCode::Internal, &format!("{other:?} is not pool work")), true, None)
+        }
     }
 }
 

@@ -23,12 +23,16 @@ pub const PROTOCOL_MAGIC: u32 = 0x5047_534F;
 
 /// Protocol revision this build speaks. Revision 2 adds the optional
 /// [`TraceContext`] trailer on PREPARE/EXECUTE/RUN and the OBSERVE scrape
-/// opcode; the payload codecs are otherwise unchanged from revision 1.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// opcode. Revision 3 adds the USE opcode selecting a tenant on a
+/// multi-tenant host (plus the `UnknownTenant`/`QuotaExceeded` error
+/// codes); the payload codecs are otherwise unchanged from revision 1.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest revision the server still accepts. A revision-1 HELLO negotiates
 /// a revision-1 session: the server never sends OBSERVE_OK unprompted and a
-/// v1 client never appends trace trailers, so both sides interoperate.
+/// v1 client never appends trace trailers, so both sides interoperate. A
+/// revision-2 (pre-USE) client lands on the host's default tenant and
+/// round-trips unchanged.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Frame opcodes. Client→server opcodes occupy the low range, server→client
@@ -46,6 +50,9 @@ pub mod opcode {
     pub const GOODBYE: u8 = 0x05;
     /// Scrape the server's observability surfaces (metrics, traces, health).
     pub const OBSERVE: u8 = 0x06;
+    /// Select the tenant subsequent requests on this connection route to
+    /// (revision ≥ 3).
+    pub const USE: u8 = 0x07;
     /// Handshake accepted.
     pub const HELLO_OK: u8 = 0x81;
     /// PREPARE succeeded; carries the statement's typed signature.
@@ -60,6 +67,8 @@ pub mod opcode {
     pub const GOODBYE_OK: u8 = 0x86;
     /// OBSERVE answered; carries the requested observability payload.
     pub const OBSERVE_OK: u8 = 0x87;
+    /// USE accepted; the connection now routes to the named tenant.
+    pub const USE_OK: u8 = 0x88;
 }
 
 /// Typed wire error codes (the `u16` in an ERROR frame).
@@ -90,6 +99,15 @@ pub enum ErrorCode {
     /// The request panicked server-side; the connection (and its siblings)
     /// survive.
     Internal = 9,
+    /// USE named a tenant the host does not route (or the connection's
+    /// tenant was closed under it). The connection survives: the previous
+    /// selection stays in effect.
+    UnknownTenant = 10,
+    /// The selected tenant's admission control rejected the request
+    /// (in-flight cap or lifetime budget). Survivable back-pressure: retry
+    /// later, or stay within quota — the connection and its framing are
+    /// intact.
+    QuotaExceeded = 11,
 }
 
 impl ErrorCode {
@@ -105,6 +123,8 @@ impl ErrorCode {
             7 => Self::UnknownHandle,
             8 => Self::ShuttingDown,
             9 => Self::Internal,
+            10 => Self::UnknownTenant,
+            11 => Self::QuotaExceeded,
             _ => return None,
         })
     }
@@ -248,6 +268,13 @@ pub enum Request {
     },
     /// Scrape an observability surface (revision ≥ 2).
     Observe(ObserveRequest),
+    /// Route subsequent requests on this connection to the named tenant
+    /// (revision ≥ 3). Handles prepared before the switch stay bound to the
+    /// tenant that prepared them.
+    Use {
+        /// Tenant name as registered with the host.
+        tenant: String,
+    },
     /// Orderly close.
     Goodbye,
 }
@@ -300,6 +327,11 @@ pub enum Response {
     },
     /// OBSERVE answered.
     Observe(ObserveReply),
+    /// USE accepted.
+    UseOk {
+        /// The tenant now routing this connection.
+        tenant: String,
+    },
     /// GOODBYE acknowledged.
     GoodbyeOk,
 }
@@ -341,6 +373,10 @@ pub fn encode_request(request: &Request) -> (u8, Vec<u8>) {
                 ObserveRequest::Health => buf.put_slice(&[3]),
             }
             opcode::OBSERVE
+        }
+        Request::Use { tenant } => {
+            put_str16(&mut buf, tenant);
+            opcode::USE
         }
         Request::Goodbye => opcode::GOODBYE,
     };
@@ -389,6 +425,10 @@ pub fn decode_request(op: u8, mut payload: &[u8]) -> Result<Request, ProtoViolat
                 _ => return Err(err()),
             };
             Request::Observe(observe)
+        }
+        opcode::USE => {
+            let tenant = take_str16(data).ok_or_else(|| ProtoViolation::malformed("USE"))?;
+            Request::Use { tenant }
         }
         opcode::GOODBYE => Request::Goodbye,
         other => {
@@ -480,6 +520,10 @@ pub fn encode_response(response: &Response) -> (u8, Vec<u8>) {
                 }
             }
             opcode::OBSERVE_OK
+        }
+        Response::UseOk { tenant } => {
+            put_str16(&mut buf, tenant);
+            opcode::USE_OK
         }
         Response::GoodbyeOk => opcode::GOODBYE_OK,
     };
@@ -583,6 +627,10 @@ pub fn decode_response(op: u8, mut payload: &[u8]) -> Result<Response, ProtoViol
                 _ => return Err(err()),
             };
             Response::Observe(reply)
+        }
+        opcode::USE_OK => {
+            let tenant = take_str16(data).ok_or_else(|| ProtoViolation::malformed("USE_OK"))?;
+            Response::UseOk { tenant }
         }
         opcode::GOODBYE_OK => Response::GoodbyeOk,
         other => {
@@ -815,7 +863,31 @@ mod tests {
             text: "MATCH (d:Drug) RETURN d.name".into(),
             trace: None,
         });
+        roundtrip_request(Request::Use { tenant: "alpha".into() });
         roundtrip_request(Request::Goodbye);
+    }
+
+    #[test]
+    fn use_frames_roundtrip_and_truncations_are_malformed() {
+        roundtrip_response(Response::UseOk { tenant: "alpha".into() });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::UnknownTenant,
+            message: "unknown tenant `ghost`".into(),
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::QuotaExceeded,
+            message: "tenant `alpha` quota exceeded: inflight limit 2".into(),
+        });
+        let (op, payload) = encode_request(&Request::Use { tenant: "alpha".into() });
+        assert_eq!(op, opcode::USE);
+        for cut in 0..payload.len() {
+            let violation = decode_request(op, &payload[..cut]).unwrap_err();
+            assert_eq!(violation.code, ErrorCode::Malformed, "cut at {cut}");
+        }
+        assert_eq!(
+            decode_request(op, &[payload, vec![1u8]].concat()).unwrap_err().code,
+            ErrorCode::Malformed
+        );
     }
 
     #[test]

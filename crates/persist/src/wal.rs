@@ -65,12 +65,19 @@ pub struct WalTelemetry {
 impl WalTelemetry {
     /// Resolves (registering on first use) the WAL instruments in `registry`.
     pub fn register(registry: &MetricsRegistry) -> Self {
+        Self::register_prefixed(registry, "")
+    }
+
+    /// [`WalTelemetry::register`] with every name prefixed (for example
+    /// `tenant.alpha.wal.append`), so multiple WALs sharing one registry —
+    /// one per tenant under a multi-tenant host — keep distinct series.
+    pub fn register_prefixed(registry: &MetricsRegistry, prefix: &str) -> Self {
         Self {
-            append: registry.histogram("wal.append"),
-            fsync: registry.histogram("wal.fsync"),
-            batch_records: registry.histogram("wal.batch_records"),
-            appends: registry.counter("wal.appends"),
-            appended_bytes: registry.counter("wal.appended_bytes"),
+            append: registry.histogram(&format!("{prefix}wal.append")),
+            fsync: registry.histogram(&format!("{prefix}wal.fsync")),
+            batch_records: registry.histogram(&format!("{prefix}wal.batch_records")),
+            appends: registry.counter(&format!("{prefix}wal.appends")),
+            appended_bytes: registry.counter(&format!("{prefix}wal.appended_bytes")),
         }
     }
 }

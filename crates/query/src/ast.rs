@@ -75,6 +75,24 @@ impl Aggregate {
     pub fn requires_property(&self) -> bool {
         matches!(self, Aggregate::Sum | Aggregate::Min | Aggregate::Max | Aggregate::Avg)
     }
+
+    /// Renders the surface-syntax call `agg(var[.property])`, shared by the
+    /// `RETURN` clause and `HAVING` predicates so both re-parse identically.
+    pub fn render_call(&self, var: &str, property: Option<&str>) -> String {
+        let inner = match property {
+            Some(p) => format!("{var}.{p}"),
+            None => var.to_string(),
+        };
+        match self {
+            Aggregate::Count => format!("count({inner})"),
+            Aggregate::CountDistinct => format!("count(DISTINCT {inner})"),
+            Aggregate::CollectCount => format!("size(collect({inner}))"),
+            Aggregate::Sum => format!("sum({inner})"),
+            Aggregate::Min => format!("min({inner})"),
+            Aggregate::Max => format!("max({inner})"),
+            Aggregate::Avg => format!("avg({inner})"),
+        }
+    }
 }
 
 /// One item of the `RETURN` clause.
@@ -211,19 +229,7 @@ impl Query {
                 ReturnItem::Property { var, property } => format!("{var}.{property}"),
                 ReturnItem::Vertex { var } => var.clone(),
                 ReturnItem::Aggregate { agg, var, property } => {
-                    let inner = match property {
-                        Some(p) => format!("{var}.{p}"),
-                        None => var.clone(),
-                    };
-                    match agg {
-                        Aggregate::Count => format!("count({inner})"),
-                        Aggregate::CountDistinct => format!("count(DISTINCT {inner})"),
-                        Aggregate::CollectCount => format!("size(collect({inner}))"),
-                        Aggregate::Sum => format!("sum({inner})"),
-                        Aggregate::Min => format!("min({inner})"),
-                        Aggregate::Max => format!("max({inner})"),
-                        Aggregate::Avg => format!("avg({inner})"),
-                    }
+                    agg.render_call(var, property.as_deref())
                 }
             })
             .collect();

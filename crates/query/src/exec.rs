@@ -46,7 +46,7 @@
 //! equivalence is unaffected.
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
-use crate::stmt::{order_values, CountTerm, OrderKey, Predicate, Statement, Term};
+use crate::stmt::{order_values, CountTerm, HavingPredicate, OrderKey, Predicate, Statement, Term};
 use pgso_graphstore::{AccessStats, GraphBackend, PropertyValue, VertexId};
 use pgso_telemetry::{FieldValue, StageTimings, TraceBuffer};
 use std::collections::{HashMap, HashSet};
@@ -157,6 +157,7 @@ pub fn execute_statement_with(
         predicates: &stmt.predicates,
         distinct: stmt.distinct,
         group_by: &stmt.group_by,
+        having: &stmt.having,
         order_by: &stmt.order_by,
         skip: stmt.skip.as_ref().and_then(CountTerm::count),
         limit: stmt.limit.as_ref().and_then(CountTerm::count),
@@ -225,6 +226,7 @@ struct Clauses<'a> {
     predicates: &'a [Predicate],
     distinct: bool,
     group_by: &'a [String],
+    having: &'a [HavingPredicate],
     order_by: &'a [OrderKey],
     skip: Option<usize>,
     limit: Option<usize>,
@@ -237,6 +239,7 @@ impl Clauses<'static> {
         predicates: &[],
         distinct: false,
         group_by: &[],
+        having: &[],
         order_by: &[],
         skip: None,
         limit: None,
@@ -718,6 +721,39 @@ fn aggregate_rows(ctx: &Ctx<'_>, bindings: &[HashMap<String, VertexId>]) -> (Vec
         // charged to AccessStats, so sharing also keeps the experiment
         // counters proportional to the data touched).
         let mut scalars: HashMap<(&str, &str), Vec<PropertyValue>> = HashMap::new();
+        // HAVING filters whole groups *before* their row is built (and long
+        // before DISTINCT / ORDER BY / SKIP / LIMIT see it), sharing the
+        // group's scalar cache with the RETURN aggregates below. An unbound
+        // `$parameter` fails the group, mirroring WHERE semantics.
+        let passes = ctx.clauses.having.iter().all(|pred| {
+            let Term::Literal(rhs) = &pred.value else {
+                return false;
+            };
+            let value = match (pred.agg, pred.property.as_deref()) {
+                // `count(v.p)` counts per-binding property *presence*,
+                // exactly as the RETURN call site does.
+                (Aggregate::Count, Some(p)) => {
+                    let n = members
+                        .iter()
+                        .filter_map(|&i| bindings[i].get(&pred.var))
+                        .filter(|&&v| ctx.backend.property_of(v, p).is_some())
+                        .count();
+                    PropertyValue::Int(n as i64)
+                }
+                (agg, property) => {
+                    let values = property.map(|p| {
+                        &*scalars
+                            .entry((pred.var.as_str(), p))
+                            .or_insert_with(|| scalar_values(ctx, bindings, members, &pred.var, p))
+                    });
+                    aggregate_value(bindings, members, agg, &pred.var, values)
+                }
+            };
+            pred.op.eval(&value, rhs)
+        });
+        if !passes {
+            continue;
+        }
         let mut row = Row::with_capacity(ctx.query.returns.len());
         for item in &ctx.query.returns {
             row.push(match item {
@@ -1345,6 +1381,115 @@ mod tests {
         assert_eq!(rows[0][1].as_int(), Some(2));
         assert_eq!(rows[1][0].as_str(), Some("Placebo"));
         assert_eq!(rows[1][1].as_int(), Some(1));
+    }
+
+    #[test]
+    fn having_filters_groups_before_windowing() {
+        let mut g = figure_1_direct();
+        let placebo = g.add_vertex("Drug", props([("name", "Placebo".into())]));
+        g.add_edge("treat", placebo, pgso_graphstore::VertexId(1));
+        let base = |having: Vec<crate::stmt::HavingPredicate>| {
+            let mut stmt = Statement::builder("per-drug")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_property("d", "name")
+                .ret_aggregate(Aggregate::Count, "i", None)
+                .group_by("d")
+                .order_by("d", "name", false)
+                .build();
+            stmt.having = having;
+            stmt
+        };
+        // Aspirin treats 2 indications, Placebo 1: HAVING count(i) >= 2
+        // keeps only Aspirin's group.
+        let ge2 = base(vec![crate::stmt::HavingPredicate {
+            agg: Aggregate::Count,
+            var: "i".into(),
+            property: None,
+            op: CmpOp::Ge,
+            value: Term::literal(2i64),
+        }]);
+        let rows = execute_statement(&ge2, &g).rows;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_str(), Some("Aspirin"));
+        // Conjunction: an always-false second predicate drops every group.
+        let mut none = ge2.clone();
+        none.having.push(crate::stmt::HavingPredicate {
+            agg: Aggregate::Count,
+            var: "i".into(),
+            property: None,
+            op: CmpOp::Lt,
+            value: Term::literal(0i64),
+        });
+        assert!(execute_statement(&none, &g).rows.is_empty());
+        // HAVING runs before SKIP/LIMIT: with LIMIT 1 the surviving group is
+        // still Aspirin's, not a windowed-then-filtered empty set.
+        let mut limited = ge2.clone();
+        limited.limit = Some(CountTerm::Count(1));
+        let rows = execute_statement(&limited, &g).rows;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_str(), Some("Aspirin"));
+        // An unbound $parameter fails the group, mirroring WHERE semantics.
+        let mut unbound = base(Vec::new());
+        unbound.having.push(crate::stmt::HavingPredicate {
+            agg: Aggregate::Count,
+            var: "i".into(),
+            property: None,
+            op: CmpOp::Ge,
+            value: Term::Parameter("floor".into()),
+        });
+        assert!(execute_statement(&unbound, &g).rows.is_empty());
+        let bound = unbound.bind(&crate::Params::new().set("floor", 1i64)).unwrap();
+        assert_eq!(execute_statement(&bound, &g).rows.len(), 2);
+    }
+
+    #[test]
+    fn having_property_aggregates_and_presence_counts() {
+        let mut g = MemoryGraph::new();
+        // Drug A: doses 10, 30 (avg 20, one untagged route).
+        // Drug B: dose 5 (avg 5, tagged).
+        let a = g.add_vertex("Drug", props([("name", "A".into())]));
+        let b = g.add_vertex("Drug", props([("name", "B".into())]));
+        let r1 = g.add_vertex("Route", props([("dose", 10i64.into()), ("tag", "t".into())]));
+        let r2 = g.add_vertex("Route", props([("dose", 30i64.into())]));
+        let r3 = g.add_vertex("Route", props([("dose", 5i64.into()), ("tag", "t".into())]));
+        g.add_edge("hasRoute", a, r1);
+        g.add_edge("hasRoute", a, r2);
+        g.add_edge("hasRoute", b, r3);
+        let base = Statement::builder("doses")
+            .node("d", "Drug")
+            .node("r", "Route")
+            .edge("d", "hasRoute", "r")
+            .ret_property("d", "name")
+            .ret_aggregate(Aggregate::Sum, "r", Some("dose"))
+            .group_by("d")
+            .order_by("d", "name", false)
+            .build();
+        // avg(r.dose) > 10 keeps A (20) and drops B (5).
+        let mut avg = base.clone();
+        avg.having.push(crate::stmt::HavingPredicate {
+            agg: Aggregate::Avg,
+            var: "r".into(),
+            property: Some("dose".into()),
+            op: CmpOp::Gt,
+            value: Term::literal(10i64),
+        });
+        let rows = execute_statement(&avg, &g).rows;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_str(), Some("A"));
+        assert_eq!(rows[0][1].as_int(), Some(40));
+        // count(r.tag) counts property *presence*: both groups have exactly
+        // one tagged route, so count(r.tag) = 1 keeps both.
+        let mut presence = base.clone();
+        presence.having.push(crate::stmt::HavingPredicate {
+            agg: Aggregate::Count,
+            var: "r".into(),
+            property: Some("tag".into()),
+            op: CmpOp::Eq,
+            value: Term::literal(1i64),
+        });
+        assert_eq!(execute_statement(&presence, &g).rows.len(), 2);
     }
 
     #[test]

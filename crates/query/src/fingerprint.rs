@@ -67,7 +67,8 @@ pub fn fingerprint(query: &Query) -> u64 {
 /// A statement without any statement-level clause hashes identically to its
 /// bare pattern query. Everything else keys: predicate terms (literal values
 /// by content, `$parameters` by name), `SKIP`/`LIMIT` terms, `GROUP BY`,
-/// `DISTINCT` and the sort keys. Only the presentation name is excluded.
+/// `HAVING`, `DISTINCT` and the sort keys. Only the presentation name is
+/// excluded.
 pub fn fingerprint_statement(stmt: &Statement) -> u64 {
     let mut h = Fnv::new();
     hash_query(&mut h, &stmt.pattern);
@@ -117,6 +118,37 @@ pub fn fingerprint_statement(stmt: &Statement) -> u64 {
         h.write(&(stmt.group_by.len() as u32).to_le_bytes());
         for var in &stmt.group_by {
             h.write_str(var);
+        }
+        h.write_tag(31);
+        h.write(&(stmt.having.len() as u32).to_le_bytes());
+        for pred in &stmt.having {
+            h.write_tag(match pred.agg {
+                Aggregate::Count => 12,
+                Aggregate::CollectCount => 13,
+                Aggregate::CountDistinct => 14,
+                Aggregate::Sum => 15,
+                Aggregate::Min => 16,
+                Aggregate::Max => 17,
+                Aggregate::Avg => 18,
+            });
+            h.write_str(&pred.var);
+            match &pred.property {
+                Some(p) => {
+                    h.write_tag(1);
+                    h.write_str(p);
+                }
+                None => h.write_tag(0),
+            }
+            h.write_tag(match pred.op {
+                CmpOp::Eq => 20,
+                CmpOp::Ne => 21,
+                CmpOp::Lt => 22,
+                CmpOp::Le => 23,
+                CmpOp::Gt => 24,
+                CmpOp::Ge => 25,
+                CmpOp::Contains => 26,
+            });
+            hash_term(&mut h, &pred.value);
         }
     }
     h.0
@@ -399,6 +431,48 @@ mod tests {
             .opt_edge("i", "hasCondition", "c")
             .build();
         assert_ne!(base, fingerprint_statement(&with_optional), "optional edges key");
+    }
+
+    #[test]
+    fn having_clause_keys() {
+        use crate::ast::Aggregate as A;
+        let with_having = |agg: A, op: CmpOp, threshold: i64| {
+            let q = Query::builder("h")
+                .node("d", "Drug")
+                .node("i", "Indication")
+                .edge("d", "treat", "i")
+                .ret_aggregate(A::Count, "i", None)
+                .build();
+            let mut s = Statement::from(q);
+            s.group_by.push("d".into());
+            s.having.push(crate::stmt::HavingPredicate {
+                agg,
+                var: "i".into(),
+                property: None,
+                op,
+                value: crate::stmt::Term::literal(threshold),
+            });
+            s
+        };
+        let base = fingerprint_statement(&with_having(A::Count, CmpOp::Gt, 3));
+        assert_ne!(
+            base,
+            fingerprint_statement(&with_having(A::CountDistinct, CmpOp::Gt, 3)),
+            "HAVING aggregate keys"
+        );
+        assert_ne!(
+            base,
+            fingerprint_statement(&with_having(A::Count, CmpOp::Ge, 3)),
+            "HAVING operator keys"
+        );
+        assert_ne!(
+            base,
+            fingerprint_statement(&with_having(A::Count, CmpOp::Gt, 4)),
+            "HAVING threshold keys"
+        );
+        let mut without = with_having(A::Count, CmpOp::Gt, 3);
+        without.having.clear();
+        assert_ne!(base, fingerprint_statement(&without), "HAVING presence keys");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! Graph query layer for the `pgso` workspace: a pattern-query AST
 //! ([`Query`]), the statement layer on top of it ([`Statement`]: `WHERE`
-//! predicates, `OPTIONAL` edges, aggregation with `GROUP BY`, `DISTINCT`,
-//! `ORDER BY`, `SKIP`/`LIMIT`), named `$parameters` with typed signatures
+//! predicates, `OPTIONAL` edges, aggregation with `GROUP BY`/`HAVING`,
+//! `DISTINCT`, `ORDER BY`, `SKIP`/`LIMIT`), named `$parameters` with typed signatures
 //! and by-name binding ([`Params`] / [`Statement::bind`]), a Cypher-like
 //! text front-end ([`parse()`]), a backtracking executor ([`execute()`] /
 //! [`execute_statement`]) that runs against any
@@ -66,4 +66,6 @@ pub use params::{BindError, ParamKind, ParamSignature, ParamSpec, Params};
 pub use parse::{parse, parse_directive, parse_named, strip_directive, ParseError};
 pub use pgso_telemetry::StageTimings;
 pub use rewrite::{rewrite, rewrite_statement, rewrite_statement_traced};
-pub use stmt::{CmpOp, CountTerm, OrderKey, Predicate, Statement, StatementBuilder, Term};
+pub use stmt::{
+    CmpOp, CountTerm, HavingPredicate, OrderKey, Predicate, Statement, StatementBuilder, Term,
+};

@@ -67,8 +67,8 @@ pub struct ParamSpec {
 }
 
 /// The typed parameter signature of a statement: every declared `$name`, in
-/// first-use order (predicates before `SKIP` before `LIMIT`), each name
-/// listed once.
+/// first-use order (predicates before `HAVING` before `SKIP` before
+/// `LIMIT`), each name listed once.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParamSignature {
     specs: Vec<ParamSpec>,
@@ -80,6 +80,11 @@ impl ParamSignature {
         let mut signature = ParamSignature::default();
         for predicate in &stmt.predicates {
             if let Term::Parameter(name) = &predicate.value {
+                signature.declare(name, ParamKind::Value);
+            }
+        }
+        for pred in &stmt.having {
+            if let Term::Parameter(name) = &pred.value {
                 signature.declare(name, ParamKind::Value);
             }
         }
@@ -303,6 +308,12 @@ impl Statement {
                 predicate.value = Term::Literal(value.clone());
             }
         }
+        for pred in &mut bound.having {
+            if let Term::Parameter(name) = &pred.value {
+                let value = params.get(name).expect("validated above");
+                pred.value = Term::Literal(value.clone());
+            }
+        }
         for count in [&mut bound.skip, &mut bound.limit].into_iter().flatten() {
             if let CountTerm::Parameter(name) = count {
                 let n = params.get(name).and_then(PropertyValue::as_int).expect("validated above");
@@ -312,8 +323,8 @@ impl Statement {
         Ok(bound)
     }
 
-    /// Extracts every literal constant (predicate right-hand sides, `SKIP`,
-    /// `LIMIT`) into a fresh `$parameter`, returning the parameterized
+    /// Extracts every literal constant (predicate and `HAVING` right-hand
+    /// sides, `SKIP`, `LIMIT`) into a fresh `$parameter`, returning the parameterized
     /// statement together with the [`Params`] that bind it back to the
     /// original.
     ///
@@ -328,6 +339,7 @@ impl Statement {
             .predicates
             .iter()
             .filter_map(|p| p.value.parameter_name())
+            .chain(self.having.iter().filter_map(|h| h.value.parameter_name()))
             .chain(
                 [&self.skip, &self.limit].into_iter().flatten().filter_map(|c| c.parameter_name()),
             )
@@ -348,6 +360,13 @@ impl Statement {
                 let name = fresh(&format!("p{index}"));
                 params.insert(&name, value.clone());
                 predicate.value = Term::Parameter(name);
+            }
+        }
+        for (index, pred) in stmt.having.iter_mut().enumerate() {
+            if let Term::Literal(value) = &pred.value {
+                let name = fresh(&format!("h{index}"));
+                params.insert(&name, value.clone());
+                pred.value = Term::Parameter(name);
             }
         }
         if let Some(CountTerm::Count(n)) = &stmt.skip {
@@ -507,6 +526,39 @@ mod tests {
         assert_ne!(generated, "p1");
         assert_eq!(params.len(), 1, "only the literal is extracted");
         assert!(params.get(generated).is_some());
+    }
+
+    #[test]
+    fn having_parameters_sign_bind_and_parameterize() {
+        use crate::ast::Aggregate;
+        let stmt = Statement::builder("h")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::Count, "i", None)
+            .group_by("d")
+            .having_param(Aggregate::Count, "i", None, CmpOp::Ge, "floor")
+            .build();
+        let signature = stmt.signature();
+        assert_eq!(signature.names().collect::<Vec<_>>(), ["floor"]);
+        assert_eq!(signature.kind_of("floor"), Some(ParamKind::Value));
+        let bound = stmt.bind(&Params::new().set("floor", 3i64)).unwrap();
+        assert!(!bound.has_parameters());
+        assert_eq!(bound.having[0].value.as_literal(), Some(&PropertyValue::Int(3)));
+        // Parameterize extracts HAVING literals under h{index} names, and
+        // binding back round-trips.
+        let literal = Statement::builder("h2")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::Count, "i", None)
+            .group_by("d")
+            .having(Aggregate::Count, "i", None, CmpOp::Ge, 3i64)
+            .build();
+        let (canonical, params) = literal.parameterize();
+        assert_eq!(canonical.having[0].value.parameter_name(), Some("h0"));
+        assert_eq!(params.get("h0"), Some(&PropertyValue::Int(3)));
+        assert!(canonical.bind(&params).unwrap().structurally_eq(&literal));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! ```
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
-use crate::stmt::{CmpOp, CountTerm, OrderKey, Predicate, Statement, Term};
+use crate::stmt::{CmpOp, CountTerm, HavingPredicate, OrderKey, Predicate, Statement, Term};
 use pgso_graphstore::PropertyValue;
 use std::fmt;
 
@@ -417,25 +417,39 @@ impl Parser {
         let var = self.ident()?;
         self.expect_punct(".")?;
         let property = self.property_name()?;
-        let op = if self.eat_punct("=") {
-            CmpOp::Eq
-        } else if self.eat_punct("!=") || self.eat_punct("<>") {
-            CmpOp::Ne
-        } else if self.eat_punct("<=") {
-            CmpOp::Le
-        } else if self.eat_punct(">=") {
-            CmpOp::Ge
-        } else if self.eat_punct("<") {
-            CmpOp::Lt
-        } else if self.eat_punct(">") {
-            CmpOp::Gt
-        } else if self.eat_keyword("CONTAINS") {
-            CmpOp::Contains
-        } else {
-            return Err(self.error("expected a comparison operator"));
-        };
+        let op = self.cmp_op()?;
         let value = self.term()?;
         Ok(Predicate { var, property, op, value })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        if self.eat_punct("=") {
+            Ok(CmpOp::Eq)
+        } else if self.eat_punct("!=") || self.eat_punct("<>") {
+            Ok(CmpOp::Ne)
+        } else if self.eat_punct("<=") {
+            Ok(CmpOp::Le)
+        } else if self.eat_punct(">=") {
+            Ok(CmpOp::Ge)
+        } else if self.eat_punct("<") {
+            Ok(CmpOp::Lt)
+        } else if self.eat_punct(">") {
+            Ok(CmpOp::Gt)
+        } else if self.eat_keyword("CONTAINS") {
+            Ok(CmpOp::Contains)
+        } else {
+            Err(self.error("expected a comparison operator"))
+        }
+    }
+
+    /// A `HAVING` predicate: an aggregate call compared against a term.
+    fn having_predicate(&mut self) -> Result<HavingPredicate, ParseError> {
+        let Some((agg, var, property)) = self.aggregate_call()? else {
+            return Err(self.error("expected an aggregate call in the HAVING clause"));
+        };
+        let op = self.cmp_op()?;
+        let value = self.term()?;
+        Ok(HavingPredicate { agg, var, property, op, value })
     }
 
     /// A predicate right-hand side: a literal or a `$parameter`.
@@ -507,7 +521,14 @@ impl Parser {
 
     // -- RETURN -----------------------------------------------------------
 
-    fn return_item(&mut self) -> Result<ReturnItem, ParseError> {
+    /// An aggregate-function call (`count(…)`, `sum(v.p)`,
+    /// `size(collect(…))`, …), or `None` when the next tokens are not one
+    /// (keeping their names usable as variables). Shared by RETURN items
+    /// and HAVING predicates so both accept the same call surface.
+    #[allow(clippy::type_complexity)]
+    fn aggregate_call(
+        &mut self,
+    ) -> Result<Option<(Aggregate, String, Option<String>)>, ParseError> {
         if self.peek_call("count") {
             self.pos += 1;
             self.expect_punct("(")?;
@@ -516,7 +537,7 @@ impl Parser {
             let property = if self.eat_punct(".") { Some(self.property_name()?) } else { None };
             self.expect_punct(")")?;
             let agg = if distinct { Aggregate::CountDistinct } else { Aggregate::Count };
-            return Ok(ReturnItem::Aggregate { agg, var, property });
+            return Ok(Some((agg, var, property)));
         }
         for (keyword, agg) in [
             ("sum", Aggregate::Sum),
@@ -533,7 +554,7 @@ impl Parser {
                 }
                 let property = self.property_name()?;
                 self.expect_punct(")")?;
-                return Ok(ReturnItem::Aggregate { agg, var, property: Some(property) });
+                return Ok(Some((agg, var, Some(property))));
             }
         }
         if self.peek_call("size") {
@@ -545,7 +566,14 @@ impl Parser {
             let property = if self.eat_punct(".") { Some(self.property_name()?) } else { None };
             self.expect_punct(")")?;
             self.expect_punct(")")?;
-            return Ok(ReturnItem::Aggregate { agg: Aggregate::CollectCount, var, property });
+            return Ok(Some((Aggregate::CollectCount, var, property)));
+        }
+        Ok(None)
+    }
+
+    fn return_item(&mut self) -> Result<ReturnItem, ParseError> {
+        if let Some((agg, var, property)) = self.aggregate_call()? {
+            return Ok(ReturnItem::Aggregate { agg, var, property });
         }
         let var = self.ident()?;
         if self.eat_punct(".") {
@@ -619,6 +647,21 @@ impl Parser {
             }
         }
 
+        let mut having = Vec::new();
+        if self.eat_keyword("HAVING") {
+            loop {
+                having.push(self.having_predicate()?);
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+            if !returns.iter().any(|r| matches!(r, ReturnItem::Aggregate { .. })) {
+                return Err(
+                    self.error("HAVING requires at least one aggregate in the RETURN clause")
+                );
+            }
+        }
+
         let mut order_by = Vec::new();
         if self.eat_keyword("ORDER") {
             self.expect_keyword("BY")?;
@@ -677,6 +720,11 @@ impl Parser {
                 return Err(self.error(format!("GROUP BY references unbound variable {var}")));
             }
         }
+        for pred in &having {
+            if !bound(&pred.var) {
+                return Err(self.error(format!("HAVING references unbound variable {}", pred.var)));
+            }
+        }
 
         Ok(Statement {
             pattern: Query { name, nodes, edges, returns },
@@ -685,6 +733,7 @@ impl Parser {
             predicates,
             distinct,
             group_by,
+            having,
             order_by,
             skip,
             limit,
@@ -912,6 +961,76 @@ mod tests {
         );
         let reparsed = parse(&stmt.to_string()).unwrap();
         assert!(stmt.structurally_eq(&reparsed), "{stmt} vs {reparsed}");
+    }
+
+    #[test]
+    fn parses_having_and_round_trips() {
+        let stmt = parse(
+            "MATCH (d:Drug)-[:treat]->(i:Indication) \
+             RETURN d.name, count(i), avg(i.weight) GROUP BY d \
+             HAVING count(i) >= 3 AND avg(i.weight) < $cap AND count(DISTINCT i.desc) > 1 \
+             ORDER BY d.name LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(stmt.having.len(), 3);
+        assert_eq!(stmt.having[0].agg, Aggregate::Count);
+        assert_eq!(stmt.having[0].var, "i");
+        assert_eq!(stmt.having[0].property, None);
+        assert_eq!(stmt.having[0].op, CmpOp::Ge);
+        assert_eq!(stmt.having[1].agg, Aggregate::Avg);
+        assert_eq!(stmt.having[1].value, Term::Parameter("cap".into()));
+        assert_eq!(stmt.having[2].agg, Aggregate::CountDistinct);
+        assert_eq!(stmt.having[2].property.as_deref(), Some("desc"));
+        assert!(stmt.has_parameters());
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert!(stmt.structurally_eq(&reparsed), "{stmt} vs {reparsed}");
+    }
+
+    #[test]
+    fn having_accepts_every_aggregate_call_form() {
+        let stmt = parse(
+            "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN count(d) \
+             HAVING count(d) > 0 AND size(collect(i.desc)) > 1 AND sum(i.weight) <= 9 \
+             AND min(i.weight) >= 0 AND max(i.weight) < 5 AND count(i.desc) > 0",
+        )
+        .unwrap();
+        let aggs: Vec<Aggregate> = stmt.having.iter().map(|h| h.agg).collect();
+        assert_eq!(
+            aggs,
+            vec![
+                Aggregate::Count,
+                Aggregate::CollectCount,
+                Aggregate::Sum,
+                Aggregate::Min,
+                Aggregate::Max,
+                Aggregate::Count,
+            ]
+        );
+        // count(i.desc) keeps its property operand (presence counting).
+        assert_eq!(stmt.having[5].property.as_deref(), Some("desc"));
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert!(stmt.structurally_eq(&reparsed), "{stmt} vs {reparsed}");
+    }
+
+    #[test]
+    fn rejects_malformed_having() {
+        for (text, needle) in [
+            (
+                "MATCH (d:Drug) RETURN d.name HAVING count(d) > 1",
+                "HAVING requires at least one aggregate",
+            ),
+            ("MATCH (d:Drug) RETURN count(d) HAVING d.name = 'x'", "expected an aggregate call"),
+            ("MATCH (d:Drug) RETURN count(d) HAVING count(x) > 1", "unbound variable x"),
+            ("MATCH (d:Drug) RETURN count(d) HAVING sum(d) > 1", "requires a v.property"),
+            ("MATCH (d:Drug) RETURN count(d) HAVING count(d) 1", "comparison operator"),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert!(
+                err.message.contains(needle),
+                "{text}: expected {needle:?} in {:?}",
+                err.message
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::ast::{Aggregate, EdgePattern, NodePattern, Query, ReturnItem};
 use crate::explain::AppliedRule;
-use crate::stmt::{OrderKey, Predicate, Statement};
+use crate::stmt::{HavingPredicate, OrderKey, Predicate, Statement};
 use pgso_pgschema::PropertyGraphSchema;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -36,7 +36,7 @@ pub fn rewrite(query: &Query, optimized: &PropertyGraphSchema) -> Query {
 
 /// Rewrites a full statement: the pattern core goes through the paper's
 /// DIR→OPT rules ([`rewrite()`]), and every statement-level clause is remapped
-/// over the result — predicate, `ORDER BY` and `GROUP BY` variables follow
+/// over the result — predicate, `ORDER BY`, `GROUP BY` and `HAVING` variables follow
 /// the variable unification, predicate and sort properties follow the
 /// replicated-property renaming (`desc` → `Indication.desc` when the
 /// property moved under the 1:M/M:N rules), and optional edges are
@@ -44,9 +44,10 @@ pub fn rewrite(query: &Query, optimized: &PropertyGraphSchema) -> Query {
 /// untouched, so one rewritten plan serves every binding of a prepared
 /// statement.
 ///
-/// Variables referenced by a predicate, an `ORDER BY` key or a `GROUP BY`
-/// are *pinned*: the aggregate-to-LIST-property shortcut is skipped for
-/// them, because those clauses need the variable bound per vertex.
+/// Variables referenced by a predicate, an `ORDER BY` key, a `GROUP BY` or
+/// a `HAVING` predicate are *pinned*: the aggregate-to-LIST-property
+/// shortcut is skipped for them, because those clauses need the variable
+/// bound per vertex.
 pub fn rewrite_statement(stmt: &Statement, optimized: &PropertyGraphSchema) -> Statement {
     rewrite_statement_traced(stmt, optimized).0
 }
@@ -67,6 +68,7 @@ pub fn rewrite_statement_traced(
         .map(|p| p.var.clone())
         .chain(stmt.order_by.iter().map(|k| k.var.clone()))
         .chain(stmt.group_by.iter().cloned())
+        .chain(stmt.having.iter().map(|h| h.var.clone()))
         .collect();
     let mut rewriter = Rewriter::new(
         &stmt.pattern,
@@ -128,6 +130,17 @@ pub fn rewrite_statement_traced(
             group_by.push(root);
         }
     }
+    let having = stmt
+        .having
+        .iter()
+        .map(|h| HavingPredicate {
+            agg: h.agg,
+            property: h.property.as_ref().map(|p| rewriter.property_name(&h.var, p)),
+            var: rewriter.resolve(&h.var),
+            op: h.op,
+            value: h.value.clone(),
+        })
+        .collect();
 
     let rewritten = Statement {
         pattern,
@@ -136,6 +149,7 @@ pub fn rewrite_statement_traced(
         predicates,
         distinct: stmt.distinct,
         group_by,
+        having,
         order_by,
         skip: stmt.skip.clone(),
         limit: stmt.limit.clone(),
@@ -901,6 +915,64 @@ mod tests {
         assert!(
             rewritten.pattern.nodes.iter().any(|n| n.label == indication_target),
             "{rewritten}"
+        );
+    }
+
+    #[test]
+    fn having_pins_its_variable_and_follows_renaming() {
+        use crate::stmt::{CmpOp, HavingPredicate, Statement, Term};
+        let schema = optimized_mini();
+        // Without HAVING this Q9 shape collapses onto the replicated LIST
+        // property (see statement_clauses_are_remapped_over_the_rewrite);
+        // with a HAVING over `i` the variable needs per-binding evaluation,
+        // so the traversal must survive.
+        let mut stmt = Statement::builder("Q9-having")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_aggregate(Aggregate::CollectCount, "i", Some("desc"))
+            .build();
+        stmt.having.push(HavingPredicate {
+            agg: Aggregate::Count,
+            var: "i".into(),
+            property: None,
+            op: CmpOp::Ge,
+            value: Term::Parameter("floor".into()),
+        });
+        let rewritten = rewrite_statement(&stmt, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 1, "{rewritten}");
+        assert_eq!(rewritten.having.len(), 1);
+        assert_eq!(
+            rewritten.having[0].value,
+            Term::Parameter("floor".into()),
+            "HAVING parameters pass through"
+        );
+
+        // A folded variable's HAVING predicate follows the substitution and
+        // the property renaming, like predicates and sort keys do.
+        let mut folded = Statement::builder("Q5-having")
+            .node("di", "DrugInteraction")
+            .node("dl", "DrugLabInteraction")
+            .edge("di", "isA", "dl")
+            .ret_aggregate(Aggregate::Count, "dl", None)
+            .build();
+        folded.having.push(HavingPredicate {
+            agg: Aggregate::CountDistinct,
+            var: "di".into(),
+            property: Some("summary".into()),
+            op: CmpOp::Ge,
+            value: Term::literal(1i64),
+        });
+        let rewritten = rewrite_statement(&folded, &schema);
+        assert_eq!(rewritten.pattern.edges.len(), 0, "{rewritten}");
+        let var = rewritten.pattern.nodes[0].var.clone();
+        assert_eq!(rewritten.having[0].var, var);
+        assert!(
+            schema
+                .vertex(&rewritten.pattern.nodes[0].label)
+                .unwrap()
+                .has_property(rewritten.having[0].property.as_deref().unwrap()),
+            "HAVING property must exist on the rewritten vertex: {rewritten}"
         );
     }
 

@@ -308,6 +308,37 @@ fn fmt_literal(f: &mut fmt::Formatter<'_>, value: &PropertyValue) -> fmt::Result
     }
 }
 
+/// A `HAVING` predicate: `agg(var[.property]) op term`, filtering aggregate
+/// groups *after* aggregation and *before* `DISTINCT`/`ORDER BY`. The
+/// aggregate is evaluated over each group exactly like a `RETURN` aggregate
+/// (it does not have to appear in the `RETURN` clause), and groups whose
+/// value fails the comparison are dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HavingPredicate {
+    /// Aggregation function evaluated per group.
+    pub agg: Aggregate,
+    /// Node variable the aggregate ranges over.
+    pub var: String,
+    /// Property to aggregate (required for the numeric functions).
+    pub property: Option<String>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side: a literal constant or a `$parameter`.
+    pub value: Term,
+}
+
+impl fmt::Display for HavingPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            self.agg.render_call(&self.var, self.property.as_deref()),
+            self.op.symbol(),
+            self.value
+        )
+    }
+}
+
 /// One `ORDER BY` key: `var.property [DESC]`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OrderKey {
@@ -354,6 +385,10 @@ pub struct Statement {
     /// (one global group when empty). Only meaningful together with at least
     /// one [`crate::ReturnItem::Aggregate`].
     pub group_by: Vec<String>,
+    /// `HAVING` predicates (conjunctive), filtering aggregate groups after
+    /// aggregation and before `DISTINCT`/`ORDER BY`. Only meaningful for
+    /// aggregation statements.
+    pub having: Vec<HavingPredicate>,
     /// `ORDER BY` keys, applied in sequence.
     pub order_by: Vec<OrderKey>,
     /// `SKIP n` — rows dropped from the front after ordering. The count may
@@ -373,6 +408,7 @@ impl From<Query> for Statement {
             predicates: Vec::new(),
             distinct: false,
             group_by: Vec::new(),
+            having: Vec::new(),
             order_by: Vec::new(),
             skip: None,
             limit: None,
@@ -401,16 +437,19 @@ impl Statement {
             || !self.predicates.is_empty()
             || self.distinct
             || !self.group_by.is_empty()
+            || !self.having.is_empty()
             || !self.order_by.is_empty()
             || self.skip.is_some()
             || self.limit.is_some()
     }
 
     /// True if the statement declares at least one `$parameter` (in a
-    /// predicate, `SKIP` or `LIMIT`). Such a statement must be bound
-    /// ([`Statement::bind`]) before execution returns meaningful rows.
+    /// predicate, `HAVING` clause, `SKIP` or `LIMIT`). Such a statement must
+    /// be bound ([`Statement::bind`]) before execution returns meaningful
+    /// rows.
     pub fn has_parameters(&self) -> bool {
         self.predicates.iter().any(|p| matches!(p.value, Term::Parameter(_)))
+            || self.having.iter().any(|h| matches!(h.value, Term::Parameter(_)))
             || matches!(self.skip, Some(CountTerm::Parameter(_)))
             || matches!(self.limit, Some(CountTerm::Parameter(_)))
     }
@@ -438,6 +477,7 @@ impl Statement {
             && self.predicates == other.predicates
             && self.distinct == other.distinct
             && self.group_by == other.group_by
+            && self.having == other.having
             && self.order_by == other.order_by
             && self.skip == other.skip
             && self.limit == other.limit
@@ -453,6 +493,7 @@ struct StatementClauses {
     predicates: Vec<Predicate>,
     distinct: bool,
     group_by: Vec<String>,
+    having: Vec<HavingPredicate>,
     order_by: Vec<OrderKey>,
     skip: Option<CountTerm>,
     limit: Option<CountTerm>,
@@ -498,6 +539,15 @@ impl fmt::Display for Statement {
         self.pattern.fmt_returns(f)?;
         if !self.group_by.is_empty() {
             write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        if !self.having.is_empty() {
+            write!(f, " HAVING ")?;
+            for (i, predicate) in self.having.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{predicate}")?;
+            }
         }
         if !self.order_by.is_empty() {
             write!(f, " ORDER BY ")?;
@@ -641,6 +691,47 @@ impl StatementBuilder {
         self
     }
 
+    /// Adds a `HAVING` predicate with a literal right-hand side (conjunctive
+    /// with any previous one): the aggregate is evaluated per group and
+    /// groups failing the comparison are dropped.
+    pub fn having(
+        mut self,
+        agg: Aggregate,
+        var: impl Into<String>,
+        property: Option<&str>,
+        op: CmpOp,
+        value: impl Into<PropertyValue>,
+    ) -> Self {
+        self.stmt.having.push(HavingPredicate {
+            agg,
+            var: var.into(),
+            property: property.map(str::to_string),
+            op,
+            value: Term::Literal(value.into()),
+        });
+        self
+    }
+
+    /// Adds a `HAVING` predicate whose right-hand side is a `$parameter`,
+    /// bound per execution through [`Statement::bind`].
+    pub fn having_param(
+        mut self,
+        agg: Aggregate,
+        var: impl Into<String>,
+        property: Option<&str>,
+        op: CmpOp,
+        param: impl Into<String>,
+    ) -> Self {
+        self.stmt.having.push(HavingPredicate {
+            agg,
+            var: var.into(),
+            property: property.map(str::to_string),
+            op,
+            value: Term::Parameter(param.into()),
+        });
+        self
+    }
+
     /// Adds an `ORDER BY` key.
     pub fn order_by(
         mut self,
@@ -718,6 +809,25 @@ impl StatementBuilder {
                 );
             }
         }
+        if !clauses.having.is_empty() {
+            assert!(
+                pattern.is_aggregation(),
+                "HAVING requires at least one aggregate in the RETURN clause"
+            );
+            for predicate in &clauses.having {
+                assert!(
+                    pattern.node(&predicate.var).is_some()
+                        || clauses.opt_nodes.iter().any(|n| n.var == predicate.var),
+                    "HAVING references undeclared variable {}",
+                    predicate.var
+                );
+                assert!(
+                    !(predicate.agg.requires_property() && predicate.property.is_none()),
+                    "{:?} requires a v.property operand",
+                    predicate.agg
+                );
+            }
+        }
         Statement {
             pattern,
             opt_nodes: clauses.opt_nodes,
@@ -725,6 +835,7 @@ impl StatementBuilder {
             predicates: clauses.predicates,
             distinct: clauses.distinct,
             group_by: clauses.group_by,
+            having: clauses.having,
             order_by: clauses.order_by,
             skip: clauses.skip,
             limit: clauses.limit,
@@ -802,6 +913,51 @@ mod tests {
         assert!(s.has_clauses());
         let text = s.to_string();
         assert!(text.contains("RETURN d.name, count(i) GROUP BY d"), "{text}");
+    }
+
+    #[test]
+    fn having_renders_between_group_by_and_order_by() {
+        use crate::ast::Aggregate;
+        let s = Statement::builder("h")
+            .node("d", "Drug")
+            .node("i", "Indication")
+            .edge("d", "treat", "i")
+            .ret_property("d", "name")
+            .ret_aggregate(Aggregate::Count, "i", None)
+            .group_by("d")
+            .having(Aggregate::Count, "i", None, CmpOp::Ge, 2i64)
+            .having_param(Aggregate::Avg, "i", Some("weight"), CmpOp::Lt, "cap")
+            .order_by("d", "name", false)
+            .build();
+        assert!(s.has_clauses());
+        assert!(s.has_parameters());
+        let text = s.to_string();
+        assert!(
+            text.contains("GROUP BY d HAVING count(i) >= 2 AND avg(i.weight) < $cap ORDER BY"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "HAVING requires at least one aggregate")]
+    fn having_without_aggregate_is_rejected() {
+        use crate::ast::Aggregate;
+        let _ = Statement::builder("bad")
+            .node("d", "Drug")
+            .ret_property("d", "name")
+            .having(Aggregate::Count, "d", None, CmpOp::Ge, 1i64)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "HAVING references undeclared variable")]
+    fn having_requires_declared_vars() {
+        use crate::ast::Aggregate;
+        let _ = Statement::builder("bad")
+            .node("d", "Drug")
+            .ret_aggregate(Aggregate::Count, "d", None)
+            .having(Aggregate::Count, "ghost", None, CmpOp::Ge, 1i64)
+            .build();
     }
 
     #[test]

@@ -157,6 +157,50 @@ impl Default for ServerConfig {
     }
 }
 
+/// Where a server's telemetry instruments live.
+///
+/// The default, [`TelemetrySink::Private`], gives the server its own
+/// [`MetricsRegistry`] — the single-server behaviour every existing
+/// constructor keeps. [`TelemetrySink::Shared`] resolves the instruments
+/// inside an **existing** registry under a per-server name prefix, which is
+/// how a multi-tenant host (`pgso-tenant`) shares one exposition across
+/// tenants without metric-name collisions: tenant `alpha`'s serve latency is
+/// `tenant.alpha.query.latency`, its prepared series
+/// `tenant.alpha.prepared.<id>.latency`, its state mirrors
+/// `tenant.alpha.plan_cache.*` / `tenant.alpha.epoch.*` /
+/// `tenant.alpha.ingest.*`. The trace ring and the rolling health windows
+/// are per-server in either case.
+#[derive(Debug, Clone, Default)]
+pub enum TelemetrySink {
+    /// A fresh registry owned by this server (the single-server default).
+    #[default]
+    Private,
+    /// Resolve instruments in `registry`, each name prefixed with `prefix`.
+    Shared {
+        /// The registry to register into (typically host-owned).
+        registry: Arc<MetricsRegistry>,
+        /// Prefix for every metric name, e.g. `tenant.alpha.` — must be
+        /// unique per server sharing the registry.
+        prefix: String,
+    },
+}
+
+impl TelemetrySink {
+    fn build(&self, config: &ServerConfig) -> Arc<ServerTelemetry> {
+        Arc::new(match self {
+            TelemetrySink::Private => {
+                ServerTelemetry::with_limits(config.trace_capacity, config.prepared_series_limit)
+            }
+            TelemetrySink::Shared { registry, prefix } => ServerTelemetry::with_registry(
+                registry.clone(),
+                prefix.clone(),
+                config.trace_capacity,
+                config.prepared_series_limit,
+            ),
+        })
+    }
+}
+
 /// When staged (already durable, not yet visible) updates are published by
 /// an epoch swap. Readers never block on ingest: updates accumulate in a
 /// staging journal and become visible atomically when a batch or time
@@ -455,7 +499,28 @@ impl KgServer {
         initial_frequencies: AccessFrequencies,
         config: ServerConfig,
     ) -> Self {
-        Self::build(ontology, statistics, instance, initial_frequencies, config, None)
+        Self::new_with_sink(
+            ontology,
+            statistics,
+            instance,
+            initial_frequencies,
+            config,
+            TelemetrySink::Private,
+        )
+    }
+
+    /// [`KgServer::new`] with an explicit [`TelemetrySink`]: a multi-tenant
+    /// host passes [`TelemetrySink::Shared`] so this server's instruments
+    /// land prefixed in the host's registry.
+    pub fn new_with_sink(
+        ontology: Ontology,
+        statistics: DataStatistics,
+        instance: InstanceKg,
+        initial_frequencies: AccessFrequencies,
+        config: ServerConfig,
+        sink: TelemetrySink,
+    ) -> Self {
+        Self::build(ontology, statistics, instance, initial_frequencies, config, None, sink)
             .expect("in-memory construction cannot fail")
     }
 
@@ -478,7 +543,36 @@ impl KgServer {
         config: ServerConfig,
         persist: PersistConfig,
     ) -> io::Result<Self> {
-        Self::build(ontology, statistics, instance, initial_frequencies, config, Some(persist))
+        Self::new_persistent_with_sink(
+            ontology,
+            statistics,
+            instance,
+            initial_frequencies,
+            config,
+            persist,
+            TelemetrySink::Private,
+        )
+    }
+
+    /// [`KgServer::new_persistent`] with an explicit [`TelemetrySink`].
+    pub fn new_persistent_with_sink(
+        ontology: Ontology,
+        statistics: DataStatistics,
+        instance: InstanceKg,
+        initial_frequencies: AccessFrequencies,
+        config: ServerConfig,
+        persist: PersistConfig,
+        sink: TelemetrySink,
+    ) -> io::Result<Self> {
+        Self::build(
+            ontology,
+            statistics,
+            instance,
+            initial_frequencies,
+            config,
+            Some(persist),
+            sink,
+        )
     }
 
     fn build(
@@ -488,18 +582,14 @@ impl KgServer {
         initial_frequencies: AccessFrequencies,
         config: ServerConfig,
         persist: Option<PersistConfig>,
+        sink: TelemetrySink,
     ) -> io::Result<Self> {
         let input = OptimizerInput::new(&ontology, &statistics, &initial_frequencies);
         let schema = pgso_core::optimize_pgsg(input, &config.optimizer).chosen.schema;
         let (graph, base_journal) =
             build_graph(&ontology, &schema, &instance, config.storage_tier, config.shard_count);
         let tracker = WorkloadTracker::new(&ontology);
-        let telemetry = config.telemetry_enabled.then(|| {
-            Arc::new(ServerTelemetry::with_limits(
-                config.trace_capacity,
-                config.prepared_series_limit,
-            ))
-        });
+        let telemetry = config.telemetry_enabled.then(|| sink.build(&config));
         compile_for_serving(graph.as_ref(), config.storage_tier, telemetry.as_ref());
         let persist = match persist {
             None => None,
@@ -581,18 +671,32 @@ impl KgServer {
         config: ServerConfig,
         persist: PersistConfig,
     ) -> io::Result<Self> {
+        Self::recover_with_sink(
+            ontology,
+            statistics,
+            instance,
+            config,
+            persist,
+            TelemetrySink::Private,
+        )
+    }
+
+    /// [`KgServer::recover`] with an explicit [`TelemetrySink`].
+    pub fn recover_with_sink(
+        ontology: Ontology,
+        statistics: DataStatistics,
+        instance: InstanceKg,
+        config: ServerConfig,
+        persist: PersistConfig,
+        sink: TelemetrySink,
+    ) -> io::Result<Self> {
         let state = pgso_persist::recover(&persist.dir)?.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("no valid snapshot in {}", persist.dir.display()),
             )
         })?;
-        let telemetry = config.telemetry_enabled.then(|| {
-            Arc::new(ServerTelemetry::with_limits(
-                config.trace_capacity,
-                config.prepared_series_limit,
-            ))
-        });
+        let telemetry = config.telemetry_enabled.then(|| sink.build(&config));
         let mut graph = fresh_backend(config.storage_tier, config.shard_count);
         let full_journal = state.full_journal();
         let replay_started = Instant::now();
@@ -758,36 +862,54 @@ impl KgServer {
         self.metrics_snapshot().render_text()
     }
 
+    /// Refreshes this server's state-mirror gauges in an external registry.
+    ///
+    /// Multi-tenant hosts call this to fold each tenant's `plan_cache.*` /
+    /// `epoch.*` / `ingest.*` gauges into the shared host registry before
+    /// snapshotting it — including for tenants running with telemetry
+    /// disabled, whose own [`KgServer::metrics_snapshot`] would mirror into
+    /// a throwaway registry. Gauge names carry the server's metric prefix,
+    /// so tenants do not collide.
+    pub fn mirror_gauges_into(&self, registry: &MetricsRegistry) {
+        self.mirror_gauges(registry);
+    }
+
     /// Refreshes the state-mirror gauges in `registry`. These are read-time
     /// mirrors of engine counters that already exist elsewhere — writing
     /// them here keeps the serve hot path free of gauge stores.
     fn mirror_gauges(&self, registry: &MetricsRegistry) {
+        // Mirrors share the hot-path series' prefix, so a tenant's
+        // `plan_cache.*` / `epoch.*` / `ingest.*` gauges sit next to its
+        // `query.latency` in the shared exposition instead of colliding
+        // with a sibling tenant's.
+        let prefix = self.telemetry.as_deref().map(|t| t.metric_prefix()).unwrap_or("");
+        let name = |suffix: &str| format!("{prefix}{suffix}");
         let cache = self.plan_cache.stats();
-        registry.gauge("plan_cache.hits").set(cache.hits as f64);
-        registry.gauge("plan_cache.misses").set(cache.misses as f64);
-        registry.gauge("plan_cache.invalidations").set(cache.invalidations as f64);
-        registry.gauge("plan_cache.evictions").set(cache.evictions as f64);
-        registry.gauge("plan_cache.entries").set(cache.entries as f64);
-        registry.gauge("plan_cache.hit_ratio").set(cache.hit_ratio());
-        registry.gauge("server.served").set(self.served() as f64);
-        registry.gauge("workload.drift").set(self.drift());
+        registry.gauge(&name("plan_cache.hits")).set(cache.hits as f64);
+        registry.gauge(&name("plan_cache.misses")).set(cache.misses as f64);
+        registry.gauge(&name("plan_cache.invalidations")).set(cache.invalidations as f64);
+        registry.gauge(&name("plan_cache.evictions")).set(cache.evictions as f64);
+        registry.gauge(&name("plan_cache.entries")).set(cache.entries as f64);
+        registry.gauge(&name("plan_cache.hit_ratio")).set(cache.hit_ratio());
+        registry.gauge(&name("server.served")).set(self.served() as f64);
+        registry.gauge(&name("workload.drift")).set(self.drift());
         let epoch = self.current_epoch();
-        registry.gauge("epoch.number").set(epoch.number as f64);
-        registry.gauge("epoch.schema_generation").set(epoch.schema_generation as f64);
-        registry.gauge("epoch.shard_count").set(epoch.shard_count() as f64);
+        registry.gauge(&name("epoch.number")).set(epoch.number as f64);
+        registry.gauge(&name("epoch.schema_generation")).set(epoch.schema_generation as f64);
+        registry.gauge(&name("epoch.shard_count")).set(epoch.shard_count() as f64);
         if self.config.storage_tier == StorageTier::Csr {
             // Cheap on an already-published epoch: the CSR index was
             // compiled at publication, so this only sums footprints.
-            registry.gauge("csr.resident_bytes").set(epoch.graph.resident_bytes() as f64);
+            registry.gauge(&name("csr.resident_bytes")).set(epoch.graph.resident_bytes() as f64);
         }
         {
             let ing = self.ingest.lock();
-            registry.gauge("ingest.pending").set(ing.pending.len() as f64);
-            registry.gauge("ingest.published").set(ing.ingested.len() as f64);
+            registry.gauge(&name("ingest.pending")).set(ing.pending.len() as f64);
+            registry.gauge(&name("ingest.published")).set(ing.ingested.len() as f64);
         }
-        registry.gauge("prepared.count").set(self.prepared.read().len() as f64);
+        registry.gauge(&name("prepared.count")).set(self.prepared.read().len() as f64);
         if let Some(t) = &self.telemetry {
-            registry.gauge("trace.dropped").set(t.trace().dropped() as f64);
+            registry.gauge(&name("trace.dropped")).set(t.trace().dropped() as f64);
         }
     }
 

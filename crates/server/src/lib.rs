@@ -87,7 +87,7 @@ pub mod tracker;
 pub use cache::{CacheStats, PlanCache};
 pub use engine::{
     Epoch, HealthSummary, IngestConfig, IngestReport, KgServer, PreparedId, PreparedStatement,
-    ReoptimizationEvent, ServerConfig, WorkloadRunReport,
+    ReoptimizationEvent, ServerConfig, TelemetrySink, WorkloadRunReport,
 };
 pub use telemetry::{ServerTelemetry, DEFAULT_PREPARED_SERIES_LIMIT};
 pub use tier::{StorageTier, TempDiskGraph};

@@ -129,6 +129,9 @@ pub struct ServerTelemetry {
     /// Rolling request/error rate windows behind
     /// [`crate::KgServer::health_summary`].
     pub windows: RollingWindows,
+    /// Metric-name prefix every instrument was registered under (empty for
+    /// a private registry; `tenant.<name>.` under a multi-tenant host).
+    prefix: String,
     /// Round-robin chooser for the detail series (see the module docs).
     detail_counter: AtomicU64,
     // Epoch-publication instruments last: cold fields, kept off the cache
@@ -152,40 +155,63 @@ impl ServerTelemetry {
     /// workload preparing statements without bound cannot grow the registry
     /// without bound.
     pub fn with_limits(trace_capacity: usize, prepared_series_limit: usize) -> Self {
-        let registry = Arc::new(MetricsRegistry::new());
+        Self::with_registry(
+            Arc::new(MetricsRegistry::new()),
+            String::new(),
+            trace_capacity,
+            prepared_series_limit,
+        )
+    }
+
+    /// Resolve every engine instrument inside an **existing** registry,
+    /// prefixing each metric name with `prefix` (for example
+    /// `tenant.alpha.`). This is how a multi-tenant host gives each tenant
+    /// its own series — `{prefix}query.latency`,
+    /// `{prefix}prepared.<id>.latency`, … — in one shared exposition
+    /// without any name collisions. The trace ring and the rolling health
+    /// windows stay private to this instance: traces and q/s summaries are
+    /// per-tenant even when the registry is shared.
+    pub fn with_registry(
+        registry: Arc<MetricsRegistry>,
+        prefix: String,
+        trace_capacity: usize,
+        prepared_series_limit: usize,
+    ) -> Self {
+        let name = |suffix: &str| format!("{prefix}{suffix}");
         let stage = [
-            registry.histogram("query.stage.root_selection"),
-            registry.histogram("query.stage.expansion"),
-            registry.histogram("query.stage.optional"),
-            registry.histogram("query.stage.aggregate"),
-            registry.histogram("query.stage.windowing"),
+            registry.histogram(&name("query.stage.root_selection")),
+            registry.histogram(&name("query.stage.expansion")),
+            registry.histogram(&name("query.stage.optional")),
+            registry.histogram(&name("query.stage.aggregate")),
+            registry.histogram(&name("query.stage.windowing")),
         ];
         Self {
             trace: Arc::new(TraceBuffer::new(trace_capacity)),
-            query_latency: registry.histogram("query.latency"),
+            query_latency: registry.histogram(&name("query.latency")),
             stage,
-            fanned_out_shards: registry.histogram("query.fanned_out_shards"),
-            parse: registry.histogram("server.parse"),
-            parameterize: registry.histogram("server.parameterize"),
-            cache_lookup: registry.histogram("server.cache_lookup"),
-            rewrite: registry.histogram("server.rewrite"),
-            bind: registry.histogram("server.bind"),
-            execute: registry.histogram("server.execute"),
-            slow_queries: registry.counter("server.slow_queries"),
-            ingest_swaps: registry.counter("epoch.ingest_swaps"),
-            schema_swaps: registry.counter("epoch.schema_swaps"),
-            snapshot_write: registry.histogram("snapshot.write"),
-            snapshot_bytes: registry.counter("snapshot.bytes"),
-            snapshot_rotations: registry.counter("snapshot.rotations"),
-            recovery_replay: registry.histogram("recovery.replay"),
-            wal: WalTelemetry::register(&registry),
+            fanned_out_shards: registry.histogram(&name("query.fanned_out_shards")),
+            parse: registry.histogram(&name("server.parse")),
+            parameterize: registry.histogram(&name("server.parameterize")),
+            cache_lookup: registry.histogram(&name("server.cache_lookup")),
+            rewrite: registry.histogram(&name("server.rewrite")),
+            bind: registry.histogram(&name("server.bind")),
+            execute: registry.histogram(&name("server.execute")),
+            slow_queries: registry.counter(&name("server.slow_queries")),
+            ingest_swaps: registry.counter(&name("epoch.ingest_swaps")),
+            schema_swaps: registry.counter(&name("epoch.schema_swaps")),
+            snapshot_write: registry.histogram(&name("snapshot.write")),
+            snapshot_bytes: registry.counter(&name("snapshot.bytes")),
+            snapshot_rotations: registry.counter(&name("snapshot.rotations")),
+            recovery_replay: registry.histogram(&name("recovery.replay")),
+            wal: WalTelemetry::register_prefixed(&registry, &prefix),
             per_prepared: RwLock::new(HashMap::new()),
             prepared_series_limit,
-            prepared_overflow: registry.histogram("prepared.other.latency"),
+            prepared_overflow: registry.histogram(&name("prepared.other.latency")),
             windows: RollingWindows::new(),
             detail_counter: AtomicU64::new(0),
-            csr_compile: registry.histogram("csr.compile"),
-            csr_compiles: registry.counter("csr.compiles"),
+            csr_compile: registry.histogram(&name("csr.compile")),
+            csr_compiles: registry.counter(&name("csr.compiles")),
+            prefix,
             registry,
         }
     }
@@ -200,6 +226,14 @@ impl ServerTelemetry {
     /// The underlying registry (for mirrors, snapshots and bench readers).
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The metric-name prefix this instance registers under (`""` for a
+    /// private registry). Gauge mirrors use it so read-time series like
+    /// `plan_cache.size` land next to the hot-path series of the same
+    /// server.
+    pub fn metric_prefix(&self) -> &str {
+        &self.prefix
     }
 
     /// The structured trace ring.
@@ -223,7 +257,7 @@ impl ServerTelemetry {
         if map.len() >= self.prepared_series_limit {
             return self.prepared_overflow.clone();
         }
-        let hist = self.registry.histogram(&format!("prepared.{id}.latency"));
+        let hist = self.registry.histogram(&format!("{}prepared.{id}.latency", self.prefix));
         map.insert(id, hist.clone());
         hist
     }
@@ -250,5 +284,27 @@ mod tests {
         assert!(!text.contains("prepared_2_latency"), "{text}");
         assert!(!text.contains("prepared_3_latency"), "{text}");
         assert!(text.contains("prepared_other_latency_count 2"), "{text}");
+    }
+
+    #[test]
+    fn prefixed_instances_coexist_in_one_registry() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let a = ServerTelemetry::with_registry(registry.clone(), "tenant.a.".into(), 16, 4);
+        let b = ServerTelemetry::with_registry(registry.clone(), "tenant.b.".into(), 16, 4);
+        assert_eq!(a.metric_prefix(), "tenant.a.");
+        a.query_latency.record(10);
+        b.query_latency.record(20);
+        b.query_latency.record(30);
+        a.prepared_latency(0).record(5);
+        b.prepared_latency(0).record(7);
+        a.wal.appends.inc();
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("tenant_a_query_latency_count 1"), "{text}");
+        assert!(text.contains("tenant_b_query_latency_count 2"), "{text}");
+        assert!(text.contains("tenant_a_prepared_0_latency_count 1"), "{text}");
+        assert!(text.contains("tenant_b_prepared_0_latency_count 1"), "{text}");
+        assert!(text.contains("tenant_a_wal_appends 1"), "{text}");
+        // Traces stay per-instance even though the registry is shared.
+        assert!(!Arc::ptr_eq(a.trace(), b.trace()));
     }
 }

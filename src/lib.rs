@@ -16,7 +16,8 @@
 //! | [`persist`] | `pgso-persist` | write-ahead log, epoch snapshots, crash recovery |
 //! | [`telemetry`] | `pgso-telemetry` | metrics registry (counters, gauges, log-scaled latency histograms), structured trace ring, Prometheus-style text exposition |
 //! | [`server`] | `pgso-server` | concurrent serving engine: prepare/execute API with named parameters, plan cache, workload tracking, adaptive re-optimization, WAL-backed ingest |
-//! | [`net`] | `pgso-net` | binary wire protocol + non-blocking TCP connection layer: `KgListener` serves a `KgServer` to remote `KgClient`s with pipelining and graceful shutdown |
+//! | [`net`] | `pgso-net` | binary wire protocol + non-blocking TCP connection layer: `KgListener` serves a `TenantHost` (or a single `KgServer`) to remote `KgClient`s with pipelining, `USE` tenant selection and graceful shutdown |
+//! | [`tenant`] | `pgso-tenant` | multi-tenant hosting: `TenantHost` runs many independent graphs in one process with per-tenant quotas, admission control and namespaced persistence |
 //!
 //! ## Quick start
 //!
@@ -125,9 +126,42 @@
 //! * [`net::KgClient`] — a blocking client mirroring the in-process
 //!   prepare/execute shape, plus explicit send/recv halves for pipelining;
 //! * wire observability as `net.*` metrics (connections, bytes, request
-//!   latency histogram, slow-request trace events) in the server's own
+//!   latency histogram, slow-request trace events) in the host's shared
 //!   registry, and per-connection served/error accounting via
 //!   [`net::listener::NetRunReport`]. See `examples/networked_kg.rs`.
+//!
+//! ## Multi-tenancy
+//!
+//! [`tenant`] hosts **many independent knowledge graphs in one process** —
+//! each tenant owns its full serving stack (ontology, optimized schema,
+//! instance graph, workload tracker, plan cache, WAL + snapshot directory),
+//! so one tenant's epoch swaps, WAL rotations and re-optimizations never
+//! stall a sibling's readers:
+//!
+//! * [`tenant::TenantHost`] routes names to [`tenant::Tenant`]s:
+//!   [`tenant::TenantHost::create_tenant`] optimizes and loads a fresh
+//!   graph, [`tenant::TenantHost::open`] recovers one bit-identically from
+//!   its namespaced `<root>/tenants/<name>` directory, and
+//!   [`tenant::TenantHost::drop_tenant`] retires name and directory;
+//! * **resource governance** per tenant ([`tenant::TenantQuotas`]):
+//!   bounded in-flight queries (admission control with RAII release), a
+//!   lifetime query budget, and an ingest-update budget — exhaustion is a
+//!   typed, survivable [`tenant::TenantError::Quota`] rejection
+//!   (`QuotaExceeded` on the wire), back-pressure rather than failure;
+//! * **one observability plane**: every tenant's series lands in the
+//!   host's shared [`telemetry::MetricsRegistry`] under `tenant.<name>.`
+//!   prefixes — [`tenant::TenantHost::metrics_text`] is a single
+//!   exposition covering all engines plus the `net.*` wire series — and
+//!   [`tenant::TenantHost::health`] reports per-tenant
+//!   [`tenant::TenantHealth`] (engine health + admission counters);
+//! * **on the wire**: [`net::KgListener::bind_host`] serves a whole host
+//!   behind one socket; connections land on the default tenant (so
+//!   revision-2 clients keep working unchanged) and re-target with the
+//!   revision-3 `USE` request ([`net::KgClient::use_tenant`]). Prepared
+//!   handles stay bound to the tenant that prepared them.
+//!
+//! See `examples/multi_tenant_kg.rs` for a two-ontology tour and
+//! `tests/tenant_isolation.rs` for the isolation acceptance suite.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -142,6 +176,7 @@ pub use pgso_pgschema as pgschema;
 pub use pgso_query as query;
 pub use pgso_server as server;
 pub use pgso_telemetry as telemetry;
+pub use pgso_tenant as tenant;
 
 /// Commonly used types, re-exported for `use pgso::prelude::*`.
 pub mod prelude {
@@ -170,4 +205,7 @@ pub mod prelude {
         IngestConfig, KgServer, PreparedStatement, ServerConfig, StorageTier, WorkloadTracker,
     };
     pub use pgso_telemetry::{MetricsRegistry, MetricsSnapshot, TraceEvent};
+    pub use pgso_tenant::{
+        Tenant, TenantError, TenantHost, TenantHostConfig, TenantQuotas, TenantSpec,
+    };
 }

@@ -212,3 +212,44 @@ fn group_by_variants_are_equivalent() {
         }
     }
 }
+
+/// HAVING variants: group filters over counts and numeric aggregates must
+/// survive the DIR→OPT rewrite (the HAVING variable is pinned, its property
+/// references renamed) and the shard fan-out, with the filter applied before
+/// windowing on every backend.
+#[test]
+fn having_variants_are_equivalent() {
+    let med = [
+        "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) \
+         RETURN d.name, count(dr) GROUP BY d HAVING count(dr) >= 2 ORDER BY d.name",
+        "MATCH (d:Drug)-[:hasDrugRoute]->(dr:DrugRoute) \
+         RETURN d.name, min(dr.drugRouteId) GROUP BY d \
+         HAVING count(DISTINCT dr.drugRouteId) >= 1 AND min(dr.drugRouteId) != '' \
+         ORDER BY d.name",
+        // HAVING before windowing: the surviving groups are windowed, not
+        // the other way around.
+        "MATCH (p:Patient)-[:hasEncounter]->(e:Encounter) \
+         RETURN p.mrn, count(e) GROUP BY p HAVING count(e) >= 1 \
+         ORDER BY p.mrn SKIP 1 LIMIT 4",
+    ];
+    let fin = ["MATCH (corp:Corporation)-[:employsOfficer]->(o:Officer) \
+         RETURN corp.hasLegalName, count(o) GROUP BY corp \
+         HAVING count(o) >= 2 ORDER BY corp.hasLegalName"];
+    for (dataset, texts) in [(DatasetId::Med, &med[..]), (DatasetId::Fin, &fin[..])] {
+        let setup = setup(dataset);
+        for text in texts {
+            let stmt = parse_named(text, "having").expect(text);
+            assert!(!stmt.having.is_empty());
+            let unfiltered = {
+                let mut s = stmt.clone();
+                s.having.clear();
+                s
+            };
+            let all = execute_statement_with(&unfiltered, &setup.dir_mono, &ExecConfig::serial());
+            let kept = execute_statement_with(&stmt, &setup.dir_mono, &ExecConfig::serial());
+            assert!(!kept.rows.is_empty(), "fixture must keep some groups: {text}");
+            assert!(kept.rows.len() <= all.rows.len(), "HAVING can only drop groups: {text}");
+            assert_equivalent(&setup, &stmt, cross_schema(dataset), text);
+        }
+    }
+}

@@ -327,6 +327,79 @@ proptest! {
         }
     }
 
+    /// `HAVING` filters aggregate rows exactly like post-filtering the same
+    /// statement's returned aggregate columns (it runs before windowing, and
+    /// the statements generated here carry none), and HAVING statements
+    /// round-trip through text, fingerprints and parameter binding.
+    #[test]
+    fn having_filters_like_post_filtering_returned_aggregates(
+        vertex_specs in proptest::collection::vec((0usize..4, 0i64..40), 2..16),
+        graph_edges in proptest::collection::vec((0usize..16, 0usize..16, 0usize..3), 0..24),
+        having_specs in proptest::collection::vec(
+            (0usize..6, 0usize..6, 0i64..6, 0u8..2),
+            1..4,
+        ),
+        grouped in 0u8..2,
+    ) {
+        let (mono, _) = mirrored_graphs(&vertex_specs, &graph_edges, 2);
+        let mut b = Statement::builder("having-gen")
+            .node("a", "L0")
+            .node("b", "L1")
+            .edge("a", "r0", "b")
+            .ret_property("a", "p0");
+        let mut params = Params::new();
+        let mut specs = Vec::new();
+        for (k, &(agg, op, threshold, via_param)) in having_specs.iter().enumerate() {
+            let (agg, property) = match agg {
+                0 => (Aggregate::Count, None),
+                1 => (Aggregate::CountDistinct, None),
+                2 => (Aggregate::Sum, Some("p0")),
+                3 => (Aggregate::Min, Some("p0")),
+                4 => (Aggregate::Max, Some("p0")),
+                _ => (Aggregate::Avg, Some("p0")),
+            };
+            let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op];
+            b = b.ret_aggregate(agg, "b", property);
+            if via_param == 1 {
+                let name = format!("t{k}");
+                params.insert(&name, threshold);
+                b = b.having_param(agg, "b", property, op, name);
+            } else {
+                b = b.having(agg, "b", property, op, threshold);
+            }
+            specs.push((op, PropertyValue::Int(threshold)));
+        }
+        if grouped == 1 {
+            b = b.group_by("a");
+        }
+        let stmt = b.build();
+
+        // Text round-trip and fingerprint invariance.
+        let reparsed = parse(&stmt.to_string())
+            .unwrap_or_else(|e| panic!("generated HAVING statement failed to parse: {e}\n  {stmt}"));
+        prop_assert!(stmt.structurally_eq(&reparsed), "{}\n{}", stmt, reparsed);
+        prop_assert_eq!(fingerprint_statement(&stmt), fingerprint_statement(&reparsed));
+
+        let bound = stmt.bind(&params).expect("generated params bind");
+        prop_assert!(!bound.has_parameters());
+
+        // Ground truth: the same statement with HAVING stripped, post-filtered
+        // by applying each predicate to its returned aggregate column.
+        let mut unfiltered = bound.clone();
+        unfiltered.having.clear();
+        let expected: Vec<_> = execute_statement(&unfiltered, &mono)
+            .rows
+            .into_iter()
+            .filter(|row| {
+                specs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, (op, threshold))| op.eval(&row[k + 1], threshold))
+            })
+            .collect();
+        prop_assert_eq!(execute_statement(&bound, &mono).rows, expected, "{}", bound);
+    }
+
     /// Binding semantics: executing `stmt.bind(params)` equals executing the
     /// statement with the values substituted by hand, and the binding is
     /// insensitive to the order the caller assembled the [`Params`] in —
